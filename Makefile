@@ -1,0 +1,39 @@
+# Standard targets for the trie-hashing reproduction.
+
+GO ?= go
+
+.PHONY: all build test race short bench repro cover fuzz clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+short:
+	$(GO) test -short ./...
+
+# Regenerate every figure/table of the paper (text and CSV forms).
+repro:
+	$(GO) run ./cmd/thbench | tee thbench_output.txt
+	$(GO) run ./cmd/thbench -csv > thbench_output.csv
+
+bench:
+	$(GO) test -bench=. -benchmem ./... | tee bench_output.txt
+
+cover:
+	$(GO) test -cover ./...
+
+fuzz:
+	$(GO) test -fuzz FuzzFileOps -fuzztime 30s ./internal/core/
+	$(GO) test -fuzz FuzzSplitString -fuzztime 15s ./internal/keys/
+	$(GO) test -fuzz FuzzComparePathBounds -fuzztime 15s ./internal/keys/
+
+clean:
+	rm -f thbench_output.txt thbench_output.csv bench_output.txt test_output.txt

@@ -1,0 +1,51 @@
+// Command thbench regenerates the tables and figures of the paper's
+// evaluation. Every experiment rebuilds its workload and parameter sweep
+// from scratch with fixed seeds, so the output is deterministic.
+//
+// Usage:
+//
+//	thbench -list             # enumerate experiments
+//	thbench -experiment fig10 # run one experiment
+//	thbench                   # run all of them
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"triehash/internal/bench"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list experiment ids and exit")
+	experiment := flag.String("experiment", "", "run a single experiment by id (default: all)")
+	csv := flag.Bool("csv", false, "emit comma-separated rows (for plotting) instead of aligned tables")
+	flag.Parse()
+	render := func(t *bench.Table) {
+		if *csv {
+			fmt.Print(t.CSV())
+			return
+		}
+		fmt.Println(t)
+	}
+
+	if *list {
+		for _, e := range bench.Registry() {
+			fmt.Printf("%-18s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+	if *experiment != "" {
+		e, ok := bench.ByID(*experiment)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "thbench: unknown experiment %q; use -list\n", *experiment)
+			os.Exit(2)
+		}
+		render(e.Run())
+		return
+	}
+	for _, e := range bench.Registry() {
+		render(e.Run())
+	}
+}

@@ -1,0 +1,97 @@
+// Command thdump builds a trie-hashed file from keys read on standard
+// input (one per line) and dumps its structure: the buckets with their
+// logical paths (the paper's Fig 1.b/1.c), the cell table of the standard
+// representation (Fig 1.d/1.e) and the in-order leaf bounds.
+//
+// Usage:
+//
+//	printf 'the\nof\nand\n...' | thdump -b 4 -m 3
+//	thdump -b 4 -m 3 -variant th < words.txt
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+
+	"triehash/internal/core"
+	"triehash/internal/store"
+	"triehash/internal/trie"
+)
+
+func main() {
+	b := flag.Int("b", 4, "bucket capacity")
+	m := flag.Int("m", 0, "split key position (0 = middle)")
+	bound := flag.Int("bound", 0, "THCL bounding key position (0 = last key)")
+	variant := flag.String("variant", "th", "method variant: th or thcl")
+	flag.Parse()
+
+	mode := trie.ModeBasic
+	if *variant == "thcl" {
+		mode = trie.ModeTHCL
+	} else if *variant != "th" {
+		fmt.Fprintln(os.Stderr, "thdump: -variant must be th or thcl")
+		os.Exit(2)
+	}
+	f, err := core.New(core.Config{
+		Capacity: *b, Mode: mode, SplitPos: *m, BoundPos: *bound,
+	}, store.NewMem())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "thdump:", err)
+		os.Exit(2)
+	}
+
+	sc := bufio.NewScanner(os.Stdin)
+	line := 0
+	for sc.Scan() {
+		line++
+		k := sc.Text()
+		if k == "" {
+			continue
+		}
+		if _, err := f.Put(k, nil); err != nil {
+			fmt.Fprintf(os.Stderr, "thdump: line %d: %v\n", line, err)
+			os.Exit(1)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "thdump:", err)
+		os.Exit(1)
+	}
+
+	tr := f.Trie()
+	fmt.Println("buckets (in key order):")
+	last := int32(-1)
+	for _, lp := range tr.InorderLeaves() {
+		path := string(lp.Path)
+		if path == "" {
+			path = "."
+		}
+		if lp.Leaf.IsNil() {
+			fmt.Printf("  %-12s -> nil\n", path)
+			continue
+		}
+		addr := lp.Leaf.Addr()
+		if addr == last {
+			fmt.Printf("  %-12s -> %d (shared)\n", path, addr)
+			continue
+		}
+		last = addr
+		bk, err := f.Store().Read(addr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "thdump:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("  %-12s -> %-4d %v\n", path, addr, bk.Keys())
+	}
+	fmt.Println("\ntrie (nested form):")
+	fmt.Println("  " + tr.String())
+	fmt.Println("\nstandard representation (cell table):")
+	fmt.Print(tr.DumpCells())
+	fmt.Println("\nstats:", f.Stats())
+	if err := f.CheckInvariants(); err != nil {
+		fmt.Fprintln(os.Stderr, "thdump: INVARIANT VIOLATION:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,126 @@
+// Command thload sweeps the load factor of trie-hashed files over the
+// split parameters, the way the paper's Figs 10-11 were produced. It
+// prints one row per configuration: load factor a%, trie size M, file
+// size N and growth rate s.
+//
+// Usage:
+//
+//	thload -n 5000 -b 10,20,50 -order asc -variant thcl -sweep d
+//	thload -n 5000 -b 20 -order random -variant th
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"triehash/internal/core"
+	"triehash/internal/store"
+	"triehash/internal/trie"
+	"triehash/internal/workload"
+)
+
+func main() {
+	n := flag.Int("n", 5000, "number of keys")
+	seed := flag.Int64("seed", 10, "workload seed")
+	bs := flag.String("b", "10,20,50", "comma-separated bucket capacities")
+	order := flag.String("order", "asc", "insertion order: asc, desc or random")
+	variant := flag.String("variant", "thcl", "method variant: th or thcl")
+	sweep := flag.String("sweep", "", "sweep parameter: 'd' (Fig 10/11 style) or empty for the default middle split")
+	redist := flag.String("redist", "none", "redistribution: none, succ, pred or both")
+	flag.Parse()
+
+	mode := trie.ModeTHCL
+	if *variant == "th" {
+		mode = trie.ModeBasic
+	} else if *variant != "thcl" {
+		fail("-variant must be th or thcl")
+	}
+	var rd core.Redistribution
+	switch *redist {
+	case "none":
+		rd = core.RedistNone
+	case "succ":
+		rd = core.RedistSuccessor
+	case "pred":
+		rd = core.RedistPredecessor
+	case "both":
+		rd = core.RedistBoth
+	default:
+		fail("-redist must be none, succ, pred or both")
+	}
+
+	base := workload.Uniform(*seed, *n, 3, 10)
+	var ks []string
+	switch *order {
+	case "asc":
+		ks = workload.Ascending(base)
+	case "desc":
+		ks = workload.Descending(base)
+	case "random":
+		ks = base
+	default:
+		fail("-order must be asc, desc or random")
+	}
+
+	fmt.Printf("%-4s %-4s %-4s %-6s %-8s %-7s %-7s %-6s\n", "b", "m", "m''", "d", "a%", "M", "N", "s")
+	for _, bstr := range strings.Split(*bs, ",") {
+		b, err := strconv.Atoi(strings.TrimSpace(bstr))
+		if err != nil || b < 2 {
+			fail("bad bucket capacity " + bstr)
+		}
+		for _, cfg := range configs(b, mode, rd, *order, *sweep) {
+			f, err := core.New(cfg, store.NewMem())
+			if err != nil {
+				fail(err.Error())
+			}
+			for _, k := range ks {
+				if _, err := f.Put(k, nil); err != nil {
+					fail(err.Error())
+				}
+			}
+			st := f.Stats()
+			d := 0
+			if *order == "desc" && cfg.SplitPos == 1 {
+				d = cfg.BoundPos - 2
+			} else {
+				d = b - cfg.SplitPos
+			}
+			fmt.Printf("%-4d %-4d %-4d %-6d %-8.3f %-7d %-7d %-6.2f\n",
+				b, cfg.SplitPos, cfg.BoundPos, d, st.Load*100, st.TrieCells, st.Buckets, st.GrowthRate)
+		}
+	}
+}
+
+// configs enumerates the configurations of a sweep.
+func configs(b int, mode trie.Mode, rd core.Redistribution, order, sweep string) []core.Config {
+	if sweep != "d" {
+		return []core.Config{{Capacity: b, Mode: mode, Redistribution: rd}}
+	}
+	var out []core.Config
+	if order == "desc" && mode == trie.ModeTHCL {
+		// Fig 11: m = 1, sweep the bounding key position.
+		for d := 0; d <= (3*b)/4 && 2+d <= b+1; d++ {
+			out = append(out, core.Config{
+				Capacity: b, Mode: mode, Redistribution: rd,
+				SplitPos: 1, BoundPos: 2 + d,
+			})
+		}
+		return out
+	}
+	// Fig 10: sweep the split key position downward from b.
+	for d := 0; d <= (3*b)/4 && d < b; d++ {
+		out = append(out, core.Config{
+			Capacity: b, Mode: mode, Redistribution: rd,
+			SplitPos: b - d,
+		})
+	}
+	return out
+}
+
+func fail(msg string) {
+	fmt.Fprintln(os.Stderr, "thload:", msg)
+	os.Exit(2)
+}

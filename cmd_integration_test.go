@@ -1,0 +1,111 @@
+package triehash
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestCommandLineTools builds every binary once and drives the full
+// tooling workflow: generate a database, verify it, corrupt it, detect
+// the corruption, destroy the metadata, recover, dump a file, sweep
+// loads, run an experiment.
+func TestCommandLineTools(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries")
+	}
+	bindir := t.TempDir()
+	bins := map[string]string{}
+	for _, name := range []string{"thgen", "thcheck", "thdump", "thload", "thbench"} {
+		out := filepath.Join(bindir, name)
+		cmd := exec.Command("go", "build", "-o", out, "./cmd/"+name)
+		if b, err := cmd.CombinedOutput(); err != nil {
+			t.Fatalf("building %s: %v\n%s", name, err, b)
+		}
+		bins[name] = out
+	}
+	run := func(wantOK bool, stdin string, bin string, args ...string) string {
+		t.Helper()
+		cmd := exec.Command(bins[bin], args...)
+		if stdin != "" {
+			cmd.Stdin = strings.NewReader(stdin)
+		}
+		out, err := cmd.CombinedOutput()
+		if (err == nil) != wantOK {
+			t.Fatalf("%s %v: err=%v\n%s", bin, args, err, out)
+		}
+		return string(out)
+	}
+
+	db := filepath.Join(t.TempDir(), "db")
+
+	// thgen -> thcheck round trip.
+	out := run(true, "", "thgen", "-dir", db, "-n", "1500", "-b", "20")
+	if !strings.Contains(out, "wrote 1500 records") {
+		t.Fatalf("thgen: %s", out)
+	}
+	out = run(true, "", "thcheck", db)
+	if !strings.Contains(out, "integrity:   ok") || !strings.Contains(out, "records:     1500") {
+		t.Fatalf("thcheck: %s", out)
+	}
+
+	// Corrupt a live payload byte; thcheck must fail.
+	bf, err := os.OpenFile(filepath.Join(db, "buckets.th"), os.O_RDWR, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := bf.WriteAt([]byte{0xAB}, 60); err != nil {
+		t.Fatal(err)
+	}
+	bf.Close()
+	out = run(false, "", "thcheck", db)
+	if !strings.Contains(out, "checksum mismatch") {
+		t.Fatalf("corruption not reported: %s", out)
+	}
+
+	// Fresh database; destroy the metadata; recover.
+	db2 := filepath.Join(t.TempDir(), "db2")
+	run(true, "", "thgen", "-dir", db2, "-n", "800", "-b", "10", "-sorted")
+	if err := os.Remove(filepath.Join(db2, "meta.th")); err != nil {
+		t.Fatal(err)
+	}
+	run(false, "", "thcheck", db2)
+	out = run(true, "", "thcheck", "-recover", "-b", "10", db2)
+	if !strings.Contains(out, "integrity:   ok") || !strings.Contains(out, "records:     800") {
+		t.Fatalf("thcheck -recover: %s", out)
+	}
+	// Metadata rebuilt: a plain check works again.
+	run(true, "", "thcheck", db2)
+
+	// thdump reproduces the Fig 1 structure from stdin.
+	words := "the\nof\nand\nto\na\nin\nthat\nis\ni\nit\nfor\nas\nwith\nwas\nhis\nhe\nbe\nnot\nby\nbut\nhave\nyou\nwhich\nare\non\nor\nher\nhad\nat\nfrom\nthis\n"
+	out = run(true, words, "thdump", "-b", "4", "-m", "3")
+	for _, needle := range []string{"[had have he her]", "(o,0)", "standard representation"} {
+		if !strings.Contains(out, needle) {
+			t.Fatalf("thdump missing %q:\n%s", needle, out)
+		}
+	}
+
+	// thload sweeps print the d=0 compact point.
+	out = run(true, "", "thload", "-n", "500", "-b", "10", "-order", "asc", "-sweep", "d")
+	if !strings.Contains(out, "100.000") {
+		t.Fatalf("thload sweep lacks the 100%% point:\n%s", out)
+	}
+
+	// thbench runs a single experiment, in both renderings.
+	out = run(true, "", "thbench", "-experiment", "fig8")
+	if !strings.Contains(out, "1.000") {
+		t.Fatalf("thbench fig8:\n%s", out)
+	}
+	out = run(true, "", "thbench", "-csv", "-experiment", "fig8")
+	if !strings.HasPrefix(out, "fig8,") {
+		t.Fatalf("thbench -csv:\n%s", out)
+	}
+	out = run(true, "", "thbench", "-list")
+	if !strings.Contains(out, "fig10") || !strings.Contains(out, "sec23-positioning") {
+		t.Fatalf("thbench -list:\n%s", out)
+	}
+	run(false, "", "thbench", "-experiment", "nope")
+}

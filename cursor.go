@@ -1,0 +1,67 @@
+package triehash
+
+// Cursor iterates the file's records in ascending key order, fetching one
+// buffered batch of records at a time. Each refill observes the file's
+// current state, so a cursor running concurrently with writers sees a
+// weakly consistent sequence: keys are always delivered in order and at
+// most once, but records inserted behind the cursor's position are not
+// revisited.
+type Cursor struct {
+	f     *File
+	to    string
+	batch []kv
+	idx   int
+	next  string // start of the next refill; "" after exhaustion
+	done  bool
+}
+
+type kv struct {
+	key   string
+	value []byte
+}
+
+// cursorBatch is the refill size: large enough to amortize the lock and
+// leaf walk, small enough to keep memory flat on huge scans.
+const cursorBatch = 128
+
+// Seek returns a cursor positioned at the smallest key >= from. An empty
+// to bounds the scan at the end of the file.
+func (f *File) Seek(from, to string) *Cursor {
+	return &Cursor{f: f, to: to, next: from}
+}
+
+// Next returns the next record in key order; ok is false when the scan is
+// exhausted (or the file was closed mid-scan).
+func (c *Cursor) Next() (key string, value []byte, ok bool) {
+	if c.idx >= len(c.batch) {
+		if c.done || !c.refill() {
+			return "", nil, false
+		}
+	}
+	r := c.batch[c.idx]
+	c.idx++
+	return r.key, r.value, true
+}
+
+// refill fetches the next batch starting at c.next.
+func (c *Cursor) refill() bool {
+	c.batch = c.batch[:0]
+	c.idx = 0
+	err := c.f.Range(c.next, c.to, func(k string, v []byte) bool {
+		c.batch = append(c.batch, kv{k, v})
+		return len(c.batch) < cursorBatch
+	})
+	if err != nil || len(c.batch) == 0 {
+		c.done = true
+		return false
+	}
+	if len(c.batch) < cursorBatch {
+		c.done = true // the final batch; serve it, then stop
+	} else {
+		// The next refill starts just above the last delivered key:
+		// appending the minimum digit forms the smallest string
+		// strictly greater than it.
+		c.next = c.batch[len(c.batch)-1].key + string(c.f.alpha.Min)
+	}
+	return true
+}

@@ -1,0 +1,237 @@
+package triehash
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"triehash/internal/btree"
+	"triehash/internal/workload"
+)
+
+// TestDifferentialAcrossEngines drives the same operation stream through
+// every trie-hashing configuration and the B⁺-tree and checks that they
+// remain observationally identical: same membership, same values, same
+// range results, same deletion outcomes. Any divergence pinpoints an
+// engine bug immediately.
+func TestDifferentialAcrossEngines(t *testing.T) {
+	files := map[string]*File{}
+	for name, opts := range map[string]Options{
+		"thcl":        {BucketCapacity: 8},
+		"basic":       {BucketCapacity: 8, Variant: TH},
+		"det":         {BucketCapacity: 8, SplitPos: 4, BoundPos: 5},
+		"redist":      {BucketCapacity: 8, Redistribution: RedistBoth},
+		"rotations":   {BucketCapacity: 8, Variant: TH, RotationMerges: true},
+		"mlth-basic":  {BucketCapacity: 8, Variant: TH, PageCapacity: 12},
+		"mlth-thcl":   {BucketCapacity: 8, PageCapacity: 12},
+		"collapse":    {BucketCapacity: 8, Redistribution: RedistSuccessor, CollapseOnMerge: true},
+		"big-buckets": {BucketCapacity: 64},
+	} {
+		f, err := Create(opts)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		defer f.Close()
+		files[name] = f
+	}
+	bt, err := btree.New(btree.Config{LeafCapacity: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rng := rand.New(rand.NewSource(555))
+	universe := workload.Uniform(555, 700, 2, 7)
+	for step := 0; step < 5000; step++ {
+		k := universe[rng.Intn(len(universe))]
+		switch op := rng.Intn(10); {
+		case op < 5:
+			v := []byte(fmt.Sprintf("v%d", step))
+			for name, f := range files {
+				if err := f.Put(k, v); err != nil {
+					t.Fatalf("step %d %s Put(%q): %v", step, name, k, err)
+				}
+			}
+			bt.Put(k, v)
+		case op < 7:
+			want, wantOK := bt.Get(k)
+			for name, f := range files {
+				v, err := f.Get(k)
+				switch {
+				case wantOK && (err != nil || string(v) != string(want)):
+					t.Fatalf("step %d %s Get(%q) = %q, %v; btree %q", step, name, k, v, err, want)
+				case !wantOK && !errors.Is(err, ErrNotFound):
+					t.Fatalf("step %d %s Get(%q): %v; btree absent", step, name, k, err)
+				}
+			}
+		case op < 9:
+			wantOK := bt.Delete(k)
+			for name, f := range files {
+				err := f.Delete(k)
+				switch {
+				case wantOK && err != nil:
+					t.Fatalf("step %d %s Delete(%q): %v", step, name, k, err)
+				case !wantOK && !errors.Is(err, ErrNotFound):
+					t.Fatalf("step %d %s Delete(%q): %v; btree absent", step, name, k, err)
+				}
+			}
+		default:
+			lo := universe[rng.Intn(len(universe))]
+			hi := universe[rng.Intn(len(universe))]
+			if hi < lo {
+				lo, hi = hi, lo
+			}
+			var want []string
+			bt.Range(lo, hi, func(k string, _ []byte) bool {
+				want = append(want, k)
+				return true
+			})
+			for name, f := range files {
+				var got []string
+				if err := f.Range(lo, hi, func(k string, _ []byte) bool {
+					got = append(got, k)
+					return true
+				}); err != nil {
+					t.Fatalf("step %d %s Range: %v", step, name, err)
+				}
+				if fmt.Sprint(got) != fmt.Sprint(want) {
+					t.Fatalf("step %d %s Range(%q,%q) = %v; btree %v", step, name, lo, hi, got, want)
+				}
+			}
+		}
+	}
+	for name, f := range files {
+		if f.Len() != bt.Len() {
+			t.Errorf("%s ends with %d keys, btree %d", name, f.Len(), bt.Len())
+		}
+		if err := f.CheckInvariants(); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+
+	// Two more engines derived from the final state: a bulk-loaded
+	// clone and a crash-recovered clone. Both must agree with the
+	// B-tree on every key.
+	var finalKeys []string
+	finalVals := map[string][]byte{}
+	bt.Range("", "", func(k string, v []byte) bool {
+		finalKeys = append(finalKeys, k)
+		finalVals[k] = v
+		return true
+	})
+	i := 0
+	bulk, err := BulkLoad("", Options{BucketCapacity: 8}, 0.9, func() (string, []byte, bool) {
+		if i >= len(finalKeys) {
+			return "", nil, false
+		}
+		k := finalKeys[i]
+		i++
+		return k, finalVals[k], true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer bulk.Close()
+
+	dir := filepath.Join(t.TempDir(), "db")
+	p, err := CreateAt(dir, Options{BucketCapacity: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range finalKeys {
+		if err := p.Put(k, finalVals[k]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	p.Close()
+	if err := os.Remove(filepath.Join(dir, "meta.th")); err != nil {
+		t.Fatal(err)
+	}
+	rec, err := RecoverAt(dir, Options{BucketCapacity: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rec.Close()
+
+	for name, f := range map[string]*File{"bulk-loaded": bulk, "recovered": rec} {
+		if f.Len() != bt.Len() {
+			t.Errorf("%s has %d keys, btree %d", name, f.Len(), bt.Len())
+		}
+		for _, k := range finalKeys {
+			v, err := f.Get(k)
+			if err != nil || string(v) != string(finalVals[k]) {
+				t.Fatalf("%s Get(%q) = %q, %v", name, k, v, err)
+			}
+		}
+		if err := f.CheckInvariants(); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+}
+
+// TestChurnStability runs sustained insert/delete churn at a fixed
+// population and checks the structures do not leak: the trie stays
+// proportional to the live buckets and the load stays in a sane band.
+func TestChurnStability(t *testing.T) {
+	for name, opts := range map[string]Options{
+		"thcl-guaranteed": {BucketCapacity: 10, SplitPos: 6, BoundPos: 7},
+		"basic-rotations": {BucketCapacity: 10, Variant: TH, RotationMerges: true},
+	} {
+		name, opts := name, opts
+		t.Run(name, func(t *testing.T) {
+			f, err := Create(opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer f.Close()
+			keys := workload.Uniform(666, 4000, 3, 9)
+			live := map[string]bool{}
+			rng := rand.New(rand.NewSource(666))
+			// Warm up to ~2000 live keys, then churn.
+			for _, k := range keys[:2000] {
+				f.Put(k, nil)
+				live[k] = true
+			}
+			var peakCells int
+			for round := 0; round < 8; round++ {
+				for i := 0; i < 1000; i++ {
+					k := keys[rng.Intn(len(keys))]
+					if live[k] {
+						if err := f.Delete(k); err != nil {
+							t.Fatalf("Delete(%q): %v", k, err)
+						}
+						delete(live, k)
+					} else {
+						if err := f.Put(k, nil); err != nil {
+							t.Fatalf("Put(%q): %v", k, err)
+						}
+						live[k] = true
+					}
+				}
+				st := f.Stats()
+				if st.TrieCells > peakCells {
+					peakCells = st.TrieCells
+				}
+				if st.Keys != len(live) {
+					t.Fatalf("round %d: %d keys, live %d", round, st.Keys, len(live))
+				}
+			}
+			if err := f.CheckInvariants(); err != nil {
+				t.Fatal(err)
+			}
+			st := f.Stats()
+			// The trie must not have grown unboundedly past what the
+			// population needs: cells stay within a small factor of
+			// buckets.
+			if st.TrieCells > 6*st.Buckets {
+				t.Errorf("trie bloat after churn: %d cells for %d buckets", st.TrieCells, st.Buckets)
+			}
+			if st.Load < 0.35 {
+				t.Errorf("churn drove load to %.3f", st.Load)
+			}
+			t.Logf("%s after churn: %v (peak cells %d)", name, st, peakCells)
+		})
+	}
+}

@@ -1,0 +1,61 @@
+// Quickstart: create an in-memory trie-hashed file, store some records,
+// look them up, scan a key range and inspect the statistics the paper's
+// evaluation is stated in.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"triehash"
+)
+
+func main() {
+	f, err := triehash.Create(triehash.Options{BucketCapacity: 20})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+
+	// Insert a few records. Keys are ordinary strings; the trie
+	// compares them one digit (byte) at a time.
+	people := map[string]string{
+		"litwin":       "trie hashing",
+		"roussopoulos": "compact B-trees",
+		"bayer":        "B-trees",
+		"comer":        "the ubiquitous B-tree",
+		"knuth":        "sorting and searching",
+		"fredkin":      "trie memory",
+	}
+	for k, v := range people {
+		if err := f.Put(k, []byte(v)); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	// Point lookup: with the trie in memory this costs one bucket read.
+	v, err := f.Get("litwin")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("litwin -> %s\n", v)
+
+	// The file is key-ordered, so range scans are sequential.
+	fmt.Println("\nauthors in [b, l]:")
+	err = f.Range("b", "l", func(k string, v []byte) bool {
+		fmt.Printf("  %-14s %s\n", k, v)
+		return true
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Deletion keeps the load guarantee of the controlled-load variant.
+	if err := f.Delete("comer"); err != nil {
+		log.Fatal(err)
+	}
+
+	st := f.Stats()
+	fmt.Printf("\n%d records in %d buckets, load %.0f%%, trie %d cells (%d bytes)\n",
+		st.Keys, st.Buckets, st.Load*100, st.TrieCells, st.TrieBytes)
+}

@@ -1,0 +1,90 @@
+// Sortedload builds the paper's headline artifact: a compact file loaded
+// to 100% from sorted input — the back-up / log-file / query-spool
+// scenario of Section 4. Setting the split position to the bucket
+// capacity makes every split leave the overflowing bucket full, and the
+// controlled-load variant's shared leaves route all further ascending
+// keys to the single open bucket.
+//
+// The file is persisted to a temporary directory and reopened read-only
+// to show the full lifecycle.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"triehash"
+)
+
+func main() {
+	dir, err := os.MkdirTemp("", "triehash-sortedload-*")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	dbdir := filepath.Join(dir, "db")
+
+	// A monotone "log stream": sorted surrogate keys, as a nightly
+	// back-up or a sorted join spool would produce.
+	const n = 20000
+	records := make([]string, n)
+	for i := range records {
+		records[i] = fmt.Sprintf("event-%08d", i)
+	}
+	sort.Strings(records)
+
+	const b = 50
+	// BulkLoad packs the sorted stream in one pass: 100% load and a
+	// balanced trie, ~20x faster than per-record compact insertion
+	// (which Options{SplitPos: b} would give).
+	i := 0
+	f, err := triehash.BulkLoad(dbdir, triehash.Options{BucketCapacity: b}, 1.0,
+		func() (string, []byte, bool) {
+			if i >= len(records) {
+				return "", nil, false
+			}
+			k := records[i]
+			i++
+			return k, []byte("payload of " + k), true
+		})
+	if err != nil {
+		log.Fatal(err)
+	}
+	st := f.Stats()
+	fmt.Printf("loaded %d records into %d buckets: load %.1f%% (compact: the minimum is %d buckets)\n",
+		st.Keys, st.Buckets, st.Load*100, (n+b-1)/b)
+	fmt.Printf("trie: %d cells, %d bytes — %.1f bytes per bucket\n",
+		st.TrieCells, st.TrieBytes, float64(st.TrieBytes)/float64(st.Buckets))
+	if err := f.Close(); err != nil {
+		log.Fatal(err)
+	}
+
+	// Reopen and serve: the compact file behaves like any other.
+	g, err := triehash.OpenAt(dbdir)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer g.Close()
+	g.ResetIOCounters()
+	probe := records[n/3]
+	if _, err := g.Get(probe); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("point lookup of %q after reopen: %d bucket read(s)\n", probe, g.Stats().IO.Reads)
+
+	// Compact files make range scans maximally sequential: counting
+	// qualifying buckets shows one read per b records.
+	g.ResetIOCounters()
+	count := 0
+	if err := g.Range(records[1000], records[3999], func(string, []byte) bool {
+		count++
+		return true
+	}); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("range scan of %d records: %d bucket reads (~%d records/read)\n",
+		count, g.Stats().IO.Reads, count/int(g.Stats().IO.Reads))
+}

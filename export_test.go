@@ -1,0 +1,6 @@
+package triehash
+
+import "triehash/internal/trie"
+
+// fTrie exposes a single-level file's trie to benchmarks.
+func fTrie(f *File) *trie.Trie { return f.single.Trie() }

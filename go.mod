@@ -1,0 +1,3 @@
+module triehash
+
+go 1.22

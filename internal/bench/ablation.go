@@ -1,0 +1,55 @@
+package bench
+
+import (
+	"triehash/internal/core"
+	"triehash/internal/trie"
+	"triehash/internal/workload"
+)
+
+// AblationSplits isolates the design choices Section 4 introduces, one
+// axis at a time, on the same ascending workload:
+//
+//   - nil-node policy: basic TH vs THCL at identical split parameters —
+//     what eliminating nil leaves alone buys (Section 4.1);
+//   - split determinism: natural bounding (last key) vs the bounding key
+//     right above the split key (Section 4.2) — what the guarantee costs
+//     in trie size;
+//   - node collapse: merges with and without removing redundant cells
+//     (Sections 4.3-4.4) — trie size vs algorithmic simplicity.
+func AblationSplits() *Table {
+	n := 4000
+	asc := workload.Ascending(workload.Uniform(77, n, 3, 10))
+	b := 20
+	t := &Table{
+		ID:      "ablation-splits",
+		Title:   "Ablation of the THCL design choices (ascending load, b=20)",
+		Headers: []string{"configuration", "load", "M", "N", "nil leaves"},
+	}
+	row := func(name string, cfg core.Config) {
+		f := mustFile(cfg, asc)
+		st := f.Stats()
+		t.AddRow(name, st.Load, st.TrieCells, st.Buckets, st.NilLeaves)
+	}
+
+	// Axis 1: nil-node policy at m = b (the compact-load setting).
+	row("basic TH, m=b (nil nodes)", core.Config{Capacity: b, SplitPos: b})
+	row("THCL, m=b (shared leaves)", core.Config{Capacity: b, Mode: trie.ModeTHCL, SplitPos: b})
+
+	// Axis 2: determinism at m = 0.8b.
+	m := (4 * b) / 5
+	row("THCL m=0.8b, natural bound", core.Config{Capacity: b, Mode: trie.ModeTHCL, SplitPos: m})
+	row("THCL m=0.8b, deterministic", core.Config{Capacity: b, Mode: trie.ModeTHCL, SplitPos: m, BoundPos: m + 1})
+
+	// Axis 3: collapse on redistribution merges.
+	row("THCL redist, keep cells", core.Config{
+		Capacity: b, Mode: trie.ModeTHCL, Redistribution: core.RedistPredecessor,
+	})
+	row("THCL redist, collapse", core.Config{
+		Capacity: b, Mode: trie.ModeTHCL, Redistribution: core.RedistPredecessor, CollapseOnMerge: true,
+	})
+
+	t.Note("nil elimination alone turns the stranded-bucket loss into a 100%% compact file")
+	t.Note("determinism pins the load exactly but lengthens split strings (adjacent keys share prefixes): larger M")
+	t.Note("collapsing after merges trades trie-mutation work for the smaller table")
+	return t
+}

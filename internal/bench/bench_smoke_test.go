@@ -1,0 +1,34 @@
+package bench
+
+import "testing"
+
+// TestAllExperimentsRun executes every registered experiment once and
+// prints its table; assertions on the paper's claims live in the
+// dedicated tests alongside.
+func TestAllExperimentsRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiments are slow")
+	}
+	for _, e := range Registry() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			tab := e.Run()
+			if tab.ID != e.ID {
+				t.Errorf("table id %q, registry id %q", tab.ID, e.ID)
+			}
+			if len(tab.Rows) == 0 && len(tab.Notes) == 0 {
+				t.Error("experiment produced no output")
+			}
+			t.Logf("\n%s", tab)
+		})
+	}
+}
+
+func TestByID(t *testing.T) {
+	if _, ok := ByID("fig10"); !ok {
+		t.Error("fig10 missing")
+	}
+	if _, ok := ByID("nope"); ok {
+		t.Error("bogus id found")
+	}
+}

@@ -1,0 +1,221 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"triehash/internal/core"
+	"triehash/internal/trie"
+	"triehash/internal/workload"
+)
+
+// TestFig10Claims pins the shape of the paper's Fig 10 curves: a = 100%
+// at d = 0, an interior minimum of the trie size M with a substantial
+// saving, and a point combining a > 90% with a clearly smaller trie.
+func TestFig10Claims(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep is slow")
+	}
+	ks := workload.Ascending(workload.Uniform(10, sweepSize, 3, 10))
+	for _, b := range []int{10, 20, 50} {
+		pts := runAscendingSweep(ks, b, ascendingDs(b))
+		if pts[0].LoadPc < 99.9 {
+			t.Errorf("b=%d: a(d=0) = %.2f%%, want 100%%", b, pts[0].LoadPc)
+		}
+		m0 := pts[0].M
+		minM, minIdx := m0, 0
+		for i, p := range pts {
+			if p.M < minM {
+				minM, minIdx = p.M, i
+			}
+		}
+		if minIdx == 0 {
+			t.Errorf("b=%d: no interior minimum of M (min at d=0)", b)
+		}
+		if minIdx == len(pts)-1 {
+			t.Errorf("b=%d: M still falling at the sweep edge; no rebound visible", b)
+		}
+		saving := 1 - float64(minM)/float64(m0)
+		if saving < 0.20 {
+			t.Errorf("b=%d: M saving at the minimum is %.0f%%, want >= 20%%", b, saving*100)
+		}
+		// Some point keeps a > 90% while already saving trie space (the
+		// paper's "a remains over 90% anyhow" observation; with our key
+		// distribution the saving at the 90% line is ~10% for b=20 and
+		// ~36% for b=50, versus the paper's 30%).
+		if b >= 20 {
+			found := false
+			for _, p := range pts {
+				if p.LoadPc > 90 && float64(p.M) <= 0.9*float64(m0) {
+					found = true
+					break
+				}
+			}
+			if !found {
+				t.Errorf("b=%d: no point with a>90%% and M <= 0.9*peak", b)
+			}
+		}
+		// Basic TH at the middle split position has the smaller trie.
+		basic := mustFile(coreMiddleBasic(b), ks)
+		thcl := mustFile(coreMiddleTHCL(b), ks)
+		if basic.Stats().TrieCells >= thcl.Stats().TrieCells {
+			t.Errorf("b=%d: basic TH trie (%d cells) not smaller than THCL (%d)",
+				b, basic.Stats().TrieCells, thcl.Stats().TrieCells)
+		}
+	}
+}
+
+// TestFig11Claims pins Fig 11: M falls monotonically-ish at small d with
+// no rebound comparable to Fig 10, while a_d stays high.
+func TestFig11Claims(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep is slow")
+	}
+	ks := workload.Descending(workload.Uniform(10, sweepSize, 3, 10))
+	for _, b := range []int{10, 20, 50} {
+		pts := runDescendingSweep(ks, b, ascendingDs(b))
+		if pts[0].LoadPc < 99.9 {
+			t.Errorf("b=%d: a(d=0) = %.2f%%, want 100%%", b, pts[0].LoadPc)
+		}
+		if pts[1].M >= pts[0].M {
+			t.Errorf("b=%d: M did not drop from d=0 (%d -> %d)", b, pts[0].M, pts[1].M)
+		}
+		// The savings concentrate at small d; the tail stays near the
+		// floor (no Fig 10-style rebound past the peak).
+		minM := pts[0].M
+		for _, p := range pts {
+			if p.M < minM {
+				minM = p.M
+			}
+		}
+		last := pts[len(pts)-1]
+		if float64(last.M) > 1.25*float64(minM) {
+			t.Errorf("b=%d: tail M=%d rebounds far above the floor %d", b, last.M, minM)
+		}
+		// a_d stays high over the swept range (paper: over 90% or close).
+		for _, p := range pts[:min(len(pts), 4)] {
+			if p.LoadPc < 85 {
+				t.Errorf("b=%d d=%d: a_d = %.1f%% fell under 85%%", b, p.D, p.LoadPc)
+			}
+		}
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// TestFig1Exact pins the parts of Fig 1 the paper states outright: the
+// trie root is (o,0) and the bucket reached under logical path "he" holds
+// {had, have, he, her}.
+func TestFig1Exact(t *testing.T) {
+	tab := Fig1Example()
+	var pathHE string
+	for _, row := range tab.Rows {
+		if row[0] == "he" {
+			pathHE = row[2]
+		}
+	}
+	if pathHE != "[had have he her]" {
+		t.Errorf("bucket under path 'he' holds %s, paper shows [had have he her]", pathHE)
+	}
+	joined := strings.Join(tab.Notes, "\n")
+	if !strings.Contains(joined, "(o,0)") {
+		t.Errorf("trie root is not (o,0):\n%s", joined)
+	}
+}
+
+// TestFig8Claims pins the controlled-split guarantees.
+func TestFig8Claims(t *testing.T) {
+	tab := Fig8ControlledSplit()
+	if len(tab.Rows) != 2 {
+		t.Fatalf("rows: %v", tab.Rows)
+	}
+	if tab.Rows[0][3] < "0.49" || tab.Rows[0][3] > "0.52" {
+		t.Errorf("m=3 load %s, want ~0.50", tab.Rows[0][3])
+	}
+	if tab.Rows[1][3] != "1.000" {
+		t.Errorf("m=1 load %s, want 1.000", tab.Rows[1][3])
+	}
+}
+
+// TestSec5AccessClaims pins the access-cost comparison: TH searches cost
+// exactly one access, two-level MLTH exactly two, the B-tree more.
+func TestSec5AccessClaims(t *testing.T) {
+	tab := Sec5AccessCounts()
+	if len(tab.Rows) != 3 {
+		t.Fatalf("rows: %v", tab.Rows)
+	}
+	if tab.Rows[0][2] != "1.000" {
+		t.Errorf("TH accesses/search = %s, want 1.000", tab.Rows[0][2])
+	}
+	if tab.Rows[1][2] != "2.000" {
+		t.Errorf("MLTH accesses/search = %s, want 2.000", tab.Rows[1][2])
+	}
+	if tab.Rows[2][2] <= tab.Rows[1][2] {
+		t.Errorf("B-tree accesses/search %s not above MLTH's %s", tab.Rows[2][2], tab.Rows[1][2])
+	}
+}
+
+// coreMiddleBasic and coreMiddleTHCL are the Fig 10 comparison configs.
+func coreMiddleBasic(b int) core.Config {
+	return core.Config{Capacity: b, SplitPos: b/2 + 1}
+}
+
+func coreMiddleTHCL(b int) core.Config {
+	return core.Config{Capacity: b, Mode: trie.ModeTHCL, SplitPos: b/2 + 1}
+}
+
+// TestSec23Claims pins the positioning experiment: equal load and search
+// cost, an order-of-magnitude range-query gap.
+func TestSec23Claims(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	tab := Sec23Positioning()
+	if len(tab.Rows) != 3 {
+		t.Fatalf("rows: %v", tab.Rows)
+	}
+	if tab.Rows[1][1] != "1.000" || tab.Rows[1][2] != "1.000" {
+		t.Errorf("search cost row: %v", tab.Rows[1])
+	}
+	var th, lh float64
+	fmt.Sscanf(tab.Rows[2][1], "%f", &th)
+	fmt.Sscanf(tab.Rows[2][2], "%f", &lh)
+	if lh < 5*th {
+		t.Errorf("range gap too small: trie %v vs linear hashing %v", th, lh)
+	}
+}
+
+// TestExtClaims pins the extension experiments' headline numbers.
+func TestExtClaims(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	mlth := ExtMultilevelTHCL()
+	if mlth.Rows[0][1] != "1.000" {
+		t.Errorf("multilevel compact load: %v", mlth.Rows[0])
+	}
+	for _, row := range mlth.Rows {
+		if row[5] != "2.000" {
+			t.Errorf("multilevel access cost: %v", row)
+		}
+	}
+
+	dict := ExtDictionary()
+	for _, row := range dict.Rows {
+		var load, s float64
+		fmt.Sscanf(row[3], "%f", &load)
+		fmt.Sscanf(row[5], "%f", &s)
+		if load < 0.6 || load > 0.75 {
+			t.Errorf("dictionary load out of band: %v", row)
+		}
+		if s < 0.95 || s > 1.2 {
+			t.Errorf("dictionary growth rate out of band: %v", row)
+		}
+	}
+}

@@ -1,0 +1,269 @@
+package bench
+
+import (
+	"fmt"
+
+	"triehash/internal/core"
+	"triehash/internal/keys"
+	"triehash/internal/mlth"
+	"triehash/internal/store"
+	"triehash/internal/trie"
+	"triehash/internal/workload"
+)
+
+// mustFile builds a fresh in-memory file and loads keys into it.
+func mustFile(cfg core.Config, ks []string) *core.File {
+	f, err := core.New(cfg, store.NewMem())
+	if err != nil {
+		panic(err)
+	}
+	for _, k := range ks {
+		if _, err := f.Put(k, nil); err != nil {
+			panic(fmt.Sprintf("loading %q: %v", k, err))
+		}
+	}
+	return f
+}
+
+// Fig1Example rebuilds the paper's Fig 1/Fig 2 example: the 31 most used
+// English words, bucket capacity 4, split position 3, basic method. The
+// table lists every bucket with its logical path and contents.
+func Fig1Example() *Table {
+	f := mustFile(core.Config{Capacity: 4, SplitPos: 3}, workload.KnuthWords)
+	t := &Table{
+		ID:      "fig1",
+		Title:   "Example file (31 Knuth words, b=4, m=3, basic TH)",
+		Headers: []string{"logical path", "bucket", "keys"},
+	}
+	last := int32(-1)
+	for _, lp := range f.Trie().InorderLeaves() {
+		path := string(lp.Path)
+		if path == "" {
+			path = "."
+		}
+		if lp.Leaf.IsNil() {
+			t.AddRow(path, "nil", "")
+			continue
+		}
+		addr := lp.Leaf.Addr()
+		if addr == last {
+			continue
+		}
+		last = addr
+		b, err := f.Store().Read(addr)
+		if err != nil {
+			panic(err)
+		}
+		t.AddRow(path, addr, fmt.Sprint(b.Keys()))
+	}
+	st := f.Stats()
+	t.Note("trie: %s", f.Trie().String())
+	t.Note("stats: %v", st)
+	t.Note("paper: 11 buckets, trie with one cell per split, load 50-90%%")
+	return t
+}
+
+// Fig3Split reproduces the paper's Fig 3: inserting 'hat' into the Fig 1
+// file overflows the bucket holding {had, have, he, her}; the split key is
+// 'have', the split string 'ha', and the trie grows by the single node
+// (a,1).
+func Fig3Split() *Table {
+	f := mustFile(core.Config{Capacity: 4, SplitPos: 3}, workload.KnuthWords)
+	before := f.Stats()
+	res := f.Trie().Search("have")
+	t := &Table{
+		ID:      "fig3",
+		Title:   "Bucket split on inserting 'hat' (Fig 3)",
+		Headers: []string{"stage", "bucket of 'have'", "logical path", "trie cells"},
+	}
+	t.AddRow("before", res.Leaf, string(res.Path), before.TrieCells)
+	s := keys.ASCII.SplitString("have", "he")
+	t.Note("split key 'have' vs bounding key 'he' -> split string %q (paper: 'ha')", s)
+	if _, err := f.Put("hat", nil); err != nil {
+		panic(err)
+	}
+	after := f.Stats()
+	res2 := f.Trie().Search("have")
+	t.AddRow("after", res2.Leaf, string(res2.Path), after.TrieCells)
+	resHe := f.Trie().Search("he")
+	t.AddRow("after ('he')", resHe.Leaf, string(resHe.Path), after.TrieCells)
+	t.Note("cells added: %d (paper: 1, the node (a,1))", after.TrieCells-before.TrieCells)
+	if err := f.CheckInvariants(); err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// Fig4TrieSplit reproduces the paper's Fig 4: loading the Fig 1 file with
+// page capacity b' = 9 forces a trie split into a two-level hierarchy.
+func Fig4TrieSplit() *Table {
+	st := store.NewMem()
+	f, err := mlth.New(mlth.Config{Capacity: 4, PageCapacity: 9, SplitPos: 3}, st)
+	if err != nil {
+		panic(err)
+	}
+	t := &Table{
+		ID:      "fig4",
+		Title:   "Trie split into pages, b'=9 (Fig 4)",
+		Headers: []string{"word #", "levels", "pages", "page splits"},
+	}
+	for i, w := range workload.KnuthWords {
+		if _, err := f.Put(w, nil); err != nil {
+			panic(err)
+		}
+		if i == 0 || f.PageSplits() > 0 && f.Levels() == 2 && len(t.Rows) < 2 {
+			t.AddRow(i+1, f.Levels(), f.Pages(), f.PageSplits())
+		}
+	}
+	t.AddRow(len(workload.KnuthWords), f.Levels(), f.Pages(), f.PageSplits())
+	for pid := int32(0); pid < int32(f.Pages()); pid++ {
+		t.Note("page %d: %s", pid, f.PageTrie(pid).String())
+	}
+	t.Note("paper: the split creates a root page with one cell over two subtrie pages")
+	if err := f.CheckInvariants(); err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// fig5Keys is the paper's Fig 5/6/7 ascending example neighbourhood.
+var fig5Keys = []string{"oshd", "osmb", "oszb", "oszh", "oszr"}
+
+// Fig5AscendingBasic reproduces Fig 5: with m = b the split under expected
+// ascending insertions leaves the bucket full but creates nil nodes, so
+// intermediate buckets stay underloaded and a=100% cannot be attained.
+func Fig5AscendingBasic() *Table {
+	f := mustFile(core.Config{Capacity: 4, SplitPos: 4}, fig5Keys)
+	t := &Table{
+		ID:      "fig5",
+		Title:   "Basic TH, ascending, m=b: nil nodes cap the load (Fig 5)",
+		Headers: []string{"event", "buckets", "nil leaves", "load"},
+	}
+	st := f.Stats()
+	t.AddRow("after split on 'oszr'", st.Buckets, st.NilLeaves, st.Load)
+	// 'ota' goes to a nil node and allocates a bucket; bucket 1 is not
+	// yet full and never receives another ascending key.
+	if _, err := f.Put("ota", nil); err != nil {
+		panic(err)
+	}
+	st = f.Stats()
+	t.AddRow("after 'ota' (nil alloc)", st.Buckets, st.NilLeaves, st.Load)
+	for _, k := range []string{"otd", "oth", "otm", "ott", "ova", "ovf"} {
+		if _, err := f.Put(k, nil); err != nil {
+			panic(err)
+		}
+	}
+	st = f.Stats()
+	t.AddRow("after more ascending keys", st.Buckets, st.NilLeaves, st.Load)
+	t.Note("trie: %s", f.Trie().String())
+	t.Note("paper: bucket 1 stays underloaded; a_a = 100%% cannot be attained")
+	return t
+}
+
+// Fig6DescendingBasic reproduces Fig 6: even with m = 1 the partial split
+// randomness keeps keys like 'orba','orbf' in the bucket, so descending
+// insertions cannot reach 100% either.
+func Fig6DescendingBasic() *Table {
+	// Descending arrivals; the fifth key 'orba' overflows the bucket.
+	// The split key is 'orba' (m=1) and the bounding key 'oszr', so the
+	// split string is "or" and 'orbf' randomly stays behind — exactly
+	// the paper's example.
+	ks := []string{"oszr", "oszh", "osca", "orbf", "orba"}
+	f := mustFile(core.Config{Capacity: 4, SplitPos: 1}, ks)
+	t := &Table{
+		ID:      "fig6",
+		Title:   "Basic TH, descending, m=1: split randomness (Fig 6)",
+		Headers: []string{"bucket", "keys", "load"},
+	}
+	seen := map[int32]bool{}
+	for _, lp := range f.Trie().InorderLeaves() {
+		if lp.Leaf.IsNil() || seen[lp.Leaf.Addr()] {
+			continue
+		}
+		seen[lp.Leaf.Addr()] = true
+		b, err := f.Store().Read(lp.Leaf.Addr())
+		if err != nil {
+			panic(err)
+		}
+		t.AddRow(lp.Leaf.Addr(), fmt.Sprint(b.Keys()), float64(b.Len())/4)
+	}
+	t.Note("trie: %s", f.Trie().String())
+	t.Note("paper: two keys (orba, orbf) remain with the split key; bucket 1 is not fully loaded")
+	return t
+}
+
+// Fig7NoNilNodes reproduces Fig 7: the THCL split of the Fig 5 scenario
+// points every right leaf at the new bucket, so 'ota' and successors keep
+// filling bucket 1 instead of allocating underloaded buckets.
+func Fig7NoNilNodes() *Table {
+	f := mustFile(core.Config{Capacity: 4, Mode: trie.ModeTHCL, SplitPos: 4}, fig5Keys)
+	t := &Table{
+		ID:      "fig7",
+		Title:   "THCL split without nil nodes (Fig 7)",
+		Headers: []string{"event", "buckets", "bucket-1 leaves", "load"},
+	}
+	st := f.Stats()
+	t.AddRow("after split on 'oszr'", st.Buckets, f.Trie().LeafCount(1), st.Load)
+	for _, k := range []string{"ota", "otd", "ovm"} {
+		if _, err := f.Put(k, nil); err != nil {
+			panic(err)
+		}
+	}
+	st = f.Stats()
+	t.AddRow("after ota..ovm", st.Buckets, f.Trie().LeafCount(1), st.Load)
+	t.Note("trie: %s", f.Trie().String())
+	t.Note("nil leaves: %d (paper: none; all right leaves carry address 1)", st.NilLeaves)
+	return t
+}
+
+// Fig8ControlledSplit reproduces Fig 8: descending insertions with the
+// bounding key at m+1. With m = 3 (b = 4) exactly two keys move per split
+// (a_d = 50%); with m = 1 four keys move (a_d = 100%).
+func Fig8ControlledSplit() *Table {
+	n := 800
+	ks := workload.Descending(workload.Uniform(81, n, 3, 8))
+	t := &Table{
+		ID:      "fig8",
+		Title:   "THCL controlled splitting for descending insertions (Fig 8)",
+		Headers: []string{"m", "bound pos", "keys moved/split", "load"},
+	}
+	for _, m := range []int{3, 1} {
+		f := mustFile(core.Config{Capacity: 4, Mode: trie.ModeTHCL, SplitPos: m, BoundPos: m + 1}, ks)
+		st := f.Stats()
+		t.AddRow(m, m+1, 5-m, st.Load)
+	}
+	t.Note("paper: m=3 guarantees a_d = 50%%; m=1 reaches a_d = 100%%")
+	return t
+}
+
+// Fig9Redistribution reproduces Fig 9: a redistribution tuned for maximal
+// load moves only the top key into the successor; the boundary may
+// coincide with an existing leaf bound, leaving a node whose both leaves
+// carry the same bucket — the trie may shrink instead of growing.
+func Fig9Redistribution() *Table {
+	n := 1200
+	ks := workload.Ascending(workload.Uniform(91, n, 3, 8))
+	plain := mustFile(core.Config{Capacity: 10, Mode: trie.ModeTHCL}, ks)
+	redist := mustFile(core.Config{
+		Capacity: 10, Mode: trie.ModeTHCL,
+		Redistribution: core.RedistPredecessor,
+	}, ks)
+	collapse := mustFile(core.Config{
+		Capacity: 10, Mode: trie.ModeTHCL,
+		Redistribution: core.RedistPredecessor, CollapseOnMerge: true,
+	}, ks)
+	t := &Table{
+		ID:      "fig9",
+		Title:   "Redistribution: load up, trie growth down (Fig 9)",
+		Headers: []string{"variant", "load", "trie cells", "redistributions"},
+	}
+	for _, row := range []struct {
+		name string
+		f    *core.File
+	}{{"no redistribution", plain}, {"redistribute", redist}, {"redistribute+collapse", collapse}} {
+		st := row.f.Stats()
+		t.AddRow(row.name, st.Load, st.TrieCells, row.f.Redistributions())
+	}
+	t.Note("paper: redistribution may leave the trie unchanged or even shrink it (node suppression)")
+	return t
+}

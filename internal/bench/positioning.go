@@ -1,0 +1,117 @@
+package bench
+
+import (
+	"triehash/internal/core"
+	"triehash/internal/linhash"
+	"triehash/internal/mlth"
+	"triehash/internal/store"
+	"triehash/internal/trie"
+	"triehash/internal/workload"
+)
+
+// Sec23Positioning quantifies Section 2.3's placement of trie hashing
+// "somewhere between tree based methods and usual dynamic hashing
+// methods": against linear hashing (/LIT80/, the canonical dynamic
+// hashing scheme) TH matches the load factor and the ~1-access search,
+// but keeps the key order — a range query costs one read per qualifying
+// bucket instead of a scan of the whole table.
+func Sec23Positioning() *Table {
+	ks := workload.Uniform(23, 8000, 3, 10)
+	sorted := workload.Ascending(ks)
+	t := &Table{
+		ID:      "sec23-positioning",
+		Title:   "TH vs linear hashing: order support at equal hash-like cost (Sec 2.3)",
+		Headers: []string{"metric", "trie hashing", "linear hashing"},
+	}
+
+	th := mustFile(core.Config{Capacity: 20}, ks)
+	lh, err := linhash.New(linhash.Config{Capacity: 20, MaxLoad: 0.7})
+	if err != nil {
+		panic(err)
+	}
+	for _, k := range ks {
+		if err := lh.Put(k, nil); err != nil {
+			panic(err)
+		}
+	}
+
+	sth := th.Stats()
+	t.AddRow("load factor", sth.Load, lh.Load())
+
+	// Successful searches.
+	th.Store().ResetCounters()
+	lh.ResetAccesses()
+	for _, k := range ks[:2000] {
+		if _, err := th.Get(k); err != nil {
+			panic(err)
+		}
+		if _, err := lh.Get(k); err != nil {
+			panic(err)
+		}
+	}
+	t.AddRow("accesses / search",
+		float64(th.Store().Counters().Reads)/2000,
+		float64(lh.Accesses())/2000)
+
+	// A 500-key range: ordered file vs order-destroying hash.
+	lo, hi := sorted[4000], sorted[4500]
+	th.Store().ResetCounters()
+	lh.ResetAccesses()
+	nTH, nLH := 0, 0
+	if err := th.Range(lo, hi, func(string, []byte) bool { nTH++; return true }); err != nil {
+		panic(err)
+	}
+	lh.Range(lo, hi, func(string, []byte) bool { nLH++; return true })
+	if nTH != nLH || nTH != 501 {
+		panic("range disagreement between the two methods")
+	}
+	t.AddRow("accesses / 500-key range",
+		float64(th.Store().Counters().Reads),
+		float64(lh.Accesses()))
+	t.Note("linear hashing must touch every page of the table for any range; trie hashing reads only the qualifying buckets")
+	t.Note("paper (Sec 2.3): TH splits are partly random — between a B-tree's determinism and dynamic hashing's full randomness")
+	return t
+}
+
+// ExtMultilevelTHCL measures the extension the paper's conclusion calls
+// for — the controlled-load variant under the multilevel scheme: compact
+// 100% files whose trie is paged, still served at two accesses per search.
+func ExtMultilevelTHCL() *Table {
+	ks := workload.Ascending(workload.Uniform(66, 8000, 3, 10))
+	t := &Table{
+		ID:      "ext-mlth-thcl",
+		Title:   "THCL under MLTH (the paper's stated future work)",
+		Headers: []string{"d", "load", "levels", "pages", "cells", "accesses/search"},
+	}
+	b := 20
+	for _, d := range []int{0, 2, b / 2} {
+		f, err := mlth.New(mlth.Config{
+			Capacity: b, PageCapacity: 64,
+			Mode: trie.ModeTHCL, SplitPos: b - d,
+		}, store.NewMem())
+		if err != nil {
+			panic(err)
+		}
+		for _, k := range ks {
+			if _, err := f.Put(k, nil); err != nil {
+				panic(err)
+			}
+		}
+		f.ResetPageReads()
+		f.Store().ResetCounters()
+		probes := ks[:1000]
+		for _, k := range probes {
+			if _, err := f.Get(k); err != nil {
+				panic(err)
+			}
+		}
+		st := f.Stats()
+		perSearch := float64(st.PageReads+f.Store().Counters().Reads) / float64(len(probes))
+		t.AddRow(d, st.Load, st.Levels, st.Pages, st.TrieCells, perSearch)
+		if err := f.CheckInvariants(); err != nil {
+			panic(err)
+		}
+	}
+	t.Note("d=0 reproduces the compact 100%% load with the trie paged out of main memory")
+	return t
+}

@@ -1,0 +1,140 @@
+package bench
+
+import (
+	"triehash/internal/core"
+	"triehash/internal/trie"
+	"triehash/internal/workload"
+)
+
+// sweepSize is the paper's workload size for Figs 10-11: 5 000 keys
+// randomly drawn, then sorted.
+const sweepSize = 5000
+
+// sweepPoint is one (d, a%, M, N, s) sample of a Fig 10/11 curve.
+type sweepPoint struct {
+	D      int
+	LoadPc float64 // a%
+	M      int     // trie cells
+	N      int     // buckets
+	S      float64 // growth rate M/splits
+}
+
+// runAscendingSweep loads the ascending key set with m = b-d. The
+// bounding key stays the last key of B (the default), exactly as in the
+// paper's Fig 10: shifting only the split key keeps the split's partial
+// randomness, which is what creates the interior minimum of M — at d=0
+// adjacent keys share long prefixes (long split strings, big trie), while
+// larger d shortens the strings but multiplies the splits.
+func runAscendingSweep(ks []string, b int, ds []int) []sweepPoint {
+	out := make([]sweepPoint, 0, len(ds))
+	for _, d := range ds {
+		m := b - d
+		f := mustFile(core.Config{
+			Capacity: b, Mode: trie.ModeTHCL,
+			SplitPos: m,
+		}, ks)
+		st := f.Stats()
+		out = append(out, sweepPoint{D: d, LoadPc: st.Load * 100, M: st.TrieCells, N: st.Buckets, S: st.GrowthRate})
+	}
+	return out
+}
+
+// runDescendingSweep loads the descending key set with m = 1 and the
+// bounding key at position m + 1 + d (Fig 11's d = m”” - m - 1).
+func runDescendingSweep(ks []string, b int, ds []int) []sweepPoint {
+	out := make([]sweepPoint, 0, len(ds))
+	for _, d := range ds {
+		bound := 2 + d
+		if bound > b+1 {
+			break
+		}
+		f := mustFile(core.Config{
+			Capacity: b, Mode: trie.ModeTHCL,
+			SplitPos: 1, BoundPos: bound,
+		}, ks)
+		st := f.Stats()
+		out = append(out, sweepPoint{D: d, LoadPc: st.Load * 100, M: st.TrieCells, N: st.Buckets, S: st.GrowthRate})
+	}
+	return out
+}
+
+// ascendingDs returns the d values swept for bucket capacity b: far enough
+// past the middle split position that the interior minimum of M and the
+// rebound behind it are both visible.
+func ascendingDs(b int) []int {
+	var ds []int
+	for d := 0; d <= (3*b)/4 && d < b; d++ {
+		ds = append(ds, d)
+	}
+	return ds
+}
+
+// Fig10Ascending regenerates Fig 10: load factor a%, trie size M and file
+// size N under ascending insertions of 5 000 randomly drawn keys, sweeping
+// d = b - m for b in {10, 20, 50}. The basic method at the middle split
+// position is included for the paper's final comparison point.
+func Fig10Ascending() *Table {
+	ks := workload.Ascending(workload.Uniform(10, sweepSize, 3, 10))
+	t := &Table{
+		ID:      "fig10",
+		Title:   "THCL ascending insertions, 5000 sorted random keys (Fig 10)",
+		Headers: []string{"b", "d", "m", "a%", "M", "N", "s"},
+	}
+	for _, b := range []int{10, 20, 50} {
+		pts := runAscendingSweep(ks, b, ascendingDs(b))
+		for _, p := range pts {
+			t.AddRow(b, p.D, b-p.D, p.LoadPc, p.M, p.N, p.S)
+		}
+		m0 := pts[0].M
+		minM, minD := m0, 0
+		for _, p := range pts {
+			if p.M < minM {
+				minM, minD = p.M, p.D
+			}
+		}
+		t.Note("b=%d: a(d=0)=%.1f%%, peak M=%d, min M=%d at d=%d (%.0f%% saving)",
+			b, pts[0].LoadPc, m0, minM, minD, 100*(1-float64(minM)/float64(m0)))
+		// The paper's comparison: basic TH at the middle split position
+		// has a ~20% smaller trie and slightly higher load than THCL at
+		// the same position.
+		basic := mustFile(core.Config{Capacity: b, SplitPos: b/2 + 1}, ks)
+		thclMid := mustFile(core.Config{
+			Capacity: b, Mode: trie.ModeTHCL,
+			SplitPos: b/2 + 1,
+		}, ks)
+		sb, sc := basic.Stats(), thclMid.Stats()
+		t.Note("b=%d middle split: basic TH M=%d a=%.1f%% vs THCL M=%d a=%.1f%%",
+			b, sb.TrieCells, sb.Load*100, sc.TrieCells, sc.Load*100)
+	}
+	t.Note("paper: a=100%% at d=0; M has an interior minimum; >30%% M saving with a>90%%; s=1.25-1.6 at the minimum")
+	return t
+}
+
+// Fig11Descending regenerates Fig 11: the same workload sorted descending,
+// m = 1, sweeping the bounding key position.
+func Fig11Descending() *Table {
+	ks := workload.Descending(workload.Uniform(10, sweepSize, 3, 10))
+	t := &Table{
+		ID:      "fig11",
+		Title:   "THCL descending insertions, 5000 sorted random keys (Fig 11)",
+		Headers: []string{"b", "d", "bound pos", "a%", "M", "N", "s"},
+	}
+	for _, b := range []int{10, 20, 50} {
+		pts := runDescendingSweep(ks, b, ascendingDs(b))
+		for _, p := range pts {
+			t.AddRow(b, p.D, p.D+2, p.LoadPc, p.M, p.N, p.S)
+		}
+		m0 := pts[0].M
+		flatAt := -1
+		for i := 1; i < len(pts); i++ {
+			if float64(pts[i].M) <= 0.72*float64(m0) {
+				flatAt = pts[i].D
+				break
+			}
+		}
+		t.Note("b=%d: a(d=0)=%.1f%%, M(d=0)=%d, ~30%% saving reached at d=%d",
+			b, pts[0].LoadPc, m0, flatAt)
+	}
+	t.Note("paper: no interior minimum of M; ~30%% saving at small d then flat; a_d stays over 90%%; s=1.2-1.5")
+	return t
+}

@@ -1,0 +1,478 @@
+// Package btree implements the B⁺-tree baseline the paper compares trie
+// hashing against (Sections 3 and 5): leaves hold the records, internal
+// nodes hold separator keys, and the leaf split position is configurable so
+// the compact loading of /ROS81/ (100% for sorted insertions with the split
+// key at the top) and the classic 50% middle split can both be measured.
+// Optional redistribution shifts keys into siblings before splitting,
+// reproducing the ~87% random-insertion load of /KNU73/.
+//
+// The tree counts node visits, which is the B-tree's disk-access currency
+// in the paper's comparison (every node is a page).
+package btree
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Config parameterizes the tree.
+type Config struct {
+	// LeafCapacity is the number of records a leaf holds (the paper's
+	// bucket capacity b). Minimum 2.
+	LeafCapacity int
+	// BranchFanout is the maximum number of children of an internal
+	// node. Minimum 3.
+	BranchFanout int
+	// SplitPos is the number of records kept in the left leaf when a
+	// leaf of b+1 records splits; 0 selects the middle (b+1)/2.
+	// LeafCapacity gives the compact B-tree of /ROS81/ for ascending
+	// insertions; 1 for descending ones.
+	SplitPos int
+	// Redistribute makes overflowing leaves shift records into a
+	// sibling with room before splitting.
+	Redistribute bool
+	// PtrBytes is the pointer size used for branch-space accounting
+	// (the paper assumes 2-4 bytes; default 4).
+	PtrBytes int
+	// PrefixSeparators promotes the shortest separating prefix instead
+	// of a full key on leaf splits — the simple prefix B-tree of
+	// /BAY77/ that Section 5 of the paper names as the B-tree's
+	// space-optimized variant.
+	PrefixSeparators bool
+}
+
+// shortestSeparator returns the shortest prefix of hi that is strictly
+// greater than lo; keys below it route left, keys at or above it right.
+func shortestSeparator(lo, hi string) string {
+	for l := 1; l <= len(hi); l++ {
+		if hi[:l] > lo {
+			return hi[:l]
+		}
+	}
+	return hi
+}
+
+func (cfg Config) withDefaults() (Config, error) {
+	if cfg.LeafCapacity < 2 {
+		return cfg, fmt.Errorf("btree: leaf capacity %d; need at least 2", cfg.LeafCapacity)
+	}
+	if cfg.BranchFanout == 0 {
+		cfg.BranchFanout = cfg.LeafCapacity + 1
+	}
+	if cfg.BranchFanout < 3 {
+		return cfg, fmt.Errorf("btree: branch fanout %d; need at least 3", cfg.BranchFanout)
+	}
+	if cfg.SplitPos == 0 {
+		cfg.SplitPos = (cfg.LeafCapacity + 1) / 2
+	}
+	if cfg.SplitPos < 1 || cfg.SplitPos > cfg.LeafCapacity {
+		return cfg, fmt.Errorf("btree: split position %d outside [1, %d]", cfg.SplitPos, cfg.LeafCapacity)
+	}
+	if cfg.PtrBytes == 0 {
+		cfg.PtrBytes = 4
+	}
+	return cfg, nil
+}
+
+type node struct {
+	leaf bool
+	// keys: record keys (leaf) or separators (branch); child i holds
+	// keys <= keys[i] ... actually keys < keys[i] go to child i, keys
+	// >= keys[i] to child i+1 (separator = smallest key of the right
+	// subtree).
+	keys []string
+	vals [][]byte // leaf only
+	kids []*node  // branch only; len(kids) == len(keys)+1
+	next *node    // leaf chain
+}
+
+// Tree is a B⁺-tree.
+type Tree struct {
+	cfg    Config
+	root   *node
+	height int // nodes on a root-to-leaf path
+	nkeys  int
+	leaves int
+	// splits and redistributions mirror the trie-hash file counters.
+	splits          int
+	redistributions int
+	// accesses counts node visits (reads and writes both land on
+	// visited nodes; one visit = one page transfer in the paper's
+	// model).
+	accesses int64
+}
+
+// New returns an empty tree.
+func New(cfg Config) (*Tree, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	return &Tree{
+		cfg:    cfg,
+		root:   &node{leaf: true},
+		height: 1,
+		leaves: 1,
+	}, nil
+}
+
+// Len returns the number of records.
+func (t *Tree) Len() int { return t.nkeys }
+
+// Height returns the number of node levels.
+func (t *Tree) Height() int { return t.height }
+
+// Leaves returns the number of leaf nodes.
+func (t *Tree) Leaves() int { return t.leaves }
+
+// Splits returns the number of leaf splits (redistributions included).
+func (t *Tree) Splits() int { return t.splits }
+
+// Redistributions returns the number of overflows resolved by shifting.
+func (t *Tree) Redistributions() int { return t.redistributions }
+
+// Accesses returns the accumulated node-visit count.
+func (t *Tree) Accesses() int64 { return t.accesses }
+
+// ResetAccesses zeroes the node-visit counter.
+func (t *Tree) ResetAccesses() { t.accesses = 0 }
+
+// leafFor descends to the leaf owning key, recording the path when path is
+// non-nil (entries are (node, child index) pairs ending at the leaf).
+func (t *Tree) leafFor(key string, path *[]pathEntry) *node {
+	n := t.root
+	for !n.leaf {
+		t.accesses++
+		i := sort.Search(len(n.keys), func(i int) bool { return key < n.keys[i] })
+		if path != nil {
+			*path = append(*path, pathEntry{n, i})
+		}
+		n = n.kids[i]
+	}
+	t.accesses++
+	return n
+}
+
+type pathEntry struct {
+	n   *node
+	idx int
+}
+
+// Get returns the value stored under key.
+func (t *Tree) Get(key string) ([]byte, bool) {
+	n := t.leafFor(key, nil)
+	i := sort.SearchStrings(n.keys, key)
+	if i < len(n.keys) && n.keys[i] == key {
+		return n.vals[i], true
+	}
+	return nil, false
+}
+
+// Put inserts or replaces the record for key and reports whether an
+// existing record was replaced.
+func (t *Tree) Put(key string, value []byte) bool {
+	var path []pathEntry
+	n := t.leafFor(key, &path)
+	i := sort.SearchStrings(n.keys, key)
+	if i < len(n.keys) && n.keys[i] == key {
+		n.vals[i] = value
+		return true
+	}
+	n.keys = append(n.keys, "")
+	n.vals = append(n.vals, nil)
+	copy(n.keys[i+1:], n.keys[i:])
+	copy(n.vals[i+1:], n.vals[i:])
+	n.keys[i] = key
+	n.vals[i] = value
+	t.nkeys++
+	if len(n.keys) > t.cfg.LeafCapacity {
+		t.overflow(n, path)
+	}
+	return false
+}
+
+// overflow resolves a leaf holding LeafCapacity+1 records.
+func (t *Tree) overflow(n *node, path []pathEntry) {
+	if t.cfg.Redistribute && t.shiftToSibling(n, path) {
+		t.splits++
+		t.redistributions++
+		return
+	}
+	t.splitLeaf(n, path)
+	t.splits++
+}
+
+// shiftToSibling moves records into the left or right sibling leaf when
+// one has room, updating the separator. Reports success.
+func (t *Tree) shiftToSibling(n *node, path []pathEntry) bool {
+	if len(path) == 0 {
+		return false
+	}
+	parent := path[len(path)-1]
+	p, idx := parent.n, parent.idx
+	// Right sibling first: shift the top records over.
+	if idx+1 < len(p.kids) {
+		r := p.kids[idx+1]
+		if free := t.cfg.LeafCapacity - len(r.keys); free >= 1 {
+			total := len(n.keys) + len(r.keys)
+			move := len(n.keys) - (total+1)/2
+			if move < 1 {
+				move = 1
+			}
+			if move > free {
+				move = free
+			}
+			cut := len(n.keys) - move
+			r.keys = append(append([]string(nil), n.keys[cut:]...), r.keys...)
+			r.vals = append(append([][]byte(nil), n.vals[cut:]...), r.vals...)
+			n.keys = n.keys[:cut]
+			n.vals = n.vals[:cut]
+			p.keys[idx] = r.keys[0]
+			t.accesses += 3 // sibling read + two writes
+			return true
+		}
+	}
+	if idx > 0 {
+		l := p.kids[idx-1]
+		if free := t.cfg.LeafCapacity - len(l.keys); free >= 1 {
+			total := len(n.keys) + len(l.keys)
+			move := len(n.keys) - (total+1)/2
+			if move < 1 {
+				move = 1
+			}
+			if move > free {
+				move = free
+			}
+			l.keys = append(l.keys, n.keys[:move]...)
+			l.vals = append(l.vals, n.vals[:move]...)
+			n.keys = append([]string(nil), n.keys[move:]...)
+			n.vals = append([][]byte(nil), n.vals[move:]...)
+			p.keys[idx-1] = n.keys[0]
+			t.accesses += 3
+			return true
+		}
+	}
+	return false
+}
+
+// splitLeaf splits n at the configured position and inserts the separator
+// into the parent chain.
+func (t *Tree) splitLeaf(n *node, path []pathEntry) {
+	keep := t.cfg.SplitPos
+	if keep >= len(n.keys) {
+		keep = len(n.keys) - 1
+	}
+	r := &node{
+		leaf: true,
+		keys: append([]string(nil), n.keys[keep:]...),
+		vals: append([][]byte(nil), n.vals[keep:]...),
+		next: n.next,
+	}
+	n.keys = n.keys[:keep]
+	n.vals = n.vals[:keep]
+	n.next = r
+	t.leaves++
+	t.accesses += 2 // both halves written
+	sep := r.keys[0]
+	if t.cfg.PrefixSeparators {
+		sep = shortestSeparator(n.keys[len(n.keys)-1], r.keys[0])
+	}
+	t.insertIntoParent(n, sep, r, path)
+}
+
+// insertIntoParent links the new right node under n's parent, splitting
+// branches upward as needed.
+func (t *Tree) insertIntoParent(left *node, sep string, right *node, path []pathEntry) {
+	if len(path) == 0 {
+		t.root = &node{keys: []string{sep}, kids: []*node{left, right}}
+		t.height++
+		t.accesses++
+		return
+	}
+	parent := path[len(path)-1]
+	p, idx := parent.n, parent.idx
+	p.keys = append(p.keys, "")
+	p.kids = append(p.kids, nil)
+	copy(p.keys[idx+1:], p.keys[idx:])
+	copy(p.kids[idx+2:], p.kids[idx+1:])
+	p.keys[idx] = sep
+	p.kids[idx+1] = right
+	t.accesses++
+	if len(p.kids) <= t.cfg.BranchFanout {
+		return
+	}
+	// Branch split: middle key moves up.
+	mid := len(p.keys) / 2
+	upKey := p.keys[mid]
+	r := &node{
+		keys: append([]string(nil), p.keys[mid+1:]...),
+		kids: append([]*node(nil), p.kids[mid+1:]...),
+	}
+	p.keys = p.keys[:mid]
+	p.kids = p.kids[:mid+1]
+	t.accesses += 2
+	t.insertIntoParent(p, upKey, r, path[:len(path)-1])
+}
+
+// Delete removes the record for key and rebalances, reporting whether the
+// key existed.
+func (t *Tree) Delete(key string) bool {
+	var path []pathEntry
+	n := t.leafFor(key, &path)
+	i := sort.SearchStrings(n.keys, key)
+	if i >= len(n.keys) || n.keys[i] != key {
+		return false
+	}
+	copy(n.keys[i:], n.keys[i+1:])
+	copy(n.vals[i:], n.vals[i+1:])
+	n.keys = n.keys[:len(n.keys)-1]
+	n.vals = n.vals[:len(n.vals)-1]
+	t.nkeys--
+	t.accesses++
+	t.rebalanceLeaf(n, path)
+	return true
+}
+
+func (t *Tree) minLeafKeys() int { return (t.cfg.LeafCapacity + 1) / 2 }
+
+func (t *Tree) rebalanceLeaf(n *node, path []pathEntry) {
+	if len(n.keys) >= t.minLeafKeys() || len(path) == 0 {
+		return
+	}
+	parent := path[len(path)-1]
+	p, idx := parent.n, parent.idx
+	// Borrow from a sibling with spare records.
+	if idx+1 < len(p.kids) {
+		r := p.kids[idx+1]
+		if len(r.keys) > t.minLeafKeys() {
+			move := (len(r.keys) - len(n.keys)) / 2
+			if move < 1 {
+				move = 1
+			}
+			n.keys = append(n.keys, r.keys[:move]...)
+			n.vals = append(n.vals, r.vals[:move]...)
+			r.keys = append([]string(nil), r.keys[move:]...)
+			r.vals = append([][]byte(nil), r.vals[move:]...)
+			p.keys[idx] = r.keys[0]
+			t.accesses += 3
+			return
+		}
+	}
+	if idx > 0 {
+		l := p.kids[idx-1]
+		if len(l.keys) > t.minLeafKeys() {
+			move := (len(l.keys) - len(n.keys)) / 2
+			if move < 1 {
+				move = 1
+			}
+			cut := len(l.keys) - move
+			n.keys = append(append([]string(nil), l.keys[cut:]...), n.keys...)
+			n.vals = append(append([][]byte(nil), l.vals[cut:]...), n.vals...)
+			l.keys = l.keys[:cut]
+			l.vals = l.vals[:cut]
+			p.keys[idx-1] = n.keys[0]
+			t.accesses += 3
+			return
+		}
+	}
+	// Merge with a sibling.
+	if idx+1 < len(p.kids) {
+		t.mergeLeaves(p, idx, path)
+	} else if idx > 0 {
+		t.mergeLeaves(p, idx-1, path)
+	}
+}
+
+// mergeLeaves merges p.kids[i+1] into p.kids[i] and removes separator i.
+func (t *Tree) mergeLeaves(p *node, i int, path []pathEntry) {
+	l, r := p.kids[i], p.kids[i+1]
+	l.keys = append(l.keys, r.keys...)
+	l.vals = append(l.vals, r.vals...)
+	l.next = r.next
+	copy(p.keys[i:], p.keys[i+1:])
+	copy(p.kids[i+1:], p.kids[i+2:])
+	p.keys = p.keys[:len(p.keys)-1]
+	p.kids = p.kids[:len(p.kids)-1]
+	t.leaves--
+	t.accesses += 2
+	t.rebalanceBranch(p, path[:len(path)-1])
+}
+
+func (t *Tree) minKids() int { return (t.cfg.BranchFanout + 1) / 2 }
+
+func (t *Tree) rebalanceBranch(n *node, path []pathEntry) {
+	if n == t.root {
+		if len(n.kids) == 1 {
+			t.root = n.kids[0]
+			t.height--
+		}
+		return
+	}
+	if len(n.kids) >= t.minKids() {
+		return
+	}
+	parent := path[len(path)-1]
+	p, idx := parent.n, parent.idx
+	if idx+1 < len(p.kids) {
+		r := p.kids[idx+1]
+		if len(r.kids) > t.minKids() {
+			// Rotate leftward through the parent separator.
+			n.keys = append(n.keys, p.keys[idx])
+			n.kids = append(n.kids, r.kids[0])
+			p.keys[idx] = r.keys[0]
+			r.keys = append([]string(nil), r.keys[1:]...)
+			r.kids = append([]*node(nil), r.kids[1:]...)
+			t.accesses += 3
+			return
+		}
+	}
+	if idx > 0 {
+		l := p.kids[idx-1]
+		if len(l.kids) > t.minKids() {
+			n.keys = append([]string{p.keys[idx-1]}, n.keys...)
+			n.kids = append([]*node{l.kids[len(l.kids)-1]}, n.kids...)
+			p.keys[idx-1] = l.keys[len(l.keys)-1]
+			l.keys = l.keys[:len(l.keys)-1]
+			l.kids = l.kids[:len(l.kids)-1]
+			t.accesses += 3
+			return
+		}
+	}
+	// Merge branches around a separator.
+	i := idx
+	if i+1 >= len(p.kids) {
+		i = idx - 1
+	}
+	l, r := p.kids[i], p.kids[i+1]
+	l.keys = append(append(l.keys, p.keys[i]), r.keys...)
+	l.kids = append(l.kids, r.kids...)
+	copy(p.keys[i:], p.keys[i+1:])
+	copy(p.kids[i+1:], p.kids[i+2:])
+	p.keys = p.keys[:len(p.keys)-1]
+	p.kids = p.kids[:len(p.kids)-1]
+	t.accesses += 2
+	t.rebalanceBranch(p, path[:len(path)-1])
+}
+
+// Range calls fn for records with from <= key <= to (empty to = no upper
+// bound) in ascending order until fn returns false.
+func (t *Tree) Range(from, to string, fn func(key string, value []byte) bool) {
+	n := t.leafFor(from, nil)
+	for n != nil {
+		for i, k := range n.keys {
+			if k < from {
+				continue
+			}
+			if to != "" && k > to {
+				return
+			}
+			if !fn(k, n.vals[i]) {
+				return
+			}
+		}
+		n = n.next
+		if n != nil {
+			t.accesses++
+		}
+	}
+}

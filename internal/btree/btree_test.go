@@ -1,0 +1,413 @@
+package btree
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func newTree(t *testing.T, cfg Config) *Tree {
+	t.Helper()
+	tr, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func randomKeys(seed int64, n int) []string {
+	rng := rand.New(rand.NewSource(seed))
+	seen := make(map[string]bool, n)
+	out := make([]string, 0, n)
+	for len(out) < n {
+		l := 3 + rng.Intn(8)
+		b := make([]byte, l)
+		for i := range b {
+			b[i] = byte('a' + rng.Intn(26))
+		}
+		k := string(b)
+		if !seen[k] {
+			seen[k] = true
+			out = append(out, k)
+		}
+	}
+	return out
+}
+
+func TestConfigErrors(t *testing.T) {
+	for i, cfg := range []Config{
+		{LeafCapacity: 1},
+		{LeafCapacity: 4, BranchFanout: 2},
+		{LeafCapacity: 4, SplitPos: 5},
+	} {
+		if _, err := New(cfg); err == nil {
+			t.Errorf("config %d accepted", i)
+		}
+	}
+}
+
+func TestBasicOps(t *testing.T) {
+	tr := newTree(t, Config{LeafCapacity: 4})
+	if _, ok := tr.Get("x"); ok {
+		t.Fatal("empty tree claims a key")
+	}
+	if tr.Put("m", []byte("1")) {
+		t.Fatal("first Put replaced")
+	}
+	if !tr.Put("m", []byte("2")) {
+		t.Fatal("second Put did not replace")
+	}
+	if v, ok := tr.Get("m"); !ok || string(v) != "2" {
+		t.Fatalf("Get = %q %v", v, ok)
+	}
+	if !tr.Delete("m") || tr.Delete("m") {
+		t.Fatal("Delete misbehaved")
+	}
+	if tr.Len() != 0 {
+		t.Fatalf("len %d", tr.Len())
+	}
+}
+
+func TestAgainstModel(t *testing.T) {
+	for _, cfg := range []Config{
+		{LeafCapacity: 4},
+		{LeafCapacity: 4, BranchFanout: 3},
+		{LeafCapacity: 8, Redistribute: true},
+		{LeafCapacity: 6, SplitPos: 6},
+		{LeafCapacity: 6, SplitPos: 1},
+	} {
+		cfg := cfg
+		t.Run(fmt.Sprintf("b%d-m%d-r%v", cfg.LeafCapacity, cfg.SplitPos, cfg.Redistribute), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(5))
+			tr := newTree(t, cfg)
+			model := map[string]string{}
+			for step := 0; step < 6000; step++ {
+				k := fmt.Sprintf("k%03d", rng.Intn(800))
+				switch op := rng.Intn(10); {
+				case op < 5:
+					v := fmt.Sprintf("v%d", step)
+					replaced := tr.Put(k, []byte(v))
+					if _, had := model[k]; had != replaced {
+						t.Fatalf("step %d Put(%q): replaced=%v", step, k, replaced)
+					}
+					model[k] = v
+				case op < 8:
+					v, ok := tr.Get(k)
+					want, had := model[k]
+					if ok != had || (ok && string(v) != want) {
+						t.Fatalf("step %d Get(%q) = %q,%v want %q,%v", step, k, v, ok, want, had)
+					}
+				case op < 9:
+					ok := tr.Delete(k)
+					if _, had := model[k]; had != ok {
+						t.Fatalf("step %d Delete(%q) = %v", step, k, ok)
+					}
+					delete(model, k)
+				default:
+					lo := fmt.Sprintf("k%03d", rng.Intn(800))
+					hi := fmt.Sprintf("k%03d", rng.Intn(800))
+					if hi < lo {
+						lo, hi = hi, lo
+					}
+					var got []string
+					tr.Range(lo, hi, func(k string, _ []byte) bool { got = append(got, k); return true })
+					var want []string
+					for mk := range model {
+						if mk >= lo && mk <= hi {
+							want = append(want, mk)
+						}
+					}
+					sort.Strings(want)
+					if fmt.Sprint(got) != fmt.Sprint(want) {
+						t.Fatalf("step %d Range(%q,%q) = %v want %v", step, lo, hi, got, want)
+					}
+				}
+				if step%1000 == 999 {
+					if err := tr.CheckInvariants(); err != nil {
+						t.Fatalf("step %d: %v", step, err)
+					}
+				}
+			}
+			if err := tr.CheckInvariants(); err != nil {
+				t.Fatal(err)
+			}
+			if tr.Len() != len(model) {
+				t.Fatalf("tree %d keys, model %d", tr.Len(), len(model))
+			}
+		})
+	}
+}
+
+// TestSortedLoad50 reproduces the classic result the paper cites: middle
+// splits load a B-tree to 50% under sorted insertions, either direction.
+func TestSortedLoad50(t *testing.T) {
+	keys := randomKeys(1, 2000)
+	sort.Strings(keys)
+	for _, desc := range []bool{false, true} {
+		ks := append([]string(nil), keys...)
+		if desc {
+			sort.Sort(sort.Reverse(sort.StringSlice(ks)))
+		}
+		tr := newTree(t, Config{LeafCapacity: 10})
+		for _, k := range ks {
+			tr.Put(k, nil)
+		}
+		load := tr.Stats().LeafLoad
+		// Splitting b+1 = 11 records 5/6 means one direction's closed
+		// leaves hold the extra record: the classic 50% is approached
+		// from above as b grows.
+		if load < 0.48 || load > 0.62 {
+			t.Errorf("desc=%v: sorted load %.3f, want ~0.5", desc, load)
+		}
+		t.Logf("desc=%v: sorted load %.3f", desc, load)
+		if err := tr.CheckInvariants(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestCompactLoad reproduces /ROS81/: the split key at the top (ascending)
+// or bottom (descending) yields a compact, 100%-loaded B-tree.
+func TestCompactLoad(t *testing.T) {
+	keys := randomKeys(2, 2000)
+	sort.Strings(keys)
+	b := 10
+	tr := newTree(t, Config{LeafCapacity: b, SplitPos: b})
+	for _, k := range keys {
+		tr.Put(k, nil)
+	}
+	st := tr.Stats()
+	closed := float64(st.Keys) / float64(b*(st.Leaves-1))
+	if closed < 0.999 {
+		t.Errorf("ascending compact: closed-leaf load %.4f", closed)
+	}
+	// Descending with SplitPos 1.
+	sort.Sort(sort.Reverse(sort.StringSlice(keys)))
+	td := newTree(t, Config{LeafCapacity: b, SplitPos: 1})
+	for _, k := range keys {
+		td.Put(k, nil)
+	}
+	std := td.Stats()
+	closedD := float64(std.Keys) / float64(b*(std.Leaves-1))
+	if closedD < 0.999 {
+		t.Errorf("descending compact: closed-leaf load %.4f", closedD)
+	}
+	for _, x := range []*Tree{tr, td} {
+		if err := x.CheckInvariants(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestRandomLoad reproduces the ~ln2 = 69% random-insertion load, and the
+// lift toward ~87% with redistribution (/KNU73/, cited in Section 4.5).
+func TestRandomLoad(t *testing.T) {
+	keys := randomKeys(3, 4000)
+	plain := newTree(t, Config{LeafCapacity: 10})
+	shift := newTree(t, Config{LeafCapacity: 10, Redistribute: true})
+	for _, k := range keys {
+		plain.Put(k, nil)
+		shift.Put(k, nil)
+	}
+	lp := plain.Stats().LeafLoad
+	ls := shift.Stats().LeafLoad
+	if lp < 0.62 || lp > 0.76 {
+		t.Errorf("plain random load %.3f, want ~0.69", lp)
+	}
+	if ls <= lp || ls < 0.75 {
+		t.Errorf("redistributed load %.3f (plain %.3f), want ~0.85", ls, lp)
+	}
+	t.Logf("random load: plain=%.3f redistribute=%.3f", lp, ls)
+}
+
+// TestDeletionMinimumLoad verifies the 50% minimum under deletions.
+func TestDeletionMinimumLoad(t *testing.T) {
+	keys := randomKeys(4, 3000)
+	tr := newTree(t, Config{LeafCapacity: 8})
+	for _, k := range keys {
+		tr.Put(k, nil)
+	}
+	rng := rand.New(rand.NewSource(4))
+	perm := rng.Perm(len(keys))
+	for _, pi := range perm[:2900] {
+		if !tr.Delete(keys[pi]) {
+			t.Fatalf("Delete(%q) missed", keys[pi])
+		}
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	// Every leaf except a lone root holds >= ceil(b/2).
+	if tr.Leaves() > 1 {
+		st := tr.Stats()
+		if st.LeafLoad < 0.5 {
+			t.Errorf("post-deletion load %.3f < 0.5", st.LeafLoad)
+		}
+	}
+	for _, pi := range perm[2900:] {
+		if _, ok := tr.Get(keys[pi]); !ok {
+			t.Errorf("survivor %q lost", keys[pi])
+		}
+	}
+}
+
+// TestHeightAndAccesses: a search visits height nodes, the paper's B-tree
+// access cost.
+func TestHeightAndAccesses(t *testing.T) {
+	tr := newTree(t, Config{LeafCapacity: 4, BranchFanout: 4})
+	keys := randomKeys(5, 1000)
+	for _, k := range keys {
+		tr.Put(k, nil)
+	}
+	if tr.Height() < 4 {
+		t.Fatalf("height %d unexpectedly small", tr.Height())
+	}
+	tr.ResetAccesses()
+	tr.Get(keys[0])
+	if got := tr.Accesses(); got != int64(tr.Height()) {
+		t.Errorf("search visited %d nodes, height is %d", got, tr.Height())
+	}
+}
+
+// TestBranchBytes: branch space grows with separator keys and pointers.
+func TestBranchBytes(t *testing.T) {
+	tr := newTree(t, Config{LeafCapacity: 4, PtrBytes: 4})
+	keys := randomKeys(6, 500)
+	for _, k := range keys {
+		tr.Put(k, nil)
+	}
+	st := tr.Stats()
+	if st.BranchBytes <= st.BranchKeys*4 {
+		t.Errorf("branch bytes %d do not include key bytes (%d separators)", st.BranchBytes, st.BranchKeys)
+	}
+	if st.BranchNodes == 0 || st.BranchKeys == 0 {
+		t.Error("no branch structure accounted")
+	}
+}
+
+func TestRangeEdgeCases(t *testing.T) {
+	tr := newTree(t, Config{LeafCapacity: 4})
+	for i := 0; i < 50; i++ {
+		tr.Put(fmt.Sprintf("k%02d", i), nil)
+	}
+	var got []string
+	tr.Range("k10", "k13", func(k string, _ []byte) bool { got = append(got, k); return true })
+	if fmt.Sprint(got) != fmt.Sprint([]string{"k10", "k11", "k12", "k13"}) {
+		t.Errorf("range: %v", got)
+	}
+	// Early stop.
+	count := 0
+	tr.Range("k00", "", func(string, []byte) bool { count++; return count < 3 })
+	if count != 3 {
+		t.Errorf("early stop after %d", count)
+	}
+	// Empty range.
+	got = nil
+	tr.Range("zzz", "", func(k string, _ []byte) bool { got = append(got, k); return true })
+	if len(got) != 0 {
+		t.Errorf("range beyond end: %v", got)
+	}
+}
+
+func TestDeleteToEmptyAndRebuild(t *testing.T) {
+	tr := newTree(t, Config{LeafCapacity: 4})
+	keys := randomKeys(7, 300)
+	for _, k := range keys {
+		tr.Put(k, nil)
+	}
+	for _, k := range keys {
+		if !tr.Delete(k) {
+			t.Fatalf("Delete(%q) missed", k)
+		}
+	}
+	if tr.Len() != 0 || tr.Height() != 1 || tr.Leaves() != 1 {
+		t.Fatalf("emptied tree: len=%d height=%d leaves=%d", tr.Len(), tr.Height(), tr.Leaves())
+	}
+	for _, k := range keys {
+		tr.Put(k, []byte(k))
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range keys {
+		if v, ok := tr.Get(k); !ok || string(v) != k {
+			t.Fatalf("rebuilt Get(%q) = %q %v", k, v, ok)
+		}
+	}
+}
+
+// TestPrefixSeparators verifies the simple prefix B-tree (/BAY77/):
+// separators are the shortest distinguishing prefixes, the branch space
+// shrinks, and the tree stays model-correct.
+func TestPrefixSeparators(t *testing.T) {
+	if got := shortestSeparator("packer", "packing"); got != "packi" {
+		t.Errorf("shortestSeparator(packer, packing) = %q", got)
+	}
+	if got := shortestSeparator("ab", "b"); got != "b" {
+		t.Errorf("shortestSeparator(ab, b) = %q", got)
+	}
+	if got := shortestSeparator("a", "ab"); got != "ab" {
+		t.Errorf("shortestSeparator(a, ab) = %q", got)
+	}
+
+	keys := randomKeys(11, 3000)
+	plain := newTree(t, Config{LeafCapacity: 10})
+	prefix := newTree(t, Config{LeafCapacity: 10, PrefixSeparators: true})
+	for _, k := range keys {
+		plain.Put(k, []byte(k))
+		prefix.Put(k, []byte(k))
+	}
+	if err := prefix.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	sp, sx := plain.Stats(), prefix.Stats()
+	if sx.BranchBytes >= sp.BranchBytes {
+		t.Errorf("prefix separators did not shrink branches: %d vs %d", sx.BranchBytes, sp.BranchBytes)
+	}
+	for _, k := range keys {
+		if v, ok := prefix.Get(k); !ok || string(v) != k {
+			t.Fatalf("prefix tree lost %q", k)
+		}
+	}
+	// Ranged reads agree between the two trees.
+	var a, b []string
+	plain.Range(keys[10], keys[10][:2]+"zzzz", func(k string, _ []byte) bool { a = append(a, k); return true })
+	prefix.Range(keys[10], keys[10][:2]+"zzzz", func(k string, _ []byte) bool { b = append(b, k); return true })
+	if fmt.Sprint(a) != fmt.Sprint(b) {
+		t.Fatalf("range disagreement: %d vs %d keys", len(a), len(b))
+	}
+	t.Logf("branch bytes: plain=%d prefix=%d (%.0f%% saved)", sp.BranchBytes, sx.BranchBytes,
+		100*(1-float64(sx.BranchBytes)/float64(sp.BranchBytes)))
+}
+
+// TestPrefixSeparatorsModel shadows random traffic on a prefix tree.
+func TestPrefixSeparatorsModel(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	tr := newTree(t, Config{LeafCapacity: 4, PrefixSeparators: true})
+	model := map[string]bool{}
+	for step := 0; step < 6000; step++ {
+		k := fmt.Sprintf("k%03d", rng.Intn(600))
+		if rng.Intn(3) == 0 {
+			ok := tr.Delete(k)
+			if model[k] != ok {
+				t.Fatalf("step %d Delete(%q) = %v", step, k, ok)
+			}
+			delete(model, k)
+		} else {
+			replaced := tr.Put(k, nil)
+			if model[k] != replaced {
+				t.Fatalf("step %d Put(%q) replaced=%v", step, k, replaced)
+			}
+			model[k] = true
+		}
+		if step%1500 == 1499 {
+			if err := tr.CheckInvariants(); err != nil {
+				t.Fatalf("step %d: %v", step, err)
+			}
+		}
+	}
+	if tr.Len() != len(model) {
+		t.Fatalf("len %d, model %d", tr.Len(), len(model))
+	}
+}

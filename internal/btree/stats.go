@@ -1,0 +1,148 @@
+package btree
+
+import "fmt"
+
+// Stats is the measurement snapshot used by the paper-reproduction
+// benches: leaf load factor and the space the branching structure needs,
+// for direct comparison with the trie's 6-byte cells.
+type Stats struct {
+	Keys   int
+	Leaves int
+	// LeafLoad is keys / (leaves * leaf capacity) — the B-tree analogue
+	// of the paper's bucket load factor a.
+	LeafLoad float64
+	// BranchNodes counts internal nodes; BranchKeys the separators.
+	BranchNodes int
+	BranchKeys  int
+	// BranchBytes is the space of the branching structure: separator
+	// key bytes plus one pointer per child (PtrBytes each). This is
+	// the number the paper compares the trie's M*6 bytes against.
+	BranchBytes int
+	Height      int
+	Splits      int
+}
+
+// Stats computes the snapshot by walking the tree.
+func (t *Tree) Stats() Stats {
+	st := Stats{
+		Keys:   t.nkeys,
+		Leaves: t.leaves,
+		Height: t.height,
+		Splits: t.splits,
+	}
+	if t.leaves > 0 {
+		st.LeafLoad = float64(t.nkeys) / float64(t.leaves*t.cfg.LeafCapacity)
+	}
+	var walk func(n *node)
+	walk = func(n *node) {
+		if n.leaf {
+			return
+		}
+		st.BranchNodes++
+		st.BranchKeys += len(n.keys)
+		for _, k := range n.keys {
+			st.BranchBytes += len(k)
+		}
+		st.BranchBytes += len(n.kids) * t.cfg.PtrBytes
+		for _, kid := range n.kids {
+			walk(kid)
+		}
+	}
+	walk(t.root)
+	return st
+}
+
+func (s Stats) String() string {
+	return fmt.Sprintf("keys=%d leaves=%d load=%.3f branch=%d nodes (%d B) height=%d",
+		s.Keys, s.Leaves, s.LeafLoad, s.BranchNodes, s.BranchBytes, s.Height)
+}
+
+// CheckInvariants verifies the structural invariants: uniform depth,
+// sorted keys, separator correctness, capacity and (except the root and
+// the rightmost spine during compact loading) minimum-fill bounds, the
+// leaf chain, and the record count.
+func (t *Tree) CheckInvariants() error {
+	leafDepth := -1
+	total := 0
+	prev := ""
+	first := true
+	var firstLeaf, lastLeaf *node
+	var walk func(n *node, depth int, lo, hi string) error
+	walk = func(n *node, depth int, lo, hi string) error {
+		if n.leaf {
+			if leafDepth < 0 {
+				leafDepth = depth
+				firstLeaf = n
+			}
+			if depth != leafDepth {
+				return fmt.Errorf("btree: leaf at depth %d, expected %d", depth, leafDepth)
+			}
+			if len(n.keys) != len(n.vals) {
+				return fmt.Errorf("btree: leaf keys/vals length mismatch")
+			}
+			if len(n.keys) > t.cfg.LeafCapacity {
+				return fmt.Errorf("btree: leaf holds %d > %d records", len(n.keys), t.cfg.LeafCapacity)
+			}
+			for _, k := range n.keys {
+				if !first && k <= prev {
+					return fmt.Errorf("btree: key order violated: %q after %q", k, prev)
+				}
+				if lo != "" && k < lo {
+					return fmt.Errorf("btree: key %q below separator %q", k, lo)
+				}
+				if hi != "" && k >= hi {
+					return fmt.Errorf("btree: key %q at or above separator %q", k, hi)
+				}
+				prev, first = k, false
+				total++
+			}
+			lastLeaf = n
+			return nil
+		}
+		if len(n.kids) != len(n.keys)+1 {
+			return fmt.Errorf("btree: branch with %d keys and %d kids", len(n.keys), len(n.kids))
+		}
+		if len(n.kids) > t.cfg.BranchFanout {
+			return fmt.Errorf("btree: branch fanout %d > %d", len(n.kids), t.cfg.BranchFanout)
+		}
+		for i := range n.keys {
+			if i > 0 && n.keys[i] <= n.keys[i-1] {
+				return fmt.Errorf("btree: separators out of order")
+			}
+		}
+		for i, kid := range n.kids {
+			klo, khi := lo, hi
+			if i > 0 {
+				klo = n.keys[i-1]
+			}
+			if i < len(n.keys) {
+				khi = n.keys[i]
+			}
+			if err := walk(kid, depth+1, klo, khi); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := walk(t.root, 1, "", ""); err != nil {
+		return err
+	}
+	if leafDepth != t.height {
+		return fmt.Errorf("btree: height %d, leaves at depth %d", t.height, leafDepth)
+	}
+	if total != t.nkeys {
+		return fmt.Errorf("btree: %d records counted, %d recorded", total, t.nkeys)
+	}
+	// Leaf chain covers exactly the leaves, in order.
+	chain := 0
+	for n := firstLeaf; n != nil; n = n.next {
+		chain++
+	}
+	if chain != t.leaves {
+		return fmt.Errorf("btree: leaf chain has %d leaves, tree has %d", chain, t.leaves)
+	}
+	if lastLeaf != nil && lastLeaf.next != nil {
+		return fmt.Errorf("btree: rightmost leaf has a successor")
+	}
+	return nil
+}

@@ -1,0 +1,252 @@
+// Package bucket implements the fixed-capacity record containers of trie
+// hashing. Buckets are the unit of transfer between the file and main
+// memory; each holds up to b records sorted by primary key, so the split
+// algorithms can address "the sequence B of b+1 keys to split" directly and
+// in-bucket search is binary.
+package bucket
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+)
+
+// Record is one stored record: a primary key and an opaque value. Only the
+// key participates in address computation.
+type Record struct {
+	Key   string
+	Value []byte
+}
+
+// Bucket is a key-sorted sequence of records. Capacity is enforced by the
+// file layer, not here: splitting needs the transient b+1-th record.
+//
+// Every bucket also carries its logical-path bound in its header — the
+// known digits of the upper boundary of its key range (nil = the infinite
+// bound). The paper's conclusion describes exactly this ("logical paths,
+// assumed stored on the disk, for instance in the headers of the
+// buckets") as the basis of trie reconstruction after a crash.
+type Bucket struct {
+	bound []byte // upper bound of the key range; nil = infinite
+	recs  []Record
+}
+
+// Bound returns the bucket's logical-path bound (nil = infinite).
+func (b *Bucket) Bound() []byte { return b.bound }
+
+// SetBound records the bucket's logical-path bound. The slice is copied.
+func (b *Bucket) SetBound(bound []byte) {
+	if bound == nil {
+		b.bound = nil
+		return
+	}
+	b.bound = append(b.bound[:0], bound...)
+}
+
+// New returns an empty bucket with room pre-allocated for capacity records.
+func New(capacity int) *Bucket {
+	return &Bucket{recs: make([]Record, 0, capacity+1)}
+}
+
+// Len returns the number of records.
+func (b *Bucket) Len() int { return len(b.recs) }
+
+// At returns record i in key order.
+func (b *Bucket) At(i int) Record { return b.recs[i] }
+
+// Keys returns the keys in ascending order. The slice is freshly allocated.
+func (b *Bucket) Keys() []string {
+	out := make([]string, len(b.recs))
+	for i, r := range b.recs {
+		out[i] = r.Key
+	}
+	return out
+}
+
+// search returns the insertion index of key and whether it is present.
+func (b *Bucket) search(key string) (int, bool) {
+	i := sort.Search(len(b.recs), func(i int) bool { return b.recs[i].Key >= key })
+	return i, i < len(b.recs) && b.recs[i].Key == key
+}
+
+// Get returns the value stored under key.
+func (b *Bucket) Get(key string) ([]byte, bool) {
+	if i, ok := b.search(key); ok {
+		return b.recs[i].Value, true
+	}
+	return nil, false
+}
+
+// Put inserts or replaces the record for key and reports whether the key
+// was already present.
+func (b *Bucket) Put(key string, value []byte) bool {
+	i, ok := b.search(key)
+	if ok {
+		b.recs[i].Value = value
+		return true
+	}
+	b.recs = append(b.recs, Record{})
+	copy(b.recs[i+1:], b.recs[i:])
+	b.recs[i] = Record{Key: key, Value: value}
+	return false
+}
+
+// Delete removes the record for key, reporting whether it existed.
+func (b *Bucket) Delete(key string) bool {
+	i, ok := b.search(key)
+	if !ok {
+		return false
+	}
+	copy(b.recs[i:], b.recs[i+1:])
+	b.recs[len(b.recs)-1] = Record{}
+	b.recs = b.recs[:len(b.recs)-1]
+	return true
+}
+
+// MinKey and MaxKey return the smallest and largest keys; both panic on an
+// empty bucket.
+func (b *Bucket) MinKey() string { return b.recs[0].Key }
+
+// MaxKey returns the largest key.
+func (b *Bucket) MaxKey() string { return b.recs[len(b.recs)-1].Key }
+
+// Ascend calls fn for each record with key in [from, to] in ascending
+// order until fn returns false. An empty `to` means no upper limit.
+func (b *Bucket) Ascend(from, to string, fn func(Record) bool) bool {
+	i, _ := b.search(from)
+	for ; i < len(b.recs); i++ {
+		if to != "" && b.recs[i].Key > to {
+			return true
+		}
+		if !fn(b.recs[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// SplitOff removes every record whose key is strictly greater than the
+// keep predicate allows and returns them, preserving order. keep reports
+// whether a key stays in this bucket.
+func (b *Bucket) SplitOff(keep func(key string) bool) []Record {
+	stay := b.recs[:0]
+	var moved []Record
+	for _, r := range b.recs {
+		if keep(r.Key) {
+			stay = append(stay, r)
+		} else {
+			moved = append(moved, r)
+		}
+	}
+	// Zero the tail so moved records do not linger in the backing array.
+	for i := len(stay); i < len(b.recs); i++ {
+		b.recs[i] = Record{}
+	}
+	b.recs = stay
+	return moved
+}
+
+// Absorb inserts records (which must be sorted and disjoint from the
+// bucket's range) into the bucket.
+func (b *Bucket) Absorb(recs []Record) {
+	for _, r := range recs {
+		b.Put(r.Key, r.Value)
+	}
+}
+
+// Clone returns a deep copy of the bucket (values are shared: records are
+// treated as immutable once stored).
+func (b *Bucket) Clone() *Bucket {
+	c := &Bucket{recs: append([]Record(nil), b.recs...)}
+	if b.bound != nil {
+		c.bound = append([]byte(nil), b.bound...)
+	}
+	return c
+}
+
+// Bytes returns the serialized size of the bucket under AppendBinary.
+func (b *Bucket) Bytes() int {
+	n := 8 + len(b.bound)
+	for _, r := range b.recs {
+		n += 8 + len(r.Key) + len(r.Value)
+	}
+	return n
+}
+
+// AppendBinary serializes the bucket into buf and returns the extended
+// slice: the bound header (length-prefixed; ^0 marks the infinite bound),
+// then a record count and length-prefixed key/value pairs.
+func (b *Bucket) AppendBinary(buf []byte) []byte {
+	var n [4]byte
+	if b.bound == nil {
+		binary.LittleEndian.PutUint32(n[:], ^uint32(0))
+		buf = append(buf, n[:]...)
+	} else {
+		binary.LittleEndian.PutUint32(n[:], uint32(len(b.bound)))
+		buf = append(buf, n[:]...)
+		buf = append(buf, b.bound...)
+	}
+	binary.LittleEndian.PutUint32(n[:], uint32(len(b.recs)))
+	buf = append(buf, n[:]...)
+	for _, r := range b.recs {
+		binary.LittleEndian.PutUint32(n[:], uint32(len(r.Key)))
+		buf = append(buf, n[:]...)
+		buf = append(buf, r.Key...)
+		binary.LittleEndian.PutUint32(n[:], uint32(len(r.Value)))
+		buf = append(buf, n[:]...)
+		buf = append(buf, r.Value...)
+	}
+	return buf
+}
+
+// DecodeBinary reconstructs a bucket serialized by AppendBinary and
+// returns the number of bytes consumed.
+func DecodeBinary(buf []byte) (*Bucket, int, error) {
+	if len(buf) < 4 {
+		return nil, 0, fmt.Errorf("bucket: decode: truncated bound header")
+	}
+	b := &Bucket{}
+	off := 4
+	if bl := binary.LittleEndian.Uint32(buf); bl != ^uint32(0) {
+		if int(bl) > len(buf)-off {
+			return nil, 0, fmt.Errorf("bucket: decode: truncated bound of %d bytes", bl)
+		}
+		b.bound = append([]byte(nil), buf[off:off+int(bl)]...)
+		off += int(bl)
+	}
+	if len(buf) < off+4 {
+		return nil, 0, fmt.Errorf("bucket: decode: truncated count")
+	}
+	n := int(binary.LittleEndian.Uint32(buf[off:]))
+	off += 4
+	b.recs = make([]Record, 0, n)
+	prev := ""
+	for i := 0; i < n; i++ {
+		if len(buf) < off+4 {
+			return nil, 0, fmt.Errorf("bucket: decode: truncated key length at record %d", i)
+		}
+		kl := int(binary.LittleEndian.Uint32(buf[off:]))
+		off += 4
+		if len(buf) < off+kl+4 {
+			return nil, 0, fmt.Errorf("bucket: decode: truncated key at record %d", i)
+		}
+		key := string(buf[off : off+kl])
+		off += kl
+		vl := int(binary.LittleEndian.Uint32(buf[off:]))
+		off += 4
+		if len(buf) < off+vl {
+			return nil, 0, fmt.Errorf("bucket: decode: truncated value at record %d", i)
+		}
+		var val []byte
+		if vl > 0 {
+			val = append([]byte(nil), buf[off:off+vl]...)
+		}
+		off += vl
+		if i > 0 && key <= prev {
+			return nil, 0, fmt.Errorf("bucket: decode: keys out of order (%q after %q)", key, prev)
+		}
+		prev = key
+		b.recs = append(b.recs, Record{Key: key, Value: val})
+	}
+	return b, off, nil
+}

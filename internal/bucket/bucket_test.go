@@ -1,0 +1,219 @@
+package bucket
+
+import (
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestPutGetDelete(t *testing.T) {
+	b := New(4)
+	if _, ok := b.Get("x"); ok {
+		t.Fatal("empty bucket claims a key")
+	}
+	if b.Put("m", []byte("1")) {
+		t.Fatal("first Put reported replacement")
+	}
+	if !b.Put("m", []byte("2")) {
+		t.Fatal("second Put did not report replacement")
+	}
+	b.Put("a", nil)
+	b.Put("z", []byte("3"))
+	if b.Len() != 3 {
+		t.Fatalf("len %d", b.Len())
+	}
+	if v, ok := b.Get("m"); !ok || string(v) != "2" {
+		t.Fatalf("Get(m) = %q %v", v, ok)
+	}
+	if !b.Delete("m") || b.Delete("m") {
+		t.Fatal("Delete misbehaved")
+	}
+	if got := b.Keys(); !reflect.DeepEqual(got, []string{"a", "z"}) {
+		t.Fatalf("keys %v", got)
+	}
+	if b.MinKey() != "a" || b.MaxKey() != "z" {
+		t.Fatalf("min/max %q %q", b.MinKey(), b.MaxKey())
+	}
+}
+
+func TestKeysSorted(t *testing.T) {
+	f := func(in []string) bool {
+		b := New(8)
+		for _, k := range in {
+			if k == "" {
+				continue
+			}
+			b.Put(k, nil)
+		}
+		return sort.StringsAreSorted(b.Keys())
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAscend(t *testing.T) {
+	b := New(8)
+	for _, k := range []string{"be", "by", "had", "he", "his"} {
+		b.Put(k, []byte(k))
+	}
+	var got []string
+	b.Ascend("by", "he", func(r Record) bool {
+		got = append(got, r.Key)
+		return true
+	})
+	if !reflect.DeepEqual(got, []string{"by", "had", "he"}) {
+		t.Fatalf("ascend: %v", got)
+	}
+	// Unbounded top.
+	got = nil
+	b.Ascend("he", "", func(r Record) bool { got = append(got, r.Key); return true })
+	if !reflect.DeepEqual(got, []string{"he", "his"}) {
+		t.Fatalf("unbounded ascend: %v", got)
+	}
+	// Early abort.
+	count := 0
+	b.Ascend("", "", func(Record) bool { count++; return count < 2 })
+	if count != 2 {
+		t.Fatalf("abort after %d", count)
+	}
+}
+
+func TestSplitOff(t *testing.T) {
+	b := New(4)
+	for _, k := range []string{"aa", "ab", "ba", "bb", "ca"} {
+		b.Put(k, []byte(k))
+	}
+	moved := b.SplitOff(func(k string) bool { return k <= "ba" })
+	if got := b.Keys(); !reflect.DeepEqual(got, []string{"aa", "ab", "ba"}) {
+		t.Fatalf("stay: %v", got)
+	}
+	if len(moved) != 2 || moved[0].Key != "bb" || moved[1].Key != "ca" {
+		t.Fatalf("moved: %v", moved)
+	}
+	// Absorb into a fresh bucket preserves order and values.
+	nb := New(4)
+	nb.Absorb(moved)
+	if v, ok := nb.Get("ca"); !ok || string(v) != "ca" {
+		t.Fatalf("absorbed value %q %v", v, ok)
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	b := New(4)
+	b.Put("k", []byte("v"))
+	c := b.Clone()
+	c.Put("k2", nil)
+	c.Delete("k")
+	if b.Len() != 1 {
+		t.Fatal("clone mutation leaked")
+	}
+}
+
+func TestEncodeDecode(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 50; trial++ {
+		b := New(8)
+		for i := 0; i < rng.Intn(10); i++ {
+			k := make([]byte, 1+rng.Intn(5))
+			for j := range k {
+				k[j] = byte('a' + rng.Intn(26))
+			}
+			v := make([]byte, rng.Intn(6))
+			rng.Read(v)
+			b.Put(string(k), v)
+		}
+		buf := b.AppendBinary(nil)
+		if len(buf) != b.Bytes() {
+			t.Fatalf("Bytes() = %d, serialized %d", b.Bytes(), len(buf))
+		}
+		back, n, err := DecodeBinary(buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n != len(buf) {
+			t.Fatalf("consumed %d of %d", n, len(buf))
+		}
+		if !reflect.DeepEqual(back.Keys(), b.Keys()) {
+			t.Fatalf("keys %v vs %v", back.Keys(), b.Keys())
+		}
+		for _, k := range b.Keys() {
+			v1, _ := b.Get(k)
+			v2, _ := back.Get(k)
+			if string(v1) != string(v2) {
+				t.Fatalf("value mismatch for %q", k)
+			}
+		}
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	if _, _, err := DecodeBinary(nil); err == nil {
+		t.Error("nil must fail")
+	}
+	b := New(2)
+	b.Put("ab", []byte("xy"))
+	b.Put("cd", nil)
+	buf := b.AppendBinary(nil)
+	for cut := 1; cut < len(buf); cut++ {
+		if _, _, err := DecodeBinary(buf[:cut]); err == nil {
+			t.Errorf("truncation at %d not detected", cut)
+		}
+	}
+	// Out-of-order keys.
+	bad := New(2)
+	bad.recs = []Record{{Key: "b"}, {Key: "a"}}
+	if _, _, err := DecodeBinary(bad.AppendBinary(nil)); err == nil {
+		t.Error("out-of-order keys not detected")
+	}
+}
+
+func TestBoundRoundTrip(t *testing.T) {
+	b := New(4)
+	if b.Bound() != nil {
+		t.Fatal("fresh bucket must have the infinite bound")
+	}
+	b.Put("k", []byte("v"))
+	b.SetBound([]byte("he"))
+	buf := b.AppendBinary(nil)
+	if len(buf) != b.Bytes() {
+		t.Fatalf("Bytes() = %d, serialized %d", b.Bytes(), len(buf))
+	}
+	back, _, err := DecodeBinary(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(back.Bound()) != "he" {
+		t.Fatalf("bound lost: %q", back.Bound())
+	}
+	// Infinite bound survives too.
+	b.SetBound(nil)
+	back, _, err = DecodeBinary(b.AppendBinary(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Bound() != nil {
+		t.Fatalf("infinite bound became %q", back.Bound())
+	}
+	// Clone copies the bound without aliasing.
+	b.SetBound([]byte("xy"))
+	c := b.Clone()
+	b.SetBound([]byte("zz"))
+	if string(c.Bound()) != "xy" {
+		t.Fatalf("clone bound aliased: %q", c.Bound())
+	}
+}
+
+func TestDecodeBoundErrors(t *testing.T) {
+	b := New(2)
+	b.SetBound([]byte("bound"))
+	b.Put("k", nil)
+	buf := b.AppendBinary(nil)
+	for cut := 1; cut < len(buf); cut++ {
+		if _, _, err := DecodeBinary(buf[:cut]); err == nil {
+			t.Errorf("truncation at %d not detected", cut)
+		}
+	}
+}

@@ -1,0 +1,424 @@
+// Package concurrent implements the concurrency scheme the paper's
+// conclusion sketches for basic trie hashing (/VID87/): because the trie
+// only ever appends cells and a bucket split publishes itself by flipping
+// a single leaf pointer, readers can traverse the trie without any lock —
+// a writer needs "only the leaf A and the variable N".
+//
+// Concretely:
+//
+//   - Cells live in a chunked arena that never moves; DV and DN are
+//     immutable after creation and LP/RP are atomics. A split fully
+//     initializes its new cells and the new bucket before one atomic
+//     pointer store makes them reachable.
+//   - Each bucket has its own read-write latch. A reader latches the
+//     bucket its trie search found, then re-validates the mapping (the
+//     bucket might have split in between) and retries on mismatch, so
+//     moved keys are never missed.
+//   - Splits serialize on a single structural mutex (the paper's
+//     "variable N") and order their effects: fill the new bucket, flip
+//     the trie pointer, then shrink the old bucket — a reader at any
+//     point sees every key.
+//
+// The package implements the basic method with a one-level trie, the
+// configuration /VID87/ analyzes. Deletions clear records but never merge
+// buckets (merging is the part the paper leaves open for the concurrent
+// case).
+package concurrent
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"triehash/internal/bucket"
+	"triehash/internal/keys"
+)
+
+// ErrNotFound is returned when a key is absent.
+var ErrNotFound = errors.New("concurrent: key not found")
+
+const (
+	chunkShift = 10
+	chunkSize  = 1 << chunkShift // cells per arena chunk
+	maxChunks  = 1 << 20
+)
+
+// nilPtr is the nil leaf; leaves are >= 0 (bucket ids), edges are
+// -(cell+1), mirroring internal/trie's tagging.
+const nilPtr int32 = -1 << 31
+
+func leafPtr(addr int32) int32 { return addr }
+func edgePtr(cell int32) int32 { return -cell - 1 }
+func isEdge(p int32) bool      { return p < 0 && p != nilPtr }
+func cellOf(p int32) int32     { return -p - 1 }
+
+// acell is a trie cell with atomically mutable pointers.
+type acell struct {
+	dv byte
+	dn int32
+	lp atomic.Int32
+	rp atomic.Int32
+}
+
+// lbucket is a latched bucket.
+type lbucket struct {
+	mu sync.RWMutex
+	b  *bucket.Bucket
+}
+
+// File is a concurrently accessible basic-TH file held in memory.
+type File struct {
+	alpha    keys.Alphabet
+	capacity int
+	splitPos int
+
+	root   atomic.Int32 // Ptr
+	ncells atomic.Int32
+	chunks [maxChunks]atomic.Pointer[[chunkSize]acell]
+
+	// structural serializes splits, nil-leaf allocations and bucket
+	// allocation — the paper's lock on "the variable N".
+	structural sync.Mutex
+	buckets    []*lbucket // grown only under structural
+	bucketsPtr atomic.Pointer[[]*lbucket]
+
+	nkeys  atomic.Int64
+	splits atomic.Int64
+}
+
+// New returns an empty concurrent file with bucket capacity b and split
+// position m (0 = the middle).
+func New(alpha keys.Alphabet, b, m int) (*File, error) {
+	if b < 2 {
+		return nil, fmt.Errorf("concurrent: bucket capacity %d; need at least 2", b)
+	}
+	if m == 0 {
+		m = b/2 + 1
+	}
+	if m < 1 || m > b {
+		return nil, fmt.Errorf("concurrent: split position %d outside [1, %d]", m, b)
+	}
+	f := &File{alpha: alpha, capacity: b, splitPos: m}
+	f.root.Store(nilPtr)
+	f.publishBuckets(nil)
+	return f, nil
+}
+
+func (f *File) publishBuckets(bs []*lbucket) {
+	f.buckets = bs
+	f.bucketsPtr.Store(&bs)
+}
+
+// cell returns cell i of the arena.
+func (f *File) cell(i int32) *acell {
+	return &f.chunks[i>>chunkShift].Load()[i&(chunkSize-1)]
+}
+
+// appendCell allocates a fully formed cell (under structural) and returns
+// its index; it is unreachable until a pointer to it is published.
+func (f *File) appendCell(dv byte, dn int32, lp, rp int32) int32 {
+	i := f.ncells.Load()
+	ci := i >> chunkShift
+	if f.chunks[ci].Load() == nil {
+		f.chunks[ci].Store(new([chunkSize]acell))
+	}
+	c := &f.chunks[ci].Load()[i&(chunkSize-1)]
+	c.dv, c.dn = dv, dn
+	c.lp.Store(lp)
+	c.rp.Store(rp)
+	f.ncells.Store(i + 1)
+	return i
+}
+
+// Cells returns the trie size M.
+func (f *File) Cells() int { return int(f.ncells.Load()) }
+
+// Len returns the number of records.
+func (f *File) Len() int { return int(f.nkeys.Load()) }
+
+// Splits returns the number of bucket splits performed.
+func (f *File) Splits() int { return int(f.splits.Load()) }
+
+// slot identifies where a search ended: the root slot or one side of a
+// cell.
+type slot struct {
+	cell int32 // -1 = root
+	left bool
+}
+
+// search runs Algorithm A1 with atomic pointer loads; no lock is taken.
+func (f *File) search(key string) (ptr int32, pos slot, path []byte) {
+	n := f.root.Load()
+	pos = slot{cell: -1}
+	j := 0
+	for isEdge(n) {
+		ci := cellOf(n)
+		c := f.cell(ci)
+		i := int(c.dn)
+		goLeft := false
+		if j == i {
+			kj := f.alpha.Digit(key, j)
+			if kj <= c.dv {
+				goLeft = true
+				if kj == c.dv {
+					j++
+				}
+			}
+		} else if j < i {
+			goLeft = true
+		}
+		if goLeft {
+			// A reader racing several splits may momentarily observe a
+			// mixed trie; pad defensively (the path is only consumed
+			// by writers holding the structural lock, where the trie
+			// is consistent and padding never triggers).
+			for len(path) < i {
+				path = append(path, f.alpha.Min)
+			}
+			path = append(path[:i], c.dv)
+			pos = slot{cell: ci, left: true}
+			n = c.lp.Load()
+		} else {
+			pos = slot{cell: ci, left: false}
+			n = c.rp.Load()
+		}
+	}
+	return n, pos, path
+}
+
+// storeSlot publishes a pointer (under structural).
+func (f *File) storeSlot(s slot, v int32) {
+	if s.cell < 0 {
+		f.root.Store(v)
+		return
+	}
+	c := f.cell(s.cell)
+	if s.left {
+		c.lp.Store(v)
+	} else {
+		c.rp.Store(v)
+	}
+}
+
+// Get returns the value stored under key. Readers take no trie lock; the
+// bucket latch plus re-validation makes the lookup safe against a
+// concurrent split of the target bucket.
+func (f *File) Get(key string) ([]byte, error) {
+	if err := f.alpha.Validate(key); err != nil {
+		return nil, err
+	}
+	for {
+		ptr, _, _ := f.search(key)
+		if ptr == nilPtr {
+			return nil, ErrNotFound
+		}
+		lb := (*f.bucketsPtr.Load())[ptr]
+		lb.mu.RLock()
+		// Re-validate: the bucket may have split between the search
+		// and the latch; the trie flip precedes the bucket shrink, so
+		// re-searching under the latch yields the truth.
+		if cur, _, _ := f.search(key); cur != ptr {
+			lb.mu.RUnlock()
+			continue
+		}
+		v, ok := lb.b.Get(key)
+		lb.mu.RUnlock()
+		if !ok {
+			return nil, ErrNotFound
+		}
+		return v, nil
+	}
+}
+
+// Put inserts or replaces the record for key.
+func (f *File) Put(key string, value []byte) error {
+	if err := f.alpha.Validate(key); err != nil {
+		return err
+	}
+	for {
+		ptr, _, _ := f.search(key)
+		if ptr == nilPtr {
+			if f.putNil(key, value) {
+				return nil
+			}
+			continue
+		}
+		lb := (*f.bucketsPtr.Load())[ptr]
+		lb.mu.Lock()
+		if cur, _, _ := f.search(key); cur != ptr {
+			lb.mu.Unlock()
+			continue
+		}
+		if _, exists := lb.b.Get(key); exists {
+			lb.b.Put(key, value)
+			lb.mu.Unlock()
+			return nil
+		}
+		if lb.b.Len() < f.capacity {
+			lb.b.Put(key, value)
+			f.nkeys.Add(1)
+			lb.mu.Unlock()
+			return nil
+		}
+		// Overflow: the split needs the structural lock, which orders
+		// before bucket latches; release and retry under structural.
+		// The key is never transiently visible.
+		lb.mu.Unlock()
+		if f.splitAndInsert(key, value) {
+			return nil
+		}
+	}
+}
+
+// putNil allocates a bucket for a nil leaf and inserts the key. Reports
+// false when the leaf changed underfoot (caller retries).
+func (f *File) putNil(key string, value []byte) bool {
+	f.structural.Lock()
+	defer f.structural.Unlock()
+	ptr, pos, _ := f.search(key)
+	if ptr != nilPtr {
+		return false
+	}
+	addr := f.allocBucket()
+	lb := f.buckets[addr]
+	lb.b.Put(key, value)
+	f.storeSlot(pos, leafPtr(addr)) // publication point
+	f.nkeys.Add(1)
+	return true
+}
+
+// allocBucket appends a bucket (under structural) and publishes the grown
+// registry.
+func (f *File) allocBucket() int32 {
+	addr := int32(len(f.buckets))
+	bs := make([]*lbucket, len(f.buckets)+1)
+	copy(bs, f.buckets)
+	bs[addr] = &lbucket{b: bucket.New(f.capacity)}
+	f.publishBuckets(bs)
+	return addr
+}
+
+// splitAndInsert resolves an overflow under the structural lock: it
+// re-runs the search (the world may have changed), splits the bucket if
+// it is still full, inserts the key, and publishes the expansion with a
+// single pointer store. Reports false when the key's bucket changed and
+// no insertion happened (caller retries).
+func (f *File) splitAndInsert(key string, value []byte) bool {
+	f.structural.Lock()
+	defer f.structural.Unlock()
+	ptr, pos, path := f.search(key)
+	if ptr == nilPtr {
+		return false
+	}
+	addr := ptr
+	lb := f.buckets[addr]
+	lb.mu.Lock()
+	if _, exists := lb.b.Get(key); exists || lb.b.Len() < f.capacity {
+		// Someone else split (or the key appeared) meanwhile.
+		replaced := lb.b.Put(key, value)
+		lb.mu.Unlock()
+		if !replaced {
+			f.nkeys.Add(1)
+		}
+		return true
+	}
+	// Build the b+1 sequence to split.
+	lb.b.Put(key, value)
+	B := lb.b.Keys()
+	splitKey := B[f.splitPos-1]
+	boundKey := B[len(B)-1]
+	s := f.alpha.SplitString(splitKey, boundKey)
+
+	// Phase 1: fill the new bucket (unreachable so far).
+	newAddr := f.allocBucket()
+	nb := f.buckets[newAddr]
+	moved := make([]bucket.Record, 0, len(B))
+	for i := 0; i < lb.b.Len(); i++ {
+		r := lb.b.At(i)
+		if !f.alpha.KeyLEBound(r.Key, s) {
+			moved = append(moved, r)
+		}
+	}
+	nb.b.Absorb(moved)
+
+	// Phase 2: build the expansion cells bottom-up, then publish with
+	// one store into the slot that held leaf A. Nil leaves of the
+	// chain are born as nilPtr.
+	cp := keys.CommonPrefixLen(s, path)
+	bottom := f.appendCell(s[len(s)-1], int32(len(s)-1), leafPtr(addr), leafPtr(newAddr))
+	top := bottom
+	for j := len(s) - 2; j >= cp; j-- {
+		top = f.appendCell(s[j], int32(j), edgePtr(top), nilPtr)
+	}
+	f.storeSlot(pos, edgePtr(top)) // publication point
+
+	// Phase 3: shrink the old bucket. Readers that looked A up before
+	// the flip still see every key; readers after the flip route moved
+	// keys to the already-filled newAddr.
+	lb.b.SplitOff(func(k string) bool { return f.alpha.KeyLEBound(k, s) })
+	lb.mu.Unlock()
+	f.nkeys.Add(1)
+	f.splits.Add(1)
+	return true
+}
+
+// Delete removes the record for key. Buckets are never merged (the open
+// part of the concurrent scheme), so the trie only grows.
+func (f *File) Delete(key string) error {
+	if err := f.alpha.Validate(key); err != nil {
+		return err
+	}
+	for {
+		ptr, _, _ := f.search(key)
+		if ptr == nilPtr {
+			return ErrNotFound
+		}
+		lb := (*f.bucketsPtr.Load())[ptr]
+		lb.mu.Lock()
+		if cur, _, _ := f.search(key); cur != ptr {
+			lb.mu.Unlock()
+			continue
+		}
+		ok := lb.b.Delete(key)
+		lb.mu.Unlock()
+		if !ok {
+			return ErrNotFound
+		}
+		f.nkeys.Add(-1)
+		return nil
+	}
+}
+
+// Range calls fn for records with from <= key <= to in ascending order.
+// It holds the structural lock, so the scan is a consistent snapshot that
+// blocks splits (but not bucket-level reads) while it runs.
+func (f *File) Range(from, to string, fn func(key string, value []byte) bool) error {
+	f.structural.Lock()
+	defer f.structural.Unlock()
+	var walk func(p int32) bool
+	walk = func(p int32) bool {
+		if p == nilPtr {
+			return true
+		}
+		if isEdge(p) {
+			c := f.cell(cellOf(p))
+			return walk(c.lp.Load()) && walk(c.rp.Load())
+		}
+		lb := f.buckets[p]
+		lb.mu.RLock()
+		defer lb.mu.RUnlock()
+		if lb.b.Len() == 0 {
+			return true
+		}
+		if to != "" && lb.b.MinKey() > to {
+			return false
+		}
+		if lb.b.MaxKey() < from {
+			return true
+		}
+		return lb.b.Ascend(from, to, func(r bucket.Record) bool { return fn(r.Key, r.Value) })
+	}
+	walk(f.root.Load())
+	return nil
+}

@@ -1,0 +1,326 @@
+package concurrent
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+
+	"triehash/internal/keys"
+)
+
+func newFile(t *testing.T, b, m int) *File {
+	t.Helper()
+	f, err := New(keys.ASCII, b, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func TestConfigErrors(t *testing.T) {
+	if _, err := New(keys.ASCII, 1, 0); err == nil {
+		t.Error("capacity 1 accepted")
+	}
+	if _, err := New(keys.ASCII, 4, 5); err == nil {
+		t.Error("split position 5 of 4 accepted")
+	}
+}
+
+func TestSequentialOps(t *testing.T) {
+	f := newFile(t, 4, 0)
+	if _, err := f.Get("x"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("empty Get: %v", err)
+	}
+	words := []string{"the", "of", "and", "to", "a", "in", "that", "is", "i", "it",
+		"for", "as", "with", "was", "his", "he", "be", "not", "by", "but"}
+	for _, w := range words {
+		if err := f.Put(w, []byte(w)); err != nil {
+			t.Fatalf("Put(%q): %v", w, err)
+		}
+	}
+	if f.Len() != len(words) {
+		t.Fatalf("Len = %d", f.Len())
+	}
+	for _, w := range words {
+		v, err := f.Get(w)
+		if err != nil || string(v) != w {
+			t.Fatalf("Get(%q) = %q, %v", w, v, err)
+		}
+	}
+	// Overwrite does not change the count.
+	if err := f.Put("the", []byte("THE")); err != nil {
+		t.Fatal(err)
+	}
+	if f.Len() != len(words) {
+		t.Fatalf("Len after overwrite = %d", f.Len())
+	}
+	if v, _ := f.Get("the"); string(v) != "THE" {
+		t.Fatalf("overwrite lost: %q", v)
+	}
+	// Delete.
+	if err := f.Delete("the"); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Delete("the"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("double delete: %v", err)
+	}
+	if f.Len() != len(words)-1 {
+		t.Fatalf("Len after delete = %d", f.Len())
+	}
+}
+
+func TestSequentialAgainstModel(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	f := newFile(t, 5, 0)
+	model := map[string]string{}
+	for step := 0; step < 6000; step++ {
+		n := 1 + rng.Intn(6)
+		kb := make([]byte, n)
+		for i := range kb {
+			kb[i] = byte('a' + rng.Intn(5))
+		}
+		k := string(kb)
+		switch rng.Intn(10) {
+		case 0, 1, 2, 3, 4, 5:
+			v := fmt.Sprintf("v%d", step)
+			if err := f.Put(k, []byte(v)); err != nil {
+				t.Fatal(err)
+			}
+			model[k] = v
+		case 6, 7, 8:
+			v, err := f.Get(k)
+			want, ok := model[k]
+			switch {
+			case ok && (err != nil || string(v) != want):
+				t.Fatalf("Get(%q) = %q, %v; want %q", k, v, err, want)
+			case !ok && !errors.Is(err, ErrNotFound):
+				t.Fatalf("Get(%q): %v", k, err)
+			}
+		default:
+			err := f.Delete(k)
+			_, ok := model[k]
+			if ok && err != nil || !ok && !errors.Is(err, ErrNotFound) {
+				t.Fatalf("Delete(%q): %v (model %v)", k, err, ok)
+			}
+			delete(model, k)
+		}
+	}
+	if f.Len() != len(model) {
+		t.Fatalf("Len = %d, model %d", f.Len(), len(model))
+	}
+	// Full ordered scan equals the model.
+	var got []string
+	f.Range("a", "", func(k string, _ []byte) bool { got = append(got, k); return true })
+	var want []string
+	for k := range model {
+		want = append(want, k)
+	}
+	sort.Strings(want)
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Fatalf("scan %d keys, model %d", len(got), len(want))
+	}
+}
+
+// TestConcurrentDisjointWriters runs many writers over disjoint key sets
+// and verifies nothing is lost.
+func TestConcurrentDisjointWriters(t *testing.T) {
+	f := newFile(t, 8, 0)
+	const writers = 8
+	const perWriter = 3000
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				k := fmt.Sprintf("w%d-%06d", w, i)
+				if err := f.Put(k, []byte(k)); err != nil {
+					t.Errorf("Put(%q): %v", k, err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if f.Len() != writers*perWriter {
+		t.Fatalf("Len = %d, want %d", f.Len(), writers*perWriter)
+	}
+	for w := 0; w < writers; w++ {
+		for i := 0; i < perWriter; i += 97 {
+			k := fmt.Sprintf("w%d-%06d", w, i)
+			if v, err := f.Get(k); err != nil || string(v) != k {
+				t.Fatalf("Get(%q) = %q, %v", k, v, err)
+			}
+		}
+	}
+}
+
+// TestReadersNeverMissDuringSplits is the core /VID87/ property: readers
+// running lock-free against a splitting file never miss a key that was
+// fully inserted before the reads began.
+func TestReadersNeverMissDuringSplits(t *testing.T) {
+	f := newFile(t, 4, 0) // tiny buckets: constant splitting
+	const preloaded = 2000
+	pre := make([]string, preloaded)
+	for i := range pre {
+		pre[i] = fmt.Sprintf("pre-%06d", i*7)
+		if err := f.Put(pre[i], []byte(pre[i])); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var wg sync.WaitGroup
+	stopped := make(chan struct{})
+	for r := 0; r < 6; r++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for {
+				select {
+				case <-stopped:
+					return
+				default:
+				}
+				k := pre[rng.Intn(preloaded)]
+				v, err := f.Get(k)
+				if err != nil || string(v) != k {
+					t.Errorf("reader missed %q during splits: %q, %v", k, v, err)
+					return
+				}
+			}
+		}(int64(r))
+	}
+	// The writer forces thousands of splits interleaved with the reads.
+	for i := 0; i < 20000; i++ {
+		k := fmt.Sprintf("new-%06d", i)
+		if err := f.Put(k, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(stopped)
+	wg.Wait()
+	if f.Splits() == 0 {
+		t.Fatal("no splits happened; the test proved nothing")
+	}
+}
+
+// TestConcurrentMixed runs writers, deleters and readers together and
+// then checks the final state against a sequentially derived expectation.
+func TestConcurrentMixed(t *testing.T) {
+	f := newFile(t, 6, 0)
+	const n = 4000
+	stable := make([]string, n) // inserted once, never deleted
+	for i := range stable {
+		stable[i] = fmt.Sprintf("stable-%05d", i)
+	}
+	churn := make([]string, n) // inserted then deleted by the same goroutine
+	for i := range churn {
+		churn[i] = fmt.Sprintf("churn-%05d", i)
+	}
+	var wg sync.WaitGroup
+	wg.Add(3)
+	go func() {
+		defer wg.Done()
+		for _, k := range stable {
+			if err := f.Put(k, []byte(k)); err != nil {
+				t.Errorf("Put(%q): %v", k, err)
+				return
+			}
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for _, k := range churn {
+			if err := f.Put(k, []byte(k)); err != nil {
+				t.Errorf("Put(%q): %v", k, err)
+				return
+			}
+			if err := f.Delete(k); err != nil {
+				t.Errorf("Delete(%q): %v", k, err)
+				return
+			}
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		rng := rand.New(rand.NewSource(3))
+		for i := 0; i < 20000; i++ {
+			k := stable[rng.Intn(n)]
+			if v, err := f.Get(k); err == nil && string(v) != k {
+				t.Errorf("Get(%q) returned wrong value %q", k, v)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	if f.Len() != n {
+		t.Fatalf("Len = %d, want %d (stable only)", f.Len(), n)
+	}
+	for _, k := range stable {
+		if _, err := f.Get(k); err != nil {
+			t.Fatalf("stable key %q lost: %v", k, err)
+		}
+	}
+	for _, k := range churn[:100] {
+		if _, err := f.Get(k); !errors.Is(err, ErrNotFound) {
+			t.Fatalf("churn key %q still present: %v", k, err)
+		}
+	}
+}
+
+// TestRangeConsistentSnapshot: a Range running against writers returns a
+// sorted sequence without duplicates.
+func TestRangeConsistentSnapshot(t *testing.T) {
+	f := newFile(t, 6, 0)
+	for i := 0; i < 2000; i++ {
+		f.Put(fmt.Sprintf("k%06d", i*2), nil)
+	}
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 2000; i++ {
+			f.Put(fmt.Sprintf("k%06d", i*2+1), nil)
+		}
+	}()
+	for probe := 0; probe < 20; probe++ {
+		var got []string
+		f.Range("k", "", func(k string, _ []byte) bool {
+			got = append(got, k)
+			return true
+		})
+		if !sort.StringsAreSorted(got) {
+			t.Fatal("range result not sorted")
+		}
+		for i := 1; i < len(got); i++ {
+			if got[i] == got[i-1] {
+				t.Fatalf("duplicate %q in range result", got[i])
+			}
+		}
+	}
+	wg.Wait()
+}
+
+func TestGrowthAcrossChunks(t *testing.T) {
+	// Force more cells than one arena chunk holds.
+	f := newFile(t, 2, 0)
+	n := chunkSize + 500
+	for i := 0; i < n; i++ {
+		k := fmt.Sprintf("%07d", i)
+		if err := f.Put(k, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if f.Cells() <= chunkSize {
+		t.Skipf("only %d cells; raise n", f.Cells())
+	}
+	for i := 0; i < n; i += 131 {
+		k := fmt.Sprintf("%07d", i)
+		if _, err := f.Get(k); err != nil {
+			t.Fatalf("Get(%q): %v", k, err)
+		}
+	}
+}

@@ -1,0 +1,152 @@
+// Package core implements the paper's contribution: trie-hashed files with
+// controlled load. A File combines a TH-trie (the access function, held in
+// main memory) with a bucket store (the disk). It supports the basic
+// method of /LIT81/ (Section 2 of the paper) and the THCL refinement
+// (Section 4): nil-node elimination, split control through bounding keys,
+// guaranteed-load deletions and redistribution between existing buckets.
+package core
+
+import (
+	"fmt"
+
+	"triehash/internal/keys"
+	"triehash/internal/trie"
+)
+
+// Redistribution selects whether splits first try to shift keys into an
+// existing neighbour bucket instead of appending a new one (Section 4.4).
+type Redistribution int
+
+const (
+	// RedistNone always appends a new bucket on overflow.
+	RedistNone Redistribution = iota
+	// RedistSuccessor shifts the top keys into the in-order successor
+	// when it has room.
+	RedistSuccessor
+	// RedistPredecessor shifts the bottom keys into the in-order
+	// predecessor when it has room.
+	RedistPredecessor
+	// RedistBoth tries the successor first, then the predecessor.
+	RedistBoth
+)
+
+func (r Redistribution) String() string {
+	switch r {
+	case RedistNone:
+		return "none"
+	case RedistSuccessor:
+		return "successor"
+	case RedistPredecessor:
+		return "predecessor"
+	case RedistBoth:
+		return "both"
+	}
+	return fmt.Sprintf("Redistribution(%d)", int(r))
+}
+
+// MergePolicy selects the deletion behaviour.
+type MergePolicy int
+
+const (
+	// MergeDefault resolves to MergeSiblings for the basic method and
+	// MergeGuaranteed for THCL.
+	MergeDefault MergePolicy = iota
+	// MergeNone never merges: buckets only empty out (and, in the basic
+	// method, an emptied bucket's leaf becomes nil).
+	MergeNone
+	// MergeSiblings is the basic method's rule (Section 2.4): only
+	// buckets whose leaves share a cell may merge.
+	MergeSiblings
+	// MergeGuaranteed is THCL's rule (Section 4.3): any two successive
+	// buckets may merge via shared leaves, and underflowing buckets
+	// borrow keys from a neighbour, guaranteeing 50% minimum load.
+	MergeGuaranteed
+	// MergeRotations extends MergeSiblings with the Section 3.3
+	// refinement: an underflowing bucket whose couple is not a sibling
+	// pair rotates the trie (where logical ancestorship allows) to make
+	// it one, roughly doubling the mergeable couples of the basic
+	// method.
+	MergeRotations
+)
+
+// Config parameterizes a trie-hashed file.
+type Config struct {
+	// Alphabet is the digit alphabet keys are drawn from. The zero
+	// value selects keys.ASCII.
+	Alphabet keys.Alphabet
+	// Capacity is the bucket capacity b >= 2.
+	Capacity int
+	// Mode selects basic trie hashing or THCL.
+	Mode trie.Mode
+	// SplitPos is the split-key position m, 1-based within the ordered
+	// sequence B of b+1 keys to split. 0 selects the paper's middle
+	// position INT(b/2 + 1). m = b leaves the overflowing bucket full
+	// (for expected ascending insertions); m = 1 leaves one key (for
+	// descending ones).
+	SplitPos int
+	// BoundPos is the 1-based position of the bounding key c‴ within B
+	// (THCL split control, Section 4.2). 0 selects b+1, the last key —
+	// the basic method's partly random split. SplitPos+1 makes every
+	// split deterministic. Must exceed SplitPos. Ignored in basic mode,
+	// which always bounds with the last key.
+	BoundPos int
+	// Redistribution enables key shifts into neighbour buckets before
+	// appending a new one (THCL only).
+	Redistribution Redistribution
+	// Merge selects the deletion behaviour.
+	Merge MergePolicy
+	// CollapseOnMerge removes trie nodes made redundant by THCL merges
+	// (both pointers on one bucket). The paper notes leaving them in
+	// place is often preferable; off by default.
+	CollapseOnMerge bool
+	// TombstoneMerges marks merged-away trie cells dead instead of
+	// physically removing them — Section 2.4's concurrency-friendly
+	// option ("only mark deleted leaves through a special value").
+	// Vacuum during Save reclaims them.
+	TombstoneMerges bool
+}
+
+// withDefaults validates cfg and fills the defaulted fields in.
+func (cfg Config) withDefaults() (Config, error) {
+	if cfg.Alphabet == (keys.Alphabet{}) {
+		cfg.Alphabet = keys.ASCII
+	}
+	if cfg.Alphabet.Min >= cfg.Alphabet.Max {
+		return cfg, fmt.Errorf("core: alphabet [%q, %q] is empty", cfg.Alphabet.Min, cfg.Alphabet.Max)
+	}
+	if cfg.Capacity < 2 {
+		return cfg, fmt.Errorf("core: bucket capacity %d; need at least 2", cfg.Capacity)
+	}
+	if cfg.SplitPos == 0 {
+		cfg.SplitPos = cfg.Capacity/2 + 1
+	}
+	if cfg.SplitPos < 1 || cfg.SplitPos > cfg.Capacity {
+		return cfg, fmt.Errorf("core: split position %d outside [1, %d]", cfg.SplitPos, cfg.Capacity)
+	}
+	if cfg.BoundPos == 0 {
+		cfg.BoundPos = cfg.Capacity + 1
+	}
+	if cfg.Mode == trie.ModeBasic {
+		cfg.BoundPos = cfg.Capacity + 1 // the basic split always bounds with the last key
+	}
+	if cfg.BoundPos <= cfg.SplitPos || cfg.BoundPos > cfg.Capacity+1 {
+		return cfg, fmt.Errorf("core: bounding position %d outside (%d, %d]", cfg.BoundPos, cfg.SplitPos, cfg.Capacity+1)
+	}
+	if cfg.Mode == trie.ModeBasic && cfg.Redistribution != RedistNone {
+		return cfg, fmt.Errorf("core: redistribution requires THCL mode (shared leaves)")
+	}
+	if cfg.Merge == MergeDefault {
+		if cfg.Mode == trie.ModeBasic {
+			cfg.Merge = MergeSiblings
+		} else {
+			cfg.Merge = MergeGuaranteed
+		}
+	}
+	if cfg.Mode == trie.ModeBasic && cfg.Merge == MergeGuaranteed {
+		return cfg, fmt.Errorf("core: guaranteed-load merging requires THCL mode")
+	}
+	if cfg.Mode == trie.ModeTHCL && cfg.Merge == MergeRotations {
+		return cfg, fmt.Errorf("core: rotation merging belongs to the basic method; THCL uses MergeGuaranteed")
+	}
+	return cfg, nil
+}

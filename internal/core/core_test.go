@@ -1,0 +1,1060 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"path/filepath"
+	"sort"
+	"testing"
+
+	"triehash/internal/store"
+	"triehash/internal/trie"
+)
+
+// knuthWords are the 31 most used English words of /KNU73/, the data of
+// the paper's Fig 1, in frequency order (the paper's insertion order).
+var knuthWords = []string{
+	"the", "of", "and", "to", "a", "in", "that", "is", "i", "it",
+	"for", "as", "with", "was", "his", "he", "be", "not", "by", "but",
+	"have", "you", "which", "are", "on", "or", "her", "had", "at", "from",
+	"this",
+}
+
+func newFile(t *testing.T, cfg Config) *File {
+	t.Helper()
+	f, err := New(cfg, store.NewMem())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func mustPut(t *testing.T, f *File, key string) {
+	t.Helper()
+	if _, err := f.Put(key, []byte(key)); err != nil {
+		t.Fatalf("Put(%q): %v", key, err)
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	cfg, err := Config{Capacity: 4}.withDefaults()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.SplitPos != 3 { // INT(b/2 + 1), the paper's Fig 1 value
+		t.Errorf("default SplitPos = %d, want 3", cfg.SplitPos)
+	}
+	if cfg.BoundPos != 5 {
+		t.Errorf("default BoundPos = %d, want b+1 = 5", cfg.BoundPos)
+	}
+	if cfg.Merge != MergeSiblings {
+		t.Errorf("default merge for basic mode = %v", cfg.Merge)
+	}
+	cfg, err = Config{Capacity: 10, Mode: trie.ModeTHCL}.withDefaults()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.SplitPos != 6 || cfg.Merge != MergeGuaranteed {
+		t.Errorf("THCL defaults: %+v", cfg)
+	}
+}
+
+func TestConfigErrors(t *testing.T) {
+	bad := []Config{
+		{Capacity: 1},
+		{Capacity: 4, SplitPos: 5},
+		{Capacity: 4, SplitPos: -1},
+		{Capacity: 4, Mode: trie.ModeTHCL, SplitPos: 3, BoundPos: 3},
+		{Capacity: 4, Mode: trie.ModeTHCL, BoundPos: 99},
+		{Capacity: 4, Redistribution: RedistBoth}, // basic mode
+		{Capacity: 4, Merge: MergeGuaranteed},     // basic mode
+	}
+	for i, cfg := range bad {
+		if _, err := cfg.withDefaults(); err == nil {
+			t.Errorf("config %d accepted: %+v", i, cfg)
+		}
+	}
+}
+
+func TestEmptyFile(t *testing.T) {
+	f := newFile(t, Config{Capacity: 4})
+	if _, err := f.Get("absent"); !errors.Is(err, ErrNotFound) {
+		t.Errorf("Get on empty file: %v", err)
+	}
+	if err := f.Delete("absent"); !errors.Is(err, ErrNotFound) {
+		t.Errorf("Delete on empty file: %v", err)
+	}
+	if _, err := f.Min(); !errors.Is(err, ErrNotFound) {
+		t.Errorf("Min on empty file: %v", err)
+	}
+	if _, err := f.Max(); !errors.Is(err, ErrNotFound) {
+		t.Errorf("Max on empty file: %v", err)
+	}
+	if err := f.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestKeyValidation(t *testing.T) {
+	f := newFile(t, Config{Capacity: 4})
+	for _, bad := range []string{"", "trailing ", "\x01ctl"} {
+		if _, err := f.Put(bad, nil); err == nil {
+			t.Errorf("Put(%q) accepted", bad)
+		}
+		if _, err := f.Get(bad); err == nil {
+			t.Errorf("Get(%q) accepted", bad)
+		}
+		if err := f.Delete(bad); err == nil {
+			t.Errorf("Delete(%q) accepted", bad)
+		}
+	}
+}
+
+// TestFig1ExampleFile loads the paper's Fig 1 file: the 31 Knuth words,
+// b = 4, m = 3, basic method.
+func TestFig1ExampleFile(t *testing.T) {
+	f := newFile(t, Config{Capacity: 4, SplitPos: 3})
+	for _, w := range knuthWords {
+		mustPut(t, f, w)
+	}
+	if err := f.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	st := f.Stats()
+	if st.Keys != 31 {
+		t.Fatalf("keys = %d", st.Keys)
+	}
+	// The paper's file has buckets 0..10 (11 buckets; ten
+	// successor-predecessor couples). The exact count depends on the
+	// insertion order of Fig 1a, which the paper only shows partially;
+	// with frequency order we must land close.
+	if st.Buckets < 9 || st.Buckets > 13 {
+		t.Errorf("buckets = %d, expected around 11\n%s", st.Buckets, f.trie.String())
+	}
+	// Every word is found, no other word is.
+	for _, w := range knuthWords {
+		if v, err := f.Get(w); err != nil || string(v) != w {
+			t.Errorf("Get(%q) = %q, %v", w, v, err)
+		}
+	}
+	for _, w := range []string{"hat", "zebra", "an", "b"} {
+		if _, err := f.Get(w); !errors.Is(err, ErrNotFound) {
+			t.Errorf("Get(%q) = %v, want ErrNotFound", w, err)
+		}
+	}
+	// The trie has exactly cells = leaves - 1 and load in the basic
+	// random band.
+	if st.Load < 0.5 || st.Load > 0.9 {
+		t.Errorf("load = %.3f", st.Load)
+	}
+	t.Logf("Fig 1 file: %v\ntrie: %s", st, f.trie.String())
+}
+
+// TestFig1RangeScan reproduces the ordered-file property on the word file.
+func TestFig1RangeScan(t *testing.T) {
+	f := newFile(t, Config{Capacity: 4, SplitPos: 3})
+	for _, w := range knuthWords {
+		mustPut(t, f, w)
+	}
+	var got []string
+	if err := f.Range("h", "j", func(k string, _ []byte) bool {
+		got = append(got, k)
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"had", "have", "he", "her", "his", "i", "in", "is", "it"}
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Errorf("range [h,j] = %v, want %v", got, want)
+	}
+	// Full scan is the sorted key set.
+	got = nil
+	f.Range("a", "", func(k string, _ []byte) bool { got = append(got, k); return true })
+	sorted := append([]string(nil), knuthWords...)
+	sort.Strings(sorted)
+	if fmt.Sprint(got) != fmt.Sprint(sorted) {
+		t.Errorf("full scan = %v", got)
+	}
+}
+
+func configsUnderTest() map[string]Config {
+	return map[string]Config{
+		"basic-b4":        {Capacity: 4},
+		"basic-b8-m8":     {Capacity: 8, SplitPos: 8},
+		"thcl-b4":         {Capacity: 4, Mode: trie.ModeTHCL},
+		"thcl-b8-det":     {Capacity: 8, Mode: trie.ModeTHCL, SplitPos: 4, BoundPos: 5},
+		"thcl-b6-redist":  {Capacity: 6, Mode: trie.ModeTHCL, Redistribution: RedistBoth},
+		"thcl-collapse":   {Capacity: 5, Mode: trie.ModeTHCL, Redistribution: RedistSuccessor, CollapseOnMerge: true},
+		"thcl-b4-ascend":  {Capacity: 4, Mode: trie.ModeTHCL, SplitPos: 4},
+		"basic-b5-m1":     {Capacity: 5, SplitPos: 1},
+		"thcl-b5-descend": {Capacity: 5, Mode: trie.ModeTHCL, SplitPos: 1, BoundPos: 2},
+	}
+}
+
+func modelKey(rng *rand.Rand) string {
+	n := 1 + rng.Intn(7)
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = byte('a' + rng.Intn(5))
+	}
+	return string(b)
+}
+
+// TestFileAgainstModel shadows random Put/Get/Delete/Range traffic with a
+// map + sorted-slice model across every configuration.
+func TestFileAgainstModel(t *testing.T) {
+	for name, cfg := range configsUnderTest() {
+		name, cfg := name, cfg
+		t.Run(name, func(t *testing.T) {
+			rng := rand.New(rand.NewSource(99))
+			f := newFile(t, cfg)
+			model := map[string]string{}
+			for step := 0; step < 4000; step++ {
+				k := modelKey(rng)
+				switch op := rng.Intn(10); {
+				case op < 5: // put
+					v := fmt.Sprintf("v%d", step)
+					replaced, err := f.Put(k, []byte(v))
+					if err != nil {
+						t.Fatalf("step %d Put(%q): %v", step, k, err)
+					}
+					if _, had := model[k]; had != replaced {
+						t.Fatalf("step %d Put(%q): replaced=%v, model %v", step, k, replaced, had)
+					}
+					model[k] = v
+				case op < 8: // get
+					v, err := f.Get(k)
+					want, ok := model[k]
+					switch {
+					case ok && (err != nil || string(v) != want):
+						t.Fatalf("step %d Get(%q) = %q, %v; want %q", step, k, v, err, want)
+					case !ok && !errors.Is(err, ErrNotFound):
+						t.Fatalf("step %d Get(%q): %v, want ErrNotFound", step, k, err)
+					}
+				case op < 9: // delete
+					err := f.Delete(k)
+					_, ok := model[k]
+					switch {
+					case ok && err != nil:
+						t.Fatalf("step %d Delete(%q): %v", step, k, err)
+					case !ok && !errors.Is(err, ErrNotFound):
+						t.Fatalf("step %d Delete(%q): %v, want ErrNotFound", step, k, err)
+					}
+					delete(model, k)
+				default: // range
+					lo, hi := modelKey(rng), modelKey(rng)
+					if hi < lo {
+						lo, hi = hi, lo
+					}
+					var got []string
+					if err := f.Range(lo, hi, func(k string, _ []byte) bool {
+						got = append(got, k)
+						return true
+					}); err != nil {
+						t.Fatal(err)
+					}
+					var want []string
+					for mk := range model {
+						if mk >= lo && mk <= hi {
+							want = append(want, mk)
+						}
+					}
+					sort.Strings(want)
+					if fmt.Sprint(got) != fmt.Sprint(want) {
+						t.Fatalf("step %d Range(%q,%q) = %v, want %v", step, lo, hi, got, want)
+					}
+				}
+				if step%500 == 499 {
+					if err := f.CheckInvariants(); err != nil {
+						t.Fatalf("step %d: %v", step, err)
+					}
+				}
+			}
+			if err := f.CheckInvariants(); err != nil {
+				t.Fatal(err)
+			}
+			if f.Len() != len(model) {
+				t.Fatalf("file has %d keys, model %d", f.Len(), len(model))
+			}
+		})
+	}
+}
+
+// randomKeys returns n distinct pseudo-random keys.
+func randomKeys(seed int64, n int) []string {
+	rng := rand.New(rand.NewSource(seed))
+	seen := make(map[string]bool, n)
+	out := make([]string, 0, n)
+	for len(out) < n {
+		l := 3 + rng.Intn(8)
+		b := make([]byte, l)
+		for i := range b {
+			b[i] = byte('a' + rng.Intn(26))
+		}
+		k := string(b)
+		if !seen[k] {
+			seen[k] = true
+			out = append(out, k)
+		}
+	}
+	return out
+}
+
+func loadFile(t *testing.T, cfg Config, keys []string) *File {
+	t.Helper()
+	f := newFile(t, cfg)
+	for _, k := range keys {
+		mustPut(t, f, k)
+	}
+	return f
+}
+
+// TestRandomInsertLoad reproduces Section 3.1: ~70% bucket load under
+// random insertions with the middle split position, both methods.
+func TestRandomInsertLoad(t *testing.T) {
+	keys := randomKeys(1, 4000)
+	for _, cfg := range []Config{
+		{Capacity: 10},
+		{Capacity: 20},
+		{Capacity: 10, Mode: trie.ModeTHCL},
+		{Capacity: 20, Mode: trie.ModeTHCL},
+	} {
+		f := loadFile(t, cfg, keys)
+		st := f.Stats()
+		if st.Load < 0.62 || st.Load > 0.78 {
+			t.Errorf("%v b=%d: random load %.3f outside [0.62, 0.78]", cfg.Mode, cfg.Capacity, st.Load)
+		}
+		if cfg.Mode == trie.ModeBasic && st.NilLeafShare > 0.01 {
+			t.Errorf("b=%d: nil-leaf share %.4f > 1%% under random insertions", cfg.Capacity, st.NilLeafShare)
+		}
+		if err := f.CheckInvariants(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestAscendingCompactTHCL reproduces the paper's headline: d = 0 (m = b,
+// deterministic bound) yields a 100%-loaded file under ascending
+// insertions with THCL (Fig 10), which the basic method cannot do (Fig 5).
+func TestAscendingCompactTHCL(t *testing.T) {
+	keys := randomKeys(2, 1500)
+	sort.Strings(keys)
+	b := 10
+	f := loadFile(t, Config{Capacity: b, Mode: trie.ModeTHCL, SplitPos: b}, keys)
+	st := f.Stats()
+	// All buckets except the currently filling one hold exactly b keys.
+	full := float64(st.Keys) / float64(b*(st.Buckets-1))
+	if full < 0.999 {
+		t.Errorf("compact ascending: closed-bucket load %.4f, want 1.0 (stats %v)", full, st)
+	}
+	if st.Load < 0.99 {
+		t.Errorf("compact ascending: load %.4f, want ~1.0", st.Load)
+	}
+	if st.NilLeaves != 0 {
+		t.Errorf("THCL created %d nil leaves", st.NilLeaves)
+	}
+	if err := f.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Basic method, same parameters (Fig 5): load stays clearly below.
+	fb := loadFile(t, Config{Capacity: b, SplitPos: b}, keys)
+	stb := fb.Stats()
+	if stb.Load > 0.85 {
+		t.Errorf("basic ascending m=b: load %.3f, paper expects 60-80%%", stb.Load)
+	}
+	if stb.NilLeaves == 0 {
+		t.Error("basic ascending m=b should create nil leaves (Fig 5)")
+	}
+	t.Logf("ascending b=%d: THCL load=%.3f M=%d; basic load=%.3f M=%d nil=%d",
+		b, st.Load, st.TrieCells, stb.Load, stb.TrieCells, stb.NilLeaves)
+}
+
+// TestDescendingCompactTHCL reproduces Fig 8 / Fig 11: descending
+// insertions with m = 1 and the bounding key at m+1 give a 100% load;
+// bounding at m+1 with the middle m gives exactly 50%.
+func TestDescendingCompactTHCL(t *testing.T) {
+	keys := randomKeys(3, 1500)
+	sort.Sort(sort.Reverse(sort.StringSlice(keys)))
+	b := 10
+
+	f := loadFile(t, Config{Capacity: b, Mode: trie.ModeTHCL, SplitPos: 1, BoundPos: 2}, keys)
+	st := f.Stats()
+	full := float64(st.Keys) / float64(b*st.Buckets)
+	if full < 0.95 {
+		t.Errorf("compact descending: load %.4f, want ~1.0 (%v)", full, st)
+	}
+	if err := f.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Fig 8 variant: the usual middle split key m = INT(b/2+1) with the
+	// bounding key right above it: every split moves exactly
+	// b+1-m = b/2 keys into the new bucket, pinning the load at 50%.
+	m := b/2 + 1
+	f2 := loadFile(t, Config{Capacity: b, Mode: trie.ModeTHCL, SplitPos: m, BoundPos: m + 1}, keys)
+	st2 := f2.Stats()
+	if st2.Load < 0.45 || st2.Load > 0.56 {
+		t.Errorf("controlled descending: load %.3f, want ~0.50 (%v)", st2.Load, st2)
+	}
+
+	// Basic method with m=1 (Fig 6): split randomness keeps load under
+	// 100%, typically 60-80%.
+	f3 := loadFile(t, Config{Capacity: b, SplitPos: 1}, keys)
+	st3 := f3.Stats()
+	if st3.Load > 0.9 {
+		t.Errorf("basic descending m=1: load %.3f, paper expects 60-80%%", st3.Load)
+	}
+	t.Logf("descending b=%d: THCL(1,2) load=%.3f; THCL(%d,%d) load=%.3f; basic(m=1) load=%.3f",
+		b, st.Load, m, m+1, st2.Load, st3.Load)
+}
+
+// TestGuaranteed50Unexpected reproduces Section 4.5: deterministic middle
+// splits guarantee 50% under ordered insertions of either direction, for
+// any b.
+func TestGuaranteed50Unexpected(t *testing.T) {
+	keys := randomKeys(4, 1200)
+	sort.Strings(keys)
+	desc := append([]string(nil), keys...)
+	sort.Sort(sort.Reverse(sort.StringSlice(desc)))
+	for _, b := range []int{6, 10, 20} {
+		// Deterministic middle splits: closed buckets keep m keys under
+		// ascending insertions and receive b+1-m under descending ones,
+		// so both directions are guaranteed at least ~50% and approach
+		// 50% as b grows.
+		m := b / 2
+		cfg := Config{Capacity: b, Mode: trie.ModeTHCL, SplitPos: m, BoundPos: m + 1}
+		hi := 0.5 + 2.0/float64(b) + 0.03
+		fa := loadFile(t, cfg, keys)
+		fd := loadFile(t, cfg, desc)
+		la, ld := fa.Stats().Load, fd.Stats().Load
+		if la < 0.47 || la > hi {
+			t.Errorf("b=%d ascending deterministic: load %.3f outside [0.47, %.3f]", b, la, hi)
+		}
+		if ld < 0.47 || ld > hi {
+			t.Errorf("b=%d descending deterministic: load %.3f outside [0.47, %.3f]", b, ld, hi)
+		}
+		t.Logf("b=%d deterministic middle: a_a=%.3f a_d=%.3f", b, la, ld)
+	}
+}
+
+// TestUnexpectedOrderedBands reproduces Section 3.2: with the middle split
+// position, ascending load lands in 60-73% (beating a B-tree's 50%) and
+// descending in 40-55%.
+func TestUnexpectedOrderedBands(t *testing.T) {
+	keys := randomKeys(5, 2500)
+	sort.Strings(keys)
+	desc := append([]string(nil), keys...)
+	sort.Sort(sort.Reverse(sort.StringSlice(desc)))
+	for _, b := range []int{10, 20, 50} {
+		fa := loadFile(t, Config{Capacity: b}, keys)
+		la := fa.Stats().Load
+		if la < 0.55 || la > 0.78 {
+			t.Errorf("b=%d unexpected ascending: load %.3f, paper band 60-73%%", b, la)
+		}
+		fd := loadFile(t, Config{Capacity: b}, desc)
+		ld := fd.Stats().Load
+		if ld < 0.36 || ld > 0.60 {
+			t.Errorf("b=%d unexpected descending: load %.3f, paper band 40-55%%", b, ld)
+		}
+		t.Logf("b=%d: a_a=%.3f a_d=%.3f", b, la, ld)
+	}
+}
+
+// TestRedistributionRaisesLoad reproduces Section 4.4/4.5: redistribution
+// lifts the random-insertion load above the plain ~70%.
+func TestRedistributionRaisesLoad(t *testing.T) {
+	keys := randomKeys(6, 3000)
+	b := 10
+	plain := loadFile(t, Config{Capacity: b, Mode: trie.ModeTHCL}, keys)
+	redist := loadFile(t, Config{Capacity: b, Mode: trie.ModeTHCL, Redistribution: RedistBoth}, keys)
+	lp, lr := plain.Stats().Load, redist.Stats().Load
+	if lr <= lp {
+		t.Errorf("redistribution load %.3f not above plain %.3f", lr, lp)
+	}
+	if lr < 0.70 {
+		t.Errorf("redistribution load %.3f below 0.70", lr)
+	}
+	if redist.Redistributions() == 0 {
+		t.Error("no redistributions happened")
+	}
+	if err := redist.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("random b=%d: plain=%.3f redist=%.3f (redistributions=%d of %d splits)",
+		b, lp, lr, redist.Redistributions(), redist.Splits())
+}
+
+// TestRedistributionSorted reproduces the claim that redistribution raises
+// unexpected-ordered loads toward B-tree-with-redistribution levels.
+func TestRedistributionSorted(t *testing.T) {
+	keys := randomKeys(7, 2000)
+	sort.Strings(keys)
+	b := 10
+	plain := loadFile(t, Config{Capacity: b, Mode: trie.ModeTHCL}, keys)
+	redist := loadFile(t, Config{Capacity: b, Mode: trie.ModeTHCL, Redistribution: RedistPredecessor}, keys)
+	lp, lr := plain.Stats().Load, redist.Stats().Load
+	if lr <= lp {
+		t.Errorf("sorted redistribution load %.3f not above plain %.3f", lr, lp)
+	}
+	if err := redist.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("ascending b=%d: plain=%.3f redist-pred=%.3f", b, lp, lr)
+}
+
+// TestDeletionGuarantee reproduces Section 4.3: THCL guarantees at least
+// 50% bucket load under deletions (every bucket but at most the single
+// survivor).
+func TestDeletionGuarantee(t *testing.T) {
+	keys := randomKeys(8, 2000)
+	b := 8
+	// Deterministic splits (bounding key next to the split key) are what
+	// make the 50% bound hold file-wide: partly random splits may create
+	// buckets under b/2 regardless of deletions (Section 4.2).
+	f := loadFile(t, Config{Capacity: b, Mode: trie.ModeTHCL, SplitPos: 5, BoundPos: 6}, keys)
+	rng := rand.New(rand.NewSource(8))
+	perm := rng.Perm(len(keys))
+	for i, pi := range perm {
+		if i == len(keys)-10 {
+			break // keep a few keys
+		}
+		if err := f.Delete(keys[pi]); err != nil {
+			t.Fatalf("Delete(%q): %v", keys[pi], err)
+		}
+		if i%250 == 0 {
+			if err := f.CheckInvariants(); err != nil {
+				t.Fatalf("after %d deletes: %v", i, err)
+			}
+			if err := checkMinLoad(f, b); err != nil {
+				t.Fatalf("after %d deletes: %v", i, err)
+			}
+		}
+	}
+	if err := f.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if err := checkMinLoad(f, b); err != nil {
+		t.Error(err)
+	}
+}
+
+// checkMinLoad verifies every bucket holds at least b/2 records, except
+// when the file has a single bucket.
+func checkMinLoad(f *File, b int) error {
+	if f.Stats().Buckets <= 1 {
+		return nil
+	}
+	seen := map[int32]bool{}
+	for _, lp := range f.trie.InorderLeaves() {
+		if lp.Leaf.IsNil() || seen[lp.Leaf.Addr()] {
+			continue
+		}
+		seen[lp.Leaf.Addr()] = true
+		bk, err := f.st.Read(lp.Leaf.Addr())
+		if err != nil {
+			return err
+		}
+		if 2*bk.Len() < b {
+			return fmt.Errorf("bucket %d holds %d < b/2 = %d records", lp.Leaf.Addr(), bk.Len(), b/2)
+		}
+	}
+	return nil
+}
+
+// TestDeletionBasic drives the basic method's sibling merges.
+func TestDeletionBasic(t *testing.T) {
+	keys := randomKeys(9, 800)
+	f := loadFile(t, Config{Capacity: 6}, keys)
+	before := f.Stats().Buckets
+	rng := rand.New(rand.NewSource(9))
+	perm := rng.Perm(len(keys))
+	for _, pi := range perm[:700] {
+		if err := f.Delete(keys[pi]); err != nil {
+			t.Fatalf("Delete(%q): %v", keys[pi], err)
+		}
+	}
+	if err := f.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	after := f.Stats().Buckets
+	if after >= before {
+		t.Errorf("file did not shrink: %d -> %d buckets", before, after)
+	}
+	// The 100 survivors are all still reachable.
+	for _, pi := range perm[700:] {
+		if _, err := f.Get(keys[pi]); err != nil {
+			t.Errorf("survivor %q lost: %v", keys[pi], err)
+		}
+	}
+}
+
+// TestDeleteToEmpty empties a file completely and rebuilds it.
+func TestDeleteToEmpty(t *testing.T) {
+	for _, cfg := range []Config{
+		{Capacity: 4},
+		{Capacity: 4, Mode: trie.ModeTHCL},
+	} {
+		f := newFile(t, cfg)
+		for _, w := range knuthWords {
+			mustPut(t, f, w)
+		}
+		for _, w := range knuthWords {
+			if err := f.Delete(w); err != nil {
+				t.Fatalf("%v Delete(%q): %v", cfg.Mode, w, err)
+			}
+		}
+		if f.Len() != 0 {
+			t.Fatalf("%v: %d keys remain", cfg.Mode, f.Len())
+		}
+		if err := f.CheckInvariants(); err != nil {
+			t.Fatalf("%v: %v", cfg.Mode, err)
+		}
+		// Rebuild on the emptied file.
+		for _, w := range knuthWords {
+			mustPut(t, f, w)
+		}
+		if err := f.CheckInvariants(); err != nil {
+			t.Fatalf("%v rebuild: %v", cfg.Mode, err)
+		}
+	}
+}
+
+// TestAccessCounts verifies the paper's access-cost model: one bucket read
+// per successful search (trie in core), zero for a search ending on a nil
+// leaf, 1R+1W for a non-splitting insertion.
+func TestAccessCounts(t *testing.T) {
+	f := newFile(t, Config{Capacity: 4, SplitPos: 4})
+	// Force nil leaves via an ascending multi-digit split.
+	for _, k := range []string{"oshd", "osmb", "oszb", "oszh", "oszr"} {
+		mustPut(t, f, k)
+	}
+	if f.Stats().NilLeaves == 0 {
+		t.Fatal("setup: expected nil leaves")
+	}
+	st := f.Store()
+	st.ResetCounters()
+	if _, err := f.Get("oszb"); err != nil {
+		t.Fatal(err)
+	}
+	if c := st.Counters(); c.Reads != 1 || c.Writes != 0 {
+		t.Errorf("successful search cost %v, want 1 read", c)
+	}
+	st.ResetCounters()
+	// "ota" falls on a nil leaf (Fig 5): unsuccessful search, no access.
+	if _, err := f.Get("ota"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("Get(ota): %v", err)
+	}
+	if c := st.Counters(); c.Accesses() != 0 {
+		t.Errorf("nil-leaf search cost %v, want none", c)
+	}
+	st.ResetCounters()
+	mustPut(t, f, "oszj") // lands in the one-record bucket: no split
+	if c := st.Counters(); c.Reads != 1 || c.Writes != 1 {
+		t.Errorf("plain insertion cost %v, want 1R+1W", c)
+	}
+}
+
+// TestPersistenceRoundTrip saves a file (FileStore + SaveMeta) and reopens
+// it.
+func TestPersistenceRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	fs, err := store.CreateFile(filepath.Join(dir, "buckets.th"), 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{Capacity: 8, Mode: trie.ModeTHCL, SplitPos: 4, BoundPos: 5}
+	f, err := New(cfg, fs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := randomKeys(11, 500)
+	for _, k := range keys {
+		if _, err := f.Put(k, []byte("v:"+k)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	meta := f.SaveMeta()
+	if err := fs.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	fs2, err := store.OpenFile(filepath.Join(dir, "buckets.th"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fs2.Close()
+	f2, err := Open(meta, fs2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f2.Len() != len(keys) || f2.Splits() != f.Splits() {
+		t.Fatalf("reopened: %d keys %d splits; want %d/%d", f2.Len(), f2.Splits(), len(keys), f.Splits())
+	}
+	if f2.Config().SplitPos != 4 || f2.Config().BoundPos != 5 {
+		t.Fatalf("config lost: %+v", f2.Config())
+	}
+	for _, k := range keys {
+		v, err := f2.Get(k)
+		if err != nil || string(v) != "v:"+k {
+			t.Fatalf("reopened Get(%q) = %q, %v", k, v, err)
+		}
+	}
+	if err := f2.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	// The reopened file keeps working.
+	if _, err := f2.Put("zzz-new", nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOpenErrors(t *testing.T) {
+	if _, err := Open(nil, store.NewMem()); err == nil {
+		t.Error("nil meta accepted")
+	}
+	if _, err := Open(make([]byte, 40), store.NewMem()); err == nil {
+		t.Error("zero meta accepted")
+	}
+	f := newFile(t, Config{Capacity: 4})
+	meta := f.SaveMeta()
+	meta[0] ^= 0xFF
+	if _, err := Open(meta, store.NewMem()); err == nil {
+		t.Error("corrupt magic accepted")
+	}
+}
+
+func TestNewOnNonEmptyStore(t *testing.T) {
+	st := store.NewMem()
+	if _, err := st.Alloc(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := New(Config{Capacity: 4}, st); err == nil {
+		t.Error("New on a non-empty store accepted")
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	f := newFile(t, Config{Capacity: 4})
+	for _, w := range knuthWords {
+		mustPut(t, f, w)
+	}
+	min, err := f.Min()
+	if err != nil || min != "a" {
+		t.Errorf("Min = %q, %v", min, err)
+	}
+	max, err := f.Max()
+	if err != nil || max != "you" {
+		t.Errorf("Max = %q, %v", max, err)
+	}
+}
+
+// TestTrieGrowthRate reproduces the Section 4.5 figures: the growth rate
+// s = M/splits stays near 1 cell per split for random insertions and
+// within the paper's 1.6-2.13 band for fully compact ascending loads.
+func TestTrieGrowthRate(t *testing.T) {
+	keys := randomKeys(12, 3000)
+	f := loadFile(t, Config{Capacity: 10}, keys)
+	st := f.Stats()
+	if st.GrowthRate < 0.99 || st.GrowthRate > 1.15 {
+		t.Errorf("random growth rate %.3f, want ~1", st.GrowthRate)
+	}
+	sort.Strings(keys)
+	fc := loadFile(t, Config{Capacity: 10, Mode: trie.ModeTHCL, SplitPos: 10}, keys)
+	sc := fc.Stats()
+	if sc.GrowthRate < 1.2 || sc.GrowthRate > 2.6 {
+		t.Errorf("compact ascending growth rate %.3f, paper band ~1.6-2.13", sc.GrowthRate)
+	}
+	t.Logf("growth rates: random=%.3f compact-ascending=%.3f", st.GrowthRate, sc.GrowthRate)
+}
+
+func TestValuesRoundTrip(t *testing.T) {
+	f := newFile(t, Config{Capacity: 4, Mode: trie.ModeTHCL})
+	keys := randomKeys(13, 300)
+	for i, k := range keys {
+		if _, err := f.Put(k, []byte(fmt.Sprintf("value-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i, k := range keys {
+		v, err := f.Get(k)
+		if err != nil || string(v) != fmt.Sprintf("value-%d", i) {
+			t.Fatalf("Get(%q) = %q, %v", k, v, err)
+		}
+	}
+	// Overwrites keep the count stable.
+	n := f.Len()
+	if _, err := f.Put(keys[0], []byte("new")); err != nil {
+		t.Fatal(err)
+	}
+	if f.Len() != n {
+		t.Errorf("overwrite changed Len: %d -> %d", n, f.Len())
+	}
+	if v, _ := f.Get(keys[0]); string(v) != "new" {
+		t.Errorf("overwrite lost: %q", v)
+	}
+}
+
+// TestFig1Couples pins the paper's Section 3.3 merge arithmetic on the
+// real example file: ten successive couples, four of them siblings,
+// rotations lift the mergeable count to eight, and the couples (9,4) and
+// (3,2) stay blocked by logical ancestorship.
+func TestFig1Couples(t *testing.T) {
+	f := newFile(t, Config{Capacity: 4, SplitPos: 3})
+	for _, w := range knuthWords {
+		mustPut(t, f, w)
+	}
+	couples := f.Trie().Couples()
+	if len(couples) != 10 {
+		t.Fatalf("%d couples, want 10", len(couples))
+	}
+	siblings, rotatable := 0, 0
+	blocked := map[[2]int32]bool{}
+	for _, c := range couples {
+		if c.Siblings {
+			siblings++
+		}
+		if c.Rotatable {
+			rotatable++
+		} else {
+			blocked[[2]int32{c.Left.Addr(), c.Right.Addr()}] = true
+		}
+	}
+	t.Logf("siblings=%d rotatable=%d blocked=%v", siblings, rotatable, blocked)
+	if siblings != 4 {
+		t.Errorf("siblings = %d, paper says 4", siblings)
+	}
+	// The paper reports 8 rotatable couples; with our frequency-order
+	// insertions (Fig 1a is only partially shown) a third couple (8,6)
+	// is blocked too: its spine node (e,1) sits above bucket 8 and
+	// lifting it over (h,0) would change its boundary from "he" to
+	// "i"-prefixed — the rotation-validity property tests prove such a
+	// lift breaks routing, so 7 is the correct count for this file.
+	if rotatable < 7 || rotatable > 8 {
+		t.Errorf("rotatable = %d, paper says 8 (7 expected for this insertion order)", rotatable)
+	}
+	if !blocked[[2]int32{9, 4}] || !blocked[[2]int32{3, 2}] {
+		t.Errorf("blocked couples %v, paper says (9,4) and (2,3)", blocked)
+	}
+}
+
+// TestMergeRotationsPolicy: the Section 3.3 refinement lets the basic
+// method shrink further than sibling-only merging on the same deletion
+// stream, with all invariants intact.
+func TestMergeRotationsPolicy(t *testing.T) {
+	keys := randomKeys(37, 1500)
+	rng := rand.New(rand.NewSource(37))
+	perm := rng.Perm(len(keys))
+
+	run := func(policy MergePolicy) *File {
+		f := newFile(t, Config{Capacity: 8, Merge: policy})
+		for _, k := range keys {
+			mustPut(t, f, k)
+		}
+		for _, pi := range perm[:1350] {
+			if err := f.Delete(keys[pi]); err != nil {
+				t.Fatalf("Delete(%q): %v", keys[pi], err)
+			}
+		}
+		if err := f.CheckInvariants(); err != nil {
+			t.Fatalf("policy %v: %v", policy, err)
+		}
+		for _, pi := range perm[1350:] {
+			if _, err := f.Get(keys[pi]); err != nil {
+				t.Fatalf("policy %v: survivor %q lost: %v", policy, keys[pi], err)
+			}
+		}
+		return f
+	}
+	plain := run(MergeSiblings)
+	rot := run(MergeRotations)
+	bp, br := plain.Stats().Buckets, rot.Stats().Buckets
+	if br > bp {
+		t.Errorf("rotations left more buckets (%d) than sibling-only (%d)", br, bp)
+	}
+	t.Logf("after 90%% deletions: sibling-only %d buckets (load %.3f), rotations %d buckets (load %.3f)",
+		bp, plain.Stats().Load, br, rot.Stats().Load)
+}
+
+// TestMergeRotationsConfigGuard: the policy is basic-TH only.
+func TestMergeRotationsConfigGuard(t *testing.T) {
+	if _, err := (Config{Capacity: 4, Mode: trie.ModeTHCL, Merge: MergeRotations}).withDefaults(); err == nil {
+		t.Error("rotation merging accepted under THCL")
+	}
+}
+
+// TestTombstoneMerges: the Section 2.4 concurrency-friendly deletion mode
+// behaves identically to physical removal at the API level, accumulates
+// dead cells instead of moving live ones, and survives persistence (which
+// vacuums).
+func TestTombstoneMerges(t *testing.T) {
+	keys := randomKeys(91, 800)
+	f := newFile(t, Config{Capacity: 6, TombstoneMerges: true})
+	for _, k := range keys {
+		mustPut(t, f, k)
+	}
+	rng := rand.New(rand.NewSource(91))
+	perm := rng.Perm(len(keys))
+	for _, pi := range perm[:700] {
+		if err := f.Delete(keys[pi]); err != nil {
+			t.Fatalf("Delete(%q): %v", keys[pi], err)
+		}
+	}
+	st := f.Stats()
+	if st.DeadCells == 0 {
+		t.Fatal("no tombstones accumulated")
+	}
+	if err := f.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	for _, pi := range perm[700:] {
+		if _, err := f.Get(keys[pi]); err != nil {
+			t.Fatalf("survivor %q lost: %v", keys[pi], err)
+		}
+	}
+	// Persistence round-trips through a vacuumed serialization.
+	g, err := Open(f.SaveMeta(), f.Store())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Stats().DeadCells != 0 {
+		t.Errorf("reopened file kept %d tombstones", g.Stats().DeadCells)
+	}
+	if g.Stats().TrieCells != st.TrieCells {
+		t.Errorf("live cells changed across reopen: %d -> %d", st.TrieCells, g.Stats().TrieCells)
+	}
+	for _, pi := range perm[700:] {
+		if _, err := g.Get(keys[pi]); err != nil {
+			t.Fatalf("reopened survivor %q lost: %v", keys[pi], err)
+		}
+	}
+}
+
+// TestWorstCaseLinearTrie exercises the Section 5 worst case: adversarial
+// keys sharing ever-deeper prefixes drive the trie toward a linear shape
+// with O(M) in-memory search — which the paper notes is not catastrophic
+// (search stays correct; the time is a fraction of a disk access) and
+// which balancing repairs.
+func TestWorstCaseLinearTrie(t *testing.T) {
+	f := newFile(t, Config{Capacity: 2, Mode: trie.ModeTHCL})
+	// Keys "z", "zz", "zzz", ...: every split string extends the shared
+	// prefix by one digit.
+	prefix := ""
+	var all []string
+	for i := 0; i < 120; i++ {
+		prefix += "z"
+		all = append(all, prefix)
+		mustPut(t, f, prefix)
+	}
+	st := f.Stats()
+	if st.Depth < st.TrieCells/2 {
+		t.Fatalf("expected a near-linear trie; depth %d of %d cells", st.Depth, st.TrieCells)
+	}
+	// Searches stay correct despite the degenerate shape.
+	for _, k := range all {
+		if _, err := f.Get(k); err != nil {
+			t.Fatalf("Get(%q): %v", k, err)
+		}
+	}
+	if err := f.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	// Balancing repairs what it can without changing semantics. A pure
+	// logical-child chain is rotation-rigid, so depth may not improve on
+	// this adversarial input — the equivalence is what matters.
+	bal := f.Trie().Balanced()
+	if err := bal.Check(0); err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range all {
+		if bal.Search(k).Leaf != f.Trie().Search(k).Leaf {
+			t.Fatalf("balanced trie routes %q differently", k)
+		}
+	}
+	t.Logf("adversarial chain: %d cells, depth %d (balanced: %d)", st.TrieCells, st.Depth, bal.Depth())
+}
+
+// TestStorageFaultsSurface injects storage failures at every depth of an
+// insert workload and checks the file returns the error (wrapped) rather
+// than panicking, and that reads of unaffected keys still work after the
+// store recovers.
+func TestStorageFaultsSurface(t *testing.T) {
+	for name, cfg := range configsUnderTest() {
+		name, cfg := name, cfg
+		t.Run(name, func(t *testing.T) {
+			keys := randomKeys(55, 400)
+			for _, budget := range []int64{0, 1, 3, 10, 50} {
+				fs := store.NewFault(store.NewMem())
+				f, err := New(cfg, fs)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for _, k := range keys[:200] {
+					mustPut(t, f, k)
+				}
+				fs.Arm(budget, true, true)
+				sawErr := false
+				for _, k := range keys[200:] {
+					if _, err := f.Put(k, nil); err != nil {
+						if !errors.Is(err, store.ErrInjected) {
+							t.Fatalf("unexpected error type: %v", err)
+						}
+						sawErr = true
+						break
+					}
+				}
+				if !sawErr {
+					// Deletions then: merge maintenance also hits the store.
+					for _, k := range keys[:200] {
+						if err := f.Delete(k); err != nil {
+							if !errors.Is(err, store.ErrInjected) {
+								t.Fatalf("unexpected error type: %v", err)
+							}
+							sawErr = true
+							break
+						}
+					}
+				}
+				if !sawErr {
+					t.Fatalf("budget %d: no failure surfaced", budget)
+				}
+				fs.Disarm()
+				// The failed operation aborted atomically: the whole
+				// file (store included) is consistent.
+				if err := f.CheckInvariants(); err != nil {
+					t.Fatalf("budget %d: invariants after fault: %v", budget, err)
+				}
+				// And the file keeps working.
+				mustPut(t, f, "zzzz-after-fault")
+			}
+		})
+	}
+}
+
+// TestStorageFaultDuringDelete: deletion-path failures surface too.
+func TestStorageFaultDuringDelete(t *testing.T) {
+	keys := randomKeys(56, 300)
+	fs := store.NewFault(store.NewMem())
+	f, err := New(Config{Capacity: 4, Mode: trie.ModeTHCL}, fs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range keys {
+		mustPut(t, f, k)
+	}
+	fs.Arm(2, true, true)
+	sawErr := false
+	for _, k := range keys {
+		if err := f.Delete(k); err != nil {
+			if errors.Is(err, store.ErrInjected) {
+				sawErr = true
+				break
+			}
+			t.Fatalf("unexpected: %v", err)
+		}
+	}
+	if !sawErr {
+		t.Fatal("no deletion failure surfaced")
+	}
+}

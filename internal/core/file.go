@@ -1,0 +1,271 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"triehash/internal/bucket"
+	"triehash/internal/store"
+	"triehash/internal/trie"
+)
+
+// ErrNotFound is returned when a key is absent from the file.
+var ErrNotFound = errors.New("core: key not found")
+
+// File is a trie-hashed file: records stored in capacity-b buckets behind a
+// TH-trie access function. The trie lives in main memory (its size is a
+// small fraction of the file, Section 3.1); buckets move through the Store.
+//
+// File is not safe for concurrent use; the public triehash package adds
+// locking.
+type File struct {
+	cfg    Config
+	trie   *trie.Trie
+	st     store.Store
+	nkeys  int
+	splits int
+	// redistributions counts splits resolved by shifting keys into an
+	// existing bucket instead of appending one.
+	redistributions int
+	// abandoned records bucket slots a failed operation could neither
+	// use nor free (a second storage failure during compensation). They
+	// hold no live data — at most duplicates of reachable records — and
+	// Recover sweeps them.
+	abandoned map[int32]bool
+}
+
+// New creates a fresh file over st, which must be empty. The initial state
+// matches the paper: bucket 0 allocated, trie equal to leaf 0.
+func New(cfg Config, st store.Store) (*File, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	if st.Buckets() != 0 {
+		return nil, fmt.Errorf("core: store already holds %d buckets", st.Buckets())
+	}
+	addr, err := st.Alloc()
+	if err != nil {
+		return nil, err
+	}
+	if addr != 0 {
+		return nil, fmt.Errorf("core: store allocated first bucket at %d, want 0", addr)
+	}
+	tr := trie.New(cfg.Alphabet, 0)
+	tr.SetTombstoning(cfg.TombstoneMerges)
+	return &File{cfg: cfg, trie: tr, st: st}, nil
+}
+
+// Config returns the file's effective configuration (defaults resolved).
+func (f *File) Config() Config { return f.cfg }
+
+// Store exposes the underlying bucket store (for access accounting).
+func (f *File) Store() store.Store { return f.st }
+
+// Trie exposes the access structure (read-only use: statistics, dumps).
+func (f *File) Trie() *trie.Trie { return f.trie }
+
+// Len returns the number of records in the file.
+func (f *File) Len() int { return f.nkeys }
+
+// Splits returns the number of bucket splits performed (redistributions
+// included).
+func (f *File) Splits() int { return f.splits }
+
+// Redistributions returns how many overflows were absorbed by key shifts
+// into existing buckets.
+func (f *File) Redistributions() int { return f.redistributions }
+
+// Get returns the value stored under key. A search through an in-core trie
+// costs at most one bucket read — zero when the key falls on a nil leaf.
+func (f *File) Get(key string) ([]byte, error) {
+	if err := f.cfg.Alphabet.Validate(key); err != nil {
+		return nil, err
+	}
+	leaf := f.trie.SearchAddr(key)
+	if leaf.IsNil() {
+		return nil, ErrNotFound
+	}
+	b, err := f.st.Read(leaf.Addr())
+	if err != nil {
+		return nil, err
+	}
+	v, ok := b.Get(key)
+	if !ok {
+		return nil, ErrNotFound
+	}
+	return v, nil
+}
+
+// Has reports whether key is present.
+func (f *File) Has(key string) (bool, error) {
+	_, err := f.Get(key)
+	switch {
+	case err == nil:
+		return true, nil
+	case errors.Is(err, ErrNotFound):
+		return false, nil
+	default:
+		return false, err
+	}
+}
+
+// Put inserts or replaces the record for key, splitting the target bucket
+// on overflow, and reports whether an existing record was replaced.
+func (f *File) Put(key string, value []byte) (bool, error) {
+	if err := f.cfg.Alphabet.Validate(key); err != nil {
+		return false, err
+	}
+	res := f.trie.Search(key)
+	if res.Leaf.IsNil() {
+		// Basic method: first insertion choosing a nil leaf allocates
+		// its bucket (Section 2.3). The bucket is written before the
+		// trie claims the leaf, so a failed write changes nothing.
+		addr, err := f.st.Alloc()
+		if err != nil {
+			return false, err
+		}
+		b := bucket.New(f.cfg.Capacity)
+		b.SetBound(res.Path) // the nil leaf's logical path (TOR83 header)
+		b.Put(key, value)
+		if err := f.st.Write(addr, b); err != nil {
+			f.freeBestEffort(addr)
+			return false, err
+		}
+		f.trie.AllocNil(res.Pos, addr)
+		f.nkeys++
+		return false, nil
+	}
+	addr := res.Leaf.Addr()
+	b, err := f.st.Read(addr)
+	if err != nil {
+		return false, err
+	}
+	replaced := b.Put(key, value)
+	if replaced {
+		return true, f.st.Write(addr, b)
+	}
+	if b.Len() <= f.cfg.Capacity {
+		if err := f.st.Write(addr, b); err != nil {
+			return false, err
+		}
+		f.nkeys++
+		return false, nil
+	}
+	if err := f.split(addr, b); err != nil {
+		return false, err
+	}
+	f.nkeys++
+	return false, nil
+}
+
+// Delete removes the record for key and runs the configured merge
+// maintenance. It returns ErrNotFound when the key is absent.
+func (f *File) Delete(key string) error {
+	if err := f.cfg.Alphabet.Validate(key); err != nil {
+		return err
+	}
+	res := f.trie.Search(key)
+	if res.Leaf.IsNil() {
+		return ErrNotFound
+	}
+	addr := res.Leaf.Addr()
+	b, err := f.st.Read(addr)
+	if err != nil {
+		return err
+	}
+	if !b.Delete(key) {
+		return ErrNotFound
+	}
+	if err := f.st.Write(addr, b); err != nil {
+		return err
+	}
+	f.nkeys--
+	return f.maintainAfterDelete(res, addr, b)
+}
+
+// Range calls fn for every record with from <= key <= to in ascending key
+// order until fn returns false. An empty to means "to the end of the
+// file". Because the file is key-ordered, the scan reads each qualifying
+// bucket exactly once — consecutive shared leaves of a THCL file cost
+// nothing extra.
+func (f *File) Range(from, to string, fn func(key string, value []byte) bool) error {
+	if to != "" && to < from {
+		return nil
+	}
+	alpha := f.cfg.Alphabet
+	lastRead := int32(-1)
+	stop := false
+	var walkErr error
+	f.trie.WalkLeavesFrom(from, func(lp trie.LeafPos) bool {
+		// Leaf covers (previous bound, lp.Path]; skip while the upper
+		// bound is still below from (the walk already pruned whole
+		// subtrees; this guards the boundary leaf).
+		if len(lp.Path) > 0 && !alpha.KeyLEBound(from, lp.Path) {
+			return true
+		}
+		if lp.Leaf.IsNil() {
+			return true
+		}
+		addr := lp.Leaf.Addr()
+		if addr != lastRead {
+			lastRead = addr
+			b, err := f.st.Read(addr)
+			if err != nil {
+				walkErr = err
+				return false
+			}
+			if !b.Ascend(from, to, func(r bucket.Record) bool { return fn(r.Key, r.Value) }) {
+				stop = true
+				return false
+			}
+		}
+		// Stop once this leaf's bound reaches past to.
+		if to != "" && len(lp.Path) > 0 && alpha.KeyLEBound(to, lp.Path) {
+			return false
+		}
+		return true
+	})
+	if walkErr != nil {
+		return walkErr
+	}
+	_ = stop
+	return nil
+}
+
+// Min returns the smallest key in the file.
+func (f *File) Min() (string, error) {
+	k := ""
+	err := f.Range("", "", func(key string, _ []byte) bool { k = key; return false })
+	if err != nil {
+		return "", err
+	}
+	if k == "" {
+		return "", ErrNotFound
+	}
+	return k, nil
+}
+
+// Max returns the largest key in the file by scanning the tail leaves.
+func (f *File) Max() (string, error) {
+	leaves := f.trie.InorderLeaves()
+	last := int32(-1)
+	for i := len(leaves) - 1; i >= 0; i-- {
+		if leaves[i].Leaf.IsNil() {
+			continue
+		}
+		addr := leaves[i].Leaf.Addr()
+		if addr == last {
+			continue
+		}
+		last = addr
+		b, err := f.st.Read(addr)
+		if err != nil {
+			return "", err
+		}
+		if b.Len() > 0 {
+			return b.MaxKey(), nil
+		}
+	}
+	return "", ErrNotFound
+}

@@ -1,0 +1,97 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"triehash/internal/store"
+	"triehash/internal/trie"
+)
+
+// FuzzFileOps interprets the fuzz input as an operation tape against a
+// small file and a map model: 4 configuration bytes, then records of
+// (op, keyLen, key...). Any divergence from the model or invariant
+// violation fails.
+func FuzzFileOps(f *testing.F) {
+	f.Add([]byte{4, 0, 0, 0, 0, 2, 'a', 'b', 0, 2, 'a', 'c', 1, 2, 'a', 'b'})
+	f.Add([]byte{2, 1, 1, 2, 0, 1, 'z', 0, 1, 'y', 0, 1, 'x', 2, 1, 'z'})
+	f.Add(bytes.Repeat([]byte{8, 0, 3, 0, 0, 3, 'q', 'q', 'q'}, 6))
+	f.Fuzz(func(t *testing.T, tape []byte) {
+		if len(tape) < 4 {
+			return
+		}
+		capacity := 2 + int(tape[0]%8)
+		mode := trie.ModeBasic
+		if tape[1]%2 == 1 {
+			mode = trie.ModeTHCL
+		}
+		splitPos := int(tape[2]) % (capacity + 1) // 0 = default
+		boundPos := 0
+		redist := RedistNone
+		if mode == trie.ModeTHCL {
+			if splitPos > 0 && splitPos < capacity {
+				boundPos = splitPos + 1 + int(tape[3]%2)*(capacity-splitPos)
+			}
+			redist = Redistribution(tape[3] % 4)
+		}
+		cfg := Config{
+			Capacity: capacity, Mode: mode,
+			SplitPos: splitPos, BoundPos: boundPos,
+			Redistribution: redist,
+		}
+		file, err := New(cfg, store.NewMem())
+		if err != nil {
+			return // invalid configuration combinations are fine
+		}
+		model := map[string]bool{}
+		tape = tape[4:]
+		ops := 0
+		for len(tape) >= 2 && ops < 300 {
+			op := tape[0] % 3
+			kl := 1 + int(tape[1]%6)
+			if len(tape) < 2+kl {
+				break
+			}
+			raw := tape[2 : 2+kl]
+			tape = tape[2+kl:]
+			ops++
+			// Map raw bytes into the ASCII alphabet, no trailing space.
+			kb := make([]byte, kl)
+			for i, c := range raw {
+				kb[i] = 'a' + c%26
+			}
+			key := string(kb)
+			switch op {
+			case 0:
+				if _, err := file.Put(key, []byte{1}); err != nil {
+					t.Fatalf("Put(%q): %v", key, err)
+				}
+				model[key] = true
+			case 1:
+				err := file.Delete(key)
+				switch {
+				case model[key] && err != nil:
+					t.Fatalf("Delete(%q): %v", key, err)
+				case !model[key] && !errors.Is(err, ErrNotFound):
+					t.Fatalf("Delete(%q): %v, want ErrNotFound", key, err)
+				}
+				delete(model, key)
+			default:
+				_, err := file.Get(key)
+				switch {
+				case model[key] && err != nil:
+					t.Fatalf("Get(%q): %v", key, err)
+				case !model[key] && !errors.Is(err, ErrNotFound):
+					t.Fatalf("Get(%q): %v, want ErrNotFound", key, err)
+				}
+			}
+		}
+		if file.Len() != len(model) {
+			t.Fatalf("file has %d keys, model %d", file.Len(), len(model))
+		}
+		if err := file.CheckInvariants(); err != nil {
+			t.Fatalf("invariants after %d ops (cfg %+v): %v", ops, cfg, err)
+		}
+	})
+}

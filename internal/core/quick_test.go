@@ -1,0 +1,153 @@
+package core
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"triehash/internal/store"
+	"triehash/internal/trie"
+)
+
+// opTape is a randomly generated operation sequence plus a file
+// configuration; testing/quick generates values of it.
+type opTape struct {
+	Capacity uint8
+	THCL     bool
+	SplitPos uint8
+	Det      bool
+	Redist   uint8
+	Ops      []tapeOp
+}
+
+type tapeOp struct {
+	Kind uint8
+	Key  uint16
+}
+
+// Generate implements quick.Generator with sane ranges.
+func (opTape) Generate(r *rand.Rand, size int) reflect.Value {
+	t := opTape{
+		Capacity: uint8(2 + r.Intn(12)),
+		THCL:     r.Intn(2) == 0,
+		Det:      r.Intn(3) == 0,
+		Redist:   uint8(r.Intn(4)),
+	}
+	t.SplitPos = uint8(1 + r.Intn(int(t.Capacity)))
+	n := 50 + r.Intn(400)
+	t.Ops = make([]tapeOp, n)
+	for i := range t.Ops {
+		t.Ops[i] = tapeOp{Kind: uint8(r.Intn(4)), Key: uint16(r.Intn(900))}
+	}
+	return reflect.ValueOf(t)
+}
+
+func (t opTape) config() Config {
+	cfg := Config{Capacity: int(t.Capacity), SplitPos: int(t.SplitPos)}
+	if t.THCL {
+		cfg.Mode = trie.ModeTHCL
+		if t.Det && int(t.SplitPos) < cfg.Capacity {
+			cfg.BoundPos = int(t.SplitPos) + 1
+		}
+		cfg.Redistribution = Redistribution(t.Redist)
+	}
+	return cfg
+}
+
+// TestQuickFileInvariants: for arbitrary generated configurations and
+// operation tapes, the file agrees with a map model and every structural
+// invariant holds at the end.
+func TestQuickFileInvariants(t *testing.T) {
+	f := func(tape opTape) bool {
+		cfg := tape.config()
+		file, err := New(cfg, store.NewMem())
+		if err != nil {
+			return true // rejected configuration: nothing to check
+		}
+		model := map[string]bool{}
+		for _, op := range tape.Ops {
+			key := "k" + string([]byte{
+				'a' + byte(op.Key%26),
+				'a' + byte((op.Key/26)%26),
+				'a' + byte((op.Key/676)%26),
+			})
+			switch op.Kind % 4 {
+			case 0, 1:
+				if _, err := file.Put(key, []byte{1}); err != nil {
+					t.Logf("Put(%q): %v", key, err)
+					return false
+				}
+				model[key] = true
+			case 2:
+				err := file.Delete(key)
+				if model[key] != (err == nil) {
+					t.Logf("Delete(%q) = %v, model %v", key, err, model[key])
+					return false
+				}
+				delete(model, key)
+			default:
+				_, err := file.Get(key)
+				if model[key] != (err == nil) {
+					t.Logf("Get(%q) = %v, model %v", key, err, model[key])
+					return false
+				}
+			}
+		}
+		if file.Len() != len(model) {
+			t.Logf("Len %d, model %d (cfg %+v)", file.Len(), len(model), cfg)
+			return false
+		}
+		if err := file.CheckInvariants(); err != nil {
+			t.Logf("invariants (cfg %+v): %v", cfg, err)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickRecoverEquivalence: recovery of any generated file preserves
+// the exact key set.
+func TestQuickRecoverEquivalence(t *testing.T) {
+	f := func(tape opTape) bool {
+		cfg := tape.config()
+		st := store.NewMem()
+		file, err := New(cfg, st)
+		if err != nil {
+			return true
+		}
+		model := map[string]bool{}
+		for _, op := range tape.Ops {
+			key := "q" + string([]byte{'a' + byte(op.Key%26), 'a' + byte((op.Key/26)%26)})
+			if op.Kind%3 == 0 && model[key] {
+				file.Delete(key)
+				delete(model, key)
+			} else {
+				file.Put(key, nil)
+				model[key] = true
+			}
+		}
+		rec, err := Recover(cfg, st)
+		if err != nil {
+			t.Logf("recover (cfg %+v): %v", cfg, err)
+			return false
+		}
+		if rec.Len() != len(model) {
+			t.Logf("recovered %d, model %d", rec.Len(), len(model))
+			return false
+		}
+		for k := range model {
+			if _, err := rec.Get(k); err != nil {
+				t.Logf("recovered Get(%q): %v", k, err)
+				return false
+			}
+		}
+		return rec.CheckInvariants() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

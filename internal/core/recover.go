@@ -1,0 +1,212 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"triehash/internal/store"
+	"triehash/internal/trie"
+)
+
+// Recover rebuilds a file whose trie (held in main memory or in a lost
+// metadata file) was destroyed, from nothing but the bucket store — the
+// /TOR83/ reconstruction the paper's conclusion describes: every bucket's
+// header carries its logical-path bound, and the ordered sequence of
+// bounds determines an equivalent trie.
+//
+// The rebuilt trie is usually better balanced than the lost one (the
+// property /TOR83/ conjectures optimal) and never retains nil leaves or
+// redundant shared-leaf chains beyond what the bounds require, so it can
+// even be smaller. Counters that cannot be derived from the buckets
+// (splits, redistributions) restart at zero.
+func Recover(cfg Config, st store.Store) (*File, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	type entry struct {
+		addr  int32
+		bound []byte
+		keys  int
+	}
+	var entries []entry
+	total := 0
+	for addr := int32(0); addr < st.MaxAddr(); addr++ {
+		b, err := st.Read(addr)
+		if err != nil {
+			continue // freed slot
+		}
+		entries = append(entries, entry{addr: addr, bound: b.Bound(), keys: b.Len()})
+		total += b.Len()
+	}
+	if len(entries) == 0 {
+		return nil, fmt.Errorf("core: recover: the store holds no buckets")
+	}
+	// Sort by bound; the infinite bound (empty) is the largest.
+	sort.Slice(entries, func(i, j int) bool {
+		bi, bj := entries[i].bound, entries[j].bound
+		switch {
+		case len(bi) == 0:
+			return false
+		case len(bj) == 0:
+			return true
+		}
+		return cfg.Alphabet.ComparePathBounds(bi, bj) < 0
+	})
+	// Sweep empty orphans with the infinite bound first: they are the
+	// slots failed frees leaked (an allocated bucket starts with the
+	// infinite bound). Keep at most one infinite-bound entry, preferring
+	// a non-empty one.
+	for len(entries) >= 2 {
+		last, prev := entries[len(entries)-1], entries[len(entries)-2]
+		if len(prev.bound) != 0 {
+			break
+		}
+		drop := last
+		if last.keys > 0 && prev.keys == 0 {
+			drop = prev
+			entries[len(entries)-2] = last
+		} else if last.keys > 0 && prev.keys > 0 {
+			return nil, fmt.Errorf("core: recover: two non-empty buckets (%d, %d) both claim the infinite bound", prev.addr, last.addr)
+		}
+		if err := st.Free(drop.addr); err != nil {
+			return nil, err
+		}
+		total -= drop.keys
+		entries = entries[:len(entries)-1]
+	}
+	// Under the basic method the region above the highest bound may have
+	// belonged to nil leaves; the top bucket then carries a finite bound.
+	// Recovery extends its range to the infinite bound — no keys lived in
+	// the nil region, so nothing changes semantically.
+	if top := &entries[len(entries)-1]; len(top.bound) != 0 {
+		top.bound = nil
+	}
+	for i := 1; i < len(entries); i++ {
+		a, b := entries[i-1].bound, entries[i].bound
+		if len(b) != 0 && cfg.Alphabet.ComparePathBounds(a, b) >= 0 {
+			// Duplicate bounds arise from exactly one legal crash
+			// state: a split wrote the new bucket but died before
+			// shrinking the old one, so one bucket's records are a
+			// subset of the other's. Repair by dropping the subset.
+			drop, err := resolveDuplicate(st, entries[i-1].addr, entries[i].addr)
+			if err != nil {
+				return nil, fmt.Errorf("core: recover: duplicate bound %q on buckets %d and %d: %w",
+					b, entries[i-1].addr, entries[i].addr, err)
+			}
+			keep := entries[i-1]
+			if drop == entries[i-1].addr {
+				keep = entries[i]
+			}
+			dropKeys := entries[i-1].keys + entries[i].keys - keepKeys(st, keep.addr)
+			total -= dropKeys
+			if err := st.Free(drop); err != nil {
+				return nil, err
+			}
+			entries = append(entries[:i-1], entries[i:]...)
+			entries[i-1] = keep
+			i--
+		}
+	}
+
+	// Rebuild the partition in one Reconstruct pass over the bound
+	// sequence (chains for deep bounds are synthesized as shared
+	// leaves). Empty buckets below the top cannot anchor a boundary (no
+	// key witnesses their range); their range merges into the successor
+	// and the bucket is freed — no record is lost.
+	f := &File{cfg: cfg, st: st, nkeys: total}
+	if err := f.fixBound(entries[len(entries)-1].addr, nil); err != nil {
+		return nil, err
+	}
+	bounds := make([][]byte, 0, len(entries))
+	ptrs := make([]trie.Ptr, 0, len(entries))
+	for i, e := range entries {
+		b, err := st.Read(e.addr)
+		if err != nil {
+			return nil, err
+		}
+		if b.Len() == 0 && i != len(entries)-1 {
+			if err := st.Free(e.addr); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		if b.Len() > 0 {
+			// The bucket's largest key witnesses its region: it must
+			// sit at or below the stored bound.
+			if w := b.MaxKey(); !cfg.Alphabet.KeyLEBound(w, e.bound) {
+				return nil, fmt.Errorf("core: recover: bucket %d holds %q above its bound %q", e.addr, w, e.bound)
+			}
+		}
+		bounds = append(bounds, e.bound)
+		ptrs = append(ptrs, trie.Leaf(e.addr))
+	}
+	tr, err := trie.Reconstruct(cfg.Alphabet, bounds, ptrs)
+	if err != nil {
+		return nil, fmt.Errorf("core: recover: %w", err)
+	}
+	tr.SetTombstoning(cfg.TombstoneMerges)
+	f.trie = tr
+	if cfg.Mode == trie.ModeBasic {
+		// The rebuilt trie uses shared leaves where multi-digit bounds
+		// need chains, so the recovered file continues under THCL (the
+		// refinement subsumes the basic method's semantics).
+		f.cfg.Mode = trie.ModeTHCL
+		f.cfg.Merge = MergeDefault
+		f.cfg, err = f.cfg.withDefaults()
+		if err != nil {
+			return nil, err
+		}
+	}
+	return f, nil
+}
+
+// fixBound rewrites a recovered bucket's header when its stored bound
+// drifted (it should not, but recovery is exactly the place to restore
+// invariants).
+func (f *File) fixBound(addr int32, bound []byte) error {
+	b, err := f.st.Read(addr)
+	if err != nil {
+		return err
+	}
+	if string(b.Bound()) == string(bound) {
+		return nil
+	}
+	b.SetBound(bound)
+	return f.st.Write(addr, b)
+}
+
+// resolveDuplicate decides which of two same-bound buckets to drop: the
+// one whose record set is contained in the other (the half-finished
+// split's new bucket). Any other overlap pattern is a real inconsistency.
+func resolveDuplicate(st store.Store, a, b int32) (drop int32, err error) {
+	ba, err := st.Read(a)
+	if err != nil {
+		return 0, err
+	}
+	bb, err := st.Read(b)
+	if err != nil {
+		return 0, err
+	}
+	small, large := ba, bb
+	drop = a
+	if bb.Len() < ba.Len() {
+		small, large = bb, ba
+		drop = b
+	}
+	for i := 0; i < small.Len(); i++ {
+		if _, ok := large.Get(small.At(i).Key); !ok {
+			return 0, fmt.Errorf("record %q present in only one of the twins", small.At(i).Key)
+		}
+	}
+	return drop, nil
+}
+
+// keepKeys returns the record count of the surviving twin.
+func keepKeys(st store.Store, addr int32) int {
+	b, err := st.Read(addr)
+	if err != nil {
+		return 0
+	}
+	return b.Len()
+}

@@ -1,0 +1,163 @@
+package core
+
+import (
+	"fmt"
+
+	"triehash/internal/store"
+	"triehash/internal/trie"
+)
+
+// Stats is the snapshot of the figures the paper's evaluation reports.
+type Stats struct {
+	Keys    int // x: records in the file
+	Buckets int // N+1 in the paper's terms: allocated buckets
+	// Load is the bucket load factor a = x / (b * buckets).
+	Load float64
+	// TrieCells is the paper's trie size M (internal nodes).
+	TrieCells int
+	// TrieBytes is M at the paper's practical 6 bytes per cell.
+	TrieBytes int
+	// NilLeaves counts nil leaves (basic method only).
+	NilLeaves int
+	// NilLeafShare is NilLeaves over all leaves.
+	NilLeafShare float64
+	// Depth is the longest root-to-leaf path of the trie.
+	Depth int
+	// AvgLeafDepth is the mean number of node visits per key search.
+	AvgLeafDepth float64
+	// Splits counts bucket splits (redistributions included);
+	// Redistributions counts the subset resolved without a new bucket.
+	Splits          int
+	Redistributions int
+	// GrowthRate is the paper's s = M / splits: cells added per split.
+	GrowthRate float64
+	// DeadCells counts tombstoned cells awaiting Vacuum (with
+	// Config.TombstoneMerges).
+	DeadCells int
+	// IO holds the bucket transfer counters accumulated by the store.
+	IO store.Counters
+}
+
+// Stats returns the current statistics snapshot.
+func (f *File) Stats() Stats {
+	st := Stats{
+		Keys:            f.nkeys,
+		Buckets:         f.st.Buckets(),
+		TrieCells:       f.trie.Cells(),
+		TrieBytes:       f.trie.PaperBytes(),
+		NilLeaves:       f.trie.NilLeaves(),
+		Depth:           f.trie.Depth(),
+		Splits:          f.splits,
+		Redistributions: f.redistributions,
+		DeadCells:       f.trie.DeadCells(),
+		IO:              f.st.Counters(),
+	}
+	if st.Buckets > 0 {
+		st.Load = float64(st.Keys) / float64(f.cfg.Capacity*st.Buckets)
+	}
+	if leaves := f.trie.Leaves(); leaves > 0 {
+		st.NilLeafShare = float64(st.NilLeaves) / float64(leaves)
+		st.AvgLeafDepth = float64(f.trie.TotalLeafDepth()) / float64(leaves)
+	}
+	if f.splits > 0 {
+		st.GrowthRate = float64(st.TrieCells) / float64(f.splits)
+	}
+	return st
+}
+
+func (s Stats) String() string {
+	return fmt.Sprintf("keys=%d buckets=%d load=%.3f M=%d (%d B) nil=%d depth=%d splits=%d s=%.2f",
+		s.Keys, s.Buckets, s.Load, s.TrieCells, s.TrieBytes, s.NilLeaves, s.Depth, s.Splits, s.GrowthRate)
+}
+
+// CheckInvariants verifies the whole file: trie structure, key placement
+// (every record's key routes back to the bucket holding it), ordering
+// across buckets, capacity bounds, and the record count. Intended for
+// tests and the paper-reproduction harness; it reads every bucket.
+func (f *File) CheckInvariants() error {
+	if err := f.trie.Check(0); err != nil {
+		return err
+	}
+	if f.cfg.Mode == trie.ModeBasic {
+		// Basic method invariant: exactly one leaf per bucket.
+		for _, lp := range f.trie.InorderLeaves() {
+			if !lp.Leaf.IsNil() && f.trie.LeafCount(lp.Leaf.Addr()) != 1 {
+				return fmt.Errorf("core: basic mode bucket %d has %d leaves", lp.Leaf.Addr(), f.trie.LeafCount(lp.Leaf.Addr()))
+			}
+		}
+	}
+	// Collect each bucket's run-top leaf path to verify the stored
+	// bounds (the TOR83 recovery headers).
+	topBound := map[int32][]byte{}
+	for _, lp := range f.trie.InorderLeaves() {
+		if !lp.Leaf.IsNil() {
+			topBound[lp.Leaf.Addr()] = lp.Path // later leaves overwrite: the last is the top
+		}
+	}
+	total := 0
+	prevKey := ""
+	seen := map[int32]bool{}
+	lastAddr := int32(-1)
+	for _, lp := range f.trie.InorderLeaves() {
+		if lp.Leaf.IsNil() {
+			lastAddr = -1
+			continue
+		}
+		addr := lp.Leaf.Addr()
+		if addr == lastAddr {
+			continue // later leaf of the same bucket's run
+		}
+		lastAddr = addr
+		if seen[addr] {
+			return fmt.Errorf("core: bucket %d appears in two separate runs", addr)
+		}
+		seen[addr] = true
+		b, err := f.st.Read(addr)
+		if err != nil {
+			return fmt.Errorf("core: bucket %d: %w", addr, err)
+		}
+		if want := topBound[addr]; string(b.Bound()) != string(want) {
+			return fmt.Errorf("core: bucket %d stores bound %q, trie run tops at %q", addr, b.Bound(), want)
+		}
+		if b.Len() > f.cfg.Capacity {
+			return fmt.Errorf("core: bucket %d holds %d > b=%d records", addr, b.Len(), f.cfg.Capacity)
+		}
+		total += b.Len()
+		for i := 0; i < b.Len(); i++ {
+			k := b.At(i).Key
+			if prevKey != "" && k <= prevKey {
+				return fmt.Errorf("core: key order violated: %q (bucket %d) after %q", k, addr, prevKey)
+			}
+			prevKey = k
+			res := f.trie.Search(k)
+			if res.Leaf.IsNil() || res.Leaf.Addr() != addr {
+				return fmt.Errorf("core: key %q stored in bucket %d but routes to %s", k, addr, res.Leaf)
+			}
+		}
+	}
+	if total != f.nkeys {
+		return fmt.Errorf("core: %d records stored, counter says %d", total, f.nkeys)
+	}
+	// Every allocated bucket must either be reachable from the trie or
+	// be an empty orphan (the harmless leak a failed Free leaves behind;
+	// Recover sweeps those). An unreachable bucket with records is lost
+	// data.
+	reachable := len(seen)
+	for addr := int32(0); addr < f.st.MaxAddr(); addr++ {
+		if seen[addr] {
+			continue
+		}
+		b, err := f.st.Read(addr)
+		if err != nil {
+			continue // freed slot
+		}
+		if b.Len() > 0 && !f.abandoned[addr] {
+			return fmt.Errorf("core: bucket %d holds %d records but is unreachable from the trie", addr, b.Len())
+		}
+		reachable++ // tolerated orphan (empty, or abandoned by a failed op)
+	}
+	if reachable != f.st.Buckets() {
+		return fmt.Errorf("core: %d buckets accounted for, store has %d", reachable, f.st.Buckets())
+	}
+	return nil
+}

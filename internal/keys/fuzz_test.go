@@ -1,0 +1,79 @@
+package keys
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzSplitString checks the Algorithm A2 step-1 contract on arbitrary
+// key pairs: the split string is the shortest prefix of the smaller key
+// that is strictly below the same-length prefix of the larger one, and it
+// cleanly partitions the two keys.
+func FuzzSplitString(f *testing.F) {
+	f.Add("have", "he")
+	f.Add("ab", "abc")
+	f.Add("oszh", "oszr")
+	f.Add("a", "b")
+	f.Fuzz(func(t *testing.T, a, b string) {
+		x := fuzzSanitize(a)
+		y := fuzzSanitize(b)
+		if x == y {
+			return
+		}
+		if x > y {
+			x, y = y, x
+		}
+		s := ASCII.SplitString(x, y)
+		i := len(s) - 1
+		// The split key stays at or below the boundary; the bound moves.
+		if !ASCII.KeyLEBound(x, s) {
+			t.Fatalf("split key %q above its own boundary %q", x, s)
+		}
+		if ASCII.KeyLEBound(y, s) {
+			t.Fatalf("bounding key %q not above boundary %q", y, s)
+		}
+		// Shortest: one digit less no longer separates.
+		if i > 0 && ASCII.ComparePrefix(x, y, i-1) != 0 {
+			t.Fatalf("split string %q not shortest for (%q, %q)", s, x, y)
+		}
+	})
+}
+
+// FuzzComparePathBounds cross-checks the padded-bound comparison against
+// an explicit materialization of both bounds.
+func FuzzComparePathBounds(f *testing.F) {
+	f.Add("ha", "he", uint8(8))
+	f.Add("", "x", uint8(4))
+	f.Add("ab", "a", uint8(6))
+	f.Fuzz(func(t *testing.T, a, b string, width uint8) {
+		x := []byte(fuzzSanitize(a))
+		y := []byte(fuzzSanitize(b))
+		n := int(width%16) + len(x) + len(y) + 1
+		got := ASCII.ComparePathBounds(x, y)
+		want := strings.Compare(materialize(x, n), materialize(y, n))
+		if got != want {
+			t.Fatalf("ComparePathBounds(%q, %q) = %d, explicit compare = %d", x, y, got, want)
+		}
+	})
+}
+
+// materialize pads a bound with explicit maximal digits to length n.
+func materialize(b []byte, n int) string {
+	out := append([]byte(nil), b...)
+	for len(out) < n {
+		out = append(out, ASCII.Max)
+	}
+	return string(out)
+}
+
+func fuzzSanitize(s string) string {
+	b := []byte(s)
+	for i := range b {
+		b[i] = ' ' + b[i]%('~'-' '+1)
+	}
+	out := strings.TrimRight(string(b), " ")
+	if out == "" {
+		return "k"
+	}
+	return out
+}

@@ -1,0 +1,187 @@
+// Package keys implements the digit-string semantics that trie hashing is
+// built on: keys are strings over a finite ordered alphabet of digits, the
+// smallest digit ("space") pads short keys during prefix comparison, and
+// bucket splits are driven by the shortest distinguishing prefix of the
+// split key (the "split string", Algorithm A2 step 1 of the paper).
+//
+// Throughout this module a digit is one byte and digit order is byte order.
+// The minimum digit is configurable per Alphabet; the paper writes it as
+// ' ' and denotes the (virtual) maximal digit by '.'.
+package keys
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Alphabet describes the ordered digit set keys are drawn from. Only the
+// boundaries matter to the algorithms: Min is the paper's "space" digit that
+// implicitly pads every key on the right, and Max is the largest digit,
+// used as the implicit value of unknown logical-path positions.
+type Alphabet struct {
+	// Min is the smallest digit. Keys may not end with it (a trailing
+	// minimum digit is indistinguishable from the implicit padding).
+	Min byte
+	// Max is the largest digit.
+	Max byte
+}
+
+// ASCII is the default alphabet used by the paper's examples: printable
+// ASCII with ' ' as the smallest digit and '~' as the largest.
+var ASCII = Alphabet{Min: ' ', Max: '~'}
+
+// Binary is the full byte alphabet, suitable for arbitrary binary keys that
+// do not end in a zero byte.
+var Binary = Alphabet{Min: 0x00, Max: 0xFF}
+
+// ErrEmptyKey is returned by Validate for the empty key.
+var ErrEmptyKey = errors.New("keys: empty key")
+
+// Validate reports whether k is a legal key under a: non-empty, every digit
+// within [Min, Max], and not ending in the minimum digit.
+func (a Alphabet) Validate(k string) error {
+	if len(k) == 0 {
+		return ErrEmptyKey
+	}
+	for i := 0; i < len(k); i++ {
+		if k[i] < a.Min || k[i] > a.Max {
+			return fmt.Errorf("keys: digit %d of %q is outside alphabet [%q, %q]", i, k, a.Min, a.Max)
+		}
+	}
+	if k[len(k)-1] == a.Min {
+		return fmt.Errorf("keys: key %q ends with the minimum digit %q", k, a.Min)
+	}
+	return nil
+}
+
+// Digit returns digit j of key k, padding with the minimum digit beyond the
+// key's length, as the paper's prefix semantics require.
+func (a Alphabet) Digit(k string, j int) byte {
+	if j < len(k) {
+		return k[j]
+	}
+	return a.Min
+}
+
+// ComparePrefix compares the (i+1)-digit prefixes (x)_i and (y)_i under the
+// padded-digit semantics and returns -1, 0 or +1. i must be >= 0.
+func (a Alphabet) ComparePrefix(x, y string, i int) int {
+	for j := 0; j <= i; j++ {
+		dx, dy := a.Digit(x, j), a.Digit(y, j)
+		switch {
+		case dx < dy:
+			return -1
+		case dx > dy:
+			return 1
+		}
+	}
+	return 0
+}
+
+// SplitString implements step 1 of Algorithm A2: it returns the shortest
+// prefix (c')_i of the split key c' that is smaller than the equal-length
+// prefix of the bounding key bound (the last key c” of the sequence to
+// split in basic TH; any chosen key above the split key under THCL split
+// control). The returned slice holds the i+1 digits of the split string,
+// materializing padding digits if the split key is shorter.
+//
+// SplitString requires splitKey < bound (as full keys); it panics otherwise,
+// since a split where the bounding key does not exceed the split key is a
+// caller bug that would corrupt the trie.
+func (a Alphabet) SplitString(splitKey, bound string) []byte {
+	for i := 0; ; i++ {
+		if i >= len(splitKey) && i >= len(bound) {
+			panic(fmt.Sprintf("keys: split key %q is not smaller than bounding key %q", splitKey, bound))
+		}
+		dx, dy := a.Digit(splitKey, i), a.Digit(bound, i)
+		if dx < dy {
+			s := make([]byte, i+1)
+			for j := 0; j <= i; j++ {
+				s[j] = a.Digit(splitKey, j)
+			}
+			return s
+		}
+		if dx > dy {
+			panic(fmt.Sprintf("keys: split key %q is greater than bounding key %q", splitKey, bound))
+		}
+	}
+}
+
+// CommonPrefixLen returns the number of leading digits shared by s and the
+// known digits of path. Digits of path beyond its stored length are unknown
+// (they stand for the maximal digit) and never match.
+func CommonPrefixLen(s, path []byte) int {
+	n := len(s)
+	if len(path) < n {
+		n = len(path)
+	}
+	for i := 0; i < n; i++ {
+		if s[i] != path[i] {
+			return i
+		}
+	}
+	return n
+}
+
+// ComparePathBounds compares two logical-path bounds. A bound is the known
+// digits of a logical path; every digit at or beyond its stored length is
+// implicitly the maximal digit. Hence when one bound is a proper prefix of
+// the other, the shorter bound is the larger one unless the longer bound
+// continues with maximal digits only. It returns -1, 0 or +1. The alphabet
+// receiver supplies the maximal digit.
+func (a Alphabet) ComparePathBounds(x, y []byte) int {
+	n := len(x)
+	if len(y) < n {
+		n = len(y)
+	}
+	for i := 0; i < n; i++ {
+		switch {
+		case x[i] < y[i]:
+			return -1
+		case x[i] > y[i]:
+			return 1
+		}
+	}
+	// Common prefix equal; the one with remaining non-maximal digits is
+	// smaller than the other's implicit run of maximal digits.
+	for i := n; i < len(x); i++ {
+		if x[i] != a.Max {
+			return -1
+		}
+	}
+	for i := n; i < len(y); i++ {
+		if y[i] != a.Max {
+			return 1
+		}
+	}
+	return 0
+}
+
+// KeyLEBound reports whether key k falls at or below the logical-path bound
+// (k's digits beyond its length pad with the minimum digit; bound digits
+// beyond its length are maximal).
+func (a Alphabet) KeyLEBound(k string, bound []byte) bool {
+	if len(bound) == 0 {
+		return true
+	}
+	return a.PrefixLEPath(k, len(bound)-1, bound)
+}
+
+// PrefixLEPath reports whether the (i+1)-digit prefix of key k is <= the
+// logical path, where path holds the known digits and any position at or
+// beyond len(path) is the maximal digit (hence every digit compares <=).
+func (a Alphabet) PrefixLEPath(k string, i int, path []byte) bool {
+	for j := 0; j <= i; j++ {
+		if j >= len(path) {
+			return true // unknown path digit = maximal digit
+		}
+		d := a.Digit(k, j)
+		switch {
+		case d < path[j]:
+			return true
+		case d > path[j]:
+			return false
+		}
+	}
+	return true
+}

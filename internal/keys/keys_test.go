@@ -1,0 +1,215 @@
+package keys
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestValidate(t *testing.T) {
+	cases := []struct {
+		key string
+		ok  bool
+	}{
+		{"the", true},
+		{"a", true},
+		{"", false},
+		{"ab ", false},    // trailing minimum digit
+		{" ab", true},     // leading space is fine
+		{"a b", true},     // interior space is fine
+		{"ab\x7f", false}, // outside ASCII alphabet
+	}
+	for _, c := range cases {
+		err := ASCII.Validate(c.key)
+		if (err == nil) != c.ok {
+			t.Errorf("Validate(%q) = %v, want ok=%v", c.key, err, c.ok)
+		}
+	}
+}
+
+func TestValidateBinary(t *testing.T) {
+	if err := Binary.Validate("\x00\x01"); err != nil {
+		t.Errorf("Binary.Validate(leading zero) = %v, want nil", err)
+	}
+	if err := Binary.Validate("\x01\x00"); err == nil {
+		t.Error("Binary.Validate(trailing zero) = nil, want error")
+	}
+	if err := Binary.Validate(""); err != ErrEmptyKey {
+		t.Errorf("Binary.Validate(empty) = %v, want ErrEmptyKey", err)
+	}
+}
+
+func TestDigit(t *testing.T) {
+	if d := ASCII.Digit("abc", 1); d != 'b' {
+		t.Errorf("Digit(abc,1) = %q", d)
+	}
+	if d := ASCII.Digit("abc", 3); d != ' ' {
+		t.Errorf("Digit(abc,3) = %q, want padding space", d)
+	}
+	if d := Binary.Digit("a", 5); d != 0 {
+		t.Errorf("Binary Digit beyond length = %d, want 0", d)
+	}
+}
+
+func TestComparePrefix(t *testing.T) {
+	cases := []struct {
+		x, y string
+		i    int
+		want int
+	}{
+		{"he", "have", 0, 0}, // h == h
+		{"he", "have", 1, 1}, // he > ha
+		{"ab", "abc", 1, 0},  // ab == ab
+		{"ab", "abc", 2, -1}, // "ab " < "abc"
+		{"abc", "ab", 2, 1},  // "abc" > "ab "
+		{"x", "x", 10, 0},    // both padded
+		{"in", "is", 1, -1},  // n < s
+		{"of", "on", 0, 0},   // o == o
+	}
+	for _, c := range cases {
+		if got := ASCII.ComparePrefix(c.x, c.y, c.i); got != c.want {
+			t.Errorf("ComparePrefix(%q,%q,%d) = %d, want %d", c.x, c.y, c.i, got, c.want)
+		}
+	}
+}
+
+func TestComparePrefixConsistentWithStrings(t *testing.T) {
+	// For i >= max length, ComparePrefix must agree with full string
+	// comparison when neither key has trailing spaces.
+	f := func(x, y string) bool {
+		x = sanitize(x)
+		y = sanitize(y)
+		i := len(x) + len(y) + 1
+		got := ASCII.ComparePrefix(x, y, i)
+		want := strings.Compare(x, y)
+		return got == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// sanitize maps an arbitrary string into a valid ASCII-alphabet key with no
+// trailing spaces (or "k" if it collapses to nothing).
+func sanitize(s string) string {
+	b := []byte(s)
+	for i := range b {
+		b[i] = ' ' + b[i]%('~'-' '+1)
+	}
+	out := strings.TrimRight(string(b), " ")
+	if out == "" {
+		return "k"
+	}
+	return out
+}
+
+func TestSplitString(t *testing.T) {
+	cases := []struct {
+		split, bound string
+		want         string
+	}{
+		// Fig 3 of the paper: split key "have", last key "his" -> "ha".
+		{"have", "his", "ha"},
+		// Differ at first digit.
+		{"in", "of", "i"},
+		// Split key is a proper prefix of the bound: padded space digit.
+		{"ab", "abc", "ab "},
+		// Long shared prefix.
+		{"oszh", "oszr", "oszh"},
+		{"that", "this", "tha"},
+	}
+	for _, c := range cases {
+		got := string(ASCII.SplitString(c.split, c.bound))
+		if got != c.want {
+			t.Errorf("SplitString(%q,%q) = %q, want %q", c.split, c.bound, got, c.want)
+		}
+	}
+}
+
+func TestSplitStringProperties(t *testing.T) {
+	// For any two distinct sanitized keys x < y, the split string s of
+	// (x, y) satisfies: (x)_i == s, s < (y)_i (prefix order), and every
+	// shorter prefix of x equals the same-length prefix of y.
+	f := func(a, b string) bool {
+		x, y := sanitize(a), sanitize(b)
+		if x == y {
+			y = x + "z"
+		}
+		if x > y {
+			x, y = y, x
+		}
+		s := ASCII.SplitString(x, y)
+		i := len(s) - 1
+		// s is exactly the padded prefix of x.
+		for j := 0; j <= i; j++ {
+			if s[j] != ASCII.Digit(x, j) {
+				return false
+			}
+		}
+		// Strictly smaller than the bound's prefix at length i+1 ...
+		if ASCII.ComparePrefix(x, y, i) != -1 {
+			return false
+		}
+		// ... and not at any shorter length (shortest prefix property).
+		if i > 0 && ASCII.ComparePrefix(x, y, i-1) != 0 {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSplitStringPanics(t *testing.T) {
+	for _, pair := range [][2]string{{"b", "a"}, {"same", "same"}, {"abc", "ab"}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("SplitString(%q,%q) did not panic", pair[0], pair[1])
+				}
+			}()
+			ASCII.SplitString(pair[0], pair[1])
+		}()
+	}
+}
+
+func TestCommonPrefixLen(t *testing.T) {
+	cases := []struct {
+		s, path string
+		want    int
+	}{
+		{"ha", "he", 1}, // Fig 3: 'h' already in logical path
+		{"ha", "ha", 2},
+		{"ha", "", 0},    // root path: no known digits
+		{"abc", "ab", 2}, // path shorter than split string
+		{"xyz", "abc", 0},
+	}
+	for _, c := range cases {
+		if got := CommonPrefixLen([]byte(c.s), []byte(c.path)); got != c.want {
+			t.Errorf("CommonPrefixLen(%q,%q) = %d, want %d", c.s, c.path, got, c.want)
+		}
+	}
+}
+
+func TestPrefixLEPath(t *testing.T) {
+	cases := []struct {
+		k    string
+		i    int
+		path string
+		want bool
+	}{
+		{"he", 0, "o", true},   // h <= o
+		{"to", 0, "o", false},  // t > o
+		{"of", 0, "o", true},   // o == o at the only known digit
+		{"he", 1, "o", true},   // digit 1 of path unknown = max
+		{"it", 1, "i ", false}, // 't' > ' ' at position 1
+		{"i", 1, "i ", true},   // padded 'i ' == 'i '
+		{"anything", 5, "", true},
+	}
+	for _, c := range cases {
+		if got := ASCII.PrefixLEPath(c.k, c.i, []byte(c.path)); got != c.want {
+			t.Errorf("PrefixLEPath(%q,%d,%q) = %v, want %v", c.k, c.i, c.path, got, c.want)
+		}
+	}
+}

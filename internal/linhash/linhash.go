@@ -1,0 +1,263 @@
+// Package linhash implements Litwin's linear hashing (/LIT80/), the
+// canonical dynamic hashing method the paper positions trie hashing
+// against: Section 2.3 notes that TH sits "somewhere between tree based
+// methods and usual dynamic hashing methods" — its splits are partly
+// random where LH's are driven by a split pointer and TH keeps key order
+// where LH destroys it.
+//
+// The implementation is the classic controlled-load variant: primary
+// buckets 0..N-1 with chained overflow pages, a split pointer p and level
+// l; the table splits bucket p whenever the overall load factor exceeds
+// the configured threshold. Accesses are counted per page touched, so the
+// paper-style comparison (load factor, accesses per search, range-query
+// cost) runs on equal terms with the trie-hashed file.
+package linhash
+
+import (
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"sort"
+)
+
+// ErrNotFound is returned when a key is absent.
+var ErrNotFound = errors.New("linhash: key not found")
+
+// Config parameterizes the table.
+type Config struct {
+	// Capacity is the records-per-page limit b >= 2 (primary and
+	// overflow pages alike).
+	Capacity int
+	// MaxLoad is the controlled-load threshold that triggers splits
+	// (records / (Capacity * primary buckets)); default 0.8.
+	MaxLoad float64
+}
+
+type record struct {
+	key   string
+	value []byte
+}
+
+// page is a primary bucket or an overflow page.
+type page struct {
+	recs     []record
+	overflow *page
+}
+
+// Table is a linear-hashed file.
+type Table struct {
+	cfg   Config
+	pages []*page // primary buckets
+	p     int     // split pointer
+	l     uint    // level: buckets hashed with 2^l or 2^(l+1)
+	n0    int     // initial buckets (1)
+	nkeys int
+	// accesses counts page touches, the disk currency.
+	accesses int64
+	splits   int
+	overflow int // live overflow pages
+}
+
+// New returns an empty linear-hash table.
+func New(cfg Config) (*Table, error) {
+	if cfg.Capacity < 2 {
+		return nil, fmt.Errorf("linhash: page capacity %d; need at least 2", cfg.Capacity)
+	}
+	if cfg.MaxLoad == 0 {
+		cfg.MaxLoad = 0.8
+	}
+	if cfg.MaxLoad <= 0 || cfg.MaxLoad > 1 {
+		return nil, fmt.Errorf("linhash: max load %v outside (0, 1]", cfg.MaxLoad)
+	}
+	return &Table{cfg: cfg, pages: []*page{{}}, n0: 1}, nil
+}
+
+// Len returns the number of records.
+func (t *Table) Len() int { return t.nkeys }
+
+// Buckets returns the number of primary buckets.
+func (t *Table) Buckets() int { return len(t.pages) }
+
+// OverflowPages returns the number of live overflow pages.
+func (t *Table) OverflowPages() int { return t.overflow }
+
+// Splits returns the number of bucket splits.
+func (t *Table) Splits() int { return t.splits }
+
+// Accesses returns the accumulated page touches.
+func (t *Table) Accesses() int64 { return t.accesses }
+
+// ResetAccesses zeroes the counter.
+func (t *Table) ResetAccesses() { t.accesses = 0 }
+
+// Load returns the load factor over primary and overflow pages.
+func (t *Table) Load() float64 {
+	total := len(t.pages) + t.overflow
+	if total == 0 {
+		return 0
+	}
+	return float64(t.nkeys) / float64(t.cfg.Capacity*total)
+}
+
+// PrimaryLoad returns records over primary capacity only (the figure the
+// split criterion controls).
+func (t *Table) PrimaryLoad() float64 {
+	return float64(t.nkeys) / float64(t.cfg.Capacity*len(t.pages))
+}
+
+func hash64(key string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(key))
+	return h.Sum64()
+}
+
+// addr maps a key to its primary bucket per the LH addressing rule.
+func (t *Table) addr(key string) int {
+	h := hash64(key)
+	a := int(h % uint64(t.n0<<t.l))
+	if a < t.p {
+		a = int(h % uint64(t.n0<<(t.l+1)))
+	}
+	return a
+}
+
+// Get returns the value stored under key, walking the overflow chain.
+func (t *Table) Get(key string) ([]byte, error) {
+	for pg := t.pages[t.addr(key)]; pg != nil; pg = pg.overflow {
+		t.accesses++
+		for _, r := range pg.recs {
+			if r.key == key {
+				return r.value, nil
+			}
+		}
+	}
+	return nil, ErrNotFound
+}
+
+// Put inserts or replaces the record for key.
+func (t *Table) Put(key string, value []byte) error {
+	pg := t.pages[t.addr(key)]
+	for q := pg; q != nil; q = q.overflow {
+		t.accesses++
+		for i := range q.recs {
+			if q.recs[i].key == key {
+				q.recs[i].value = value
+				return nil
+			}
+		}
+	}
+	// Append to the first page with room, chaining overflow as needed.
+	q := pg
+	for len(q.recs) >= t.cfg.Capacity {
+		if q.overflow == nil {
+			q.overflow = &page{}
+			t.overflow++
+		}
+		q = q.overflow
+		t.accesses++
+	}
+	q.recs = append(q.recs, record{key, value})
+	t.nkeys++
+	t.accesses++ // write-back
+	for t.PrimaryLoad() > t.cfg.MaxLoad {
+		t.split()
+	}
+	return nil
+}
+
+// split performs one linear-hashing split: bucket p's records rehash at
+// level l+1 between p and the appended bucket; the split pointer then
+// advances, doubling the level when it wraps.
+func (t *Table) split() {
+	old := t.pages[t.p]
+	t.pages = append(t.pages, &page{})
+	newIdx := len(t.pages) - 1
+
+	var all []record
+	for q := old; q != nil; q = q.overflow {
+		t.accesses++
+		all = append(all, q.recs...)
+		if q != old {
+			t.overflow--
+		}
+	}
+	stay := &page{}
+	moved := &page{}
+	for _, r := range all {
+		target := stay
+		if int(hash64(r.key)%uint64(t.n0<<(t.l+1))) == newIdx {
+			target = moved
+		}
+		q := target
+		for len(q.recs) >= t.cfg.Capacity {
+			if q.overflow == nil {
+				q.overflow = &page{}
+				t.overflow++
+			}
+			q = q.overflow
+		}
+		q.recs = append(q.recs, r)
+	}
+	t.pages[t.p] = stay
+	t.pages[newIdx] = moved
+	t.accesses += 2
+	t.splits++
+	t.p++
+	if t.p == t.n0<<t.l {
+		t.p = 0
+		t.l++
+	}
+}
+
+// Delete removes the record for key.
+func (t *Table) Delete(key string) error {
+	head := t.pages[t.addr(key)]
+	for pg := head; pg != nil; pg = pg.overflow {
+		t.accesses++
+		for i := range pg.recs {
+			if pg.recs[i].key == key {
+				pg.recs = append(pg.recs[:i], pg.recs[i+1:]...)
+				t.nkeys--
+				t.accesses++
+				return nil
+			}
+		}
+	}
+	return ErrNotFound
+}
+
+// Range is the method's weakness the paper exploits: hashing destroys key
+// order, so a range query must touch every page and sort the survivors.
+// The access count makes the cost visible next to trie hashing's
+// sequential scan.
+func (t *Table) Range(from, to string, fn func(key string, value []byte) bool) {
+	var hits []record
+	for _, head := range t.pages {
+		for pg := head; pg != nil; pg = pg.overflow {
+			t.accesses++
+			for _, r := range pg.recs {
+				if r.key >= from && (to == "" || r.key <= to) {
+					hits = append(hits, r)
+				}
+			}
+		}
+	}
+	sort.Slice(hits, func(i, j int) bool { return hits[i].key < hits[j].key })
+	for _, r := range hits {
+		if !fn(r.key, r.value) {
+			return
+		}
+	}
+}
+
+// AvgChain returns the mean number of pages per primary bucket (1 = no
+// overflow anywhere).
+func (t *Table) AvgChain() float64 {
+	total := 0
+	for _, head := range t.pages {
+		for pg := head; pg != nil; pg = pg.overflow {
+			total++
+		}
+	}
+	return float64(total) / float64(len(t.pages))
+}

@@ -1,0 +1,167 @@
+package linhash
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func newTable(t *testing.T, cfg Config) *Table {
+	t.Helper()
+	tb, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tb
+}
+
+func TestConfigErrors(t *testing.T) {
+	if _, err := New(Config{Capacity: 1}); err == nil {
+		t.Error("capacity 1 accepted")
+	}
+	if _, err := New(Config{Capacity: 4, MaxLoad: 1.5}); err == nil {
+		t.Error("load 1.5 accepted")
+	}
+}
+
+func TestBasicOps(t *testing.T) {
+	tb := newTable(t, Config{Capacity: 4})
+	if _, err := tb.Get("x"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("empty get: %v", err)
+	}
+	if err := tb.Put("k", []byte("1")); err != nil {
+		t.Fatal(err)
+	}
+	if err := tb.Put("k", []byte("2")); err != nil {
+		t.Fatal(err)
+	}
+	if tb.Len() != 1 {
+		t.Fatalf("len %d after overwrite", tb.Len())
+	}
+	if v, err := tb.Get("k"); err != nil || string(v) != "2" {
+		t.Fatalf("get %q %v", v, err)
+	}
+	if err := tb.Delete("k"); err != nil {
+		t.Fatal(err)
+	}
+	if err := tb.Delete("k"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("double delete: %v", err)
+	}
+}
+
+func TestAgainstModel(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	tb := newTable(t, Config{Capacity: 4})
+	model := map[string]string{}
+	for step := 0; step < 8000; step++ {
+		k := fmt.Sprintf("k%04d", rng.Intn(1500))
+		switch rng.Intn(10) {
+		case 0, 1, 2, 3, 4, 5:
+			v := fmt.Sprintf("v%d", step)
+			if err := tb.Put(k, []byte(v)); err != nil {
+				t.Fatal(err)
+			}
+			model[k] = v
+		case 6, 7, 8:
+			v, err := tb.Get(k)
+			want, ok := model[k]
+			switch {
+			case ok && (err != nil || string(v) != want):
+				t.Fatalf("Get(%q) = %q,%v want %q", k, v, err, want)
+			case !ok && !errors.Is(err, ErrNotFound):
+				t.Fatalf("Get(%q): %v", k, err)
+			}
+		default:
+			err := tb.Delete(k)
+			_, ok := model[k]
+			if ok && err != nil || !ok && !errors.Is(err, ErrNotFound) {
+				t.Fatalf("Delete(%q): %v", k, err)
+			}
+			delete(model, k)
+		}
+	}
+	if tb.Len() != len(model) {
+		t.Fatalf("len %d, model %d", tb.Len(), len(model))
+	}
+	// Range returns the sorted model contents despite hashing.
+	var got []string
+	tb.Range("k0100", "k0300", func(k string, _ []byte) bool { got = append(got, k); return true })
+	var want []string
+	for k := range model {
+		if k >= "k0100" && k <= "k0300" {
+			want = append(want, k)
+		}
+	}
+	sort.Strings(want)
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Fatalf("range %d keys, want %d", len(got), len(want))
+	}
+}
+
+// TestControlledLoad verifies the split criterion holds the primary load
+// near the threshold.
+func TestControlledLoad(t *testing.T) {
+	for _, maxLoad := range []float64{0.7, 0.8, 0.9} {
+		tb := newTable(t, Config{Capacity: 10, MaxLoad: maxLoad})
+		for i := 0; i < 20000; i++ {
+			if err := tb.Put(fmt.Sprintf("key-%08d", i*37), nil); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if got := tb.PrimaryLoad(); got > maxLoad+0.001 {
+			t.Errorf("max load %.2f: primary load %.3f exceeds threshold", maxLoad, got)
+		}
+		if got := tb.PrimaryLoad(); got < maxLoad-0.15 {
+			t.Errorf("max load %.2f: primary load %.3f far under threshold", maxLoad, got)
+		}
+	}
+}
+
+// TestSearchCost: successful searches touch few pages (short chains) at
+// moderate load.
+func TestSearchCost(t *testing.T) {
+	tb := newTable(t, Config{Capacity: 20, MaxLoad: 0.75})
+	keys := make([]string, 10000)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("key-%08d", i*13)
+		tb.Put(keys[i], nil)
+	}
+	tb.ResetAccesses()
+	for _, k := range keys[:2000] {
+		if _, err := tb.Get(k); err != nil {
+			t.Fatal(err)
+		}
+	}
+	per := float64(tb.Accesses()) / 2000
+	if per > 1.4 {
+		t.Errorf("%.2f page touches per search; chains too long", per)
+	}
+	if tb.AvgChain() > 1.5 {
+		t.Errorf("avg chain %.2f", tb.AvgChain())
+	}
+}
+
+// TestInsertionOrderInsensitive: unlike trie hashing, linear hashing's
+// load does not depend on the key arrival order.
+func TestInsertionOrderInsensitive(t *testing.T) {
+	keys := make([]string, 8000)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("key-%08d", i*7)
+	}
+	asc := newTable(t, Config{Capacity: 10})
+	for _, k := range keys {
+		asc.Put(k, nil)
+	}
+	rng := rand.New(rand.NewSource(1))
+	shuffled := append([]string(nil), keys...)
+	rng.Shuffle(len(shuffled), func(i, j int) { shuffled[i], shuffled[j] = shuffled[j], shuffled[i] })
+	rnd := newTable(t, Config{Capacity: 10})
+	for _, k := range shuffled {
+		rnd.Put(k, nil)
+	}
+	if a, b := asc.Load(), rnd.Load(); a != b {
+		t.Errorf("order changed the load: %.4f vs %.4f", a, b)
+	}
+}

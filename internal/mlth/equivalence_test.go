@@ -1,0 +1,112 @@
+package mlth
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"triehash/internal/store"
+	"triehash/internal/trie"
+)
+
+// TestPagingEquivalence: paging is purely physical — files with tiny page
+// capacities and one whose trie never pages must stay observationally
+// identical under any operation sequence. This pins the page-split
+// machinery (split-node choice, in-order trie splitting, cross-page
+// search state) against the unpaged ground truth.
+func TestPagingEquivalence(t *testing.T) {
+	for _, mode := range []trie.Mode{trie.ModeBasic, trie.ModeTHCL} {
+		mode := mode
+		t.Run(mode.String(), func(t *testing.T) {
+			mk := func(pageCap int) *File {
+				f, err := New(Config{Capacity: 4, PageCapacity: pageCap, Mode: mode}, store.NewMem())
+				if err != nil {
+					t.Fatal(err)
+				}
+				return f
+			}
+			files := map[string]*File{
+				"page5":   mk(5),
+				"page9":   mk(9),
+				"unpaged": mk(1 << 20),
+			}
+			rng := rand.New(rand.NewSource(101))
+			for step := 0; step < 4000; step++ {
+				n := 1 + rng.Intn(6)
+				kb := make([]byte, n)
+				for i := range kb {
+					kb[i] = byte('a' + rng.Intn(5))
+				}
+				k := string(kb)
+				switch rng.Intn(10) {
+				case 0, 1, 2, 3, 4, 5:
+					for name, f := range files {
+						if _, err := f.Put(k, []byte(k)); err != nil {
+							t.Fatalf("step %d %s Put(%q): %v", step, name, k, err)
+						}
+					}
+				case 6, 7:
+					var want []byte
+					var wantErr error
+					first := true
+					for name, f := range files {
+						v, err := f.Get(k)
+						if first {
+							want, wantErr, first = v, err, false
+							continue
+						}
+						if (err == nil) != (wantErr == nil) || string(v) != string(want) {
+							t.Fatalf("step %d %s Get(%q) diverges: %q,%v vs %q,%v",
+								step, name, k, v, err, want, wantErr)
+						}
+					}
+				default:
+					var wantErr error
+					first := true
+					for name, f := range files {
+						err := f.Delete(k)
+						if first {
+							wantErr, first = err, false
+							continue
+						}
+						if (err == nil) != (wantErr == nil) {
+							t.Fatalf("step %d %s Delete(%q) diverges: %v vs %v", step, name, k, err, wantErr)
+						}
+						if err != nil && !errors.Is(err, ErrNotFound) {
+							t.Fatalf("step %d %s Delete(%q): %v", step, name, k, err)
+						}
+					}
+				}
+			}
+			// Final states agree completely: count, full ordered scan.
+			var scans = map[string][]string{}
+			for name, f := range files {
+				var got []string
+				if err := f.Range("a", "", func(k string, _ []byte) bool {
+					got = append(got, k)
+					return true
+				}); err != nil {
+					t.Fatal(err)
+				}
+				scans[name] = got
+				if err := f.CheckInvariants(); err != nil {
+					t.Fatalf("%s: %v", name, err)
+				}
+			}
+			if fmt.Sprint(scans["page5"]) != fmt.Sprint(scans["unpaged"]) ||
+				fmt.Sprint(scans["page9"]) != fmt.Sprint(scans["unpaged"]) {
+				t.Fatalf("final scans diverge: %d/%d/%d keys",
+					len(scans["page5"]), len(scans["page9"]), len(scans["unpaged"]))
+			}
+			// The paged files really did page.
+			if files["page5"].Levels() < 2 || files["page9"].Levels() < 2 {
+				t.Fatalf("paged files did not page: levels %d/%d",
+					files["page5"].Levels(), files["page9"].Levels())
+			}
+			t.Logf("%s: %d keys; levels page5=%d page9=%d unpaged=%d",
+				mode, files["unpaged"].Len(),
+				files["page5"].Levels(), files["page9"].Levels(), files["unpaged"].Levels())
+		})
+	}
+}

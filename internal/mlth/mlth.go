@@ -1,0 +1,447 @@
+// Package mlth implements multilevel trie hashing (Section 2.5 of the
+// paper): when the trie outgrows main memory it is split into a hierarchy
+// of pages, each holding a subtrie of at most b' cells. Pages split when
+// they overflow; the split node — the internal node best balancing the
+// in-order node counts that has no logical parent within the page — moves
+// to the parent page, its two pointers addressing the half pages. Because
+// of the resulting high branching factor, two page levels suffice for very
+// large files, so any key search costs two disk accesses once the root
+// page is cached.
+//
+// Following the paper, the multilevel scheme is implemented for the basic
+// method (one leaf per bucket, nil leaves allowed); extending it to THCL
+// is the future work the paper's conclusion calls for.
+package mlth
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+
+	"triehash/internal/bucket"
+	"triehash/internal/keys"
+	"triehash/internal/store"
+	"triehash/internal/trie"
+)
+
+// ErrNotFound is returned when a key is absent from the file.
+var ErrNotFound = errors.New("mlth: key not found")
+
+// Config parameterizes a multilevel trie-hashed file.
+type Config struct {
+	// Alphabet is the digit alphabet; the zero value selects keys.ASCII.
+	Alphabet keys.Alphabet
+	// Capacity is the bucket capacity b >= 2.
+	Capacity int
+	// PageCapacity is b': the number of cells a trie page holds.
+	PageCapacity int
+	// Mode selects the basic method (the paper's MLTH) or the
+	// controlled-load variant (the extension its conclusion calls for).
+	Mode trie.Mode
+	// SplitPos is the split-key position m (0 = the middle INT(b/2+1)).
+	SplitPos int
+	// BoundPos is THCL's bounding-key position (0 = the last key);
+	// SplitPos+1 pins ordered loads exactly. Ignored in basic mode.
+	BoundPos int
+	// SplitNodeFrac shifts the page split node for expected ordered
+	// insertions (Section 3.2 / /ZEG88/): the target fraction of the
+	// page's internal nodes preceding the split node. 0 selects 0.5.
+	SplitNodeFrac float64
+}
+
+func (cfg Config) withDefaults() (Config, error) {
+	if cfg.Alphabet == (keys.Alphabet{}) {
+		cfg.Alphabet = keys.ASCII
+	}
+	if cfg.Capacity < 2 {
+		return cfg, fmt.Errorf("mlth: bucket capacity %d; need at least 2", cfg.Capacity)
+	}
+	if cfg.PageCapacity < 3 {
+		return cfg, fmt.Errorf("mlth: page capacity %d cells; need at least 3", cfg.PageCapacity)
+	}
+	if cfg.SplitPos == 0 {
+		cfg.SplitPos = cfg.Capacity/2 + 1
+	}
+	if cfg.SplitPos < 1 || cfg.SplitPos > cfg.Capacity {
+		return cfg, fmt.Errorf("mlth: split position %d outside [1, %d]", cfg.SplitPos, cfg.Capacity)
+	}
+	if cfg.BoundPos == 0 || cfg.Mode == trie.ModeBasic {
+		cfg.BoundPos = cfg.Capacity + 1
+	}
+	if cfg.BoundPos <= cfg.SplitPos || cfg.BoundPos > cfg.Capacity+1 {
+		return cfg, fmt.Errorf("mlth: bounding position %d outside (%d, %d]", cfg.BoundPos, cfg.SplitPos, cfg.Capacity+1)
+	}
+	if cfg.SplitNodeFrac == 0 {
+		cfg.SplitNodeFrac = 0.5
+	}
+	if cfg.SplitNodeFrac <= 0 || cfg.SplitNodeFrac >= 1 {
+		return cfg, fmt.Errorf("mlth: split node fraction %v outside (0, 1)", cfg.SplitNodeFrac)
+	}
+	return cfg, nil
+}
+
+// page is one node of the page hierarchy: a subtrie whose leaves address
+// either buckets (level 0, the file level) or pages of the level below.
+type page struct {
+	level int
+	tr    *trie.Trie
+}
+
+// File is a multilevel trie-hashed file.
+type File struct {
+	cfg   Config
+	st    store.Store
+	pages []*page
+	root  int32
+	nkeys int
+	// splits counts bucket splits, pageSplits page splits.
+	splits     int
+	pageSplits int
+	// pageReads counts page accesses beyond the root (which stays in
+	// main memory, as the paper assumes); bucket transfers are counted
+	// by the store. Atomic so concurrent readers can count.
+	pageReads atomic.Int64
+}
+
+// New creates a fresh multilevel file over an empty store.
+func New(cfg Config, st store.Store) (*File, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	if st.Buckets() != 0 {
+		return nil, fmt.Errorf("mlth: store already holds %d buckets", st.Buckets())
+	}
+	if _, err := st.Alloc(); err != nil {
+		return nil, err
+	}
+	f := &File{cfg: cfg, st: st}
+	f.pages = append(f.pages, &page{level: 0, tr: trie.New(cfg.Alphabet, 0)})
+	return f, nil
+}
+
+// Levels returns the number of page levels (1 = the trie fits one page).
+func (f *File) Levels() int { return f.pages[f.root].level + 1 }
+
+// Pages returns the number of trie pages.
+func (f *File) Pages() int { return len(f.pages) }
+
+// Len returns the number of records.
+func (f *File) Len() int { return f.nkeys }
+
+// Splits returns the number of bucket splits.
+func (f *File) Splits() int { return f.splits }
+
+// PageSplits returns the number of page splits.
+func (f *File) PageSplits() int { return f.pageSplits }
+
+// PageReads returns the accumulated non-root page accesses.
+func (f *File) PageReads() int64 { return f.pageReads.Load() }
+
+// ResetPageReads zeroes the page access counter.
+func (f *File) ResetPageReads() { f.pageReads.Store(0) }
+
+// Store exposes the bucket store for access accounting.
+func (f *File) Store() store.Store { return f.st }
+
+// Alphabet returns the digit alphabet the file was created with.
+func (f *File) Alphabet() keys.Alphabet { return f.cfg.Alphabet }
+
+// Capacity returns the bucket capacity b.
+func (f *File) Capacity() int { return f.cfg.Capacity }
+
+// locate runs the multi-level key search: Algorithm A1 continues from page
+// to page, carrying the digit index j and the logical path C across
+// levels. It returns the visited page ids (root first) and the search
+// result within the file-level page, whose Path is the full logical path.
+func (f *File) locate(key string) (path []int32, res trie.SearchResult) {
+	pid := f.root
+	j := 0
+	var C []byte
+	for {
+		p := f.pages[pid]
+		if pid != f.root {
+			f.pageReads.Add(1)
+		}
+		path = append(path, pid)
+		res = p.tr.SearchFrom(key, j, C)
+		if p.level == 0 {
+			return path, res
+		}
+		if res.Leaf.IsNil() {
+			panic(fmt.Sprintf("mlth: nil leaf at page level %d", p.level))
+		}
+		pid = res.Leaf.Addr()
+		j, C = res.J, res.Path
+	}
+}
+
+// Get returns the value stored under key.
+func (f *File) Get(key string) ([]byte, error) {
+	if err := f.cfg.Alphabet.Validate(key); err != nil {
+		return nil, err
+	}
+	_, res := f.locate(key)
+	if res.Leaf.IsNil() {
+		return nil, ErrNotFound
+	}
+	b, err := f.st.Read(res.Leaf.Addr())
+	if err != nil {
+		return nil, err
+	}
+	v, ok := b.Get(key)
+	if !ok {
+		return nil, ErrNotFound
+	}
+	return v, nil
+}
+
+// Put inserts or replaces the record for key and reports whether an
+// existing record was replaced.
+func (f *File) Put(key string, value []byte) (bool, error) {
+	if err := f.cfg.Alphabet.Validate(key); err != nil {
+		return false, err
+	}
+	path, res := f.locate(key)
+	filePage := path[len(path)-1]
+	if res.Leaf.IsNil() {
+		addr, err := f.st.Alloc()
+		if err != nil {
+			return false, err
+		}
+		b := bucket.New(f.cfg.Capacity)
+		b.SetBound(res.Path)
+		b.Put(key, value)
+		if err := f.st.Write(addr, b); err != nil {
+			return false, err
+		}
+		f.pages[filePage].tr.AllocNil(res.Pos, addr)
+		f.nkeys++
+		return false, nil
+	}
+	addr := res.Leaf.Addr()
+	b, err := f.st.Read(addr)
+	if err != nil {
+		return false, err
+	}
+	if b.Put(key, value) {
+		return true, f.st.Write(addr, b)
+	}
+	if b.Len() <= f.cfg.Capacity {
+		if err := f.st.Write(addr, b); err != nil {
+			return false, err
+		}
+		f.nkeys++
+		return false, nil
+	}
+	if f.cfg.Mode == trie.ModeTHCL {
+		err = f.splitBucketTHCL(addr, b)
+	} else {
+		err = f.splitBucket(path, res, addr, b)
+	}
+	if err != nil {
+		return false, err
+	}
+	f.nkeys++
+	return false, nil
+}
+
+// Delete removes the record for key. The multilevel scheme leaves bucket
+// merging to the single-level method (the paper studies deletions there);
+// an emptied bucket's leaf simply becomes nil and the bucket is freed.
+func (f *File) Delete(key string) error {
+	if err := f.cfg.Alphabet.Validate(key); err != nil {
+		return err
+	}
+	path, res := f.locate(key)
+	if res.Leaf.IsNil() {
+		return ErrNotFound
+	}
+	addr := res.Leaf.Addr()
+	b, err := f.st.Read(addr)
+	if err != nil {
+		return err
+	}
+	if !b.Delete(key) {
+		return ErrNotFound
+	}
+	if b.Len() == 0 && f.cfg.Mode == trie.ModeBasic && f.pages[path[len(path)-1]].tr.LeafCount(addr) == 1 {
+		if err := f.st.Free(addr); err != nil {
+			return err
+		}
+		f.pages[path[len(path)-1]].tr.FreeToNil(res.Pos)
+		f.nkeys--
+		return nil
+	}
+	if err := f.st.Write(addr, b); err != nil {
+		return err
+	}
+	f.nkeys--
+	return nil
+}
+
+// splitBucket performs the basic method's Algorithm A2 inside the file-
+// level page that owns the leaf, then splits that page (and ancestors)
+// if the expansion overflowed it.
+func (f *File) splitBucket(path []int32, res trie.SearchResult, addr int32, b *bucket.Bucket) error {
+	B := b.Keys()
+	splitKey := B[f.cfg.SplitPos-1]
+	boundKey := B[len(B)-1]
+	s := f.cfg.Alphabet.SplitString(splitKey, boundKey)
+
+	newAddr, err := f.st.Alloc()
+	if err != nil {
+		return err
+	}
+	filePage := path[len(path)-1]
+	moved := b.SplitOff(func(k string) bool { return f.cfg.Alphabet.KeyLEBound(k, s) })
+	nb := bucket.New(f.cfg.Capacity)
+	// A multi-digit expansion interposes nil leaves, so the new bucket's
+	// leaf bound is the split string less its last digit; a single-digit
+	// expansion keeps the old bound (Algorithm A2 step 3).
+	if cp := keys.CommonPrefixLen(s, b.Bound()); len(s)-cp > 1 {
+		nb.SetBound(s[:len(s)-1])
+	} else {
+		nb.SetBound(b.Bound())
+	}
+	nb.Absorb(moved)
+	b.SetBound(s)
+	// New bucket first, old second, trie last (see core.appendSplit).
+	if err := f.st.Write(newAddr, nb); err != nil {
+		return err
+	}
+	if err := f.st.Write(addr, b); err != nil {
+		return err
+	}
+	f.pages[filePage].tr.ExpandAt(res.Pos, res.Path, s, addr, newAddr, trie.ModeBasic)
+	f.splits++
+	f.splitPagesUpward(path)
+	return nil
+}
+
+// splitPagesUpward splits every page along the search path that exceeds
+// the page capacity, bottom-up. A long expansion chain can overflow a
+// page by several splits' worth; once a first split of an old root page
+// has created a fresh root above it, the following splits of the same
+// page must graft into that root instead of creating a rival one.
+func (f *File) splitPagesUpward(path []int32) {
+	for i := len(path) - 1; i >= 0; i-- {
+		pid := path[i]
+		for f.pages[pid].tr.Cells() > f.cfg.PageCapacity {
+			var parent int32 = -1
+			if i > 0 {
+				parent = path[i-1]
+			} else if pid != f.root {
+				parent = f.root
+			}
+			f.splitPage(pid, parent)
+		}
+	}
+	// Promotions may also have overflowed roots created above the
+	// located path; keep splitting up the root chain.
+	for {
+		r := f.root
+		if f.pages[r].tr.Cells() <= f.cfg.PageCapacity {
+			return
+		}
+		f.splitPage(r, -1)
+		for f.pages[r].tr.Cells() > f.cfg.PageCapacity {
+			f.splitPage(r, f.root)
+		}
+	}
+}
+
+// splitPage performs the two phases of Section 2.5: choice of the split
+// node r', then the in-order-preserving trie split. r' moves to the parent
+// page (a fresh root page when pid is the root), pointing left at the old
+// page and right at the new one.
+func (f *File) splitPage(pid, parent int32) {
+	p := f.pages[pid]
+	r := p.tr.ChooseSplitNodeShifted(f.cfg.SplitNodeFrac)
+	left, right, cell := p.tr.SplitAt(r)
+	p.tr = left
+	newID := int32(len(f.pages))
+	f.pages = append(f.pages, &page{level: p.level, tr: right})
+	f.pageSplits++
+
+	if parent < 0 {
+		// Root split: a new root page one level up holds just r'.
+		lt := trie.New(f.cfg.Alphabet, pid)
+		rt := trie.New(f.cfg.Alphabet, newID)
+		rootTr := trie.Graft(cell, lt, rt)
+		f.pages = append(f.pages, &page{level: p.level + 1, tr: rootTr})
+		f.root = int32(len(f.pages) - 1)
+		return
+	}
+	pos, ok := f.pages[parent].tr.FindLeafAddr(pid)
+	if !ok {
+		panic(fmt.Sprintf("mlth: page %d not referenced by parent %d", pid, parent))
+	}
+	f.pages[parent].tr.ReplaceLeafWithCell(pos, cell, trie.Leaf(pid), trie.Leaf(newID))
+}
+
+// Range calls fn for every record with from <= key <= to (empty to = no
+// upper bound) in ascending key order until fn returns false.
+func (f *File) Range(from, to string, fn func(key string, value []byte) bool) error {
+	_, start := f.locate(from)
+	started := start.Leaf.IsNil() // a nil start leaf: begin at the next real bucket
+	startAddr := int32(-1)
+	if !start.Leaf.IsNil() {
+		startAddr = start.Leaf.Addr()
+	}
+	var scanErr error
+	f.walkBuckets(func(addr int32) bool {
+		if !started {
+			if addr != startAddr {
+				return true
+			}
+			started = true
+		}
+		b, err := f.st.Read(addr)
+		if err != nil {
+			scanErr = err
+			return false
+		}
+		if b.Len() > 0 && to != "" && b.MinKey() > to {
+			return false
+		}
+		return b.Ascend(from, to, func(r bucket.Record) bool { return fn(r.Key, r.Value) })
+	})
+	return scanErr
+}
+
+// walkBuckets visits every bucket address in ascending key order,
+// descending the page hierarchy in-order and counting page accesses.
+// Consecutive shared leaves of a THCL run report their bucket once.
+func (f *File) walkBuckets(fn func(addr int32) bool) {
+	last := int32(-1)
+	var walk func(pid int32) bool
+	walk = func(pid int32) bool {
+		if pid != f.root {
+			f.pageReads.Add(1)
+		}
+		p := f.pages[pid]
+		cont := true
+		for _, leaf := range p.tr.InorderLeafPtrs() {
+			if leaf.IsNil() {
+				last = -1
+				continue
+			}
+			if p.level == 0 {
+				if leaf.Addr() == last {
+					continue
+				}
+				last = leaf.Addr()
+				if !fn(leaf.Addr()) {
+					cont = false
+					break
+				}
+			} else if !walk(leaf.Addr()) {
+				cont = false
+				break
+			}
+		}
+		return cont
+	}
+	walk(f.root)
+}

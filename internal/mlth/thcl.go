@@ -1,0 +1,146 @@
+package mlth
+
+import (
+	"fmt"
+
+	"triehash/internal/bucket"
+	"triehash/internal/trie"
+)
+
+// This file extends the multilevel scheme to the controlled-load variant —
+// the refinement the paper's conclusion calls for ("this results should
+// now be refined for MLTH and for the new variant"). The page hierarchy is
+// unchanged; what changes is the bucket split: THCL's shared leaves and
+// successor repointing (Section 4.1 steps 3.0-3.5) must operate on a run
+// of leaves that may span several file-level pages.
+
+// fullLeaf is one file-level leaf seen by a cross-page in-order walk: its
+// owning page, the ancestor pages (root first), the slot position within
+// the page, the pointer, and the full logical-path bound.
+type fullLeaf struct {
+	page     int32
+	ancestry []int32
+	pos      trie.Pos
+	leaf     trie.Ptr
+	bound    []byte
+}
+
+// walkFileLeaves visits every file-level leaf in in-order with its full
+// logical path, descending the page hierarchy and seeding each page's walk
+// with the path accumulated above it.
+func (f *File) walkFileLeaves(fn func(fullLeaf) bool) {
+	var walk func(pid int32, ancestry []int32, prefix []byte) bool
+	walk = func(pid int32, ancestry []int32, prefix []byte) bool {
+		p := f.pages[pid]
+		ancestry = append(ancestry, pid)
+		cont := true
+		p.tr.WalkLeavesPrefix(prefix, func(lp trie.LeafPos) bool {
+			if p.level == 0 {
+				if !fn(fullLeaf{
+					page:     pid,
+					ancestry: append([]int32(nil), ancestry...),
+					pos:      lp.Pos,
+					leaf:     lp.Leaf,
+					bound:    lp.Path,
+				}) {
+					cont = false
+				}
+				return cont
+			}
+			if lp.Leaf.IsNil() {
+				return true
+			}
+			if !walk(lp.Leaf.Addr(), ancestry, lp.Path) {
+				cont = false
+			}
+			return cont
+		})
+		return cont
+	}
+	walk(f.root, nil, nil)
+}
+
+// setBoundaryTHCL installs split string s as the new boundary inside the
+// key range of bucket old, across pages: leaves of old's run at or below s
+// keep old, the straddling leaf grows the chain (inside its page), and
+// later leaves of the run repoint to high — the multilevel form of
+// Section 4.1 steps 3.0-3.5. It returns the page that received new cells
+// (with its ancestry) so the caller can split overflowing pages, or -1.
+func (f *File) setBoundaryTHCL(s []byte, old, high int32) (grownPage int32, ancestry []int32) {
+	var run []fullLeaf
+	f.walkFileLeaves(func(fl fullLeaf) bool {
+		if !fl.leaf.IsNil() && fl.leaf.Addr() == old {
+			run = append(run, fl)
+			return true
+		}
+		return len(run) == 0 // stop once past the run
+	})
+	if len(run) == 0 {
+		panic(fmt.Sprintf("mlth: setBoundaryTHCL: no leaf carries bucket %d", old))
+	}
+	grownPage = -1
+	straddle := -1
+	exact := false
+	for i, fl := range run {
+		cmp := f.cfg.Alphabet.ComparePathBounds(fl.bound, s)
+		if cmp < 0 {
+			continue
+		}
+		if cmp == 0 {
+			exact = true
+			straddle = i + 1
+		} else {
+			straddle = i
+		}
+		break
+	}
+	if straddle < 0 {
+		panic(fmt.Sprintf("mlth: setBoundaryTHCL: boundary %q above bucket %d's range", s, old))
+	}
+	if !exact {
+		fl := run[straddle]
+		f.pages[fl.page].tr.ExpandAt(fl.pos, fl.bound, s, old, high, trie.ModeTHCL)
+		grownPage, ancestry = fl.page, fl.ancestry
+		straddle++
+	}
+	for _, fl := range run[straddle:] {
+		f.pages[fl.page].tr.SetLeaf(fl.pos, high)
+	}
+	return grownPage, ancestry
+}
+
+// splitBucketTHCL is the controlled-load bucket split under the page
+// hierarchy: split and bounding keys per the configuration, boundary
+// installed across pages, bucket bounds maintained for recovery.
+func (f *File) splitBucketTHCL(addr int32, b *bucket.Bucket) error {
+	B := b.Keys()
+	splitKey := B[f.cfg.SplitPos-1]
+	boundKey := B[f.cfg.BoundPos-1]
+	s := f.cfg.Alphabet.SplitString(splitKey, boundKey)
+
+	newAddr, err := f.st.Alloc()
+	if err != nil {
+		return err
+	}
+	moved := b.SplitOff(func(k string) bool { return f.cfg.Alphabet.KeyLEBound(k, s) })
+	if len(moved) == 0 || b.Len() == 0 {
+		panic(fmt.Sprintf("mlth: THCL split of bucket %d by %q moved %d of %d keys", addr, s, len(moved), len(B)))
+	}
+	nb := bucket.New(f.cfg.Capacity)
+	nb.SetBound(b.Bound()) // shared leaves cover up to the old bound
+	nb.Absorb(moved)
+	b.SetBound(s)
+	// New bucket first, old second, trie last (see core.appendSplit).
+	if err := f.st.Write(newAddr, nb); err != nil {
+		return err
+	}
+	if err := f.st.Write(addr, b); err != nil {
+		return err
+	}
+	grown, ancestry := f.setBoundaryTHCL(s, addr, newAddr)
+	f.splits++
+	if grown >= 0 {
+		f.splitPagesUpward(ancestry)
+	}
+	return nil
+}

@@ -1,0 +1,111 @@
+package store
+
+import (
+	"container/list"
+	"sync"
+
+	"triehash/internal/bucket"
+)
+
+// Cached wraps a Store with a write-through LRU buffer pool of a fixed
+// number of bucket frames. Hits are served from memory and do not reach
+// the underlying store's counters, so experiments can quantify how a
+// buffer pool changes the paper's access counts.
+type Cached struct {
+	Store
+	frames int
+
+	// mu guards the LRU state: unlike the raw stores, whose read paths
+	// are naturally concurrent, a cache hit reorders the LRU list.
+	mu     sync.Mutex
+	lru    *list.List // front = most recent; values are *frame
+	byAddr map[int32]*list.Element
+	hits   int64
+	misses int64
+}
+
+type frame struct {
+	addr int32
+	b    *bucket.Bucket
+}
+
+// NewCached wraps s with an LRU pool of the given number of frames.
+func NewCached(s Store, frames int) *Cached {
+	if frames < 1 {
+		frames = 1
+	}
+	return &Cached{Store: s, frames: frames, lru: list.New(), byAddr: make(map[int32]*list.Element)}
+}
+
+// Hits and Misses report the pool's effectiveness.
+func (c *Cached) Hits() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits
+}
+
+// Misses returns the number of reads the pool had to forward.
+func (c *Cached) Misses() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.misses
+}
+
+func (c *Cached) touch(addr int32, b *bucket.Bucket) {
+	if el, ok := c.byAddr[addr]; ok {
+		el.Value.(*frame).b = b
+		c.lru.MoveToFront(el)
+		return
+	}
+	c.byAddr[addr] = c.lru.PushFront(&frame{addr: addr, b: b})
+	if c.lru.Len() > c.frames {
+		el := c.lru.Back()
+		c.lru.Remove(el)
+		delete(c.byAddr, el.Value.(*frame).addr)
+	}
+}
+
+// Read implements Store, serving hits from the pool.
+func (c *Cached) Read(addr int32) (*bucket.Bucket, error) {
+	c.mu.Lock()
+	if el, ok := c.byAddr[addr]; ok {
+		c.hits++
+		c.lru.MoveToFront(el)
+		b := el.Value.(*frame).b.Clone()
+		c.mu.Unlock()
+		return b, nil
+	}
+	c.misses++
+	c.mu.Unlock()
+	b, err := c.Store.Read(addr)
+	if err != nil {
+		return nil, err
+	}
+	c.mu.Lock()
+	c.touch(addr, b.Clone())
+	c.mu.Unlock()
+	return b, nil
+}
+
+// Write implements Store write-through: the pool and the backing store
+// both receive the new contents.
+func (c *Cached) Write(addr int32, b *bucket.Bucket) error {
+	if err := c.Store.Write(addr, b); err != nil {
+		return err
+	}
+	c.mu.Lock()
+	c.touch(addr, b.Clone())
+	c.mu.Unlock()
+	return nil
+}
+
+// Free implements Store, evicting the freed bucket from the pool.
+func (c *Cached) Free(addr int32) error {
+	c.mu.Lock()
+	if el, ok := c.byAddr[addr]; ok {
+		c.lru.Remove(el)
+		delete(c.byAddr, addr)
+	}
+	c.mu.Unlock()
+	return c.Store.Free(addr)
+}

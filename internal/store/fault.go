@@ -1,0 +1,90 @@
+package store
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+
+	"triehash/internal/bucket"
+)
+
+// ErrInjected is the failure FaultStore injects.
+var ErrInjected = errors.New("store: injected fault")
+
+// FaultStore wraps a Store and fails operations on command — the failure
+// injection used to verify the file layer surfaces storage errors instead
+// of panicking or corrupting itself.
+type FaultStore struct {
+	Store
+	// remaining counts successful operations before every subsequent
+	// operation fails; negative = never fail.
+	remaining atomic.Int64
+	// failReads/failWrites select which operations are eligible.
+	failReads  bool
+	failWrites bool
+}
+
+// NewFault wraps s; the store works normally until Arm is called.
+func NewFault(s Store) *FaultStore {
+	f := &FaultStore{Store: s}
+	f.remaining.Store(-1)
+	return f
+}
+
+// Arm makes the store fail reads and/or writes after n more successful
+// eligible operations.
+func (f *FaultStore) Arm(n int64, reads, writes bool) {
+	f.failReads, f.failWrites = reads, writes
+	f.remaining.Store(n)
+}
+
+// Disarm restores normal operation.
+func (f *FaultStore) Disarm() { f.remaining.Store(-1) }
+
+// trip decrements the budget and reports whether this operation fails.
+func (f *FaultStore) trip() bool {
+	for {
+		r := f.remaining.Load()
+		if r < 0 {
+			return false
+		}
+		if r == 0 {
+			return true
+		}
+		if f.remaining.CompareAndSwap(r, r-1) {
+			return false
+		}
+	}
+}
+
+// Read implements Store with fault injection.
+func (f *FaultStore) Read(addr int32) (*bucket.Bucket, error) {
+	if f.failReads && f.trip() {
+		return nil, fmt.Errorf("%w: read of %d", ErrInjected, addr)
+	}
+	return f.Store.Read(addr)
+}
+
+// Write implements Store with fault injection.
+func (f *FaultStore) Write(addr int32, b *bucket.Bucket) error {
+	if f.failWrites && f.trip() {
+		return fmt.Errorf("%w: write of %d", ErrInjected, addr)
+	}
+	return f.Store.Write(addr, b)
+}
+
+// Alloc implements Store with fault injection (counts as a write).
+func (f *FaultStore) Alloc() (int32, error) {
+	if f.failWrites && f.trip() {
+		return 0, fmt.Errorf("%w: alloc", ErrInjected)
+	}
+	return f.Store.Alloc()
+}
+
+// Free implements Store with fault injection (counts as a write).
+func (f *FaultStore) Free(addr int32) error {
+	if f.failWrites && f.trip() {
+		return fmt.Errorf("%w: free of %d", ErrInjected, addr)
+	}
+	return f.Store.Free(addr)
+}

@@ -1,0 +1,232 @@
+package store
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+
+	"triehash/internal/bucket"
+)
+
+// FileStore persists buckets in a single file of fixed-size slots, one per
+// bucket address. Each slot carries a checksummed header, so torn or
+// corrupted slots are detected at read time. The layout mirrors the
+// paper's disk model: one slot transfer per bucket access.
+//
+// Layout:
+//
+//	file header (32 bytes): magic, version, slot size
+//	slot k at offset 32 + k*slotSize:
+//	    flags (1), payload length (4), crc32 of payload (4), payload
+type FileStore struct {
+	f        *os.File
+	slotSize int
+	slots    int32 // slots present in the file (allocated + freed)
+	free     []int32
+	live     int
+	ctr      counterSet
+}
+
+const (
+	fileMagic      = 0x54484653 // "THFS"
+	fileVersion    = 1
+	fileHeaderSize = 32
+	slotHeaderSize = 9
+	slotLive       = 1
+	slotFree       = 0
+)
+
+// CreateFile creates (truncating) a bucket file at path whose slots hold
+// serialized buckets of up to slotSize-9 bytes.
+func CreateFile(path string, slotSize int) (*FileStore, error) {
+	if slotSize <= slotHeaderSize+4 {
+		return nil, fmt.Errorf("store: slot size %d too small", slotSize)
+	}
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	var hdr [fileHeaderSize]byte
+	binary.LittleEndian.PutUint32(hdr[0:], fileMagic)
+	binary.LittleEndian.PutUint32(hdr[4:], fileVersion)
+	binary.LittleEndian.PutUint32(hdr[8:], uint32(slotSize))
+	if _, err := f.WriteAt(hdr[:], 0); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return &FileStore{f: f, slotSize: slotSize}, nil
+}
+
+// OpenFile opens an existing bucket file, rebuilding the free list by
+// scanning slot headers.
+func OpenFile(path string) (*FileStore, error) {
+	f, err := os.OpenFile(path, os.O_RDWR, 0)
+	if err != nil {
+		return nil, err
+	}
+	var hdr [fileHeaderSize]byte
+	if _, err := f.ReadAt(hdr[:], 0); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("store: reading file header: %w", err)
+	}
+	if binary.LittleEndian.Uint32(hdr[0:]) != fileMagic {
+		f.Close()
+		return nil, fmt.Errorf("store: %s is not a bucket file", path)
+	}
+	if v := binary.LittleEndian.Uint32(hdr[4:]); v != fileVersion {
+		f.Close()
+		return nil, fmt.Errorf("store: unsupported version %d", v)
+	}
+	s := &FileStore{f: f, slotSize: int(binary.LittleEndian.Uint32(hdr[8:]))}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	s.slots = int32((st.Size() - fileHeaderSize) / int64(s.slotSize))
+	for k := int32(0); k < s.slots; k++ {
+		var sh [slotHeaderSize]byte
+		if _, err := f.ReadAt(sh[:], s.offset(k)); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("store: scanning slot %d: %w", k, err)
+		}
+		if sh[0] == slotLive {
+			s.live++
+		} else {
+			s.free = append(s.free, k)
+		}
+	}
+	return s, nil
+}
+
+func (s *FileStore) offset(addr int32) int64 {
+	return fileHeaderSize + int64(addr)*int64(s.slotSize)
+}
+
+// SlotSize returns the configured slot size.
+func (s *FileStore) SlotSize() int { return s.slotSize }
+
+func (s *FileStore) readSlot(addr int32) (flags byte, payload []byte, err error) {
+	if addr < 0 || addr >= s.slots {
+		return 0, nil, fmt.Errorf("%w: slot %d of %d", ErrNotAllocated, addr, s.slots)
+	}
+	buf := make([]byte, s.slotSize)
+	if _, err := s.f.ReadAt(buf, s.offset(addr)); err != nil {
+		return 0, nil, fmt.Errorf("store: slot %d: %w", addr, err)
+	}
+	flags = buf[0]
+	n := int(binary.LittleEndian.Uint32(buf[1:]))
+	if n > s.slotSize-slotHeaderSize {
+		return 0, nil, fmt.Errorf("store: slot %d: corrupt length %d", addr, n)
+	}
+	sum := binary.LittleEndian.Uint32(buf[5:])
+	payload = buf[slotHeaderSize : slotHeaderSize+n]
+	if crc32.ChecksumIEEE(payload) != sum {
+		return 0, nil, fmt.Errorf("store: slot %d: checksum mismatch", addr)
+	}
+	return flags, payload, nil
+}
+
+func (s *FileStore) writeSlot(addr int32, flags byte, payload []byte) error {
+	if len(payload) > s.slotSize-slotHeaderSize {
+		return fmt.Errorf("store: bucket of %d bytes exceeds slot payload %d", len(payload), s.slotSize-slotHeaderSize)
+	}
+	buf := make([]byte, s.slotSize)
+	buf[0] = flags
+	binary.LittleEndian.PutUint32(buf[1:], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(buf[5:], crc32.ChecksumIEEE(payload))
+	copy(buf[slotHeaderSize:], payload)
+	_, err := s.f.WriteAt(buf, s.offset(addr))
+	return err
+}
+
+// Read implements Store.
+func (s *FileStore) Read(addr int32) (*bucket.Bucket, error) {
+	flags, payload, err := s.readSlot(addr)
+	if err != nil {
+		return nil, err
+	}
+	if flags != slotLive {
+		return nil, fmt.Errorf("%w: read of freed slot %d", ErrNotAllocated, addr)
+	}
+	s.ctr.reads.Add(1)
+	b, _, err := bucket.DecodeBinary(payload)
+	if err != nil {
+		return nil, fmt.Errorf("store: slot %d: %w", addr, err)
+	}
+	return b, nil
+}
+
+// Write implements Store.
+func (s *FileStore) Write(addr int32, b *bucket.Bucket) error {
+	flags, _, err := s.readSlot(addr)
+	if err != nil {
+		return err
+	}
+	if flags != slotLive {
+		return fmt.Errorf("%w: write of freed slot %d", ErrNotAllocated, addr)
+	}
+	s.ctr.writes.Add(1)
+	return s.writeSlot(addr, slotLive, b.AppendBinary(nil))
+}
+
+// Alloc implements Store.
+func (s *FileStore) Alloc() (int32, error) {
+	s.ctr.allocs.Add(1)
+	var addr int32
+	if n := len(s.free); n > 0 {
+		addr = s.free[n-1]
+		s.free = s.free[:n-1]
+	} else {
+		addr = s.slots
+		s.slots++
+	}
+	if err := s.writeSlot(addr, slotLive, bucket.New(0).AppendBinary(nil)); err != nil {
+		return 0, err
+	}
+	s.live++
+	return addr, nil
+}
+
+// Free implements Store.
+func (s *FileStore) Free(addr int32) error {
+	flags, _, err := s.readSlot(addr)
+	if err != nil {
+		return err
+	}
+	if flags != slotLive {
+		return fmt.Errorf("%w: double free of slot %d", ErrNotAllocated, addr)
+	}
+	if err := s.writeSlot(addr, slotFree, nil); err != nil {
+		return err
+	}
+	s.ctr.frees.Add(1)
+	s.live--
+	s.free = append(s.free, addr)
+	return nil
+}
+
+// Buckets implements Store.
+func (s *FileStore) Buckets() int { return s.live }
+
+// MaxAddr implements Store.
+func (s *FileStore) MaxAddr() int32 { return s.slots }
+
+// Counters implements Store.
+func (s *FileStore) Counters() Counters { return s.ctr.snapshot() }
+
+// ResetCounters implements Store.
+func (s *FileStore) ResetCounters() { s.ctr.reset() }
+
+// Sync flushes the file to stable storage.
+func (s *FileStore) Sync() error { return s.f.Sync() }
+
+// Close implements Store.
+func (s *FileStore) Close() error {
+	if err := s.f.Sync(); err != nil {
+		s.f.Close()
+		return err
+	}
+	return s.f.Close()
+}

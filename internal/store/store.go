@@ -1,0 +1,169 @@
+// Package store provides bucket storage engines for trie hashing files.
+//
+// The paper's performance model counts bucket transfers between disk and
+// main memory; every store therefore keeps exact access counters. MemStore
+// simulates a disk in memory (the configuration used for all experiments),
+// while FileStore persists buckets in a single slotted file with checksums,
+// demonstrating the method against a real medium.
+package store
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+
+	"triehash/internal/bucket"
+)
+
+// ErrNotAllocated is returned when reading or writing a bucket address
+// that was never allocated (or has been freed).
+var ErrNotAllocated = errors.New("store: bucket not allocated")
+
+// Counters records the disk traffic a store has served. Reads and Writes
+// count bucket transfers — the unit the paper's access costs are stated in.
+type Counters struct {
+	Reads  int64
+	Writes int64
+	Allocs int64
+	Frees  int64
+}
+
+// Accesses returns the total number of bucket transfers.
+func (c Counters) Accesses() int64 { return c.Reads + c.Writes }
+
+// Sub returns the counter delta c - base.
+func (c Counters) Sub(base Counters) Counters {
+	return Counters{
+		Reads:  c.Reads - base.Reads,
+		Writes: c.Writes - base.Writes,
+		Allocs: c.Allocs - base.Allocs,
+		Frees:  c.Frees - base.Frees,
+	}
+}
+
+func (c Counters) String() string {
+	return fmt.Sprintf("reads=%d writes=%d allocs=%d frees=%d", c.Reads, c.Writes, c.Allocs, c.Frees)
+}
+
+// counterSet is the internal, atomically updated form of Counters, so
+// concurrent readers (which stores must support) can count accesses
+// without a lock.
+type counterSet struct {
+	reads, writes, allocs, frees atomic.Int64
+}
+
+func (c *counterSet) snapshot() Counters {
+	return Counters{
+		Reads:  c.reads.Load(),
+		Writes: c.writes.Load(),
+		Allocs: c.allocs.Load(),
+		Frees:  c.frees.Load(),
+	}
+}
+
+func (c *counterSet) reset() {
+	c.reads.Store(0)
+	c.writes.Store(0)
+	c.allocs.Store(0)
+	c.frees.Store(0)
+}
+
+// Store is the bucket I/O interface of the file layer. Addresses are the
+// paper's bucket numbers 0, 1, 2, ...; Alloc returns the smallest free
+// address, preferring previously freed ones.
+type Store interface {
+	// Read fetches bucket addr. The returned bucket is owned by the
+	// caller; mutations are not visible until Write.
+	Read(addr int32) (*bucket.Bucket, error)
+	// Write stores bucket b at addr.
+	Write(addr int32, b *bucket.Bucket) error
+	// Alloc reserves a new bucket address holding an empty bucket.
+	Alloc() (int32, error)
+	// Free releases addr for reuse.
+	Free(addr int32) error
+	// Buckets returns the number of currently allocated buckets.
+	Buckets() int
+	// MaxAddr returns one past the highest address ever allocated (the
+	// paper's N+1 when nothing was freed).
+	MaxAddr() int32
+	// Counters returns the accumulated access counters.
+	Counters() Counters
+	// ResetCounters zeroes the access counters.
+	ResetCounters()
+	// Close releases the store's resources.
+	Close() error
+}
+
+// MemStore is an in-memory simulated disk. It deep-copies buckets on Read
+// and Write so that, exactly like a real disk, mutations become visible
+// only through an explicit Write — keeping the access discipline of the
+// file layer honest.
+type MemStore struct {
+	slots []*bucket.Bucket // nil = free slot
+	free  []int32
+	live  int
+	ctr   counterSet
+}
+
+// NewMem returns an empty in-memory store.
+func NewMem() *MemStore { return &MemStore{} }
+
+// Read implements Store.
+func (s *MemStore) Read(addr int32) (*bucket.Bucket, error) {
+	if int(addr) >= len(s.slots) || addr < 0 || s.slots[addr] == nil {
+		return nil, fmt.Errorf("%w: read of %d", ErrNotAllocated, addr)
+	}
+	s.ctr.reads.Add(1)
+	return s.slots[addr].Clone(), nil
+}
+
+// Write implements Store.
+func (s *MemStore) Write(addr int32, b *bucket.Bucket) error {
+	if int(addr) >= len(s.slots) || addr < 0 || s.slots[addr] == nil {
+		return fmt.Errorf("%w: write of %d", ErrNotAllocated, addr)
+	}
+	s.ctr.writes.Add(1)
+	s.slots[addr] = b.Clone()
+	return nil
+}
+
+// Alloc implements Store.
+func (s *MemStore) Alloc() (int32, error) {
+	s.ctr.allocs.Add(1)
+	s.live++
+	if n := len(s.free); n > 0 {
+		addr := s.free[n-1]
+		s.free = s.free[:n-1]
+		s.slots[addr] = bucket.New(0)
+		return addr, nil
+	}
+	s.slots = append(s.slots, bucket.New(0))
+	return int32(len(s.slots) - 1), nil
+}
+
+// Free implements Store.
+func (s *MemStore) Free(addr int32) error {
+	if int(addr) >= len(s.slots) || addr < 0 || s.slots[addr] == nil {
+		return fmt.Errorf("%w: free of %d", ErrNotAllocated, addr)
+	}
+	s.ctr.frees.Add(1)
+	s.live--
+	s.slots[addr] = nil
+	s.free = append(s.free, addr)
+	return nil
+}
+
+// Buckets implements Store.
+func (s *MemStore) Buckets() int { return s.live }
+
+// MaxAddr implements Store.
+func (s *MemStore) MaxAddr() int32 { return int32(len(s.slots)) }
+
+// Counters implements Store.
+func (s *MemStore) Counters() Counters { return s.ctr.snapshot() }
+
+// ResetCounters implements Store.
+func (s *MemStore) ResetCounters() { s.ctr.reset() }
+
+// Close implements Store.
+func (s *MemStore) Close() error { return nil }

@@ -1,0 +1,206 @@
+package trie
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"triehash/internal/keys"
+)
+
+// mustPanic asserts fn panics — the documented contract for programmer
+// errors at the trie layer.
+func mustPanic(t *testing.T, what string, fn func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Errorf("%s did not panic", what)
+		}
+	}()
+	fn()
+}
+
+func TestContractPanics(t *testing.T) {
+	mustPanic(t, "Leaf(-1)", func() { Leaf(-1) })
+	mustPanic(t, "Edge(-1)", func() { Edge(-1) })
+	mustPanic(t, "Nil.Addr", func() { Nil.Addr() })
+	mustPanic(t, "Leaf(0).Cell", func() { Leaf(0).Cell() })
+	mustPanic(t, "Edge(0).Addr", func() { Edge(0).Addr() })
+
+	tr := New(ascii, 0)
+	mustPanic(t, "AllocNil on a live leaf", func() { tr.AllocNil(RootPos, 1) })
+	mustPanic(t, "ChooseSplitNode on cell-less trie", func() { tr.ChooseSplitNode() })
+	mustPanic(t, "SetBoundary with wrong owner", func() {
+		tr.SetBoundary("k", []byte("k"), 7, 7, 8, ModeBasic)
+	})
+	mustPanic(t, "vacuous boundary", func() {
+		tr.SetBoundary("k", []byte("k"), 0, 0, 1, ModeBasic)
+		// Second boundary at the same position: nothing above it in 0.
+		tr.SetBoundary("k", []byte("k"), 0, 0, 2, ModeBasic)
+	})
+
+	tr2 := New(ascii, 0)
+	tr2.SetBoundary("g", []byte("g"), 0, 0, 1, ModeBasic)
+	mustPanic(t, "MergeSiblings on non-leaf children", func() {
+		tr2.SetBoundary("c", []byte("c"), 0, 0, 2, ModeBasic)
+		// Root cell now has an edge child.
+		root := tr2.Root().Cell()
+		tr2.MergeSiblings(root, Leaf(0))
+	})
+	mustPanic(t, "FreeToNil on an edge", func() {
+		tr2.FreeToNil(RootPos)
+	})
+	mustPanic(t, "SetLeaf on an edge", func() {
+		tr2.SetLeaf(RootPos, 3)
+	})
+	mustPanic(t, "SplitAt unreachable cell", func() {
+		tr2.SplitAt(99)
+	})
+	mustPanic(t, "ExpandAt above the bound", func() {
+		res := tr2.Search("a")
+		tr2.ExpandAt(res.Pos, res.Path, []byte("z"), 0, 9, ModeBasic)
+	})
+}
+
+// TestCheckBasePageStyle: Check(base) accepts page-level subtries whose
+// cells refine inherited digits.
+func TestCheckBasePageStyle(t *testing.T) {
+	tr := buildRandomTrie(4, 20)
+	if tr.Cells() < 3 {
+		t.Skip("trie too small")
+	}
+	r := tr.ChooseSplitNode()
+	left, right, _ := tr.SplitAt(r)
+	for _, part := range []*Trie{left, right} {
+		// A generous base covers any inherited depth.
+		if err := part.Check(16); err != nil {
+			t.Fatalf("page-style check: %v", err)
+		}
+	}
+	// Base 0 must reject a subtrie that needs inherited digits, if any
+	// of its left descents do (not guaranteed for every seed, so only
+	// assert it does not false-negative the full trie).
+	if err := tr.Check(0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestComparePathBoundsLaws: ordering laws via testing/quick.
+func TestComparePathBoundsLaws(t *testing.T) {
+	gen := func(s string) []byte {
+		s = strings.TrimRight(s, "~")
+		b := []byte(s)
+		for i := range b {
+			b[i] = ' ' + b[i]%('~'-' '+1)
+		}
+		return b
+	}
+	// Antisymmetry.
+	if err := quick.Check(func(a, b string) bool {
+		x, y := gen(a), gen(b)
+		return keys.ASCII.ComparePathBounds(x, y) == -keys.ASCII.ComparePathBounds(y, x)
+	}, nil); err != nil {
+		t.Error(err)
+	}
+	// Reflexivity.
+	if err := quick.Check(func(a string) bool {
+		x := gen(a)
+		return keys.ASCII.ComparePathBounds(x, x) == 0
+	}, nil); err != nil {
+		t.Error(err)
+	}
+	// Transitivity on triples.
+	if err := quick.Check(func(a, b, c string) bool {
+		x, y, z := gen(a), gen(b), gen(c)
+		if keys.ASCII.ComparePathBounds(x, y) <= 0 && keys.ASCII.ComparePathBounds(y, z) <= 0 {
+			return keys.ASCII.ComparePathBounds(x, z) <= 0
+		}
+		return true
+	}, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestKeyRoutingTotal: every key belongs to exactly one leaf region —
+// KeyLEBound against the in-order bounds is a total, monotone classifier.
+func TestKeyRoutingTotal(t *testing.T) {
+	tr := buildRandomTrie(11, 30)
+	leaves := tr.InorderLeaves()
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < 500; i++ {
+		k := randKey(rng)
+		first := -1
+		for q, lp := range leaves {
+			if ascii.KeyLEBound(k, lp.Path) || len(lp.Path) == 0 {
+				first = q
+				break
+			}
+		}
+		if first < 0 {
+			t.Fatalf("key %q beyond every bound", k)
+		}
+		if got := tr.Search(k).Leaf; got != leaves[first].Leaf {
+			t.Fatalf("A1 and bound classification disagree for %q: %v vs %v", k, got, leaves[first].Leaf)
+		}
+	}
+}
+
+// TestCollapseNilPairs: sibling nil leaves collapse to a single nil.
+func TestCollapseNilPairs(t *testing.T) {
+	tr := New(ascii, 0)
+	tr.SetBoundary("mm", []byte("mm"), 0, 0, 1, ModeBasic) // chain with one nil
+	res := tr.Search("z")
+	if !res.Leaf.IsNil() {
+		t.Fatalf("expected a nil region, got %v", res.Leaf)
+	}
+	// A leaf next to a nil leaf must NOT collapse (their union is not a
+	// single region semantically).
+	if tr.Collapse() != 0 {
+		t.Fatal("leaf+nil pair collapsed")
+	}
+	// Free both buckets: genuine nil pairs collapse all the way up.
+	r1 := tr.Search("mn")
+	if r1.Leaf != Leaf(1) {
+		t.Fatalf("mn -> %v", r1.Leaf)
+	}
+	tr.FreeToNil(r1.Pos)
+	r0 := tr.Search("ma")
+	if r0.Leaf != Leaf(0) {
+		t.Fatalf("ma -> %v", r0.Leaf)
+	}
+	tr.FreeToNil(r0.Pos)
+	removed := tr.Collapse()
+	if removed != 2 {
+		t.Fatalf("collapsed %d cells, want 2", removed)
+	}
+	if tr.Cells() != 0 || !tr.Root().IsNil() {
+		t.Fatalf("fully nil trie expected: %s", tr.String())
+	}
+	if err := tr.Check(0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDumpLeavesShared marks shared leaves distinctly enough to see runs.
+func TestDumpLeavesShared(t *testing.T) {
+	tr := New(ascii, 0)
+	tr.SetBoundary("abc", []byte("abc"), 0, 0, 1, ModeTHCL)
+	dump := tr.DumpLeaves()
+	if strings.Count(dump, "->1") != 3 {
+		t.Errorf("expected three leaves of bucket 1 in %q", dump)
+	}
+}
+
+// TestGraftAlphabetPropagation: Graft keeps the alphabet of its parts.
+func TestGraftAlphabetPropagation(t *testing.T) {
+	tr := buildRandomTrie(2, 12)
+	if tr.Cells() < 3 {
+		t.Skip("trie too small")
+	}
+	l, r, c := tr.SplitAt(tr.ChooseSplitNode())
+	g := Graft(c, l, r)
+	if g.Alphabet() != tr.Alphabet() {
+		t.Error("alphabet lost through Graft")
+	}
+}

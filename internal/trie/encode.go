@@ -1,0 +1,105 @@
+package trie
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"triehash/internal/keys"
+)
+
+// PaperCellBytes is the practical cell size the paper reports: one byte
+// each for DV and DN, two bytes each for LP and RP.
+const PaperCellBytes = 6
+
+// PaperBytes returns the trie's size under the paper's 6-byte-cell
+// accounting; this is the number compared against B-tree branching-node
+// space in Sections 3.1 and 4.5.
+func (t *Trie) PaperBytes() int { return len(t.cells) * PaperCellBytes }
+
+// encodeMagic guards serialized tries.
+const encodeMagic = 0x54485452 // "THTR"
+
+// AppendBinary serializes the trie (alphabet, root pointer, cell table)
+// into buf and returns the extended slice. The format is fixed-width
+// little-endian: portable, self-describing, and cheap to decode.
+func (t *Trie) AppendBinary(buf []byte) []byte {
+	if t.dead > 0 {
+		// Serialize a compacted view: tombstones are a purely in-memory
+		// concurrency aid and never hit the disk format.
+		v := t.Clone()
+		v.Vacuum()
+		t = v
+	}
+	var hdr [16]byte
+	binary.LittleEndian.PutUint32(hdr[0:], encodeMagic)
+	hdr[4] = t.alpha.Min
+	hdr[5] = t.alpha.Max
+	binary.LittleEndian.PutUint32(hdr[8:], uint32(t.root))
+	binary.LittleEndian.PutUint32(hdr[12:], uint32(len(t.cells)))
+	buf = append(buf, hdr[:]...)
+	var rec [13]byte
+	for _, c := range t.cells {
+		rec[0] = c.DV
+		binary.LittleEndian.PutUint32(rec[1:], uint32(c.DN))
+		binary.LittleEndian.PutUint32(rec[5:], uint32(c.LP))
+		binary.LittleEndian.PutUint32(rec[9:], uint32(c.RP))
+		buf = append(buf, rec[:]...)
+	}
+	return buf
+}
+
+// DecodeBinary reconstructs a trie serialized by AppendBinary, returning
+// the trie and the number of bytes consumed.
+func DecodeBinary(buf []byte) (*Trie, int, error) {
+	if len(buf) < 16 {
+		return nil, 0, fmt.Errorf("trie: decode: truncated header (%d bytes)", len(buf))
+	}
+	if binary.LittleEndian.Uint32(buf[0:]) != encodeMagic {
+		return nil, 0, fmt.Errorf("trie: decode: bad magic %#x", binary.LittleEndian.Uint32(buf[0:]))
+	}
+	t := &Trie{alpha: keys.Alphabet{Min: buf[4], Max: buf[5]}}
+	root := Ptr(binary.LittleEndian.Uint32(buf[8:]))
+	n := int(binary.LittleEndian.Uint32(buf[12:]))
+	need := 16 + 13*n
+	if len(buf) < need {
+		return nil, 0, fmt.Errorf("trie: decode: want %d bytes for %d cells, have %d", need, n, len(buf))
+	}
+	t.cells = make([]Cell, n)
+	for i := 0; i < n; i++ {
+		rec := buf[16+13*i:]
+		t.cells[i] = Cell{
+			DV: rec[0],
+			DN: int32(binary.LittleEndian.Uint32(rec[1:])),
+			LP: Ptr(binary.LittleEndian.Uint32(rec[5:])),
+			RP: Ptr(binary.LittleEndian.Uint32(rec[9:])),
+		}
+	}
+	t.root = root
+	// Rebuild the leaf-count caches from the decoded structure.
+	var walk func(p Ptr) error
+	seen := make([]bool, n)
+	walk = func(p Ptr) error {
+		if p.IsLeaf() {
+			t.bumpLeaf(p, +1)
+			return nil
+		}
+		ci := p.Cell()
+		if ci < 0 || int(ci) >= n || seen[ci] {
+			return fmt.Errorf("trie: decode: invalid or repeated edge to cell %d", ci)
+		}
+		seen[ci] = true
+		if err := walk(t.cells[ci].LP); err != nil {
+			return err
+		}
+		return walk(t.cells[ci].RP)
+	}
+	if err := walk(root); err != nil {
+		return nil, 0, err
+	}
+	for ci, s := range seen {
+		if !s {
+			return nil, 0, fmt.Errorf("trie: decode: orphaned cell %d", ci)
+		}
+	}
+	return t, need, nil
+}

@@ -1,0 +1,149 @@
+package trie
+
+import (
+	"fmt"
+
+	"triehash/internal/keys"
+)
+
+// Reconstruct rebuilds a trie from its in-order leaf sequence — the
+// algorithm of /TOR83/ the paper's conclusion describes for recovering an
+// accidentally destroyed trie from logical paths stored in bucket headers.
+// leaves carry the strictly increasing bounds (known digits; the last
+// entry must hold the infinite bound, an empty path) and the leaf pointers.
+//
+// The reconstruction picks, at every level, the most balanced boundary
+// whose digits are all justified by the context path, so the result is
+// usually better balanced than the original — the property /TOR83/
+// conjectures optimal. The reconstructed trie is search-equivalent to the
+// original: it induces the same key-range partition.
+func Reconstruct(alpha keys.Alphabet, bounds [][]byte, ptrs []Ptr) (*Trie, error) {
+	if len(bounds) != len(ptrs) {
+		return nil, fmt.Errorf("trie: reconstruct: %d bounds for %d leaves", len(bounds), len(ptrs))
+	}
+	if len(ptrs) == 0 {
+		return nil, fmt.Errorf("trie: reconstruct: no leaves")
+	}
+	if len(bounds[len(bounds)-1]) != 0 {
+		return nil, fmt.Errorf("trie: reconstruct: last bound %q is not the infinite path", bounds[len(bounds)-1])
+	}
+	for i := 1; i < len(bounds); i++ {
+		if alpha.ComparePathBounds(bounds[i-1], bounds[i]) >= 0 {
+			return nil, fmt.Errorf("trie: reconstruct: bounds not increasing at %d (%q, %q)", i, bounds[i-1], bounds[i])
+		}
+	}
+	t := &Trie{alpha: alpha}
+	root, err := t.reconstruct(bounds, ptrs, nil)
+	if err != nil {
+		return nil, err
+	}
+	t.root = root
+	return t, nil
+}
+
+// reconstruct builds the subtrie over leaves [0..n) whose internal
+// boundaries are bounds[0..n-1); ctx holds the digits set by ancestors.
+func (t *Trie) reconstruct(bounds [][]byte, ptrs []Ptr, ctx []byte) (Ptr, error) {
+	if len(ptrs) == 1 {
+		t.bumpLeaf(ptrs[0], +1)
+		return ptrs[0], nil
+	}
+	// Candidate boundaries: every digit of the bound except the last is
+	// already in the context. Pick the candidate closest to the middle.
+	best := -1
+	mid := (len(ptrs) - 2) / 2
+	for i := 0; i < len(ptrs)-1; i++ {
+		b := bounds[i]
+		if len(b) == 0 {
+			return Nil, fmt.Errorf("trie: reconstruct: interior bound %d is infinite", i)
+		}
+		if keys.CommonPrefixLen(b[:len(b)-1], ctx) != len(b)-1 {
+			continue
+		}
+		if best < 0 || abs(i-mid) < abs(best-mid) {
+			best = i
+		}
+	}
+	if best < 0 {
+		// No boundary is directly expressible: every interior bound
+		// needs digits the context lacks. Synthesize the shared-leaf
+		// chain a THCL split would have built — insert the prefix
+		// bounds of the shortest interior bound as virtual boundaries
+		// owned by the bucket of the region they fall in, then recurse
+		// (the shortest prefix is then expressible).
+		return t.reconstructChain(bounds, ptrs, ctx)
+	}
+	b := bounds[best]
+	ci := t.appendCell(b[len(b)-1], int32(len(b)-1))
+	t.nilLeaves -= 2 // both sides are wired immediately below
+	lp, err := t.reconstruct(bounds[:best+1], ptrs[:best+1], b)
+	if err != nil {
+		return Nil, err
+	}
+	rp, err := t.reconstruct(bounds[best+1:], ptrs[best+1:], ctx)
+	if err != nil {
+		return Nil, err
+	}
+	t.cells[ci].LP = lp
+	t.cells[ci].RP = rp
+	return Edge(ci), nil
+}
+
+func abs(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+// reconstructChain handles the segment whose interior bounds all exceed
+// the context by more than one digit: the prefix bounds of the shortest
+// interior bound are merged in as virtual boundaries (each owned by the
+// bucket whose region contains it — the shared-leaf pattern), after which
+// the ordinary reconstruction proceeds.
+func (t *Trie) reconstructChain(bounds [][]byte, ptrs []Ptr, ctx []byte) (Ptr, error) {
+	short := 0
+	for i := 1; i < len(ptrs)-1; i++ {
+		if len(bounds[i]) < len(bounds[short]) {
+			short = i
+		}
+	}
+	b := bounds[short]
+	cp := keys.CommonPrefixLen(b[:len(b)-1], ctx)
+	if cp >= len(b)-1 {
+		return Nil, fmt.Errorf("trie: reconstruct: bound %q should have been expressible under %q", b, ctx)
+	}
+	// Virtual bounds b[:j] for j = len(b)-1 .. cp+1, ascending as bounds
+	// (longer prefix = smaller bound), merged into sorted position.
+	virt := make([][]byte, 0, len(b)-1-cp)
+	for j := len(b) - 1; j > cp; j-- {
+		virt = append(virt, b[:j])
+	}
+	augB := make([][]byte, 0, len(bounds)+len(virt))
+	augP := make([]Ptr, 0, len(ptrs)+len(virt))
+	vi := 0
+	for i := range bounds {
+		for vi < len(virt) {
+			cmp := 1
+			if len(bounds[i]) != 0 {
+				cmp = t.alpha.ComparePathBounds(virt[vi], bounds[i])
+			} else {
+				cmp = -1
+			}
+			if cmp >= 0 {
+				break
+			}
+			// The virtual bound falls inside region i: both halves
+			// stay with region i's bucket.
+			augB = append(augB, virt[vi])
+			augP = append(augP, ptrs[i])
+			vi++
+		}
+		augB = append(augB, bounds[i])
+		augP = append(augP, ptrs[i])
+	}
+	if vi != len(virt) {
+		return Nil, fmt.Errorf("trie: reconstruct: virtual bound %q fell past the segment", virt[vi])
+	}
+	return t.reconstruct(augB, augP, ctx)
+}

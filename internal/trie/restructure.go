@@ -1,0 +1,286 @@
+package trie
+
+import "fmt"
+
+// setRaw stores v at position p without leaf accounting. It is only used
+// by restructuring code that rebuilds whole tries and recomputes counts.
+func (t *Trie) setRaw(p Pos, v Ptr) {
+	switch p.Side {
+	case SideRoot:
+		t.root = v
+	case SideLeft:
+		t.cells[p.Cell].LP = v
+	default:
+		t.cells[p.Cell].RP = v
+	}
+}
+
+// pathTo returns the sequence of sides (SideLeft/SideRight) leading from
+// the root to cell r, or ok=false if r is unreachable.
+func (t *Trie) pathTo(r int32) (sides []Side, ok bool) {
+	var walk func(n Ptr) bool
+	walk = func(n Ptr) bool {
+		if !n.IsEdge() {
+			return false
+		}
+		ci := n.Cell()
+		if ci == r {
+			return true
+		}
+		c := t.cells[ci]
+		sides = append(sides, SideLeft)
+		if walk(c.LP) {
+			return true
+		}
+		sides[len(sides)-1] = SideRight
+		if walk(c.RP) {
+			return true
+		}
+		sides = sides[:len(sides)-1]
+		return false
+	}
+	return sides, walk(t.root)
+}
+
+// SplitNodeInfo describes one candidate returned by splitCandidates.
+type SplitNodeInfo struct {
+	Cell      int32
+	Before    int  // internal nodes preceding it in inorder
+	After     int  // internal nodes following it in inorder
+	Qualifies bool // has no logical parent within this trie (condition ii)
+}
+
+// splitCandidates computes, for every internal node, its inorder position
+// and whether it has a logical parent inside this trie. The logical parent
+// of node (d, i) is the node that set digit i-1 of the logical path; a
+// digit position never set within this trie (it was inherited from an
+// upper-level page) yields no logical parent here.
+func (t *Trie) splitCandidates() []SplitNodeInfo {
+	total := len(t.cells)
+	out := make([]SplitNodeInfo, 0, total)
+	// setter[p] >= 0 when digit p of the current logical path was set by
+	// a cell of this trie.
+	setter := make([]int32, 0, 16)
+	seen := 0
+	var walk func(n Ptr)
+	walk = func(n Ptr) {
+		if n.IsLeaf() {
+			return
+		}
+		ci := n.Cell()
+		c := t.cells[ci]
+		i := int(c.DN)
+		hasLP := i > 0 && i-1 < len(setter) && setter[i-1] >= 0
+		// Descend left with digit i set by this cell.
+		saved := append([]int32(nil), setter...)
+		for len(setter) < i {
+			setter = append(setter, -1)
+		}
+		setter = append(setter[:i], ci)
+		walk(c.LP)
+		setter = append(setter[:0], saved...)
+		out = append(out, SplitNodeInfo{Cell: ci, Before: seen, After: total - seen - 1, Qualifies: !hasLP})
+		seen++
+		walk(c.RP)
+	}
+	walk(t.root)
+	return out
+}
+
+// ChooseSplitNode returns the internal node r' that the paper's page-split
+// phase selects (Section 2.5): among nodes with no logical parent within
+// this trie, the one whose counts of preceding and following internal
+// nodes are closest. The root always qualifies, so the call succeeds on
+// any trie with at least one cell.
+func (t *Trie) ChooseSplitNode() int32 {
+	if len(t.cells) == 0 {
+		panic("trie: ChooseSplitNode on a trie without internal nodes")
+	}
+	best, bestScore := int32(-1), int(^uint(0)>>1)
+	for _, cand := range t.splitCandidates() {
+		if !cand.Qualifies {
+			continue
+		}
+		score := cand.Before - cand.After
+		if score < 0 {
+			score = -score
+		}
+		if score < bestScore {
+			best, bestScore = cand.Cell, score
+		}
+	}
+	if best < 0 {
+		panic("trie: no qualifying split node (the root must always qualify)")
+	}
+	return best
+}
+
+// ChooseSplitNodeShifted is ChooseSplitNode with the target inorder
+// position shifted for expected ordered insertions (Section 3.2): frac is
+// the desired fraction of internal nodes preceding r' (0.5 reproduces
+// ChooseSplitNode; larger values suit ascending insertions, smaller ones
+// descending).
+func (t *Trie) ChooseSplitNodeShifted(frac float64) int32 {
+	if len(t.cells) == 0 {
+		panic("trie: ChooseSplitNodeShifted on a trie without internal nodes")
+	}
+	target := frac * float64(len(t.cells)-1)
+	best, bestScore := int32(-1), 0.0
+	for _, cand := range t.splitCandidates() {
+		if !cand.Qualifies {
+			// Condition (ii): a split node with a logical parent in
+			// this trie would strand the digits its left descents
+			// need once it moves a level up.
+			continue
+		}
+		score := float64(cand.Before) - target
+		if score < 0 {
+			score = -score
+		}
+		if best < 0 || score < bestScore {
+			best, bestScore = cand.Cell, score
+		}
+	}
+	if best < 0 {
+		panic("trie: no qualifying split node (the root must always qualify)")
+	}
+	return best
+}
+
+// SplitAt removes cell r from the trie and partitions the remaining nodes
+// into two tries: left receives every internal node preceding r in
+// inorder (with the leaves among them), right every node following it.
+// The removed cell's value is returned so the caller (the multilevel
+// scheme's page split, or Balanced) can reinstall it one level up.
+//
+// The split preserves inorder, hence key order across the two parts.
+func (t *Trie) SplitAt(r int32) (left, right *Trie, removed Cell) {
+	sides, ok := t.pathTo(r)
+	if !ok {
+		panic(fmt.Sprintf("trie: SplitAt: cell %d not reachable", r))
+	}
+	u := t.Clone()
+	removed = u.cells[r]
+
+	haveL, haveR := false, false
+	var leftRoot, rightRoot Ptr
+	var leftHole, rightHole Pos
+	n := u.root
+	for _, side := range sides {
+		ci := n.Cell()
+		c := u.cells[ci]
+		if side == SideLeft {
+			// r is below the left pointer: this cell and its right
+			// subtree belong to the right part.
+			if !haveR {
+				rightRoot, haveR = n, true
+			} else {
+				u.setRaw(rightHole, n)
+			}
+			rightHole = Pos{Cell: ci, Side: SideLeft}
+			n = c.LP
+		} else {
+			if !haveL {
+				leftRoot, haveL = n, true
+			} else {
+				u.setRaw(leftHole, n)
+			}
+			leftHole = Pos{Cell: ci, Side: SideRight}
+			n = c.RP
+		}
+	}
+	rc := u.cells[r]
+	if !haveL {
+		leftRoot = rc.LP
+	} else {
+		u.setRaw(leftHole, rc.LP)
+	}
+	if !haveR {
+		rightRoot = rc.RP
+	} else {
+		u.setRaw(rightHole, rc.RP)
+	}
+	return u.copySubtrie(leftRoot), u.copySubtrie(rightRoot), removed
+}
+
+// copySubtrie extracts the subtrie reachable from pointer n into a fresh
+// Trie with a compact, renumbered cell table and recomputed leaf counts.
+func (t *Trie) copySubtrie(n Ptr) *Trie {
+	out := &Trie{alpha: t.alpha}
+	var copyFrom func(n Ptr) Ptr
+	copyFrom = func(n Ptr) Ptr {
+		if n.IsLeaf() {
+			out.bumpLeaf(n, +1)
+			return n
+		}
+		c := t.cells[n.Cell()]
+		ci := int32(len(out.cells))
+		out.cells = append(out.cells, Cell{DV: c.DV, DN: c.DN})
+		lp := copyFrom(c.LP)
+		rp := copyFrom(c.RP)
+		out.cells[ci].LP = lp
+		out.cells[ci].RP = rp
+		return Edge(ci)
+	}
+	out.root = copyFrom(n)
+	return out
+}
+
+// Graft returns a new trie whose root is the internal node root and whose
+// left and right subtries are copies of l and r. It is the inverse of
+// SplitAt and the assembly step of Balanced.
+func Graft(root Cell, l, r *Trie) *Trie {
+	out := &Trie{alpha: l.alpha}
+	ri := out.appendCell(root.DV, root.DN)
+	out.nilLeaves -= 2 // both sides are wired immediately below
+	var graft func(src *Trie, n Ptr) Ptr
+	graft = func(src *Trie, n Ptr) Ptr {
+		if n.IsLeaf() {
+			out.bumpLeaf(n, +1)
+			return n
+		}
+		c := src.cells[n.Cell()]
+		ci := int32(len(out.cells))
+		out.cells = append(out.cells, Cell{DV: c.DV, DN: c.DN})
+		lp := graft(src, c.LP)
+		rp := graft(src, c.RP)
+		out.cells[ci].LP = lp
+		out.cells[ci].RP = rp
+		return Edge(ci)
+	}
+	out.cells[ri].LP = graft(l, l.root)
+	out.cells[ri].RP = graft(r, r.root)
+	out.root = Edge(ri)
+	return out
+}
+
+// Balanced returns an equivalent trie balanced by the recursive
+// application of trie splitting (Section 2.6, second technique): the best
+// qualifying split node becomes the root, and both parts are balanced
+// recursively. Search results are unchanged for every key; only in-memory
+// search length improves.
+func (t *Trie) Balanced() *Trie {
+	if len(t.cells) <= 1 {
+		return t.Clone()
+	}
+	r := t.ChooseSplitNode()
+	left, right, cell := t.SplitAt(r)
+	return Graft(cell, left.Balanced(), right.Balanced())
+}
+
+// BalancedCanonical returns an equivalent trie balanced through the
+// canonical form (Section 2.6, first technique, /TOR83/): the trie's
+// canonical representation is its in-order sequence of logical paths, and
+// rebuilding from it — picking the most balanced admissible boundary at
+// every level — yields the balanced equivalent /TOR83/ conjectures
+// optimal. Only valid for top-level tries (full logical paths).
+func (t *Trie) BalancedCanonical() (*Trie, error) {
+	leaves := t.InorderLeaves()
+	bounds := make([][]byte, len(leaves))
+	ptrs := make([]Ptr, len(leaves))
+	for i, lp := range leaves {
+		bounds[i] = lp.Path
+		ptrs[i] = lp.Leaf
+	}
+	return Reconstruct(t.alpha, bounds, ptrs)
+}

@@ -1,0 +1,116 @@
+package trie
+
+import "fmt"
+
+// This file implements the merge-with-rotations refinement of Section 3.3:
+// two successive buckets whose leaves are not siblings can often be made
+// siblings by classical tree rotations, provided no rotation makes a
+// logical parent the physical descendant of its logical child — which
+// would leave a structure that is no longer a TH-trie.
+//
+// Concretely, let n be the internal node separating the couple in
+// in-order. Rotations that lift nodes of n's *right* spine above n are
+// always valid: such nodes hang off right edges and depend on no digit n
+// sets. Lifting a node a of the *left* spine is valid only when a.DN <=
+// n.DN; otherwise a's left descent consumes the digit that only n's left
+// edge provides (a is, transitively, a logical child of n), and the
+// rotation is forbidden. This is exactly why, in the paper's example, the
+// couples (9,4) and (2,3) remain unmergeable while rotations double the
+// mergeable couples from four to eight.
+
+// Couple describes one pair of in-order successive leaves.
+type Couple struct {
+	Left, Right Ptr
+	// Separator is the internal node between the two leaves.
+	Separator int32
+	// Siblings reports that the two leaves already share the cell.
+	Siblings bool
+	// Rotatable reports that valid rotations can make them siblings
+	// (true whenever Siblings is).
+	Rotatable bool
+}
+
+// Couples returns every pair of in-order successive leaves together with
+// its mergeability classification.
+func (t *Trie) Couples() []Couple {
+	// In-order sequence interleaves leaves and internal nodes: leaf,
+	// node, leaf, node, ..., leaf. Successive couple k is separated by
+	// the k-th internal node.
+	type item struct {
+		leaf Ptr
+		cell int32
+	}
+	var seq []item
+	var walk func(n Ptr)
+	walk = func(n Ptr) {
+		if n.IsLeaf() {
+			seq = append(seq, item{leaf: n, cell: -1})
+			return
+		}
+		ci := n.Cell()
+		walk(t.cells[ci].LP)
+		seq = append(seq, item{cell: ci})
+		walk(t.cells[ci].RP)
+	}
+	walk(t.root)
+
+	var out []Couple
+	for i := 1; i+1 < len(seq); i += 2 {
+		n := seq[i].cell
+		c := Couple{
+			Left:      seq[i-1].leaf,
+			Right:     seq[i+1].leaf,
+			Separator: n,
+		}
+		cell := t.cells[n]
+		c.Siblings = cell.LP.IsLeaf() && cell.RP.IsLeaf()
+		c.Rotatable = c.Siblings || t.canRotateToSiblings(n)
+		out = append(out, c)
+	}
+	return out
+}
+
+// canRotateToSiblings reports whether the left spine of n's left subtree
+// clears the logical-ancestorship constraint (the right spine always
+// does).
+func (t *Trie) canRotateToSiblings(n int32) bool {
+	dn := t.cells[n].DN
+	p := t.cells[n].LP
+	for p.IsEdge() {
+		c := t.cells[p.Cell()]
+		if c.DN > dn {
+			return false
+		}
+		p = c.RP
+	}
+	return true
+}
+
+// RotateToSiblings applies the rotations that make the two leaves around
+// separator cell n direct children of n, returning an error when the
+// logical-ancestorship constraint blocks the left side. On success the
+// couple may be merged with MergeSiblings(n, keep).
+func (t *Trie) RotateToSiblings(n int32) error {
+	if !t.canRotateToSiblings(n) {
+		return fmt.Errorf("trie: couple at cell %d cannot merge: a left-spine node is a logical descendant of the separator", n)
+	}
+	// Lift the left spine: right rotations at (n, a) until n.LP is the
+	// left leaf of the couple.
+	for t.cells[n].LP.IsEdge() {
+		a := t.cells[n].LP.Cell()
+		ref := t.findReferrer(n)
+		t.cells[n].LP = t.cells[a].RP
+		t.cells[a].RP = Edge(n)
+		t.setRaw(ref, Edge(a))
+	}
+	// Lift the right spine: left rotations at (n, c) until n.RP is the
+	// right leaf.
+	for t.cells[n].RP.IsEdge() {
+		c := t.cells[n].RP.Cell()
+		ref := t.findReferrer(n)
+		t.cells[n].RP = t.cells[c].LP
+		t.cells[c].LP = Edge(n)
+		t.setRaw(ref, Edge(c))
+	}
+	return nil
+}

@@ -1,0 +1,127 @@
+package trie
+
+import (
+	"fmt"
+)
+
+// Check verifies the structural invariants of the trie and returns the
+// first violation found, or nil. base is the number of logical-path digits
+// inherited from upper-level pages (0 for a top-level trie): every left
+// descent at a node with digit number i requires i known path digits, a
+// defining property of TH-tries (/TOR83/).
+//
+// Checked invariants:
+//
+//   - every cell of the table is reachable exactly once (tree shape, no
+//     cycles, no orphans), hence leaves = cells + 1;
+//   - left descents never need unknown path digits (beyond base);
+//   - in-order leaf bounds are strictly increasing;
+//   - every bucket address labels one contiguous in-order run of leaves;
+//   - the cached leaf counts and nil-leaf count match a recount.
+func (t *Trie) Check(base int) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("trie: check: %v", r)
+		}
+	}()
+
+	visited := make([]bool, len(t.cells))
+	var leaves []LeafPos
+	var walk func(n Ptr, pos Pos, path []byte) error
+	walk = func(n Ptr, pos Pos, path []byte) error {
+		if n.IsLeaf() {
+			leaves = append(leaves, LeafPos{Pos: pos, Leaf: n, Path: append([]byte(nil), path...)})
+			return nil
+		}
+		ci := n.Cell()
+		if ci < 0 || int(ci) >= len(t.cells) {
+			return fmt.Errorf("edge to out-of-range cell %d", ci)
+		}
+		if visited[ci] {
+			return fmt.Errorf("cell %d reachable more than once", ci)
+		}
+		visited[ci] = true
+		c := t.cells[ci]
+		i := int(c.DN)
+		if len(path)+base < i {
+			return fmt.Errorf("cell %d has digit number %d but only %d path digits are known", ci, i, len(path)+base)
+		}
+		cut := i - base
+		if cut < 0 {
+			// The cell refines a digit position inside the inherited
+			// prefix; within this page nothing of the local path
+			// survives.
+			cut = 0
+		}
+		left := append(append([]byte(nil), path[:cut]...), c.DV)
+		if err := walk(c.LP, Pos{Cell: ci, Side: SideLeft}, left); err != nil {
+			return err
+		}
+		return walk(c.RP, Pos{Cell: ci, Side: SideRight}, path)
+	}
+	if err := walk(t.root, RootPos, nil); err != nil {
+		return err
+	}
+	deadSeen := 0
+	for ci, v := range visited {
+		if !v {
+			if t.cells[ci].DN == deadDN {
+				deadSeen++
+				continue
+			}
+			return fmt.Errorf("cell %d is orphaned", ci)
+		}
+	}
+	if deadSeen != int(t.dead) {
+		return fmt.Errorf("%d dead cells in the table, cached %d", deadSeen, t.dead)
+	}
+	if len(leaves) != t.Cells()+1 {
+		return fmt.Errorf("found %d leaves for %d live cells, want cells+1", len(leaves), t.Cells())
+	}
+
+	// Strictly increasing bounds, contiguous address runs, count match.
+	counts := map[int32]int{}
+	nils := 0
+	lastAddr := int32(-1)
+	closed := map[int32]bool{}
+	for q, lp := range leaves {
+		if q > 0 && base == 0 {
+			if t.alpha.ComparePathBounds(leaves[q-1].Path, lp.Path) >= 0 {
+				return fmt.Errorf("leaf bounds not increasing: %q then %q", leaves[q-1].Path, lp.Path)
+			}
+		}
+		if lp.Leaf.IsNil() {
+			nils++
+			if lastAddr >= 0 {
+				closed[lastAddr] = true
+			}
+			lastAddr = -1
+			continue
+		}
+		a := lp.Leaf.Addr()
+		counts[a]++
+		if a != lastAddr {
+			if closed[a] {
+				return fmt.Errorf("bucket %d labels non-contiguous leaf runs", a)
+			}
+			if lastAddr >= 0 {
+				closed[lastAddr] = true
+			}
+			lastAddr = a
+		}
+	}
+	if nils != int(t.nilLeaves) {
+		return fmt.Errorf("nil leaf count %d, cached %d", nils, t.nilLeaves)
+	}
+	for a, n := range counts {
+		if t.LeafCount(a) != n {
+			return fmt.Errorf("bucket %d leaf count %d, cached %d", a, n, t.LeafCount(a))
+		}
+	}
+	for a, n := range t.leafCount {
+		if n != 0 && counts[int32(a)] != int(n) {
+			return fmt.Errorf("cached leaf count %d for bucket %d, recount %d", n, a, counts[int32(a)])
+		}
+	}
+	return nil
+}

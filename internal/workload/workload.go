@@ -1,0 +1,175 @@
+// Package workload generates the key sets the paper's experiments use:
+// uniformly random keys ("randomly drawn, then sorted" for Figs 10-11),
+// Knuth's 31 most-used English words (Fig 1), English-like words standing
+// in for the 20 000-word UNIX dictionary the paper proposes as further
+// validation, and skewed sets exercising unbalanced tries. All generators
+// are deterministic in their seed.
+package workload
+
+import (
+	"math/rand"
+	"sort"
+)
+
+// KnuthWords are the 31 most used English words of /KNU73/ in frequency
+// order — the insertion sequence of the paper's Fig 1.
+var KnuthWords = []string{
+	"the", "of", "and", "to", "a", "in", "that", "is", "i", "it",
+	"for", "as", "with", "was", "his", "he", "be", "not", "by", "but",
+	"have", "you", "which", "are", "on", "or", "her", "had", "at", "from",
+	"this",
+}
+
+// Uniform returns n distinct keys of length in [minLen, maxLen] over the
+// lowercase alphabet, in random order.
+func Uniform(seed int64, n, minLen, maxLen int) []string {
+	rng := rand.New(rand.NewSource(seed))
+	seen := make(map[string]bool, n)
+	out := make([]string, 0, n)
+	buf := make([]byte, maxLen)
+	for len(out) < n {
+		l := minLen + rng.Intn(maxLen-minLen+1)
+		for i := 0; i < l; i++ {
+			buf[i] = byte('a' + rng.Intn(26))
+		}
+		k := string(buf[:l])
+		if !seen[k] {
+			seen[k] = true
+			out = append(out, k)
+		}
+	}
+	return out
+}
+
+// Ascending returns the keys sorted ascending (a copy; the input is not
+// modified).
+func Ascending(keys []string) []string {
+	out := append([]string(nil), keys...)
+	sort.Strings(out)
+	return out
+}
+
+// Descending returns the keys sorted descending.
+func Descending(keys []string) []string {
+	out := Ascending(keys)
+	for i, j := 0, len(out)-1; i < j; i, j = i+1, j-1 {
+		out[i], out[j] = out[j], out[i]
+	}
+	return out
+}
+
+var vowels = []byte{'a', 'e', 'i', 'o', 'u'}
+
+// EnglishLike returns n distinct lowercase pseudo-words of length in
+// [3, 10] whose letter sequences alternate consonant clusters and vowels,
+// mimicking the prefix skew of a real dictionary (the paper's proposed
+// UNIX-dictionary validation).
+func EnglishLike(seed int64, n int) []string {
+	rng := rand.New(rand.NewSource(seed))
+	consonants := []byte("bcdfghjklmnpqrstvwz")
+	common := []byte("tnshrdl") // overweight frequent consonants
+	seen := make(map[string]bool, n)
+	out := make([]string, 0, n)
+	var buf []byte
+	for len(out) < n {
+		buf = buf[:0]
+		l := 3 + rng.Intn(8)
+		vowel := rng.Intn(3) == 0
+		for len(buf) < l {
+			if vowel {
+				buf = append(buf, vowels[rng.Intn(len(vowels))])
+			} else if rng.Intn(3) == 0 {
+				buf = append(buf, common[rng.Intn(len(common))])
+			} else {
+				buf = append(buf, consonants[rng.Intn(len(consonants))])
+			}
+			vowel = !vowel
+		}
+		k := string(buf)
+		if !seen[k] {
+			seen[k] = true
+			out = append(out, k)
+		}
+	}
+	return out
+}
+
+// Sequential returns n keys of the form prefix + zero-padded counter —
+// the classic monotone load (log files, surrogate keys).
+func Sequential(prefix string, start, n int) []string {
+	out := make([]string, n)
+	width := 0
+	for v := start + n; v > 0; v /= 10 {
+		width++
+	}
+	for i := 0; i < n; i++ {
+		out[i] = prefix + pad(start+i, width)
+	}
+	return out
+}
+
+func pad(v, width int) string {
+	buf := make([]byte, width)
+	for i := width - 1; i >= 0; i-- {
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(buf)
+}
+
+// SkewedPrefix returns n distinct keys where a fraction share a deep
+// common prefix, driving the trie toward the unbalanced shapes Section
+// 2.6 discusses.
+func SkewedPrefix(seed int64, n int, prefix string, share float64) []string {
+	rng := rand.New(rand.NewSource(seed))
+	seen := make(map[string]bool, n)
+	out := make([]string, 0, n)
+	buf := make([]byte, 12)
+	for len(out) < n {
+		l := 2 + rng.Intn(6)
+		for i := 0; i < l; i++ {
+			buf[i] = byte('a' + rng.Intn(26))
+		}
+		k := string(buf[:l])
+		if rng.Float64() < share {
+			k = prefix + k
+		}
+		if !seen[k] {
+			seen[k] = true
+			out = append(out, k)
+		}
+	}
+	return out
+}
+
+// Shuffled returns a deterministically shuffled copy of keys.
+func Shuffled(seed int64, keys []string) []string {
+	out := append([]string(nil), keys...)
+	rng := rand.New(rand.NewSource(seed))
+	rng.Shuffle(len(out), func(i, j int) { out[i], out[j] = out[j], out[i] })
+	return out
+}
+
+// Zipf returns n distinct keys whose digit choices follow a Zipf
+// distribution over the alphabet — the "random, though not necessarily
+// uniform" insertions Section 5 mentions. Lower s values flatten the
+// skew; s must be > 1.
+func Zipf(seed int64, n int, s float64) []string {
+	rng := rand.New(rand.NewSource(seed))
+	z := rand.NewZipf(rng, s, 1, 25)
+	seen := make(map[string]bool, n)
+	out := make([]string, 0, n)
+	buf := make([]byte, 12)
+	for len(out) < n {
+		l := 3 + rng.Intn(9)
+		for i := 0; i < l; i++ {
+			buf[i] = byte('a' + z.Uint64())
+		}
+		k := string(buf[:l])
+		if !seen[k] {
+			seen[k] = true
+			out = append(out, k)
+		}
+	}
+	return out
+}

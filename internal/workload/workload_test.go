@@ -1,0 +1,155 @@
+package workload
+
+import (
+	"reflect"
+	"sort"
+	"testing"
+
+	"triehash/internal/keys"
+)
+
+func TestKnuthWords(t *testing.T) {
+	if len(KnuthWords) != 31 {
+		t.Fatalf("%d words, want 31", len(KnuthWords))
+	}
+	seen := map[string]bool{}
+	for _, w := range KnuthWords {
+		if seen[w] {
+			t.Errorf("duplicate word %q", w)
+		}
+		seen[w] = true
+		if err := keys.ASCII.Validate(w); err != nil {
+			t.Errorf("invalid word %q: %v", w, err)
+		}
+	}
+	if KnuthWords[0] != "the" || KnuthWords[1] != "of" {
+		t.Error("frequency order lost")
+	}
+}
+
+func allValidAndDistinct(t *testing.T, ks []string, n int) {
+	t.Helper()
+	if len(ks) != n {
+		t.Fatalf("%d keys, want %d", len(ks), n)
+	}
+	seen := make(map[string]bool, n)
+	for _, k := range ks {
+		if seen[k] {
+			t.Fatalf("duplicate key %q", k)
+		}
+		seen[k] = true
+		if err := keys.ASCII.Validate(k); err != nil {
+			t.Fatalf("invalid key %q: %v", k, err)
+		}
+	}
+}
+
+func TestUniform(t *testing.T) {
+	ks := Uniform(1, 1000, 3, 10)
+	allValidAndDistinct(t, ks, 1000)
+	for _, k := range ks {
+		if len(k) < 3 || len(k) > 10 {
+			t.Fatalf("length %d outside [3,10]", len(k))
+		}
+	}
+	// Deterministic in the seed, different across seeds.
+	if !reflect.DeepEqual(ks, Uniform(1, 1000, 3, 10)) {
+		t.Error("same seed produced different keys")
+	}
+	if reflect.DeepEqual(ks, Uniform(2, 1000, 3, 10)) {
+		t.Error("different seeds produced identical keys")
+	}
+}
+
+func TestAscendingDescending(t *testing.T) {
+	ks := Uniform(3, 500, 3, 8)
+	asc := Ascending(ks)
+	if !sort.StringsAreSorted(asc) {
+		t.Error("Ascending not sorted")
+	}
+	desc := Descending(ks)
+	for i := 1; i < len(desc); i++ {
+		if desc[i-1] < desc[i] {
+			t.Fatal("Descending not sorted")
+		}
+	}
+	// Originals untouched, same multiset.
+	if sort.StringsAreSorted(ks) {
+		t.Error("input was sorted in place (or suspiciously sorted)")
+	}
+	back := append([]string(nil), desc...)
+	sort.Strings(back)
+	if !reflect.DeepEqual(back, asc) {
+		t.Error("Descending lost keys")
+	}
+}
+
+func TestEnglishLike(t *testing.T) {
+	ks := EnglishLike(4, 2000)
+	allValidAndDistinct(t, ks, 2000)
+	// Dictionary-like: many shared 2-letter prefixes.
+	prefixes := map[string]int{}
+	for _, k := range ks {
+		prefixes[k[:2]]++
+	}
+	if len(prefixes) > 700 {
+		t.Errorf("%d distinct 2-prefixes in 2000 words; not dictionary-like", len(prefixes))
+	}
+}
+
+func TestSequential(t *testing.T) {
+	ks := Sequential("log", 5, 10)
+	allValidAndDistinct(t, ks, 10)
+	if !sort.StringsAreSorted(ks) {
+		t.Error("sequential keys must sort ascending")
+	}
+	if ks[0] != "log05" || ks[9] != "log14" {
+		t.Errorf("unexpected endpoints %q %q", ks[0], ks[9])
+	}
+}
+
+func TestSkewedPrefix(t *testing.T) {
+	ks := SkewedPrefix(5, 1000, "deep/shared/", 0.7)
+	allValidAndDistinct(t, ks, 1000)
+	shared := 0
+	for _, k := range ks {
+		if len(k) >= 12 && k[:12] == "deep/shared/" {
+			shared++
+		}
+	}
+	if shared < 600 || shared > 800 {
+		t.Errorf("%d of 1000 keys share the prefix, want ~700", shared)
+	}
+}
+
+func TestShuffled(t *testing.T) {
+	ks := Sequential("k", 0, 100)
+	sh := Shuffled(6, ks)
+	if reflect.DeepEqual(ks, sh) {
+		t.Error("shuffle was identity")
+	}
+	back := append([]string(nil), sh...)
+	sort.Strings(back)
+	if !reflect.DeepEqual(back, ks) {
+		t.Error("shuffle lost keys")
+	}
+}
+
+func TestZipf(t *testing.T) {
+	ks := Zipf(7, 2000, 1.5)
+	allValidAndDistinct(t, ks, 2000)
+	// Skew check: the most common first letter dominates.
+	first := map[byte]int{}
+	for _, k := range ks {
+		first[k[0]]++
+	}
+	max := 0
+	for _, n := range first {
+		if n > max {
+			max = n
+		}
+	}
+	if max < len(ks)/3 {
+		t.Errorf("zipf keys not skewed: top first-letter share %d of %d", max, len(ks))
+	}
+}

@@ -1,0 +1,90 @@
+package triehash
+
+import "triehash/internal/store"
+
+// Stats is a snapshot of the file's structure and the disk traffic it has
+// generated — the figures the paper's evaluation is stated in.
+type Stats struct {
+	// Keys and Buckets describe the file; Load is the bucket load
+	// factor a = keys / (capacity * buckets).
+	Keys    int
+	Buckets int
+	Load    float64
+	// TrieCells is the paper's trie size M; TrieBytes its size at the
+	// practical six bytes per cell; NilLeaves counts the basic
+	// method's empty-range leaves.
+	TrieCells int
+	TrieBytes int
+	NilLeaves int
+	// Depth is the longest in-memory search path through the trie.
+	Depth int
+	// Splits counts bucket splits; Redistributions the subset resolved
+	// by shifting keys into a neighbour instead of a new bucket.
+	Splits          int
+	Redistributions int
+	// Levels and Pages describe the page hierarchy (1 and 1 for
+	// single-level files); PageReads counts non-root page accesses.
+	Levels    int
+	Pages     int
+	PageReads int64
+	// IO holds the bucket transfers served by the store.
+	IO IOCounters
+}
+
+// IOCounters mirrors the store's access counters.
+type IOCounters struct {
+	Reads  int64
+	Writes int64
+	Allocs int64
+	Frees  int64
+}
+
+func fromStore(c store.Counters) IOCounters {
+	return IOCounters{Reads: c.Reads, Writes: c.Writes, Allocs: c.Allocs, Frees: c.Frees}
+}
+
+// Stats returns the current snapshot.
+func (f *File) Stats() Stats {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	if f.multi != nil {
+		m := f.multi.Stats()
+		return Stats{
+			Keys: m.Keys, Buckets: m.Buckets, Load: m.Load,
+			TrieCells: m.TrieCells, TrieBytes: m.TrieCells * 6, NilLeaves: m.NilLeaves,
+			Splits: m.Splits,
+			Levels: m.Levels, Pages: m.Pages, PageReads: m.PageReads,
+			IO: fromStore(m.IO),
+		}
+	}
+	s := f.single.Stats()
+	return Stats{
+		Keys: s.Keys, Buckets: s.Buckets, Load: s.Load,
+		TrieCells: s.TrieCells, TrieBytes: s.TrieBytes, NilLeaves: s.NilLeaves,
+		Depth: s.Depth, Splits: s.Splits, Redistributions: s.Redistributions,
+		Levels: 1, Pages: 1,
+		IO: fromStore(s.IO),
+	}
+}
+
+// ResetIOCounters zeroes the access counters (useful around a measured
+// workload phase).
+func (f *File) ResetIOCounters() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.eng.Store().ResetCounters()
+	if f.multi != nil {
+		f.multi.ResetPageReads()
+	}
+}
+
+// CheckInvariants verifies the whole file's structural invariants (it
+// reads every bucket; intended for tests and tooling).
+func (f *File) CheckInvariants() error {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	if f.multi != nil {
+		return f.multi.CheckInvariants()
+	}
+	return f.single.CheckInvariants()
+}

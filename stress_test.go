@@ -1,0 +1,152 @@
+package triehash
+
+import (
+	"fmt"
+	"testing"
+
+	"triehash/internal/workload"
+)
+
+// TestRangeAccessEfficiency: a range scan reads exactly the qualifying
+// buckets — the ordered-file property that separates trie hashing from
+// ordinary hashing.
+func TestRangeAccessEfficiency(t *testing.T) {
+	f, err := Create(Options{BucketCapacity: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	ks := workload.Uniform(41, 5000, 4, 10)
+	for _, k := range ks {
+		if err := f.Put(k, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sorted := workload.Ascending(ks)
+
+	// Point-sized range: at most the one bucket holding the key plus at
+	// most one boundary neighbour.
+	f.ResetIOCounters()
+	n := 0
+	if err := f.Range(sorted[2500], sorted[2500], func(string, []byte) bool {
+		n++
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Fatalf("point range saw %d records", n)
+	}
+	if r := f.Stats().IO.Reads; r > 2 {
+		t.Errorf("point range read %d buckets, want <= 2", r)
+	}
+
+	// A 200-record range reads about 200/(20*load) buckets, not the file.
+	f.ResetIOCounters()
+	n = 0
+	if err := f.Range(sorted[1000], sorted[1199], func(string, []byte) bool {
+		n++
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if n != 200 {
+		t.Fatalf("range saw %d records, want 200", n)
+	}
+	reads := f.Stats().IO.Reads
+	if reads > 25 {
+		t.Errorf("200-record range read %d buckets (file has %d)", reads, f.Stats().Buckets)
+	}
+	t.Logf("200-record range: %d bucket reads of %d buckets total", reads, f.Stats().Buckets)
+}
+
+// TestLargeScale pushes each engine to 150k records and verifies
+// invariants, lookups and ordered iteration — a guard against
+// superlinear blowups hiding at small test sizes.
+func TestLargeScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("large-scale test")
+	}
+	const n = 150000
+	ks := workload.Uniform(42, n, 4, 14)
+	for name, opts := range map[string]Options{
+		"thcl":      {BucketCapacity: 50},
+		"mlth-thcl": {BucketCapacity: 50, PageCapacity: 256},
+	} {
+		name, opts := name, opts
+		t.Run(name, func(t *testing.T) {
+			f, err := Create(opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer f.Close()
+			for i, k := range ks {
+				if err := f.Put(k, []byte(k[:2])); err != nil {
+					t.Fatalf("Put #%d (%q): %v", i, k, err)
+				}
+			}
+			st := f.Stats()
+			if st.Keys != n {
+				t.Fatalf("keys = %d", st.Keys)
+			}
+			if st.Load < 0.6 || st.Load > 0.8 {
+				t.Errorf("load %.3f out of the random band", st.Load)
+			}
+			// Spot lookups.
+			for i := 0; i < n; i += 997 {
+				if v, err := f.Get(ks[i]); err != nil || string(v) != ks[i][:2] {
+					t.Fatalf("Get(%q) = %q, %v", ks[i], v, err)
+				}
+			}
+			// Ordered iteration is complete and sorted.
+			prev := ""
+			count := 0
+			if err := f.Range("a", "", func(k string, _ []byte) bool {
+				if prev != "" && k <= prev {
+					t.Fatalf("order violated: %q after %q", k, prev)
+				}
+				prev = k
+				count++
+				return true
+			}); err != nil {
+				t.Fatal(err)
+			}
+			if count != n {
+				t.Fatalf("scan saw %d of %d records", count, n)
+			}
+			t.Logf("%s at %dk: %d buckets, load %.3f, trie %d cells (%d KB), depth %d, levels %d",
+				name, n/1000, st.Buckets, st.Load, st.TrieCells, st.TrieBytes/1024, st.Depth, st.Levels)
+		})
+	}
+}
+
+// TestLargeScaleCompact: a 150k-record compact bulk load stays exactly
+// 100% and the trie stays small.
+func TestLargeScaleCompact(t *testing.T) {
+	if testing.Short() {
+		t.Skip("large-scale test")
+	}
+	const n = 150000
+	ks := make([]string, n)
+	for i := range ks {
+		ks[i] = fmt.Sprintf("evt-%010d", i*3)
+	}
+	f, err := Create(Options{BucketCapacity: 50, SplitPos: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	for _, k := range ks {
+		if err := f.Put(k, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := f.Stats()
+	if st.Load < 0.999 {
+		t.Fatalf("compact load %.4f", st.Load)
+	}
+	if st.Buckets != n/50 {
+		t.Fatalf("buckets = %d, want %d", st.Buckets, n/50)
+	}
+	t.Logf("150k compact: %d buckets, trie %d cells (%d KB)", st.Buckets, st.TrieCells, st.TrieBytes/1024)
+}

@@ -1,0 +1,504 @@
+// Package triehash is a Go implementation of trie hashing with controlled
+// load (Litwin, Roussopoulos, Levy, Wang), an access method for primary-key
+// ordered dynamic files.
+//
+// Records live in fixed-capacity buckets addressed through a compact binary
+// trie whose internal nodes compare one key digit at a time. With the trie
+// in main memory, any successful key search costs one bucket access; when
+// the trie outgrows memory, a multilevel variant (MLTH) pages it and two
+// accesses suffice for very large files. The file is key-ordered, so range
+// scans are sequential bucket reads.
+//
+// Two variants are provided. The basic method (Variant TH) is the original
+// trie hashing of /LIT81/: one trie leaf per bucket, nil leaves for key
+// ranges without buckets, splits that are partly random. The controlled-
+// load refinement (Variant THCL) eliminates nil leaves, lets several
+// leaves share a bucket, and accepts a bounding-key position making every
+// split deterministic — which pins the load factor of ordered insertions
+// anywhere up to 100% and guarantees at least 50% under deletions.
+//
+// # Quick start
+//
+//	f, err := triehash.Create(triehash.Options{BucketCapacity: 20})
+//	if err != nil { ... }
+//	defer f.Close()
+//	f.Put("litwin", []byte("trie hashing"))
+//	v, err := f.Get("litwin")
+//	f.Range("a", "m", func(k string, v []byte) bool { ...; return true })
+//
+// Use CreateAt/OpenAt for files persisted on disk, and
+// Options.PageCapacity for the multilevel variant.
+package triehash
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"triehash/internal/core"
+	"triehash/internal/keys"
+	"triehash/internal/mlth"
+	"triehash/internal/store"
+	"triehash/internal/trie"
+)
+
+// ErrNotFound is returned when a key is absent from the file.
+var ErrNotFound = errors.New("triehash: key not found")
+
+// ErrClosed is returned by operations on a closed file.
+var ErrClosed = errors.New("triehash: file is closed")
+
+// Variant selects the method.
+type Variant int
+
+const (
+	// THCL is trie hashing with controlled load (the default): no nil
+	// leaves, shared leaves, optional deterministic splits and
+	// redistribution, guaranteed-load deletions.
+	THCL Variant = iota
+	// TH is the basic method of /LIT81/.
+	TH
+)
+
+// Redistribution mirrors the Section 4.4 policies.
+type Redistribution int
+
+const (
+	// RedistNone appends a new bucket on every overflow.
+	RedistNone Redistribution = iota
+	// RedistSuccessor shifts keys into the in-order successor first.
+	RedistSuccessor
+	// RedistPredecessor shifts keys into the in-order predecessor first.
+	RedistPredecessor
+	// RedistBoth tries the successor, then the predecessor.
+	RedistBoth
+)
+
+// Options configures a file.
+type Options struct {
+	// BucketCapacity is the records-per-bucket limit b (default 20).
+	BucketCapacity int
+	// Variant selects THCL (default) or the basic TH.
+	Variant Variant
+	// SplitPos is the split-key position m within the b+1 keys of an
+	// overflowing bucket (default: the middle, b/2+1). Set it to
+	// BucketCapacity before a bulk ascending load — or to 1 before a
+	// descending one — to build a compact, fully loaded file.
+	SplitPos int
+	// BoundPos is THCL's bounding-key position (default b+1, the basic
+	// partly-random split). SplitPos+1 makes splits deterministic, which
+	// pins ordered-insertion loads exactly and extends the 50% deletion
+	// guarantee file-wide.
+	BoundPos int
+	// Redistribution enables key shifts into neighbour buckets before
+	// new ones are appended (THCL only); raises the steady-state load.
+	Redistribution Redistribution
+	// CollapseOnMerge removes trie cells made redundant by merges.
+	CollapseOnMerge bool
+	// RotationMerges extends the basic method's deletions with the
+	// Section 3.3 rotation refinement, roughly doubling the bucket
+	// couples that can merge (Variant TH only).
+	RotationMerges bool
+	// TombstoneMerges marks merged-away trie cells dead instead of
+	// physically removing them — Section 2.4's concurrency-friendly
+	// option. Tombstones never reach the disk format.
+	TombstoneMerges bool
+	// PageCapacity, when positive, selects the multilevel variant
+	// (MLTH): the trie is paged, PageCapacity cells per page. Works with
+	// both variants; Redistribution and RotationMerges remain
+	// single-level features.
+	PageCapacity int
+	// Binary admits arbitrary binary keys (not ending in 0x00) instead
+	// of the default printable-ASCII alphabet.
+	Binary bool
+	// SlotBytes is the on-disk bucket slot size for persistent files
+	// (default 4096).
+	SlotBytes int
+	// CacheFrames, when positive, places a write-through LRU buffer pool
+	// of that many bucket frames in front of the store. The paper's
+	// access-cost model assumes no pool (Stats().IO then counts true
+	// transfers); a pool trades memory for fewer of them.
+	CacheFrames int
+}
+
+func (o Options) normalize() Options {
+	if o.BucketCapacity == 0 {
+		o.BucketCapacity = 20
+	}
+	if o.SlotBytes == 0 {
+		o.SlotBytes = 4096
+	}
+	return o
+}
+
+func (o Options) alphabet() keys.Alphabet {
+	if o.Binary {
+		return keys.Binary
+	}
+	return keys.ASCII
+}
+
+func (o Options) coreConfig() core.Config {
+	mode := trie.ModeTHCL
+	if o.Variant == TH {
+		mode = trie.ModeBasic
+	}
+	merge := core.MergeDefault
+	if o.RotationMerges {
+		merge = core.MergeRotations
+	}
+	return core.Config{
+		Alphabet:        o.alphabet(),
+		Capacity:        o.BucketCapacity,
+		Mode:            mode,
+		SplitPos:        o.SplitPos,
+		BoundPos:        o.BoundPos,
+		Redistribution:  core.Redistribution(o.Redistribution),
+		Merge:           merge,
+		CollapseOnMerge: o.CollapseOnMerge,
+		TombstoneMerges: o.TombstoneMerges,
+	}
+}
+
+func (o Options) mlthConfig() mlth.Config {
+	mode := trie.ModeTHCL
+	if o.Variant == TH {
+		mode = trie.ModeBasic
+	}
+	return mlth.Config{
+		Alphabet:     o.alphabet(),
+		Capacity:     o.BucketCapacity,
+		PageCapacity: o.PageCapacity,
+		Mode:         mode,
+		SplitPos:     o.SplitPos,
+		BoundPos:     o.BoundPos,
+	}
+}
+
+// engine is the operation set both variants implement.
+type engine interface {
+	Put(key string, value []byte) (bool, error)
+	Get(key string) ([]byte, error)
+	Delete(key string) error
+	Range(from, to string, fn func(key string, value []byte) bool) error
+	Len() int
+	Store() store.Store
+	SaveMeta() []byte
+}
+
+// File is a trie-hashed file. All methods are safe for concurrent use: the
+// trie's append-only cell table means readers proceed under a shared lock
+// while writers serialize, the discipline the paper's concurrency
+// discussion (/VID87/) builds on.
+type File struct {
+	mu     sync.RWMutex
+	opts   Options
+	alpha  keys.Alphabet
+	eng    engine
+	single *core.File // nil for multilevel files
+	multi  *mlth.File // nil for single-level files
+	dir    string     // "" for in-memory files
+	closed bool
+	// maxRecord bounds key+value bytes for persistent files so a bucket
+	// of capacity b records always fits its slot; 0 = unbounded.
+	maxRecord int
+}
+
+// Create returns an in-memory file (a simulated disk with exact access
+// counting, the configuration the paper's experiments use).
+func Create(opts Options) (*File, error) {
+	return create(opts, "", wrapCache(opts, store.NewMem()))
+}
+
+// wrapCache applies the optional buffer pool.
+func wrapCache(opts Options, st store.Store) store.Store {
+	if opts.CacheFrames > 0 {
+		return store.NewCached(st, opts.CacheFrames)
+	}
+	return st
+}
+
+// CreateAt creates a persistent file in directory dir (created if needed):
+// bucket slots in dir/buckets.th, trie and metadata in dir/meta.th on
+// Sync or Close.
+func CreateAt(dir string, opts Options) (*File, error) {
+	opts = opts.normalize()
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	fs, err := store.CreateFile(filepath.Join(dir, "buckets.th"), opts.SlotBytes)
+	if err != nil {
+		return nil, err
+	}
+	f, err := create(opts, dir, wrapCache(opts, fs))
+	if err != nil {
+		fs.Close()
+		return nil, err
+	}
+	f.setRecordLimit()
+	return f, nil
+}
+
+// setRecordLimit derives the per-record byte budget from the slot size:
+// a full bucket of BucketCapacity+1 records (the transient overflow state
+// is never written, but splits write full buckets) must serialize within
+// the slot payload.
+func (f *File) setRecordLimit() {
+	const slotOverhead = 9 + 8 // slot header + bucket bound header
+	payload := f.opts.SlotBytes - slotOverhead
+	per := payload/f.opts.BucketCapacity - 8 // per-record length prefixes
+	if per < 1 {
+		per = 1
+	}
+	f.maxRecord = per
+}
+
+func create(opts Options, dir string, st store.Store) (*File, error) {
+	opts = opts.normalize()
+	f := &File{opts: opts, alpha: opts.alphabet(), dir: dir}
+	if opts.PageCapacity > 0 {
+		if opts.Redistribution != RedistNone || opts.RotationMerges {
+			return nil, fmt.Errorf("triehash: redistribution and rotation merges are single-level features")
+		}
+		m, err := mlth.New(opts.mlthConfig(), st)
+		if err != nil {
+			return nil, err
+		}
+		f.multi, f.eng = m, m
+		return f, nil
+	}
+	c, err := core.New(opts.coreConfig(), st)
+	if err != nil {
+		return nil, err
+	}
+	f.single, f.eng = c, c
+	return f, nil
+}
+
+// BulkLoad builds a file in one pass from records supplied in strictly
+// ascending key order — the natural way to create the paper's compact
+// files. Records are packed fill·BucketCapacity per bucket (fill in
+// (0, 1]; 1 = the 100% compact file) and the trie is reconstructed from
+// the bucket boundaries, arriving balanced. dir = "" builds in memory.
+// next returns one record at a time and ok=false at the end.
+func BulkLoad(dir string, opts Options, fill float64, next func() (key string, value []byte, ok bool)) (*File, error) {
+	opts = opts.normalize()
+	if opts.PageCapacity > 0 {
+		return nil, fmt.Errorf("triehash: bulk loading builds a single-level trie; omit PageCapacity")
+	}
+	var st store.Store = store.NewMem()
+	if dir != "" {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return nil, err
+		}
+		fs, err := store.CreateFile(filepath.Join(dir, "buckets.th"), opts.SlotBytes)
+		if err != nil {
+			return nil, err
+		}
+		st = fs
+	}
+	st = wrapCache(opts, st)
+	c, err := core.BulkLoad(opts.coreConfig(), st, fill, next)
+	if err != nil {
+		st.Close()
+		return nil, err
+	}
+	f := &File{opts: opts, alpha: opts.alphabet(), dir: dir}
+	f.single, f.eng = c, c
+	if dir != "" {
+		f.setRecordLimit()
+		if err := f.syncLocked(); err != nil {
+			f.eng.Store().Close()
+			return nil, err
+		}
+	}
+	return f, nil
+}
+
+// RecoverAt rebuilds a persistent file whose metadata (dir/meta.th) was
+// lost or corrupted, using only the bucket file: every bucket's header
+// carries its logical-path bound, from which an equivalent — usually
+// better balanced — trie is reconstructed (the /TOR83/ recovery the
+// paper's conclusion describes). opts must supply the original bucket
+// capacity; the recovered file continues under the THCL variant. The
+// rebuilt metadata is written back before returning.
+func RecoverAt(dir string, opts Options) (*File, error) {
+	opts = opts.normalize()
+	if opts.PageCapacity > 0 {
+		return nil, fmt.Errorf("triehash: recovery of multilevel files is not supported (rebuild yields a single-level trie; open it without PageCapacity)")
+	}
+	fs, err := store.OpenFile(filepath.Join(dir, "buckets.th"))
+	if err != nil {
+		return nil, err
+	}
+	c, err := core.Recover(opts.coreConfig(), fs)
+	if err != nil {
+		fs.Close()
+		return nil, err
+	}
+	f := &File{opts: opts, alpha: opts.alphabet(), dir: dir}
+	f.single, f.eng = c, c
+	f.setRecordLimit()
+	if err := f.syncLocked(); err != nil {
+		f.eng.Store().Close()
+		return nil, err
+	}
+	return f, nil
+}
+
+// OpenAt reopens a file previously created with CreateAt and synced.
+func OpenAt(dir string) (*File, error) {
+	meta, err := os.ReadFile(filepath.Join(dir, "meta.th"))
+	if err != nil {
+		return nil, err
+	}
+	fs, err := store.OpenFile(filepath.Join(dir, "buckets.th"))
+	if err != nil {
+		return nil, err
+	}
+	f := &File{dir: dir}
+	if c, cerr := core.Open(meta, fs); cerr == nil {
+		f.single, f.eng = c, c
+		f.alpha = c.Config().Alphabet
+		f.opts = Options{BucketCapacity: c.Config().Capacity, SlotBytes: fs.SlotSize()}
+		f.setRecordLimit()
+		return f, nil
+	}
+	m, merr := mlth.Open(meta, fs)
+	if merr != nil {
+		fs.Close()
+		return nil, fmt.Errorf("triehash: %s holds neither a single-level nor a multilevel file: %w", dir, merr)
+	}
+	f.multi, f.eng = m, m
+	f.alpha = m.Alphabet()
+	f.opts = Options{BucketCapacity: m.Capacity(), SlotBytes: fs.SlotSize()}
+	f.setRecordLimit()
+	return f, nil
+}
+
+// ErrRecordTooLarge is returned by Put on a persistent file when
+// len(key)+len(value) cannot be guaranteed to fit the bucket slot.
+var ErrRecordTooLarge = errors.New("triehash: record too large for the configured SlotBytes")
+
+// Put inserts or replaces the record for key.
+func (f *File) Put(key string, value []byte) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.closed {
+		return ErrClosed
+	}
+	if f.maxRecord > 0 && len(key)+len(value) > f.maxRecord {
+		return fmt.Errorf("%w: %d bytes, limit %d (raise SlotBytes or lower BucketCapacity)",
+			ErrRecordTooLarge, len(key)+len(value), f.maxRecord)
+	}
+	_, err := f.eng.Put(key, value)
+	return err
+}
+
+// Get returns the value stored under key, or ErrNotFound.
+func (f *File) Get(key string) ([]byte, error) {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	if f.closed {
+		return nil, ErrClosed
+	}
+	v, err := f.eng.Get(key)
+	return v, mapNotFound(err)
+}
+
+// Has reports whether key is present.
+func (f *File) Has(key string) (bool, error) {
+	_, err := f.Get(key)
+	switch {
+	case err == nil:
+		return true, nil
+	case errors.Is(err, ErrNotFound):
+		return false, nil
+	default:
+		return false, err
+	}
+}
+
+// Delete removes the record for key, or returns ErrNotFound.
+func (f *File) Delete(key string) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.closed {
+		return ErrClosed
+	}
+	return mapNotFound(f.eng.Delete(key))
+}
+
+// Range calls fn for every record with from <= key <= to in ascending key
+// order until fn returns false. An empty to scans to the end of the file.
+func (f *File) Range(from, to string, fn func(key string, value []byte) bool) error {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	if f.closed {
+		return ErrClosed
+	}
+	return f.eng.Range(from, to, fn)
+}
+
+// Len returns the number of records.
+func (f *File) Len() int {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	return f.eng.Len()
+}
+
+// Sync writes the trie and metadata (and flushes bucket slots) for
+// persistent files; it is a no-op for in-memory files.
+func (f *File) Sync() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.syncLocked()
+}
+
+func (f *File) syncLocked() error {
+	if f.closed {
+		return ErrClosed
+	}
+	if f.dir == "" {
+		return nil
+	}
+	st := f.eng.Store()
+	if c, ok := st.(*store.Cached); ok {
+		st = c.Store
+	}
+	if fs, ok := st.(*store.FileStore); ok {
+		if err := fs.Sync(); err != nil {
+			return err
+		}
+	}
+	tmp := filepath.Join(f.dir, "meta.th.tmp")
+	if err := os.WriteFile(tmp, f.eng.SaveMeta(), 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, filepath.Join(f.dir, "meta.th"))
+}
+
+// Close syncs (for persistent files) and releases the file.
+func (f *File) Close() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.closed {
+		return nil
+	}
+	if err := f.syncLocked(); err != nil {
+		f.closed = true
+		f.eng.Store().Close()
+		return err
+	}
+	f.closed = true
+	return f.eng.Store().Close()
+}
+
+func mapNotFound(err error) error {
+	if errors.Is(err, core.ErrNotFound) || errors.Is(err, mlth.ErrNotFound) {
+		return ErrNotFound
+	}
+	return err
+}
