@@ -2,9 +2,9 @@
 
 GO ?= go
 
-.PHONY: all build test race short bench repro cover fuzz clean
+.PHONY: all build test race short bench repro cover fuzz obs-bench clean
 
-all: build test
+all: build test race
 
 build:
 	$(GO) build ./...
@@ -26,6 +26,11 @@ repro:
 
 bench:
 	$(GO) test -bench=. -benchmem ./... | tee bench_output.txt
+
+# Gate: instrumented-but-disabled Get must stay within 5% of the
+# uninstrumented baseline (and add zero allocations).
+obs-bench:
+	OBS_BENCH=1 $(GO) test -run TestObsOverhead -v .
 
 cover:
 	$(GO) test -cover ./...

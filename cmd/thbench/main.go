@@ -15,13 +15,26 @@ import (
 	"os"
 
 	"triehash/internal/bench"
+	"triehash/internal/obs"
 )
 
 func main() {
 	list := flag.Bool("list", false, "list experiment ids and exit")
 	experiment := flag.String("experiment", "", "run a single experiment by id (default: all)")
 	csv := flag.Bool("csv", false, "emit comma-separated rows (for plotting) instead of aligned tables")
+	metricsAddr := flag.String("metrics-addr", "", "serve /metrics, /obs.json, /debug/vars and /debug/pprof on this address while experiments run")
 	flag.Parse()
+
+	if *metricsAddr != "" {
+		o := obs.New(obs.Config{TraceDepth: 8192})
+		bench.Observe(o)
+		bound, err := obs.Serve(*metricsAddr, o)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "thbench:", err)
+			os.Exit(2)
+		}
+		fmt.Fprintf(os.Stderr, "thbench: metrics on http://%s\n", bound)
+	}
 	render := func(t *bench.Table) {
 		if *csv {
 			fmt.Print(t.CSV())

@@ -15,8 +15,11 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"sync"
+	"time"
 
 	"triehash/internal/core"
+	"triehash/internal/obs"
 	"triehash/internal/store"
 	"triehash/internal/trie"
 	"triehash/internal/workload"
@@ -30,7 +33,21 @@ func main() {
 	variant := flag.String("variant", "thcl", "method variant: th or thcl")
 	sweep := flag.String("sweep", "", "sweep parameter: 'd' (Fig 10/11 style) or empty for the default middle split")
 	redist := flag.String("redist", "none", "redistribution: none, succ, pred or both")
+	metricsAddr := flag.String("metrics-addr", "", "serve /metrics, /obs.json, /debug/vars and /debug/pprof on this address during the sweep")
+	hold := flag.Duration("hold", 0, "keep serving metrics this long after the sweep (so thstat can attach)")
 	flag.Parse()
+
+	hook := &obs.Hook{}
+	var observer *obs.Observer
+	if *metricsAddr != "" {
+		observer = obs.New(obs.Config{TraceDepth: 8192})
+		hook.Set(observer)
+		bound, err := obs.Serve(*metricsAddr, observer)
+		if err != nil {
+			fail(err.Error())
+		}
+		fmt.Fprintf(os.Stderr, "thload: metrics on http://%s\n", bound)
+	}
 
 	mode := trie.ModeTHCL
 	if *variant == "th" {
@@ -72,16 +89,36 @@ func main() {
 			fail("bad bucket capacity " + bstr)
 		}
 		for _, cfg := range configs(b, mode, rd, *order, *sweep) {
-			f, err := core.New(cfg, store.NewMem())
+			f, err := core.New(cfg, store.NewInstrumented(store.NewMem(), hook))
 			if err != nil {
 				fail(err.Error())
 			}
+			f.SetObsHook(hook)
+			// core.File is not concurrency-safe, so the metrics server's
+			// state snapshots serialize with the load loop.
+			var mu sync.Mutex
+			if observer != nil {
+				observer.SetStateFunc(func() obs.State {
+					mu.Lock()
+					s := f.Stats()
+					mu.Unlock()
+					return obs.State{
+						Keys: s.Keys, Buckets: s.Buckets, Load: s.Load,
+						TrieCells: s.TrieCells, Depth: s.Depth, Levels: 1, Pages: 1,
+					}
+				})
+			}
 			for _, k := range ks {
-				if _, err := f.Put(k, nil); err != nil {
+				mu.Lock()
+				_, err := f.Put(k, nil)
+				mu.Unlock()
+				if err != nil {
 					fail(err.Error())
 				}
 			}
+			mu.Lock()
 			st := f.Stats()
+			mu.Unlock()
 			d := 0
 			if *order == "desc" && cfg.SplitPos == 1 {
 				d = cfg.BoundPos - 2
@@ -91,6 +128,10 @@ func main() {
 			fmt.Printf("%-4d %-4d %-4d %-6d %-8.3f %-7d %-7d %-6.2f\n",
 				b, cfg.SplitPos, cfg.BoundPos, d, st.Load*100, st.TrieCells, st.Buckets, st.GrowthRate)
 		}
+	}
+	if *metricsAddr != "" && *hold > 0 {
+		fmt.Fprintf(os.Stderr, "thload: holding metrics server for %v\n", *hold)
+		time.Sleep(*hold)
 	}
 }
 

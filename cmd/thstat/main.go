@@ -1,0 +1,122 @@
+// Command thstat tails the observability endpoint of a live thload or
+// thbench run (-metrics-addr) and renders a periodic dashboard line:
+// state gauges, operation latency quantiles, IO rates and structural
+// event deltas. With -events it also prints each traced structural event
+// as it arrives.
+//
+// Usage:
+//
+//	thload -n 200000 -b 50 -metrics-addr :7071 -hold 1m &
+//	thstat -addr localhost:7071
+//	thstat -addr localhost:7071 -once          # one snapshot, then exit
+//	thstat -addr localhost:7071 -events        # include the event stream
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"time"
+
+	"triehash/internal/obs"
+)
+
+func main() {
+	addr := flag.String("addr", "localhost:7071", "host:port of a -metrics-addr server")
+	interval := flag.Duration("interval", time.Second, "polling interval")
+	once := flag.Bool("once", false, "print one snapshot and exit")
+	events := flag.Bool("events", false, "also print traced structural events as they arrive")
+	flag.Parse()
+
+	client := &http.Client{Timeout: 5 * time.Second}
+	var since uint64
+	var prev obs.Snapshot
+	first := true
+	header := 0
+	for {
+		snap, err := fetch(client, *addr, since)
+		if err != nil {
+			if *once || !first {
+				fail(err.Error())
+			}
+			// The run may not have bound its listener yet; keep trying.
+			time.Sleep(*interval)
+			continue
+		}
+		if *events {
+			for _, e := range snap.Events {
+				fmt.Printf("event %s\n", e)
+			}
+		}
+		if header%20 == 0 {
+			fmt.Printf("%-8s %-8s %-7s %-7s %-6s %-10s %-10s %-9s %-9s %-8s %-8s\n",
+				"keys", "buckets", "load%", "cells", "depth", "get p50", "get p95", "reads/s", "writes/s", "splits", "events/s")
+		}
+		header++
+		printLine(snap, prev, first, *interval)
+		first, prev, since = false, snap, snap.NextSeq
+		if *once {
+			return
+		}
+		time.Sleep(*interval)
+	}
+}
+
+// fetch pulls one snapshot, tailing events newer than since.
+func fetch(c *http.Client, addr string, since uint64) (obs.Snapshot, error) {
+	var snap obs.Snapshot
+	resp, err := c.Get(fmt.Sprintf("http://%s/obs.json?since=%d", addr, since))
+	if err != nil {
+		return snap, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return snap, fmt.Errorf("%s returned %s", addr, resp.Status)
+	}
+	return snap, json.NewDecoder(resp.Body).Decode(&snap)
+}
+
+// printLine renders one dashboard line; rates are deltas against the
+// previous poll, so the first line shows cumulative totals instead.
+func printLine(snap, prev obs.Snapshot, first bool, interval time.Duration) {
+	get := snap.Ops[obs.OpGet.String()]
+	read := snap.Ops[obs.OpRead.String()]
+	write := snap.Ops[obs.OpWrite.String()]
+	splits := snap.EventCounts[obs.EvSplit.String()] + snap.EventCounts[obs.EvRedistribution.String()]
+	rate := func(cur, old uint64) string {
+		if first {
+			return fmt.Sprint(cur)
+		}
+		return fmt.Sprintf("%.0f", float64(cur-old)/interval.Seconds())
+	}
+	var prevEvents, curEvents uint64
+	for _, n := range prev.EventCounts {
+		prevEvents += n
+	}
+	for _, n := range snap.EventCounts {
+		curEvents += n
+	}
+	pr := prev.Ops[obs.OpRead.String()]
+	pw := prev.Ops[obs.OpWrite.String()]
+	fmt.Printf("%-8d %-8d %-7.1f %-7d %-6d %-10s %-10s %-9s %-9s %-8d %-8s\n",
+		snap.State.Keys, snap.State.Buckets, snap.State.Load*100,
+		snap.State.TrieCells, snap.State.Depth,
+		durStr(get.P50), durStr(get.P95),
+		rate(read.Count, pr.Count), rate(write.Count, pw.Count),
+		splits, rate(curEvents, prevEvents))
+}
+
+// durStr renders a duration compactly, "-" when no samples exist yet.
+func durStr(d time.Duration) string {
+	if d == 0 {
+		return "-"
+	}
+	return d.Round(time.Microsecond / 10).String()
+}
+
+func fail(msg string) {
+	fmt.Fprintln(os.Stderr, "thstat:", msg)
+	os.Exit(1)
+}

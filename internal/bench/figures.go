@@ -11,12 +11,15 @@ import (
 	"triehash/internal/workload"
 )
 
-// mustFile builds a fresh in-memory file and loads keys into it.
+// mustFile builds a fresh in-memory file and loads keys into it. The file
+// reports to the package's observability hook (see Observe), so a thbench
+// run with -metrics-addr exposes every experiment's traffic.
 func mustFile(cfg core.Config, ks []string) *core.File {
-	f, err := core.New(cfg, store.NewMem())
+	f, err := core.New(cfg, store.NewInstrumented(store.NewMem(), hook))
 	if err != nil {
 		panic(err)
 	}
+	f.SetObsHook(hook)
 	for _, k := range ks {
 		if _, err := f.Put(k, nil); err != nil {
 			panic(fmt.Sprintf("loading %q: %v", k, err))

@@ -145,6 +145,7 @@ func Registry() []Experiment {
 		{"ext-mlth-thcl", "Extension: THCL under the multilevel scheme (Sec 6 future work)", ExtMultilevelTHCL},
 		{"ext-mainmemory", "Extension: in-core search, trie vs B-tree (Sec 6)", ExtMainMemory},
 		{"ext-dictionary", "Extension: trie size over a 20000-word dictionary (Sec 6)", ExtDictionary},
+		{"obs-cache", "Observability: buffer pool hit rates versus frame count", ObsCache},
 	}
 }
 

@@ -33,6 +33,7 @@ import (
 
 	"triehash/internal/bucket"
 	"triehash/internal/keys"
+	"triehash/internal/obs"
 )
 
 // ErrNotFound is returned when a key is absent.
@@ -85,6 +86,27 @@ type File struct {
 
 	nkeys  atomic.Int64
 	splits atomic.Int64
+
+	// hook carries structural events to an attached observer (nil = off).
+	hook *obs.Hook
+}
+
+// SetObsHook attaches the observability hook structural events go to.
+// Call it before sharing the file across goroutines.
+func (f *File) SetObsHook(h *obs.Hook) { f.hook = h }
+
+// emit sends a structural event; a no-op (one atomic load) with no
+// observer attached. Only called under the structural lock, so the
+// stamped state figures are consistent.
+func (f *File) emit(t obs.EventType, addr, addr2 int32, detail string) {
+	o := f.hook.Observer()
+	if o == nil {
+		return
+	}
+	o.Emit(obs.Event{
+		Type: t, Addr: addr, Addr2: addr2, Detail: detail,
+		Keys: int(f.nkeys.Load()), Buckets: len(f.buckets), TrieCells: int(f.ncells.Load()),
+	})
 }
 
 // New returns an empty concurrent file with bucket capacity b and split
@@ -285,6 +307,7 @@ func (f *File) putNil(key string, value []byte) bool {
 	lb.b.Put(key, value)
 	f.storeSlot(pos, leafPtr(addr)) // publication point
 	f.nkeys.Add(1)
+	f.emit(obs.EvNilAlloc, addr, -1, "")
 	return true
 }
 
@@ -360,6 +383,7 @@ func (f *File) splitAndInsert(key string, value []byte) bool {
 	lb.mu.Unlock()
 	f.nkeys.Add(1)
 	f.splits.Add(1)
+	f.emit(obs.EvSplit, addr, newAddr, fmt.Sprintf("split string %q", s))
 	return true
 }
 

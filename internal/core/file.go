@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"triehash/internal/bucket"
+	"triehash/internal/obs"
 	"triehash/internal/store"
 	"triehash/internal/trie"
 )
@@ -32,6 +33,24 @@ type File struct {
 	// hold no live data — at most duplicates of reachable records — and
 	// Recover sweeps them.
 	abandoned map[int32]bool
+	// hook carries structural events to an attached observer (nil = off).
+	hook *obs.Hook
+}
+
+// SetObsHook attaches the observability hook structural events go to.
+func (f *File) SetObsHook(h *obs.Hook) { f.hook = h }
+
+// emit sends a structural event, stamping it with the cheap O(1) state
+// figures; a no-op (one atomic load) with no observer attached.
+func (f *File) emit(t obs.EventType, addr, addr2 int32, detail string) {
+	o := f.hook.Observer()
+	if o == nil {
+		return
+	}
+	o.Emit(obs.Event{
+		Type: t, Addr: addr, Addr2: addr2, Detail: detail,
+		Keys: f.nkeys, Buckets: f.st.Buckets(), TrieCells: f.trie.Cells(),
+	})
 }
 
 // New creates a fresh file over st, which must be empty. The initial state
@@ -134,6 +153,7 @@ func (f *File) Put(key string, value []byte) (bool, error) {
 		}
 		f.trie.AllocNil(res.Pos, addr)
 		f.nkeys++
+		f.emit(obs.EvNilAlloc, addr, -1, "")
 		return false, nil
 	}
 	addr := res.Leaf.Addr()

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"triehash/internal/bucket"
+	"triehash/internal/obs"
 	"triehash/internal/trie"
 )
 
@@ -87,7 +88,11 @@ func (f *File) mergeSiblingsPolicy(res trie.SearchResult, addr int32, b *bucket.
 		return err
 	}
 	f.trie.MergeSiblings(res.Pos.Cell, trie.Leaf(left))
-	return f.st.Free(right)
+	if err := f.st.Free(right); err != nil {
+		return err
+	}
+	f.emit(obs.EvMerge, right, left, "sibling merge")
+	return nil
 }
 
 // guaranteedPolicy is THCL's deletion rule (Section 4.3): when a bucket
@@ -161,7 +166,11 @@ func (f *File) mergeInto(addr int32, b *bucket.Bucket, nbAddr int32, nb *bucket.
 	if f.cfg.CollapseOnMerge {
 		f.trie.Collapse()
 	}
-	return f.st.Free(addr)
+	if err := f.st.Free(addr); err != nil {
+		return err
+	}
+	f.emit(obs.EvMerge, addr, nbAddr, "guaranteed-load merge")
+	return nil
 }
 
 // borrow moves keys from neighbour nbAddr into the underflowing bucket
@@ -213,6 +222,7 @@ func (f *File) borrow(addr int32, b *bucket.Bucket, nbAddr int32, nb *bucket.Buc
 	if f.cfg.CollapseOnMerge {
 		f.trie.Collapse()
 	}
+	f.emit(obs.EvBorrow, addr, nbAddr, "")
 	return nil
 }
 
@@ -269,7 +279,11 @@ func (f *File) rotationPolicy(addr int32) error {
 			return err // Rotatable promised success; a failure is a bug
 		}
 		f.trie.MergeSiblings(c.Separator, trie.Leaf(left))
-		return f.st.Free(right)
+		if err := f.st.Free(right); err != nil {
+			return err
+		}
+		f.emit(obs.EvMerge, right, left, "rotation merge")
+		return nil
 	}
 	return nil
 }

@@ -5,6 +5,7 @@ import (
 
 	"triehash/internal/bucket"
 	"triehash/internal/keys"
+	"triehash/internal/obs"
 	"triehash/internal/trie"
 )
 
@@ -65,6 +66,7 @@ func (f *File) appendSplit(addr int32, b *bucket.Bucket) error {
 	}
 	f.trie.SetBoundary(splitKey, s, addr, addr, newAddr, f.cfg.Mode)
 	f.splits++
+	f.emit(obs.EvSplit, addr, newAddr, fmt.Sprintf("split string %q", s))
 	return nil
 }
 
@@ -136,6 +138,7 @@ func (f *File) redistributeToSuccessor(addr int32, b *bucket.Bucket) (bool, erro
 	}
 	f.splits++
 	f.redistributions++
+	f.emit(obs.EvRedistribution, addr, succ, "to successor")
 	return true, nil
 }
 
@@ -191,6 +194,7 @@ func (f *File) redistributeToPredecessor(addr int32, b *bucket.Bucket) (bool, er
 	}
 	f.splits++
 	f.redistributions++
+	f.emit(obs.EvRedistribution, addr, pred, "to predecessor")
 	return true, nil
 }
 

@@ -65,6 +65,15 @@ func (f *File) Stats() Stats {
 	return st
 }
 
+// ResetCounters zeroes the file's cumulative event counters — splits and
+// redistributions — and the store's access counters, so a measured phase
+// starts from zero across every counter family. State figures (Keys,
+// Buckets, TrieCells, Depth, Load) are gauges and are not touched.
+func (f *File) ResetCounters() {
+	f.splits, f.redistributions = 0, 0
+	f.st.ResetCounters()
+}
+
 func (s Stats) String() string {
 	return fmt.Sprintf("keys=%d buckets=%d load=%.3f M=%d (%d B) nil=%d depth=%d splits=%d s=%.2f",
 		s.Keys, s.Buckets, s.Load, s.TrieCells, s.TrieBytes, s.NilLeaves, s.Depth, s.Splits, s.GrowthRate)

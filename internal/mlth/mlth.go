@@ -20,6 +20,7 @@ import (
 
 	"triehash/internal/bucket"
 	"triehash/internal/keys"
+	"triehash/internal/obs"
 	"triehash/internal/store"
 	"triehash/internal/trie"
 )
@@ -101,6 +102,34 @@ type File struct {
 	// main memory, as the paper assumes); bucket transfers are counted
 	// by the store. Atomic so concurrent readers can count.
 	pageReads atomic.Int64
+	// hook carries structural events to an attached observer (nil = off).
+	hook *obs.Hook
+}
+
+// SetObsHook attaches the observability hook structural events go to.
+func (f *File) SetObsHook(h *obs.Hook) { f.hook = h }
+
+// emit sends a structural event stamped with the cheap state figures; a
+// no-op (one atomic load) with no observer attached.
+func (f *File) emit(t obs.EventType, addr, addr2 int32, detail string) {
+	o := f.hook.Observer()
+	if o == nil {
+		return
+	}
+	o.Emit(obs.Event{
+		Type: t, Addr: addr, Addr2: addr2, Detail: detail,
+		Keys: f.nkeys, Buckets: f.st.Buckets(), TrieCells: len(f.pages),
+	})
+}
+
+// pageRead counts a non-root page access with the observer; the event is
+// high-frequency, so the observer ring-buffers it only under TraceIO.
+func (f *File) pageRead(pid int32) {
+	o := f.hook.Observer()
+	if o == nil {
+		return
+	}
+	o.Emit(obs.Event{Type: obs.EvPageRead, Addr: pid})
 }
 
 // New creates a fresh multilevel file over an empty store.
@@ -141,6 +170,16 @@ func (f *File) PageReads() int64 { return f.pageReads.Load() }
 // ResetPageReads zeroes the page access counter.
 func (f *File) ResetPageReads() { f.pageReads.Store(0) }
 
+// ResetCounters zeroes the file's cumulative event counters — bucket
+// splits, page splits and page reads — and the store's access counters,
+// so a measured phase starts from zero across every counter family.
+// State figures (Keys, Pages, Levels) are gauges and are not touched.
+func (f *File) ResetCounters() {
+	f.splits, f.pageSplits = 0, 0
+	f.pageReads.Store(0)
+	f.st.ResetCounters()
+}
+
 // Store exposes the bucket store for access accounting.
 func (f *File) Store() store.Store { return f.st }
 
@@ -162,6 +201,7 @@ func (f *File) locate(key string) (path []int32, res trie.SearchResult) {
 		p := f.pages[pid]
 		if pid != f.root {
 			f.pageReads.Add(1)
+			f.pageRead(pid)
 		}
 		path = append(path, pid)
 		res = p.tr.SearchFrom(key, j, C)
@@ -315,6 +355,7 @@ func (f *File) splitBucket(path []int32, res trie.SearchResult, addr int32, b *b
 	}
 	f.pages[filePage].tr.ExpandAt(res.Pos, res.Path, s, addr, newAddr, trie.ModeBasic)
 	f.splits++
+	f.emit(obs.EvSplit, addr, newAddr, fmt.Sprintf("split string %q", s))
 	f.splitPagesUpward(path)
 	return nil
 }
@@ -363,6 +404,7 @@ func (f *File) splitPage(pid, parent int32) {
 	newID := int32(len(f.pages))
 	f.pages = append(f.pages, &page{level: p.level, tr: right})
 	f.pageSplits++
+	f.emit(obs.EvPageSplit, pid, newID, fmt.Sprintf("level %d", p.level))
 
 	if parent < 0 {
 		// Root split: a new root page one level up holds just r'.
@@ -419,6 +461,7 @@ func (f *File) walkBuckets(fn func(addr int32) bool) {
 	walk = func(pid int32) bool {
 		if pid != f.root {
 			f.pageReads.Add(1)
+			f.pageRead(pid)
 		}
 		p := f.pages[pid]
 		cont := true

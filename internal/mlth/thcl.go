@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"triehash/internal/bucket"
+	"triehash/internal/obs"
 	"triehash/internal/trie"
 )
 
@@ -139,6 +140,7 @@ func (f *File) splitBucketTHCL(addr int32, b *bucket.Bucket) error {
 	}
 	grown, ancestry := f.setBoundaryTHCL(s, addr, newAddr)
 	f.splits++
+	f.emit(obs.EvSplit, addr, newAddr, fmt.Sprintf("split string %q", s))
 	if grown >= 0 {
 		f.splitPagesUpward(ancestry)
 	}

@@ -1,0 +1,167 @@
+package obs
+
+import (
+	"encoding/json"
+	"expvar"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/pprof"
+	"strconv"
+	"time"
+)
+
+// Snapshot is the JSON form of everything an Observer holds; cmd/thstat
+// tails a live run by polling it with ?since=NextSeq.
+type Snapshot struct {
+	State       State                   `json:"state"`
+	Ops         map[string]HistSnapshot `json:"ops"`
+	EventCounts map[string]uint64       `json:"event_counts"`
+	Events      []Event                 `json:"events,omitempty"`
+	// NextSeq is the sequence number the next event will get; pass it
+	// back as ?since= to receive only newer events.
+	NextSeq uint64 `json:"next_seq"`
+	// Dropped counts events evicted from the ring over its lifetime.
+	Dropped uint64 `json:"dropped"`
+}
+
+// SnapshotSince summarizes the observer and includes the retained events
+// with Seq >= since.
+func (o *Observer) SnapshotSince(since uint64) Snapshot {
+	if o == nil {
+		return Snapshot{}
+	}
+	s := Snapshot{
+		State:       o.State(),
+		Ops:         make(map[string]HistSnapshot, int(numOps)),
+		EventCounts: make(map[string]uint64, int(numEventTypes)),
+	}
+	for _, op := range Ops() {
+		if h := o.Op(op); h.Count() > 0 {
+			s.Ops[op.String()] = h.Snapshot()
+		}
+	}
+	for _, t := range EventTypes() {
+		if n := o.EventCount(t); n > 0 {
+			s.EventCounts[t.String()] = n
+		}
+	}
+	s.Events = o.tracer.Since(since)
+	s.NextSeq = o.tracer.Total()
+	s.Dropped = o.tracer.Dropped()
+	return s
+}
+
+// WritePrometheus renders the observer in the Prometheus text exposition
+// format: operation counts and latency quantiles, event totals, and the
+// structure gauges of the state provider.
+func (o *Observer) WritePrometheus(w io.Writer) {
+	if o == nil {
+		return
+	}
+	secs := func(d time.Duration) string {
+		return strconv.FormatFloat(d.Seconds(), 'g', -1, 64)
+	}
+	fmt.Fprintf(w, "# HELP th_op_total Operations performed, by operation.\n# TYPE th_op_total counter\n")
+	for _, op := range Ops() {
+		fmt.Fprintf(w, "th_op_total{op=%q} %d\n", op.String(), o.Op(op).Count())
+	}
+	fmt.Fprintf(w, "# HELP th_op_latency_seconds Operation latency quantile upper bounds.\n# TYPE th_op_latency_seconds gauge\n")
+	for _, op := range Ops() {
+		h := o.Op(op)
+		if h.Count() == 0 {
+			continue
+		}
+		for _, q := range []struct {
+			label string
+			v     time.Duration
+		}{
+			{"0.5", h.Quantile(0.5)},
+			{"0.95", h.Quantile(0.95)},
+			{"0.99", h.Quantile(0.99)},
+			{"1", h.Max()},
+		} {
+			fmt.Fprintf(w, "th_op_latency_seconds{op=%q,quantile=%q} %s\n", op.String(), q.label, secs(q.v))
+		}
+	}
+	fmt.Fprintf(w, "# HELP th_events_total Structural events emitted, by type.\n# TYPE th_events_total counter\n")
+	for _, t := range EventTypes() {
+		fmt.Fprintf(w, "th_events_total{type=%q} %d\n", t.String(), o.EventCount(t))
+	}
+	st := o.State()
+	fmt.Fprintf(w, "# HELP th_keys Records in the file.\n# TYPE th_keys gauge\nth_keys %d\n", st.Keys)
+	fmt.Fprintf(w, "# HELP th_buckets Allocated buckets.\n# TYPE th_buckets gauge\nth_buckets %d\n", st.Buckets)
+	fmt.Fprintf(w, "# HELP th_load Bucket load factor.\n# TYPE th_load gauge\nth_load %s\n",
+		strconv.FormatFloat(st.Load, 'g', -1, 64))
+	fmt.Fprintf(w, "# HELP th_trie_cells Trie size M in cells.\n# TYPE th_trie_cells gauge\nth_trie_cells %d\n", st.TrieCells)
+	fmt.Fprintf(w, "# HELP th_depth Longest trie search path.\n# TYPE th_depth gauge\nth_depth %d\n", st.Depth)
+	fmt.Fprintf(w, "# HELP th_trace_dropped_total Events evicted from the trace ring.\n# TYPE th_trace_dropped_total counter\nth_trace_dropped_total %d\n",
+		o.tracer.Dropped())
+}
+
+// Handler serves the observer over HTTP:
+//
+//	/metrics   Prometheus text exposition
+//	/obs.json  JSON Snapshot; ?since=N tails the event stream
+func Handler(o *Observer) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		o.WritePrometheus(w)
+	})
+	mux.HandleFunc("/obs.json", func(w http.ResponseWriter, r *http.Request) {
+		since := uint64(0)
+		if s := r.URL.Query().Get("since"); s != "" {
+			v, err := strconv.ParseUint(s, 10, 64)
+			if err != nil {
+				http.Error(w, "bad since parameter", http.StatusBadRequest)
+				return
+			}
+			since = v
+		}
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(o.SnapshotSince(since))
+	})
+	return mux
+}
+
+// PublishExpvar registers the observer's snapshot under the given expvar
+// name (idempotent: re-publishing the same name is a no-op, unlike
+// expvar.Publish, which panics).
+func (o *Observer) PublishExpvar(name string) {
+	if o == nil || expvar.Get(name) != nil {
+		return
+	}
+	expvar.Publish(name, expvar.Func(func() any { return o.SnapshotSince(0) }))
+}
+
+// NewServeMux wires the full diagnostics surface for a -metrics-addr
+// listener: the observer endpoints, expvar under /debug/vars, and
+// net/http/pprof under /debug/pprof/.
+func NewServeMux(o *Observer) *http.ServeMux {
+	o.PublishExpvar("triehash")
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", Handler(o))
+	mux.Handle("/obs.json", Handler(o))
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// Serve starts an HTTP server for the observer on addr in a background
+// goroutine and returns the listener address actually bound (so addr may
+// use port 0). The server runs until the process exits.
+func Serve(addr string, o *Observer) (string, error) {
+	mux := NewServeMux(o)
+	srv := &http.Server{Addr: addr, Handler: mux}
+	ln, err := newListener(addr)
+	if err != nil {
+		return "", err
+	}
+	go srv.Serve(ln)
+	return ln.Addr().String(), nil
+}

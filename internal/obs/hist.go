@@ -1,0 +1,146 @@
+package obs
+
+import (
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// histBuckets is the number of log-spaced latency buckets: bucket i counts
+// samples whose nanosecond duration has bit length i, i.e. durations in
+// [2^(i-1), 2^i). 48 buckets span 1 ns to ~78 hours, which covers any
+// operation latency this system can produce.
+const histBuckets = 48
+
+// Histogram is a lock-free log-bucketed latency histogram. Bucket
+// boundaries are powers of two nanoseconds, so recording is a bit-length
+// computation plus one atomic increment, and any quantile estimate is
+// within a factor of two of the true sample (the bucket's upper bound is
+// returned; the true value is above half of it).
+//
+// The zero value is ready to use. All methods are safe for concurrent use.
+type Histogram struct {
+	counts [histBuckets]atomic.Uint64
+	count  atomic.Uint64
+	sum    atomic.Int64
+	max    atomic.Int64
+}
+
+// histBucket returns the bucket index for a duration of ns nanoseconds.
+func histBucket(ns int64) int {
+	if ns < 0 {
+		ns = 0
+	}
+	b := bits.Len64(uint64(ns))
+	if b >= histBuckets {
+		b = histBuckets - 1
+	}
+	return b
+}
+
+// BucketUpper returns the exclusive upper bound of bucket i, the value
+// quantile estimation reports for samples landing in it.
+func BucketUpper(i int) time.Duration {
+	if i <= 0 {
+		return 0
+	}
+	if i >= histBuckets-1 {
+		return time.Duration(int64(1) << (histBuckets - 1))
+	}
+	return time.Duration(int64(1) << i)
+}
+
+// Record adds one sample.
+func (h *Histogram) Record(d time.Duration) {
+	ns := int64(d)
+	h.counts[histBucket(ns)].Add(1)
+	h.count.Add(1)
+	h.sum.Add(ns)
+	for {
+		m := h.max.Load()
+		if ns <= m || h.max.CompareAndSwap(m, ns) {
+			return
+		}
+	}
+}
+
+// Count returns the number of recorded samples.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Sum returns the total recorded duration.
+func (h *Histogram) Sum() time.Duration { return time.Duration(h.sum.Load()) }
+
+// Max returns the largest recorded sample (exact, not bucketed).
+func (h *Histogram) Max() time.Duration { return time.Duration(h.max.Load()) }
+
+// Mean returns the average recorded duration.
+func (h *Histogram) Mean() time.Duration {
+	n := h.count.Load()
+	if n == 0 {
+		return 0
+	}
+	return time.Duration(h.sum.Load() / int64(n))
+}
+
+// Quantile returns an upper-bound estimate of the q-th quantile
+// (0 <= q <= 1): the upper boundary of the bucket holding the ceil(q*n)-th
+// smallest sample. The true sample value v satisfies est/2 <= v <= est.
+func (h *Histogram) Quantile(q float64) time.Duration {
+	n := h.count.Load()
+	if n == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := uint64(q * float64(n))
+	if rank < 1 {
+		rank = 1
+	}
+	var seen uint64
+	for i := 0; i < histBuckets; i++ {
+		seen += h.counts[i].Load()
+		if seen >= rank {
+			return BucketUpper(i)
+		}
+	}
+	return BucketUpper(histBuckets - 1)
+}
+
+// reset zeroes every counter. Not atomic with respect to concurrent
+// Records; callers reset between measured phases.
+func (h *Histogram) reset() {
+	for i := range h.counts {
+		h.counts[i].Store(0)
+	}
+	h.count.Store(0)
+	h.sum.Store(0)
+	h.max.Store(0)
+}
+
+// HistSnapshot is a point-in-time summary of a Histogram.
+type HistSnapshot struct {
+	Count uint64        `json:"count"`
+	Sum   time.Duration `json:"sum_ns"`
+	Mean  time.Duration `json:"mean_ns"`
+	Max   time.Duration `json:"max_ns"`
+	P50   time.Duration `json:"p50_ns"`
+	P95   time.Duration `json:"p95_ns"`
+	P99   time.Duration `json:"p99_ns"`
+}
+
+// Snapshot summarizes the histogram.
+func (h *Histogram) Snapshot() HistSnapshot {
+	return HistSnapshot{
+		Count: h.Count(),
+		Sum:   h.Sum(),
+		Mean:  h.Mean(),
+		Max:   h.Max(),
+		P50:   h.Quantile(0.50),
+		P95:   h.Quantile(0.95),
+		P99:   h.Quantile(0.99),
+	}
+}

@@ -1,0 +1,9 @@
+package obs
+
+import "net"
+
+// newListener binds a TCP listener for Serve; split out so tests can bind
+// port 0 without importing net in callers.
+func newListener(addr string) (net.Listener, error) {
+	return net.Listen("tcp", addr)
+}

@@ -1,0 +1,255 @@
+// Package obs is the observability layer of the trie-hashing stack: atomic
+// per-operation counters, log-bucketed latency histograms, a bounded
+// structural event tracer, and export surfaces (Prometheus text, expvar,
+// JSON snapshots for live tailing).
+//
+// The design constraint is zero overhead when nobody is watching. Every
+// instrumented component holds a *Hook — a single atomic pointer to an
+// Observer. With no observer attached the hot path pays one atomic load
+// and a predictable branch, and allocates nothing; attaching an Observer
+// (File.Observe in the public package) turns the full instrumentation on
+// without locks or rebuilds. The paper states its whole evaluation in
+// structural signals (load, trie size, splits, access counts); the tracer
+// records exactly those transitions as they happen, so a load dip or an
+// access spike can be explained mid-run instead of inferred from an
+// end-of-run snapshot.
+package obs
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Op enumerates the instrumented operations: the file-level API calls and
+// the store-level bucket transfers beneath them.
+type Op uint8
+
+const (
+	// OpGet is a file-level key search.
+	OpGet Op = iota
+	// OpPut is a file-level insert/replace.
+	OpPut
+	// OpDelete is a file-level delete.
+	OpDelete
+	// OpRange is a file-level range scan.
+	OpRange
+	// OpRead is a store-level bucket read.
+	OpRead
+	// OpWrite is a store-level bucket write.
+	OpWrite
+	// OpAlloc is a store-level bucket allocation.
+	OpAlloc
+	// OpFree is a store-level bucket free.
+	OpFree
+
+	numOps
+)
+
+var opNames = [numOps]string{
+	OpGet:    "get",
+	OpPut:    "put",
+	OpDelete: "delete",
+	OpRange:  "range",
+	OpRead:   "read",
+	OpWrite:  "write",
+	OpAlloc:  "alloc",
+	OpFree:   "free",
+}
+
+func (op Op) String() string {
+	if int(op) < len(opNames) {
+		return opNames[op]
+	}
+	return fmt.Sprintf("Op(%d)", int(op))
+}
+
+// MarshalText renders the operation name.
+func (op Op) MarshalText() ([]byte, error) { return []byte(op.String()), nil }
+
+// UnmarshalText parses an operation name (the inverse of MarshalText).
+func (op *Op) UnmarshalText(b []byte) error {
+	for i, name := range opNames {
+		if name == string(b) {
+			*op = Op(i)
+			return nil
+		}
+	}
+	return fmt.Errorf("obs: unknown op %q", b)
+}
+
+// Ops enumerates every instrumented operation in declaration order.
+func Ops() []Op {
+	out := make([]Op, numOps)
+	for i := range out {
+		out[i] = Op(i)
+	}
+	return out
+}
+
+// State is the cheap structure snapshot an Observer's state provider
+// reports (gauges, as opposed to the counter families).
+type State struct {
+	Keys      int     `json:"keys"`
+	Buckets   int     `json:"buckets"`
+	Load      float64 `json:"load"`
+	TrieCells int     `json:"trie_cells"`
+	Depth     int     `json:"depth"`
+	Levels    int     `json:"levels"`
+	Pages     int     `json:"pages"`
+}
+
+// Config parameterizes an Observer.
+type Config struct {
+	// TraceDepth is the event ring capacity (default 4096).
+	TraceDepth int
+	// TraceIO additionally records the high-frequency per-access events
+	// (cache hit/miss, page read) in the ring. Their counters are always
+	// maintained; without TraceIO the ring keeps only structural events,
+	// so splits and merges are not evicted by read traffic.
+	TraceIO bool
+}
+
+// Observer aggregates everything one attached consumer sees: latency
+// histograms per operation, per-type event totals, and the event ring.
+// All methods are safe for concurrent use and nil-safe: calling them on a
+// nil *Observer is a no-op, so instrumentation sites need no guards
+// beyond the Hook's atomic load.
+type Observer struct {
+	cfg    Config
+	ops    [numOps]Histogram
+	events [numEventTypes]atomic.Uint64
+	tracer *Tracer
+
+	stateMu sync.Mutex
+	stateFn func() State
+}
+
+// New returns an Observer with the given configuration.
+func New(cfg Config) *Observer {
+	if cfg.TraceDepth <= 0 {
+		cfg.TraceDepth = 4096
+	}
+	return &Observer{cfg: cfg, tracer: NewTracer(cfg.TraceDepth)}
+}
+
+// RecordOp adds one latency sample for op.
+func (o *Observer) RecordOp(op Op, d time.Duration) {
+	if o == nil {
+		return
+	}
+	o.ops[op].Record(d)
+}
+
+// Op returns the histogram of op (nil on a nil observer).
+func (o *Observer) Op(op Op) *Histogram {
+	if o == nil {
+		return nil
+	}
+	return &o.ops[op]
+}
+
+// highFrequency reports whether an event type is per-access traffic
+// rather than a structural transition.
+func highFrequency(t EventType) bool {
+	return t == EvCacheHit || t == EvCacheMiss || t == EvPageRead
+}
+
+// Emit counts the event and, unless it is high-frequency traffic with
+// TraceIO off, appends it to the ring.
+func (o *Observer) Emit(e Event) {
+	if o == nil {
+		return
+	}
+	o.events[e.Type].Add(1)
+	if highFrequency(e.Type) && !o.cfg.TraceIO {
+		return
+	}
+	o.tracer.Append(e)
+}
+
+// EventCount returns the total number of events of type t ever emitted
+// (independent of ring eviction).
+func (o *Observer) EventCount(t EventType) uint64 {
+	if o == nil {
+		return 0
+	}
+	return o.events[t].Load()
+}
+
+// Events returns the event ring (nil on a nil observer).
+func (o *Observer) Events() *Tracer {
+	if o == nil {
+		return nil
+	}
+	return o.tracer
+}
+
+// SetStateFunc installs the structure-snapshot provider (the public File
+// wires its Stats here when the observer is attached).
+func (o *Observer) SetStateFunc(fn func() State) {
+	if o == nil {
+		return
+	}
+	o.stateMu.Lock()
+	o.stateFn = fn
+	o.stateMu.Unlock()
+}
+
+// State returns the current structure snapshot, or the zero State when no
+// provider is installed.
+func (o *Observer) State() State {
+	if o == nil {
+		return State{}
+	}
+	o.stateMu.Lock()
+	fn := o.stateFn
+	o.stateMu.Unlock()
+	if fn == nil {
+		return State{}
+	}
+	return fn()
+}
+
+// ResetCounters zeroes the latency histograms and event totals (the ring
+// and its sequence numbers are preserved, so tailing consumers see no
+// gap). Useful around a measured workload phase.
+func (o *Observer) ResetCounters() {
+	if o == nil {
+		return
+	}
+	for i := range o.ops {
+		o.ops[i].reset()
+	}
+	for i := range o.events {
+		o.events[i].Store(0)
+	}
+}
+
+// Hook is the attachment point instrumented components share: one atomic
+// pointer, nil when observability is off. Methods are safe on a nil *Hook
+// (always-off), so plumbing can pass hooks optionally.
+type Hook struct {
+	p atomic.Pointer[Observer]
+}
+
+// Set attaches o (nil detaches).
+func (h *Hook) Set(o *Observer) {
+	if h == nil {
+		return
+	}
+	h.p.Store(o)
+}
+
+// Observer returns the attached observer, or nil. This is the hot-path
+// guard: one atomic load, no allocation.
+func (h *Hook) Observer() *Observer {
+	if h == nil {
+		return nil
+	}
+	return h.p.Load()
+}
+
+// Enabled reports whether an observer is attached.
+func (h *Hook) Enabled() bool { return h.Observer() != nil }

@@ -1,0 +1,280 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestHistogramBucketBoundaries pins the log-bucketing: a sample of n
+// nanoseconds lands in the bucket whose range [2^(i-1), 2^i) contains it,
+// and the reported quantile is that bucket's upper bound.
+func TestHistogramBucketBoundaries(t *testing.T) {
+	cases := []struct {
+		ns    int64
+		upper time.Duration
+	}{
+		{0, 0},                  // bucket 0: the zero duration
+		{1, 2},                  // [1,2) -> upper 2
+		{2, 4},                  // [2,4)
+		{3, 4},
+		{4, 8},
+		{1023, 1024},
+		{1024, 2048},
+		{1 << 30, 1 << 31},
+		{(1 << 31) - 1, 1 << 31},
+	}
+	for _, c := range cases {
+		var h Histogram
+		h.Record(time.Duration(c.ns))
+		if got := h.Quantile(1); got != c.upper {
+			t.Errorf("Record(%dns): quantile upper bound %v, want %v", c.ns, got, c.upper)
+		}
+		if h.Max() != time.Duration(c.ns) {
+			t.Errorf("Record(%dns): max %v", c.ns, h.Max())
+		}
+	}
+	// Negative durations (clock steps) clamp to bucket 0 instead of
+	// corrupting the ring.
+	var h Histogram
+	h.Record(-5)
+	if h.Count() != 1 || h.Quantile(1) != 0 {
+		t.Errorf("negative sample: count=%d q=%v", h.Count(), h.Quantile(1))
+	}
+}
+
+// TestHistogramQuantileErrorBound verifies the factor-of-two guarantee:
+// for any recorded sample set, the estimate e of quantile q satisfies
+// v <= e <= 2v where v is the true q-th smallest sample (v > 0).
+func TestHistogramQuantileErrorBound(t *testing.T) {
+	samples := []int64{1, 3, 7, 10, 50, 120, 999, 1024, 5000, 100000}
+	var h Histogram
+	for _, s := range samples {
+		h.Record(time.Duration(s))
+	}
+	for _, q := range []float64{0.1, 0.25, 0.5, 0.75, 0.9, 0.95, 1.0} {
+		rank := int(q * float64(len(samples)))
+		if rank < 1 {
+			rank = 1
+		}
+		truth := samples[rank-1]
+		est := int64(h.Quantile(q))
+		if est < truth || est > 2*truth {
+			t.Errorf("q=%.2f: estimate %d outside [v, 2v] for true sample %d", q, est, truth)
+		}
+	}
+	if h.Quantile(0.5) > h.Quantile(0.99) {
+		t.Error("quantiles are not monotone")
+	}
+	var empty Histogram
+	if empty.Quantile(0.5) != 0 || empty.Mean() != 0 {
+		t.Error("empty histogram must report zeros")
+	}
+}
+
+// TestHistogramConcurrent hammers one histogram from many goroutines; run
+// under -race this proves the recording path is data-race free, and the
+// totals prove no sample is lost.
+func TestHistogramConcurrent(t *testing.T) {
+	const workers, perWorker = 8, 10000
+	var h Histogram
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				h.Record(time.Duration(w*1000 + i))
+			}
+		}(w)
+	}
+	wg.Wait()
+	if h.Count() != workers*perWorker {
+		t.Fatalf("count %d, want %d", h.Count(), workers*perWorker)
+	}
+	if h.Max() != time.Duration((workers-1)*1000+perWorker-1) {
+		t.Fatalf("max %v", h.Max())
+	}
+}
+
+// TestTracerOverflowAndOrdering pins the ring semantics: capacity bounds
+// retention, sequence numbers never reset, retained events stay ordered,
+// and Dropped counts the evictions.
+func TestTracerOverflowAndOrdering(t *testing.T) {
+	tr := NewTracer(4)
+	for i := 0; i < 10; i++ {
+		tr.Append(Event{Type: EvSplit, Addr: int32(i)})
+	}
+	if tr.Total() != 10 {
+		t.Fatalf("total %d", tr.Total())
+	}
+	if tr.Dropped() != 6 {
+		t.Fatalf("dropped %d, want 6", tr.Dropped())
+	}
+	got := tr.Snapshot()
+	if len(got) != 4 {
+		t.Fatalf("retained %d events, want 4", len(got))
+	}
+	for i, e := range got {
+		wantSeq := uint64(6 + i)
+		if e.Seq != wantSeq || e.Addr != int32(wantSeq) {
+			t.Fatalf("event %d: seq=%d addr=%d, want seq=%d", i, e.Seq, e.Addr, wantSeq)
+		}
+	}
+	// Since tails: asking from the middle of the retained window trims,
+	// asking past the end returns nothing, asking below the window
+	// returns the whole window (the gap is visible via Seq jumps).
+	if got := tr.Since(8); len(got) != 2 || got[0].Seq != 8 {
+		t.Fatalf("Since(8): %+v", got)
+	}
+	if got := tr.Since(10); got != nil {
+		t.Fatalf("Since(10): %+v", got)
+	}
+	if got := tr.Since(2); len(got) != 4 || got[0].Seq != 6 {
+		t.Fatalf("Since(2): %+v", got)
+	}
+}
+
+// TestTracerConcurrent appends from many goroutines; under -race this
+// checks the locking, and the final totals check nothing was lost.
+func TestTracerConcurrent(t *testing.T) {
+	tr := NewTracer(64)
+	var wg sync.WaitGroup
+	const workers, per = 4, 1000
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				tr.Append(Event{Type: EvMerge})
+			}
+		}()
+	}
+	wg.Wait()
+	if tr.Total() != workers*per {
+		t.Fatalf("total %d", tr.Total())
+	}
+	evs := tr.Snapshot()
+	if len(evs) != 64 {
+		t.Fatalf("retained %d", len(evs))
+	}
+	for i := 1; i < len(evs); i++ {
+		if evs[i].Seq != evs[i-1].Seq+1 {
+			t.Fatalf("sequence gap: %d then %d", evs[i-1].Seq, evs[i].Seq)
+		}
+	}
+}
+
+// TestObserverNilSafety: every method must be a no-op on a nil observer
+// and a nil hook — the guarantee the zero-overhead hot path rests on.
+func TestObserverNilSafety(t *testing.T) {
+	var o *Observer
+	o.RecordOp(OpGet, time.Microsecond)
+	o.Emit(Event{Type: EvSplit})
+	o.ResetCounters()
+	o.SetStateFunc(func() State { return State{} })
+	if o.EventCount(EvSplit) != 0 || o.Op(OpGet) != nil || o.Events() != nil {
+		t.Error("nil observer must report zeros")
+	}
+	if (o.State() != State{}) || (o.SnapshotSince(0).NextSeq != 0) {
+		t.Error("nil observer snapshot must be empty")
+	}
+	var h *Hook
+	h.Set(New(Config{}))
+	if h.Observer() != nil || h.Enabled() {
+		t.Error("nil hook must stay detached")
+	}
+}
+
+// TestObserverTraceIOGating: high-frequency events are always counted but
+// enter the ring only with TraceIO.
+func TestObserverTraceIOGating(t *testing.T) {
+	quiet := New(Config{TraceDepth: 16})
+	quiet.Emit(Event{Type: EvCacheHit})
+	quiet.Emit(Event{Type: EvSplit})
+	if quiet.EventCount(EvCacheHit) != 1 {
+		t.Error("cache hit not counted")
+	}
+	if evs := quiet.Events().Snapshot(); len(evs) != 1 || evs[0].Type != EvSplit {
+		t.Errorf("ring without TraceIO: %+v", evs)
+	}
+	loud := New(Config{TraceDepth: 16, TraceIO: true})
+	loud.Emit(Event{Type: EvCacheHit})
+	if evs := loud.Events().Snapshot(); len(evs) != 1 || evs[0].Type != EvCacheHit {
+		t.Errorf("ring with TraceIO: %+v", evs)
+	}
+}
+
+// TestExportSurfaces drives the HTTP handler: Prometheus text and the
+// JSON snapshot with since-tailing.
+func TestExportSurfaces(t *testing.T) {
+	o := New(Config{TraceDepth: 8})
+	o.RecordOp(OpGet, 100*time.Nanosecond)
+	o.Emit(Event{Type: EvSplit, Addr: 3, Addr2: 4, Keys: 21, Buckets: 2})
+	o.SetStateFunc(func() State { return State{Keys: 21, Buckets: 2, Load: 0.84, TrieCells: 1} })
+
+	h := Handler(o)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	body := rec.Body.String()
+	for _, want := range []string{
+		`th_op_total{op="get"} 1`,
+		`th_events_total{type="split"} 1`,
+		"th_keys 21",
+		"th_load 0.84",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q in:\n%s", want, body)
+		}
+	}
+
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/obs.json", nil))
+	var snap Snapshot
+	if err := json.Unmarshal(rec.Body.Bytes(), &snap); err != nil {
+		t.Fatalf("obs.json: %v", err)
+	}
+	if snap.State.Keys != 21 || snap.NextSeq != 1 || len(snap.Events) != 1 {
+		t.Fatalf("snapshot: %+v", snap)
+	}
+	if snap.Ops["get"].Count != 1 || snap.EventCounts["split"] != 1 {
+		t.Fatalf("snapshot ops/events: %+v", snap)
+	}
+
+	// Tailing: since=NextSeq returns no events.
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/obs.json?since=1", nil))
+	var tail Snapshot
+	if err := json.Unmarshal(rec.Body.Bytes(), &tail); err != nil {
+		t.Fatal(err)
+	}
+	if len(tail.Events) != 0 || tail.NextSeq != 1 {
+		t.Fatalf("tail: %+v", tail)
+	}
+
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/obs.json?since=x", nil))
+	if rec.Code != 400 {
+		t.Fatalf("bad since: status %d", rec.Code)
+	}
+}
+
+// TestObserverReset: counters clear, the ring and its sequencing survive.
+func TestObserverReset(t *testing.T) {
+	o := New(Config{TraceDepth: 8})
+	o.RecordOp(OpPut, time.Millisecond)
+	o.Emit(Event{Type: EvSplit})
+	o.ResetCounters()
+	if o.Op(OpPut).Count() != 0 || o.EventCount(EvSplit) != 0 {
+		t.Error("counters survived reset")
+	}
+	if o.Events().Total() != 1 {
+		t.Error("ring must survive reset")
+	}
+	if seq := o.Events().Append(Event{Type: EvMerge}); seq != 1 {
+		t.Errorf("sequence restarted: %d", seq)
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"sync"
 
 	"triehash/internal/bucket"
+	"triehash/internal/obs"
 )
 
 // Cached wraps a Store with a write-through LRU buffer pool of a fixed
@@ -14,6 +15,9 @@ import (
 type Cached struct {
 	Store
 	frames int
+
+	// hook reports hits and misses to an attached observer (nil = off).
+	hook *obs.Hook
 
 	// mu guards the LRU state: unlike the raw stores, whose read paths
 	// are naturally concurrent, a cache hit reorders the LRU list.
@@ -37,6 +41,12 @@ func NewCached(s Store, frames int) *Cached {
 	return &Cached{Store: s, frames: frames, lru: list.New(), byAddr: make(map[int32]*list.Element)}
 }
 
+// SetObsHook attaches the observability hook hit/miss events go to.
+func (c *Cached) SetObsHook(h *obs.Hook) { c.hook = h }
+
+// Unwrap returns the wrapped store.
+func (c *Cached) Unwrap() Store { return c.Store }
+
 // Hits and Misses report the pool's effectiveness.
 func (c *Cached) Hits() int64 {
 	c.mu.Lock()
@@ -49,6 +59,15 @@ func (c *Cached) Misses() int64 {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.misses
+}
+
+// ResetCounters implements Store, additionally zeroing the pool's hit and
+// miss counters so every counter family resets together.
+func (c *Cached) ResetCounters() {
+	c.mu.Lock()
+	c.hits, c.misses = 0, 0
+	c.mu.Unlock()
+	c.Store.ResetCounters()
 }
 
 func (c *Cached) touch(addr int32, b *bucket.Bucket) {
@@ -73,10 +92,12 @@ func (c *Cached) Read(addr int32) (*bucket.Bucket, error) {
 		c.lru.MoveToFront(el)
 		b := el.Value.(*frame).b.Clone()
 		c.mu.Unlock()
+		c.hook.Observer().Emit(obs.Event{Type: obs.EvCacheHit, Addr: addr})
 		return b, nil
 	}
 	c.misses++
 	c.mu.Unlock()
+	c.hook.Observer().Emit(obs.Event{Type: obs.EvCacheMiss, Addr: addr})
 	b, err := c.Store.Read(addr)
 	if err != nil {
 		return nil, err

@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 
 	"triehash/internal/bucket"
+	"triehash/internal/obs"
 )
 
 // ErrInjected is the failure FaultStore injects.
@@ -22,6 +23,8 @@ type FaultStore struct {
 	// failReads/failWrites select which operations are eligible.
 	failReads  bool
 	failWrites bool
+	// hook reports trips to an attached observer (nil = off).
+	hook *obs.Hook
 }
 
 // NewFault wraps s; the store works normally until Arm is called.
@@ -40,6 +43,18 @@ func (f *FaultStore) Arm(n int64, reads, writes bool) {
 
 // Disarm restores normal operation.
 func (f *FaultStore) Disarm() { f.remaining.Store(-1) }
+
+// SetObsHook attaches the observability hook trip events go to.
+func (f *FaultStore) SetObsHook(h *obs.Hook) { f.hook = h }
+
+// Unwrap returns the wrapped store.
+func (f *FaultStore) Unwrap() Store { return f.Store }
+
+// tripped emits the fault event for op on addr before the error is built,
+// so an attached tracer always sees the trip ahead of its propagation.
+func (f *FaultStore) tripped(op obs.Op, addr int32) {
+	f.hook.Observer().Emit(obs.Event{Type: obs.EvFault, Op: op, Addr: addr, Detail: "injected fault tripped"})
+}
 
 // trip decrements the budget and reports whether this operation fails.
 func (f *FaultStore) trip() bool {
@@ -60,6 +75,7 @@ func (f *FaultStore) trip() bool {
 // Read implements Store with fault injection.
 func (f *FaultStore) Read(addr int32) (*bucket.Bucket, error) {
 	if f.failReads && f.trip() {
+		f.tripped(obs.OpRead, addr)
 		return nil, fmt.Errorf("%w: read of %d", ErrInjected, addr)
 	}
 	return f.Store.Read(addr)
@@ -68,6 +84,7 @@ func (f *FaultStore) Read(addr int32) (*bucket.Bucket, error) {
 // Write implements Store with fault injection.
 func (f *FaultStore) Write(addr int32, b *bucket.Bucket) error {
 	if f.failWrites && f.trip() {
+		f.tripped(obs.OpWrite, addr)
 		return fmt.Errorf("%w: write of %d", ErrInjected, addr)
 	}
 	return f.Store.Write(addr, b)
@@ -76,6 +93,7 @@ func (f *FaultStore) Write(addr int32, b *bucket.Bucket) error {
 // Alloc implements Store with fault injection (counts as a write).
 func (f *FaultStore) Alloc() (int32, error) {
 	if f.failWrites && f.trip() {
+		f.tripped(obs.OpAlloc, -1)
 		return 0, fmt.Errorf("%w: alloc", ErrInjected)
 	}
 	return f.Store.Alloc()
@@ -84,6 +102,7 @@ func (f *FaultStore) Alloc() (int32, error) {
 // Free implements Store with fault injection (counts as a write).
 func (f *FaultStore) Free(addr int32) error {
 	if f.failWrites && f.trip() {
+		f.tripped(obs.OpFree, addr)
 		return fmt.Errorf("%w: free of %d", ErrInjected, addr)
 	}
 	return f.Store.Free(addr)

@@ -1,0 +1,86 @@
+package triehash
+
+import (
+	"fmt"
+	"os"
+	"testing"
+
+	"triehash/internal/core"
+	"triehash/internal/obs"
+	"triehash/internal/store"
+	"triehash/internal/workload"
+)
+
+// TestObsOverhead is the `make obs-bench` gate: with instrumentation
+// compiled in but no observer attached, Get must cost at most 5% more
+// than the uninstrumented configuration, and must not allocate anything
+// the uninstrumented path doesn't. The comparison isolates exactly what
+// the observability layer adds — the hook's atomic load and branch on the
+// operation path plus the Instrumented store wrapper — by building one
+// file with neither and one with both (observer left nil).
+//
+// Benchmarks are noisy, so the test is opt-in (OBS_BENCH=1) and takes the
+// best of several rounds per side; it is not part of the tier-1 suite.
+func TestObsOverhead(t *testing.T) {
+	if os.Getenv("OBS_BENCH") == "" {
+		t.Skip("set OBS_BENCH=1 to run the instrumentation overhead gate")
+	}
+	const n = 50000
+	ks := workload.Uniform(7, n, 3, 16)
+	cfg := core.Config{Capacity: 50}
+
+	build := func(st store.Store, hook *obs.Hook) *core.File {
+		f, err := core.New(cfg, st)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if hook != nil {
+			f.SetObsHook(hook)
+		}
+		for _, k := range ks {
+			if _, err := f.Put(k, []byte("v")); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return f
+	}
+
+	base := build(store.NewMem(), nil)
+	hook := &obs.Hook{} // observer stays nil: the disabled hot path
+	inst := build(store.NewInstrumented(store.NewMem(), hook), hook)
+
+	bench := func(f *core.File) testing.BenchmarkResult {
+		best := testing.Benchmark(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := f.Get(ks[i%n]); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		for round := 0; round < 2; round++ {
+			r := testing.Benchmark(func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					if _, err := f.Get(ks[i%n]); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+			if r.NsPerOp() < best.NsPerOp() {
+				best = r
+			}
+		}
+		return best
+	}
+
+	rb := bench(base)
+	ri := bench(inst)
+	overhead := float64(ri.NsPerOp())/float64(rb.NsPerOp()) - 1
+	fmt.Printf("obs-bench: baseline %d ns/op, instrumented-disabled %d ns/op, overhead %.2f%%\n",
+		rb.NsPerOp(), ri.NsPerOp(), overhead*100)
+	if overhead > 0.05 {
+		t.Errorf("disabled instrumentation costs %.2f%% on Get, budget is 5%%", overhead*100)
+	}
+	if db, di := rb.AllocsPerOp(), ri.AllocsPerOp(); di > db {
+		t.Errorf("disabled instrumentation allocates: %d allocs/op vs baseline %d", di, db)
+	}
+}

@@ -1,0 +1,229 @@
+package triehash
+
+import (
+	"os"
+	"testing"
+
+	"triehash/internal/obs"
+	"triehash/internal/workload"
+)
+
+// TestObserverCrossCheck is the acceptance cross-check: a fig10-style
+// random-insertion run with an observer attached must emit an event
+// stream whose split and redistribution totals exactly equal the final
+// Stats() counters. The per-type totals survive ring eviction, so a
+// small TraceDepth deliberately forces overflow.
+func TestObserverCrossCheck(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		opts Options
+	}{
+		{"THCL", Options{BucketCapacity: 10}},
+		{"THCL-redist", Options{BucketCapacity: 10, Redistribution: RedistBoth}},
+		{"TH", Options{BucketCapacity: 10, Variant: TH}},
+		{"MLTH", Options{BucketCapacity: 10, PageCapacity: 32}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			f, err := Create(tc.opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer f.Close()
+			o := NewObserver(ObserverConfig{TraceDepth: 64})
+			f.Observe(o)
+
+			ks := workload.Uniform(7, 5000, 3, 12)
+			for _, k := range ks {
+				if err := f.Put(k, []byte("v")); err != nil {
+					t.Fatal(err)
+				}
+			}
+			for _, k := range ks[:1000] {
+				if _, err := f.Get(k); err != nil {
+					t.Fatal(err)
+				}
+			}
+			for _, k := range ks[:500] {
+				if err := f.Delete(k); err != nil {
+					t.Fatal(err)
+				}
+			}
+
+			s := f.Stats()
+			splitEvents := o.EventCount(obs.EvSplit) + o.EventCount(obs.EvRedistribution)
+			if got, want := splitEvents, uint64(s.Splits); got != want {
+				t.Errorf("split+redistribution events = %d, Stats().Splits = %d", got, want)
+			}
+			if got, want := o.EventCount(obs.EvRedistribution), uint64(s.Redistributions); got != want {
+				t.Errorf("redistribution events = %d, Stats().Redistributions = %d", got, want)
+			}
+			if s.Splits > 0 && o.Events().Dropped() == 0 {
+				t.Logf("ring did not overflow (splits=%d); totals still checked", s.Splits)
+			}
+
+			// Latency histograms saw exactly the public operations.
+			if got := o.Op(obs.OpPut).Count(); got != uint64(len(ks)) {
+				t.Errorf("OpPut samples = %d, want %d", got, len(ks))
+			}
+			if got := o.Op(obs.OpGet).Count(); got != 1000 {
+				t.Errorf("OpGet samples = %d, want 1000", got)
+			}
+			if got := o.Op(obs.OpDelete).Count(); got != 500 {
+				t.Errorf("OpDelete samples = %d, want 500", got)
+			}
+			// Store-level ops were timed too (the instrumented wrapper).
+			if got := o.Op(obs.OpRead).Count(); got == 0 {
+				t.Error("no store reads timed")
+			}
+
+			// The state function wired by Observe reports live gauges.
+			st := o.State()
+			if st.Keys != f.Len() || st.Buckets != s.Buckets {
+				t.Errorf("observer state = %+v, stats = keys %d buckets %d", st, f.Len(), s.Buckets)
+			}
+		})
+	}
+}
+
+// TestStatsCacheCounters verifies the buffer pool's hit/miss counters
+// surface in the public Stats.
+func TestStatsCacheCounters(t *testing.T) {
+	f, err := Create(Options{BucketCapacity: 10, CacheFrames: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	for _, k := range workload.Uniform(3, 500, 3, 10) {
+		if err := f.Put(k, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s := f.Stats()
+	if s.CacheHits == 0 || s.CacheMisses == 0 {
+		t.Fatalf("cache counters = %d/%d, want both nonzero after 500 inserts over 4 frames", s.CacheHits, s.CacheMisses)
+	}
+
+	// Without a pool both stay zero.
+	f2, err := Create(Options{BucketCapacity: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f2.Close()
+	f2.Put("a", nil)
+	if s2 := f2.Stats(); s2.CacheHits != 0 || s2.CacheMisses != 0 {
+		t.Fatalf("poolless cache counters = %d/%d, want 0/0", s2.CacheHits, s2.CacheMisses)
+	}
+}
+
+// TestResetIOCountersUniform is the regression test for the reset bug:
+// ResetIOCounters must zero every counter family — store transfers,
+// cache hits/misses, splits and redistributions (formerly left behind),
+// and page reads — while leaving the state gauges alone.
+func TestResetIOCountersUniform(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		opts Options
+	}{
+		{"single", Options{BucketCapacity: 8, Redistribution: RedistBoth, CacheFrames: 4}},
+		{"multi", Options{BucketCapacity: 8, PageCapacity: 16}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			f, err := Create(tc.opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer f.Close()
+			for _, k := range workload.Uniform(11, 2000, 3, 10) {
+				if err := f.Put(k, nil); err != nil {
+					t.Fatal(err)
+				}
+			}
+			before := f.Stats()
+			if before.Splits == 0 || before.IO.Reads == 0 {
+				t.Fatalf("workload generated no traffic: %+v", before)
+			}
+			f.ResetIOCounters()
+			after := f.Stats()
+			if after.Splits != 0 || after.Redistributions != 0 {
+				t.Errorf("structural counters survived reset: splits=%d redists=%d", after.Splits, after.Redistributions)
+			}
+			if after.IO != (IOCounters{}) {
+				t.Errorf("IO counters survived reset: %+v", after.IO)
+			}
+			if after.CacheHits != 0 || after.CacheMisses != 0 {
+				t.Errorf("cache counters survived reset: %d/%d", after.CacheHits, after.CacheMisses)
+			}
+			if after.PageReads != 0 {
+				t.Errorf("page reads survived reset: %d", after.PageReads)
+			}
+			// Gauges describe the file and must not change.
+			if after.Keys != before.Keys || after.Buckets != before.Buckets || after.TrieCells != before.TrieCells {
+				t.Errorf("gauges changed: before keys=%d buckets=%d M=%d, after keys=%d buckets=%d M=%d",
+					before.Keys, before.Buckets, before.TrieCells, after.Keys, after.Buckets, after.TrieCells)
+			}
+		})
+	}
+}
+
+// TestObserveDetach verifies a detached observer stops receiving and the
+// file keeps working.
+func TestObserveDetach(t *testing.T) {
+	f, err := Create(Options{BucketCapacity: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	o := NewObserver(ObserverConfig{})
+	f.Observe(o)
+	f.Put("a", nil)
+	if got := o.Op(obs.OpPut).Count(); got != 1 {
+		t.Fatalf("attached observer saw %d puts, want 1", got)
+	}
+	f.Observe(nil)
+	if f.Observer() != nil {
+		t.Fatal("Observer() not nil after detach")
+	}
+	f.Put("b", nil)
+	if got := o.Op(obs.OpPut).Count(); got != 1 {
+		t.Fatalf("detached observer saw %d puts, want still 1", got)
+	}
+}
+
+// TestRecoveredFileEmitsRecovery verifies RecoverAt + Observe replays the
+// recovery as an event.
+func TestRecoveredFileEmitsRecovery(t *testing.T) {
+	dir := t.TempDir()
+	f, err := CreateAt(dir, Options{BucketCapacity: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range workload.Uniform(5, 300, 3, 10) {
+		if err := f.Put(k, []byte("v")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	n := f.Len()
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Remove(dir + "/meta.th"); err != nil {
+		t.Fatal(err)
+	}
+	r, err := RecoverAt(dir, Options{BucketCapacity: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if r.Len() != n {
+		t.Fatalf("recovered %d keys, want %d", r.Len(), n)
+	}
+	o := NewObserver(ObserverConfig{})
+	r.Observe(o)
+	if got := o.EventCount(obs.EvRecovery); got != 1 {
+		t.Fatalf("EvRecovery count = %d, want 1", got)
+	}
+	evs := o.Events().Snapshot()
+	if len(evs) != 1 || evs[0].Type != obs.EvRecovery {
+		t.Fatalf("traced events = %v, want the recovery", evs)
+	}
+}

@@ -1,0 +1,85 @@
+package triehash
+
+import "triehash/internal/obs"
+
+// The observability surface re-exports internal/obs: an Observer collects
+// per-operation latency histograms, structural event traces and counters;
+// attaching one to a File is a single atomic store and detaching (passing
+// nil) returns every hot path to its uninstrumented cost — one atomic
+// load and a branch, no allocation.
+type (
+	// Observer collects operation latencies, structural events and
+	// counters for one or more files.
+	Observer = obs.Observer
+	// ObserverConfig sizes the event ring and gates high-frequency IO
+	// events (cache hits/misses, page reads) into it.
+	ObserverConfig = obs.Config
+	// Event is one structural occurrence: a split, redistribution,
+	// merge, page split, cache hit, injected fault, recovery...
+	Event = obs.Event
+	// EventType enumerates the event kinds.
+	EventType = obs.EventType
+	// Op identifies an instrumented operation for histogram lookups.
+	Op = obs.Op
+)
+
+// The operation and event identifiers, re-exported so callers can query
+// Observer.Op and Observer.EventCount without reaching into internal/obs.
+const (
+	OpGet    = obs.OpGet
+	OpPut    = obs.OpPut
+	OpDelete = obs.OpDelete
+	OpRange  = obs.OpRange
+	OpRead   = obs.OpRead
+	OpWrite  = obs.OpWrite
+	OpAlloc  = obs.OpAlloc
+	OpFree   = obs.OpFree
+
+	EvSplit          = obs.EvSplit
+	EvRedistribution = obs.EvRedistribution
+	EvMerge          = obs.EvMerge
+	EvBorrow         = obs.EvBorrow
+	EvNilAlloc       = obs.EvNilAlloc
+	EvPageSplit      = obs.EvPageSplit
+	EvPageRead       = obs.EvPageRead
+	EvCacheHit       = obs.EvCacheHit
+	EvCacheMiss      = obs.EvCacheMiss
+	EvFault          = obs.EvFault
+	EvRecovery       = obs.EvRecovery
+)
+
+// NewObserver returns an Observer ready to attach with File.Observe.
+func NewObserver(cfg ObserverConfig) *Observer { return obs.New(cfg) }
+
+// Observe attaches o to the file — every layer (public API timing, trie
+// maintenance events, page accesses, the cache, fault injection) starts
+// reporting to it. Passing nil detaches. A file recovered by RecoverAt
+// replays the recovery as an event, since the observer necessarily
+// attaches after the rebuild.
+func (f *File) Observe(o *Observer) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if o != nil {
+		o.SetStateFunc(f.obsState)
+	}
+	f.hook.Set(o)
+	if o != nil && f.recovered {
+		o.Emit(obs.Event{
+			Type: obs.EvRecovery, Addr: -1, Addr2: -1,
+			Detail: "trie rebuilt from bucket bounds (RecoverAt)",
+		})
+	}
+}
+
+// Observer returns the currently attached observer, or nil.
+func (f *File) Observer() *Observer { return f.hook.Observer() }
+
+// obsState snapshots the cheap state gauges for the observer's exports.
+func (f *File) obsState() obs.State {
+	s := f.Stats()
+	return obs.State{
+		Keys: s.Keys, Buckets: s.Buckets, Load: s.Load,
+		TrieCells: s.TrieCells, Depth: s.Depth,
+		Levels: s.Levels, Pages: s.Pages,
+	}
+}

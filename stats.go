@@ -29,6 +29,11 @@ type Stats struct {
 	PageReads int64
 	// IO holds the bucket transfers served by the store.
 	IO IOCounters
+	// CacheHits and CacheMisses count buffer-pool lookups when
+	// Options.CacheFrames is set (both zero without a pool). A hit means
+	// the read in IO.Reads was served from memory, not the disk.
+	CacheHits   int64
+	CacheMisses int64
 }
 
 // IOCounters mirrors the store's access counters.
@@ -47,35 +52,46 @@ func fromStore(c store.Counters) IOCounters {
 func (f *File) Stats() Stats {
 	f.mu.RLock()
 	defer f.mu.RUnlock()
+	var out Stats
 	if f.multi != nil {
 		m := f.multi.Stats()
-		return Stats{
+		out = Stats{
 			Keys: m.Keys, Buckets: m.Buckets, Load: m.Load,
 			TrieCells: m.TrieCells, TrieBytes: m.TrieCells * 6, NilLeaves: m.NilLeaves,
 			Splits: m.Splits,
 			Levels: m.Levels, Pages: m.Pages, PageReads: m.PageReads,
 			IO: fromStore(m.IO),
 		}
+	} else {
+		s := f.single.Stats()
+		out = Stats{
+			Keys: s.Keys, Buckets: s.Buckets, Load: s.Load,
+			TrieCells: s.TrieCells, TrieBytes: s.TrieBytes, NilLeaves: s.NilLeaves,
+			Depth: s.Depth, Splits: s.Splits, Redistributions: s.Redistributions,
+			Levels: 1, Pages: 1,
+			IO: fromStore(s.IO),
+		}
 	}
-	s := f.single.Stats()
-	return Stats{
-		Keys: s.Keys, Buckets: s.Buckets, Load: s.Load,
-		TrieCells: s.TrieCells, TrieBytes: s.TrieBytes, NilLeaves: s.NilLeaves,
-		Depth: s.Depth, Splits: s.Splits, Redistributions: s.Redistributions,
-		Levels: 1, Pages: 1,
-		IO: fromStore(s.IO),
+	if c := store.AsCached(f.eng.Store()); c != nil {
+		out.CacheHits, out.CacheMisses = c.Hits(), c.Misses()
 	}
+	return out
 }
 
-// ResetIOCounters zeroes the access counters (useful around a measured
-// workload phase).
+// ResetIOCounters zeroes every cumulative counter family around a
+// measured workload phase: the store's transfer counters (IO), the
+// buffer pool's hit/miss counters, the page-access counter, and the
+// structural event counters (Splits, Redistributions, and the multilevel
+// page splits). State gauges — Keys, Buckets, Load, TrieCells, Depth,
+// Levels, Pages — describe the file, not the traffic, and are untouched.
+// An attached Observer keeps its own counters; reset those with
+// Observer.ResetCounters.
 func (f *File) ResetIOCounters() {
 	f.mu.Lock()
 	defer f.mu.Unlock()
-	f.eng.Store().ResetCounters()
-	if f.multi != nil {
-		f.multi.ResetPageReads()
-	}
+	// The engine resets its structural counters and the store chain's
+	// counters (the cache zeroes hits/misses as the reset passes through).
+	f.eng.ResetCounters()
 }
 
 // CheckInvariants verifies the whole file's structural invariants (it

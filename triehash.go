@@ -36,10 +36,12 @@ import (
 	"os"
 	"path/filepath"
 	"sync"
+	"time"
 
 	"triehash/internal/core"
 	"triehash/internal/keys"
 	"triehash/internal/mlth"
+	"triehash/internal/obs"
 	"triehash/internal/store"
 	"triehash/internal/trie"
 )
@@ -186,6 +188,8 @@ type engine interface {
 	Len() int
 	Store() store.Store
 	SaveMeta() []byte
+	SetObsHook(*obs.Hook)
+	ResetCounters()
 }
 
 // File is a trie-hashed file. All methods are safe for concurrent use: the
@@ -204,6 +208,32 @@ type File struct {
 	// maxRecord bounds key+value bytes for persistent files so a bucket
 	// of capacity b records always fits its slot; 0 = unbounded.
 	maxRecord int
+	// hook is the observability attachment point every layer shares; an
+	// observer set through Observe becomes visible to all of them with
+	// one atomic store. Nil observer = everything disabled.
+	hook *obs.Hook
+	// recovered notes the file was rebuilt by RecoverAt, so Observe can
+	// replay the fact as an event (the observer attaches after recovery).
+	recovered bool
+}
+
+// instrument builds the file's observability hook and threads it through
+// the store stack: every layer that can report (cache, fault injector)
+// gets the hook, and an Instrumented wrapper goes outermost so cache hits
+// and injected faults are timed like true transfers.
+func instrument(st store.Store) (store.Store, *obs.Hook) {
+	h := &obs.Hook{}
+	for s := st; s != nil; {
+		if hs, ok := s.(interface{ SetObsHook(*obs.Hook) }); ok {
+			hs.SetObsHook(h)
+		}
+		u, ok := s.(store.Unwrapper)
+		if !ok {
+			break
+		}
+		s = u.Unwrap()
+	}
+	return store.NewInstrumented(st, h), h
 }
 
 // Create returns an in-memory file (a simulated disk with exact access
@@ -258,6 +288,7 @@ func (f *File) setRecordLimit() {
 func create(opts Options, dir string, st store.Store) (*File, error) {
 	opts = opts.normalize()
 	f := &File{opts: opts, alpha: opts.alphabet(), dir: dir}
+	st, f.hook = instrument(st)
 	if opts.PageCapacity > 0 {
 		if opts.Redistribution != RedistNone || opts.RotationMerges {
 			return nil, fmt.Errorf("triehash: redistribution and rotation merges are single-level features")
@@ -266,6 +297,7 @@ func create(opts Options, dir string, st store.Store) (*File, error) {
 		if err != nil {
 			return nil, err
 		}
+		m.SetObsHook(f.hook)
 		f.multi, f.eng = m, m
 		return f, nil
 	}
@@ -273,6 +305,7 @@ func create(opts Options, dir string, st store.Store) (*File, error) {
 	if err != nil {
 		return nil, err
 	}
+	c.SetObsHook(f.hook)
 	f.single, f.eng = c, c
 	return f, nil
 }
@@ -300,12 +333,14 @@ func BulkLoad(dir string, opts Options, fill float64, next func() (key string, v
 		st = fs
 	}
 	st = wrapCache(opts, st)
+	st, hook := instrument(st)
 	c, err := core.BulkLoad(opts.coreConfig(), st, fill, next)
 	if err != nil {
 		st.Close()
 		return nil, err
 	}
-	f := &File{opts: opts, alpha: opts.alphabet(), dir: dir}
+	c.SetObsHook(hook)
+	f := &File{opts: opts, alpha: opts.alphabet(), dir: dir, hook: hook}
 	f.single, f.eng = c, c
 	if dir != "" {
 		f.setRecordLimit()
@@ -333,12 +368,14 @@ func RecoverAt(dir string, opts Options) (*File, error) {
 	if err != nil {
 		return nil, err
 	}
-	c, err := core.Recover(opts.coreConfig(), fs)
+	st, hook := instrument(fs)
+	c, err := core.Recover(opts.coreConfig(), st)
 	if err != nil {
 		fs.Close()
 		return nil, err
 	}
-	f := &File{opts: opts, alpha: opts.alphabet(), dir: dir}
+	c.SetObsHook(hook)
+	f := &File{opts: opts, alpha: opts.alphabet(), dir: dir, hook: hook, recovered: true}
 	f.single, f.eng = c, c
 	f.setRecordLimit()
 	if err := f.syncLocked(); err != nil {
@@ -358,19 +395,22 @@ func OpenAt(dir string) (*File, error) {
 	if err != nil {
 		return nil, err
 	}
-	f := &File{dir: dir}
-	if c, cerr := core.Open(meta, fs); cerr == nil {
+	st, hook := instrument(fs)
+	f := &File{dir: dir, hook: hook}
+	if c, cerr := core.Open(meta, st); cerr == nil {
+		c.SetObsHook(hook)
 		f.single, f.eng = c, c
 		f.alpha = c.Config().Alphabet
 		f.opts = Options{BucketCapacity: c.Config().Capacity, SlotBytes: fs.SlotSize()}
 		f.setRecordLimit()
 		return f, nil
 	}
-	m, merr := mlth.Open(meta, fs)
+	m, merr := mlth.Open(meta, st)
 	if merr != nil {
 		fs.Close()
 		return nil, fmt.Errorf("triehash: %s holds neither a single-level nor a multilevel file: %w", dir, merr)
 	}
+	m.SetObsHook(hook)
 	f.multi, f.eng = m, m
 	f.alpha = m.Alphabet()
 	f.opts = Options{BucketCapacity: m.Capacity(), SlotBytes: fs.SlotSize()}
@@ -393,7 +433,16 @@ func (f *File) Put(key string, value []byte) error {
 		return fmt.Errorf("%w: %d bytes, limit %d (raise SlotBytes or lower BucketCapacity)",
 			ErrRecordTooLarge, len(key)+len(value), f.maxRecord)
 	}
+	// One atomic load decides instrumentation; the disabled path costs a
+	// nil check and allocates nothing.
+	o := f.hook.Observer()
+	if o == nil {
+		_, err := f.eng.Put(key, value)
+		return err
+	}
+	start := time.Now()
 	_, err := f.eng.Put(key, value)
+	o.RecordOp(obs.OpPut, time.Since(start))
 	return err
 }
 
@@ -404,7 +453,14 @@ func (f *File) Get(key string) ([]byte, error) {
 	if f.closed {
 		return nil, ErrClosed
 	}
+	o := f.hook.Observer()
+	if o == nil {
+		v, err := f.eng.Get(key)
+		return v, mapNotFound(err)
+	}
+	start := time.Now()
 	v, err := f.eng.Get(key)
+	o.RecordOp(obs.OpGet, time.Since(start))
 	return v, mapNotFound(err)
 }
 
@@ -428,7 +484,14 @@ func (f *File) Delete(key string) error {
 	if f.closed {
 		return ErrClosed
 	}
-	return mapNotFound(f.eng.Delete(key))
+	o := f.hook.Observer()
+	if o == nil {
+		return mapNotFound(f.eng.Delete(key))
+	}
+	start := time.Now()
+	err := f.eng.Delete(key)
+	o.RecordOp(obs.OpDelete, time.Since(start))
+	return mapNotFound(err)
 }
 
 // Range calls fn for every record with from <= key <= to in ascending key
@@ -439,7 +502,14 @@ func (f *File) Range(from, to string, fn func(key string, value []byte) bool) er
 	if f.closed {
 		return ErrClosed
 	}
-	return f.eng.Range(from, to, fn)
+	o := f.hook.Observer()
+	if o == nil {
+		return f.eng.Range(from, to, fn)
+	}
+	start := time.Now()
+	err := f.eng.Range(from, to, fn)
+	o.RecordOp(obs.OpRange, time.Since(start))
+	return err
 }
 
 // Len returns the number of records.
@@ -464,11 +534,7 @@ func (f *File) syncLocked() error {
 	if f.dir == "" {
 		return nil
 	}
-	st := f.eng.Store()
-	if c, ok := st.(*store.Cached); ok {
-		st = c.Store
-	}
-	if fs, ok := st.(*store.FileStore); ok {
+	if fs := store.AsFileStore(f.eng.Store()); fs != nil {
 		if err := fs.Sync(); err != nil {
 			return err
 		}
