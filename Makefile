@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race short bench repro cover fuzz obs-bench clean
+.PHONY: all build test race short bench bench-baseline bench-compare repro cover fuzz obs-bench clean
 
 all: build test race
 
@@ -10,8 +10,11 @@ build:
 	$(GO) build ./...
 	$(GO) vet ./...
 
+# The race pass on the concurrency-bearing packages is part of the default
+# test gate: the sharded pool and the batch path live or die by it.
 test:
 	$(GO) test ./...
+	$(GO) test -race ./internal/concurrent ./internal/store
 
 race:
 	$(GO) test -race ./...
@@ -27,6 +30,27 @@ repro:
 bench:
 	$(GO) test -bench=. -benchmem ./... | tee bench_output.txt
 
+# Throughput benchmarks for the buffer pool / batch / read path work.
+THROUGHPUT_BENCH = BenchmarkConcurrentGetParallel|BenchmarkBatchGet|BenchmarkShardedCache|BenchmarkGet|BenchmarkConcurrentGet
+
+# Save the current HEAD's numbers as the comparison baseline.
+bench-baseline:
+	$(GO) test -run '^$$' -bench '$(THROUGHPUT_BENCH)' -benchmem -count=5 . | tee bench_baseline.txt
+
+# Re-run the same benchmarks and compare against the saved baseline.
+# benchstat is used when installed; otherwise both result sets are printed
+# side by side for manual inspection (nothing is downloaded).
+bench-compare:
+	@test -f bench_baseline.txt || { echo "no bench_baseline.txt: run 'make bench-baseline' on the base commit first"; exit 1; }
+	$(GO) test -run '^$$' -bench '$(THROUGHPUT_BENCH)' -benchmem -count=5 . | tee bench_head.txt
+	@if command -v benchstat >/dev/null 2>&1; then \
+		benchstat bench_baseline.txt bench_head.txt; \
+	else \
+		echo "--- benchstat not installed; baseline vs HEAD ---"; \
+		grep '^Benchmark' bench_baseline.txt | sed 's/^/base /'; \
+		grep '^Benchmark' bench_head.txt | sed 's/^/head /'; \
+	fi
+
 # Gate: instrumented-but-disabled Get must stay within 5% of the
 # uninstrumented baseline (and add zero allocations).
 obs-bench:
@@ -41,4 +65,4 @@ fuzz:
 	$(GO) test -fuzz FuzzComparePathBounds -fuzztime 15s ./internal/keys/
 
 clean:
-	rm -f thbench_output.txt thbench_output.csv bench_output.txt test_output.txt
+	rm -f thbench_output.txt thbench_output.csv bench_output.txt test_output.txt bench_baseline.txt bench_head.txt

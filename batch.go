@@ -1,0 +1,91 @@
+package triehash
+
+import (
+	"fmt"
+	"time"
+
+	"triehash/internal/obs"
+)
+
+// batchGetter is implemented by engines that can serve a whole batch with
+// one bucket access per distinct bucket (the single-level core engine).
+type batchGetter interface {
+	GetBatch(keys []string) ([][]byte, []error)
+}
+
+// GetBatch looks up many keys in one call. The file lock is taken once
+// for the whole batch, and on single-level files the keys are partitioned
+// by trie leaf so each qualifying bucket is accessed exactly once no
+// matter how many keys it serves. Results align with keys: errs[i] is nil
+// and vals[i] the value on success; errs[i] is ErrNotFound (or a
+// validation error) otherwise. The batch is timed as one OpGetBatch
+// sample when an observer is attached.
+func (f *File) GetBatch(keys []string) (vals [][]byte, errs []error) {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	if f.closed {
+		errs = make([]error, len(keys))
+		for i := range errs {
+			errs[i] = ErrClosed
+		}
+		return make([][]byte, len(keys)), errs
+	}
+	o := f.hook.Observer()
+	var start time.Time
+	if o != nil {
+		start = time.Now()
+	}
+	if bg, ok := f.eng.(batchGetter); ok {
+		vals, errs = bg.GetBatch(keys)
+		for i, err := range errs {
+			errs[i] = mapNotFound(err)
+		}
+	} else {
+		vals = make([][]byte, len(keys))
+		errs = make([]error, len(keys))
+		for i, k := range keys {
+			v, err := f.eng.Get(k)
+			vals[i], errs[i] = v, mapNotFound(err)
+		}
+	}
+	if o != nil {
+		o.RecordOp(obs.OpGetBatch, time.Since(start))
+	}
+	return vals, errs
+}
+
+// PutBatch inserts or replaces many records in one call under a single
+// acquisition of the file lock, applied in input order (so when a key
+// appears twice the later value wins). errs aligns with keys; the batch
+// is timed as one OpPutBatch sample when an observer is attached.
+func (f *File) PutBatch(keys []string, values [][]byte) (errs []error) {
+	if len(keys) != len(values) {
+		panic(fmt.Sprintf("triehash: PutBatch with %d keys but %d values", len(keys), len(values)))
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	errs = make([]error, len(keys))
+	if f.closed {
+		for i := range errs {
+			errs[i] = ErrClosed
+		}
+		return errs
+	}
+	o := f.hook.Observer()
+	var start time.Time
+	if o != nil {
+		start = time.Now()
+	}
+	for i, k := range keys {
+		if f.maxRecord > 0 && len(k)+len(values[i]) > f.maxRecord {
+			errs[i] = fmt.Errorf("%w: %d bytes, limit %d (raise SlotBytes or lower BucketCapacity)",
+				ErrRecordTooLarge, len(k)+len(values[i]), f.maxRecord)
+			continue
+		}
+		_, errs[i] = f.eng.Put(k, values[i])
+	}
+	if o != nil {
+		o.RecordOp(obs.OpPutBatch, time.Since(start))
+	}
+	return errs
+}

@@ -2,6 +2,7 @@ package triehash
 
 import (
 	"fmt"
+	"sort"
 	"testing"
 
 	"triehash/internal/bench"
@@ -358,4 +359,149 @@ func BenchmarkBulkLoadVsIncremental(b *testing.B) {
 			f.Close()
 		}
 	})
+}
+
+// ---------------------------------------------------------------------------
+// Buffer pool and batch path benchmarks (PR 2): the sharded CLOCK pool
+// against the global-mutex LRU, and batch lookups against their
+// sequential expansion. EXPERIMENTS.md records the headline numbers.
+// ---------------------------------------------------------------------------
+
+// cachePolicies enumerates the pools in a fixed order for sub-benchmarks.
+var cachePolicies = []struct {
+	name   string
+	policy CachePolicy
+}{
+	{"lru", CacheLRU},
+	{"clock", CacheClock},
+}
+
+// BenchmarkConcurrentGetParallel: cache-hit Gets through the public File
+// at 8-way parallelism per core. Every bucket is resident, so the two
+// sub-benchmarks isolate the pools' hit paths: the LRU clones the bucket
+// and reorders its list under one mutex; the CLOCK pool serves a shared
+// snapshot and sets a reference bit under a shard read lock.
+func BenchmarkConcurrentGetParallel(b *testing.B) {
+	for _, p := range cachePolicies {
+		b.Run(p.name, func(b *testing.B) {
+			f, err := Create(Options{BucketCapacity: 50, CacheFrames: 8192, CachePolicy: p.policy})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer f.Close()
+			ks := microWorkload()
+			for _, k := range ks {
+				if err := f.Put(k, nil); err != nil {
+					b.Fatal(err)
+				}
+			}
+			for _, k := range ks { // warm the pool
+				if _, err := f.Get(k); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.SetParallelism(8)
+			b.ReportAllocs()
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				i := 0
+				for pb.Next() {
+					if _, err := f.Get(ks[i%len(ks)]); err != nil {
+						b.Fatal(err)
+					}
+					i++
+				}
+			})
+		})
+	}
+}
+
+// BenchmarkBatchGet: one 256-key batch per iteration, against the same
+// 256 keys as sequential Gets. The batch takes the file lock once and
+// reads each distinct bucket once, so its win grows with key clustering:
+// the scattered sub-benchmarks draw 256 uniform keys (≈1 key per bucket
+// — grouping overhead with nothing to amortize), the clustered ones take
+// 256 consecutive keys in key order (≈5 buckets serve the whole batch).
+func BenchmarkBatchGet(b *testing.B) {
+	f, err := Create(Options{BucketCapacity: 50, CacheFrames: 8192})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer f.Close()
+	ks := microWorkload()
+	for _, k := range ks {
+		if err := f.Put(k, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+	sorted := append([]string(nil), ks...)
+	sort.Strings(sorted)
+	for _, shape := range []struct {
+		name string
+		keys []string
+	}{
+		{"scattered", ks[:256]},
+		{"clustered", sorted[len(sorted)/2 : len(sorted)/2+256]},
+	} {
+		b.Run(shape.name+"/sequential", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				for _, k := range shape.keys {
+					if _, err := f.Get(k); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+		})
+		b.Run(shape.name+"/batch", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				_, errs := f.GetBatch(shape.keys)
+				for _, err := range errs {
+					if err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkShardedCache: raw pool hit throughput at the store layer,
+// parallel readers over a resident working set.
+func BenchmarkShardedCache(b *testing.B) {
+	for _, p := range cachePolicies {
+		b.Run(p.name, func(b *testing.B) {
+			mem := store.NewMem()
+			var st store.Store
+			if p.policy == CacheLRU {
+				st = store.NewCached(mem, 512)
+			} else {
+				st = store.NewSharded(mem, 512, 0)
+			}
+			const buckets = 256
+			for i := 0; i < buckets; i++ {
+				addr, err := st.Alloc()
+				if err != nil {
+					b.Fatal(err)
+				}
+				bk := bucketWith(fmt.Sprintf("k%d", addr))
+				if err := st.Write(addr, bk); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.SetParallelism(8)
+			b.ReportAllocs()
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				i := int32(0)
+				for pb.Next() {
+					if _, err := store.View(st, i%buckets); err != nil {
+						b.Fatal(err)
+					}
+					i++
+				}
+			})
+		})
+	}
 }

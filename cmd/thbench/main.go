@@ -22,8 +22,14 @@ func main() {
 	list := flag.Bool("list", false, "list experiment ids and exit")
 	experiment := flag.String("experiment", "", "run a single experiment by id (default: all)")
 	csv := flag.Bool("csv", false, "emit comma-separated rows (for plotting) instead of aligned tables")
+	cache := flag.String("cache", "clock", "buffer pool policy for experiments that use one: clock (sharded) or lru")
 	metricsAddr := flag.String("metrics-addr", "", "serve /metrics, /obs.json, /debug/vars and /debug/pprof on this address while experiments run")
 	flag.Parse()
+
+	if !bench.SetCachePolicy(*cache) {
+		fmt.Fprintf(os.Stderr, "thbench: -cache must be clock or lru, got %q\n", *cache)
+		os.Exit(2)
+	}
 
 	if *metricsAddr != "" {
 		o := obs.New(obs.Config{TraceDepth: 8192})

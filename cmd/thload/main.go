@@ -33,6 +33,8 @@ func main() {
 	variant := flag.String("variant", "thcl", "method variant: th or thcl")
 	sweep := flag.String("sweep", "", "sweep parameter: 'd' (Fig 10/11 style) or empty for the default middle split")
 	redist := flag.String("redist", "none", "redistribution: none, succ, pred or both")
+	frames := flag.Int("frames", 0, "buffer pool frames in front of the simulated disk (0 = no pool, the paper's model)")
+	cache := flag.String("cache", "clock", "buffer pool policy when -frames > 0: clock (sharded) or lru")
 	metricsAddr := flag.String("metrics-addr", "", "serve /metrics, /obs.json, /debug/vars and /debug/pprof on this address during the sweep")
 	hold := flag.Duration("hold", 0, "keep serving metrics this long after the sweep (so thstat can attach)")
 	flag.Parse()
@@ -89,7 +91,16 @@ func main() {
 			fail("bad bucket capacity " + bstr)
 		}
 		for _, cfg := range configs(b, mode, rd, *order, *sweep) {
-			f, err := core.New(cfg, store.NewInstrumented(store.NewMem(), hook))
+			var pool store.Store = store.NewMem()
+			switch {
+			case *frames > 0 && *cache == "lru":
+				pool = store.NewCached(pool, *frames)
+			case *frames > 0 && *cache == "clock":
+				pool = store.NewSharded(pool, *frames, 0)
+			case *frames > 0:
+				fail("-cache must be clock or lru")
+			}
+			f, err := core.New(cfg, store.NewInstrumented(pool, hook))
 			if err != nil {
 				fail(err.Error())
 			}

@@ -16,6 +16,28 @@ var hook = &obs.Hook{}
 // (nil detaches).
 func Observe(o *obs.Observer) { hook.Set(o) }
 
+// cachePolicy is the buffer pool implementation experiments use when they
+// need "the" pool rather than comparing pools: "clock" (default) or "lru".
+var cachePolicy = "clock"
+
+// SetCachePolicy selects the pool implementation (cmd/thbench -cache).
+// It reports whether the name is valid.
+func SetCachePolicy(name string) bool {
+	if name != "clock" && name != "lru" {
+		return false
+	}
+	cachePolicy = name
+	return true
+}
+
+// newPool wraps s in the selected buffer pool.
+func newPool(s store.Store, frames int) store.Store {
+	if cachePolicy == "lru" {
+		return store.NewCached(s, frames)
+	}
+	return store.NewSharded(s, frames, 0)
+}
+
 // ObsCache quantifies the buffer pool the Options.CacheFrames knob buys:
 // the same workload runs against pools of increasing size and the table
 // reports the pool's hit/miss counters next to the transfers that still
@@ -34,10 +56,8 @@ func ObsCache() *Table {
 	for _, frames := range []int{0, 8, 32, 128, 512} {
 		mem := store.NewMem()
 		var st store.Store = mem
-		var cached *store.Cached
 		if frames > 0 {
-			cached = store.NewCached(mem, frames)
-			st = cached
+			st = newPool(mem, frames)
 		}
 		f, err := core.New(core.Config{Capacity: 20}, store.NewInstrumented(st, hook))
 		if err != nil {
@@ -60,7 +80,8 @@ func ObsCache() *Table {
 			t.AddRow(frames, 0, 0, "-", diskReads, "-")
 			continue
 		}
-		hits, misses := cached.Hits(), cached.Misses()
+		pool := store.AsCachePool(st)
+		hits, misses := pool.Hits(), pool.Misses()
 		t.AddRow(frames, hits, misses,
 			float64(hits)/float64(hits+misses)*100,
 			diskReads,

@@ -8,7 +8,6 @@ package bucket
 import (
 	"encoding/binary"
 	"fmt"
-	"sort"
 )
 
 // Record is one stored record: a primary key and an opaque value. Only the
@@ -31,16 +30,22 @@ type Bucket struct {
 	recs  []Record
 }
 
-// Bound returns the bucket's logical-path bound (nil = infinite).
+// Bound returns the bucket's logical-path bound (nil = infinite). The
+// returned slice is read-only; it is never overwritten in place by a
+// later SetBound, so callers may hold it across bound updates.
 func (b *Bucket) Bound() []byte { return b.bound }
 
-// SetBound records the bucket's logical-path bound. The slice is copied.
+// SetBound records the bucket's logical-path bound. The slice is copied
+// into fresh storage: reusing the old backing array would mutate slices
+// previously returned by Bound under their holders, and keeping a
+// reference to the caller's array would let later caller writes change
+// the bucket — bounds alias in neither direction.
 func (b *Bucket) SetBound(bound []byte) {
 	if bound == nil {
 		b.bound = nil
 		return
 	}
-	b.bound = append(b.bound[:0], bound...)
+	b.bound = append(make([]byte, 0, len(bound)), bound...)
 }
 
 // New returns an empty bucket with room pre-allocated for capacity records.
@@ -64,9 +69,19 @@ func (b *Bucket) Keys() []string {
 }
 
 // search returns the insertion index of key and whether it is present.
+// The binary search is hand-rolled rather than sort.Search so the Get hot
+// path stays free of func values and allocates nothing.
 func (b *Bucket) search(key string) (int, bool) {
-	i := sort.Search(len(b.recs), func(i int) bool { return b.recs[i].Key >= key })
-	return i, i < len(b.recs) && b.recs[i].Key == key
+	lo, hi := 0, len(b.recs)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if b.recs[mid].Key < key {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo, lo < len(b.recs) && b.recs[lo].Key == key
 }
 
 // Get returns the value stored under key.

@@ -217,3 +217,45 @@ func TestDecodeBoundErrors(t *testing.T) {
 		}
 	}
 }
+
+// TestSetBoundAliasing audits both aliasing directions of SetBound: the
+// caller's slice must not become the bucket's storage (later caller
+// writes would silently change the bound), and a slice returned by Bound
+// must survive a later SetBound unchanged (holders would otherwise see
+// bounds rewritten under them).
+func TestSetBoundAliasing(t *testing.T) {
+	b := New(4)
+
+	// Caller slice -> bucket: mutating the argument after SetBound must
+	// not change the stored bound.
+	arg := []byte("abc")
+	b.SetBound(arg)
+	arg[0] = 'X'
+	if string(b.Bound()) != "abc" {
+		t.Fatalf("bound aliases the caller's slice: %q", b.Bound())
+	}
+
+	// Bucket -> caller: a held Bound() slice must not be overwritten by a
+	// later SetBound, including one that reuses the same backing length.
+	held := b.Bound()
+	b.SetBound([]byte("xyz"))
+	if string(held) != "abc" {
+		t.Fatalf("held bound rewritten by SetBound: %q", held)
+	}
+
+	// nil resets to the infinite bound without touching the held slice.
+	b.SetBound(nil)
+	if b.Bound() != nil {
+		t.Fatalf("SetBound(nil) left %q", b.Bound())
+	}
+	if string(held) != "abc" {
+		t.Fatalf("held bound rewritten by SetBound(nil): %q", held)
+	}
+
+	// Empty non-nil bounds stay distinguishable from the infinite bound:
+	// the root leaf's logical path is "", which is not "no bound".
+	b.SetBound([]byte{})
+	if b.Bound() == nil {
+		t.Fatal("empty bound collapsed to the infinite bound")
+	}
+}

@@ -1,0 +1,211 @@
+// Batch operations: one call serves many keys. Keys are partitioned by
+// the trie leaf (bucket) they map to, each bucket's latch is taken once
+// for its whole group — the latch dedup that makes a batch cheaper than
+// its sequential expansion — and groups fan out across a bounded worker
+// pool. Workers hold at most one latch at a time and groups are visited
+// in ascending bucket order, so no lock-order cycle can form. A key whose
+// bucket splits between partitioning and latching is re-partitioned in
+// the next round, the same retry discipline the single-key operations
+// use.
+package concurrent
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+)
+
+// batchGroup is the work unit of a batch round: one bucket and the batch
+// indices that mapped to it.
+type batchGroup struct {
+	addr int32
+	idxs []int
+}
+
+// partition groups the pending batch indices by the bucket their key
+// currently maps to, in ascending bucket order. Keys on a nil leaf go to
+// the caller-supplied handler instead.
+func (f *File) partition(keys []string, pending []int, onNil func(i int)) []batchGroup {
+	byAddr := make(map[int32][]int, len(pending))
+	for _, i := range pending {
+		ptr := f.searchLeaf(keys[i])
+		if ptr == nilPtr {
+			onNil(i)
+			continue
+		}
+		byAddr[ptr] = append(byAddr[ptr], i)
+	}
+	groups := make([]batchGroup, 0, len(byAddr))
+	for addr, idxs := range byAddr {
+		groups = append(groups, batchGroup{addr: addr, idxs: idxs})
+	}
+	sort.Slice(groups, func(a, b int) bool { return groups[a].addr < groups[b].addr })
+	return groups
+}
+
+// fanOut runs fn over every group on a pool of at most workers
+// goroutines (small batches run inline).
+func fanOut(groups []batchGroup, workers int, fn func(batchGroup)) {
+	if workers > len(groups) {
+		workers = len(groups)
+	}
+	if workers <= 1 {
+		for _, g := range groups {
+			fn(g)
+		}
+		return
+	}
+	ch := make(chan batchGroup)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for g := range ch {
+				fn(g)
+			}
+		}()
+	}
+	for _, g := range groups {
+		ch <- g
+	}
+	close(ch)
+	wg.Wait()
+}
+
+// GetBatch looks up many keys in one pass: keys are partitioned by
+// bucket, every bucket latch is taken once per round regardless of how
+// many keys it serves, and bucket groups are served concurrently by a
+// worker pool bounded by GOMAXPROCS. Results align with keys: errs[i] is
+// nil and vals[i] the value on success, errs[i] is ErrNotFound (or a
+// validation error) otherwise. Each individual lookup is equivalent to a
+// Get at some instant during the call.
+func (f *File) GetBatch(keys []string) (vals [][]byte, errs []error) {
+	vals = make([][]byte, len(keys))
+	errs = make([]error, len(keys))
+	pending := make([]int, 0, len(keys))
+	for i, k := range keys {
+		if err := f.alpha.Validate(k); err != nil {
+			errs[i] = err
+			continue
+		}
+		pending = append(pending, i)
+	}
+	workers := runtime.GOMAXPROCS(0)
+	for len(pending) > 0 {
+		groups := f.partition(keys, pending, func(i int) { errs[i] = ErrNotFound })
+		var retryMu sync.Mutex
+		var retry []int
+		fanOut(groups, workers, func(g batchGroup) {
+			lb := (*f.bucketsPtr.Load())[g.addr]
+			lb.mu.RLock()
+			var missed []int
+			for _, i := range g.idxs {
+				// Re-validate under the latch, exactly like Get: a
+				// split may have moved the key since partitioning.
+				if f.searchLeaf(keys[i]) != g.addr {
+					missed = append(missed, i)
+					continue
+				}
+				if v, ok := lb.b.Get(keys[i]); ok {
+					vals[i] = v
+				} else {
+					errs[i] = ErrNotFound
+				}
+			}
+			lb.mu.RUnlock()
+			if len(missed) > 0 {
+				retryMu.Lock()
+				retry = append(retry, missed...)
+				retryMu.Unlock()
+			}
+		})
+		pending = retry
+	}
+	return vals, errs
+}
+
+// PutBatch inserts or replaces many records in one pass, with the same
+// partition/latch-dedup/fan-out scheme as GetBatch. When one batch names
+// a key several times only the last occurrence is applied, so the final
+// state matches the sequential loop. Overflowing inserts and nil-leaf
+// allocations leave the fast path and run as ordinary Puts (they need
+// the structural lock anyway). errs aligns with keys; values may be nil.
+func (f *File) PutBatch(keys []string, values [][]byte) (errs []error) {
+	if len(keys) != len(values) {
+		panic(fmt.Sprintf("concurrent: PutBatch with %d keys but %d values", len(keys), len(values)))
+	}
+	errs = make([]error, len(keys))
+	// Deduplicate: only the last occurrence of a key is applied.
+	last := make(map[string]int, len(keys))
+	for i, k := range keys {
+		last[k] = i
+	}
+	pending := make([]int, 0, len(keys))
+	for i, k := range keys {
+		if err := f.alpha.Validate(k); err != nil {
+			errs[i] = err
+			continue
+		}
+		if last[k] != i {
+			continue // superseded within the batch
+		}
+		pending = append(pending, i)
+	}
+	workers := runtime.GOMAXPROCS(0)
+	var slowMu sync.Mutex
+	var slow []int // overflow or nil leaf: handled by ordinary Put below
+	for len(pending) > 0 {
+		groups := f.partition(keys, pending, func(i int) {
+			slowMu.Lock()
+			slow = append(slow, i)
+			slowMu.Unlock()
+		})
+		var retryMu sync.Mutex
+		var retry []int
+		fanOut(groups, workers, func(g batchGroup) {
+			lb := (*f.bucketsPtr.Load())[g.addr]
+			lb.mu.Lock()
+			var missed, over []int
+			var added int64
+			for _, i := range g.idxs {
+				if f.searchLeaf(keys[i]) != g.addr {
+					missed = append(missed, i)
+					continue
+				}
+				if _, exists := lb.b.Get(keys[i]); exists {
+					lb.b.Put(keys[i], values[i])
+					continue
+				}
+				if lb.b.Len() < f.capacity {
+					lb.b.Put(keys[i], values[i])
+					added++
+					continue
+				}
+				over = append(over, i)
+			}
+			lb.mu.Unlock()
+			if added > 0 {
+				f.nkeys.Add(added)
+			}
+			if len(missed) > 0 {
+				retryMu.Lock()
+				retry = append(retry, missed...)
+				retryMu.Unlock()
+			}
+			if len(over) > 0 {
+				slowMu.Lock()
+				slow = append(slow, over...)
+				slowMu.Unlock()
+			}
+		})
+		pending = retry
+	}
+	// Slow path: splits serialize on the structural lock regardless, so
+	// these run as plain Puts with no latch held.
+	for _, i := range slow {
+		errs[i] = f.Put(keys[i], values[i])
+	}
+	return errs
+}

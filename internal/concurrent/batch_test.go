@@ -1,0 +1,226 @@
+package concurrent
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+// randKeys produces n keys over a small alphabet so buckets split and
+// many keys share buckets (the interesting cases for latch dedup).
+func randKeys(rng *rand.Rand, n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		kb := make([]byte, 1+rng.Intn(6))
+		for j := range kb {
+			kb[j] = byte('a' + rng.Intn(6))
+		}
+		out[i] = string(kb)
+	}
+	return out
+}
+
+// TestGetBatchDifferential is the S-differential check: over randomized
+// workloads, GetBatch must be byte-identical to a loop of sequential
+// Gets — same values, same error per position.
+func TestGetBatchDifferential(t *testing.T) {
+	for seed := int64(1); seed <= 5; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		f := newFile(t, 4, 0)
+		inserted := randKeys(rng, 2000)
+		for i, k := range inserted {
+			if err := f.Put(k, []byte(fmt.Sprintf("v%d", i))); err != nil {
+				t.Fatal(err)
+			}
+		}
+		// Queries: present keys, absent keys, invalid keys, duplicates.
+		queries := append(randKeys(rng, 500), inserted[:500]...)
+		queries = append(queries, "", "zzz\x00")
+		queries = append(queries, queries[0], queries[1])
+		vals, errs := f.GetBatch(queries)
+		if len(vals) != len(queries) || len(errs) != len(queries) {
+			t.Fatalf("result lengths %d/%d, want %d", len(vals), len(errs), len(queries))
+		}
+		for i, k := range queries {
+			wantV, wantErr := f.Get(k)
+			if !errors.Is(errs[i], wantErr) && (errs[i] == nil) != (wantErr == nil) {
+				t.Fatalf("seed %d: GetBatch[%d](%q) err %v, sequential %v", seed, i, k, errs[i], wantErr)
+			}
+			if string(vals[i]) != string(wantV) {
+				t.Fatalf("seed %d: GetBatch[%d](%q) = %q, sequential %q", seed, i, k, vals[i], wantV)
+			}
+		}
+	}
+}
+
+// TestPutBatchDifferential applies the same randomized workload — with
+// duplicate keys and enough volume to force splits — through PutBatch
+// and through sequential Puts, then requires identical file contents.
+func TestPutBatchDifferential(t *testing.T) {
+	for seed := int64(1); seed <= 5; seed++ {
+		rng := rand.New(rand.NewSource(100 + seed))
+		keys := randKeys(rng, 3000)
+		vals := make([][]byte, len(keys))
+		for i := range vals {
+			vals[i] = []byte(fmt.Sprintf("v%d", i))
+		}
+		batch := newFile(t, 4, 0)
+		if errs := batch.PutBatch(keys, vals); errs != nil {
+			for i, err := range errs {
+				if err != nil {
+					t.Fatalf("seed %d: PutBatch[%d](%q): %v", seed, i, keys[i], err)
+				}
+			}
+		}
+		seq := newFile(t, 4, 0)
+		for i, k := range keys {
+			if err := seq.Put(k, vals[i]); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if batch.Len() != seq.Len() {
+			t.Fatalf("seed %d: batch file has %d keys, sequential %d", seed, batch.Len(), seq.Len())
+		}
+		var got, want []string
+		batch.Range("a", "", func(k string, v []byte) bool {
+			got = append(got, k+"="+string(v))
+			return true
+		})
+		seq.Range("a", "", func(k string, v []byte) bool {
+			want = append(want, k+"="+string(v))
+			return true
+		})
+		if fmt.Sprint(got) != fmt.Sprint(want) {
+			t.Fatalf("seed %d: batch and sequential files diverge (%d vs %d records)", seed, len(got), len(want))
+		}
+	}
+}
+
+func TestPutBatchLengthMismatchPanics(t *testing.T) {
+	f := newFile(t, 4, 0)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("PutBatch with mismatched lengths did not panic")
+		}
+	}()
+	f.PutBatch([]string{"a", "b"}, [][]byte{nil})
+}
+
+// TestBatchDuringSplits races batch operations against single-key
+// writers so batch re-partitioning after a concurrent split is
+// exercised under the race detector.
+func TestBatchDuringSplits(t *testing.T) {
+	f := newFile(t, 4, 0)
+	rng := rand.New(rand.NewSource(7))
+	stable := randKeys(rng, 400)
+	sv := make([][]byte, len(stable))
+	for i := range sv {
+		sv[i] = []byte("s")
+	}
+	if errs := f.PutBatch(stable, sv); errs == nil {
+		t.Fatal("nil errs")
+	}
+	var wg, writers sync.WaitGroup
+	stop := make(chan struct{})
+	// Writers keep splitting buckets until the batch goroutines finish.
+	for w := 0; w < 2; w++ {
+		writers.Add(1)
+		go func(seed int64) {
+			defer writers.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				k := randKeys(rng, 1)[0]
+				if err := f.Put(k, []byte("w")); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(int64(w) + 31)
+	}
+	// Batch readers must always see the stable keys.
+	for r := 0; r < 2; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for round := 0; round < 50; round++ {
+				vals, errs := f.GetBatch(stable)
+				for i := range stable {
+					if errs[i] != nil || vals[i] == nil {
+						t.Errorf("stable key %q lost during splits: %v", stable[i], errs[i])
+						return
+					}
+				}
+			}
+		}()
+	}
+	// Batch writers churn their own key range.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		rng := rand.New(rand.NewSource(97))
+		for round := 0; round < 30; round++ {
+			ks := randKeys(rng, 100)
+			vs := make([][]byte, len(ks))
+			for i := range vs {
+				vs[i] = []byte("b")
+			}
+			for i, err := range f.PutBatch(ks, vs) {
+				if err != nil {
+					t.Errorf("PutBatch(%q): %v", ks[i], err)
+					return
+				}
+			}
+		}
+	}()
+	wg.Wait()
+	close(stop)
+	writers.Wait()
+	// Quiesced: every stable key must still be reachable sequentially.
+	for _, k := range stable {
+		if _, err := f.Get(k); err != nil {
+			t.Fatalf("stable key %q unreachable after churn: %v", k, err)
+		}
+	}
+}
+
+// TestGetZeroAlloc is the hot-path gate: a concurrent-file Get of a
+// resident key allocates nothing (path-free trie descent, closure-free
+// bucket search).
+func TestGetZeroAlloc(t *testing.T) {
+	f := newFile(t, 8, 0)
+	rng := rand.New(rand.NewSource(3))
+	ks := randKeys(rng, 1000)
+	for _, k := range ks {
+		if err := f.Put(k, []byte(k)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var sink []byte
+	allocs := testing.AllocsPerRun(200, func() {
+		v, err := f.Get(ks[123])
+		if err != nil {
+			t.Fatal(err)
+		}
+		sink = v
+	})
+	_ = sink
+	if allocs != 0 {
+		t.Fatalf("Get allocates %v objects/op, want 0", allocs)
+	}
+	// Misses are also allocation-free up to the ErrNotFound return.
+	allocs = testing.AllocsPerRun(200, func() {
+		if _, err := f.Get("zzzzzz"); !errors.Is(err, ErrNotFound) {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("missing-key Get allocates %v objects/op, want 0", allocs)
+	}
+}

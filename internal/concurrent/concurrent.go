@@ -49,6 +49,11 @@ const (
 // -(cell+1), mirroring internal/trie's tagging.
 const nilPtr int32 = -1 << 31
 
+// splitScratch pools the record staging buffers splits use (split-time
+// scratch; entries are zeroed before returning to the pool so no record
+// data is retained).
+var splitScratch = sync.Pool{New: func() any { return new([]bucket.Record) }}
+
 func leafPtr(addr int32) int32 { return addr }
 func edgePtr(cell int32) int32 { return -cell - 1 }
 func isEdge(p int32) bool      { return p < 0 && p != nilPtr }
@@ -209,6 +214,35 @@ func (f *File) search(key string) (ptr int32, pos slot, path []byte) {
 	return n, pos, path
 }
 
+// searchLeaf runs Algorithm A1 with atomic pointer loads, tracking only
+// the leaf pointer — the allocation-free form the point-operation hot
+// paths use. The logical path and final slot matter only to writers
+// holding the structural lock; they run the full search.
+func (f *File) searchLeaf(key string) int32 {
+	n := f.root.Load()
+	j := 0
+	for isEdge(n) {
+		c := f.cell(cellOf(n))
+		i := int(c.dn)
+		if j == i {
+			kj := f.alpha.Digit(key, j)
+			if kj <= c.dv {
+				if kj == c.dv {
+					j++
+				}
+				n = c.lp.Load()
+				continue
+			}
+			n = c.rp.Load()
+		} else if j < i {
+			n = c.lp.Load()
+		} else {
+			n = c.rp.Load()
+		}
+	}
+	return n
+}
+
 // storeSlot publishes a pointer (under structural).
 func (f *File) storeSlot(s slot, v int32) {
 	if s.cell < 0 {
@@ -225,13 +259,15 @@ func (f *File) storeSlot(s slot, v int32) {
 
 // Get returns the value stored under key. Readers take no trie lock; the
 // bucket latch plus re-validation makes the lookup safe against a
-// concurrent split of the target bucket.
+// concurrent split of the target bucket. The whole path — trie descent,
+// latch, in-bucket binary search — allocates nothing (gated by
+// TestGetZeroAlloc).
 func (f *File) Get(key string) ([]byte, error) {
 	if err := f.alpha.Validate(key); err != nil {
 		return nil, err
 	}
 	for {
-		ptr, _, _ := f.search(key)
+		ptr := f.searchLeaf(key)
 		if ptr == nilPtr {
 			return nil, ErrNotFound
 		}
@@ -240,7 +276,7 @@ func (f *File) Get(key string) ([]byte, error) {
 		// Re-validate: the bucket may have split between the search
 		// and the latch; the trie flip precedes the bucket shrink, so
 		// re-searching under the latch yields the truth.
-		if cur, _, _ := f.search(key); cur != ptr {
+		if f.searchLeaf(key) != ptr {
 			lb.mu.RUnlock()
 			continue
 		}
@@ -259,7 +295,7 @@ func (f *File) Put(key string, value []byte) error {
 		return err
 	}
 	for {
-		ptr, _, _ := f.search(key)
+		ptr := f.searchLeaf(key)
 		if ptr == nilPtr {
 			if f.putNil(key, value) {
 				return nil
@@ -268,7 +304,7 @@ func (f *File) Put(key string, value []byte) error {
 		}
 		lb := (*f.bucketsPtr.Load())[ptr]
 		lb.mu.Lock()
-		if cur, _, _ := f.search(key); cur != ptr {
+		if f.searchLeaf(key) != ptr {
 			lb.mu.Unlock()
 			continue
 		}
@@ -346,17 +382,20 @@ func (f *File) splitAndInsert(key string, value []byte) bool {
 		}
 		return true
 	}
-	// Build the b+1 sequence to split.
+	// Build the b+1 sequence to split. The bucket is sorted, so the
+	// split and bounding keys are read in place — no key-slice copy.
 	lb.b.Put(key, value)
-	B := lb.b.Keys()
-	splitKey := B[f.splitPos-1]
-	boundKey := B[len(B)-1]
+	splitKey := lb.b.At(f.splitPos - 1).Key
+	boundKey := lb.b.MaxKey()
 	s := f.alpha.SplitString(splitKey, boundKey)
 
-	// Phase 1: fill the new bucket (unreachable so far).
+	// Phase 1: fill the new bucket (unreachable so far). The staging
+	// slice for moved records comes from a pool: steady split traffic
+	// reuses scratch instead of allocating per split.
 	newAddr := f.allocBucket()
 	nb := f.buckets[newAddr]
-	moved := make([]bucket.Record, 0, len(B))
+	scratch := splitScratch.Get().(*[]bucket.Record)
+	moved := (*scratch)[:0]
 	for i := 0; i < lb.b.Len(); i++ {
 		r := lb.b.At(i)
 		if !f.alpha.KeyLEBound(r.Key, s) {
@@ -364,6 +403,11 @@ func (f *File) splitAndInsert(key string, value []byte) bool {
 		}
 	}
 	nb.b.Absorb(moved)
+	for i := range moved {
+		moved[i] = bucket.Record{} // drop key/value references before pooling
+	}
+	*scratch = moved[:0]
+	splitScratch.Put(scratch)
 
 	// Phase 2: build the expansion cells bottom-up, then publish with
 	// one store into the slot that held leaf A. Nil leaves of the
@@ -394,13 +438,13 @@ func (f *File) Delete(key string) error {
 		return err
 	}
 	for {
-		ptr, _, _ := f.search(key)
+		ptr := f.searchLeaf(key)
 		if ptr == nilPtr {
 			return ErrNotFound
 		}
 		lb := (*f.bucketsPtr.Load())[ptr]
 		lb.mu.Lock()
-		if cur, _, _ := f.search(key); cur != ptr {
+		if f.searchLeaf(key) != ptr {
 			lb.mu.Unlock()
 			continue
 		}

@@ -90,5 +90,5 @@ func BulkLoad(cfg Config, st store.Store, fill float64, next func() (key string,
 		return nil, fmt.Errorf("core: bulk load: %w", err)
 	}
 	tr.SetTombstoning(cfg.TombstoneMerges)
-	return &File{cfg: cfg, trie: tr, st: st, nkeys: total}, nil
+	return (&File{cfg: cfg, trie: tr, st: st, nkeys: total}).resolveStore(), nil
 }

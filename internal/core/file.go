@@ -20,9 +20,13 @@ var ErrNotFound = errors.New("core: key not found")
 // File is not safe for concurrent use; the public triehash package adds
 // locking.
 type File struct {
-	cfg    Config
-	trie   *trie.Trie
-	st     store.Store
+	cfg  Config
+	trie *trie.Trie
+	st   store.Store
+	// viewer is st's ReadView capability, resolved once at construction
+	// (see resolveStore): Get is the zero-allocation hot path, and a
+	// per-call interface assertion costs measurably there.
+	viewer store.Viewer
 	nkeys  int
 	splits int
 	// redistributions counts splits resolved by shifting keys into an
@@ -39,6 +43,24 @@ type File struct {
 
 // SetObsHook attaches the observability hook structural events go to.
 func (f *File) SetObsHook(h *obs.Hook) { f.hook = h }
+
+// resolveStore caches the store capabilities consulted on hot paths.
+// Every constructor (New, Open, Recover, BulkLoad) finishes through it;
+// f.st must not change afterwards — readers may run concurrently under
+// the public layer's RLock and rely on viewer being immutable.
+func (f *File) resolveStore() *File {
+	f.viewer, _ = f.st.(store.Viewer)
+	return f
+}
+
+// view reads bucket addr read-only through the cheapest path the store
+// offers: ReadView (no clone) when the store has one, Read otherwise.
+func (f *File) view(addr int32) (*bucket.Bucket, error) {
+	if f.viewer != nil {
+		return f.viewer.ReadView(addr)
+	}
+	return f.st.Read(addr)
+}
 
 // emit sends a structural event, stamping it with the cheap O(1) state
 // figures; a no-op (one atomic load) with no observer attached.
@@ -72,7 +94,7 @@ func New(cfg Config, st store.Store) (*File, error) {
 	}
 	tr := trie.New(cfg.Alphabet, 0)
 	tr.SetTombstoning(cfg.TombstoneMerges)
-	return &File{cfg: cfg, trie: tr, st: st}, nil
+	return (&File{cfg: cfg, trie: tr, st: st}).resolveStore(), nil
 }
 
 // Config returns the file's effective configuration (defaults resolved).
@@ -97,6 +119,9 @@ func (f *File) Redistributions() int { return f.redistributions }
 
 // Get returns the value stored under key. A search through an in-core trie
 // costs at most one bucket read — zero when the key falls on a nil leaf.
+// Read-only lookups go through the store's ReadView when it has one, so a
+// store exposing immutable snapshots (the buffer pools) serves the hit
+// without copying the bucket.
 func (f *File) Get(key string) ([]byte, error) {
 	if err := f.cfg.Alphabet.Validate(key); err != nil {
 		return nil, err
@@ -105,7 +130,7 @@ func (f *File) Get(key string) ([]byte, error) {
 	if leaf.IsNil() {
 		return nil, ErrNotFound
 	}
-	b, err := f.st.Read(leaf.Addr())
+	b, err := f.view(leaf.Addr())
 	if err != nil {
 		return nil, err
 	}
@@ -230,7 +255,7 @@ func (f *File) Range(from, to string, fn func(key string, value []byte) bool) er
 		addr := lp.Leaf.Addr()
 		if addr != lastRead {
 			lastRead = addr
-			b, err := f.st.Read(addr)
+			b, err := f.view(addr)
 			if err != nil {
 				walkErr = err
 				return false
@@ -279,7 +304,7 @@ func (f *File) Max() (string, error) {
 			continue
 		}
 		last = addr
-		b, err := f.st.Read(addr)
+		b, err := f.view(addr)
 		if err != nil {
 			return "", err
 		}

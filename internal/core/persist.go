@@ -87,5 +87,5 @@ func Open(meta []byte, st store.Store) (*File, error) {
 		splits:          int(binary.LittleEndian.Uint32(meta[32:])),
 		redistributions: int(binary.LittleEndian.Uint32(meta[36:])),
 	}
-	return f, nil
+	return f.resolveStore(), nil
 }

@@ -114,7 +114,7 @@ func Recover(cfg Config, st store.Store) (*File, error) {
 	// leaves). Empty buckets below the top cannot anchor a boundary (no
 	// key witnesses their range); their range merges into the successor
 	// and the bucket is freed — no record is lost.
-	f := &File{cfg: cfg, st: st, nkeys: total}
+	f := (&File{cfg: cfg, st: st, nkeys: total}).resolveStore()
 	if err := f.fixBound(entries[len(entries)-1].addr, nil); err != nil {
 		return nil, err
 	}

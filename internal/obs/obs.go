@@ -35,6 +35,10 @@ const (
 	OpDelete
 	// OpRange is a file-level range scan.
 	OpRange
+	// OpGetBatch is a file-level multi-key search (one sample per batch).
+	OpGetBatch
+	// OpPutBatch is a file-level multi-key insert (one sample per batch).
+	OpPutBatch
 	// OpRead is a store-level bucket read.
 	OpRead
 	// OpWrite is a store-level bucket write.
@@ -48,14 +52,16 @@ const (
 )
 
 var opNames = [numOps]string{
-	OpGet:    "get",
-	OpPut:    "put",
-	OpDelete: "delete",
-	OpRange:  "range",
-	OpRead:   "read",
-	OpWrite:  "write",
-	OpAlloc:  "alloc",
-	OpFree:   "free",
+	OpGet:      "get",
+	OpPut:      "put",
+	OpDelete:   "delete",
+	OpRange:    "range",
+	OpGetBatch: "get_batch",
+	OpPutBatch: "put_batch",
+	OpRead:     "read",
+	OpWrite:    "write",
+	OpAlloc:    "alloc",
+	OpFree:     "free",
 }
 
 func (op Op) String() string {
@@ -153,7 +159,7 @@ func (o *Observer) Op(op Op) *Histogram {
 // highFrequency reports whether an event type is per-access traffic
 // rather than a structural transition.
 func highFrequency(t EventType) bool {
-	return t == EvCacheHit || t == EvCacheMiss || t == EvPageRead
+	return t == EvCacheHit || t == EvCacheMiss || t == EvCacheEvict || t == EvPageRead
 }
 
 // Emit counts the event and, unless it is high-frequency traffic with

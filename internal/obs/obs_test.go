@@ -17,9 +17,9 @@ func TestHistogramBucketBoundaries(t *testing.T) {
 		ns    int64
 		upper time.Duration
 	}{
-		{0, 0},                  // bucket 0: the zero duration
-		{1, 2},                  // [1,2) -> upper 2
-		{2, 4},                  // [2,4)
+		{0, 0}, // bucket 0: the zero duration
+		{1, 2}, // [1,2) -> upper 2
+		{2, 4}, // [2,4)
 		{3, 4},
 		{4, 8},
 		{1023, 1024},

@@ -31,6 +31,9 @@ const (
 	EvCacheHit
 	// EvCacheMiss is a buffer-pool read forwarded to the store.
 	EvCacheMiss
+	// EvCacheEvict is a buffer-pool frame eviction (CLOCK second chance
+	// exhausted or LRU tail dropped).
+	EvCacheEvict
 	// EvFault is an injected storage fault tripping (FaultStore).
 	EvFault
 	// EvRecovery is a trie reconstruction from bucket bounds (TOR83).
@@ -49,6 +52,7 @@ var eventNames = [numEventTypes]string{
 	EvPageRead:       "page_read",
 	EvCacheHit:       "cache_hit",
 	EvCacheMiss:      "cache_miss",
+	EvCacheEvict:     "cache_evict",
 	EvFault:          "fault",
 	EvRecovery:       "recovery",
 }

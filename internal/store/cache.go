@@ -3,6 +3,7 @@ package store
 import (
 	"container/list"
 	"sync"
+	"sync/atomic"
 
 	"triehash/internal/bucket"
 	"triehash/internal/obs"
@@ -24,8 +25,11 @@ type Cached struct {
 	mu     sync.Mutex
 	lru    *list.List // front = most recent; values are *frame
 	byAddr map[int32]*list.Element
-	hits   int64
-	misses int64
+
+	// hits and misses are atomic so stats polling (thstat tails them
+	// live) never takes the LRU mutex and never contends with reads.
+	hits   atomic.Int64
+	misses atomic.Int64
 }
 
 type frame struct {
@@ -47,26 +51,18 @@ func (c *Cached) SetObsHook(h *obs.Hook) { c.hook = h }
 // Unwrap returns the wrapped store.
 func (c *Cached) Unwrap() Store { return c.Store }
 
-// Hits and Misses report the pool's effectiveness.
-func (c *Cached) Hits() int64 {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.hits
-}
+// Hits reports the number of reads served from the pool. Lock-free: the
+// counter is atomic, so polling never contends with the read path.
+func (c *Cached) Hits() int64 { return c.hits.Load() }
 
 // Misses returns the number of reads the pool had to forward.
-func (c *Cached) Misses() int64 {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.misses
-}
+func (c *Cached) Misses() int64 { return c.misses.Load() }
 
 // ResetCounters implements Store, additionally zeroing the pool's hit and
 // miss counters so every counter family resets together.
 func (c *Cached) ResetCounters() {
-	c.mu.Lock()
-	c.hits, c.misses = 0, 0
-	c.mu.Unlock()
+	c.hits.Store(0)
+	c.misses.Store(0)
 	c.Store.ResetCounters()
 }
 
@@ -88,14 +84,14 @@ func (c *Cached) touch(addr int32, b *bucket.Bucket) {
 func (c *Cached) Read(addr int32) (*bucket.Bucket, error) {
 	c.mu.Lock()
 	if el, ok := c.byAddr[addr]; ok {
-		c.hits++
+		c.hits.Add(1)
 		c.lru.MoveToFront(el)
 		b := el.Value.(*frame).b.Clone()
 		c.mu.Unlock()
 		c.hook.Observer().Emit(obs.Event{Type: obs.EvCacheHit, Addr: addr})
 		return b, nil
 	}
-	c.misses++
+	c.misses.Add(1)
 	c.mu.Unlock()
 	c.hook.Observer().Emit(obs.Event{Type: obs.EvCacheMiss, Addr: addr})
 	b, err := c.Store.Read(addr)

@@ -1,0 +1,288 @@
+package store
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"triehash/internal/bucket"
+	"triehash/internal/obs"
+)
+
+// ShardedCache is a write-through buffer pool of bucket frames partitioned
+// into power-of-two shards (shard = addr & mask), each an independent
+// CLOCK (second chance) ring. Where the LRU pool (Cached) funnels every
+// hit through one global mutex to reorder a linked list, a CLOCK hit only
+// sets the frame's reference bit — one atomic store under a shard-local
+// read lock, with no list manipulation and no cross-shard contention — so
+// read throughput scales with the number of shards.
+//
+// Frames hold immutable bucket snapshots: a Write or miss-fill installs a
+// fresh copy and never mutates one in place. That is what lets ReadView
+// hand hits out without cloning (the zero-allocation read path); Read
+// keeps the Store contract and clones.
+type ShardedCache struct {
+	Store
+	mask   int32
+	shards []clockShard
+
+	// hook reports hits, misses and evictions to an attached observer
+	// (nil = off).
+	hook *obs.Hook
+}
+
+// clockShard is one independent CLOCK ring plus its addr index.
+type clockShard struct {
+	mu     sync.RWMutex
+	byAddr map[int32]*clockFrame
+	ring   []*clockFrame // grows up to frames, then the hand sweeps
+	frames int           // ring capacity
+	hand   int
+
+	hits, misses, evictions atomic.Int64
+}
+
+// clockFrame is one buffer frame. addr and b change only under the
+// shard's write lock; ref is the CLOCK reference bit, set by hits under
+// the shard's read lock.
+type clockFrame struct {
+	addr int32
+	ref  atomic.Uint32
+	b    atomic.Pointer[bucket.Bucket] // immutable snapshot
+}
+
+// frameFree marks a frame whose bucket was freed; the slot is reclaimed
+// by the next sweep that reaches it.
+const frameFree int32 = -1
+
+// NewSharded wraps s with a sharded CLOCK pool of the given total number
+// of frames. shards is rounded up to a power of two; shards <= 0 selects
+// 2*GOMAXPROCS (the contention the pool exists to spread). Every shard
+// holds at least one frame.
+func NewSharded(s Store, frames, shards int) *ShardedCache {
+	if frames < 1 {
+		frames = 1
+	}
+	if shards <= 0 {
+		shards = 2 * runtime.GOMAXPROCS(0)
+	}
+	if shards > frames {
+		shards = frames
+	}
+	n := 1
+	for n < shards && n < 256 {
+		n <<= 1
+	}
+	perShard := (frames + n - 1) / n
+	c := &ShardedCache{Store: s, mask: int32(n - 1), shards: make([]clockShard, n)}
+	for i := range c.shards {
+		c.shards[i].frames = perShard
+		c.shards[i].byAddr = make(map[int32]*clockFrame, perShard)
+	}
+	return c
+}
+
+// SetObsHook attaches the observability hook hit/miss/evict events go to.
+func (c *ShardedCache) SetObsHook(h *obs.Hook) { c.hook = h }
+
+// Unwrap returns the wrapped store.
+func (c *ShardedCache) Unwrap() Store { return c.Store }
+
+// Shards returns the number of shards (a power of two).
+func (c *ShardedCache) Shards() int { return len(c.shards) }
+
+// Frames returns the pool's total frame capacity.
+func (c *ShardedCache) Frames() int { return len(c.shards) * c.shards[0].frames }
+
+// Hits returns the number of reads served from the pool.
+func (c *ShardedCache) Hits() int64 { return c.sum(func(s *clockShard) int64 { return s.hits.Load() }) }
+
+// Misses returns the number of reads forwarded to the store.
+func (c *ShardedCache) Misses() int64 {
+	return c.sum(func(s *clockShard) int64 { return s.misses.Load() })
+}
+
+// Evictions returns the number of frames the CLOCK hands have reclaimed.
+func (c *ShardedCache) Evictions() int64 {
+	return c.sum(func(s *clockShard) int64 { return s.evictions.Load() })
+}
+
+func (c *ShardedCache) sum(f func(*clockShard) int64) int64 {
+	var t int64
+	for i := range c.shards {
+		t += f(&c.shards[i])
+	}
+	return t
+}
+
+// ShardStats is one shard's counter snapshot.
+type ShardStats struct {
+	Hits      int64 `json:"hits"`
+	Misses    int64 `json:"misses"`
+	Evictions int64 `json:"evictions"`
+}
+
+// ShardStats returns per-shard hit/miss/eviction counters, index = shard.
+func (c *ShardedCache) ShardStats() []ShardStats {
+	out := make([]ShardStats, len(c.shards))
+	for i := range c.shards {
+		s := &c.shards[i]
+		out[i] = ShardStats{Hits: s.hits.Load(), Misses: s.misses.Load(), Evictions: s.evictions.Load()}
+	}
+	return out
+}
+
+// ResetCounters implements Store, additionally zeroing the pool's hit,
+// miss and eviction counters so every counter family resets together.
+func (c *ShardedCache) ResetCounters() {
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.hits.Store(0)
+		s.misses.Store(0)
+		s.evictions.Store(0)
+	}
+	c.Store.ResetCounters()
+}
+
+func (c *ShardedCache) shard(addr int32) *clockShard { return &c.shards[addr&c.mask] }
+
+// lookup serves a hit: the frame's snapshot pointer plus one reference-bit
+// store, under the shard's shared lock.
+func (sh *clockShard) lookup(addr int32) (*bucket.Bucket, bool) {
+	sh.mu.RLock()
+	fr, ok := sh.byAddr[addr]
+	if !ok {
+		sh.mu.RUnlock()
+		return nil, false
+	}
+	b := fr.b.Load()
+	fr.ref.Store(1)
+	sh.mu.RUnlock()
+	return b, true
+}
+
+// install places an immutable snapshot for addr in the shard, running the
+// CLOCK hand when the ring is full. It returns the evicted address and
+// whether an eviction happened. overwrite distinguishes write-through
+// installs (always newest, replace) from miss-fills (a frame already
+// present was installed by a racing write and is at least as new; keep
+// it, so a slow miss can never bury fresher contents).
+func (sh *clockShard) install(addr int32, b *bucket.Bucket, overwrite bool) (int32, bool) {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if fr, ok := sh.byAddr[addr]; ok {
+		if overwrite {
+			fr.b.Store(b)
+		}
+		fr.ref.Store(1)
+		return 0, false
+	}
+	if len(sh.ring) < sh.frames {
+		fr := &clockFrame{addr: addr}
+		fr.b.Store(b)
+		fr.ref.Store(1)
+		sh.ring = append(sh.ring, fr)
+		sh.byAddr[addr] = fr
+		return 0, false
+	}
+	// Second chance sweep: a set reference bit buys one lap; the first
+	// clear frame is the victim. Hits are blocked by the write lock, so
+	// the sweep finds a victim within two laps.
+	for {
+		fr := sh.ring[sh.hand]
+		sh.hand++
+		if sh.hand == len(sh.ring) {
+			sh.hand = 0
+		}
+		if fr.ref.Swap(0) != 0 {
+			continue
+		}
+		victim := fr.addr
+		delete(sh.byAddr, victim)
+		fr.addr = addr
+		fr.b.Store(b)
+		fr.ref.Store(1)
+		sh.byAddr[addr] = fr
+		if victim == frameFree {
+			return 0, false
+		}
+		sh.evictions.Add(1)
+		return victim, true
+	}
+}
+
+// drop removes addr's frame (bucket freed); the ring slot stays and is
+// reclaimed by the sweep.
+func (sh *clockShard) drop(addr int32) {
+	sh.mu.Lock()
+	if fr, ok := sh.byAddr[addr]; ok {
+		delete(sh.byAddr, addr)
+		fr.addr = frameFree
+		fr.ref.Store(0)
+		fr.b.Store(nil)
+	}
+	sh.mu.Unlock()
+}
+
+// fill resolves a miss: one underlying read, one private snapshot
+// installed. The owned copy is returned to the caller; the frame keeps
+// its own clone so later caller mutations cannot reach the pool.
+func (c *ShardedCache) fill(sh *clockShard, addr int32) (*bucket.Bucket, error) {
+	sh.misses.Add(1)
+	c.hook.Observer().Emit(obs.Event{Type: obs.EvCacheMiss, Addr: addr})
+	b, err := c.Store.Read(addr)
+	if err != nil {
+		return nil, err
+	}
+	if victim, evicted := sh.install(addr, b.Clone(), false); evicted {
+		c.hook.Observer().Emit(obs.Event{Type: obs.EvCacheEvict, Addr: victim})
+	}
+	return b, nil
+}
+
+// Read implements Store, serving hits from the pool. The returned bucket
+// is owned by the caller (hits are cloned outside any lock).
+func (c *ShardedCache) Read(addr int32) (*bucket.Bucket, error) {
+	sh := c.shard(addr)
+	if b, ok := sh.lookup(addr); ok {
+		sh.hits.Add(1)
+		c.hook.Observer().Emit(obs.Event{Type: obs.EvCacheHit, Addr: addr})
+		return b.Clone(), nil
+	}
+	return c.fill(sh, addr)
+}
+
+// ReadView implements Viewer: a hit returns the frame's immutable
+// snapshot directly — no clone, no allocation — under the read-only
+// contract. A miss fills the frame and returns its snapshot.
+func (c *ShardedCache) ReadView(addr int32) (*bucket.Bucket, error) {
+	sh := c.shard(addr)
+	if b, ok := sh.lookup(addr); ok {
+		sh.hits.Add(1)
+		c.hook.Observer().Emit(obs.Event{Type: obs.EvCacheHit, Addr: addr})
+		return b, nil
+	}
+	b, err := c.fill(sh, addr)
+	if err != nil {
+		return nil, err
+	}
+	return b, nil
+}
+
+// Write implements Store write-through: the pool and the backing store
+// both receive the new contents.
+func (c *ShardedCache) Write(addr int32, b *bucket.Bucket) error {
+	if err := c.Store.Write(addr, b); err != nil {
+		return err
+	}
+	if victim, evicted := c.shard(addr).install(addr, b.Clone(), true); evicted {
+		c.hook.Observer().Emit(obs.Event{Type: obs.EvCacheEvict, Addr: victim})
+	}
+	return nil
+}
+
+// Free implements Store, evicting the freed bucket from the pool.
+func (c *ShardedCache) Free(addr int32) error {
+	c.shard(addr).drop(addr)
+	return c.Store.Free(addr)
+}

@@ -14,12 +14,15 @@ import (
 // nothing else, and no allocation.
 type Instrumented struct {
 	Store
-	hook *obs.Hook
+	viewer Viewer // s's ReadView when it has one, resolved once
+	hook   *obs.Hook
 }
 
 // NewInstrumented wraps s; hook may be shared with other components.
 func NewInstrumented(s Store, hook *obs.Hook) *Instrumented {
-	return &Instrumented{Store: s, hook: hook}
+	i := &Instrumented{Store: s, hook: hook}
+	i.viewer, _ = s.(Viewer)
+	return i
 }
 
 // Unwrap returns the wrapped store.
@@ -33,6 +36,33 @@ func (s *Instrumented) Read(addr int32) (*bucket.Bucket, error) {
 	}
 	start := time.Now()
 	b, err := s.Store.Read(addr)
+	o.RecordOp(obs.OpRead, time.Since(start))
+	return b, err
+}
+
+// ReadView implements Viewer, timing the access as a read. The view is
+// served by the wrapped store's fast path when it has one (a cache hit
+// skips the clone); wrapped stores without ReadView serve a plain Read,
+// so the wrapper is always a Viewer without changing semantics. The
+// inner Viewer is resolved at construction, not per call: this method
+// sits on the zero-allocation Get hot path, where a repeated interface
+// assertion is measurable.
+func (s *Instrumented) ReadView(addr int32) (*bucket.Bucket, error) {
+	o := s.hook.Observer()
+	if o == nil {
+		if s.viewer != nil {
+			return s.viewer.ReadView(addr)
+		}
+		return s.Store.Read(addr)
+	}
+	start := time.Now()
+	var b *bucket.Bucket
+	var err error
+	if s.viewer != nil {
+		b, err = s.viewer.ReadView(addr)
+	} else {
+		b, err = s.Store.Read(addr)
+	}
 	o.RecordOp(obs.OpRead, time.Since(start))
 	return b, err
 }
@@ -92,6 +122,33 @@ func Unwrap(s Store) Store {
 func AsCached(s Store) *Cached {
 	for ; s != nil; s = Unwrap(s) {
 		if c, ok := s.(*Cached); ok {
+			return c
+		}
+	}
+	return nil
+}
+
+// AsSharded returns the first *ShardedCache in s's wrapper chain, or nil.
+func AsSharded(s Store) *ShardedCache {
+	for ; s != nil; s = Unwrap(s) {
+		if c, ok := s.(*ShardedCache); ok {
+			return c
+		}
+	}
+	return nil
+}
+
+// CachePool is the counter surface every buffer pool implementation
+// (LRU Cached, CLOCK ShardedCache) exposes.
+type CachePool interface {
+	Hits() int64
+	Misses() int64
+}
+
+// AsCachePool returns the first buffer pool in s's wrapper chain, or nil.
+func AsCachePool(s Store) CachePool {
+	for ; s != nil; s = Unwrap(s) {
+		if c, ok := s.(CachePool); ok {
 			return c
 		}
 	}

@@ -10,6 +10,7 @@ package store
 import (
 	"errors"
 	"fmt"
+	"sync"
 	"sync/atomic"
 
 	"triehash/internal/bucket"
@@ -94,11 +95,38 @@ type Store interface {
 	Close() error
 }
 
+// Viewer is the optional clone-free read path of a store: ReadView
+// returns a bucket the caller must treat as immutable. Implementations
+// guarantee the returned snapshot is never mutated in place — a later
+// Write replaces it — so read-only operations (Get, Range) can skip the
+// defensive copy Read makes. View falls back to Read for stores without
+// the fast path.
+type Viewer interface {
+	// ReadView fetches bucket addr as a shared read-only snapshot. The
+	// caller must not mutate it.
+	ReadView(addr int32) (*bucket.Bucket, error)
+}
+
+// View reads bucket addr through the cheapest path s offers: ReadView
+// where implemented (no clone), Read otherwise. The returned bucket must
+// be treated as read-only.
+func View(s Store, addr int32) (*bucket.Bucket, error) {
+	if v, ok := s.(Viewer); ok {
+		return v.ReadView(addr)
+	}
+	return s.Read(addr)
+}
+
 // MemStore is an in-memory simulated disk. It deep-copies buckets on Read
 // and Write so that, exactly like a real disk, mutations become visible
 // only through an explicit Write — keeping the access discipline of the
-// file layer honest.
+// file layer honest. All methods are safe for concurrent use (a sharded
+// buffer pool forwards misses and write-throughs from many goroutines at
+// once): structural state is guarded by an RWMutex, and stored buckets
+// are never mutated in place, so ReadView can hand out shared snapshots
+// under the read lock.
 type MemStore struct {
+	mu    sync.RWMutex
 	slots []*bucket.Bucket // nil = free slot
 	free  []int32
 	live  int
@@ -108,28 +136,60 @@ type MemStore struct {
 // NewMem returns an empty in-memory store.
 func NewMem() *MemStore { return &MemStore{} }
 
+// slot returns the bucket at addr under the caller's lock.
+func (s *MemStore) slot(addr int32, op string) (*bucket.Bucket, error) {
+	if int(addr) >= len(s.slots) || addr < 0 || s.slots[addr] == nil {
+		return nil, fmt.Errorf("%w: %s of %d", ErrNotAllocated, op, addr)
+	}
+	return s.slots[addr], nil
+}
+
 // Read implements Store.
 func (s *MemStore) Read(addr int32) (*bucket.Bucket, error) {
-	if int(addr) >= len(s.slots) || addr < 0 || s.slots[addr] == nil {
-		return nil, fmt.Errorf("%w: read of %d", ErrNotAllocated, addr)
+	s.mu.RLock()
+	b, err := s.slot(addr, "read")
+	s.mu.RUnlock()
+	if err != nil {
+		return nil, err
 	}
 	s.ctr.reads.Add(1)
-	return s.slots[addr].Clone(), nil
+	return b.Clone(), nil
+}
+
+// ReadView implements Viewer: the slot's bucket is returned directly —
+// safe because MemStore never mutates a stored bucket in place (Write
+// replaces the slot with a fresh clone) — and the access still counts as
+// one transfer.
+func (s *MemStore) ReadView(addr int32) (*bucket.Bucket, error) {
+	s.mu.RLock()
+	b, err := s.slot(addr, "read")
+	s.mu.RUnlock()
+	if err != nil {
+		return nil, err
+	}
+	s.ctr.reads.Add(1)
+	return b, nil
 }
 
 // Write implements Store.
 func (s *MemStore) Write(addr int32, b *bucket.Bucket) error {
-	if int(addr) >= len(s.slots) || addr < 0 || s.slots[addr] == nil {
-		return fmt.Errorf("%w: write of %d", ErrNotAllocated, addr)
+	c := b.Clone()
+	s.mu.Lock()
+	if _, err := s.slot(addr, "write"); err != nil {
+		s.mu.Unlock()
+		return err
 	}
+	s.slots[addr] = c
+	s.mu.Unlock()
 	s.ctr.writes.Add(1)
-	s.slots[addr] = b.Clone()
 	return nil
 }
 
 // Alloc implements Store.
 func (s *MemStore) Alloc() (int32, error) {
 	s.ctr.allocs.Add(1)
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	s.live++
 	if n := len(s.free); n > 0 {
 		addr := s.free[n-1]
@@ -143,8 +203,10 @@ func (s *MemStore) Alloc() (int32, error) {
 
 // Free implements Store.
 func (s *MemStore) Free(addr int32) error {
-	if int(addr) >= len(s.slots) || addr < 0 || s.slots[addr] == nil {
-		return fmt.Errorf("%w: free of %d", ErrNotAllocated, addr)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, err := s.slot(addr, "free"); err != nil {
+		return err
 	}
 	s.ctr.frees.Add(1)
 	s.live--
@@ -154,10 +216,18 @@ func (s *MemStore) Free(addr int32) error {
 }
 
 // Buckets implements Store.
-func (s *MemStore) Buckets() int { return s.live }
+func (s *MemStore) Buckets() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.live
+}
 
 // MaxAddr implements Store.
-func (s *MemStore) MaxAddr() int32 { return int32(len(s.slots)) }
+func (s *MemStore) MaxAddr() int32 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return int32(len(s.slots))
+}
 
 // Counters implements Store.
 func (s *MemStore) Counters() Counters { return s.ctr.snapshot() }

@@ -26,14 +26,16 @@ type (
 // The operation and event identifiers, re-exported so callers can query
 // Observer.Op and Observer.EventCount without reaching into internal/obs.
 const (
-	OpGet    = obs.OpGet
-	OpPut    = obs.OpPut
-	OpDelete = obs.OpDelete
-	OpRange  = obs.OpRange
-	OpRead   = obs.OpRead
-	OpWrite  = obs.OpWrite
-	OpAlloc  = obs.OpAlloc
-	OpFree   = obs.OpFree
+	OpGet      = obs.OpGet
+	OpPut      = obs.OpPut
+	OpDelete   = obs.OpDelete
+	OpRange    = obs.OpRange
+	OpGetBatch = obs.OpGetBatch
+	OpPutBatch = obs.OpPutBatch
+	OpRead     = obs.OpRead
+	OpWrite    = obs.OpWrite
+	OpAlloc    = obs.OpAlloc
+	OpFree     = obs.OpFree
 
 	EvSplit          = obs.EvSplit
 	EvRedistribution = obs.EvRedistribution
@@ -44,6 +46,7 @@ const (
 	EvPageRead       = obs.EvPageRead
 	EvCacheHit       = obs.EvCacheHit
 	EvCacheMiss      = obs.EvCacheMiss
+	EvCacheEvict     = obs.EvCacheEvict
 	EvFault          = obs.EvFault
 	EvRecovery       = obs.EvRecovery
 )

@@ -72,7 +72,7 @@ func (f *File) Stats() Stats {
 			IO: fromStore(s.IO),
 		}
 	}
-	if c := store.AsCached(f.eng.Store()); c != nil {
+	if c := store.AsCachePool(f.eng.Store()); c != nil {
 		out.CacheHits, out.CacheMisses = c.Hits(), c.Misses()
 	}
 	return out

@@ -118,12 +118,31 @@ type Options struct {
 	// SlotBytes is the on-disk bucket slot size for persistent files
 	// (default 4096).
 	SlotBytes int
-	// CacheFrames, when positive, places a write-through LRU buffer pool
-	// of that many bucket frames in front of the store. The paper's
+	// CacheFrames, when positive, places a write-through buffer pool of
+	// that many bucket frames in front of the store. The paper's
 	// access-cost model assumes no pool (Stats().IO then counts true
 	// transfers); a pool trades memory for fewer of them.
 	CacheFrames int
+	// CachePolicy selects the pool's replacement policy when CacheFrames
+	// is set: the sharded CLOCK pool (default) or the single-mutex LRU
+	// the paper experiments were first measured with.
+	CachePolicy CachePolicy
 }
+
+// CachePolicy selects the buffer pool implementation.
+type CachePolicy int
+
+const (
+	// CacheClock (the default) is the sharded CLOCK pool: frames are
+	// spread over power-of-two shards picked by bucket address, each an
+	// independent second-chance ring, so hits touch one shard and set one
+	// reference bit instead of reordering a global LRU list. It also
+	// serves clone-free read views, making cached lookups allocation-free.
+	CacheClock CachePolicy = iota
+	// CacheLRU is the global-mutex LRU pool, kept for the paper
+	// experiments and as the baseline the CLOCK pool is measured against.
+	CacheLRU
+)
 
 func (o Options) normalize() Options {
 	if o.BucketCapacity == 0 {
@@ -244,10 +263,13 @@ func Create(opts Options) (*File, error) {
 
 // wrapCache applies the optional buffer pool.
 func wrapCache(opts Options, st store.Store) store.Store {
-	if opts.CacheFrames > 0 {
+	if opts.CacheFrames <= 0 {
+		return st
+	}
+	if opts.CachePolicy == CacheLRU {
 		return store.NewCached(st, opts.CacheFrames)
 	}
-	return st
+	return store.NewSharded(st, opts.CacheFrames, 0)
 }
 
 // CreateAt creates a persistent file in directory dir (created if needed):
