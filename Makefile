@@ -2,13 +2,18 @@
 
 GO ?= go
 
-.PHONY: all build test race short bench bench-baseline bench-compare repro cover fuzz obs-bench clean
+.PHONY: all build lint test race short bench bench-baseline bench-compare repro cover fuzz obs-bench clean
 
-all: build test race
+all: build lint test race
 
 build:
 	$(GO) build ./...
+
+# Static gates: go vet plus thvet, the repo-specific analyzer suite
+# (lock order, atomics, determinism, error discipline, obs coverage).
+lint:
 	$(GO) vet ./...
+	$(GO) run ./cmd/thvet
 
 # The race pass on the concurrency-bearing packages is part of the default
 # test gate: the sharded pool and the batch path live or die by it.
@@ -63,6 +68,8 @@ fuzz:
 	$(GO) test -fuzz FuzzFileOps -fuzztime 30s ./internal/core/
 	$(GO) test -fuzz FuzzSplitString -fuzztime 15s ./internal/keys/
 	$(GO) test -fuzz FuzzComparePathBounds -fuzztime 15s ./internal/keys/
+	$(GO) test -fuzz FuzzKeyCompare -fuzztime 15s ./internal/keys/
+	$(GO) test -fuzz FuzzTrieDecode -fuzztime 15s ./internal/trie/
 
 clean:
 	rm -f thbench_output.txt thbench_output.csv bench_output.txt test_output.txt bench_baseline.txt bench_head.txt

@@ -1,0 +1,86 @@
+// Command thvet runs the repository's own static-analysis suite — the
+// invariants go vet cannot see: latch ordering in the concurrent batch
+// path, atomic-vs-plain field access, determinism of the experiment
+// packages, store error discipline, and the observability routing of the
+// public API. It loads every non-test package of the module with the
+// standard library's go/parser + go/types (no x/tools dependency) and
+// exits non-zero when any analyzer reports a finding.
+//
+// Usage:
+//
+//	thvet [-dir .] [-run name,name] [-list] [-v]
+//
+// Diagnostics print as path:line:col: [analyzer] message, one per line.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"triehash/internal/analysis"
+)
+
+func main() {
+	dir := flag.String("dir", ".", "directory inside the module to vet")
+	run := flag.String("run", "", "comma-separated analyzer names to run (default: all)")
+	list := flag.Bool("list", false, "list the available analyzers and exit")
+	verbose := flag.Bool("v", false, "report the packages loaded and analyzers run")
+	flag.Parse()
+
+	if *list {
+		for _, a := range analysis.All() {
+			fmt.Printf("%-14s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	analyzers := analysis.All()
+	if *run != "" {
+		analyzers = analyzers[:0]
+		for _, name := range strings.Split(*run, ",") {
+			name = strings.TrimSpace(name)
+			a := analysis.ByName(name)
+			if a == nil {
+				fmt.Fprintf(os.Stderr, "thvet: unknown analyzer %q (use -list)\n", name)
+				os.Exit(2)
+			}
+			analyzers = append(analyzers, a)
+		}
+	}
+
+	root, err := analysis.FindModuleRoot(*dir)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "thvet:", err)
+		os.Exit(2)
+	}
+	pkgs, err := analysis.LoadModule(root)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "thvet:", err)
+		os.Exit(2)
+	}
+	if *verbose {
+		fmt.Fprintf(os.Stderr, "thvet: %d packages, %d analyzers\n", len(pkgs), len(analyzers))
+		for _, p := range pkgs {
+			fmt.Fprintf(os.Stderr, "thvet: loaded %s\n", p.Path)
+		}
+	}
+
+	diags := analysis.Run(analyzers, pkgs)
+	cwd, _ := os.Getwd()
+	for _, d := range diags {
+		pos := d.Pos
+		if cwd != "" {
+			if rel, err := filepath.Rel(cwd, pos.Filename); err == nil && !strings.HasPrefix(rel, "..") {
+				pos.Filename = rel
+			}
+		}
+		fmt.Printf("%s: [%s] %s\n", pos, d.Analyzer, d.Message)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "thvet: %d finding(s)\n", len(diags))
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,141 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// AtomicField enforces the all-or-nothing rule of sync/atomic: a struct
+// field that is accessed atomically anywhere must be accessed atomically
+// everywhere. The sharded CLOCK pool and the concurrent file lean on this
+// — clockFrame.ref is hammered by readers under a shard read lock while
+// the sweep swaps it, and the counter families are polled lock-free by
+// thstat — so one plain `f.ref = 0` would be a data race the race
+// detector only catches if a test happens to interleave it.
+//
+// Two field families are checked:
+//
+//   - raw fields passed by address to the sync/atomic package functions
+//     (atomic.LoadInt64(&s.n), ...): every other plain read or write of
+//     the same field is flagged;
+//   - fields declared with the sync/atomic types (atomic.Int64,
+//     atomic.Pointer[T], ...): copying or overwriting the whole field
+//     value is flagged (only method calls and address-taking are sound).
+var AtomicField = &Analyzer{
+	Name: "atomicfield",
+	Doc:  "fields accessed via sync/atomic must never be read or written plainly",
+	Run:  runAtomicField,
+}
+
+func runAtomicField(pass *Pass) {
+	// Pass 1: collect the raw fields atomically accessed somewhere in this
+	// package, and remember the sanctioned &x.f sites.
+	rawAtomic := make(map[*types.Var]bool)
+	sanctioned := make(map[*ast.SelectorExpr]bool)
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if obj := calleeFromPkg(pass.Info, call, "sync/atomic"); obj == nil {
+				return true
+			}
+			for _, arg := range call.Args {
+				un, ok := arg.(*ast.UnaryExpr)
+				if !ok || un.Op.String() != "&" {
+					continue
+				}
+				sel, ok := un.X.(*ast.SelectorExpr)
+				if !ok {
+					continue
+				}
+				if f := fieldOf(pass, sel); f != nil {
+					rawAtomic[f] = true
+					sanctioned[sel] = true
+				}
+			}
+			return true
+		})
+	}
+
+	// Pass 2: flag plain uses of raw-atomic fields, and value copies of
+	// typed-atomic fields.
+	for _, file := range pass.Files {
+		var stack []ast.Node
+		var visit func(n ast.Node) bool
+		visit = func(n ast.Node) bool {
+			if n == nil {
+				stack = stack[:len(stack)-1]
+				return true
+			}
+			stack = append(stack, n)
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			f := fieldOf(pass, sel)
+			if f == nil {
+				return true
+			}
+			parent := parentOf(stack)
+			if rawAtomic[f] && !sanctioned[sel] && !isAddrOf(parent, sel) {
+				pass.Reportf(sel.Pos(),
+					"plain access to field %s, which is accessed with sync/atomic elsewhere: every access must go through sync/atomic",
+					f.Name())
+			}
+			if isAtomicTyped(f) && !soundAtomicUse(parent, sel) {
+				pass.Reportf(sel.Pos(),
+					"field %s has atomic type %s and is copied or overwritten as a value: use its Load/Store methods",
+					f.Name(), f.Type().String())
+			}
+			return true
+		}
+		ast.Inspect(file, visit)
+	}
+}
+
+// fieldOf resolves sel to the struct field it selects, or nil.
+func fieldOf(pass *Pass, sel *ast.SelectorExpr) *types.Var {
+	s, ok := pass.Info.Selections[sel]
+	if !ok || s.Kind() != types.FieldVal {
+		return nil
+	}
+	return s.Obj().(*types.Var)
+}
+
+// parentOf returns the node enclosing the top of the stack.
+func parentOf(stack []ast.Node) ast.Node {
+	if len(stack) < 2 {
+		return nil
+	}
+	return stack[len(stack)-2]
+}
+
+// isAddrOf reports whether parent is &sel.
+func isAddrOf(parent ast.Node, sel *ast.SelectorExpr) bool {
+	un, ok := parent.(*ast.UnaryExpr)
+	return ok && un.Op.String() == "&" && un.X == sel
+}
+
+// isAtomicTyped reports whether the field's declared type comes from
+// sync/atomic (atomic.Int64, atomic.Uint32, atomic.Pointer[T], ...).
+func isAtomicTyped(f *types.Var) bool {
+	n := namedOf(f.Type())
+	return n != nil && n.Obj() != nil && n.Obj().Pkg() != nil && n.Obj().Pkg().Path() == "sync/atomic"
+}
+
+// soundAtomicUse reports whether a selector of an atomic-typed field is
+// used soundly: as the receiver of a method call (x.f.Load()), through an
+// address (&x.f), or as the base of a deeper selection. Everything else —
+// assignment to the whole field, copying it into a variable, passing it
+// by value — is a race or a silent copy of internal state.
+func soundAtomicUse(parent ast.Node, sel *ast.SelectorExpr) bool {
+	switch p := parent.(type) {
+	case *ast.SelectorExpr:
+		return p.X == sel // x.f.Load — f is the base of a method selection
+	case *ast.UnaryExpr:
+		return p.Op.String() == "&" && p.X == sel
+	}
+	return false
+}

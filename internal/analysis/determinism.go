@@ -1,0 +1,72 @@
+package analysis
+
+import (
+	"go/ast"
+)
+
+// Determinism forbids hidden entropy, wall-clock time and environment
+// reads in the packages whose behavior the paper's experiments depend on.
+// Every figure in EXPERIMENTS.md is reproducible only because the file
+// layers (core, trie, bucket, mlth) are pure functions of their inputs and
+// the workload generators draw randomness exclusively from caller-supplied
+// seeds. A stray time.Now, a top-level math/rand call (process-global
+// state, randomly seeded) or an os.Getenv would make a run depend on the
+// machine instead of the seed. The seeded constructors — rand.New,
+// rand.NewSource, rand.NewZipf — remain allowed: they are how the seed
+// gets in.
+var Determinism = &Analyzer{
+	Name: "determinism",
+	Doc:  "forbid time.Now, top-level math/rand and os.Getenv in the deterministic packages",
+	Run:  runDeterminism,
+}
+
+// deterministicPkgs are the package names (matching both the real module
+// layout and the golden-test replicas) whose non-test code must stay
+// seed-deterministic.
+var deterministicPkgs = map[string]bool{
+	"core":     true,
+	"trie":     true,
+	"bucket":   true,
+	"mlth":     true,
+	"workload": true,
+}
+
+// seededRandConstructors are the math/rand entry points that thread an
+// explicit seed and are therefore the sanctioned way in.
+var seededRandConstructors = map[string]bool{
+	"New":       true,
+	"NewSource": true,
+	"NewZipf":   true,
+}
+
+func runDeterminism(pass *Pass) {
+	if !deterministicPkgs[pass.Pkg.Name()] {
+		return
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			for _, path := range []string{"math/rand", "math/rand/v2"} {
+				if obj := calleeFromPkg(pass.Info, call, path); obj != nil && !seededRandConstructors[obj.Name()] {
+					pass.Reportf(call.Pos(),
+						"call to %s.%s in deterministic package %s: top-level math/rand uses process-global state; draw from a seeded *rand.Rand instead",
+						path, obj.Name(), pass.Pkg.Name())
+				}
+			}
+			if obj := calleeFromPkg(pass.Info, call, "time"); obj != nil && obj.Name() == "Now" {
+				pass.Reportf(call.Pos(),
+					"call to time.Now in deterministic package %s: wall-clock time makes runs irreproducible; take timestamps in the caller",
+					pass.Pkg.Name())
+			}
+			if obj := calleeFromPkg(pass.Info, call, "os"); obj != nil && (obj.Name() == "Getenv" || obj.Name() == "LookupEnv" || obj.Name() == "Environ") {
+				pass.Reportf(call.Pos(),
+					"call to os.%s in deterministic package %s: behavior must depend only on explicit configuration, not the environment",
+					obj.Name(), pass.Pkg.Name())
+			}
+			return true
+		})
+	}
+}

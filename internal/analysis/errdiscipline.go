@@ -1,0 +1,70 @@
+package analysis
+
+import (
+	"go/ast"
+)
+
+// ErrDiscipline flags silently dropped errors from the bucket-store
+// surface and from encoding/binary. A store.Store error is never benign:
+// a failed Read is a missed bucket, a failed Write or Sync is lost
+// durability, a failed Close can hide a failed flush (FileStore syncs on
+// close), and the FaultStore injects exactly these errors to prove the
+// layers above propagate them. Call sites that genuinely cannot act on the
+// error — cleanup on an already-failing path — must say so with an
+// explicit `_ =` discard, which this analyzer (like errcheck) accepts.
+var ErrDiscipline = &Analyzer{
+	Name: "errdiscipline",
+	Doc:  "flag silently dropped errors from store.Store I/O and encoding/binary",
+	Run:  runErrDiscipline,
+}
+
+// storeErrMethods are the Store-surface methods whose errors must not be
+// dropped.
+var storeErrMethods = map[string]bool{
+	"Read":     true,
+	"ReadView": true,
+	"Write":    true,
+	"Sync":     true,
+	"Close":    true,
+	"Alloc":    true,
+	"Free":     true,
+}
+
+func runErrDiscipline(pass *Pass) {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			var call *ast.CallExpr
+			var how string
+			switch st := n.(type) {
+			case *ast.ExprStmt:
+				call, _ = st.X.(*ast.CallExpr)
+				how = "discarded"
+			case *ast.DeferStmt:
+				call = st.Call
+				how = "discarded by defer"
+			case *ast.GoStmt:
+				call = st.Call
+				how = "discarded by go"
+			}
+			if call == nil || !returnsError(pass.Info, call) {
+				return true
+			}
+			if _, recv, name, ok := methodCall(pass.Info, call); ok {
+				if storeErrMethods[name] && isStoreType(pass.Info.TypeOf(recv)) {
+					pass.Reportf(call.Pos(),
+						"error from %s.%s %s: store I/O errors must be handled or explicitly dropped with `_ =`",
+						exprString(recv), name, how)
+				}
+				return true
+			}
+			for _, path := range []string{"encoding/binary"} {
+				if obj := calleeFromPkg(pass.Info, call, path); obj != nil {
+					pass.Reportf(call.Pos(),
+						"error from %s.%s %s: serialization errors must be handled or explicitly dropped with `_ =`",
+						path, obj.Name(), how)
+				}
+			}
+			return true
+		})
+	}
+}

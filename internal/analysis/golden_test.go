@@ -1,0 +1,103 @@
+package analysis
+
+import (
+	"fmt"
+	"go/token"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"testing"
+)
+
+// TestAnalyzersGolden runs every analyzer against its testdata packages
+// and checks the findings against `// want "regexp"` expectations: every
+// expectation must be matched by a diagnostic on its line, and every
+// diagnostic must have an expectation. Functions without want comments
+// are the negative cases — the analyzer staying silent on them is part of
+// what the test asserts.
+func TestAnalyzersGolden(t *testing.T) {
+	for _, a := range All() {
+		t.Run(a.Name, func(t *testing.T) {
+			base := filepath.Join("testdata", a.Name)
+			entries, err := os.ReadDir(base)
+			if err != nil {
+				t.Fatalf("no testdata for analyzer %s: %v", a.Name, err)
+			}
+			ran := false
+			for _, e := range entries {
+				if e.IsDir() {
+					runGolden(t, a, filepath.Join(base, e.Name()))
+					ran = true
+				}
+			}
+			if !ran {
+				runGolden(t, a, base)
+			}
+		})
+	}
+}
+
+// wantExp is one expectation: a regexp anchored to a file:line.
+type wantExp struct {
+	pos     string
+	rx      *regexp.Regexp
+	matched bool
+}
+
+// wantRe accepts a backquoted or double-quoted pattern after "want".
+var wantRe = regexp.MustCompile("// want (`[^`]*`|\"[^\"]*\")\\s*$")
+
+func runGolden(t *testing.T, a *Analyzer, dir string) {
+	t.Helper()
+	fset := token.NewFileSet()
+	pkg, err := LoadDir(fset, dir)
+	if err != nil {
+		t.Fatalf("loading %s: %v", dir, err)
+	}
+
+	var wants []*wantExp
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pat, err := strconv.Unquote(m[1])
+				if err != nil {
+					t.Fatalf("%s: bad want pattern %s: %v", fset.Position(c.Pos()), m[1], err)
+				}
+				rx, err := regexp.Compile(pat)
+				if err != nil {
+					t.Fatalf("%s: bad want regexp %q: %v", fset.Position(c.Pos()), pat, err)
+				}
+				p := fset.Position(c.Pos())
+				wants = append(wants, &wantExp{pos: lineKey(p.Filename, p.Line), rx: rx})
+			}
+		}
+	}
+
+	diags := Run([]*Analyzer{a}, []*Package{pkg})
+	for _, d := range diags {
+		key := lineKey(d.Pos.Filename, d.Pos.Line)
+		found := false
+		for _, w := range wants {
+			if !w.matched && w.pos == key && w.rx.MatchString(d.Message) {
+				w.matched = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s: expected diagnostic matching %q, got none", w.pos, w.rx)
+		}
+	}
+}
+
+func lineKey(file string, line int) string { return fmt.Sprintf("%s:%d", file, line) }

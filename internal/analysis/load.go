@@ -1,0 +1,290 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Package is one loaded, type-checked package of the module.
+type Package struct {
+	// Path is the import path ("triehash/internal/store").
+	Path string
+	// Dir is the package directory on disk.
+	Dir string
+	// Fset positions every file of the load (shared across packages).
+	Fset *token.FileSet
+	// Files are the parsed non-test sources.
+	Files []*ast.File
+	// Types is the type-checked package.
+	Types *types.Package
+	// Info carries the type-checker's expression and object tables.
+	Info *types.Info
+}
+
+// newInfo allocates the full set of type-checker tables the analyzers use.
+func newInfo() *types.Info {
+	return &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+}
+
+// moduleImporter resolves module-internal imports from the packages
+// already checked this load, and everything else (the standard library)
+// through the compiler-independent source importer — keeping the module
+// free of x/tools while still type-checking against real stdlib APIs.
+type moduleImporter struct {
+	std types.Importer
+	mod map[string]*types.Package
+}
+
+func (m *moduleImporter) Import(path string) (*types.Package, error) {
+	if p, ok := m.mod[path]; ok {
+		return p, nil
+	}
+	return m.std.Import(path)
+}
+
+// ModulePath reads the module path from root/go.mod.
+func ModulePath(root string) (string, error) {
+	data, err := os.ReadFile(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return "", err
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module"); ok {
+			mp := strings.TrimSpace(rest)
+			if unq, err := strconv.Unquote(mp); err == nil {
+				mp = unq
+			}
+			if mp != "" {
+				return mp, nil
+			}
+		}
+	}
+	return "", fmt.Errorf("analysis: no module directive in %s/go.mod", root)
+}
+
+// FindModuleRoot walks up from dir to the nearest directory holding a
+// go.mod.
+func FindModuleRoot(dir string) (string, error) {
+	dir, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("analysis: no go.mod at or above %s", dir)
+		}
+		dir = parent
+	}
+}
+
+// parsedPkg is a package parsed but not yet type-checked.
+type parsedPkg struct {
+	path    string
+	dir     string
+	files   []*ast.File
+	imports []string // module-internal imports only
+}
+
+// LoadModule parses and type-checks every non-test package under root
+// (skipping testdata, hidden and vendor directories) in dependency order.
+// Test files are excluded on purpose: the invariants thvet checks bind
+// production code; tests are free to use clocks, entropy and raw access.
+func LoadModule(root string) ([]*Package, error) {
+	modPath, err := ModulePath(root)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+
+	var dirs []string
+	err = filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if path != root && (name == "testdata" || name == "vendor" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+			return filepath.SkipDir
+		}
+		dirs = append(dirs, path)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(dirs)
+
+	byPath := make(map[string]*parsedPkg)
+	var order []string
+	for _, dir := range dirs {
+		pkg, err := parseDir(fset, dir)
+		if err != nil {
+			return nil, err
+		}
+		if pkg == nil {
+			continue
+		}
+		rel, err := filepath.Rel(root, dir)
+		if err != nil {
+			return nil, err
+		}
+		pkg.path = modPath
+		if rel != "." {
+			pkg.path = modPath + "/" + filepath.ToSlash(rel)
+		}
+		pkg.dir = dir
+		for _, f := range pkg.files {
+			for _, imp := range f.Imports {
+				ip, err := strconv.Unquote(imp.Path.Value)
+				if err != nil {
+					continue
+				}
+				if ip == modPath || strings.HasPrefix(ip, modPath+"/") {
+					pkg.imports = append(pkg.imports, ip)
+				}
+			}
+		}
+		byPath[pkg.path] = pkg
+		order = append(order, pkg.path)
+	}
+
+	sorted, err := topoSort(order, byPath)
+	if err != nil {
+		return nil, err
+	}
+
+	imp := &moduleImporter{
+		std: importer.ForCompiler(fset, "source", nil),
+		mod: make(map[string]*types.Package),
+	}
+	var out []*Package
+	for _, path := range sorted {
+		pkg := byPath[path]
+		info := newInfo()
+		conf := types.Config{Importer: imp}
+		tpkg, err := conf.Check(path, fset, pkg.files, info)
+		if err != nil {
+			return nil, fmt.Errorf("analysis: type-checking %s: %w", path, err)
+		}
+		imp.mod[path] = tpkg
+		out = append(out, &Package{
+			Path:  path,
+			Dir:   pkg.dir,
+			Fset:  fset,
+			Files: pkg.files,
+			Types: tpkg,
+			Info:  info,
+		})
+	}
+	return out, nil
+}
+
+// LoadDir parses and type-checks the single package in dir (used by the
+// golden tests; the package may import only the standard library).
+func LoadDir(fset *token.FileSet, dir string) (*Package, error) {
+	pkg, err := parseDir(fset, dir)
+	if err != nil {
+		return nil, err
+	}
+	if pkg == nil {
+		return nil, fmt.Errorf("analysis: no Go files in %s", dir)
+	}
+	info := newInfo()
+	conf := types.Config{Importer: importer.ForCompiler(fset, "source", nil)}
+	name := pkg.files[0].Name.Name
+	tpkg, err := conf.Check(name, fset, pkg.files, info)
+	if err != nil {
+		return nil, fmt.Errorf("analysis: type-checking %s: %w", dir, err)
+	}
+	return &Package{Path: name, Dir: dir, Fset: fset, Files: pkg.files, Types: tpkg, Info: info}, nil
+}
+
+// parseDir parses the non-test Go files of one directory; nil when the
+// directory holds none.
+func parseDir(fset *token.FileSet, dir string) (*parsedPkg, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, nil
+	}
+	return &parsedPkg{files: files}, nil
+}
+
+// topoSort orders paths so every module-internal import precedes its
+// importer.
+func topoSort(paths []string, byPath map[string]*parsedPkg) ([]string, error) {
+	const (
+		white = iota // unvisited
+		gray         // on the current descent: a repeat visit is a cycle
+		black        // done
+	)
+	state := make(map[string]int, len(paths))
+	var out []string
+	var visit func(path string) error
+	visit = func(path string) error {
+		switch state[path] {
+		case black:
+			return nil
+		case gray:
+			return fmt.Errorf("analysis: import cycle through %s", path)
+		}
+		state[path] = gray
+		pkg := byPath[path]
+		deps := append([]string(nil), pkg.imports...)
+		sort.Strings(deps)
+		for _, dep := range deps {
+			if _, ok := byPath[dep]; !ok {
+				return fmt.Errorf("analysis: %s imports %s, which is not in the module", path, dep)
+			}
+			if err := visit(dep); err != nil {
+				return err
+			}
+		}
+		state[path] = black
+		out = append(out, path)
+		return nil
+	}
+	for _, p := range paths {
+		if err := visit(p); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,317 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// LockOrder machine-checks the latch discipline of the concurrent layers:
+//
+//  1. a goroutine holds at most one bucket latch at a time — the batch
+//     path dedups latches per bucket group and visits groups in ascending
+//     address order precisely so that no latch is ever acquired while
+//     another is held (the cycle-freedom argument in
+//     internal/concurrent/batch.go);
+//  2. latches are never acquired while ranging over a map — map iteration
+//     order is not ascending, so latching inside it silently breaks the
+//     ordering that rule 1's argument rests on (partition sorts the
+//     groups first for exactly this reason);
+//  3. no store I/O runs while a shard latch is held — the sharded CLOCK
+//     pool's contract is that a miss fill reads the backing store outside
+//     the shard lock, otherwise one slow disk read stalls every hit on
+//     the shard.
+//
+// "Latch" here is any sync.Mutex/RWMutex reached through a local variable
+// or parameter (lb.mu, sh.mu): those are the per-bucket and per-shard
+// locks handed out by lookups. Locks reached through the method receiver
+// (f.structural, f.mu, c.mu) are the coarse structural locks, which by
+// design are held across latch acquisitions and engine calls; they are
+// exempt from rules 1 and 3.
+//
+// The scan is branch-aware but intentionally conservative: a release
+// inside a non-terminating branch counts as a release on the fallthrough
+// path (avoiding false positives), and each loop body is assumed
+// lock-balanced. Function literals are scanned as independent goroutine
+// bodies, which is what they are in the fan-out worker pool.
+var LockOrder = &Analyzer{
+	Name: "lockorder",
+	Doc:  "bucket latches: one at a time, never inside map iteration, no store I/O under a shard latch",
+	Run:  runLockOrder,
+}
+
+// storeIOMethods are the Store-surface calls rule 3 watches for.
+var storeIOMethods = map[string]bool{
+	"Read":     true,
+	"ReadView": true,
+	"Write":    true,
+	"Alloc":    true,
+	"Free":     true,
+	"Sync":     true,
+}
+
+func runLockOrder(pass *Pass) {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			s := &lockScan{pass: pass, recv: funcReceiver(pass.Info, fn)}
+			s.scanBlock(fn.Body, newHeldSet())
+			s.drainFuncLits()
+		}
+	}
+}
+
+// heldLock is one mutex the scan believes is currently held.
+type heldLock struct {
+	key   string // canonical expression, e.g. "lb.mu"
+	local bool   // rooted in a local/param (a latch), not the receiver
+}
+
+type heldSet map[string]heldLock
+
+func newHeldSet() heldSet { return make(heldSet) }
+
+func (h heldSet) clone() heldSet {
+	c := make(heldSet, len(h))
+	for k, v := range h {
+		c[k] = v
+	}
+	return c
+}
+
+// intersect keeps only the locks held in both sets (the safe merge after
+// a branch that may have released).
+func (h heldSet) intersect(o heldSet) {
+	for k := range h {
+		if _, ok := o[k]; !ok {
+			delete(h, k)
+		}
+	}
+}
+
+func (h heldSet) anyLocal() (heldLock, bool) {
+	for _, l := range h {
+		if l.local {
+			return l, true
+		}
+	}
+	return heldLock{}, false
+}
+
+// lockScan walks one function body, tracking held locks statement by
+// statement.
+type lockScan struct {
+	pass     *Pass
+	recv     types.Object
+	funcLits []*ast.FuncLit
+	mapDepth int // > 0 while lexically inside a range over a map
+}
+
+// drainFuncLits scans the function literals encountered, each as an
+// independent scope with no inherited locks (a closure run by another
+// goroutine starts with nothing held).
+func (s *lockScan) drainFuncLits() {
+	for len(s.funcLits) > 0 {
+		lit := s.funcLits[0]
+		s.funcLits = s.funcLits[1:]
+		s.scanBlock(lit.Body, newHeldSet())
+	}
+}
+
+// scanBlock processes stmts sequentially, mutating held.
+func (s *lockScan) scanBlock(b *ast.BlockStmt, held heldSet) {
+	for _, st := range b.List {
+		s.scanStmt(st, held)
+	}
+}
+
+func (s *lockScan) scanStmt(st ast.Stmt, held heldSet) {
+	switch x := st.(type) {
+	case *ast.BlockStmt:
+		s.scanBlock(x, held)
+	case *ast.IfStmt:
+		if x.Init != nil {
+			s.scanStmt(x.Init, held)
+		}
+		s.scanExpr(x.Cond, held)
+		then := held.clone()
+		s.scanBlock(x.Body, then)
+		if x.Else != nil {
+			alt := held.clone()
+			s.scanStmt(x.Else, alt)
+			if !terminates(x.Else) {
+				held.intersect(alt)
+			}
+		}
+		if !terminates(x.Body) {
+			held.intersect(then)
+		}
+	case *ast.ForStmt:
+		if x.Init != nil {
+			s.scanStmt(x.Init, held)
+		}
+		if x.Cond != nil {
+			s.scanExpr(x.Cond, held)
+		}
+		body := held.clone()
+		s.scanBlock(x.Body, body)
+		if x.Post != nil {
+			s.scanStmt(x.Post, body)
+		}
+	case *ast.RangeStmt:
+		s.scanExpr(x.X, held)
+		overMap := false
+		if t := s.pass.TypeOf(x.X); t != nil {
+			_, overMap = t.Underlying().(*types.Map)
+		}
+		if overMap {
+			s.mapDepth++
+		}
+		body := held.clone()
+		s.scanBlock(x.Body, body)
+		if overMap {
+			s.mapDepth--
+		}
+	case *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
+		// Each case runs with a copy of the current held set; effects do
+		// not propagate past the switch (cases are assumed lock-balanced).
+		body := held.clone()
+		ast.Inspect(st, func(n ast.Node) bool { return s.visitLeaf(n, body) })
+	case *ast.DeferStmt:
+		// A deferred Unlock keeps the lock held to the end of the scope;
+		// a deferred anything-else is scanned for nested literals only.
+		s.scanCallTree(x.Call, held, false)
+	case *ast.GoStmt:
+		s.scanCallTree(x.Call, held, false)
+	case *ast.LabeledStmt:
+		s.scanStmt(x.Stmt, held)
+	default:
+		ast.Inspect(st, func(n ast.Node) bool { return s.visitLeaf(n, held) })
+	}
+}
+
+// scanExpr processes calls inside a bare expression.
+func (s *lockScan) scanExpr(e ast.Expr, held heldSet) {
+	if e == nil {
+		return
+	}
+	ast.Inspect(e, func(n ast.Node) bool { return s.visitLeaf(n, held) })
+}
+
+// scanCallTree collects nested function literals (and, when effects is
+// true, lock/IO events) from a call's argument tree.
+func (s *lockScan) scanCallTree(call *ast.CallExpr, held heldSet, effects bool) {
+	ast.Inspect(call, func(n ast.Node) bool {
+		if lit, ok := n.(*ast.FuncLit); ok {
+			s.funcLits = append(s.funcLits, lit)
+			return false
+		}
+		if !effects {
+			return true
+		}
+		return s.visitLeaf(n, held)
+	})
+}
+
+// visitLeaf handles one node of a straight-line statement: queues function
+// literals and applies the lock/IO rules to calls. Returns false to stop
+// descending (into function literals).
+func (s *lockScan) visitLeaf(n ast.Node, held heldSet) bool {
+	if lit, ok := n.(*ast.FuncLit); ok {
+		s.funcLits = append(s.funcLits, lit)
+		return false
+	}
+	call, ok := n.(*ast.CallExpr)
+	if !ok {
+		return true
+	}
+	_, recv, name, ok := methodCall(s.pass.Info, call)
+	if !ok {
+		return true
+	}
+	switch name {
+	case "Lock", "RLock":
+		if !isSyncLocker(s.pass.TypeOf(recv)) {
+			return true
+		}
+		l := heldLock{key: exprString(recv), local: s.isLocalRoot(recv)}
+		if s.mapDepth > 0 && l.local {
+			s.pass.Reportf(call.Pos(),
+				"%s acquired inside iteration over a map: map order is not ascending; collect the addresses, sort them, then latch",
+				l.key)
+		}
+		if l.local {
+			if prior, ok := held.anyLocal(); ok && prior.key != l.key {
+				s.pass.Reportf(call.Pos(),
+					"bucket latch %s acquired while %s is held: hold at most one latch at a time and visit buckets in ascending address order",
+					l.key, prior.key)
+			}
+		}
+		held[l.key] = l
+	case "Unlock", "RUnlock":
+		if !isSyncLocker(s.pass.TypeOf(recv)) {
+			return true
+		}
+		delete(held, exprString(recv))
+	default:
+		if storeIOMethods[name] && isStoreType(s.pass.TypeOf(recv)) {
+			if prior, ok := held.anyLocal(); ok {
+				s.pass.Reportf(call.Pos(),
+					"store I/O %s.%s while shard latch %s is held: fill misses outside the latch",
+					exprString(recv), name, prior.key)
+			}
+		}
+	}
+	return true
+}
+
+// isLocalRoot reports whether the mutex expression is rooted in a local
+// variable or parameter — a latch handle — rather than the receiver or a
+// package-level lock.
+func (s *lockScan) isLocalRoot(recv ast.Expr) bool {
+	id := rootIdent(recv)
+	if id == nil {
+		return false
+	}
+	obj := s.pass.ObjectOf(id)
+	v, ok := obj.(*types.Var)
+	if !ok || v.IsField() {
+		return false
+	}
+	if s.recv != nil && obj == s.recv {
+		return false
+	}
+	// Package-level mutexes are global locks, not latches.
+	if v.Parent() == s.pass.Pkg.Scope() {
+		return false
+	}
+	return true
+}
+
+// terminates reports whether the statement (or block) always transfers
+// control away — return, branch, panic — so its lock effects never reach
+// the fallthrough path.
+func terminates(st ast.Stmt) bool {
+	switch x := st.(type) {
+	case *ast.ReturnStmt, *ast.BranchStmt:
+		return true
+	case *ast.ExprStmt:
+		if call, ok := x.X.(*ast.CallExpr); ok {
+			if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "panic" {
+				return true
+			}
+		}
+	case *ast.BlockStmt:
+		if n := len(x.List); n > 0 {
+			return terminates(x.List[n-1])
+		}
+	case *ast.IfStmt:
+		if x.Else == nil {
+			return false
+		}
+		return terminates(x.Body) && terminates(x.Else)
+	}
+	return false
+}

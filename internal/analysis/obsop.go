@@ -1,0 +1,76 @@
+package analysis
+
+import (
+	"go/ast"
+)
+
+// ObsOp enforces the PR-1 observability discipline on the public API:
+// every method that dispatches a data operation to the engine (a call
+// through an `eng` field to Get, Put, Delete, Range, GetBatch or PutBatch)
+// must also route through the obs timing hook by calling RecordOp. The
+// whole point of the observability layer is that attaching an Observer
+// covers every operation; a new public method that forwards to the engine
+// but skips RecordOp would silently fall out of the latency histograms
+// and make "p99 regressed" undiagnosable for exactly the calls that
+// regressed.
+var ObsOp = &Analyzer{
+	Name: "obsop",
+	Doc:  "public API methods dispatching engine operations must call the obs timing hook (RecordOp)",
+	Run:  runObsOp,
+}
+
+// engineOps are the engine methods that correspond to obs.Op samples.
+var engineOps = map[string]bool{
+	"Get":      true,
+	"Put":      true,
+	"Delete":   true,
+	"Range":    true,
+	"GetBatch": true,
+	"PutBatch": true,
+}
+
+func runObsOp(pass *Pass) {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			var opCall *ast.CallExpr
+			var opName string
+			recorded := false
+			ast.Inspect(fn.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				_, recv, name, ok := methodCall(pass.Info, call)
+				if !ok {
+					return true
+				}
+				if name == "RecordOp" {
+					recorded = true
+					return true
+				}
+				if !engineOps[name] {
+					return true
+				}
+				// Only calls dispatched through an `eng` field count: that
+				// is the public File's engine indirection. (f.single /
+				// f.multi never serve operations directly.)
+				if rsel, ok := recv.(*ast.SelectorExpr); ok && rsel.Sel.Name == "eng" {
+					if opCall == nil {
+						opCall, opName = call, name
+					}
+				}
+				return true
+			})
+			if opCall != nil && !recorded {
+				fname := fn.Name.Name
+				pass.Reportf(opCall.Pos(),
+					"%s dispatches eng.%s without the obs timing hook: time the call and report it with Observer.RecordOp (or route through an instrumented public method)",
+					fname, opName)
+			}
+		}
+	}
+}

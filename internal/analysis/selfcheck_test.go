@@ -1,0 +1,28 @@
+package analysis
+
+import "testing"
+
+// TestThvetClean runs the full analyzer suite against this repository
+// itself, so `go test ./...` — the tier-1 gate — fails the moment a
+// change violates a machine-checked invariant, even where `make lint` or
+// CI is not wired in. It is the test-shaped twin of `go run ./cmd/thvet`.
+func TestThvetClean(t *testing.T) {
+	root, err := FindModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := LoadModule(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) == 0 {
+		t.Fatal("LoadModule returned no packages")
+	}
+	diags := Run(All(), pkgs)
+	for _, d := range diags {
+		t.Errorf("%s", d)
+	}
+	if len(diags) > 0 {
+		t.Errorf("thvet found %d violation(s); fix them or, if the invariant itself changed, adjust internal/analysis", len(diags))
+	}
+}

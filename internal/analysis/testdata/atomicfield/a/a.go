@@ -1,0 +1,53 @@
+// Package a exercises the atomicfield golden cases: fields touched by
+// sync/atomic anywhere must be accessed atomically everywhere, and fields
+// of the typed-atomic kinds must never be copied or overwritten as values.
+package a
+
+import "sync/atomic"
+
+type counters struct {
+	hits  int64        // accessed via atomic.AddInt64/LoadInt64
+	cold  int64        // never accessed atomically: plain use is fine
+	total atomic.Int64 // typed atomic: methods only
+}
+
+func bump(c *counters) {
+	atomic.AddInt64(&c.hits, 1)
+}
+
+func load(c *counters) int64 {
+	return atomic.LoadInt64(&c.hits)
+}
+
+func plainRead(c *counters) int64 {
+	return c.hits // want `plain access to field hits`
+}
+
+func plainWrite(c *counters) {
+	c.hits = 0 // want `plain access to field hits`
+}
+
+// cold has no atomic access anywhere, so plain use is unremarkable.
+func coldUse(c *counters) int64 {
+	c.cold++
+	return c.cold
+}
+
+// Typed atomics: method calls and address-taking are the sound uses.
+func typedGood(c *counters) int64 {
+	c.total.Add(1)
+	return c.total.Load()
+}
+
+func typedAddr(c *counters) *atomic.Int64 {
+	return &c.total
+}
+
+func typedCopy(c *counters) int64 {
+	snapshot := c.total // want `field total has atomic type`
+	return snapshot.Load()
+}
+
+func typedOverwrite(c *counters) {
+	c.total = atomic.Int64{} // want `field total has atomic type`
+}

@@ -1,0 +1,17 @@
+// Package bench is outside the deterministic set: harness code may read
+// clocks and draw unseeded entropy, so nothing here is flagged.
+package bench
+
+import (
+	"math/rand"
+	"os"
+	"time"
+)
+
+func jitter() int64 {
+	return time.Now().UnixNano() + int64(rand.Intn(3))
+}
+
+func configured() string {
+	return os.Getenv("BENCH_MODE")
+}

@@ -1,0 +1,51 @@
+// Package core replicates the deterministic file layer for the golden
+// test: entropy, wall-clock time and environment reads are forbidden
+// outside the seeded constructors.
+package core
+
+import (
+	"math/rand"
+	"os"
+	"time"
+)
+
+// seeded draws every random digit from a caller-supplied seed — the
+// sanctioned pattern (rand.New / rand.NewSource are allowed).
+func seeded(seed int64, n int) []int {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]int, n)
+	for i := range out {
+		out[i] = rng.Intn(100)
+	}
+	return out
+}
+
+// zipfian layers the seeded Zipf generator on top — also sanctioned.
+func zipfian(seed int64) uint64 {
+	rng := rand.New(rand.NewSource(seed))
+	z := rand.NewZipf(rng, 1.2, 1, 25)
+	return z.Uint64()
+}
+
+func entropy() int {
+	return rand.Intn(100) // want `top-level math/rand`
+}
+
+func shuffle(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] }) // want `top-level math/rand`
+}
+
+func clock() int64 {
+	return time.Now().UnixNano() // want `time\.Now`
+}
+
+// elapsed uses time.Since, which is wall-clock free of time.Now only in
+// appearance; only the explicit time.Now call is the tracked entry point,
+// and this function has one.
+func elapsed(start time.Time) time.Duration {
+	return time.Since(start)
+}
+
+func env() string {
+	return os.Getenv("TH_SEED") // want `os\.Getenv`
+}

@@ -1,0 +1,59 @@
+// Package a replicates the store surface for the errdiscipline golden
+// test: errors from Store I/O and encoding/binary must be handled or
+// explicitly discarded with `_ =`.
+package a
+
+import (
+	"bytes"
+	"encoding/binary"
+)
+
+type Bucket struct{ n int }
+
+type Store interface {
+	Read(addr int32) (*Bucket, error)
+	Write(addr int32, b *Bucket) error
+	Sync() error
+	Close() error
+}
+
+func drop(s Store, b *Bucket) {
+	s.Read(7)     // want `error from s\.Read discarded`
+	s.Write(7, b) // want `error from s\.Write discarded`
+	s.Close()     // want `error from s\.Close discarded`
+}
+
+func deferred(s Store) {
+	defer s.Close() // want `error from s\.Close discarded by defer`
+}
+
+// explicit discards are the sanctioned escape hatch for cleanup paths
+// where an earlier error takes precedence.
+func explicit(s Store) {
+	_ = s.Close()
+}
+
+// handled errors are the normal case.
+func handled(s Store, b *Bucket) error {
+	if err := s.Write(1, b); err != nil {
+		return err
+	}
+	return s.Sync()
+}
+
+func encode(w *bytes.Buffer, v uint32) {
+	binary.Write(w, binary.LittleEndian, v) // want `error from encoding/binary\.Write discarded`
+}
+
+func encodeHandled(w *bytes.Buffer, v uint32) error {
+	return binary.Write(w, binary.LittleEndian, v)
+}
+
+type closer struct{}
+
+func (closer) Close() error { return nil }
+
+// Close on a non-store type is somebody else's policy; not flagged.
+func other(c closer) {
+	c.Close()
+}

@@ -1,0 +1,127 @@
+// Package a exercises the lockorder golden cases on a miniature of the
+// concurrent layer: per-bucket latches, a structural lock, shard locks in
+// front of a Store.
+package a
+
+import "sync"
+
+type Bucket struct{ n int }
+
+type Store interface {
+	Read(addr int32) (*Bucket, error)
+	Write(addr int32, b *Bucket) error
+}
+
+type lbucket struct {
+	mu sync.RWMutex
+	n  int
+}
+
+type File struct {
+	structural sync.Mutex
+	buckets    []*lbucket
+}
+
+// twoLatches holds a second bucket latch while the first is still held —
+// the lock-order cycle the batch path's ascending-address discipline
+// exists to prevent.
+func (f *File) twoLatches(i, j int) int {
+	a := f.buckets[i]
+	b := f.buckets[j]
+	a.mu.Lock()
+	b.mu.Lock() // want `bucket latch b\.mu acquired while a\.mu is held`
+	n := a.n + b.n
+	b.mu.Unlock()
+	a.mu.Unlock()
+	return n
+}
+
+// structuralThenLatch is the sanctioned order: the coarse structural lock
+// (a receiver field) plus at most one latch.
+func (f *File) structuralThenLatch(i int) {
+	f.structural.Lock()
+	defer f.structural.Unlock()
+	lb := f.buckets[i]
+	lb.mu.Lock()
+	lb.n++
+	lb.mu.Unlock()
+}
+
+// oneAtATime releases each latch before taking the next.
+func (f *File) oneAtATime(i, j int) {
+	a := f.buckets[i]
+	a.mu.Lock()
+	a.n++
+	a.mu.Unlock()
+	b := f.buckets[j]
+	b.mu.Lock()
+	b.n++
+	b.mu.Unlock()
+}
+
+// retryLoop mirrors the Get retry discipline: latch, validate, release on
+// mismatch, retry — never two latches at once.
+func (f *File) retryLoop(i int) int {
+	for {
+		lb := f.buckets[i]
+		lb.mu.RLock()
+		if lb.n < 0 {
+			lb.mu.RUnlock()
+			continue
+		}
+		n := lb.n
+		lb.mu.RUnlock()
+		return n
+	}
+}
+
+// mapLatch latches inside map iteration: map order is not ascending, so
+// this silently breaks the ordering argument.
+func (f *File) mapLatch(groups map[int32][]int) int {
+	total := 0
+	for addr := range groups {
+		lb := f.buckets[addr]
+		lb.mu.RLock() // want `lb\.mu acquired inside iteration over a map`
+		total += lb.n
+		lb.mu.RUnlock()
+	}
+	return total
+}
+
+// sortedLatch visits a pre-sorted slice of addresses — the partition
+// discipline — and is fine.
+func (f *File) sortedLatch(addrs []int32) int {
+	total := 0
+	for _, addr := range addrs {
+		lb := f.buckets[addr]
+		lb.mu.RLock()
+		total += lb.n
+		lb.mu.RUnlock()
+	}
+	return total
+}
+
+type shard struct {
+	mu     sync.RWMutex
+	byAddr map[int32]*Bucket
+}
+
+// fillUnderLatch reads the backing store while the shard latch is held:
+// one slow disk read would stall every hit on the shard.
+func fillUnderLatch(sh *shard, st Store, addr int32) (*Bucket, error) {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return st.Read(addr) // want `store I/O st\.Read while shard latch sh\.mu is held`
+}
+
+// fillOutsideLatch is the pool's real discipline: consult the shard under
+// the latch, read the store after releasing it.
+func fillOutsideLatch(sh *shard, st Store, addr int32) (*Bucket, error) {
+	sh.mu.RLock()
+	b, ok := sh.byAddr[addr]
+	sh.mu.RUnlock()
+	if ok {
+		return b, nil
+	}
+	return st.Read(addr)
+}

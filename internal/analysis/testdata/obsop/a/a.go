@@ -1,0 +1,54 @@
+// Package a replicates the public API shape for the obsop golden test:
+// methods dispatching engine operations through the `eng` field must call
+// the obs timing hook (RecordOp).
+package a
+
+import "time"
+
+type Observer struct{}
+
+func (o *Observer) RecordOp(op int, d time.Duration) {}
+
+type engine interface {
+	Get(key string) ([]byte, error)
+	Put(key string, value []byte) error
+	Delete(key string) error
+	Len() int
+}
+
+type File struct {
+	eng engine
+	obs *Observer
+}
+
+// Get routes through the timing hook — the PR-1 discipline.
+func (f *File) Get(key string) ([]byte, error) {
+	start := time.Now()
+	v, err := f.eng.Get(key)
+	f.obs.RecordOp(0, time.Since(start))
+	return v, err
+}
+
+// Put skips the hook: flagged.
+func (f *File) Put(key string, value []byte) error {
+	return f.eng.Put(key, value) // want `Put dispatches eng\.Put without the obs timing hook`
+}
+
+// Delete times conditionally — an attached observer is optional, and the
+// conditional call still counts as routed.
+func (f *File) Delete(key string) error {
+	if f.obs == nil {
+		return f.eng.Delete(key)
+	}
+	start := time.Now()
+	err := f.eng.Delete(key)
+	f.obs.RecordOp(2, time.Since(start))
+	return err
+}
+
+// Len is not an instrumented operation; no hook required.
+func (f *File) Len() int { return f.eng.Len() }
+
+// helper calls the engine through a non-eng field shape: not the public
+// dispatch, not flagged.
+func helper(e engine, key string) ([]byte, error) { return e.Get(key) }

@@ -1,0 +1,85 @@
+package analysis
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestThvetDriver builds the real cmd/thvet binary and drives it against
+// a scratch module: a determinism violation must produce exit code 1 with
+// a correct file:line diagnostic, and the fixed module must pass with
+// exit code 0.
+func TestThvetDriver(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds a binary")
+	}
+	root, err := FindModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	bin := filepath.Join(t.TempDir(), "thvet")
+	build := exec.Command("go", "build", "-o", bin, "./cmd/thvet")
+	build.Dir = root
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("building thvet: %v\n%s", err, out)
+	}
+
+	mod := t.TempDir()
+	write := func(rel, content string) {
+		t.Helper()
+		path := filepath.Join(mod, rel)
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write("go.mod", "module scratch\n\ngo 1.22\n")
+	write("core/core.go", `package core
+
+import "time"
+
+// Stamp breaks the determinism invariant on purpose.
+func Stamp() int64 {
+	return time.Now().UnixNano()
+}
+`)
+
+	run := func() (string, int) {
+		t.Helper()
+		cmd := exec.Command(bin, "-dir", mod)
+		out, err := cmd.CombinedOutput()
+		if err == nil {
+			return string(out), 0
+		}
+		ee, ok := err.(*exec.ExitError)
+		if !ok {
+			t.Fatalf("running thvet: %v\n%s", err, out)
+		}
+		return string(out), ee.ExitCode()
+	}
+
+	out, code := run()
+	if code != 1 {
+		t.Fatalf("thvet on violating module: exit %d, want 1\n%s", code, out)
+	}
+	if !strings.Contains(out, "core.go:7") || !strings.Contains(out, "[determinism]") {
+		t.Fatalf("thvet diagnostic missing file:line or analyzer name:\n%s", out)
+	}
+
+	write("core/core.go", `package core
+
+// Stamp now takes the clock reading from the caller.
+func Stamp(now int64) int64 {
+	return now
+}
+`)
+	out, code = run()
+	if code != 0 {
+		t.Fatalf("thvet on fixed module: exit %d, want 0\n%s", code, out)
+	}
+}

@@ -1,0 +1,187 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// deref strips one level of pointer.
+func deref(t types.Type) types.Type {
+	if p, ok := t.(*types.Pointer); ok {
+		return p.Elem()
+	}
+	return t
+}
+
+// namedOf returns the named type behind t (through one pointer and any
+// alias), or nil.
+func namedOf(t types.Type) *types.Named {
+	if t == nil {
+		return nil
+	}
+	n, _ := deref(types.Unalias(t)).(*types.Named)
+	return n
+}
+
+// isStoreType reports whether t is part of the bucket-store surface: a
+// named type called Store (the interface), or any named type declared in a
+// package named "store" (the concrete engines and the pool wrappers).
+// Matching by name keeps the predicate true both for the real
+// triehash/internal/store package and for the miniature replicas the
+// golden tests use.
+func isStoreType(t types.Type) bool {
+	n := namedOf(t)
+	if n == nil || n.Obj() == nil {
+		return false
+	}
+	if n.Obj().Name() == "Store" {
+		return true
+	}
+	return n.Obj().Pkg() != nil && n.Obj().Pkg().Name() == "store"
+}
+
+// isSyncLocker reports whether t is sync.Mutex or sync.RWMutex.
+func isSyncLocker(t types.Type) bool {
+	n := namedOf(t)
+	if n == nil || n.Obj() == nil || n.Obj().Pkg() == nil {
+		return false
+	}
+	if n.Obj().Pkg().Path() != "sync" {
+		return false
+	}
+	name := n.Obj().Name()
+	return name == "Mutex" || name == "RWMutex"
+}
+
+// pkgFunc reports whether the call invokes the package-level function
+// pkgPath.name, resolving through the type-checker (so aliased imports
+// still match).
+func pkgFunc(info *types.Info, call *ast.CallExpr, pkgPath, name string) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	obj := info.Uses[sel.Sel]
+	if obj == nil || obj.Pkg() == nil {
+		return false
+	}
+	return obj.Pkg().Path() == pkgPath && obj.Name() == name
+}
+
+// calleeFromPkg returns the object of a call to any package-level function
+// of pkgPath, or nil.
+func calleeFromPkg(info *types.Info, call *ast.CallExpr, pkgPath string) types.Object {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return nil
+	}
+	// Only package-qualified identifiers: X must name a package.
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	if _, ok := info.Uses[id].(*types.PkgName); !ok {
+		return nil
+	}
+	obj := info.Uses[sel.Sel]
+	if obj == nil || obj.Pkg() == nil || obj.Pkg().Path() != pkgPath {
+		return nil
+	}
+	return obj
+}
+
+// methodCall decomposes call into a method invocation on a value receiver
+// expression: it returns the selector, the receiver expression and the
+// method name. ok is false for plain function calls and package-qualified
+// calls.
+func methodCall(info *types.Info, call *ast.CallExpr) (sel *ast.SelectorExpr, recv ast.Expr, name string, ok bool) {
+	sel, isSel := call.Fun.(*ast.SelectorExpr)
+	if !isSel {
+		return nil, nil, "", false
+	}
+	if s, found := info.Selections[sel]; found && s.Kind() == types.MethodVal {
+		return sel, sel.X, sel.Sel.Name, true
+	}
+	return nil, nil, "", false
+}
+
+// rootIdent returns the identifier at the base of a selector/index chain
+// (lb in lb.mu, c in c.shards[i].mu), or nil.
+func rootIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			return x
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.UnaryExpr:
+			e = x.X
+		case *ast.CallExpr:
+			// (*f.bucketsPtr.Load())[g.addr]: descend into the callee so
+			// the chain still roots at the receiver.
+			e = x.Fun
+		default:
+			return nil
+		}
+	}
+}
+
+// exprString renders a selector chain compactly for messages and for lock
+// identity ("lb.mu", "f.structural"). Non-chain nodes render as "?".
+func exprString(e ast.Expr) string {
+	switch x := e.(type) {
+	case *ast.Ident:
+		return x.Name
+	case *ast.SelectorExpr:
+		return exprString(x.X) + "." + x.Sel.Name
+	case *ast.IndexExpr:
+		return exprString(x.X) + "[...]"
+	case *ast.ParenExpr:
+		return "(" + exprString(x.X) + ")"
+	case *ast.StarExpr:
+		return "*" + exprString(x.X)
+	case *ast.UnaryExpr:
+		return exprString(x.X)
+	case *ast.CallExpr:
+		return exprString(x.Fun) + "()"
+	default:
+		return "?"
+	}
+}
+
+// funcReceiver returns the receiver identifier object of decl, or nil.
+func funcReceiver(info *types.Info, decl *ast.FuncDecl) types.Object {
+	if decl.Recv == nil || len(decl.Recv.List) == 0 || len(decl.Recv.List[0].Names) == 0 {
+		return nil
+	}
+	return info.Defs[decl.Recv.List[0].Names[0]]
+}
+
+// returnsError reports whether the call's result type is error or a tuple
+// ending in error.
+func returnsError(info *types.Info, call *ast.CallExpr) bool {
+	t := info.TypeOf(call)
+	if t == nil {
+		return false
+	}
+	switch r := t.(type) {
+	case *types.Tuple:
+		if r.Len() == 0 {
+			return false
+		}
+		return isErrorType(r.At(r.Len() - 1).Type())
+	default:
+		return isErrorType(r)
+	}
+}
+
+func isErrorType(t types.Type) bool {
+	n := namedOf(t)
+	return n != nil && n.Obj() != nil && n.Obj().Pkg() == nil && n.Obj().Name() == "error"
+}

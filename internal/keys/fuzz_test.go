@@ -57,6 +57,40 @@ func FuzzComparePathBounds(f *testing.F) {
 	})
 }
 
+// FuzzKeyCompare checks that ComparePathBounds is a total order over
+// arbitrary bound triples: reflexive, antisymmetric, transitive, and
+// that equality really means the materialized bounds coincide. Every
+// trie-node ordering and every binary search over leaf bounds leans on
+// these properties; a violation would silently misroute keys.
+func FuzzKeyCompare(f *testing.F) {
+	f.Add("g", "he", "hz")
+	f.Add("", "a", "a")
+	f.Add("abc", "ab", "abd")
+	f.Fuzz(func(t *testing.T, a, b, c string) {
+		x := []byte(fuzzSanitize(a))
+		y := []byte(fuzzSanitize(b))
+		z := []byte(fuzzSanitize(c))
+		if ASCII.ComparePathBounds(x, x) != 0 {
+			t.Fatalf("not reflexive: ComparePathBounds(%q, %q) != 0", x, x)
+		}
+		xy := ASCII.ComparePathBounds(x, y)
+		if yx := ASCII.ComparePathBounds(y, x); yx != -xy {
+			t.Fatalf("not antisymmetric: cmp(%q,%q)=%d but cmp(%q,%q)=%d", x, y, xy, y, x, yx)
+		}
+		yz := ASCII.ComparePathBounds(y, z)
+		xz := ASCII.ComparePathBounds(x, z)
+		if xy <= 0 && yz <= 0 && xz > 0 {
+			t.Fatalf("not transitive: %q <= %q <= %q but cmp(%q,%q)=%d", x, y, z, x, z, xz)
+		}
+		if xy == 0 {
+			n := len(x) + len(y) + 1
+			if materialize(x, n) != materialize(y, n) {
+				t.Fatalf("cmp(%q,%q)=0 but materialized bounds differ", x, y)
+			}
+		}
+	})
+}
+
 // materialize pads a bound with explicit maximal digits to length n.
 func materialize(b []byte, n int) string {
 	out := append([]byte(nil), b...)

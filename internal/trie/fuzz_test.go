@@ -1,0 +1,56 @@
+package trie
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzTrieDecode drives the persisted-trie decoder with arbitrary bytes —
+// the one input surface thvet's static invariants cannot cover, since a
+// corrupted meta.th reaches DecodeBinary before any other validation. The
+// decoder must never panic, must reject inputs whose cell graph is not a
+// tree, and on success must round-trip: re-encoding the decoded trie and
+// decoding again yields a byte-identical encoding (the canonical-form
+// property Sync/Open relies on).
+func FuzzTrieDecode(f *testing.F) {
+	// Seed with real encodings: a one-leaf trie and the paper's Fig 3
+	// shape, plus a truncation and a corruption of the latter.
+	f.Add(New(ascii, 0).AppendBinary(nil))
+	fig3 := New(ascii, 0)
+	fig3.SetBoundary("g", []byte("g"), 0, 0, 7, ModeBasic)
+	fig3.SetBoundary("he", []byte("he"), 7, 7, 9, ModeBasic)
+	enc := fig3.AppendBinary(nil)
+	f.Add(enc)
+	f.Add(enc[:len(enc)-5])
+	corrupt := append([]byte(nil), enc...)
+	corrupt[20] ^= 0xFF
+	f.Add(corrupt)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tr, n, err := DecodeBinary(data)
+		if err != nil {
+			return
+		}
+		if n < 16 || n > len(data) {
+			t.Fatalf("DecodeBinary consumed %d of %d bytes", n, len(data))
+		}
+		enc := tr.AppendBinary(nil)
+		if len(enc) != n {
+			t.Fatalf("re-encoding yields %d bytes, decode consumed %d", len(enc), n)
+		}
+		back, n2, err := DecodeBinary(enc)
+		if err != nil {
+			t.Fatalf("re-decoding own encoding failed: %v", err)
+		}
+		if n2 != len(enc) {
+			t.Fatalf("re-decode consumed %d of %d bytes", n2, len(enc))
+		}
+		if back.Cells() != tr.Cells() || back.Root() != tr.Root() {
+			t.Fatalf("round-trip changed shape: %d/%v cells/root, want %d/%v",
+				back.Cells(), back.Root(), tr.Cells(), tr.Root())
+		}
+		if enc2 := back.AppendBinary(nil); !bytes.Equal(enc, enc2) {
+			t.Fatalf("encoding not canonical: enc(dec(enc)) differs from enc")
+		}
+	})
+}

@@ -286,7 +286,7 @@ func CreateAt(dir string, opts Options) (*File, error) {
 	}
 	f, err := create(opts, dir, wrapCache(opts, fs))
 	if err != nil {
-		fs.Close()
+		_ = fs.Close() // the create error takes precedence
 		return nil, err
 	}
 	f.setRecordLimit()
@@ -358,7 +358,7 @@ func BulkLoad(dir string, opts Options, fill float64, next func() (key string, v
 	st, hook := instrument(st)
 	c, err := core.BulkLoad(opts.coreConfig(), st, fill, next)
 	if err != nil {
-		st.Close()
+		_ = st.Close() // the load error takes precedence
 		return nil, err
 	}
 	c.SetObsHook(hook)
@@ -367,7 +367,7 @@ func BulkLoad(dir string, opts Options, fill float64, next func() (key string, v
 	if dir != "" {
 		f.setRecordLimit()
 		if err := f.syncLocked(); err != nil {
-			f.eng.Store().Close()
+			_ = f.eng.Store().Close() // the sync error takes precedence
 			return nil, err
 		}
 	}
@@ -393,7 +393,7 @@ func RecoverAt(dir string, opts Options) (*File, error) {
 	st, hook := instrument(fs)
 	c, err := core.Recover(opts.coreConfig(), st)
 	if err != nil {
-		fs.Close()
+		_ = fs.Close() // the recovery error takes precedence
 		return nil, err
 	}
 	c.SetObsHook(hook)
@@ -401,7 +401,7 @@ func RecoverAt(dir string, opts Options) (*File, error) {
 	f.single, f.eng = c, c
 	f.setRecordLimit()
 	if err := f.syncLocked(); err != nil {
-		f.eng.Store().Close()
+		_ = f.eng.Store().Close() // the sync error takes precedence
 		return nil, err
 	}
 	return f, nil
@@ -429,7 +429,7 @@ func OpenAt(dir string) (*File, error) {
 	}
 	m, merr := mlth.Open(meta, st)
 	if merr != nil {
-		fs.Close()
+		_ = fs.Close() // the open error takes precedence
 		return nil, fmt.Errorf("triehash: %s holds neither a single-level nor a multilevel file: %w", dir, merr)
 	}
 	m.SetObsHook(hook)
@@ -577,7 +577,7 @@ func (f *File) Close() error {
 	}
 	if err := f.syncLocked(); err != nil {
 		f.closed = true
-		f.eng.Store().Close()
+		_ = f.eng.Store().Close() // the sync error takes precedence
 		return err
 	}
 	f.closed = true
