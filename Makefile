@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build lint test race short bench bench-baseline bench-compare repro cover fuzz obs-bench clean
+.PHONY: all build lint test race short bench bench-baseline bench-compare repro cover fuzz obs-bench crash clean
 
 all: build lint test race
 
@@ -60,6 +60,13 @@ bench-compare:
 # uninstrumented baseline (and add zero allocations).
 obs-bench:
 	OBS_BENCH=1 $(GO) test -run TestObsOverhead -v .
+
+# The exhaustive crash-point harness: power-cut the canonical workload at
+# every journal position (clean, torn, bit-flipped, zeroed) and verify the
+# durability contract after reopening. Deterministic — no clocks, no
+# entropy — so a failure is a bug, not flake.
+crash:
+	$(GO) test -run 'TestCrashPoints$$' -v ./internal/core/
 
 cover:
 	$(GO) test -cover ./...

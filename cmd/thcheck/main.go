@@ -5,11 +5,19 @@
 //
 // With -recover it first rebuilds lost metadata from the logical-path
 // bounds stored in every bucket's header (the /TOR83/ reconstruction).
+// Opening already falls back to the same reconstruction automatically
+// when the metadata is missing or corrupt; the flag forces it.
+//
+// With -repair it scrubs the bucket file: unreadable buckets are
+// preserved in <dir>/quarantine.th, their slots released, the trie
+// rebuilt from the survivors, and the lost key ranges printed. The check
+// then runs on the repaired file.
 //
 // Usage:
 //
 //	thcheck /data/mydb
 //	thcheck -recover -b 50 /data/mydb
+//	thcheck -repair /data/mydb
 package main
 
 import (
@@ -22,10 +30,11 @@ import (
 
 func main() {
 	rec := flag.Bool("recover", false, "rebuild lost metadata from the bucket headers (TOR83)")
-	b := flag.Int("b", 20, "bucket capacity for -recover (must match the original file)")
+	repair := flag.Bool("repair", false, "scrub the bucket file: quarantine unreadable buckets and rebuild the trie from the survivors")
+	b := flag.Int("b", 0, "bucket capacity for -recover (0 = the file's capacity hint, or the fullest surviving bucket)")
 	flag.Parse()
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: thcheck [-recover -b N] <dir>")
+		fmt.Fprintln(os.Stderr, "usage: thcheck [-recover [-b N]] [-repair] <dir>")
 		os.Exit(2)
 	}
 	dir := flag.Arg(0)
@@ -41,6 +50,25 @@ func main() {
 		os.Exit(1)
 	}
 	defer f.Close()
+
+	if *repair {
+		rep, err := f.Scrub()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "thcheck: repair: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("scrubbed:    %d slots, %d healthy buckets\n", rep.SlotsScanned, rep.Survivors)
+		for _, l := range rep.Quarantined {
+			fmt.Printf("quarantined: %s\n", l)
+		}
+		for _, l := range rep.Vanished {
+			fmt.Printf("vanished:    %s\n", l)
+		}
+		if rep.Lost() {
+			fmt.Printf("records:     %d kept (%d lost with the quarantined buckets)\n",
+				rep.KeysAfter, rep.KeysBefore-rep.KeysAfter)
+		}
+	}
 
 	st := f.Stats()
 	fmt.Printf("file:        %s\n", dir)

@@ -65,13 +65,29 @@ func TestCommandLineTools(t *testing.T) {
 		t.Fatalf("corruption not reported: %s", out)
 	}
 
-	// Fresh database; destroy the metadata; recover.
+	// -repair quarantines the damaged bucket, rebuilds the trie from the
+	// survivors and reports the lost key range; the check passes again.
+	out = run(true, "", "thcheck", "-repair", db)
+	if !strings.Contains(out, "quarantined: slot") || !strings.Contains(out, "integrity:   ok") {
+		t.Fatalf("thcheck -repair: %s", out)
+	}
+	if _, err := os.Stat(filepath.Join(db, "quarantine.th")); err != nil {
+		t.Fatalf("repair left no quarantine file: %v", err)
+	}
+	run(true, "", "thcheck", db)
+
+	// Fresh database; destroy the metadata; opening falls back to salvage
+	// automatically (capacity restored from the bucket file's hint).
 	db2 := filepath.Join(t.TempDir(), "db2")
 	run(true, "", "thgen", "-dir", db2, "-n", "800", "-b", "10", "-sorted")
 	if err := os.Remove(filepath.Join(db2, "meta.th")); err != nil {
 		t.Fatal(err)
 	}
-	run(false, "", "thcheck", db2)
+	out = run(true, "", "thcheck", db2)
+	if !strings.Contains(out, "integrity:   ok") || !strings.Contains(out, "records:     800") {
+		t.Fatalf("thcheck after meta loss (auto-salvage): %s", out)
+	}
+	// The explicit recovery path still works and agrees.
 	out = run(true, "", "thcheck", "-recover", "-b", "10", db2)
 	if !strings.Contains(out, "integrity:   ok") || !strings.Contains(out, "records:     800") {
 		t.Fatalf("thcheck -recover: %s", out)

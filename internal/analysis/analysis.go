@@ -80,6 +80,7 @@ func All() []*Analyzer {
 	return []*Analyzer{
 		AtomicField,
 		Determinism,
+		Durability,
 		ErrDiscipline,
 		LockOrder,
 		ObsOp,

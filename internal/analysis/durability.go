@@ -1,0 +1,90 @@
+package analysis
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// Durability flags non-durable writes to the repository's persistent
+// files. The crash-consistency contract rests on two idioms: bytes
+// destined for a *.th file go through store.WriteFileDurable (os.WriteFile
+// leaves them in the page cache, where a power cut eats them), and a
+// rename installing a *.th file is followed by store.SyncDir on the
+// parent directory (the rename itself is metadata the directory must
+// flush). A bare os.WriteFile or an unaccompanied os.Rename on a *.th
+// path is exactly the torn-metadata bug the crash harness exists to
+// catch, so it fails the lint gate instead of waiting for a power cut.
+var Durability = &Analyzer{
+	Name: "durability",
+	Doc:  "flag os.WriteFile/os.Rename on *.th paths that skip the fsync discipline",
+	Run:  runDurability,
+}
+
+func runDurability(pass *Pass) {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			syncsDir := false
+			var renames []*ast.CallExpr
+			ast.Inspect(fn.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				switch calleeName(pass, call) {
+				case "os.WriteFile":
+					if mentionsTHPath(call) {
+						pass.Reportf(call.Pos(),
+							"os.WriteFile on a *.th path is not durable: use store.WriteFileDurable so the bytes are fsynced before use")
+					}
+				case "os.Rename":
+					if mentionsTHPath(call) {
+						renames = append(renames, call)
+					}
+				case "store.SyncDir", "SyncDir", "store.WriteFileDurable", "WriteFileDurable":
+					syncsDir = true
+				}
+				return true
+			})
+			if !syncsDir {
+				for _, call := range renames {
+					pass.Reportf(call.Pos(),
+						"os.Rename installing a *.th file without store.SyncDir on the parent directory: the rename is not durable until the directory is fsynced")
+				}
+			}
+		}
+	}
+}
+
+// calleeName renders the callee as pkg.Func / recv.Method / Func for the
+// small vocabulary this analyzer matches.
+func calleeName(pass *Pass, call *ast.CallExpr) string {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		return fun.Name
+	case *ast.SelectorExpr:
+		if id, ok := fun.X.(*ast.Ident); ok {
+			return id.Name + "." + fun.Sel.Name
+		}
+		return fun.Sel.Name
+	}
+	return ""
+}
+
+// mentionsTHPath reports whether any argument subtree contains a string
+// literal naming a .th file (directly or via filepath.Join pieces).
+func mentionsTHPath(call *ast.CallExpr) bool {
+	found := false
+	for _, arg := range call.Args {
+		ast.Inspect(arg, func(n ast.Node) bool {
+			if lit, ok := n.(*ast.BasicLit); ok && strings.Contains(lit.Value, ".th") {
+				found = true
+			}
+			return !found
+		})
+	}
+	return found
+}

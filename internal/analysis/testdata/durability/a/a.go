@@ -1,0 +1,43 @@
+// Package a replicates the persistent-file write idioms for the
+// durability golden test: *.th files are written with WriteFileDurable
+// and installed with os.Rename followed by SyncDir on the parent.
+package a
+
+import (
+	"os"
+	"path/filepath"
+)
+
+// WriteFileDurable and SyncDir stand in for the store package's
+// primitives; the analyzer matches them by name.
+func WriteFileDurable(path string, data []byte) error { return nil }
+func SyncDir(dir string) error                        { return nil }
+
+func volatileWrite(dir string, meta []byte) error {
+	return os.WriteFile(filepath.Join(dir, "meta.th"), meta, 0o644) // want `os\.WriteFile on a \*\.th path is not durable`
+}
+
+func volatileRename(dir, tmp string) error {
+	return os.Rename(tmp, filepath.Join(dir, "meta.th")) // want `os\.Rename installing a \*\.th file without store\.SyncDir`
+}
+
+// durableInstall is the sanctioned idiom: the temp file is fsynced, the
+// rename is made durable by syncing the directory.
+func durableInstall(dir string, meta []byte) error {
+	tmp := filepath.Join(dir, "meta.tmp")
+	if err := WriteFileDurable(tmp, meta); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, filepath.Join(dir, "meta.th")); err != nil {
+		return err
+	}
+	return SyncDir(dir)
+}
+
+// otherFiles outside the *.th namespace are not this analyzer's business.
+func otherFiles(dir string, b []byte) error {
+	if err := os.WriteFile(filepath.Join(dir, "notes.txt"), b, 0o644); err != nil {
+		return err
+	}
+	return os.Rename(filepath.Join(dir, "a.txt"), filepath.Join(dir, "b.txt"))
+}

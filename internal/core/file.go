@@ -37,12 +37,22 @@ type File struct {
 	// hold no live data — at most duplicates of reachable records — and
 	// Recover sweeps them.
 	abandoned map[int32]bool
+	// corruptSlots lists the slot addresses Recover found unreadable
+	// (CorruptError): the trie was rebuilt without them, and Scrub is the
+	// pass that quarantines them and releases their slots.
+	corruptSlots []int32
 	// hook carries structural events to an attached observer (nil = off).
 	hook *obs.Hook
 }
 
 // SetObsHook attaches the observability hook structural events go to.
 func (f *File) SetObsHook(h *obs.Hook) { f.hook = h }
+
+// CorruptSlots returns the slot addresses the last Recover found
+// unreadable (nil when the store was healthy). A file carrying corrupt
+// slots serves every surviving record but fails CheckInvariants until
+// Scrub quarantines the damage.
+func (f *File) CorruptSlots() []int32 { return append([]int32(nil), f.corruptSlots...) }
 
 // resolveStore caches the store capabilities consulted on hot paths.
 // Every constructor (New, Open, Recover, BulkLoad) finishes through it;

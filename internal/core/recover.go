@@ -1,9 +1,11 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 
+	"triehash/internal/bucket"
 	"triehash/internal/store"
 	"triehash/internal/trie"
 )
@@ -30,16 +32,26 @@ func Recover(cfg Config, st store.Store) (*File, error) {
 		keys  int
 	}
 	var entries []entry
+	var corrupt []int32
 	total := 0
 	for addr := int32(0); addr < st.MaxAddr(); addr++ {
 		b, err := st.Read(addr)
 		if err != nil {
-			continue // freed slot
+			// Freed slots are skipped; unreadable ones are recorded so the
+			// caller (Scrub, thcheck -repair) knows which buckets need
+			// quarantining — recovery itself proceeds on the survivors.
+			if errors.Is(err, store.ErrCorrupt) {
+				corrupt = append(corrupt, addr)
+			}
+			continue
 		}
 		entries = append(entries, entry{addr: addr, bound: b.Bound(), keys: b.Len()})
 		total += b.Len()
 	}
 	if len(entries) == 0 {
+		if len(corrupt) > 0 {
+			return nil, fmt.Errorf("core: recover: all %d readable slots are corrupt", len(corrupt))
+		}
 		return nil, fmt.Errorf("core: recover: the store holds no buckets")
 	}
 	// Sort by bound; the infinite bound (empty) is the largest.
@@ -67,7 +79,17 @@ func Recover(cfg Config, st store.Store) (*File, error) {
 			drop = prev
 			entries[len(entries)-2] = last
 		} else if last.keys > 0 && prev.keys > 0 {
-			return nil, fmt.Errorf("core: recover: two non-empty buckets (%d, %d) both claim the infinite bound", prev.addr, last.addr)
+			// A split of the top bucket leaves both twins claiming the
+			// infinite bound until the old one's shrink write lands; the
+			// same twin resolution as for finite duplicate bounds applies.
+			d, err := resolveDuplicate(st, prev.addr, last.addr)
+			if err != nil {
+				return nil, fmt.Errorf("core: recover: two non-empty buckets (%d, %d) both claim the infinite bound: %w", prev.addr, last.addr, err)
+			}
+			if d == prev.addr {
+				drop = prev
+				entries[len(entries)-2] = last
+			}
 		}
 		if err := st.Free(drop.addr); err != nil {
 			return nil, err
@@ -114,7 +136,7 @@ func Recover(cfg Config, st store.Store) (*File, error) {
 	// leaves). Empty buckets below the top cannot anchor a boundary (no
 	// key witnesses their range); their range merges into the successor
 	// and the bucket is freed — no record is lost.
-	f := (&File{cfg: cfg, st: st, nkeys: total}).resolveStore()
+	f := (&File{cfg: cfg, st: st, nkeys: total, corruptSlots: corrupt}).resolveStore()
 	if err := f.fixBound(entries[len(entries)-1].addr, nil); err != nil {
 		return nil, err
 	}
@@ -158,7 +180,55 @@ func Recover(cfg Config, st store.Store) (*File, error) {
 			return nil, err
 		}
 	}
+	if err := f.reconcileStrays(); err != nil {
+		return nil, fmt.Errorf("core: recover: %w", err)
+	}
 	return f, nil
+}
+
+// reconcileStrays drops records that do not route to the bucket holding
+// them. Redistributions and merges write the receiver before the giver,
+// so a crash between the two leaves the moved records in both buckets;
+// under the rebuilt trie the copies in the receiver sit outside its
+// range and route back to the giver, which still holds them. The one
+// record a stray may exist without a routed twin for is the in-flight,
+// never-synced insert that triggered the operation — dropping it is
+// within the durability contract either way.
+func (f *File) reconcileStrays() error {
+	seen := make(map[int32]bool)
+	total := 0
+	for _, lp := range f.trie.InorderLeaves() {
+		if lp.Leaf.IsNil() {
+			continue
+		}
+		addr := lp.Leaf.Addr()
+		if seen[addr] {
+			continue
+		}
+		seen[addr] = true
+		b, err := f.st.Read(addr)
+		if err != nil {
+			return err
+		}
+		var strays []string
+		for i := 0; i < b.Len(); i++ {
+			k := b.At(i).Key
+			if p := f.trie.SearchAddr(k); p.IsNil() || p.Addr() != addr {
+				strays = append(strays, k)
+			}
+		}
+		if len(strays) > 0 {
+			for _, k := range strays {
+				b.Delete(k)
+			}
+			if err := f.st.Write(addr, b); err != nil {
+				return err
+			}
+		}
+		total += b.Len()
+	}
+	f.nkeys = total
+	return nil
 }
 
 // fixBound rewrites a recovered bucket's header when its stored bound
@@ -176,9 +246,15 @@ func (f *File) fixBound(addr int32, bound []byte) error {
 	return f.st.Write(addr, b)
 }
 
-// resolveDuplicate decides which of two same-bound buckets to drop: the
-// one whose record set is contained in the other (the half-finished
-// split's new bucket). Any other overlap pattern is a real inconsistency.
+// resolveDuplicate decides which of two same-bound buckets to drop. Two
+// crash states produce twins. A split that wrote the new bucket but died
+// before shrinking the old one leaves the new twin's records a subset of
+// the old's — drop the subset. When the insert that triggered the split
+// was new and landed in the upper half, the new twin additionally holds
+// that one record the old twin lacks; the old twin is then the one whose
+// unshared records sort below the other's smallest key (it kept the lower
+// half), and the new twin is dropped — losing exactly the in-flight,
+// never-synced insert. Any other overlap pattern is a real inconsistency.
 func resolveDuplicate(st store.Store, a, b int32) (drop int32, err error) {
 	ba, err := st.Read(a)
 	if err != nil {
@@ -188,15 +264,46 @@ func resolveDuplicate(st store.Store, a, b int32) (drop int32, err error) {
 	if err != nil {
 		return 0, err
 	}
-	small, large := ba, bb
-	drop = a
-	if bb.Len() < ba.Len() {
-		small, large = bb, ba
-		drop = b
+	contains := func(large, small *bucket.Bucket) bool {
+		for i := 0; i < small.Len(); i++ {
+			if _, ok := large.Get(small.At(i).Key); !ok {
+				return false
+			}
+		}
+		return true
 	}
-	for i := 0; i < small.Len(); i++ {
-		if _, ok := large.Get(small.At(i).Key); !ok {
-			return 0, fmt.Errorf("record %q present in only one of the twins", small.At(i).Key)
+	switch {
+	case contains(bb, ba):
+		return a, nil
+	case contains(ba, bb):
+		return b, nil
+	}
+	// Neither is a subset: the half-finished split carrying its in-flight
+	// insert. Both twins are non-empty here (an empty one is a subset).
+	old, neu, drop := ba, bb, b
+	if bb.At(0).Key < ba.At(0).Key {
+		old, neu, drop = bb, ba, a
+	}
+	extra := 0
+	for i := 0; i < neu.Len(); i++ {
+		if _, ok := old.Get(neu.At(i).Key); !ok {
+			extra++
+		}
+	}
+	if extra > 1 {
+		return 0, fmt.Errorf("%d records present only in the newer twin", extra)
+	}
+	if extra == neu.Len() {
+		// Twins of a split always share the old upper half; disjoint
+		// buckets with equal bounds are corruption, not a crash state.
+		return 0, fmt.Errorf("the twins share no record")
+	}
+	min := neu.At(0).Key
+	for i := 0; i < old.Len(); i++ {
+		if k := old.At(i).Key; k >= min {
+			if _, ok := neu.Get(k); !ok {
+				return 0, fmt.Errorf("record %q present in only one of the twins", k)
+			}
 		}
 	}
 	return drop, nil

@@ -1,0 +1,183 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"triehash/internal/obs"
+	"triehash/internal/store"
+)
+
+// LostRange describes the key coverage of a bucket Scrub had to give up:
+// the records that lived in (Low, High] are gone (High empty = up to the
+// end of the key space). RangeKnown is false when the trie no longer
+// referenced the slot — a file already rebuilt by Recover has merged the
+// lost range into its neighbours, so only the slot address survives.
+type LostRange struct {
+	// Addr is the slot the bucket occupied.
+	Addr int32
+	// Reason is the read failure that condemned it.
+	Reason string
+	// Low and High are the range's logical-path bounds, valid when
+	// RangeKnown.
+	Low, High []byte
+	// RangeKnown reports whether the trie still mapped the slot.
+	RangeKnown bool
+}
+
+func (l LostRange) String() string {
+	s := fmt.Sprintf("slot %d (%s)", l.Addr, l.Reason)
+	if !l.RangeKnown {
+		return s + ", key range unknown"
+	}
+	hi := "∞"
+	if len(l.High) != 0 {
+		hi = fmt.Sprintf("%q", l.High)
+	}
+	return fmt.Sprintf("%s, keys in (%q, %s]", s, l.Low, hi)
+}
+
+// ScrubReport summarizes a Scrub pass: what was scanned, what was
+// quarantined, and exactly which key ranges the file lost.
+type ScrubReport struct {
+	// SlotsScanned is the number of slots examined on the base store.
+	SlotsScanned int
+	// Survivors is the number of readable live buckets kept.
+	Survivors int
+	// Quarantined lists the unreadable slots whose bytes were preserved
+	// in the quarantine file and whose slots were then released.
+	Quarantined []LostRange
+	// Vanished lists trie-referenced slots that read back as freed (a
+	// zeroed slot header): there were no bytes left to preserve.
+	Vanished []LostRange
+	// KeysBefore and KeysAfter are the file's record counts around the
+	// rebuild; the difference is the (known) record loss.
+	KeysBefore, KeysAfter int
+}
+
+// Lost reports whether the scrub gave any data up.
+func (r *ScrubReport) Lost() bool {
+	return len(r.Quarantined) > 0 || len(r.Vanished) > 0
+}
+
+// Scrub repairs a file whose bucket store is damaged: it scans every slot
+// of the base store (beneath any buffer pool, so a warm frame cannot mask
+// on-medium corruption), preserves each unreadable slot's raw bytes in
+// the quarantine file at quarantinePath (empty = keep nothing, for
+// in-memory stores), releases the damaged slots, and rebuilds the trie
+// from the surviving buckets. It returns the repaired file — the receiver
+// must not be used afterwards — and a report naming the key ranges that
+// could not be saved.
+//
+// No byte of a damaged bucket is destroyed before the quarantine file
+// holding it is durable, so a later forensic pass can still try to
+// extract its records.
+func (f *File) Scrub(quarantinePath string) (*File, *ScrubReport, error) {
+	base := store.Base(f.st)
+	clearer, _ := base.(store.SlotClearer)
+	if clearer == nil {
+		return nil, nil, fmt.Errorf("core: scrub: store %T cannot clear slots", base)
+	}
+	raw, _ := base.(store.RawReader)
+
+	// Map every trie-referenced slot to the key range it covers, so the
+	// report can say what a condemned bucket held.
+	type coverage struct {
+		low, high []byte
+		ok        bool
+	}
+	ranges := make(map[int32]coverage)
+	var prev []byte
+	for _, lp := range f.trie.InorderLeaves() {
+		if !lp.Leaf.IsNil() {
+			addr := lp.Leaf.Addr()
+			if c, seen := ranges[addr]; seen {
+				c.high = lp.Path // shared leaves: extend to the last path
+				ranges[addr] = c
+			} else {
+				ranges[addr] = coverage{low: prev, high: lp.Path, ok: true}
+			}
+		}
+		prev = lp.Path
+	}
+
+	report := &ScrubReport{KeysBefore: f.nkeys}
+	lost := func(addr int32, err error) LostRange {
+		l := LostRange{Addr: addr, Reason: err.Error()}
+		var ce *store.CorruptError
+		if errors.As(err, &ce) {
+			l.Reason = ce.Reason
+		}
+		if c, seen := ranges[addr]; seen {
+			l.Low, l.High, l.RangeKnown = c.low, c.high, c.ok
+		}
+		return l
+	}
+
+	// Pass 1: scan and classify. Corrupt slots are quarantined; slots the
+	// trie references but that read back as freed have already lost their
+	// bytes and are only reported.
+	var entries []store.QuarantineEntry
+	var condemned []LostRange
+	for addr := int32(0); addr < base.MaxAddr(); addr++ {
+		report.SlotsScanned++
+		_, err := base.Read(addr)
+		switch {
+		case err == nil:
+			report.Survivors++
+		case errors.Is(err, store.ErrCorrupt):
+			l := lost(addr, err)
+			e := store.QuarantineEntry{Addr: addr, Reason: l.Reason}
+			if raw != nil {
+				if b, rerr := raw.ReadRaw(addr); rerr == nil {
+					e.Raw = b
+				}
+			}
+			entries = append(entries, e)
+			condemned = append(condemned, l)
+		case errors.Is(err, store.ErrNotAllocated):
+			if _, referenced := ranges[addr]; referenced {
+				report.Vanished = append(report.Vanished, lost(addr, err))
+			}
+		default:
+			return nil, nil, fmt.Errorf("core: scrub: slot %d: %w", addr, err)
+		}
+	}
+	if report.Survivors == 0 {
+		return nil, nil, fmt.Errorf("core: scrub: no readable bucket survives; nothing to rebuild from")
+	}
+
+	// Pass 2: make the evidence durable, then release the slots. The
+	// order is the point — a crash between the two leaves the damaged
+	// slots in place for the next scrub, never a quarantine gap.
+	if len(entries) > 0 && quarantinePath != "" {
+		if err := store.AppendQuarantine(quarantinePath, entries); err != nil {
+			return nil, nil, fmt.Errorf("core: scrub: writing quarantine: %w", err)
+		}
+	}
+	for _, l := range condemned {
+		if err := clearer.ClearSlot(l.Addr); err != nil {
+			return nil, nil, fmt.Errorf("core: scrub: releasing slot %d: %w", l.Addr, err)
+		}
+		store.InvalidateAddr(f.st, l.Addr)
+		f.emit(obs.EvQuarantine, l.Addr, -1, l.Reason)
+		report.Quarantined = append(report.Quarantined, l)
+	}
+	for _, l := range report.Vanished {
+		if err := clearer.ClearSlot(l.Addr); err != nil {
+			return nil, nil, fmt.Errorf("core: scrub: releasing slot %d: %w", l.Addr, err)
+		}
+		store.InvalidateAddr(f.st, l.Addr)
+	}
+
+	// Pass 3: rebuild the trie from the survivors (TOR83), carrying the
+	// observer over. The rebuilt file's counters restart like any
+	// recovery's.
+	nf, err := Recover(f.cfg, f.st)
+	if err != nil {
+		return nil, nil, fmt.Errorf("core: scrub: rebuilding: %w", err)
+	}
+	nf.hook = f.hook
+	report.KeysAfter = nf.nkeys
+	return nf, report, nil
+}

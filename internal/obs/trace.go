@@ -38,6 +38,13 @@ const (
 	EvFault
 	// EvRecovery is a trie reconstruction from bucket bounds (TOR83).
 	EvRecovery
+	// EvCorrupt is slot corruption: injected (FaultStore corrupt modes, a
+	// CrashStore power cut tearing an in-flight write) or detected (a
+	// checksum failure surfacing as a CorruptError during salvage).
+	EvCorrupt
+	// EvQuarantine is an unreadable bucket moved to the quarantine file
+	// and its slot cleared (File.Scrub, thcheck -repair).
+	EvQuarantine
 
 	numEventTypes
 )
@@ -55,6 +62,8 @@ var eventNames = [numEventTypes]string{
 	EvCacheEvict:     "cache_evict",
 	EvFault:          "fault",
 	EvRecovery:       "recovery",
+	EvCorrupt:        "corrupt",
+	EvQuarantine:     "quarantine",
 }
 
 func (t EventType) String() string {

@@ -118,11 +118,18 @@ func (c *Cached) Write(addr int32, b *bucket.Bucket) error {
 
 // Free implements Store, evicting the freed bucket from the pool.
 func (c *Cached) Free(addr int32) error {
+	c.Invalidate(addr)
+	return c.Store.Free(addr)
+}
+
+// Invalidate implements Invalidator, dropping addr's frame. Required when
+// a slot changes beneath the pool (Scrub clearing a quarantined slot on
+// the base store): a retained frame would resurrect the cleared bucket.
+func (c *Cached) Invalidate(addr int32) {
 	c.mu.Lock()
 	if el, ok := c.byAddr[addr]; ok {
 		c.lru.Remove(el)
 		delete(c.byAddr, addr)
 	}
 	c.mu.Unlock()
-	return c.Store.Free(addr)
 }

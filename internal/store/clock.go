@@ -286,3 +286,10 @@ func (c *ShardedCache) Free(addr int32) error {
 	c.shard(addr).drop(addr)
 	return c.Store.Free(addr)
 }
+
+// Invalidate implements Invalidator, dropping addr's frame. Required when
+// a slot changes beneath the pool (Scrub clearing a quarantined slot on
+// the base store): a retained frame would resurrect the cleared bucket.
+func (c *ShardedCache) Invalidate(addr int32) {
+	c.shard(addr).drop(addr)
+}

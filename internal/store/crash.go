@@ -1,0 +1,351 @@
+package store
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"sync"
+
+	"triehash/internal/bucket"
+	"triehash/internal/obs"
+)
+
+// CrashStore simulates a disk whose write cache is volatile: every
+// mutation lands in the current image immediately (the running process
+// sees its own writes), but is also journaled, and Sync records a
+// durability barrier. PowerCut then materializes the image a power cut
+// would leave behind — the journal prefix up to an arbitrary mutation,
+// with the first in-flight write optionally torn or bit-flipped — which
+// the crash harness reopens and verifies against the durability contract.
+//
+// Slots hold the same checksummed frame layout as FileStore (flags,
+// payload length, crc32, payload), so a damaged boundary entry is
+// detected by Read exactly as FileStore detects a torn slot on disk.
+type CrashStore struct {
+	mu    sync.Mutex
+	slots [][]byte // framed post-images; nil = never written
+	free  []int32
+	live  int
+
+	// journal records every slot post-image in mutation order; syncs are
+	// the journal lengths at each Sync barrier.
+	journal []crashMut
+	syncs   []int
+
+	ctr  counterSet
+	hook *obs.Hook
+}
+
+// crashMut is one journaled mutation: the full frame slot addr held after
+// the write (Free and ClearSlot journal a freed frame).
+type crashMut struct {
+	addr  int32
+	frame []byte
+}
+
+// NewCrash returns an empty crash-simulation store.
+func NewCrash() *CrashStore { return &CrashStore{} }
+
+// SetObsHook attaches the observability hook power-cut corruption events
+// go to.
+func (c *CrashStore) SetObsHook(h *obs.Hook) { c.hook = h }
+
+// encodeFrame builds a slot frame in the common layout.
+func encodeFrame(flags byte, payload []byte) []byte {
+	buf := make([]byte, slotHeaderSize+len(payload))
+	buf[0] = flags
+	binary.LittleEndian.PutUint32(buf[1:], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(buf[5:], crc32.ChecksumIEEE(payload))
+	copy(buf[slotHeaderSize:], payload)
+	return buf
+}
+
+// decodeFrame verifies and splits a slot frame, reporting damage as a
+// CorruptError exactly like FileStore.readSlot.
+func decodeFrame(addr int32, buf []byte) (flags byte, payload []byte, err error) {
+	if len(buf) < slotHeaderSize {
+		return 0, nil, &CorruptError{Addr: addr, Reason: fmt.Sprintf("frame truncated to %d bytes", len(buf))}
+	}
+	flags = buf[0]
+	if flags != slotLive && flags != slotFree {
+		return 0, nil, &CorruptError{Addr: addr, Reason: fmt.Sprintf("invalid slot flags 0x%02x", flags)}
+	}
+	n := int(binary.LittleEndian.Uint32(buf[1:]))
+	if n > len(buf)-slotHeaderSize {
+		return 0, nil, &CorruptError{Addr: addr, Reason: fmt.Sprintf("corrupt length %d", n)}
+	}
+	sum := binary.LittleEndian.Uint32(buf[5:])
+	payload = buf[slotHeaderSize : slotHeaderSize+n]
+	if crc32.ChecksumIEEE(payload) != sum {
+		return 0, nil, &CorruptError{Addr: addr, Reason: "checksum mismatch"}
+	}
+	return flags, payload, nil
+}
+
+// frame returns slot addr's current frame under the caller's lock.
+func (c *CrashStore) frame(addr int32, op string) ([]byte, error) {
+	if addr < 0 || int(addr) >= len(c.slots) || c.slots[addr] == nil {
+		return nil, fmt.Errorf("%w: %s of %d", ErrNotAllocated, op, addr)
+	}
+	return c.slots[addr], nil
+}
+
+// apply installs a frame as slot addr's current image and journals it.
+func (c *CrashStore) apply(addr int32, frame []byte) {
+	for int(addr) >= len(c.slots) {
+		c.slots = append(c.slots, nil)
+	}
+	c.slots[addr] = frame
+	c.journal = append(c.journal, crashMut{addr: addr, frame: frame})
+}
+
+// Read implements Store, surfacing frame damage as CorruptError.
+func (c *CrashStore) Read(addr int32) (*bucket.Bucket, error) {
+	c.mu.Lock()
+	buf, err := c.frame(addr, "read")
+	c.mu.Unlock()
+	if err != nil {
+		return nil, err
+	}
+	flags, payload, err := decodeFrame(addr, buf)
+	if err != nil {
+		return nil, err
+	}
+	if flags != slotLive {
+		return nil, fmt.Errorf("%w: read of freed slot %d", ErrNotAllocated, addr)
+	}
+	c.ctr.reads.Add(1)
+	b, _, err := bucket.DecodeBinary(payload)
+	if err != nil {
+		return nil, &CorruptError{Addr: addr, Reason: fmt.Sprintf("payload decode: %v", err)}
+	}
+	return b, nil
+}
+
+// Write implements Store, journaling the slot's post-image.
+func (c *CrashStore) Write(addr int32, b *bucket.Bucket) error {
+	payload := b.AppendBinary(nil)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	buf, err := c.frame(addr, "write")
+	if err != nil {
+		return err
+	}
+	flags, _, err := decodeFrame(addr, buf)
+	if err != nil {
+		return err
+	}
+	if flags != slotLive {
+		return fmt.Errorf("%w: write of freed slot %d", ErrNotAllocated, addr)
+	}
+	c.ctr.writes.Add(1)
+	c.apply(addr, encodeFrame(slotLive, payload))
+	return nil
+}
+
+// Alloc implements Store, journaling the new slot's empty-bucket frame.
+func (c *CrashStore) Alloc() (int32, error) {
+	c.ctr.allocs.Add(1)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var addr int32
+	if n := len(c.free); n > 0 {
+		addr = c.free[n-1]
+		c.free = c.free[:n-1]
+	} else {
+		addr = int32(len(c.slots))
+	}
+	c.apply(addr, encodeFrame(slotLive, bucket.New(0).AppendBinary(nil)))
+	c.live++
+	return addr, nil
+}
+
+// Free implements Store, journaling a freed frame.
+func (c *CrashStore) Free(addr int32) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	buf, err := c.frame(addr, "free")
+	if err != nil {
+		return err
+	}
+	flags, _, err := decodeFrame(addr, buf)
+	if err != nil {
+		return err
+	}
+	if flags != slotLive {
+		return fmt.Errorf("%w: double free of slot %d", ErrNotAllocated, addr)
+	}
+	c.ctr.frees.Add(1)
+	c.apply(addr, encodeFrame(slotFree, nil))
+	c.live--
+	c.free = append(c.free, addr)
+	return nil
+}
+
+// Sync records a durability barrier: every journaled mutation before this
+// point survives any later power cut.
+func (c *CrashStore) Sync() error {
+	c.mu.Lock()
+	c.syncs = append(c.syncs, len(c.journal))
+	c.mu.Unlock()
+	return nil
+}
+
+// Journal returns the number of mutations recorded so far.
+func (c *CrashStore) Journal() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.journal)
+}
+
+// Syncs returns the journal positions of the Sync barriers, in order.
+func (c *CrashStore) Syncs() []int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]int(nil), c.syncs...)
+}
+
+// PowerCut returns the store image a power cut leaves after exactly
+// applied journaled mutations reached the medium: the journal prefix
+// replayed onto an empty image, bookkeeping rebuilt from the surviving
+// slot flags exactly as OpenFile rebuilds it from disk.
+func (c *CrashStore) PowerCut(applied int) *CrashStore {
+	img, _ := c.cut(applied, false, 0, 0)
+	return img
+}
+
+// PowerCutDamaged is PowerCut with the first in-flight mutation (journal
+// index applied) additionally reaching the medium damaged per kind — the
+// torn multi-sector write a real power cut produces. It returns the
+// damaged slot's address, or -1 when no mutation was in flight. The
+// damage is deterministic in seed and is reported to the attached
+// observer as an EvCorrupt event.
+func (c *CrashStore) PowerCutDamaged(applied int, kind CorruptKind, seed int64) (*CrashStore, int32) {
+	return c.cut(applied, true, kind, seed)
+}
+
+func (c *CrashStore) cut(applied int, damage bool, kind CorruptKind, seed int64) (*CrashStore, int32) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if applied < 0 {
+		applied = 0
+	}
+	if applied > len(c.journal) {
+		applied = len(c.journal)
+	}
+	img := &CrashStore{}
+	install := func(addr int32, frame []byte) {
+		for int(addr) >= len(img.slots) {
+			img.slots = append(img.slots, nil)
+		}
+		img.slots[addr] = frame
+	}
+	for _, m := range c.journal[:applied] {
+		install(m.addr, append([]byte(nil), m.frame...))
+	}
+	damagedAddr := int32(-1)
+	if damage && applied < len(c.journal) {
+		m := c.journal[applied]
+		frame := append([]byte(nil), m.frame...)
+		if err := damageFrame(frame, kind, corruptMix(seed, m.addr)); err == nil {
+			install(m.addr, frame)
+			damagedAddr = m.addr
+			c.hook.Observer().Emit(obs.Event{
+				Type: obs.EvCorrupt, Op: obs.OpWrite, Addr: m.addr,
+				Detail: fmt.Sprintf("power cut tore in-flight write (%s)", kind),
+			})
+		}
+	}
+	// Rebuild bookkeeping from the surviving flags, the same
+	// classification OpenFile applies to a real file: flags == live is a
+	// live slot, everything else (freed, zeroed, never written) is free.
+	for a := int32(0); int(a) < len(img.slots); a++ {
+		if f := img.slots[a]; f != nil && len(f) > 0 && f[0] == slotLive {
+			img.live++
+		} else {
+			img.free = append(img.free, a)
+		}
+	}
+	return img, damagedAddr
+}
+
+// CorruptSlot implements Corrupter, damaging the current image in place
+// (the journal keeps the undamaged post-image: injected decay is a
+// property of the medium, not of the write that once succeeded).
+func (c *CrashStore) CorruptSlot(addr int32, kind CorruptKind, seed int64) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	buf, err := c.frame(addr, "corrupt")
+	if err != nil {
+		return err
+	}
+	frame := append([]byte(nil), buf...)
+	if err := damageFrame(frame, kind, corruptMix(seed, addr)); err != nil {
+		return err
+	}
+	c.slots[addr] = frame
+	return nil
+}
+
+// ReadRaw implements RawReader: the slot's frame bytes as "stored".
+func (c *CrashStore) ReadRaw(addr int32) ([]byte, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	buf, err := c.frame(addr, "raw read")
+	if err != nil {
+		return nil, err
+	}
+	return append([]byte(nil), buf...), nil
+}
+
+// ClearSlot implements SlotClearer: the slot is released regardless of
+// its content, with the clear journaled like any other mutation.
+func (c *CrashStore) ClearSlot(addr int32) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if addr < 0 || int(addr) >= len(c.slots) {
+		return fmt.Errorf("%w: clear of %d", ErrNotAllocated, addr)
+	}
+	wasLive := false
+	if f := c.slots[addr]; f != nil && len(f) > 0 && f[0] == slotLive {
+		wasLive = true
+	}
+	onFree := false
+	for _, a := range c.free {
+		if a == addr {
+			onFree = true
+			break
+		}
+	}
+	c.apply(addr, encodeFrame(slotFree, nil))
+	if wasLive {
+		c.live--
+	}
+	if !onFree {
+		c.free = append(c.free, addr)
+	}
+	return nil
+}
+
+// Buckets implements Store.
+func (c *CrashStore) Buckets() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.live
+}
+
+// MaxAddr implements Store.
+func (c *CrashStore) MaxAddr() int32 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return int32(len(c.slots))
+}
+
+// Counters implements Store.
+func (c *CrashStore) Counters() Counters { return c.ctr.snapshot() }
+
+// ResetCounters implements Store.
+func (c *CrashStore) ResetCounters() { c.ctr.reset() }
+
+// Close implements Store.
+func (c *CrashStore) Close() error { return nil }

@@ -1,0 +1,47 @@
+package store
+
+import (
+	"errors"
+	"os"
+	"syscall"
+)
+
+// WriteFileDurable writes data to path and fsyncs the file before
+// returning: unlike os.WriteFile, the bytes have reached stable storage —
+// not just the page cache — when it succeeds. The atomic-replace pattern
+// (write tmp, rename over target) is only crash-safe when the tmp file is
+// synced before the rename and the directory after it; this is the first
+// half, SyncDir the second.
+func WriteFileDurable(path string, data []byte) error {
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// SyncDir fsyncs the directory at dir, making a rename within it durable.
+// Filesystems that cannot sync directories (EINVAL/ENOTSUP) are tolerated:
+// on those media the rename is as durable as it gets.
+func SyncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if closeErr := d.Close(); err == nil {
+		err = closeErr
+	}
+	if err != nil && (errors.Is(err, syscall.EINVAL) || errors.Is(err, syscall.ENOTSUP)) {
+		return nil
+	}
+	return err
+}

@@ -14,7 +14,11 @@ var ErrInjected = errors.New("store: injected fault")
 
 // FaultStore wraps a Store and fails operations on command — the failure
 // injection used to verify the file layer surfaces storage errors instead
-// of panicking or corrupting itself.
+// of panicking or corrupting itself. Two injection families exist: the
+// clean mode (Arm) fails whole operations atomically with ErrInjected,
+// while the dirty mode (ArmCorrupt) lets writes "succeed" but damages the
+// written slot in place — the torn-write and bit-flip failures a power cut
+// produces, which only a later read or reopen discovers.
 type FaultStore struct {
 	Store
 	// remaining counts successful operations before every subsequent
@@ -23,6 +27,11 @@ type FaultStore struct {
 	// failReads/failWrites select which operations are eligible.
 	failReads  bool
 	failWrites bool
+	// corruptor, when non-nil, switches tripped writes from clean errors
+	// to silent in-place corruption of kind corruptKind.
+	corruptor   Corrupter
+	corruptKind CorruptKind
+	corruptSeed int64
 	// hook reports trips to an attached observer (nil = off).
 	hook *obs.Hook
 }
@@ -35,14 +44,34 @@ func NewFault(s Store) *FaultStore {
 }
 
 // Arm makes the store fail reads and/or writes after n more successful
-// eligible operations.
+// eligible operations (the clean-failure mode).
 func (f *FaultStore) Arm(n int64, reads, writes bool) {
 	f.failReads, f.failWrites = reads, writes
+	f.corruptor = nil
 	f.remaining.Store(n)
 }
 
+// ArmCorrupt makes every write after n more successful ones reach the
+// store and then be damaged in place per kind (the dirty-failure mode: the
+// caller sees success, the medium holds garbage). The damage is
+// deterministic in seed. It returns an error when no store in the wrapped
+// chain can corrupt slots.
+func (f *FaultStore) ArmCorrupt(n int64, kind CorruptKind, seed int64) error {
+	c := AsCorrupter(f.Store)
+	if c == nil {
+		return fmt.Errorf("store: fault: no Corrupter in the wrapped chain")
+	}
+	f.failReads, f.failWrites = false, true
+	f.corruptor, f.corruptKind, f.corruptSeed = c, kind, seed
+	f.remaining.Store(n)
+	return nil
+}
+
 // Disarm restores normal operation.
-func (f *FaultStore) Disarm() { f.remaining.Store(-1) }
+func (f *FaultStore) Disarm() {
+	f.corruptor = nil
+	f.remaining.Store(-1)
+}
 
 // SetObsHook attaches the observability hook trip events go to.
 func (f *FaultStore) SetObsHook(h *obs.Hook) { f.hook = h }
@@ -81,9 +110,28 @@ func (f *FaultStore) Read(addr int32) (*bucket.Bucket, error) {
 	return f.Store.Read(addr)
 }
 
-// Write implements Store with fault injection.
+// Write implements Store with fault injection. In corrupt mode a tripped
+// write reaches the store and is then damaged in place — the write
+// "succeeds", and only a later read (or reopen) finds the torn slot.
 func (f *FaultStore) Write(addr int32, b *bucket.Bucket) error {
 	if f.failWrites && f.trip() {
+		if c := f.corruptor; c != nil {
+			if err := f.Store.Write(addr, b); err != nil {
+				return err
+			}
+			if err := c.CorruptSlot(addr, f.corruptKind, f.corruptSeed); err != nil {
+				return fmt.Errorf("store: fault: corrupting slot %d: %w", addr, err)
+			}
+			// Pools between this wrapper and the base hold the good copy
+			// (exactly like a page cache over a torn disk write); drop it
+			// so in-process reads see what the medium sees.
+			InvalidateAddr(f.Store, addr)
+			f.hook.Observer().Emit(obs.Event{
+				Type: obs.EvCorrupt, Op: obs.OpWrite, Addr: addr,
+				Detail: fmt.Sprintf("injected %s corruption", f.corruptKind),
+			})
+			return nil
+		}
 		f.tripped(obs.OpWrite, addr)
 		return fmt.Errorf("%w: write of %d", ErrInjected, addr)
 	}

@@ -11,17 +11,25 @@ import (
 
 // FileStore persists buckets in a single file of fixed-size slots, one per
 // bucket address. Each slot carries a checksummed header, so torn or
-// corrupted slots are detected at read time. The layout mirrors the
-// paper's disk model: one slot transfer per bucket access.
+// corrupted slots are detected at read time and surface as CorruptError.
+// The layout mirrors the paper's disk model: one slot transfer per bucket
+// access.
 //
 // Layout:
 //
-//	file header (32 bytes): magic, version, slot size
+//	file header (32 bytes): magic, version, slot size, capacity hint
 //	slot k at offset 32 + k*slotSize:
 //	    flags (1), payload length (4), crc32 of payload (4), payload
+//
+// The capacity hint records the file's bucket capacity b redundantly, so
+// salvage (OpenAt's fallback reconstruction) can rebuild a file whose
+// metadata is lost without being told b. Zero (files written before the
+// hint existed) means "unknown"; the salvage path then infers b from the
+// fullest surviving bucket.
 type FileStore struct {
 	f        *os.File
 	slotSize int
+	hint     int   // capacity hint from the header; 0 = unknown
 	slots    int32 // slots present in the file (allocated + freed)
 	free     []int32
 	live     int
@@ -78,7 +86,11 @@ func OpenFile(path string) (*FileStore, error) {
 		f.Close()
 		return nil, fmt.Errorf("store: unsupported version %d", v)
 	}
-	s := &FileStore{f: f, slotSize: int(binary.LittleEndian.Uint32(hdr[8:]))}
+	s := &FileStore{
+		f:        f,
+		slotSize: int(binary.LittleEndian.Uint32(hdr[8:])),
+		hint:     int(binary.LittleEndian.Uint32(hdr[12:])),
+	}
 	st, err := f.Stat()
 	if err != nil {
 		f.Close()
@@ -107,6 +119,25 @@ func (s *FileStore) offset(addr int32) int64 {
 // SlotSize returns the configured slot size.
 func (s *FileStore) SlotSize() int { return s.slotSize }
 
+// CapacityHint returns the bucket capacity recorded in the file header, or
+// 0 when the file predates the hint.
+func (s *FileStore) CapacityHint() int { return s.hint }
+
+// SetCapacityHint records the bucket capacity b in the file header — the
+// redundancy that lets salvage rebuild the file without its metadata.
+func (s *FileStore) SetCapacityHint(b int) error {
+	if b < 0 {
+		return fmt.Errorf("store: negative capacity hint %d", b)
+	}
+	var buf [4]byte
+	binary.LittleEndian.PutUint32(buf[:], uint32(b))
+	if _, err := s.f.WriteAt(buf[:], 12); err != nil {
+		return err
+	}
+	s.hint = b
+	return nil
+}
+
 func (s *FileStore) readSlot(addr int32) (flags byte, payload []byte, err error) {
 	if addr < 0 || addr >= s.slots {
 		return 0, nil, fmt.Errorf("%w: slot %d of %d", ErrNotAllocated, addr, s.slots)
@@ -116,14 +147,17 @@ func (s *FileStore) readSlot(addr int32) (flags byte, payload []byte, err error)
 		return 0, nil, fmt.Errorf("store: slot %d: %w", addr, err)
 	}
 	flags = buf[0]
+	if flags != slotLive && flags != slotFree {
+		return 0, nil, &CorruptError{Addr: addr, Reason: fmt.Sprintf("invalid slot flags 0x%02x", flags)}
+	}
 	n := int(binary.LittleEndian.Uint32(buf[1:]))
 	if n > s.slotSize-slotHeaderSize {
-		return 0, nil, fmt.Errorf("store: slot %d: corrupt length %d", addr, n)
+		return 0, nil, &CorruptError{Addr: addr, Reason: fmt.Sprintf("corrupt length %d", n)}
 	}
 	sum := binary.LittleEndian.Uint32(buf[5:])
 	payload = buf[slotHeaderSize : slotHeaderSize+n]
 	if crc32.ChecksumIEEE(payload) != sum {
-		return 0, nil, fmt.Errorf("store: slot %d: checksum mismatch", addr)
+		return 0, nil, &CorruptError{Addr: addr, Reason: "checksum mismatch"}
 	}
 	return flags, payload, nil
 }
@@ -153,7 +187,7 @@ func (s *FileStore) Read(addr int32) (*bucket.Bucket, error) {
 	s.ctr.reads.Add(1)
 	b, _, err := bucket.DecodeBinary(payload)
 	if err != nil {
-		return nil, fmt.Errorf("store: slot %d: %w", addr, err)
+		return nil, &CorruptError{Addr: addr, Reason: fmt.Sprintf("payload decode: %v", err)}
 	}
 	return b, nil
 }
@@ -205,6 +239,70 @@ func (s *FileStore) Free(addr int32) error {
 	s.live--
 	s.free = append(s.free, addr)
 	return nil
+}
+
+// ReadRaw implements RawReader: the slot's bytes exactly as stored, no
+// checksum verification — what Scrub preserves in the quarantine file.
+func (s *FileStore) ReadRaw(addr int32) ([]byte, error) {
+	if addr < 0 || addr >= s.slots {
+		return nil, fmt.Errorf("%w: raw read of slot %d of %d", ErrNotAllocated, addr, s.slots)
+	}
+	buf := make([]byte, s.slotSize)
+	if _, err := s.f.ReadAt(buf, s.offset(addr)); err != nil {
+		return nil, fmt.Errorf("store: slot %d: %w", addr, err)
+	}
+	return buf, nil
+}
+
+// inFree reports whether addr is already on the free list.
+func (s *FileStore) inFree(addr int32) bool {
+	for _, a := range s.free {
+		if a == addr {
+			return true
+		}
+	}
+	return false
+}
+
+// ClearSlot implements SlotClearer: the slot is marked free regardless of
+// its content. Free refuses a slot that no longer reads back; this is the
+// release path for quarantined slots (their bytes already preserved).
+func (s *FileStore) ClearSlot(addr int32) error {
+	if addr < 0 || addr >= s.slots {
+		return fmt.Errorf("%w: clear of slot %d of %d", ErrNotAllocated, addr, s.slots)
+	}
+	if err := s.writeSlot(addr, slotFree, nil); err != nil {
+		return err
+	}
+	// Bookkeeping follows the in-memory classification (live iff not on
+	// the free list), which OpenFile derived from the flags and which
+	// stays self-consistent even when the on-disk flags were damaged.
+	if !s.inFree(addr) {
+		s.live--
+		s.free = append(s.free, addr)
+	}
+	return nil
+}
+
+// CorruptSlot implements Corrupter: it damages addr in place, simulating
+// the dirty failure modes a power cut or decaying medium produces. The
+// damaged offset and bit derive deterministically from seed, so crash
+// tests replay exactly. Allocator bookkeeping is intentionally left
+// untouched — the corruption is silent until a read or reopen finds it,
+// which is the scenario under test.
+func (s *FileStore) CorruptSlot(addr int32, kind CorruptKind, seed int64) error {
+	if addr < 0 || addr >= s.slots {
+		return fmt.Errorf("%w: corrupt of slot %d of %d", ErrNotAllocated, addr, s.slots)
+	}
+	buf := make([]byte, s.slotSize)
+	if _, err := s.f.ReadAt(buf, s.offset(addr)); err != nil {
+		return fmt.Errorf("store: slot %d: %w", addr, err)
+	}
+	if err := damageFrame(buf, kind, corruptMix(seed, addr)); err != nil {
+		return err
+	}
+	_, err := s.f.WriteAt(buf, s.offset(addr))
+	return err
 }
 
 // Buckets implements Store.

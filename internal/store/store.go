@@ -128,9 +128,16 @@ func View(s Store, addr int32) (*bucket.Bucket, error) {
 type MemStore struct {
 	mu    sync.RWMutex
 	slots []*bucket.Bucket // nil = free slot
-	free  []int32
-	live  int
-	ctr   counterSet
+	// corrupt marks slots whose accesses must fail with a CorruptError —
+	// MemStore's byte-free equivalent of a torn or decayed slot, planted
+	// by CorruptSlot so corruption-recovery paths are testable without a
+	// real file. Like FileStore (which verifies a slot's flags before
+	// overwriting or freeing it), writes and frees of a corrupt slot fail
+	// too; ClearSlot is the only way out, exactly the salvage discipline.
+	corrupt map[int32]string
+	free    []int32
+	live    int
+	ctr     counterSet
 }
 
 // NewMem returns an empty in-memory store.
@@ -140,6 +147,9 @@ func NewMem() *MemStore { return &MemStore{} }
 func (s *MemStore) slot(addr int32, op string) (*bucket.Bucket, error) {
 	if int(addr) >= len(s.slots) || addr < 0 || s.slots[addr] == nil {
 		return nil, fmt.Errorf("%w: %s of %d", ErrNotAllocated, op, addr)
+	}
+	if reason, ok := s.corrupt[addr]; ok {
+		return nil, &CorruptError{Addr: addr, Reason: reason}
 	}
 	return s.slots[addr], nil
 }
@@ -227,6 +237,49 @@ func (s *MemStore) MaxAddr() int32 {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	return int32(len(s.slots))
+}
+
+// CorruptSlot implements Corrupter: the slot's reads (and writes/frees,
+// which verify the slot first) fail with a CorruptError until the slot is
+// cleared. CorruptZero silently drops the slot instead — it reads back as
+// never allocated, the byte-level outcome of a zeroed header. seed is
+// unused: MemStore stores no bytes, so there is no offset to choose.
+func (s *MemStore) CorruptSlot(addr int32, kind CorruptKind, seed int64) error {
+	_ = seed
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if int(addr) >= len(s.slots) || addr < 0 || s.slots[addr] == nil {
+		return fmt.Errorf("%w: corrupt of %d", ErrNotAllocated, addr)
+	}
+	if kind == CorruptZero {
+		s.live--
+		s.slots[addr] = nil
+		s.free = append(s.free, addr)
+		delete(s.corrupt, addr)
+		return nil
+	}
+	if s.corrupt == nil {
+		s.corrupt = make(map[int32]string)
+	}
+	s.corrupt[addr] = fmt.Sprintf("injected %s", kind)
+	return nil
+}
+
+// ClearSlot implements SlotClearer: the slot is released regardless of its
+// corruption marker — the quarantine step of Scrub.
+func (s *MemStore) ClearSlot(addr int32) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if int(addr) >= len(s.slots) || addr < 0 {
+		return fmt.Errorf("%w: clear of %d", ErrNotAllocated, addr)
+	}
+	delete(s.corrupt, addr)
+	if s.slots[addr] != nil {
+		s.live--
+		s.slots[addr] = nil
+		s.free = append(s.free, addr)
+	}
+	return nil
 }
 
 // Counters implements Store.

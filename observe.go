@@ -49,6 +49,8 @@ const (
 	EvCacheEvict     = obs.EvCacheEvict
 	EvFault          = obs.EvFault
 	EvRecovery       = obs.EvRecovery
+	EvCorrupt        = obs.EvCorrupt
+	EvQuarantine     = obs.EvQuarantine
 )
 
 // NewObserver returns an Observer ready to attach with File.Observe.

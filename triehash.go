@@ -284,6 +284,10 @@ func CreateAt(dir string, opts Options) (*File, error) {
 	if err != nil {
 		return nil, err
 	}
+	if err := fs.SetCapacityHint(opts.BucketCapacity); err != nil {
+		_ = fs.Close()
+		return nil, err
+	}
 	f, err := create(opts, dir, wrapCache(opts, fs))
 	if err != nil {
 		_ = fs.Close() // the create error takes precedence
@@ -352,6 +356,10 @@ func BulkLoad(dir string, opts Options, fill float64, next func() (key string, v
 		if err != nil {
 			return nil, err
 		}
+		if err := fs.SetCapacityHint(opts.BucketCapacity); err != nil {
+			_ = fs.Close()
+			return nil, err
+		}
 		st = fs
 	}
 	st = wrapCache(opts, st)
@@ -378,11 +386,17 @@ func BulkLoad(dir string, opts Options, fill float64, next func() (key string, v
 // lost or corrupted, using only the bucket file: every bucket's header
 // carries its logical-path bound, from which an equivalent — usually
 // better balanced — trie is reconstructed (the /TOR83/ recovery the
-// paper's conclusion describes). opts must supply the original bucket
-// capacity; the recovered file continues under the THCL variant. The
+// paper's conclusion describes). The original bucket capacity is taken
+// from opts.BucketCapacity when supplied, else from the bucket file's
+// capacity hint, else inferred from the fullest surviving bucket (a
+// lower bound — a never-filled file recovers with earlier splits, which
+// is safe). The recovered file continues under the THCL variant, and the
 // rebuilt metadata is written back before returning.
+//
+// Buckets whose slots no longer read back (torn writes, bit rot) are
+// skipped: the rebuilt trie serves every surviving record, but the file
+// fails Check until Scrub quarantines the damaged slots.
 func RecoverAt(dir string, opts Options) (*File, error) {
-	opts = opts.normalize()
 	if opts.PageCapacity > 0 {
 		return nil, fmt.Errorf("triehash: recovery of multilevel files is not supported (rebuild yields a single-level trie; open it without PageCapacity)")
 	}
@@ -390,6 +404,15 @@ func RecoverAt(dir string, opts Options) (*File, error) {
 	if err != nil {
 		return nil, err
 	}
+	if opts.BucketCapacity == 0 {
+		if h := fs.CapacityHint(); h > 0 {
+			opts.BucketCapacity = h
+		} else if b := fullestBucket(fs); b > 0 {
+			opts.BucketCapacity = b
+		}
+	}
+	opts = opts.normalize()
+	opts.SlotBytes = fs.SlotSize()
 	st, hook := instrument(fs)
 	c, err := core.Recover(opts.coreConfig(), st)
 	if err != nil {
@@ -397,6 +420,10 @@ func RecoverAt(dir string, opts Options) (*File, error) {
 		return nil, err
 	}
 	c.SetObsHook(hook)
+	if fs.CapacityHint() == 0 {
+		// Repair the missing redundancy while we are here (pre-hint file).
+		_ = fs.SetCapacityHint(c.Config().Capacity)
+	}
 	f := &File{opts: opts, alpha: opts.alphabet(), dir: dir, hook: hook, recovered: true}
 	f.single, f.eng = c, c
 	f.setRecordLimit()
@@ -407,11 +434,38 @@ func RecoverAt(dir string, opts Options) (*File, error) {
 	return f, nil
 }
 
+// fullestBucket scans the store for the largest surviving record count —
+// the lower bound on the lost file's bucket capacity RecoverAt falls back
+// to when the header hint is absent.
+func fullestBucket(st store.Store) int {
+	max := 0
+	for addr := int32(0); addr < st.MaxAddr(); addr++ {
+		b, err := st.Read(addr)
+		if err != nil {
+			continue
+		}
+		if b.Len() > max {
+			max = b.Len()
+		}
+	}
+	return max
+}
+
 // OpenAt reopens a file previously created with CreateAt and synced.
+//
+// When dir/meta.th is missing, truncated or fails its checksum, OpenAt
+// falls back to salvage: the trie is reconstructed from the bucket file
+// alone (RecoverAt) and fresh metadata is written back. The salvaged file
+// serves every record whose bucket survives — buckets the medium damaged
+// are skipped and left for Scrub (or thcheck -repair) to quarantine. Only
+// when the bucket file itself is unusable does OpenAt fail.
 func OpenAt(dir string) (*File, error) {
 	meta, err := os.ReadFile(filepath.Join(dir, "meta.th"))
 	if err != nil {
-		return nil, err
+		if !errors.Is(err, os.ErrNotExist) {
+			return nil, err
+		}
+		return salvageAt(dir, err)
 	}
 	fs, err := store.OpenFile(filepath.Join(dir, "buckets.th"))
 	if err != nil {
@@ -429,14 +483,24 @@ func OpenAt(dir string) (*File, error) {
 	}
 	m, merr := mlth.Open(meta, st)
 	if merr != nil {
-		_ = fs.Close() // the open error takes precedence
-		return nil, fmt.Errorf("triehash: %s holds neither a single-level nor a multilevel file: %w", dir, merr)
+		_ = fs.Close() // salvage reopens the bucket file itself
+		return salvageAt(dir, fmt.Errorf("%s holds neither a single-level nor a multilevel file: %w", dir, merr))
 	}
 	m.SetObsHook(hook)
 	f.multi, f.eng = m, m
 	f.alpha = m.Alphabet()
 	f.opts = Options{BucketCapacity: m.Capacity(), SlotBytes: fs.SlotSize()}
 	f.setRecordLimit()
+	return f, nil
+}
+
+// salvageAt is OpenAt's fallback when the metadata is lost: reconstruct
+// from the buckets, reporting both failures if even that is impossible.
+func salvageAt(dir string, cause error) (*File, error) {
+	f, err := RecoverAt(dir, Options{})
+	if err != nil {
+		return nil, fmt.Errorf("triehash: %s: metadata unusable (%v) and salvage failed: %w", dir, cause, err)
+	}
 	return f, nil
 }
 
@@ -561,11 +625,19 @@ func (f *File) syncLocked() error {
 			return err
 		}
 	}
+	// The classic atomic-replace dance, with both fsyncs that make it
+	// durable: the tmp file is synced before the rename (otherwise the
+	// rename can land while the contents are still in the page cache, and
+	// a crash leaves a valid-looking empty meta file), and the directory
+	// is synced after it (otherwise the rename itself may not survive).
 	tmp := filepath.Join(f.dir, "meta.th.tmp")
-	if err := os.WriteFile(tmp, f.eng.SaveMeta(), 0o644); err != nil {
+	if err := store.WriteFileDurable(tmp, f.eng.SaveMeta()); err != nil {
 		return err
 	}
-	return os.Rename(tmp, filepath.Join(f.dir, "meta.th"))
+	if err := os.Rename(tmp, filepath.Join(f.dir, "meta.th")); err != nil {
+		return err
+	}
+	return store.SyncDir(f.dir)
 }
 
 // Close syncs (for persistent files) and releases the file.

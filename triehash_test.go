@@ -394,12 +394,27 @@ func TestRecoverAt(t *testing.T) {
 	if err := f.Close(); err != nil {
 		t.Fatal(err)
 	}
-	// The crash: metadata gone.
+	// The crash: metadata gone. OpenAt salvages automatically, taking the
+	// bucket capacity from the bucket file's header hint.
 	if err := os.Remove(filepath.Join(dir, "meta.th")); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := OpenAt(dir); err == nil {
-		t.Fatal("OpenAt without metadata succeeded")
+	s, err := OpenAt(dir)
+	if err != nil {
+		t.Fatalf("OpenAt auto-salvage: %v", err)
+	}
+	if s.Len() != len(ks) {
+		t.Fatalf("auto-salvage kept %d keys, want %d", s.Len(), len(ks))
+	}
+	if err := s.CheckInvariants(); err != nil {
+		t.Fatalf("auto-salvage invariants: %v", err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Lose the metadata again and exercise the explicit recovery path.
+	if err := os.Remove(filepath.Join(dir, "meta.th")); err != nil {
+		t.Fatal(err)
 	}
 	g, err := RecoverAt(dir, Options{BucketCapacity: 10})
 	if err != nil {
