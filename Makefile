@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build lint test race short bench bench-baseline bench-compare repro cover fuzz obs-bench crash clean
+.PHONY: all build lint test race short bench bench-baseline bench-compare bench-put-compare repro cover fuzz obs-bench crash clean
 
 all: build lint test race
 
@@ -16,10 +16,12 @@ lint:
 	$(GO) run ./cmd/thvet
 
 # The race pass on the concurrency-bearing packages is part of the default
-# test gate: the sharded pool and the batch path live or die by it.
+# test gate: the sharded pool, the batch path, and the concurrent engine's
+# public stress tests live or die by it.
 test:
 	$(GO) test ./...
 	$(GO) test -race ./internal/concurrent ./internal/store
+	$(GO) test -race -run 'TestConcurrent' .
 
 race:
 	$(GO) test -race ./...
@@ -60,6 +62,13 @@ bench-compare:
 # uninstrumented baseline (and add zero allocations).
 obs-bench:
 	OBS_BENCH=1 $(GO) test -run TestObsOverhead -v .
+
+# Write-path scaling gate: global-lock vs concurrent engine, serial and
+# parallel Put/PutBatch/mixed, on a fully cached in-memory store. Writes
+# BENCH_write.json and fails when parallel speedup or the serial-overhead
+# bound regresses.
+bench-put-compare:
+	WRITE_BENCH=1 $(GO) test -run TestWriteScaling -v -timeout 600s .
 
 # The exhaustive crash-point harness: power-cut the canonical workload at
 # every journal position (clean, torn, bit-flipped, zeroed) and verify the

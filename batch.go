@@ -54,16 +54,24 @@ func (f *File) GetBatch(keys []string) (vals [][]byte, errs []error) {
 	return vals, errs
 }
 
+// batchPutter is implemented by engines that apply a whole batch with one
+// latch and one store write per distinct bucket (the concurrent engine,
+// whose slow wave also prepares splits of distinct buckets in parallel).
+type batchPutter interface {
+	PutBatch(keys []string, values [][]byte) []error
+}
+
 // PutBatch inserts or replaces many records in one call under a single
-// acquisition of the file lock, applied in input order (so when a key
-// appears twice the later value wins). errs aligns with keys; the batch
-// is timed as one OpPutBatch sample when an observer is attached.
+// acquisition of the file lock, with input order winning ties (when a key
+// appears twice the later value is the one stored). errs aligns with keys;
+// the batch is timed as one OpPutBatch sample when an observer is
+// attached. On a concurrent file the batch partitions by bucket and the
+// bucket work — split I/O included — fans out across CPUs.
 func (f *File) PutBatch(keys []string, values [][]byte) (errs []error) {
 	if len(keys) != len(values) {
 		panic(fmt.Sprintf("triehash: PutBatch with %d keys but %d values", len(keys), len(values)))
 	}
-	f.mu.Lock()
-	defer f.mu.Unlock()
+	defer f.opLock()()
 	errs = make([]error, len(keys))
 	if f.closed {
 		for i := range errs {
@@ -76,16 +84,50 @@ func (f *File) PutBatch(keys []string, values [][]byte) (errs []error) {
 	if o != nil {
 		start = time.Now()
 	}
-	for i, k := range keys {
-		if f.maxRecord > 0 && len(k)+len(values[i]) > f.maxRecord {
-			errs[i] = fmt.Errorf("%w: %d bytes, limit %d (raise SlotBytes or lower BucketCapacity)",
-				ErrRecordTooLarge, len(k)+len(values[i]), f.maxRecord)
-			continue
+	if bp, ok := f.eng.(batchPutter); ok {
+		f.putBatchEngine(bp, keys, values, errs)
+	} else {
+		for i, k := range keys {
+			if f.maxRecord > 0 && len(k)+len(values[i]) > f.maxRecord {
+				errs[i] = fmt.Errorf("%w: %d bytes, limit %d (raise SlotBytes or lower BucketCapacity)",
+					ErrRecordTooLarge, len(k)+len(values[i]), f.maxRecord)
+				continue
+			}
+			_, errs[i] = f.eng.Put(k, values[i])
 		}
-		_, errs[i] = f.eng.Put(k, values[i])
 	}
 	if o != nil {
 		o.RecordOp(obs.OpPutBatch, time.Since(start))
 	}
 	return errs
+}
+
+// putBatchEngine hands the batch to an engine-level PutBatch, first
+// carving out records over the persistent-file size limit so they fail
+// exactly as single Puts would.
+func (f *File) putBatchEngine(bp batchPutter, keys []string, values [][]byte, errs []error) {
+	ks, vs := keys, values
+	var idx []int
+	if f.maxRecord > 0 {
+		ks = make([]string, 0, len(keys))
+		vs = make([][]byte, 0, len(keys))
+		idx = make([]int, 0, len(keys))
+		for i, k := range keys {
+			if len(k)+len(values[i]) > f.maxRecord {
+				errs[i] = fmt.Errorf("%w: %d bytes, limit %d (raise SlotBytes or lower BucketCapacity)",
+					ErrRecordTooLarge, len(k)+len(values[i]), f.maxRecord)
+				continue
+			}
+			ks = append(ks, k)
+			vs = append(vs, values[i])
+			idx = append(idx, i)
+		}
+	}
+	for j, err := range bp.PutBatch(ks, vs) {
+		i := j
+		if idx != nil {
+			i = idx[j]
+		}
+		errs[i] = mapNotFound(err)
+	}
 }

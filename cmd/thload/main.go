@@ -35,6 +35,8 @@ func main() {
 	redist := flag.String("redist", "none", "redistribution: none, succ, pred or both")
 	frames := flag.Int("frames", 0, "buffer pool frames in front of the simulated disk (0 = no pool, the paper's model)")
 	cache := flag.String("cache", "clock", "buffer pool policy when -frames > 0: clock (sharded) or lru")
+	bulk := flag.Float64("bulkload", 0, "bulk-load the file at this fill in (0,1] instead of inserting incrementally (requires -order asc)")
+	bulkWorkers := flag.Int("bulk-workers", 1, "goroutines packing and writing buckets during -bulkload (1 = the sequential loader)")
 	metricsAddr := flag.String("metrics-addr", "", "serve /metrics, /obs.json, /debug/vars and /debug/pprof on this address during the sweep")
 	hold := flag.Duration("hold", 0, "keep serving metrics this long after the sweep (so thstat can attach)")
 	flag.Parse()
@@ -100,31 +102,58 @@ func main() {
 			case *frames > 0:
 				fail("-cache must be clock or lru")
 			}
-			f, err := core.New(cfg, store.NewInstrumented(pool, hook))
-			if err != nil {
-				fail(err.Error())
-			}
-			f.SetObsHook(hook)
-			// core.File is not concurrency-safe, so the metrics server's
-			// state snapshots serialize with the load loop.
+			var f *core.File
 			var mu sync.Mutex
-			if observer != nil {
-				observer.SetStateFunc(func() obs.State {
-					mu.Lock()
-					s := f.Stats()
-					mu.Unlock()
-					return obs.State{
-						Keys: s.Keys, Buckets: s.Buckets, Load: s.Load,
-						TrieCells: s.TrieCells, Depth: s.Depth, Levels: 1, Pages: 1,
+			if *bulk > 0 {
+				if *order != "asc" {
+					fail("-bulkload needs keys in ascending order; use -order asc")
+				}
+				i := 0
+				next := func() (string, []byte, bool) {
+					if i >= len(ks) {
+						return "", nil, false
 					}
-				})
-			}
-			for _, k := range ks {
-				mu.Lock()
-				_, err := f.Put(k, nil)
-				mu.Unlock()
+					k := ks[i]
+					i++
+					return k, nil, true
+				}
+				var err error
+				if *bulkWorkers > 1 {
+					f, err = core.BulkLoadParallel(cfg, store.NewInstrumented(pool, hook), *bulk, next, *bulkWorkers)
+				} else {
+					f, err = core.BulkLoad(cfg, store.NewInstrumented(pool, hook), *bulk, next)
+				}
 				if err != nil {
 					fail(err.Error())
+				}
+				f.SetObsHook(hook)
+			} else {
+				var err error
+				f, err = core.New(cfg, store.NewInstrumented(pool, hook))
+				if err != nil {
+					fail(err.Error())
+				}
+				f.SetObsHook(hook)
+				// core.File is not concurrency-safe, so the metrics server's
+				// state snapshots serialize with the load loop.
+				if observer != nil {
+					observer.SetStateFunc(func() obs.State {
+						mu.Lock()
+						s := f.Stats()
+						mu.Unlock()
+						return obs.State{
+							Keys: s.Keys, Buckets: s.Buckets, Load: s.Load,
+							TrieCells: s.TrieCells, Depth: s.Depth, Levels: 1, Pages: 1,
+						}
+					})
+				}
+				for _, k := range ks {
+					mu.Lock()
+					_, perr := f.Put(k, nil)
+					mu.Unlock()
+					if perr != nil {
+						fail(perr.Error())
+					}
 				}
 			}
 			mu.Lock()

@@ -1,0 +1,410 @@
+package triehash
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"triehash/internal/workload"
+)
+
+// dumpFile renders every record in key order — the observational content
+// two engines must agree on.
+func dumpFile(t *testing.T, f *File) []string {
+	t.Helper()
+	var out []string
+	if err := f.Range("", "", func(k string, v []byte) bool {
+		out = append(out, k+"="+string(v))
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// TestConcurrentDifferentialIdentity drives the same single-threaded
+// mixed workload through the concurrent engine and the global-lock
+// oracle and requires byte-identical outcomes: same records, same
+// statistics (bucket count, trie cells, depth — the file's shape), and
+// the same serialized metadata. With one thread the concurrent engine's
+// re-validation paths never fire, so any divergence is a bug in the
+// engine, not a legal interleaving.
+func TestConcurrentDifferentialIdentity(t *testing.T) {
+	opts := Options{BucketCapacity: 8}
+	seq, err := Create(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer seq.Close()
+	opts.Concurrent = true
+	conc, err := Create(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conc.Close()
+
+	rng := rand.New(rand.NewSource(87))
+	universe := workload.Uniform(87, 900, 2, 8)
+	for step := 0; step < 8000; step++ {
+		k := universe[rng.Intn(len(universe))]
+		if rng.Intn(10) < 7 {
+			v := []byte(fmt.Sprintf("v%d", step))
+			if err := seq.Put(k, v); err != nil {
+				t.Fatalf("step %d: oracle Put: %v", step, err)
+			}
+			if err := conc.Put(k, v); err != nil {
+				t.Fatalf("step %d: concurrent Put: %v", step, err)
+			}
+		} else {
+			e1, e2 := seq.Delete(k), conc.Delete(k)
+			if (e1 == nil) != (e2 == nil) {
+				t.Fatalf("step %d: Delete(%q) diverged: oracle %v, concurrent %v", step, k, e1, e2)
+			}
+		}
+		if step%997 == 0 {
+			s1, s2 := seq.Stats(), conc.Stats()
+			if s1.Keys != s2.Keys || s1.Buckets != s2.Buckets || s1.TrieCells != s2.TrieCells || s1.Depth != s2.Depth {
+				t.Fatalf("step %d: shape diverged: oracle %+v, concurrent %+v", step, s1, s2)
+			}
+		}
+	}
+	if got, want := dumpFile(t, conc), dumpFile(t, seq); len(got) != len(want) {
+		t.Fatalf("record counts diverged: concurrent %d, oracle %d", len(got), len(want))
+	} else {
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("record %d diverged: concurrent %q, oracle %q", i, got[i], want[i])
+			}
+		}
+	}
+	if err := conc.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(fMeta(seq), fMeta(conc)) {
+		t.Fatal("serialized metadata diverged between the engines")
+	}
+}
+
+// TestConcurrentParallelStress hammers one concurrent file from many
+// goroutines under -race: each worker owns a disjoint key range it
+// inserts, overwrites, reads back and deletes (so values are verifiable),
+// while every worker also churns a shared hot range for contention on
+// the same buckets, splits and merges. The file must stay invariant-clean
+// and serve exactly the surviving records.
+func TestConcurrentParallelStress(t *testing.T) {
+	f, err := Create(Options{BucketCapacity: 8, Concurrent: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+
+	const (
+		workers = 8
+		perW    = 300
+	)
+	hot := workload.Uniform(99, 64, 2, 5)
+	var wg sync.WaitGroup
+	var fail atomic.Value // first error, if any
+	report := func(err error) {
+		if err != nil {
+			fail.CompareAndSwap(nil, err)
+		}
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(1000 + w)))
+			mine := make([]string, perW)
+			for i := range mine {
+				mine[i] = fmt.Sprintf("w%02d.%06d", w, i)
+			}
+			// Insert everything, re-reading as we go.
+			for i, k := range mine {
+				if err := f.Put(k, []byte(fmt.Sprintf("%d", i))); err != nil {
+					report(fmt.Errorf("put %q: %w", k, err))
+					return
+				}
+				if v, err := f.Get(k); err != nil || string(v) != fmt.Sprintf("%d", i) {
+					report(fmt.Errorf("readback %q = %q, %v", k, v, err))
+					return
+				}
+				h := hot[rng.Intn(len(hot))]
+				switch rng.Intn(3) {
+				case 0:
+					if err := f.Put(h, []byte("hot")); err != nil {
+						report(fmt.Errorf("hot put %q: %w", h, err))
+						return
+					}
+				case 1:
+					if _, err := f.Get(h); err != nil && !errors.Is(err, ErrNotFound) {
+						report(fmt.Errorf("hot get %q: %w", h, err))
+						return
+					}
+				default:
+					if err := f.Delete(h); err != nil && !errors.Is(err, ErrNotFound) {
+						report(fmt.Errorf("hot delete %q: %w", h, err))
+						return
+					}
+				}
+			}
+			// Delete the odd half — merge pressure — and verify the split.
+			for i, k := range mine {
+				if i%2 == 1 {
+					if err := f.Delete(k); err != nil {
+						report(fmt.Errorf("delete %q: %w", k, err))
+						return
+					}
+				}
+			}
+			for i, k := range mine {
+				v, err := f.Get(k)
+				if i%2 == 1 {
+					if !errors.Is(err, ErrNotFound) {
+						report(fmt.Errorf("deleted %q still = %q, %v", k, v, err))
+						return
+					}
+					continue
+				}
+				if err != nil || string(v) != fmt.Sprintf("%d", i) {
+					report(fmt.Errorf("final %q = %q, %v", k, v, err))
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if err, _ := fail.Load().(error); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	// Every surviving per-worker key, and nothing outside the universes.
+	want := workers * perW / 2
+	got := 0
+	if err := f.Range("", "", func(k string, _ []byte) bool {
+		if len(k) == 10 && k[0] == 'w' && k[3] == '.' { // w%02d.%06d
+			got++
+		}
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("surviving worker keys = %d, want %d", got, want)
+	}
+	if l, s := f.Len(), f.Stats().Keys; l != s {
+		t.Fatalf("Len %d disagrees with Stats.Keys %d", l, s)
+	}
+}
+
+// TestConcurrentDeleteMergeStress empties a well-split file from many
+// goroutines at once: deletions drive guarded merging (the two-latch
+// path) concurrently until almost nothing is left.
+func TestConcurrentDeleteMergeStress(t *testing.T) {
+	f, err := Create(Options{BucketCapacity: 8, Concurrent: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	ks := workload.Uniform(7, 4000, 3, 9)
+	for _, k := range ks {
+		if err := f.Put(k, []byte("x")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	before := f.Stats().Buckets
+	var wg sync.WaitGroup
+	var firstErr atomic.Value
+	const workers = 8
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := w; i < len(ks); i += workers {
+				if err := f.Delete(ks[i]); err != nil && !errors.Is(err, ErrNotFound) {
+					firstErr.CompareAndSwap(nil, fmt.Errorf("delete %q: %w", ks[i], err))
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if err, _ := firstErr.Load().(error); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if f.Len() != 0 {
+		t.Fatalf("%d records survive a full deletion", f.Len())
+	}
+	after := f.Stats().Buckets
+	if after >= before/2 {
+		t.Errorf("merging freed too little: %d buckets before, %d after", before, after)
+	}
+}
+
+// TestConcurrentBatch checks the engine-level batch paths: PutBatch with
+// in-batch duplicates (last wins), GetBatch alignment, and concurrent
+// batches from several goroutines racing on overlapping buckets.
+func TestConcurrentBatch(t *testing.T) {
+	f, err := Create(Options{BucketCapacity: 8, Concurrent: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	ks := workload.Uniform(21, 2000, 3, 9)
+	vs := make([][]byte, len(ks))
+	for i := range ks {
+		vs[i] = []byte(fmt.Sprintf("v%d", i))
+	}
+	// A duplicate: the later value must win, exactly as a serial loop.
+	keys := append(append([]string{}, ks...), ks[0])
+	vals := append(append([][]byte{}, vs...), []byte("winner"))
+	for i, err := range f.PutBatch(keys, vals) {
+		if err != nil {
+			t.Fatalf("PutBatch[%d] (%q): %v", i, keys[i], err)
+		}
+	}
+	if v, err := f.Get(ks[0]); err != nil || string(v) != "winner" {
+		t.Fatalf("duplicate key resolved to %q, %v; want the later value", v, err)
+	}
+	got, errs := f.GetBatch(append([]string{"absent!"}, ks...))
+	if !errors.Is(errs[0], ErrNotFound) {
+		t.Fatalf("GetBatch miss: %v", errs[0])
+	}
+	for i := range ks {
+		want := string(vs[i])
+		if i == 0 {
+			want = "winner"
+		}
+		if errs[i+1] != nil || string(got[i+1]) != want {
+			t.Fatalf("GetBatch[%q] = %q, %v; want %q", ks[i], got[i+1], errs[i+1], want)
+		}
+	}
+	if err := f.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Racing batches over one shared key space.
+	var wg sync.WaitGroup
+	var firstErr atomic.Value
+	for w := 0; w < 6; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w)))
+			bk := make([]string, 200)
+			bv := make([][]byte, 200)
+			for i := range bk {
+				bk[i] = ks[rng.Intn(len(ks))]
+				bv[i] = []byte(fmt.Sprintf("w%d", w))
+			}
+			if w%2 == 0 {
+				for i, err := range f.PutBatch(bk, bv) {
+					if err != nil {
+						firstErr.CompareAndSwap(nil, fmt.Errorf("PutBatch %q: %w", bk[i], err))
+						return
+					}
+				}
+			} else {
+				_, gerrs := f.GetBatch(bk)
+				for i, err := range gerrs {
+					if err != nil && !errors.Is(err, ErrNotFound) {
+						firstErr.CompareAndSwap(nil, fmt.Errorf("GetBatch %q: %w", bk[i], err))
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if err, _ := firstErr.Load().(error); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestConcurrentPersistence round-trips a concurrent file through disk:
+// create, load, close, reopen concurrent (OpenAtWith), reopen sequential
+// (plain OpenAt), and scrub a healthy file to a clean report.
+func TestConcurrentPersistence(t *testing.T) {
+	dir := t.TempDir()
+	f, err := CreateAt(dir, Options{BucketCapacity: 8, Concurrent: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ks := workload.Uniform(31, 500, 3, 9)
+	for i, k := range ks {
+		if err := f.Put(k, []byte(fmt.Sprintf("v%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rep, err := f.Scrub()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Quarantined) != 0 {
+		t.Fatalf("healthy scrub quarantined %v", rep.Quarantined)
+	}
+	if err := f.Put("after-scrub", []byte("ok")); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	g, err := OpenAtWith(dir, Options{Concurrent: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Len() != len(ks)+1 {
+		t.Fatalf("reopened concurrent Len = %d, want %d", g.Len(), len(ks)+1)
+	}
+	for i, k := range ks {
+		if v, err := g.Get(k); err != nil || string(v) != fmt.Sprintf("v%d", i) {
+			t.Fatalf("reopened Get(%q) = %q, %v", k, v, err)
+		}
+	}
+	if err := g.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	h, err := OpenAt(dir) // the same file serves fine under the global lock
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h.Close()
+	if h.Len() != len(ks)+1 {
+		t.Fatalf("reopened sequential Len = %d", h.Len())
+	}
+}
+
+// TestConcurrentOptionGates verifies every configuration the concurrent
+// engine refuses, and that the refusals are errors, not panics.
+func TestConcurrentOptionGates(t *testing.T) {
+	for name, opts := range map[string]Options{
+		"basic-variant": {Concurrent: true, Variant: TH},
+		"redist":        {Concurrent: true, Redistribution: RedistBoth},
+		"collapse":      {Concurrent: true, Redistribution: RedistSuccessor, CollapseOnMerge: true},
+		"rotations":     {Concurrent: true, Variant: TH, RotationMerges: true},
+		"tombstones":    {Concurrent: true, TombstoneMerges: true},
+		"multilevel":    {Concurrent: true, PageCapacity: 16},
+	} {
+		if f, err := Create(opts); err == nil {
+			f.Close()
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}

@@ -29,6 +29,7 @@ func TestDifferentialAcrossEngines(t *testing.T) {
 		"mlth-thcl":   {BucketCapacity: 8, PageCapacity: 12},
 		"collapse":    {BucketCapacity: 8, Redistribution: RedistSuccessor, CollapseOnMerge: true},
 		"big-buckets": {BucketCapacity: 64},
+		"concurrent":  {BucketCapacity: 8, Concurrent: true},
 	} {
 		f, err := Create(opts)
 		if err != nil {

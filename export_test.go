@@ -4,3 +4,11 @@ import "triehash/internal/trie"
 
 // fTrie exposes a single-level file's trie to benchmarks.
 func fTrie(f *File) *trie.Trie { return f.single.Trie() }
+
+// fMeta exposes the engine's serialized metadata to the differential
+// tests (byte equality across engines is the strongest identity check).
+func fMeta(f *File) []byte {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.eng.SaveMeta()
+}

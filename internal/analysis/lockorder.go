@@ -3,15 +3,19 @@ package analysis
 import (
 	"go/ast"
 	"go/types"
+	"strings"
 )
 
 // LockOrder machine-checks the latch discipline of the concurrent layers:
 //
-//  1. a goroutine holds at most one bucket latch at a time — the batch
-//     path dedups latches per bucket group and visits groups in ascending
+//  1. a goroutine holds at most one bucket latch at a time — with one
+//     sanctioned exception: a function declaration named LockPair, the
+//     guarded-merge primitive, which acquires exactly two latches in
+//     ascending address order (the cycle-freedom argument in
+//     internal/concurrent/latch.go). Everywhere else, the batch paths
+//     dedup latches per bucket group and visit groups in ascending
 //     address order precisely so that no latch is ever acquired while
-//     another is held (the cycle-freedom argument in
-//     internal/concurrent/batch.go);
+//     another is held;
 //  2. latches are never acquired while ranging over a map — map iteration
 //     order is not ascending, so latching inside it silently breaks the
 //     ordering that rule 1's argument rests on (partition sorts the
@@ -19,14 +23,23 @@ import (
 //  3. no store I/O runs while a shard latch is held — the sharded CLOCK
 //     pool's contract is that a miss fill reads the backing store outside
 //     the shard lock, otherwise one slow disk read stalls every hit on
-//     the shard.
+//     the shard;
+//  4. a structural (receiver- or package-rooted) lock is never acquired
+//     while a bucket latch is held — the engine's hierarchy is public
+//     file lock > structural lock > bucket latch > shard latch, so an
+//     overflow discovered under a latch must release it and retry under
+//     the structural lock, not lock upward.
 //
 // "Latch" here is any sync.Mutex/RWMutex reached through a local variable
-// or parameter (lb.mu, sh.mu): those are the per-bucket and per-shard
-// locks handed out by lookups. Locks reached through the method receiver
-// (f.structural, f.mu, c.mu) are the coarse structural locks, which by
-// design are held across latch acquisitions and engine calls; they are
-// exempt from rules 1 and 3.
+// or parameter: those are the per-bucket and per-shard locks handed out by
+// lookups. The two kinds are told apart by shape — a bucket latch is a
+// bare handle returned by the latch table (mu, lo, hi), a shard latch is a
+// field of a local shard (sh.mu, lb.mu) — because their rules differ:
+// bucket latches exist to guard that bucket's store I/O (rule 3 does not
+// apply), while shard latches must never cover I/O. Locks reached through
+// the method receiver (f.structural, f.mu, c.mu) are the coarse structural
+// locks, which by design are held across latch acquisitions and engine
+// calls; they are exempt from rules 1 and 3 but anchor rule 4.
 //
 // The scan is branch-aware but intentionally conservative: a release
 // inside a non-terminating branch counts as a release on the fallthrough
@@ -35,7 +48,7 @@ import (
 // bodies, which is what they are in the fan-out worker pool.
 var LockOrder = &Analyzer{
 	Name: "lockorder",
-	Doc:  "bucket latches: one at a time, never inside map iteration, no store I/O under a shard latch",
+	Doc:  "latch discipline: one bucket latch at a time (LockPair excepted), none inside map iteration, no store I/O under a shard latch, no structural lock under a latch",
 	Run:  runLockOrder,
 }
 
@@ -56,7 +69,7 @@ func runLockOrder(pass *Pass) {
 			if !ok || fn.Body == nil {
 				continue
 			}
-			s := &lockScan{pass: pass, recv: funcReceiver(pass.Info, fn)}
+			s := &lockScan{pass: pass, recv: funcReceiver(pass.Info, fn), fnName: fn.Name.Name}
 			s.scanBlock(fn.Body, newHeldSet())
 			s.drainFuncLits()
 		}
@@ -100,11 +113,34 @@ func (h heldSet) anyLocal() (heldLock, bool) {
 	return heldLock{}, false
 }
 
+// anyBucketLatch finds a held bare latch handle (mu, lo) — the per-bucket
+// latches the latch table hands out.
+func (h heldSet) anyBucketLatch() (heldLock, bool) {
+	for _, l := range h {
+		if l.local && !strings.Contains(l.key, ".") {
+			return l, true
+		}
+	}
+	return heldLock{}, false
+}
+
+// anyShardLatch finds a held field-rooted latch (sh.mu) — the shard locks
+// whose critical sections must never cover store I/O.
+func (h heldSet) anyShardLatch() (heldLock, bool) {
+	for _, l := range h {
+		if l.local && strings.Contains(l.key, ".") {
+			return l, true
+		}
+	}
+	return heldLock{}, false
+}
+
 // lockScan walks one function body, tracking held locks statement by
 // statement.
 type lockScan struct {
 	pass     *Pass
 	recv     types.Object
+	fnName   string // enclosing FuncDecl name (LockPair is rule 1's sanctioned site)
 	funcLits []*ast.FuncLit
 	mapDepth int // > 0 while lexically inside a range over a map
 }
@@ -243,11 +279,15 @@ func (s *lockScan) visitLeaf(n ast.Node, held heldSet) bool {
 				l.key)
 		}
 		if l.local {
-			if prior, ok := held.anyLocal(); ok && prior.key != l.key {
+			if prior, ok := held.anyLocal(); ok && prior.key != l.key && s.fnName != "LockPair" {
 				s.pass.Reportf(call.Pos(),
-					"bucket latch %s acquired while %s is held: hold at most one latch at a time and visit buckets in ascending address order",
+					"bucket latch %s acquired while %s is held: hold at most one latch at a time and visit buckets in ascending address order (LockPair is the sole two-latch site)",
 					l.key, prior.key)
 			}
+		} else if prior, ok := held.anyBucketLatch(); ok {
+			s.pass.Reportf(call.Pos(),
+				"structural lock %s acquired while bucket latch %s is held: the hierarchy is structural > latch; release the latch and retry under the structural lock",
+				l.key, prior.key)
 		}
 		held[l.key] = l
 	case "Unlock", "RUnlock":
@@ -257,7 +297,7 @@ func (s *lockScan) visitLeaf(n ast.Node, held heldSet) bool {
 		delete(held, exprString(recv))
 	default:
 		if storeIOMethods[name] && isStoreType(s.pass.TypeOf(recv)) {
-			if prior, ok := held.anyLocal(); ok {
+			if prior, ok := held.anyShardLatch(); ok {
 				s.pass.Reportf(call.Pos(),
 					"store I/O %s.%s while shard latch %s is held: fill misses outside the latch",
 					exprString(recv), name, prior.key)

@@ -125,3 +125,55 @@ func fillOutsideLatch(sh *shard, st Store, addr int32) (*Bucket, error) {
 	}
 	return st.Read(addr)
 }
+
+// latch models the latch table: a bare *RWMutex handle per bucket address.
+func (f *File) latch(i int) *sync.RWMutex { return &f.buckets[i].mu }
+
+// bucketIOUnderLatch is the concurrent engine's discipline: a bucket's
+// store I/O runs under that bucket's own latch (a bare handle) — rule 3
+// restricts shard latches, not bucket latches.
+func (f *File) bucketIOUnderLatch(st Store, i int) error {
+	mu := f.latch(i)
+	mu.Lock()
+	defer mu.Unlock()
+	return st.Write(int32(i), &Bucket{})
+}
+
+// structuralAfterLatch inverts the lock hierarchy: an overflow discovered
+// under a bucket latch must release it and retry under the structural
+// lock, never lock upward.
+func (f *File) structuralAfterLatch(i int) {
+	mu := f.latch(i)
+	mu.Lock()
+	f.structural.Lock() // want `structural lock f\.structural acquired while bucket latch mu is held`
+	f.structural.Unlock()
+	mu.Unlock()
+}
+
+// releaseThenStructural is the sanctioned shape of the same operation.
+func (f *File) releaseThenStructural(i int) {
+	mu := f.latch(i)
+	mu.Lock()
+	over := f.buckets[i].n > 0
+	mu.Unlock()
+	if over {
+		f.structural.Lock()
+		f.structural.Unlock()
+	}
+}
+
+// LockPair is rule 1's sole sanctioned two-latch site: the guarded-merge
+// primitive, ascending address order, recognized by name.
+func (f *File) LockPair(i, j int) func() {
+	if i > j {
+		i, j = j, i
+	}
+	lo := f.latch(i)
+	hi := f.latch(j)
+	lo.Lock()
+	hi.Lock()
+	return func() {
+		hi.Unlock()
+		lo.Unlock()
+	}
+}

@@ -1,0 +1,120 @@
+package concurrent
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Latches is the engine's per-bucket latch table: one RW latch per bucket
+// address, growable without blocking readers. Lookup is a single atomic
+// load of the table pointer; growth copies the pointer slice (never the
+// latches themselves, so a latch handed out before a growth stays valid)
+// and publishes the longer table atomically.
+type Latches struct {
+	mu  sync.Mutex // serializes growth
+	tab atomic.Pointer[[]*sync.RWMutex]
+}
+
+// NewLatches returns a table covering bucket addresses [0, n).
+func NewLatches(n int32) *Latches {
+	l := &Latches{}
+	l.Grow(n)
+	return l
+}
+
+// Len returns the number of addresses the table currently covers.
+func (l *Latches) Len() int { return len(*l.tab.Load()) }
+
+// Latch returns the latch for bucket address addr, growing the table if
+// addr is beyond it.
+func (l *Latches) Latch(addr int32) *sync.RWMutex {
+	tab := *l.tab.Load()
+	if int(addr) < len(tab) {
+		return tab[addr]
+	}
+	l.Grow(addr + 1)
+	return (*l.tab.Load())[addr]
+}
+
+// Grow extends the table to cover at least n addresses. It must complete
+// before an address >= the old length is published to concurrent readers
+// (Mirror.TraceSetPtr enforces this for trie publication).
+func (l *Latches) Grow(n int32) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	var cur []*sync.RWMutex
+	if p := l.tab.Load(); p != nil {
+		cur = *p
+	}
+	if int(n) <= len(cur) {
+		return
+	}
+	want := 2 * len(cur)
+	if want < int(n) {
+		want = int(n)
+	}
+	if want < 8 {
+		want = 8
+	}
+	nt := make([]*sync.RWMutex, want)
+	copy(nt, cur)
+	for i := len(cur); i < want; i++ {
+		nt[i] = new(sync.RWMutex)
+	}
+	l.tab.Store(&nt)
+}
+
+// LockPair write-locks the latches of two bucket addresses in ascending
+// address order — the engine's sole sanctioned two-latch acquisition,
+// used by guarded merging — and returns the matching unlock. Equal
+// addresses lock once.
+func (l *Latches) LockPair(a, b int32) func() {
+	if a == b {
+		mu := l.Latch(a)
+		mu.Lock()
+		return mu.Unlock
+	}
+	if a > b {
+		a, b = b, a
+	}
+	lo := l.Latch(a)
+	hi := l.Latch(b)
+	lo.Lock()
+	hi.Lock()
+	return func() {
+		hi.Unlock()
+		lo.Unlock()
+	}
+}
+
+// FanOut runs fn(i) for every i in [0, n) across at most workers
+// goroutines (inline when workers <= 1 or n <= 1), returning when all
+// calls have finished. It is the bounded work distributor shared by the
+// batch paths and the parallel bulk loader.
+func FanOut(n, workers int, fn func(int)) {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 || n <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int32
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}

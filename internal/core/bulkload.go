@@ -2,11 +2,31 @@ package core
 
 import (
 	"fmt"
+	"math"
+	"sync"
 
 	"triehash/internal/bucket"
+	"triehash/internal/concurrent"
 	"triehash/internal/store"
 	"triehash/internal/trie"
 )
+
+// bulkPerBucket resolves the records-per-bucket target of a bulk load:
+// fill·Capacity rounded to the nearest integer (truncation used to turn
+// fill 0.999 of capacity 100 into 99 records silently). A fill packing
+// less than one record per bucket is rejected rather than clamped — the
+// caller asked for a load the geometry cannot express.
+func bulkPerBucket(cfg Config, fill float64) (int, error) {
+	if fill <= 0 || fill > 1 {
+		return 0, fmt.Errorf("core: bulk load fill %v outside (0, 1]", fill)
+	}
+	perBucket := int(math.Round(fill * float64(cfg.Capacity)))
+	if perBucket < 1 {
+		return 0, fmt.Errorf("core: bulk load fill %v of bucket capacity %d packs %.2f records per bucket — below one; raise fill to at least %.3f",
+			fill, cfg.Capacity, fill*float64(cfg.Capacity), 0.5/float64(cfg.Capacity))
+	}
+	return perBucket, nil
+}
 
 // BulkLoad builds a file from records supplied in strictly ascending key
 // order, in one pass: keys are sliced into buckets of Fill·Capacity
@@ -25,15 +45,12 @@ func BulkLoad(cfg Config, st store.Store, fill float64, next func() (key string,
 	if err != nil {
 		return nil, err
 	}
-	if fill <= 0 || fill > 1 {
-		return nil, fmt.Errorf("core: bulk load fill %v outside (0, 1]", fill)
+	perBucket, err := bulkPerBucket(cfg, fill)
+	if err != nil {
+		return nil, err
 	}
 	if st.Buckets() != 0 {
 		return nil, fmt.Errorf("core: store already holds %d buckets", st.Buckets())
-	}
-	perBucket := int(fill * float64(cfg.Capacity))
-	if perBucket < 1 {
-		perBucket = 1
 	}
 
 	var (
@@ -91,4 +108,100 @@ func BulkLoad(cfg Config, st store.Store, fill float64, next func() (key string,
 	}
 	tr.SetTombstoning(cfg.TombstoneMerges)
 	return (&File{cfg: cfg, trie: tr, st: st, nkeys: total}).resolveStore(), nil
+}
+
+// BulkLoadParallel is BulkLoad with the bucket packing and slot writes
+// fanned out over at most workers goroutines. The input scan stays serial
+// (it validates key order and fixes every bucket boundary), and so does
+// slot allocation, so the loaded file — addresses, bounds, trie shape —
+// is exactly BulkLoad's; only the store writes race, and they all target
+// distinct slots. The records are buffered for the fan-out, so peak
+// memory is the input size rather than one bucket.
+func BulkLoadParallel(cfg Config, st store.Store, fill float64, next func() (key string, value []byte, ok bool), workers int) (*File, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	perBucket, err := bulkPerBucket(cfg, fill)
+	if err != nil {
+		return nil, err
+	}
+	if st.Buckets() != 0 {
+		return nil, fmt.Errorf("core: store already holds %d buckets", st.Buckets())
+	}
+
+	// Serial scan: validate, buffer, and cut the boundary wherever the
+	// streaming loader would have flushed.
+	var (
+		ks      []string
+		vs      [][]byte
+		bounds  [][]byte
+		prevKey string
+	)
+	for {
+		key, value, ok := next()
+		if !ok {
+			break
+		}
+		if err := cfg.Alphabet.Validate(key); err != nil {
+			return nil, err
+		}
+		if len(ks) > 0 && key <= prevKey {
+			return nil, fmt.Errorf("core: bulk load keys not strictly ascending: %q after %q", key, prevKey)
+		}
+		if len(ks) > 0 && len(ks)%perBucket == 0 {
+			bounds = append(bounds, cfg.Alphabet.SplitString(prevKey, key))
+		}
+		ks = append(ks, key)
+		vs = append(vs, value)
+		prevKey = key
+	}
+	bounds = append(bounds, nil) // the final bucket's infinite bound
+
+	// Serial allocation in bucket order keeps the address sequence (and so
+	// the trie's leaves) identical to the streaming loader's.
+	addrs := make([]int32, len(bounds))
+	for i := range addrs {
+		if addrs[i], err = st.Alloc(); err != nil {
+			return nil, err
+		}
+	}
+
+	var (
+		errMu    sync.Mutex
+		writeErr error
+	)
+	concurrent.FanOut(len(bounds), workers, func(i int) {
+		b := bucket.New(cfg.Capacity)
+		lo := i * perBucket
+		hi := lo + perBucket
+		if hi > len(ks) {
+			hi = len(ks)
+		}
+		for j := lo; j < hi; j++ {
+			b.Put(ks[j], vs[j])
+		}
+		b.SetBound(bounds[i])
+		if err := st.Write(addrs[i], b); err != nil {
+			errMu.Lock()
+			if writeErr == nil {
+				writeErr = err
+			}
+			errMu.Unlock()
+		}
+	})
+	if writeErr != nil {
+		return nil, writeErr
+	}
+
+	ptrs := make([]trie.Ptr, len(addrs))
+	for i, a := range addrs {
+		ptrs[i] = trie.Leaf(a)
+	}
+	tr, err := trie.Reconstruct(cfg.Alphabet, bounds, ptrs)
+	if err != nil {
+		return nil, fmt.Errorf("core: bulk load: %w", err)
+	}
+	tr.SetTombstoning(cfg.TombstoneMerges)
+	return (&File{cfg: cfg, trie: tr, st: st, nkeys: len(ks)}).resolveStore(), nil
 }

@@ -1,0 +1,780 @@
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"triehash/internal/bucket"
+	"triehash/internal/concurrent"
+	"triehash/internal/obs"
+	"triehash/internal/store"
+	"triehash/internal/trie"
+)
+
+// ConcurrentFile is the store-backed /VID87/ engine: a File whose readers
+// never take a global lock. The paper's conclusion observes that the
+// append-only cell table makes trie search safe against a concurrent
+// split, and that a writer needs "only the leaf A and the variable N";
+// this type carries that scheme into the real engine, over any
+// store.Store (file store, buffer pools, fault and crash wrappers).
+//
+// The pieces:
+//
+//   - an atomic cell arena (concurrent.Arena) mirrors the authoritative
+//     trie; point operations search it lock-free. The mirror is kept in
+//     sync by the trie's Tracer hooks, so a chain of split cells is fully
+//     wired before the single pointer flip that publishes it.
+//   - one RW latch per bucket (concurrent.Latches). An operation latches
+//     exactly one bucket and re-runs the search under the latch: if the
+//     key still maps there, the latch orders it against any split or
+//     merge of that bucket (those hold the write latch); if not, it
+//     retries. Guarded merging is the sole two-latch site and locks in
+//     ascending address order.
+//   - a structural lock serializes every trie mutation: splits, merges,
+//     borrows. Fill-flip-shrink order is preserved — the new bucket is
+//     written to the store, then the trie flips, then (already done
+//     before the flip in the store image) the old bucket's shrink is
+//     visible — and the old bucket's write latch is held across all of
+//     it, so no reader observes the intermediate state.
+//
+// The store mutation order of every structural operation is exactly the
+// sequential engine's (prepareSplit/commitSplit, mergeInto, borrow are
+// shared code), so the crash-recovery reasoning — and the recovery chain
+// itself — carries over unchanged.
+//
+// ConcurrentFile supports the configuration the scheme is proved for:
+// THCL with guaranteed merging, no redistribution, no collapse-on-merge,
+// no tombstones (the trie stays append-only; NewConcurrent enforces
+// this). The sequential File remains the differential oracle: a
+// single-threaded workload drives both to byte-identical files.
+type ConcurrentFile struct {
+	inner   *File
+	arena   *concurrent.Arena
+	latches *concurrent.Latches
+	mirror  *concurrent.Mirror
+
+	// structural serializes trie mutations (write side) against
+	// whole-trie readers (Range, batch partitioning under latches is
+	// lock-free instead). Lock order: public file lock > structural >
+	// bucket latch > store shard latch; the lockorder analyzer enforces
+	// that structural is never taken while a bucket latch is held.
+	structural sync.RWMutex
+
+	// nkeys is the live record count, maintained atomically by the
+	// latch-only fast paths; inner.nkeys is synced from it (by delta)
+	// whenever inner code that reads or writes it runs under structural.
+	nkeys atomic.Int64
+}
+
+// NewConcurrent wraps f — fresh or reopened, empty or populated — in the
+// concurrent engine. The configuration must be THCL with guaranteed
+// merging and no redistribution, collapse or tombstoning: those options
+// shrink or reorder the cell table, which would invalidate concurrent
+// readers' positions (the paper's Section 2.4 reasoning).
+func NewConcurrent(f *File) (*ConcurrentFile, error) {
+	cfg := f.cfg
+	switch {
+	case cfg.Mode != trie.ModeTHCL:
+		return nil, fmt.Errorf("core: concurrent engine requires THCL (basic-method nil leaves need trie writes on the read path)")
+	case cfg.Redistribution != RedistNone:
+		return nil, fmt.Errorf("core: concurrent engine is incompatible with redistribution on split")
+	case cfg.Merge != MergeGuaranteed:
+		return nil, fmt.Errorf("core: concurrent engine requires the guaranteed-load merge policy, have %v", cfg.Merge)
+	case cfg.CollapseOnMerge:
+		return nil, fmt.Errorf("core: concurrent engine is incompatible with CollapseOnMerge (cell removal invalidates concurrent readers)")
+	case cfg.TombstoneMerges:
+		return nil, fmt.Errorf("core: concurrent engine is incompatible with TombstoneMerges (Vacuum compacts the cell table)")
+	}
+	n := f.st.MaxAddr()
+	if n < 1 {
+		n = 1
+	}
+	e := &ConcurrentFile{
+		inner:   f,
+		arena:   concurrent.NewArena(f.trie),
+		latches: concurrent.NewLatches(n),
+	}
+	e.mirror = &concurrent.Mirror{Arena: e.arena, Latches: e.latches}
+	f.trie.SetTracer(e.mirror)
+	e.nkeys.Store(int64(f.nkeys))
+	return e, nil
+}
+
+// Inner returns the wrapped sequential File. The caller must hold no
+// latch and guarantee quiescence (no concurrent operations) while using
+// it directly.
+func (e *ConcurrentFile) Inner() *File { return e.inner }
+
+// Config returns the file's configuration.
+func (e *ConcurrentFile) Config() Config { return e.inner.cfg }
+
+// Store returns the bucket store.
+func (e *ConcurrentFile) Store() store.Store { return e.inner.st }
+
+// Len returns the number of records.
+func (e *ConcurrentFile) Len() int { return int(e.nkeys.Load()) }
+
+// SetObsHook attaches the observability hook structural events go to.
+func (e *ConcurrentFile) SetObsHook(h *obs.Hook) { e.inner.SetObsHook(h) }
+
+// syncDown pushes the atomic record count into inner.nkeys. Callers hold
+// the structural lock and call syncUp with the returned base after
+// running inner code, so fast-path increments that landed in between are
+// not clobbered.
+func (e *ConcurrentFile) syncDown() int64 {
+	before := e.nkeys.Load()
+	e.inner.nkeys = int(before)
+	return before
+}
+
+// syncUp folds inner.nkeys mutations (relative to the syncDown base)
+// back into the atomic count.
+func (e *ConcurrentFile) syncUp(base int64) {
+	e.nkeys.Add(int64(e.inner.nkeys) - base)
+}
+
+// Get returns the value stored under key. The trie search is lock-free
+// over the arena; the bucket read happens under the bucket's read latch,
+// with the search re-run there to confirm the key still maps to the
+// latched bucket (a split or merge may have moved it in between).
+func (e *ConcurrentFile) Get(key string) ([]byte, error) {
+	if err := e.inner.cfg.Alphabet.Validate(key); err != nil {
+		return nil, err
+	}
+	for {
+		leaf := e.arena.Search(key)
+		if leaf.IsNil() {
+			return nil, ErrNotFound
+		}
+		addr := leaf.Addr()
+		mu := e.latches.Latch(addr)
+		mu.RLock()
+		if cur := e.arena.Search(key); cur.IsNil() || cur.Addr() != addr {
+			mu.RUnlock()
+			continue
+		}
+		b, err := e.inner.view(addr)
+		if err != nil {
+			mu.RUnlock()
+			return nil, err
+		}
+		v, ok := b.Get(key)
+		mu.RUnlock()
+		if !ok {
+			return nil, ErrNotFound
+		}
+		return v, nil
+	}
+}
+
+// Put inserts or replaces the record for key. Replacements and inserts
+// that fit the bucket touch only that bucket's write latch — the paper's
+// "only the leaf A" writer. An overflow releases the latch and resolves
+// the split under the structural lock.
+func (e *ConcurrentFile) Put(key string, value []byte) (bool, error) {
+	if err := e.inner.cfg.Alphabet.Validate(key); err != nil {
+		return false, err
+	}
+	for {
+		leaf := e.arena.Search(key)
+		if leaf.IsNil() {
+			break // no bucket to latch; resolve under structural
+		}
+		addr := leaf.Addr()
+		mu := e.latches.Latch(addr)
+		mu.Lock()
+		if cur := e.arena.Search(key); cur.IsNil() || cur.Addr() != addr {
+			mu.Unlock()
+			continue
+		}
+		b, err := e.inner.st.Read(addr)
+		if err != nil {
+			mu.Unlock()
+			return false, err
+		}
+		replaced := b.Put(key, value)
+		if replaced {
+			err := e.inner.st.Write(addr, b)
+			mu.Unlock()
+			return true, err
+		}
+		if b.Len() <= e.inner.cfg.Capacity {
+			err := e.inner.st.Write(addr, b)
+			mu.Unlock()
+			if err != nil {
+				return false, err
+			}
+			e.nkeys.Add(1)
+			return false, nil
+		}
+		// Overflow: the split needs the structural lock, which orders
+		// before bucket latches; release and redo under structural.
+		mu.Unlock()
+		break
+	}
+	return e.putSlow(key, value)
+}
+
+// putSlow runs a Put under the structural lock: the sequential engine's
+// Put, with the target bucket's write latch held across the whole
+// fill-flip-shrink sequence so concurrent readers of that bucket wait
+// out the split instead of observing its intermediate state.
+func (e *ConcurrentFile) putSlow(key string, value []byte) (bool, error) {
+	e.structural.Lock()
+	defer e.structural.Unlock()
+	leaf := e.inner.trie.SearchAddr(key)
+	if leaf.IsNil() {
+		return false, fmt.Errorf("core: concurrent engine: key %q maps to a nil leaf (THCL files have none)", key)
+	}
+	mu := e.latches.Latch(leaf.Addr())
+	mu.Lock()
+	defer mu.Unlock()
+	base := e.syncDown()
+	replaced, err := e.inner.Put(key, value)
+	e.syncUp(base)
+	return replaced, err
+}
+
+// Delete removes the record for key. The removal itself needs only the
+// bucket's write latch; when it leaves the bucket under half full, the
+// guarded maintenance pass (merge or borrow) runs afterwards under the
+// structural lock.
+func (e *ConcurrentFile) Delete(key string) error {
+	if err := e.inner.cfg.Alphabet.Validate(key); err != nil {
+		return err
+	}
+	for {
+		leaf := e.arena.Search(key)
+		if leaf.IsNil() {
+			return ErrNotFound
+		}
+		addr := leaf.Addr()
+		mu := e.latches.Latch(addr)
+		mu.Lock()
+		if cur := e.arena.Search(key); cur.IsNil() || cur.Addr() != addr {
+			mu.Unlock()
+			continue
+		}
+		b, err := e.inner.st.Read(addr)
+		if err != nil {
+			mu.Unlock()
+			return err
+		}
+		if !b.Delete(key) {
+			mu.Unlock()
+			return ErrNotFound
+		}
+		if err := e.inner.st.Write(addr, b); err != nil {
+			mu.Unlock()
+			return err
+		}
+		underflow := 2*b.Len() < e.inner.cfg.Capacity
+		mu.Unlock()
+		e.nkeys.Add(-1)
+		if underflow {
+			return e.maintain(key)
+		}
+		return nil
+	}
+}
+
+// maintain is the deletion maintenance the paper leaves open for
+// /VID87/: guarded merging. Under the structural lock (so the trie is
+// stable) it re-locates the key's bucket, re-checks the underflow, probes
+// the in-order neighbours, and applies the same decision procedure as the
+// sequential guaranteedPolicy — full merge into whichever neighbour fits
+// (successor preferred), else borrow from the fuller neighbour. The
+// action itself holds both bucket latches, taken in ascending address
+// order, and re-reads both buckets under them; if a concurrent fast-path
+// write invalidated the decision in between, the pass bails out (the next
+// deletion that underflows will try again).
+func (e *ConcurrentFile) maintain(key string) error {
+	e.structural.Lock()
+	defer e.structural.Unlock()
+	e.inner.nkeys = int(e.nkeys.Load())
+	leaf := e.inner.trie.SearchAddr(key)
+	if leaf.IsNil() {
+		return nil
+	}
+	addr := leaf.Addr()
+	b, err := e.readLatched(addr)
+	if err != nil {
+		return err
+	}
+	if 2*b.Len() >= e.inner.cfg.Capacity {
+		return nil // a concurrent insert resolved the underflow
+	}
+	pred, succ := e.inner.trie.NeighborBuckets(addr)
+	if pred < 0 && succ < 0 {
+		return nil // the file's only bucket: no guarantee possible nor needed
+	}
+	var (
+		nbAddr  int32 = -1
+		nbLen   int
+		nbIsSuc bool
+	)
+	if succ >= 0 {
+		sb, err := e.readLatched(succ)
+		if err != nil {
+			return err
+		}
+		if b.Len()+sb.Len() <= e.inner.cfg.Capacity {
+			return e.mergeLatched(addr, succ, true)
+		}
+		nbAddr, nbLen, nbIsSuc = succ, sb.Len(), true
+	}
+	if pred >= 0 {
+		pb, err := e.readLatched(pred)
+		if err != nil {
+			return err
+		}
+		if b.Len()+pb.Len() <= e.inner.cfg.Capacity {
+			return e.mergeLatched(addr, pred, false)
+		}
+		if nbAddr < 0 || pb.Len() > nbLen {
+			nbAddr, nbLen, nbIsSuc = pred, pb.Len(), false
+		}
+	}
+	if nbAddr < 0 {
+		return nil
+	}
+	return e.borrowLatched(addr, nbAddr, nbIsSuc)
+}
+
+// readLatched reads bucket addr under its read latch — the probe used by
+// maintenance decisions.
+func (e *ConcurrentFile) readLatched(addr int32) (*bucket.Bucket, error) {
+	mu := e.latches.Latch(addr)
+	mu.RLock()
+	b, err := e.inner.st.Read(addr)
+	mu.RUnlock()
+	return b, err
+}
+
+// mergeLatched performs a guaranteed-load merge of bucket addr into its
+// neighbour under both write latches (ascending address order). Both
+// buckets are re-read under the latches and the fit re-verified; the
+// merge publication order is the sequential engine's mergeInto: the
+// grown neighbour is written to the store before the trie repoints
+// addr's leaves, and the freed slot is released last.
+func (e *ConcurrentFile) mergeLatched(addr, nbAddr int32, nbIsSucc bool) error {
+	unlock := e.latches.LockPair(addr, nbAddr)
+	defer unlock()
+	b, err := e.inner.st.Read(addr)
+	if err != nil {
+		return err
+	}
+	nb, err := e.inner.st.Read(nbAddr)
+	if err != nil {
+		return err
+	}
+	// Re-verify under the latches: a fast-path insert may have refilled
+	// either bucket since the unlatched probe. Single-threaded these
+	// conditions never fire, so bailing cannot diverge from the oracle.
+	if 2*b.Len() >= e.inner.cfg.Capacity || b.Len()+nb.Len() > e.inner.cfg.Capacity {
+		return nil
+	}
+	return e.inner.mergeInto(addr, b, nbAddr, nb, nbIsSucc)
+}
+
+// borrowLatched rebalances an underflowing bucket by pulling keys from
+// its neighbour, under both write latches in ascending address order,
+// with the same re-read and re-verify discipline as mergeLatched.
+func (e *ConcurrentFile) borrowLatched(addr, nbAddr int32, nbIsSucc bool) error {
+	unlock := e.latches.LockPair(addr, nbAddr)
+	defer unlock()
+	b, err := e.inner.st.Read(addr)
+	if err != nil {
+		return err
+	}
+	nb, err := e.inner.st.Read(nbAddr)
+	if err != nil {
+		return err
+	}
+	if 2*b.Len() >= e.inner.cfg.Capacity || b.Len()+nb.Len() <= e.inner.cfg.Capacity {
+		return nil // resolved, or a merge now fits: bail (next underflow retries)
+	}
+	return e.inner.borrow(addr, b, nbAddr, nb, nbIsSucc)
+}
+
+// Range scans [from, to] in key order. It holds the structural read lock
+// (a stable trie) and visits each qualifying bucket once; bucket reads go
+// through the store's view path, whose snapshots are immutable, so
+// concurrent fast-path writes on other buckets proceed unhindered.
+func (e *ConcurrentFile) Range(from, to string, fn func(key string, value []byte) bool) error {
+	e.structural.RLock()
+	defer e.structural.RUnlock()
+	return e.inner.Range(from, to, fn)
+}
+
+// cgroup is one batch work unit: a bucket and the batch indices mapping
+// to it.
+type cgroup struct {
+	addr int32
+	idxs []int
+}
+
+// partitionBatch groups pending batch indices by the bucket the arena
+// currently maps their key to, ascending by address. Indices whose key
+// maps to a nil leaf land in nilIdx.
+func (e *ConcurrentFile) partitionBatch(keys []string, pending []int) (groups []cgroup, nilIdx []int) {
+	byAddr := make(map[int32][]int, len(pending))
+	for _, i := range pending {
+		p := e.arena.Search(keys[i])
+		if p.IsNil() {
+			nilIdx = append(nilIdx, i)
+			continue
+		}
+		byAddr[p.Addr()] = append(byAddr[p.Addr()], i)
+	}
+	groups = make([]cgroup, 0, len(byAddr))
+	for addr, idxs := range byAddr {
+		groups = append(groups, cgroup{addr: addr, idxs: idxs})
+	}
+	sort.Slice(groups, func(a, b int) bool { return groups[a].addr < groups[b].addr })
+	return groups, nilIdx
+}
+
+// GetBatch looks up many keys in one pass: keys partition by bucket, each
+// bucket latch is taken once per round, and groups fan out over a worker
+// pool. Keys that move between partitioning and latching retry next
+// round — the batch form of the single-key re-validation.
+func (e *ConcurrentFile) GetBatch(keys []string) (vals [][]byte, errs []error) {
+	vals = make([][]byte, len(keys))
+	errs = make([]error, len(keys))
+	pending := make([]int, 0, len(keys))
+	for i, k := range keys {
+		if err := e.inner.cfg.Alphabet.Validate(k); err != nil {
+			errs[i] = err
+			continue
+		}
+		pending = append(pending, i)
+	}
+	workers := runtime.GOMAXPROCS(0)
+	for len(pending) > 0 {
+		groups, nilIdx := e.partitionBatch(keys, pending)
+		for _, i := range nilIdx {
+			errs[i] = ErrNotFound
+		}
+		var retryMu sync.Mutex
+		var retry []int
+		concurrent.FanOut(len(groups), workers, func(gi int) {
+			g := groups[gi]
+			mu := e.latches.Latch(g.addr)
+			mu.RLock()
+			var missed []int
+			var b *bucket.Bucket
+			var rerr error
+			loaded := false
+			for _, i := range g.idxs {
+				if p := e.arena.Search(keys[i]); p.IsNil() || p.Addr() != g.addr {
+					missed = append(missed, i)
+					continue
+				}
+				if !loaded {
+					b, rerr = e.inner.view(g.addr)
+					loaded = true
+				}
+				if rerr != nil {
+					errs[i] = rerr
+					continue
+				}
+				if v, ok := b.Get(keys[i]); ok {
+					vals[i] = v
+				} else {
+					errs[i] = ErrNotFound
+				}
+			}
+			mu.RUnlock()
+			if len(missed) > 0 {
+				retryMu.Lock()
+				retry = append(retry, missed...)
+				retryMu.Unlock()
+			}
+		})
+		pending = retry
+	}
+	return vals, errs
+}
+
+// PutBatch inserts or replaces many records in one pass. When one batch
+// names a key several times only the last occurrence is applied, so the
+// final state matches the sequential loop. The fast wave applies every
+// replacement and fitting insert with one latch and one store write per
+// bucket; overflowing inserts collect into a slow wave that, under one
+// acquisition of the structural lock, prepares splits of distinct
+// buckets in parallel (each under its bucket latch, through the shared
+// prepareSplit) and then commits the trie flips sequentially — batch
+// splits scale across buckets instead of serializing as plain Puts.
+func (e *ConcurrentFile) PutBatch(keys []string, values [][]byte) (errs []error) {
+	if len(keys) != len(values) {
+		panic(fmt.Sprintf("core: PutBatch with %d keys but %d values", len(keys), len(values)))
+	}
+	errs = make([]error, len(keys))
+	last := make(map[string]int, len(keys))
+	for i, k := range keys {
+		last[k] = i
+	}
+	pending := make([]int, 0, len(keys))
+	for i, k := range keys {
+		if err := e.inner.cfg.Alphabet.Validate(k); err != nil {
+			errs[i] = err
+			continue
+		}
+		if last[k] != i {
+			continue // superseded within the batch
+		}
+		pending = append(pending, i)
+	}
+	workers := runtime.GOMAXPROCS(0)
+	var slow []int
+	for len(pending) > 0 {
+		groups, nilIdx := e.partitionBatch(keys, pending)
+		slow = append(slow, nilIdx...)
+		var retryMu sync.Mutex
+		var retry []int
+		var slowMu sync.Mutex
+		concurrent.FanOut(len(groups), workers, func(gi int) {
+			g := groups[gi]
+			mu := e.latches.Latch(g.addr)
+			mu.Lock()
+			var missed, over, applied []int
+			var added int64
+			var b *bucket.Bucket
+			var rerr error
+			loaded := false
+			for _, i := range g.idxs {
+				if p := e.arena.Search(keys[i]); p.IsNil() || p.Addr() != g.addr {
+					missed = append(missed, i)
+					continue
+				}
+				if !loaded {
+					b, rerr = e.inner.st.Read(g.addr)
+					loaded = true
+				}
+				if rerr != nil {
+					errs[i] = rerr
+					continue
+				}
+				if _, exists := b.Get(keys[i]); exists {
+					b.Put(keys[i], values[i])
+					applied = append(applied, i)
+					continue
+				}
+				if b.Len() < e.inner.cfg.Capacity {
+					b.Put(keys[i], values[i])
+					added++
+					applied = append(applied, i)
+					continue
+				}
+				over = append(over, i)
+			}
+			if len(applied) > 0 {
+				if err := e.inner.st.Write(g.addr, b); err != nil {
+					for _, i := range applied {
+						errs[i] = err
+					}
+					added = 0
+				}
+			}
+			mu.Unlock()
+			if added > 0 {
+				e.nkeys.Add(added)
+			}
+			if len(missed) > 0 {
+				retryMu.Lock()
+				retry = append(retry, missed...)
+				retryMu.Unlock()
+			}
+			if len(over) > 0 {
+				slowMu.Lock()
+				slow = append(slow, over...)
+				slowMu.Unlock()
+			}
+		})
+		pending = retry
+	}
+	if len(slow) > 0 {
+		e.putBatchSlow(keys, values, slow, errs, workers)
+	}
+	return errs
+}
+
+// putBatchSlow resolves the batch's overflowing inserts under one
+// structural lock: each round partitions the remaining keys by the
+// authoritative trie, fans the groups out to workers that fill their
+// bucket and prepare at most one split each (store work only, bucket
+// latch held), then — after the barrier — commits the trie flips
+// sequentially and releases the held latches. Keys left over by a split
+// re-partition in the next round.
+func (e *ConcurrentFile) putBatchSlow(keys []string, values [][]byte, slow []int, errs []error, workers int) {
+	e.structural.Lock()
+	defer e.structural.Unlock()
+	e.inner.nkeys = int(e.nkeys.Load())
+	pending := slow
+	for len(pending) > 0 {
+		byAddr := make(map[int32][]int, len(pending))
+		var addrs []int32
+		for _, i := range pending {
+			p := e.inner.trie.SearchAddr(keys[i])
+			if p.IsNil() {
+				errs[i] = fmt.Errorf("core: concurrent engine: key %q maps to a nil leaf (THCL files have none)", keys[i])
+				continue
+			}
+			a := p.Addr()
+			if _, ok := byAddr[a]; !ok {
+				addrs = append(addrs, a)
+			}
+			byAddr[a] = append(byAddr[a], i)
+		}
+		sort.Slice(addrs, func(x, y int) bool { return addrs[x] < addrs[y] })
+		recs := make([]*preparedSplit, len(addrs))
+		unlocks := make([]func(), len(addrs))
+		leftovers := make([][]int, len(addrs))
+		var added atomic.Int64
+		concurrent.FanOut(len(addrs), workers, func(gi int) {
+			addr := addrs[gi]
+			mu := e.latches.Latch(addr)
+			mu.Lock()
+			rec, leftover, n := e.applySlowGroup(addr, keys, values, byAddr[addr], errs)
+			added.Add(n)
+			recs[gi], leftovers[gi] = rec, leftover
+			if rec != nil {
+				// Keep the latch until the trie flip publishes the split:
+				// every key this bucket covers still routes here, and a
+				// reader must not see the shrunk image before the flip.
+				unlocks[gi] = mu.Unlock
+				return
+			}
+			mu.Unlock()
+		})
+		for gi, rec := range recs {
+			if rec == nil {
+				continue
+			}
+			e.inner.commitSplit(rec)
+			unlocks[gi]()
+		}
+		e.nkeys.Add(added.Load())
+		e.inner.nkeys = int(e.nkeys.Load())
+		pending = pending[:0]
+		for _, lo := range leftovers {
+			pending = append(pending, lo...)
+		}
+	}
+}
+
+// applySlowGroup fills bucket addr with its group's records under the
+// bucket latch (held by the caller): replacements and fitting inserts
+// first; the insert that overflows goes in as the Capacity+1'th record
+// and the split's store phase runs immediately. Indices not reached
+// before the split are returned as leftover for the next round. The
+// returned preparedSplit is non-nil when a flip is owed.
+func (e *ConcurrentFile) applySlowGroup(addr int32, keys []string, values [][]byte, idxs []int, errs []error) (rec *preparedSplit, leftover []int, added int64) {
+	b, err := e.inner.st.Read(addr)
+	if err != nil {
+		for _, i := range idxs {
+			errs[i] = err
+		}
+		return nil, nil, 0
+	}
+	var applied []int
+	overflowed := false
+	for n, i := range idxs {
+		if _, exists := b.Get(keys[i]); exists {
+			b.Put(keys[i], values[i])
+			applied = append(applied, i)
+			continue
+		}
+		if b.Len() < e.inner.cfg.Capacity {
+			b.Put(keys[i], values[i])
+			added++
+			applied = append(applied, i)
+			continue
+		}
+		b.Put(keys[i], values[i]) // the Capacity+1'th record triggers the split
+		added++
+		applied = append(applied, i)
+		leftover = append(leftover, idxs[n+1:]...)
+		overflowed = true
+		break
+	}
+	if overflowed {
+		rec, err = e.inner.prepareSplit(addr, b)
+		if err != nil {
+			for _, i := range applied {
+				errs[i] = err
+			}
+			return nil, leftover, 0
+		}
+		return rec, leftover, added
+	}
+	if len(applied) > 0 {
+		if err := e.inner.st.Write(addr, b); err != nil {
+			for _, i := range applied {
+				errs[i] = err
+			}
+			return nil, leftover, 0
+		}
+	}
+	return nil, leftover, added
+}
+
+// SaveMeta serializes the file's metadata. The caller must quiesce
+// writers (the public layer holds its exclusive lock).
+func (e *ConcurrentFile) SaveMeta() []byte {
+	e.structural.Lock()
+	defer e.structural.Unlock()
+	e.inner.nkeys = int(e.nkeys.Load())
+	return e.inner.SaveMeta()
+}
+
+// Stats returns the file's statistics. Counts read mid-traffic are
+// instantaneous, not a consistent snapshot.
+func (e *ConcurrentFile) Stats() Stats {
+	e.structural.Lock()
+	defer e.structural.Unlock()
+	e.inner.nkeys = int(e.nkeys.Load())
+	return e.inner.Stats()
+}
+
+// ResetCounters zeroes the split/redistribution and store counters.
+func (e *ConcurrentFile) ResetCounters() {
+	e.structural.Lock()
+	defer e.structural.Unlock()
+	e.inner.ResetCounters()
+}
+
+// CheckInvariants verifies the file's structural invariants. The caller
+// must quiesce concurrent operations (the public layer holds its
+// exclusive lock); the structural lock alone does not stop fast-path
+// bucket writes.
+func (e *ConcurrentFile) CheckInvariants() error {
+	e.structural.Lock()
+	defer e.structural.Unlock()
+	e.inner.nkeys = int(e.nkeys.Load())
+	return e.inner.CheckInvariants()
+}
+
+// Scrub quarantines unreadable buckets and rebuilds the trie, returning
+// a fresh concurrent engine over the repaired file. The caller must
+// quiesce concurrent operations.
+func (e *ConcurrentFile) Scrub(quarantinePath string) (*ConcurrentFile, *ScrubReport, error) {
+	e.structural.Lock()
+	defer e.structural.Unlock()
+	e.inner.nkeys = int(e.nkeys.Load())
+	e.inner.trie.SetTracer(nil)
+	nf, rep, err := e.inner.Scrub(quarantinePath)
+	if err != nil {
+		e.inner.trie.SetTracer(e.mirror) // the old file stays live
+		return nil, nil, err
+	}
+	ne, err := NewConcurrent(nf)
+	if err != nil {
+		return nil, nil, err
+	}
+	return ne, rep, nil
+}

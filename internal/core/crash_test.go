@@ -54,15 +54,34 @@ type crashRun struct {
 	deletes map[string][]int
 }
 
+// crashDriver is the operation surface the crash workload drives — the
+// sequential engine or the concurrent one, whose store mutation order is
+// the same by construction (shared split/merge code), so the durability
+// contract and recovery chain are engine-independent.
+type crashDriver interface {
+	Put(key string, value []byte) (bool, error)
+	Delete(key string) error
+	SaveMeta() []byte
+}
+
 // buildCrashRun executes the canonical workload: deterministic keys,
 // inserts with periodic overwrites and deletes, a Sync every syncEvery
-// operations.
-func buildCrashRun(t *testing.T, cfg Config, seed int64, nops, syncEvery int) *crashRun {
+// operations. concurrent drives the operations through the concurrent
+// engine instead of the sequential one.
+func buildCrashRun(t *testing.T, cfg Config, seed int64, nops, syncEvery int, concurrent bool) *crashRun {
 	t.Helper()
 	cs := store.NewCrash()
-	f, err := New(cfg, cs)
+	inner, err := New(cfg, cs)
 	if err != nil {
 		t.Fatal(err)
+	}
+	var f crashDriver = inner
+	if concurrent {
+		ce, err := NewConcurrent(inner)
+		if err != nil {
+			t.Fatal(err)
+		}
+		f = ce
 	}
 	keys := workload.Uniform(seed, nops, 3, 8)
 	r := &crashRun{
@@ -283,11 +302,16 @@ func (r *crashRun) verifyCut(t *testing.T, cfg Config, k int, kind store.Corrupt
 // the full run visits all of them.
 func TestCrashPoints(t *testing.T) {
 	configs := []struct {
-		name string
-		cfg  Config
+		name       string
+		cfg        Config
+		concurrent bool
 	}{
-		{"thcl", Config{Capacity: 4, Mode: trie.ModeTHCL}},
-		{"thcl-redist", Config{Capacity: 4, Mode: trie.ModeTHCL, Redistribution: RedistBoth, BoundPos: 4}},
+		{"thcl", Config{Capacity: 4, Mode: trie.ModeTHCL}, false},
+		{"thcl-redist", Config{Capacity: 4, Mode: trie.ModeTHCL, Redistribution: RedistBoth, BoundPos: 4}, false},
+		// The concurrent engine over the same journaling store: identical
+		// store mutation order means the same cuts, the same damage, the
+		// same recovery chain.
+		{"thcl-concurrent", Config{Capacity: 4, Mode: trie.ModeTHCL}, true},
 	}
 	kinds := []store.CorruptKind{-1, store.CorruptTear, store.CorruptFlip, store.CorruptZero}
 	for _, tc := range configs {
@@ -296,7 +320,7 @@ func TestCrashPoints(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			r := buildCrashRun(t, cfg, 411, 160, 13)
+			r := buildCrashRun(t, cfg, 411, 160, 13, tc.concurrent)
 			stride := 1
 			if testing.Short() {
 				stride = 7

@@ -3,6 +3,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"sync"
 
 	"triehash/internal/bucket"
 	"triehash/internal/obs"
@@ -35,8 +36,11 @@ type File struct {
 	// abandoned records bucket slots a failed operation could neither
 	// use nor free (a second storage failure during compensation). They
 	// hold no live data — at most duplicates of reachable records — and
-	// Recover sweeps them.
-	abandoned map[int32]bool
+	// Recover sweeps them. abandonedMu guards the map: the concurrent
+	// engine's batch path prepares splits of distinct buckets in
+	// parallel, and two failing compensations must not race.
+	abandonedMu sync.Mutex
+	abandoned   map[int32]bool
 	// corruptSlots lists the slot addresses Recover found unreadable
 	// (CorruptError): the trie was rebuilt without them, and Scrub is the
 	// pass that quarantines them and releases their slots.

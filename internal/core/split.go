@@ -32,6 +32,30 @@ func (f *File) split(addr int32, b *bucket.Bucket) error {
 // appendSplit is the normal split: a new bucket N receives every key above
 // the split string.
 func (f *File) appendSplit(addr int32, b *bucket.Bucket) error {
+	p, err := f.prepareSplit(addr, b)
+	if err != nil {
+		return err
+	}
+	f.commitSplit(p)
+	return nil
+}
+
+// preparedSplit is the store half of a split, done and durable, awaiting
+// its trie flip. The concurrent engine's batch path prepares splits of
+// distinct buckets in parallel (each under its bucket latch) and commits
+// the trie flips sequentially afterwards.
+type preparedSplit struct {
+	addr     int32
+	newAddr  int32
+	splitKey string
+	s        []byte
+}
+
+// prepareSplit performs the store phase of splitting bucket addr, whose
+// in-memory image b holds Capacity+1 records: allocate the new bucket,
+// move every key above the split string into it, and write both buckets.
+// The trie is not touched — the caller runs commitSplit to publish.
+func (f *File) prepareSplit(addr int32, b *bucket.Bucket) (*preparedSplit, error) {
 	B := b.Keys() // the b+1 ordered keys to split
 	splitKey := B[f.cfg.SplitPos-1]
 	boundKey := B[f.cfg.BoundPos-1]
@@ -39,7 +63,7 @@ func (f *File) appendSplit(addr int32, b *bucket.Bucket) error {
 
 	newAddr, err := f.st.Alloc()
 	if err != nil {
-		return err
+		return nil, err
 	}
 	moved := b.SplitOff(func(k string) bool { return f.cfg.Alphabet.KeyLEBound(k, s) })
 	if len(moved) == 0 || b.Len() == 0 {
@@ -58,16 +82,21 @@ func (f *File) appendSplit(addr int32, b *bucket.Bucket) error {
 	// by dropping the subset twin; the opposite order could lose them.
 	if err := f.st.Write(newAddr, nb); err != nil {
 		f.freeBestEffort(newAddr)
-		return err
+		return nil, err
 	}
 	if err := f.st.Write(addr, b); err != nil {
 		f.freeBestEffort(newAddr)
-		return err
+		return nil, err
 	}
-	f.trie.SetBoundary(splitKey, s, addr, addr, newAddr, f.cfg.Mode)
+	return &preparedSplit{addr: addr, newAddr: newAddr, splitKey: splitKey, s: s}, nil
+}
+
+// commitSplit publishes a prepared split: the trie expansion that makes
+// the new bucket reachable.
+func (f *File) commitSplit(p *preparedSplit) {
+	f.trie.SetBoundary(p.splitKey, p.s, p.addr, p.addr, p.newAddr, f.cfg.Mode)
 	f.splits++
-	f.emit(obs.EvSplit, addr, newAddr, fmt.Sprintf("split string %q", s))
-	return nil
+	f.emit(obs.EvSplit, p.addr, p.newAddr, fmt.Sprintf("split string %q", p.s))
 }
 
 // freeBestEffort releases a bucket allocated by an operation that failed
@@ -76,10 +105,12 @@ func (f *File) appendSplit(addr int32, b *bucket.Bucket) error {
 // sweeps it.
 func (f *File) freeBestEffort(addr int32) {
 	if f.st.Free(addr) != nil {
+		f.abandonedMu.Lock()
 		if f.abandoned == nil {
 			f.abandoned = map[int32]bool{}
 		}
 		f.abandoned[addr] = true
+		f.abandonedMu.Unlock()
 	}
 }
 

@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"hash/crc32"
 	"os"
+	"sync"
+	"sync/atomic"
 
 	"triehash/internal/bucket"
 )
@@ -26,11 +28,17 @@ import (
 // metadata is lost without being told b. Zero (files written before the
 // hint existed) means "unknown"; the salvage path then infers b from the
 // fullest surviving bucket.
+// FileStore is safe for concurrent use: reads and writes of distinct
+// slots are independent positioned I/O, the slot count is atomic, and the
+// allocator bookkeeping (free list, live count) is mutex-guarded.
+// Concurrent operations on the *same* slot need external coordination
+// (the engine's per-bucket latches) — the store does not order them.
 type FileStore struct {
 	f        *os.File
 	slotSize int
-	hint     int   // capacity hint from the header; 0 = unknown
-	slots    int32 // slots present in the file (allocated + freed)
+	hint     int          // capacity hint from the header; 0 = unknown
+	slots    atomic.Int32 // slots present in the file (allocated + freed)
+	mu       sync.Mutex   // guards free and live
 	free     []int32
 	live     int
 	ctr      counterSet
@@ -96,8 +104,8 @@ func OpenFile(path string) (*FileStore, error) {
 		f.Close()
 		return nil, err
 	}
-	s.slots = int32((st.Size() - fileHeaderSize) / int64(s.slotSize))
-	for k := int32(0); k < s.slots; k++ {
+	s.slots.Store(int32((st.Size() - fileHeaderSize) / int64(s.slotSize)))
+	for k := int32(0); k < s.slots.Load(); k++ {
 		var sh [slotHeaderSize]byte
 		if _, err := f.ReadAt(sh[:], s.offset(k)); err != nil {
 			f.Close()
@@ -139,8 +147,8 @@ func (s *FileStore) SetCapacityHint(b int) error {
 }
 
 func (s *FileStore) readSlot(addr int32) (flags byte, payload []byte, err error) {
-	if addr < 0 || addr >= s.slots {
-		return 0, nil, fmt.Errorf("%w: slot %d of %d", ErrNotAllocated, addr, s.slots)
+	if n := s.slots.Load(); addr < 0 || addr >= n {
+		return 0, nil, fmt.Errorf("%w: slot %d of %d", ErrNotAllocated, addr, n)
 	}
 	buf := make([]byte, s.slotSize)
 	if _, err := s.f.ReadAt(buf, s.offset(addr)); err != nil {
@@ -208,13 +216,15 @@ func (s *FileStore) Write(addr int32, b *bucket.Bucket) error {
 // Alloc implements Store.
 func (s *FileStore) Alloc() (int32, error) {
 	s.ctr.allocs.Add(1)
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	var addr int32
 	if n := len(s.free); n > 0 {
 		addr = s.free[n-1]
 		s.free = s.free[:n-1]
 	} else {
-		addr = s.slots
-		s.slots++
+		addr = s.slots.Load()
+		s.slots.Store(addr + 1)
 	}
 	if err := s.writeSlot(addr, slotLive, bucket.New(0).AppendBinary(nil)); err != nil {
 		return 0, err
@@ -236,16 +246,18 @@ func (s *FileStore) Free(addr int32) error {
 		return err
 	}
 	s.ctr.frees.Add(1)
+	s.mu.Lock()
 	s.live--
 	s.free = append(s.free, addr)
+	s.mu.Unlock()
 	return nil
 }
 
 // ReadRaw implements RawReader: the slot's bytes exactly as stored, no
 // checksum verification — what Scrub preserves in the quarantine file.
 func (s *FileStore) ReadRaw(addr int32) ([]byte, error) {
-	if addr < 0 || addr >= s.slots {
-		return nil, fmt.Errorf("%w: raw read of slot %d of %d", ErrNotAllocated, addr, s.slots)
+	if n := s.slots.Load(); addr < 0 || addr >= n {
+		return nil, fmt.Errorf("%w: raw read of slot %d of %d", ErrNotAllocated, addr, n)
 	}
 	buf := make([]byte, s.slotSize)
 	if _, err := s.f.ReadAt(buf, s.offset(addr)); err != nil {
@@ -268,8 +280,8 @@ func (s *FileStore) inFree(addr int32) bool {
 // its content. Free refuses a slot that no longer reads back; this is the
 // release path for quarantined slots (their bytes already preserved).
 func (s *FileStore) ClearSlot(addr int32) error {
-	if addr < 0 || addr >= s.slots {
-		return fmt.Errorf("%w: clear of slot %d of %d", ErrNotAllocated, addr, s.slots)
+	if n := s.slots.Load(); addr < 0 || addr >= n {
+		return fmt.Errorf("%w: clear of slot %d of %d", ErrNotAllocated, addr, n)
 	}
 	if err := s.writeSlot(addr, slotFree, nil); err != nil {
 		return err
@@ -277,10 +289,12 @@ func (s *FileStore) ClearSlot(addr int32) error {
 	// Bookkeeping follows the in-memory classification (live iff not on
 	// the free list), which OpenFile derived from the flags and which
 	// stays self-consistent even when the on-disk flags were damaged.
+	s.mu.Lock()
 	if !s.inFree(addr) {
 		s.live--
 		s.free = append(s.free, addr)
 	}
+	s.mu.Unlock()
 	return nil
 }
 
@@ -291,8 +305,8 @@ func (s *FileStore) ClearSlot(addr int32) error {
 // untouched — the corruption is silent until a read or reopen finds it,
 // which is the scenario under test.
 func (s *FileStore) CorruptSlot(addr int32, kind CorruptKind, seed int64) error {
-	if addr < 0 || addr >= s.slots {
-		return fmt.Errorf("%w: corrupt of slot %d of %d", ErrNotAllocated, addr, s.slots)
+	if n := s.slots.Load(); addr < 0 || addr >= n {
+		return fmt.Errorf("%w: corrupt of slot %d of %d", ErrNotAllocated, addr, n)
 	}
 	buf := make([]byte, s.slotSize)
 	if _, err := s.f.ReadAt(buf, s.offset(addr)); err != nil {
@@ -306,10 +320,14 @@ func (s *FileStore) CorruptSlot(addr int32, kind CorruptKind, seed int64) error 
 }
 
 // Buckets implements Store.
-func (s *FileStore) Buckets() int { return s.live }
+func (s *FileStore) Buckets() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.live
+}
 
 // MaxAddr implements Store.
-func (s *FileStore) MaxAddr() int32 { return s.slots }
+func (s *FileStore) MaxAddr() int32 { return s.slots.Load() }
 
 // Counters implements Store.
 func (s *FileStore) Counters() Counters { return s.ctr.snapshot() }

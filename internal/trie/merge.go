@@ -75,6 +75,9 @@ func (t *Trie) DeadCells() int { return int(t.dead) }
 // markDead tombstones cell ci: the cell stays in the table (so concurrent
 // cursors over cell indexes stay valid) but is unreachable and uncounted.
 func (t *Trie) markDead(ci int32) {
+	if t.tracer != nil {
+		panic("trie: markDead on a traced trie (the arena mirror requires an append-only cell table)")
+	}
 	c := &t.cells[ci]
 	c.LP, c.RP = Nil, Nil // already nil-accounted by the caller
 	c.DV = 0
@@ -90,6 +93,9 @@ const deadDN int32 = -1
 // hold positions, e.g. at load or checkpoint time). It returns the number
 // of cells reclaimed.
 func (t *Trie) Vacuum() int {
+	if t.tracer != nil {
+		panic("trie: Vacuum on a traced trie (the arena mirror requires an append-only cell table)")
+	}
 	if t.dead == 0 {
 		return 0
 	}
@@ -221,6 +227,9 @@ func (t *Trie) findReferrer(ci int32) Pos {
 // its slot (the paper's physical shrinking of the table of cells) and
 // fixing the edge that referred to the moved cell.
 func (t *Trie) removeCell(ci int32) {
+	if t.tracer != nil {
+		panic("trie: removeCell on a traced trie (the arena mirror requires an append-only cell table)")
+	}
 	last := int32(len(t.cells) - 1)
 	if ci != last {
 		t.cells[ci] = t.cells[last]

@@ -143,7 +143,32 @@ type Trie struct {
 	// counts the tombstones awaiting Vacuum.
 	tombstoning bool
 	dead        int32
+
+	// tracer, when set, observes every structural mutation (cell appends
+	// and pointer stores) so an external mirror — the concurrent engine's
+	// atomic cell arena — can replay them in publication order. A traced
+	// trie must stay append-only: operations that move or reclaim cells
+	// (removeCell, Vacuum, markDead) panic while a tracer is attached.
+	tracer Tracer
 }
+
+// Tracer receives the trie's structural mutations as they happen. The
+// calls arrive in program order; TraceSetPtr for an edge to a fresh chain
+// of cells is always preceded by the TraceAppendCell calls that built the
+// chain, which is exactly the paper's fill-then-flip publication order.
+type Tracer interface {
+	// TraceAppendCell reports that cell ci was appended with node (dv, dn)
+	// and both pointers nil.
+	TraceAppendCell(ci int32, dv byte, dn int32)
+	// TraceSetPtr reports that pointer slot pos now holds v.
+	TraceSetPtr(pos Pos, v Ptr)
+}
+
+// SetTracer attaches (or, with nil, detaches) a structural-mutation
+// tracer. While a tracer is attached the trie refuses cell removal and
+// compaction, keeping the cell table strictly append-only. Clone does not
+// carry the tracer over.
+func (t *Trie) SetTracer(tr Tracer) { t.tracer = tr }
 
 // New returns a trie over alphabet a whose single leaf is bucket address
 // root (pass 0 for a fresh file, matching the paper's initial state of
@@ -238,6 +263,9 @@ func (t *Trie) setPtr(p Pos, v Ptr) {
 	default:
 		t.cells[p.Cell].RP = v
 	}
+	if t.tracer != nil {
+		t.tracer.TraceSetPtr(p, v)
+	}
 }
 
 // appendCell appends a new cell and returns its index. Pointers of the new
@@ -247,7 +275,11 @@ func (t *Trie) setPtr(p Pos, v Ptr) {
 func (t *Trie) appendCell(dv byte, dn int32) int32 {
 	t.cells = append(t.cells, Cell{DV: dv, DN: dn, LP: Nil, RP: Nil})
 	t.nilLeaves += 2
-	return int32(len(t.cells) - 1)
+	ci := int32(len(t.cells) - 1)
+	if t.tracer != nil {
+		t.tracer.TraceAppendCell(ci, dv, dn)
+	}
+	return ci
 }
 
 // SearchResult describes where Algorithm A1 ended: the leaf pointer, the

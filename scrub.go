@@ -58,12 +58,24 @@ func (f *File) Scrub() (*ScrubReport, error) {
 	if f.dir != "" {
 		qpath = filepath.Join(f.dir, "quarantine.th")
 	}
-	nf, rep, err := f.single.Scrub(qpath)
-	if err != nil {
-		return nil, err
+	var rep *ScrubReport
+	if f.conc != nil {
+		// The exclusive lock quiesces the shared-lock writers; the engine
+		// rebuild re-mirrors the repaired trie into a fresh arena.
+		ne, r, err := f.conc.Scrub(qpath)
+		if err != nil {
+			return nil, err
+		}
+		f.conc, f.eng, rep = ne, ne, r
+		ne.SetObsHook(f.hook)
+	} else {
+		nf, r, err := f.single.Scrub(qpath)
+		if err != nil {
+			return nil, err
+		}
+		f.single, f.eng, rep = nf, nf, r
+		nf.SetObsHook(f.hook)
 	}
-	f.single, f.eng = nf, nf
-	nf.SetObsHook(f.hook)
 	if f.dir != "" {
 		if err := f.syncLocked(); err != nil {
 			return rep, err

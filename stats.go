@@ -50,10 +50,27 @@ func fromStore(c store.Counters) IOCounters {
 
 // Stats returns the current snapshot.
 func (f *File) Stats() Stats {
-	f.mu.RLock()
-	defer f.mu.RUnlock()
+	if f.concurrent {
+		// The concurrent engine's writers run under the shared lock;
+		// excluding them makes the snapshot consistent, not just a set of
+		// instantaneous counter reads.
+		f.mu.Lock()
+		defer f.mu.Unlock()
+	} else {
+		f.mu.RLock()
+		defer f.mu.RUnlock()
+	}
 	var out Stats
-	if f.multi != nil {
+	if f.conc != nil {
+		s := f.conc.Stats()
+		out = Stats{
+			Keys: s.Keys, Buckets: s.Buckets, Load: s.Load,
+			TrieCells: s.TrieCells, TrieBytes: s.TrieBytes, NilLeaves: s.NilLeaves,
+			Depth: s.Depth, Splits: s.Splits, Redistributions: s.Redistributions,
+			Levels: 1, Pages: 1,
+			IO: fromStore(s.IO),
+		}
+	} else if f.multi != nil {
 		m := f.multi.Stats()
 		out = Stats{
 			Keys: m.Keys, Buckets: m.Buckets, Load: m.Load,
@@ -95,10 +112,14 @@ func (f *File) ResetIOCounters() {
 }
 
 // CheckInvariants verifies the whole file's structural invariants (it
-// reads every bucket; intended for tests and tooling).
+// reads every bucket; intended for tests and tooling). The exclusive lock
+// quiesces the concurrent engine's shared-lock writers.
 func (f *File) CheckInvariants() error {
-	f.mu.RLock()
-	defer f.mu.RUnlock()
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.conc != nil {
+		return f.conc.CheckInvariants()
+	}
 	if f.multi != nil {
 		return f.multi.CheckInvariants()
 	}

@@ -127,6 +127,21 @@ type Options struct {
 	// is set: the sharded CLOCK pool (default) or the single-mutex LRU
 	// the paper experiments were first measured with.
 	CachePolicy CachePolicy
+	// Concurrent selects the store-backed /VID87/ engine: trie searches
+	// run lock-free over an atomic cell arena, point operations latch only
+	// their bucket, and the file's global lock is reserved for maintenance
+	// (Sync, Close, Scrub, invariant checks) — so reads and writes from
+	// many goroutines proceed in parallel instead of serializing. The
+	// scheme needs an append-only trie, so it requires the THCL variant on
+	// a single-level file with default (guaranteed) merging and no
+	// Redistribution, CollapseOnMerge, RotationMerges or TombstoneMerges.
+	// A single-threaded workload produces a file byte-identical to the
+	// default engine's.
+	Concurrent bool
+	// BulkWorkers bounds the goroutines BulkLoad packs and writes buckets
+	// with (0 or 1 = the sequential loader). The loaded file is identical
+	// either way.
+	BulkWorkers int
 }
 
 // CachePolicy selects the buffer pool implementation.
@@ -211,19 +226,26 @@ type engine interface {
 	ResetCounters()
 }
 
-// File is a trie-hashed file. All methods are safe for concurrent use: the
-// trie's append-only cell table means readers proceed under a shared lock
-// while writers serialize, the discipline the paper's concurrency
-// discussion (/VID87/) builds on.
+// File is a trie-hashed file. All methods are safe for concurrent use: by
+// default readers proceed under a shared lock while writers serialize; with
+// Options.Concurrent the /VID87/ engine lets writers share the lock too,
+// isolating them from each other with per-bucket latches over the trie's
+// append-only cell table.
 type File struct {
-	mu     sync.RWMutex
-	opts   Options
-	alpha  keys.Alphabet
-	eng    engine
-	single *core.File // nil for multilevel files
-	multi  *mlth.File // nil for single-level files
-	dir    string     // "" for in-memory files
-	closed bool
+	mu    sync.RWMutex
+	opts  Options
+	alpha keys.Alphabet
+	eng   engine
+	// concurrent notes the engine does its own fine-grained locking, so
+	// mutating operations take mu shared and only maintenance takes it
+	// exclusive. Immutable after construction (conc itself is swapped by
+	// Scrub under the exclusive lock).
+	concurrent bool
+	single     *core.File           // nil for multilevel and concurrent files
+	multi      *mlth.File           // nil for single-level files
+	conc       *core.ConcurrentFile // nil unless Options.Concurrent
+	dir        string               // "" for in-memory files
+	closed     bool
 	// maxRecord bounds key+value bytes for persistent files so a bucket
 	// of capacity b records always fits its slot; 0 = unbounded.
 	maxRecord int
@@ -319,6 +341,9 @@ func create(opts Options, dir string, st store.Store) (*File, error) {
 		if opts.Redistribution != RedistNone || opts.RotationMerges {
 			return nil, fmt.Errorf("triehash: redistribution and rotation merges are single-level features")
 		}
+		if opts.Concurrent {
+			return nil, fmt.Errorf("triehash: the concurrent engine is a single-level feature; omit PageCapacity")
+		}
 		m, err := mlth.New(opts.mlthConfig(), st)
 		if err != nil {
 			return nil, err
@@ -332,8 +357,37 @@ func create(opts Options, dir string, st store.Store) (*File, error) {
 		return nil, err
 	}
 	c.SetObsHook(f.hook)
+	if opts.Concurrent {
+		return f.adoptConcurrent(c)
+	}
 	f.single, f.eng = c, c
 	return f, nil
+}
+
+// adoptConcurrent wraps a freshly built (or reopened) core engine in the
+// concurrent one and installs it as the file's engine.
+func (f *File) adoptConcurrent(c *core.File) (*File, error) {
+	ce, err := core.NewConcurrent(c)
+	if err != nil {
+		return nil, err
+	}
+	f.concurrent = true
+	f.conc, f.eng = ce, ce
+	return f, nil
+}
+
+// opLock locks the file for one point operation: exclusive under the
+// global-lock engines, shared under the concurrent engine (whose bucket
+// latches isolate writers from each other, leaving the exclusive side to
+// maintenance — Sync, Close, Scrub, CheckInvariants). It returns the
+// matching unlock.
+func (f *File) opLock() func() {
+	if f.concurrent {
+		f.mu.RLock()
+		return f.mu.RUnlock
+	}
+	f.mu.Lock()
+	return f.mu.Unlock
 }
 
 // BulkLoad builds a file in one pass from records supplied in strictly
@@ -364,14 +418,27 @@ func BulkLoad(dir string, opts Options, fill float64, next func() (key string, v
 	}
 	st = wrapCache(opts, st)
 	st, hook := instrument(st)
-	c, err := core.BulkLoad(opts.coreConfig(), st, fill, next)
+	load := core.BulkLoad
+	if opts.BulkWorkers > 1 {
+		load = func(cfg core.Config, st store.Store, fill float64, next func() (string, []byte, bool)) (*core.File, error) {
+			return core.BulkLoadParallel(cfg, st, fill, next, opts.BulkWorkers)
+		}
+	}
+	c, err := load(opts.coreConfig(), st, fill, next)
 	if err != nil {
 		_ = st.Close() // the load error takes precedence
 		return nil, err
 	}
 	c.SetObsHook(hook)
 	f := &File{opts: opts, alpha: opts.alphabet(), dir: dir, hook: hook}
-	f.single, f.eng = c, c
+	if opts.Concurrent {
+		if _, err := f.adoptConcurrent(c); err != nil {
+			_ = st.Close()
+			return nil, err
+		}
+	} else {
+		f.single, f.eng = c, c
+	}
 	if dir != "" {
 		f.setRecordLimit()
 		if err := f.syncLocked(); err != nil {
@@ -425,7 +492,14 @@ func RecoverAt(dir string, opts Options) (*File, error) {
 		_ = fs.SetCapacityHint(c.Config().Capacity)
 	}
 	f := &File{opts: opts, alpha: opts.alphabet(), dir: dir, hook: hook, recovered: true}
-	f.single, f.eng = c, c
+	if opts.Concurrent {
+		if _, err := f.adoptConcurrent(c); err != nil {
+			_ = fs.Close()
+			return nil, err
+		}
+	} else {
+		f.single, f.eng = c, c
+	}
 	f.setRecordLimit()
 	if err := f.syncLocked(); err != nil {
 		_ = f.eng.Store().Close() // the sync error takes precedence
@@ -460,31 +534,55 @@ func fullestBucket(st store.Store) int {
 // are skipped and left for Scrub (or thcheck -repair) to quarantine. Only
 // when the bucket file itself is unusable does OpenAt fail.
 func OpenAt(dir string) (*File, error) {
+	return OpenAtWith(dir, Options{})
+}
+
+// OpenAtWith reopens a file with runtime options applied. The file's
+// structural configuration (capacity, variant, split positions) comes from
+// its metadata; opts contributes only the per-open choices — CacheFrames
+// and CachePolicy for a buffer pool, Concurrent for the /VID87/ engine,
+// BulkWorkers — and the rest of opts is ignored.
+func OpenAtWith(dir string, opts Options) (*File, error) {
 	meta, err := os.ReadFile(filepath.Join(dir, "meta.th"))
 	if err != nil {
 		if !errors.Is(err, os.ErrNotExist) {
 			return nil, err
 		}
-		return salvageAt(dir, err)
+		return salvageAt(dir, opts, err)
 	}
 	fs, err := store.OpenFile(filepath.Join(dir, "buckets.th"))
 	if err != nil {
 		return nil, err
 	}
-	st, hook := instrument(fs)
+	st, hook := instrument(wrapCache(opts, fs))
 	f := &File{dir: dir, hook: hook}
 	if c, cerr := core.Open(meta, st); cerr == nil {
 		c.SetObsHook(hook)
-		f.single, f.eng = c, c
 		f.alpha = c.Config().Alphabet
-		f.opts = Options{BucketCapacity: c.Config().Capacity, SlotBytes: fs.SlotSize()}
+		f.opts = Options{
+			BucketCapacity: c.Config().Capacity, SlotBytes: fs.SlotSize(),
+			CacheFrames: opts.CacheFrames, CachePolicy: opts.CachePolicy,
+			Concurrent: opts.Concurrent, BulkWorkers: opts.BulkWorkers,
+		}
+		if opts.Concurrent {
+			if _, err := f.adoptConcurrent(c); err != nil {
+				_ = fs.Close()
+				return nil, err
+			}
+		} else {
+			f.single, f.eng = c, c
+		}
 		f.setRecordLimit()
 		return f, nil
 	}
 	m, merr := mlth.Open(meta, st)
 	if merr != nil {
 		_ = fs.Close() // salvage reopens the bucket file itself
-		return salvageAt(dir, fmt.Errorf("%s holds neither a single-level nor a multilevel file: %w", dir, merr))
+		return salvageAt(dir, opts, fmt.Errorf("%s holds neither a single-level nor a multilevel file: %w", dir, merr))
+	}
+	if opts.Concurrent {
+		_ = fs.Close()
+		return nil, fmt.Errorf("triehash: %s is a multilevel file; the concurrent engine is a single-level feature", dir)
 	}
 	m.SetObsHook(hook)
 	f.multi, f.eng = m, m
@@ -496,8 +594,8 @@ func OpenAt(dir string) (*File, error) {
 
 // salvageAt is OpenAt's fallback when the metadata is lost: reconstruct
 // from the buckets, reporting both failures if even that is impossible.
-func salvageAt(dir string, cause error) (*File, error) {
-	f, err := RecoverAt(dir, Options{})
+func salvageAt(dir string, opts Options, cause error) (*File, error) {
+	f, err := RecoverAt(dir, Options{Concurrent: opts.Concurrent})
 	if err != nil {
 		return nil, fmt.Errorf("triehash: %s: metadata unusable (%v) and salvage failed: %w", dir, cause, err)
 	}
@@ -510,8 +608,7 @@ var ErrRecordTooLarge = errors.New("triehash: record too large for the configure
 
 // Put inserts or replaces the record for key.
 func (f *File) Put(key string, value []byte) error {
-	f.mu.Lock()
-	defer f.mu.Unlock()
+	defer f.opLock()()
 	if f.closed {
 		return ErrClosed
 	}
@@ -565,8 +662,7 @@ func (f *File) Has(key string) (bool, error) {
 
 // Delete removes the record for key, or returns ErrNotFound.
 func (f *File) Delete(key string) error {
-	f.mu.Lock()
-	defer f.mu.Unlock()
+	defer f.opLock()()
 	if f.closed {
 		return ErrClosed
 	}
