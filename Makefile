@@ -58,10 +58,11 @@ bench-compare:
 		grep '^Benchmark' bench_head.txt | sed 's/^/head /'; \
 	fi
 
-# Gate: instrumented-but-disabled Get must stay within 5% of the
-# uninstrumented baseline (and add zero allocations).
+# Gates: instrumented-but-disabled Get must stay within 5% of the
+# uninstrumented baseline (and add zero allocations), and span tracing
+# must stay within 15% of a histogram-only observer on the warm read path.
 obs-bench:
-	OBS_BENCH=1 $(GO) test -run TestObsOverhead -v .
+	OBS_BENCH=1 $(GO) test -run 'TestObsOverhead|TestObsSpanOverhead' -v -timeout 600s .
 
 # Write-path scaling gate: global-lock vs concurrent engine, serial and
 # parallel Put/PutBatch/mixed, on a fully cached in-memory store. Writes

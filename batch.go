@@ -13,6 +13,16 @@ type batchGetter interface {
 	GetBatch(keys []string) ([][]byte, []error)
 }
 
+// batchSpanGetter is batchGetter's span-carrying form.
+type batchSpanGetter interface {
+	GetBatchSpan(keys []string, sp *obs.Span) ([][]byte, []error)
+}
+
+// batchSpanPutter is batchPutter's span-carrying form.
+type batchSpanPutter interface {
+	PutBatchSpan(keys []string, values [][]byte, sp *obs.Span) []error
+}
+
 // GetBatch looks up many keys in one call. The file lock is taken once
 // for the whole batch, and on single-level files the keys are partitioned
 // by trie leaf so each qualifying bucket is accessed exactly once no
@@ -31,6 +41,23 @@ func (f *File) GetBatch(keys []string) (vals [][]byte, errs []error) {
 		return make([][]byte, len(keys)), errs
 	}
 	o := f.hook.Observer()
+	if sp := o.StartSpan(obs.OpGetBatch); sp != nil {
+		defer o.FinishSpan(sp)
+		if bg, ok := f.eng.(batchSpanGetter); ok {
+			vals, errs = bg.GetBatchSpan(keys, sp)
+			for i, err := range errs {
+				errs[i] = mapNotFound(err)
+			}
+			return vals, errs
+		}
+		vals = make([][]byte, len(keys))
+		errs = make([]error, len(keys))
+		for i, k := range keys {
+			v, err := f.eng.GetSpan(k, sp)
+			vals[i], errs[i] = v, mapNotFound(err)
+		}
+		return vals, errs
+	}
 	var start time.Time
 	if o != nil {
 		start = time.Now()
@@ -71,6 +98,34 @@ func (f *File) PutBatch(keys []string, values [][]byte) (errs []error) {
 	if len(keys) != len(values) {
 		panic(fmt.Sprintf("triehash: PutBatch with %d keys but %d values", len(keys), len(values)))
 	}
+	o := f.hook.Observer()
+	if sp := o.StartSpan(obs.OpPutBatch); sp != nil {
+		defer o.FinishSpan(sp)
+		defer f.opLock()()
+		sp.Mark(obs.StageFileLock)
+		errs = make([]error, len(keys))
+		if f.closed {
+			for i := range errs {
+				errs[i] = ErrClosed
+			}
+			return errs
+		}
+		if bp, ok := f.eng.(batchSpanPutter); ok {
+			f.putBatchEngine(func(ks []string, vs [][]byte) []error {
+				return bp.PutBatchSpan(ks, vs, sp)
+			}, keys, values, errs)
+			return errs
+		}
+		for i, k := range keys {
+			if f.maxRecord > 0 && len(k)+len(values[i]) > f.maxRecord {
+				errs[i] = fmt.Errorf("%w: %d bytes, limit %d (raise SlotBytes or lower BucketCapacity)",
+					ErrRecordTooLarge, len(k)+len(values[i]), f.maxRecord)
+				continue
+			}
+			_, errs[i] = f.eng.PutSpan(k, values[i], sp)
+		}
+		return errs
+	}
 	defer f.opLock()()
 	errs = make([]error, len(keys))
 	if f.closed {
@@ -79,13 +134,12 @@ func (f *File) PutBatch(keys []string, values [][]byte) (errs []error) {
 		}
 		return errs
 	}
-	o := f.hook.Observer()
 	var start time.Time
 	if o != nil {
 		start = time.Now()
 	}
 	if bp, ok := f.eng.(batchPutter); ok {
-		f.putBatchEngine(bp, keys, values, errs)
+		f.putBatchEngine(bp.PutBatch, keys, values, errs)
 	} else {
 		for i, k := range keys {
 			if f.maxRecord > 0 && len(k)+len(values[i]) > f.maxRecord {
@@ -102,10 +156,11 @@ func (f *File) PutBatch(keys []string, values [][]byte) (errs []error) {
 	return errs
 }
 
-// putBatchEngine hands the batch to an engine-level PutBatch, first
-// carving out records over the persistent-file size limit so they fail
-// exactly as single Puts would.
-func (f *File) putBatchEngine(bp batchPutter, keys []string, values [][]byte, errs []error) {
+// putBatchEngine hands the batch to an engine-level PutBatch (plain or
+// span-carrying, via the apply closure), first carving out records over
+// the persistent-file size limit so they fail exactly as single Puts
+// would.
+func (f *File) putBatchEngine(apply func([]string, [][]byte) []error, keys []string, values [][]byte, errs []error) {
 	ks, vs := keys, values
 	var idx []int
 	if f.maxRecord > 0 {
@@ -123,7 +178,7 @@ func (f *File) putBatchEngine(bp batchPutter, keys []string, values [][]byte, er
 			idx = append(idx, i)
 		}
 	}
-	for j, err := range bp.PutBatch(ks, vs) {
+	for j, err := range apply(ks, vs) {
 		i := j
 		if idx != nil {
 			i = idx[j]

@@ -23,6 +23,9 @@ func main() {
 	experiment := flag.String("experiment", "", "run a single experiment by id (default: all)")
 	csv := flag.Bool("csv", false, "emit comma-separated rows (for plotting) instead of aligned tables")
 	cache := flag.String("cache", "clock", "buffer pool policy for experiments that use one: clock (sharded) or lru")
+	procs := flag.Int("procs", 8, "worker goroutines for the contention experiment")
+	traceThreshold := flag.Duration("trace-threshold", -1,
+		"enable span tracing on every experiment and print an end-of-run span/contention summary; the value is the slow-op flight-recorder threshold (0 = adaptive rolling p99, <0 = tracing off)")
 	metricsAddr := flag.String("metrics-addr", "", "serve /metrics, /obs.json, /debug/vars and /debug/pprof on this address while experiments run")
 	flag.Parse()
 
@@ -30,17 +33,37 @@ func main() {
 		fmt.Fprintf(os.Stderr, "thbench: -cache must be clock or lru, got %q\n", *cache)
 		os.Exit(2)
 	}
-
-	if *metricsAddr != "" {
-		o := obs.New(obs.Config{TraceDepth: 8192})
-		bench.Observe(o)
-		bound, err := obs.Serve(*metricsAddr, o)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "thbench:", err)
-			os.Exit(2)
-		}
-		fmt.Fprintf(os.Stderr, "thbench: metrics on http://%s\n", bound)
+	bench.SetContentionProcs(*procs)
+	if *traceThreshold >= 0 {
+		bench.SetTraceThreshold(*traceThreshold)
 	}
+
+	var spanObs *obs.Observer
+	if *metricsAddr != "" || *traceThreshold >= 0 {
+		cfg := obs.Config{TraceDepth: 8192}
+		if *traceThreshold >= 0 {
+			cfg.Spans = true
+			cfg.SlowOp = *traceThreshold
+		}
+		o := obs.New(cfg)
+		bench.Observe(o)
+		if cfg.Spans {
+			spanObs = o
+		}
+		if *metricsAddr != "" {
+			bound, err := obs.Serve(*metricsAddr, o)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "thbench:", err)
+				os.Exit(2)
+			}
+			fmt.Fprintf(os.Stderr, "thbench: metrics on http://%s\n", bound)
+		}
+	}
+	defer func() {
+		if spanObs != nil {
+			obs.WriteSpanPanel(os.Stderr, spanObs.SnapshotSince(0))
+		}
+	}()
 	render := func(t *bench.Table) {
 		if *csv {
 			fmt.Print(t.CSV())

@@ -39,18 +39,27 @@ func main() {
 	bulkWorkers := flag.Int("bulk-workers", 1, "goroutines packing and writing buckets during -bulkload (1 = the sequential loader)")
 	metricsAddr := flag.String("metrics-addr", "", "serve /metrics, /obs.json, /debug/vars and /debug/pprof on this address during the sweep")
 	hold := flag.Duration("hold", 0, "keep serving metrics this long after the sweep (so thstat can attach)")
+	traceThreshold := flag.Duration("trace-threshold", -1,
+		"trace every Put as a staged span and print an end-of-run span/contention summary; the value is the slow-op flight-recorder threshold (0 = adaptive rolling p99, <0 = tracing off)")
 	flag.Parse()
 
 	hook := &obs.Hook{}
 	var observer *obs.Observer
-	if *metricsAddr != "" {
-		observer = obs.New(obs.Config{TraceDepth: 8192})
-		hook.Set(observer)
-		bound, err := obs.Serve(*metricsAddr, observer)
-		if err != nil {
-			fail(err.Error())
+	if *metricsAddr != "" || *traceThreshold >= 0 {
+		cfg := obs.Config{TraceDepth: 8192}
+		if *traceThreshold >= 0 {
+			cfg.Spans = true
+			cfg.SlowOp = *traceThreshold
 		}
-		fmt.Fprintf(os.Stderr, "thload: metrics on http://%s\n", bound)
+		observer = obs.New(cfg)
+		hook.Set(observer)
+		if *metricsAddr != "" {
+			bound, err := obs.Serve(*metricsAddr, observer)
+			if err != nil {
+				fail(err.Error())
+			}
+			fmt.Fprintf(os.Stderr, "thload: metrics on http://%s\n", bound)
+		}
 	}
 
 	mode := trie.ModeTHCL
@@ -149,7 +158,7 @@ func main() {
 				}
 				for _, k := range ks {
 					mu.Lock()
-					_, perr := f.Put(k, nil)
+					perr := put(observer, f, k)
 					mu.Unlock()
 					if perr != nil {
 						fail(perr.Error())
@@ -169,10 +178,27 @@ func main() {
 				b, cfg.SplitPos, cfg.BoundPos, d, st.Load*100, st.TrieCells, st.Buckets, st.GrowthRate)
 		}
 	}
+	if *traceThreshold >= 0 {
+		obs.WriteSpanPanel(os.Stderr, observer.SnapshotSince(0))
+	}
 	if *metricsAddr != "" && *hold > 0 {
 		fmt.Fprintf(os.Stderr, "thload: holding metrics server for %v\n", *hold)
 		time.Sleep(*hold)
 	}
+}
+
+// put inserts one key, as a staged span when the observer traces spans
+// (-trace-threshold) and as a plain insert otherwise. The span is finished
+// on every return path (deferred; the obsop analyzer enforces it).
+func put(o *obs.Observer, f *core.File, k string) error {
+	if !o.SpansEnabled() {
+		_, err := f.Put(k, nil)
+		return err
+	}
+	sp := o.StartSpan(obs.OpPut)
+	defer o.FinishSpan(sp)
+	_, err := f.PutSpan(k, nil, sp)
+	return err
 }
 
 // configs enumerates the configurations of a sweep.

@@ -10,6 +10,13 @@
 //	thstat -addr localhost:7071
 //	thstat -addr localhost:7071 -once          # one snapshot, then exit
 //	thstat -addr localhost:7071 -events        # include the event stream
+//	thstat -addr localhost:7071 -spans         # span/contention/slow-op panel
+//	thstat -addr localhost:7071 -once -wait 10s  # CI smoke: retry until the run is up
+//
+// When the run traces spans (thload/thbench -trace-threshold), -spans (and
+// -once) also render the contention/tail panel: per-stage latency shares,
+// the most latch-contended buckets, the structural-lock share and the
+// slow-op flight recorder.
 package main
 
 import (
@@ -28,9 +35,12 @@ func main() {
 	interval := flag.Duration("interval", time.Second, "polling interval")
 	once := flag.Bool("once", false, "print one snapshot and exit")
 	events := flag.Bool("events", false, "also print traced structural events as they arrive")
+	spans := flag.Bool("spans", false, "render the span stage/contention/slow-op panel with each poll (span-traced runs)")
+	wait := flag.Duration("wait", 0, "keep retrying the first fetch this long before giving up")
 	flag.Parse()
 
 	client := &http.Client{Timeout: 5 * time.Second}
+	deadline := time.Now().Add(*wait)
 	var since uint64
 	var prev obs.Snapshot
 	first := true
@@ -38,10 +48,15 @@ func main() {
 	for {
 		snap, err := fetch(client, *addr, since)
 		if err != nil {
+			// The run may not have bound its listener yet; -wait bounds the
+			// retries (continuous mode retries the first fetch forever).
+			if first && time.Now().Before(deadline) {
+				time.Sleep(200 * time.Millisecond)
+				continue
+			}
 			if *once || !first {
 				fail(err.Error())
 			}
-			// The run may not have bound its listener yet; keep trying.
 			time.Sleep(*interval)
 			continue
 		}
@@ -56,6 +71,9 @@ func main() {
 		}
 		header++
 		printLine(snap, prev, first, *interval)
+		if *spans || *once {
+			obs.WriteSpanPanel(os.Stdout, snap)
+		}
 		first, prev, since = false, snap, snap.NextSeq
 		if *once {
 			return

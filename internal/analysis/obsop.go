@@ -4,29 +4,46 @@ import (
 	"go/ast"
 )
 
-// ObsOp enforces the PR-1 observability discipline on the public API:
-// every method that dispatches a data operation to the engine (a call
-// through an `eng` field to Get, Put, Delete, Range, GetBatch or PutBatch)
-// must also route through the obs timing hook by calling RecordOp. The
-// whole point of the observability layer is that attaching an Observer
-// covers every operation; a new public method that forwards to the engine
-// but skips RecordOp would silently fall out of the latency histograms
-// and make "p99 regressed" undiagnosable for exactly the calls that
-// regressed.
+// ObsOp enforces the observability discipline on the public API.
+//
+// Rule 1 (PR 1): every method that dispatches a data operation to the
+// engine (a call through an `eng` field to Get, Put, Delete, Range, the
+// batches, or their *Span forms) must also route through the obs timing
+// hook — RecordOp, or FinishSpan, which records the whole-op sample when
+// it closes the span. The whole point of the observability layer is that
+// attaching an Observer covers every operation; a new public method that
+// forwards to the engine but skips the hook would silently fall out of
+// the latency histograms and make "p99 regressed" undiagnosable for
+// exactly the calls that regressed.
+//
+// Rule 2 (PR 6, span tracing): a function that starts a span must contain
+// a deferred FinishSpan. Spans are pooled and their stage totals are only
+// published at FinishSpan; an undeferred finish misses early returns, and
+// a missing finish leaks the span and loses the op's samples. The defer
+// may be conditional in the source the way ours never is — the analyzer
+// requires the syntactic `defer ...FinishSpan(...)` form somewhere in the
+// function body.
 var ObsOp = &Analyzer{
 	Name: "obsop",
-	Doc:  "public API methods dispatching engine operations must call the obs timing hook (RecordOp)",
+	Doc:  "public API methods dispatching engine operations must call the obs timing hook (RecordOp/FinishSpan); StartSpan requires a deferred FinishSpan",
 	Run:  runObsOp,
 }
 
-// engineOps are the engine methods that correspond to obs.Op samples.
+// engineOps are the engine methods that correspond to obs.Op samples,
+// plain and span-carrying forms alike.
 var engineOps = map[string]bool{
-	"Get":      true,
-	"Put":      true,
-	"Delete":   true,
-	"Range":    true,
-	"GetBatch": true,
-	"PutBatch": true,
+	"Get":          true,
+	"Put":          true,
+	"Delete":       true,
+	"Range":        true,
+	"GetBatch":     true,
+	"PutBatch":     true,
+	"GetSpan":      true,
+	"PutSpan":      true,
+	"DeleteSpan":   true,
+	"RangeSpan":    true,
+	"GetBatchSpan": true,
+	"PutBatchSpan": true,
 }
 
 func runObsOp(pass *Pass) {
@@ -38,8 +55,16 @@ func runObsOp(pass *Pass) {
 			}
 			var opCall *ast.CallExpr
 			var opName string
+			var startCall *ast.CallExpr
 			recorded := false
+			deferredFinish := false
 			ast.Inspect(fn.Body, func(n ast.Node) bool {
+				if ds, ok := n.(*ast.DeferStmt); ok {
+					if _, _, name, ok := methodCall(pass.Info, ds.Call); ok && name == "FinishSpan" {
+						deferredFinish = true
+					}
+					return true
+				}
 				call, ok := n.(*ast.CallExpr)
 				if !ok {
 					return true
@@ -48,8 +73,14 @@ func runObsOp(pass *Pass) {
 				if !ok {
 					return true
 				}
-				if name == "RecordOp" {
+				switch name {
+				case "RecordOp", "FinishSpan":
 					recorded = true
+					return true
+				case "StartSpan":
+					if startCall == nil {
+						startCall = call
+					}
 					return true
 				}
 				if !engineOps[name] {
@@ -65,11 +96,16 @@ func runObsOp(pass *Pass) {
 				}
 				return true
 			})
+			fname := fn.Name.Name
 			if opCall != nil && !recorded {
-				fname := fn.Name.Name
 				pass.Reportf(opCall.Pos(),
 					"%s dispatches eng.%s without the obs timing hook: time the call and report it with Observer.RecordOp (or route through an instrumented public method)",
 					fname, opName)
+			}
+			if startCall != nil && !deferredFinish {
+				pass.Reportf(startCall.Pos(),
+					"%s starts a span without a deferred FinishSpan: every return path must end the span (defer o.FinishSpan(sp))",
+					fname)
 			}
 		}
 	}

@@ -52,3 +52,44 @@ func (f *File) Len() int { return f.eng.Len() }
 // helper calls the engine through a non-eng field shape: not the public
 // dispatch, not flagged.
 func helper(e engine, key string) ([]byte, error) { return e.Get(key) }
+
+// --- PR 6: span tracing shapes ---
+
+type Span struct{}
+
+func (o *Observer) StartSpan(op int) *Span { return nil }
+func (o *Observer) FinishSpan(sp *Span)    {}
+func (sp *Span) Mark(stage int)            {}
+
+type spanEngine interface {
+	GetSpan(key string, sp *Span) ([]byte, error)
+	PutSpan(key string, value []byte, sp *Span) (bool, error)
+}
+
+type SpanFile struct {
+	eng spanEngine
+	obs *Observer
+}
+
+// GetTraced starts a span, defers its finish and dispatches the span
+// form: FinishSpan is the timing hook, so nothing is flagged.
+func (f *SpanFile) GetTraced(key string) ([]byte, error) {
+	sp := f.obs.StartSpan(0)
+	defer f.obs.FinishSpan(sp)
+	return f.eng.GetSpan(key, sp)
+}
+
+// PutLeaky starts a span but finishes it inline: an early return (or a
+// panic) would leak the span and lose the op's samples.
+func (f *SpanFile) PutLeaky(key string, value []byte) error {
+	sp := f.obs.StartSpan(1) // want `PutLeaky starts a span without a deferred FinishSpan`
+	_, err := f.eng.PutSpan(key, value, sp)
+	f.obs.FinishSpan(sp)
+	return err
+}
+
+// GetSpanUntimed dispatches the span form of an engine op without any
+// hook at all: flagged like the plain forms.
+func (f *SpanFile) GetSpanUntimed(key string, sp *Span) ([]byte, error) {
+	return f.eng.GetSpan(key, sp) // want `GetSpanUntimed dispatches eng\.GetSpan without the obs timing hook`
+}

@@ -147,6 +147,7 @@ func Registry() []Experiment {
 		{"ext-dictionary", "Extension: trie size over a 20000-word dictionary (Sec 6)", ExtDictionary},
 		{"obs-cache", "Observability: buffer pool hit rates versus frame count", ObsCache},
 		{"obs-cache-sharded", "Buffer pools under concurrency: LRU vs sharded CLOCK", ObsCacheSharded},
+		{"contention", "Intra-op span profile of concurrent writers (latch vs structural lock)", Contention},
 	}
 }
 

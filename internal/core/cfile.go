@@ -215,25 +215,31 @@ func (e *ConcurrentFile) Put(key string, value []byte) (bool, error) {
 		mu.Unlock()
 		break
 	}
-	return e.putSlow(key, value)
+	return e.putSlow(key, value, nil)
 }
 
 // putSlow runs a Put under the structural lock: the sequential engine's
 // Put, with the target bucket's write latch held across the whole
 // fill-flip-shrink sequence so concurrent readers of that bucket wait
-// out the split instead of observing its intermediate state.
-func (e *ConcurrentFile) putSlow(key string, value []byte) (bool, error) {
+// out the split instead of observing its intermediate state. sp (nil
+// from the plain path) charges the lock waits and holds to the span's
+// structural and latch stages.
+func (e *ConcurrentFile) putSlow(key string, value []byte, sp *obs.Span) (bool, error) {
 	e.structural.Lock()
+	sp.BeginHold(obs.StructLockAddr, obs.StageStructWait)
 	defer e.structural.Unlock()
+	defer sp.EndHold(obs.StageStructHold)
 	leaf := e.inner.trie.SearchAddr(key)
 	if leaf.IsNil() {
 		return false, fmt.Errorf("core: concurrent engine: key %q maps to a nil leaf (THCL files have none)", key)
 	}
 	mu := e.latches.Latch(leaf.Addr())
 	mu.Lock()
+	sp.BeginHold(leaf.Addr(), obs.StageLatchWait)
 	defer mu.Unlock()
+	defer sp.EndHold(obs.StageLatchHold)
 	base := e.syncDown()
-	replaced, err := e.inner.Put(key, value)
+	replaced, err := e.inner.PutSpan(key, value, sp)
 	e.syncUp(base)
 	return replaced, err
 }
@@ -275,7 +281,7 @@ func (e *ConcurrentFile) Delete(key string) error {
 		mu.Unlock()
 		e.nkeys.Add(-1)
 		if underflow {
-			return e.maintain(key)
+			return e.maintain(key, nil)
 		}
 		return nil
 	}
@@ -290,10 +296,15 @@ func (e *ConcurrentFile) Delete(key string) error {
 // action itself holds both bucket latches, taken in ascending address
 // order, and re-reads both buckets under them; if a concurrent fast-path
 // write invalidated the decision in between, the pass bails out (the next
-// deletion that underflows will try again).
-func (e *ConcurrentFile) maintain(key string) error {
+// deletion that underflows will try again). sp (nil from the plain path)
+// charges the structural wait and, via the last-registered defer (which
+// runs first), the whole maintenance pass to the merge stage.
+func (e *ConcurrentFile) maintain(key string, sp *obs.Span) error {
 	e.structural.Lock()
+	sp.BeginHold(obs.StructLockAddr, obs.StageStructWait)
 	defer e.structural.Unlock()
+	defer sp.EndHold(obs.StageStructHold)
+	defer sp.Mark(obs.StageMerge)
 	e.inner.nkeys = int(e.nkeys.Load())
 	leaf := e.inner.trie.SearchAddr(key)
 	if leaf.IsNil() {
@@ -443,6 +454,16 @@ func (e *ConcurrentFile) partitionBatch(keys []string, pending []int) (groups []
 // pool. Keys that move between partitioning and latching retry next
 // round — the batch form of the single-key re-validation.
 func (e *ConcurrentFile) GetBatch(keys []string) (vals [][]byte, errs []error) {
+	return e.getBatch(keys, nil)
+}
+
+// getBatch is the GetBatch body, span-parameterized. The fan-out workers
+// run in parallel and cannot share the span's sequential mark chain, so
+// they record their latch acquisitions through LatchTimers (contention
+// table only); the span gets coarse wave marks — partitioning to
+// trie-search, each latched wave's wall time to latch-hold.
+func (e *ConcurrentFile) getBatch(keys []string, sp *obs.Span) (vals [][]byte, errs []error) {
+	o := sp.Observer()
 	vals = make([][]byte, len(keys))
 	errs = make([]error, len(keys))
 	pending := make([]int, 0, len(keys))
@@ -456,6 +477,7 @@ func (e *ConcurrentFile) GetBatch(keys []string) (vals [][]byte, errs []error) {
 	workers := runtime.GOMAXPROCS(0)
 	for len(pending) > 0 {
 		groups, nilIdx := e.partitionBatch(keys, pending)
+		sp.Mark(obs.StageTrieSearch)
 		for _, i := range nilIdx {
 			errs[i] = ErrNotFound
 		}
@@ -463,8 +485,10 @@ func (e *ConcurrentFile) GetBatch(keys []string) (vals [][]byte, errs []error) {
 		var retry []int
 		concurrent.FanOut(len(groups), workers, func(gi int) {
 			g := groups[gi]
+			lt := o.StartLatch(g.addr)
 			mu := e.latches.Latch(g.addr)
 			mu.RLock()
+			lt.Acquired()
 			var missed []int
 			var b *bucket.Bucket
 			var rerr error
@@ -489,12 +513,14 @@ func (e *ConcurrentFile) GetBatch(keys []string) (vals [][]byte, errs []error) {
 				}
 			}
 			mu.RUnlock()
+			lt.Release()
 			if len(missed) > 0 {
 				retryMu.Lock()
 				retry = append(retry, missed...)
 				retryMu.Unlock()
 			}
 		})
+		sp.Mark(obs.StageLatchHold)
 		pending = retry
 	}
 	return vals, errs
@@ -510,9 +536,17 @@ func (e *ConcurrentFile) GetBatch(keys []string) (vals [][]byte, errs []error) {
 // prepareSplit) and then commits the trie flips sequentially — batch
 // splits scale across buckets instead of serializing as plain Puts.
 func (e *ConcurrentFile) PutBatch(keys []string, values [][]byte) (errs []error) {
+	return e.putBatch(keys, values, nil)
+}
+
+// putBatch is the PutBatch body, span-parameterized with the same coarse
+// attribution as getBatch; the slow wave's rounds are charged to the
+// split stage.
+func (e *ConcurrentFile) putBatch(keys []string, values [][]byte, sp *obs.Span) (errs []error) {
 	if len(keys) != len(values) {
 		panic(fmt.Sprintf("core: PutBatch with %d keys but %d values", len(keys), len(values)))
 	}
+	o := sp.Observer()
 	errs = make([]error, len(keys))
 	last := make(map[string]int, len(keys))
 	for i, k := range keys {
@@ -533,14 +567,17 @@ func (e *ConcurrentFile) PutBatch(keys []string, values [][]byte) (errs []error)
 	var slow []int
 	for len(pending) > 0 {
 		groups, nilIdx := e.partitionBatch(keys, pending)
+		sp.Mark(obs.StageTrieSearch)
 		slow = append(slow, nilIdx...)
 		var retryMu sync.Mutex
 		var retry []int
 		var slowMu sync.Mutex
 		concurrent.FanOut(len(groups), workers, func(gi int) {
 			g := groups[gi]
+			lt := o.StartLatch(g.addr)
 			mu := e.latches.Latch(g.addr)
 			mu.Lock()
+			lt.Acquired()
 			var missed, over, applied []int
 			var added int64
 			var b *bucket.Bucket
@@ -581,6 +618,7 @@ func (e *ConcurrentFile) PutBatch(keys []string, values [][]byte) (errs []error)
 				}
 			}
 			mu.Unlock()
+			lt.Release()
 			if added > 0 {
 				e.nkeys.Add(added)
 			}
@@ -595,10 +633,11 @@ func (e *ConcurrentFile) PutBatch(keys []string, values [][]byte) (errs []error)
 				slowMu.Unlock()
 			}
 		})
+		sp.Mark(obs.StageLatchHold)
 		pending = retry
 	}
 	if len(slow) > 0 {
-		e.putBatchSlow(keys, values, slow, errs, workers)
+		e.putBatchSlow(keys, values, slow, errs, workers, sp)
 	}
 	return errs
 }
@@ -609,10 +648,17 @@ func (e *ConcurrentFile) PutBatch(keys []string, values [][]byte) (errs []error)
 // bucket and prepare at most one split each (store work only, bucket
 // latch held), then — after the barrier — commits the trie flips
 // sequentially and releases the held latches. Keys left over by a split
-// re-partition in the next round.
-func (e *ConcurrentFile) putBatchSlow(keys []string, values [][]byte, slow []int, errs []error, workers int) {
+// re-partition in the next round. sp (nil from the plain path) charges
+// the structural wait and, via the last-registered defer, the whole
+// split wave to the split stage; workers record their latches through
+// LatchTimers.
+func (e *ConcurrentFile) putBatchSlow(keys []string, values [][]byte, slow []int, errs []error, workers int, sp *obs.Span) {
+	o := sp.Observer()
 	e.structural.Lock()
+	sp.BeginHold(obs.StructLockAddr, obs.StageStructWait)
 	defer e.structural.Unlock()
+	defer sp.EndHold(obs.StageStructHold)
+	defer sp.Mark(obs.StageSplit)
 	e.inner.nkeys = int(e.nkeys.Load())
 	pending := slow
 	for len(pending) > 0 {
@@ -637,8 +683,10 @@ func (e *ConcurrentFile) putBatchSlow(keys []string, values [][]byte, slow []int
 		var added atomic.Int64
 		concurrent.FanOut(len(addrs), workers, func(gi int) {
 			addr := addrs[gi]
+			lt := o.StartLatch(addr)
 			mu := e.latches.Latch(addr)
 			mu.Lock()
+			lt.Acquired()
 			rec, leftover, n := e.applySlowGroup(addr, keys, values, byAddr[addr], errs)
 			added.Add(n)
 			recs[gi], leftovers[gi] = rec, leftover
@@ -646,10 +694,11 @@ func (e *ConcurrentFile) putBatchSlow(keys []string, values [][]byte, slow []int
 				// Keep the latch until the trie flip publishes the split:
 				// every key this bucket covers still routes here, and a
 				// reader must not see the shrunk image before the flip.
-				unlocks[gi] = mu.Unlock
+				unlocks[gi] = func() { mu.Unlock(); lt.Release() }
 				return
 			}
 			mu.Unlock()
+			lt.Release()
 		})
 		for gi, rec := range recs {
 			if rec == nil {

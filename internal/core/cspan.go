@@ -1,0 +1,183 @@
+package core
+
+import (
+	"triehash/internal/obs"
+)
+
+// Span-carrying variants of the ConcurrentFile operations. The fast paths
+// are duplicated (not parameterized) for the same reason as the serial
+// File's: the plain methods are the measured zero-overhead hot path. The
+// slow paths (putSlow, maintain, putBatchSlow) are shared, taking the
+// span as a parameter with nil from the plain methods.
+//
+// Lock attribution: BeginHold is called right after an acquire returns —
+// charging the acquire wait to the wait stage — and EndHold right after
+// the release (via LIFO defers where the scope allows), charging the
+// residual hold to the hold stage and the full wall occupancy to the
+// per-bucket contention table.
+
+// GetSpan is Get with stage attribution.
+func (e *ConcurrentFile) GetSpan(key string, sp *obs.Span) ([]byte, error) {
+	if err := e.inner.cfg.Alphabet.Validate(key); err != nil {
+		return nil, err
+	}
+	for {
+		leaf := e.arena.Search(key)
+		sp.Mark(obs.StageTrieSearch)
+		if leaf.IsNil() {
+			return nil, ErrNotFound
+		}
+		addr := leaf.Addr()
+		mu := e.latches.Latch(addr)
+		mu.RLock()
+		sp.BeginHold(addr, obs.StageLatchWait)
+		if cur := e.arena.Search(key); cur.IsNil() || cur.Addr() != addr {
+			mu.RUnlock()
+			sp.EndHold(obs.StageLatchHold)
+			continue
+		}
+		b, err := e.inner.viewSpan(addr, sp)
+		if err != nil {
+			mu.RUnlock()
+			sp.EndHold(obs.StageLatchHold)
+			return nil, err
+		}
+		v, ok := b.Get(key)
+		mu.RUnlock()
+		sp.EndHold(obs.StageLatchHold)
+		if !ok {
+			return nil, ErrNotFound
+		}
+		return v, nil
+	}
+}
+
+// PutSpan is Put with stage attribution; overflows fall through to the
+// shared putSlow, which charges the structural lock stages.
+func (e *ConcurrentFile) PutSpan(key string, value []byte, sp *obs.Span) (bool, error) {
+	if err := e.inner.cfg.Alphabet.Validate(key); err != nil {
+		return false, err
+	}
+	for {
+		leaf := e.arena.Search(key)
+		sp.Mark(obs.StageTrieSearch)
+		if leaf.IsNil() {
+			break // no bucket to latch; resolve under structural
+		}
+		addr := leaf.Addr()
+		mu := e.latches.Latch(addr)
+		mu.Lock()
+		sp.BeginHold(addr, obs.StageLatchWait)
+		if cur := e.arena.Search(key); cur.IsNil() || cur.Addr() != addr {
+			mu.Unlock()
+			sp.EndHold(obs.StageLatchHold)
+			continue
+		}
+		b, err := e.inner.st.Read(addr)
+		sp.Mark(obs.StageStoreRead)
+		if err != nil {
+			mu.Unlock()
+			sp.EndHold(obs.StageLatchHold)
+			return false, err
+		}
+		replaced := b.Put(key, value)
+		if replaced {
+			err := e.inner.st.Write(addr, b)
+			sp.Mark(obs.StageStoreWrite)
+			mu.Unlock()
+			sp.EndHold(obs.StageLatchHold)
+			return true, err
+		}
+		if b.Len() <= e.inner.cfg.Capacity {
+			err := e.inner.st.Write(addr, b)
+			sp.Mark(obs.StageStoreWrite)
+			mu.Unlock()
+			sp.EndHold(obs.StageLatchHold)
+			if err != nil {
+				return false, err
+			}
+			e.nkeys.Add(1)
+			return false, nil
+		}
+		// Overflow: the split needs the structural lock, which orders
+		// before bucket latches; release and redo under structural.
+		mu.Unlock()
+		sp.EndHold(obs.StageLatchHold)
+		break
+	}
+	return e.putSlow(key, value, sp)
+}
+
+// DeleteSpan is Delete with stage attribution; underflow maintenance goes
+// through the shared maintain, which charges the merge stage.
+func (e *ConcurrentFile) DeleteSpan(key string, sp *obs.Span) error {
+	if err := e.inner.cfg.Alphabet.Validate(key); err != nil {
+		return err
+	}
+	for {
+		leaf := e.arena.Search(key)
+		sp.Mark(obs.StageTrieSearch)
+		if leaf.IsNil() {
+			return ErrNotFound
+		}
+		addr := leaf.Addr()
+		mu := e.latches.Latch(addr)
+		mu.Lock()
+		sp.BeginHold(addr, obs.StageLatchWait)
+		if cur := e.arena.Search(key); cur.IsNil() || cur.Addr() != addr {
+			mu.Unlock()
+			sp.EndHold(obs.StageLatchHold)
+			continue
+		}
+		b, err := e.inner.st.Read(addr)
+		sp.Mark(obs.StageStoreRead)
+		if err != nil {
+			mu.Unlock()
+			sp.EndHold(obs.StageLatchHold)
+			return err
+		}
+		if !b.Delete(key) {
+			mu.Unlock()
+			sp.EndHold(obs.StageLatchHold)
+			return ErrNotFound
+		}
+		err = e.inner.st.Write(addr, b)
+		sp.Mark(obs.StageStoreWrite)
+		if err != nil {
+			mu.Unlock()
+			sp.EndHold(obs.StageLatchHold)
+			return err
+		}
+		underflow := 2*b.Len() < e.inner.cfg.Capacity
+		mu.Unlock()
+		sp.EndHold(obs.StageLatchHold)
+		e.nkeys.Add(-1)
+		if underflow {
+			return e.maintain(key, sp)
+		}
+		return nil
+	}
+}
+
+// RangeSpan is Range with stage attribution: the structural read lock's
+// wait and hold are charged to the struct stages (the scan's own store
+// reads to theirs, via the inner RangeSpan).
+func (e *ConcurrentFile) RangeSpan(from, to string, fn func(key string, value []byte) bool, sp *obs.Span) error {
+	e.structural.RLock()
+	sp.BeginHold(obs.StructLockAddr, obs.StageStructWait)
+	defer e.structural.RUnlock()
+	defer sp.EndHold(obs.StageStructHold)
+	return e.inner.RangeSpan(from, to, fn, sp)
+}
+
+// GetBatchSpan is GetBatch with stage attribution (coarse wave marks; the
+// parallel workers feed the contention table through LatchTimers).
+func (e *ConcurrentFile) GetBatchSpan(keys []string, sp *obs.Span) (vals [][]byte, errs []error) {
+	return e.getBatch(keys, sp)
+}
+
+// PutBatchSpan is PutBatch with stage attribution (coarse wave marks; the
+// parallel workers feed the contention table through LatchTimers).
+func (e *ConcurrentFile) PutBatchSpan(keys []string, values [][]byte, sp *obs.Span) (errs []error) {
+	return e.putBatch(keys, values, sp)
+}

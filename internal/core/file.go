@@ -28,8 +28,11 @@ type File struct {
 	// (see resolveStore): Get is the zero-allocation hot path, and a
 	// per-call interface assertion costs measurably there.
 	viewer store.Viewer
-	nkeys  int
-	splits int
+	// spanViewer is st's span-aware ReadView (the Instrumented wrapper),
+	// resolved alongside viewer; nil when the store cannot tag span reads.
+	spanViewer store.SpanViewer
+	nkeys      int
+	splits     int
 	// redistributions counts splits resolved by shifting keys into an
 	// existing bucket instead of appending one.
 	redistributions int
@@ -64,6 +67,7 @@ func (f *File) CorruptSlots() []int32 { return append([]int32(nil), f.corruptSlo
 // the public layer's RLock and rely on viewer being immutable.
 func (f *File) resolveStore() *File {
 	f.viewer, _ = f.st.(store.Viewer)
+	f.spanViewer, _ = f.st.(store.SpanViewer)
 	return f
 }
 

@@ -1,0 +1,165 @@
+package mlth
+
+import (
+	"triehash/internal/bucket"
+	"triehash/internal/obs"
+	"triehash/internal/trie"
+)
+
+// Span-carrying variants of the multilevel file's operations, duplicated
+// from their plain twins for the same hot-path reason as core's (see
+// internal/core/span.go). The multilevel locate — page traversal
+// included — is charged to the trie-search stage: pages are trie nodes
+// here, and their reads are counted separately by the page-read counter.
+// mlth is a deterministic package, so all clock reads stay behind the
+// span's methods.
+
+// GetSpan is Get with stage attribution.
+func (f *File) GetSpan(key string, sp *obs.Span) ([]byte, error) {
+	if err := f.cfg.Alphabet.Validate(key); err != nil {
+		return nil, err
+	}
+	_, res := f.locate(key)
+	sp.Mark(obs.StageTrieSearch)
+	if res.Leaf.IsNil() {
+		return nil, ErrNotFound
+	}
+	b, err := f.st.Read(res.Leaf.Addr())
+	sp.Mark(obs.StageStoreRead)
+	if err != nil {
+		return nil, err
+	}
+	v, ok := b.Get(key)
+	if !ok {
+		return nil, ErrNotFound
+	}
+	return v, nil
+}
+
+// PutSpan is Put with stage attribution; bucket and page splits are
+// charged to the split stage.
+func (f *File) PutSpan(key string, value []byte, sp *obs.Span) (bool, error) {
+	if err := f.cfg.Alphabet.Validate(key); err != nil {
+		return false, err
+	}
+	path, res := f.locate(key)
+	sp.Mark(obs.StageTrieSearch)
+	filePage := path[len(path)-1]
+	if res.Leaf.IsNil() {
+		addr, err := f.st.Alloc()
+		if err != nil {
+			return false, err
+		}
+		b := bucket.New(f.cfg.Capacity)
+		b.SetBound(res.Path)
+		b.Put(key, value)
+		if err := f.st.Write(addr, b); err != nil {
+			return false, err
+		}
+		sp.Mark(obs.StageStoreWrite)
+		f.pages[filePage].tr.AllocNil(res.Pos, addr)
+		f.nkeys++
+		return false, nil
+	}
+	addr := res.Leaf.Addr()
+	b, err := f.st.Read(addr)
+	sp.Mark(obs.StageStoreRead)
+	if err != nil {
+		return false, err
+	}
+	if b.Put(key, value) {
+		err := f.st.Write(addr, b)
+		sp.Mark(obs.StageStoreWrite)
+		return true, err
+	}
+	if b.Len() <= f.cfg.Capacity {
+		err := f.st.Write(addr, b)
+		sp.Mark(obs.StageStoreWrite)
+		if err != nil {
+			return false, err
+		}
+		f.nkeys++
+		return false, nil
+	}
+	if f.cfg.Mode == trie.ModeTHCL {
+		err = f.splitBucketTHCL(addr, b)
+	} else {
+		err = f.splitBucket(path, res, addr, b)
+	}
+	sp.Mark(obs.StageSplit)
+	if err != nil {
+		return false, err
+	}
+	f.nkeys++
+	return false, nil
+}
+
+// DeleteSpan is Delete with stage attribution.
+func (f *File) DeleteSpan(key string, sp *obs.Span) error {
+	if err := f.cfg.Alphabet.Validate(key); err != nil {
+		return err
+	}
+	path, res := f.locate(key)
+	sp.Mark(obs.StageTrieSearch)
+	if res.Leaf.IsNil() {
+		return ErrNotFound
+	}
+	addr := res.Leaf.Addr()
+	b, err := f.st.Read(addr)
+	sp.Mark(obs.StageStoreRead)
+	if err != nil {
+		return err
+	}
+	if !b.Delete(key) {
+		return ErrNotFound
+	}
+	if b.Len() == 0 && f.cfg.Mode == trie.ModeBasic && f.pages[path[len(path)-1]].tr.LeafCount(addr) == 1 {
+		if err := f.st.Free(addr); err != nil {
+			return err
+		}
+		sp.Mark(obs.StageMerge)
+		f.pages[path[len(path)-1]].tr.FreeToNil(res.Pos)
+		f.nkeys--
+		return nil
+	}
+	if err := f.st.Write(addr, b); err != nil {
+		return err
+	}
+	sp.Mark(obs.StageStoreWrite)
+	f.nkeys--
+	return nil
+}
+
+// RangeSpan is Range with stage attribution: walk time between bucket
+// reads is charged to trie-search, the reads to store-read.
+func (f *File) RangeSpan(from, to string, fn func(key string, value []byte) bool, sp *obs.Span) error {
+	_, start := f.locate(from)
+	sp.Mark(obs.StageTrieSearch)
+	started := start.Leaf.IsNil()
+	startAddr := int32(-1)
+	if !start.Leaf.IsNil() {
+		startAddr = start.Leaf.Addr()
+	}
+	var scanErr error
+	f.walkBuckets(func(addr int32) bool {
+		if !started {
+			if addr != startAddr {
+				return true
+			}
+			started = true
+		}
+		sp.Mark(obs.StageTrieSearch)
+		b, err := f.st.Read(addr)
+		sp.Mark(obs.StageStoreRead)
+		if err != nil {
+			scanErr = err
+			return false
+		}
+		if b.Len() > 0 && to != "" && b.MinKey() > to {
+			return false
+		}
+		return b.Ascend(from, to, func(r bucket.Record) bool { return fn(r.Key, r.Value) })
+	})
+	sp.Mark(obs.StageTrieSearch)
+	return scanErr
+}

@@ -23,7 +23,21 @@ type Snapshot struct {
 	NextSeq uint64 `json:"next_seq"`
 	// Dropped counts events evicted from the ring over its lifetime.
 	Dropped uint64 `json:"dropped"`
+	// Stages holds the per-stage span histograms (Config.Spans only).
+	Stages map[string]HistSnapshot `json:"stages,omitempty"`
+	// Contention is the top-K most latch-contended buckets by accumulated
+	// wait, descending.
+	Contention []BucketContention `json:"contention,omitempty"`
+	// StructLock is the structural lock's accumulated wait and occupancy.
+	StructLock *BucketContention `json:"struct_lock,omitempty"`
+	// SlowOps is the flight recorder's retained span breakdowns (oldest
+	// first); SlowOpsTotal the lifetime count of slow ops captured.
+	SlowOps      []SpanRecord `json:"slow_ops,omitempty"`
+	SlowOpsTotal uint64       `json:"slow_ops_total,omitempty"`
 }
+
+// contentionTopK bounds the contention rows a snapshot carries.
+const contentionTopK = 16
 
 // SnapshotSince summarizes the observer and includes the retained events
 // with Seq >= since.
@@ -49,6 +63,19 @@ func (o *Observer) SnapshotSince(since uint64) Snapshot {
 	s.Events = o.tracer.Since(since)
 	s.NextSeq = o.tracer.Total()
 	s.Dropped = o.tracer.Dropped()
+	if o.cfg.Spans {
+		s.Stages = make(map[string]HistSnapshot, int(numStages))
+		for _, st := range Stages() {
+			if h := o.Stage(st); h.Count() > 0 {
+				s.Stages[st.String()] = h.Snapshot()
+			}
+		}
+		s.Contention = o.TopContended(contentionTopK)
+		if sc := o.StructuralContention(); sc.Count > 0 {
+			s.StructLock = &sc
+		}
+		s.SlowOps, s.SlowOpsTotal = o.SlowOps()
+	}
 	return s
 }
 
@@ -87,6 +114,40 @@ func (o *Observer) WritePrometheus(w io.Writer) {
 	fmt.Fprintf(w, "# HELP th_events_total Structural events emitted, by type.\n# TYPE th_events_total counter\n")
 	for _, t := range EventTypes() {
 		fmt.Fprintf(w, "th_events_total{type=%q} %d\n", t.String(), o.EventCount(t))
+	}
+	if o.cfg.Spans {
+		fmt.Fprintf(w, "# HELP th_span_stage_total Spans that touched the stage.\n# TYPE th_span_stage_total counter\n")
+		for _, sg := range Stages() {
+			if n := o.Stage(sg).Count(); n > 0 {
+				fmt.Fprintf(w, "th_span_stage_total{stage=%q} %d\n", sg.String(), n)
+			}
+		}
+		fmt.Fprintf(w, "# HELP th_span_stage_seconds_total Accumulated time per span stage.\n# TYPE th_span_stage_seconds_total counter\n")
+		for _, sg := range Stages() {
+			if h := o.Stage(sg); h.Count() > 0 {
+				fmt.Fprintf(w, "th_span_stage_seconds_total{stage=%q} %s\n", sg.String(), secs(h.Sum()))
+			}
+		}
+		fmt.Fprintf(w, "# HELP th_span_stage_seconds Span stage duration quantile upper bounds.\n# TYPE th_span_stage_seconds gauge\n")
+		for _, sg := range Stages() {
+			h := o.Stage(sg)
+			if h.Count() == 0 {
+				continue
+			}
+			fmt.Fprintf(w, "th_span_stage_seconds{stage=%q,quantile=\"0.5\"} %s\n", sg.String(), secs(h.Quantile(0.5)))
+			fmt.Fprintf(w, "th_span_stage_seconds{stage=%q,quantile=\"0.99\"} %s\n", sg.String(), secs(h.Quantile(0.99)))
+		}
+		sc := o.StructuralContention()
+		fmt.Fprintf(w, "# HELP th_struct_lock_seconds_total Structural lock time by phase.\n# TYPE th_struct_lock_seconds_total counter\n")
+		fmt.Fprintf(w, "th_struct_lock_seconds_total{phase=\"wait\"} %s\nth_struct_lock_seconds_total{phase=\"hold\"} %s\n",
+			secs(sc.Wait), secs(sc.Hold))
+		fmt.Fprintf(w, "# HELP th_latch_contention_seconds_total Accumulated latch wait/hold of the most-contended buckets.\n# TYPE th_latch_contention_seconds_total counter\n")
+		for _, bc := range o.TopContended(8) {
+			fmt.Fprintf(w, "th_latch_contention_seconds_total{addr=\"%d\",phase=\"wait\"} %s\n", bc.Addr, secs(bc.Wait))
+			fmt.Fprintf(w, "th_latch_contention_seconds_total{addr=\"%d\",phase=\"hold\"} %s\n", bc.Addr, secs(bc.Hold))
+		}
+		_, slowTotal := o.SlowOps()
+		fmt.Fprintf(w, "# HELP th_slow_ops_total Operations captured by the slow-op flight recorder.\n# TYPE th_slow_ops_total counter\nth_slow_ops_total %d\n", slowTotal)
 	}
 	st := o.State()
 	fmt.Fprintf(w, "# HELP th_keys Records in the file.\n# TYPE th_keys gauge\nth_keys %d\n", st.Keys)
@@ -150,6 +211,65 @@ func NewServeMux(o *Observer) *http.ServeMux {
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	return mux
+}
+
+// WriteSpanPanel renders a snapshot's span data as text: the per-stage
+// breakdown, the top contended buckets, the structural lock share and the
+// flight recorder's slow ops. It is the contention/tail panel cmd/thstat
+// shows and the end-of-run summary cmd/thbench and cmd/thload print.
+// Nothing is written when the snapshot carries no span data.
+func WriteSpanPanel(w io.Writer, s Snapshot) {
+	if len(s.Stages) == 0 {
+		return
+	}
+	var totalStage time.Duration
+	for _, h := range s.Stages {
+		totalStage += h.Sum
+	}
+	fmt.Fprintf(w, "span stages (total %v):\n", totalStage.Round(time.Microsecond))
+	fmt.Fprintf(w, "  %-13s %10s %12s %7s %10s %10s\n", "stage", "spans", "total", "share", "p50", "p99")
+	for _, sg := range Stages() {
+		h, ok := s.Stages[sg.String()]
+		if !ok {
+			continue
+		}
+		fmt.Fprintf(w, "  %-13s %10d %12v %6.1f%% %10v %10v\n",
+			sg.String(), h.Count, h.Sum.Round(time.Microsecond),
+			float64(h.Sum)/float64(totalStage)*100, h.P50, h.P99)
+	}
+	if s.StructLock != nil && s.StructLock.Count > 0 {
+		sc := s.StructLock
+		fmt.Fprintf(w, "structural lock: %d acquisitions, wait %v (%.1f%% of span time), hold %v\n",
+			sc.Count, sc.Wait.Round(time.Microsecond),
+			float64(sc.Wait)/float64(totalStage)*100, sc.Hold.Round(time.Microsecond))
+	}
+	if len(s.Contention) > 0 {
+		fmt.Fprintf(w, "contended buckets (top %d by latch wait):\n", len(s.Contention))
+		fmt.Fprintf(w, "  %-8s %12s %12s %11s %10s\n", "addr", "wait", "hold", "wait/hold", "acquires")
+		for _, bc := range s.Contention {
+			ratio := "-"
+			if bc.Hold > 0 {
+				ratio = strconv.FormatFloat(float64(bc.Wait)/float64(bc.Hold), 'f', 2, 64)
+			}
+			fmt.Fprintf(w, "  %-8d %12v %12v %11s %10d\n",
+				bc.Addr, bc.Wait.Round(time.Microsecond), bc.Hold.Round(time.Microsecond), ratio, bc.Count)
+		}
+	}
+	if s.SlowOpsTotal > 0 {
+		fmt.Fprintf(w, "slow ops: %d captured, %d retained:\n", s.SlowOpsTotal, len(s.SlowOps))
+		for _, r := range s.SlowOps {
+			fmt.Fprintf(w, "  #%d %s total=%v", r.Seq, r.Op, r.Total.Round(time.Microsecond))
+			for _, sg := range Stages() {
+				if d, ok := r.Stages[sg.String()]; ok {
+					fmt.Fprintf(w, " %s=%v", sg.String(), d.Round(time.Microsecond))
+				}
+			}
+			if r.WorstAddr >= 0 {
+				fmt.Fprintf(w, " worst_latch=bucket %d (%v)", r.WorstAddr, r.WorstWait.Round(time.Microsecond))
+			}
+			fmt.Fprintln(w)
+		}
+	}
 }
 
 // Serve starts an HTTP server for the observer on addr in a background

@@ -21,7 +21,6 @@ const histBuckets = 48
 // The zero value is ready to use. All methods are safe for concurrent use.
 type Histogram struct {
 	counts [histBuckets]atomic.Uint64
-	count  atomic.Uint64
 	sum    atomic.Int64
 	max    atomic.Int64
 }
@@ -50,11 +49,12 @@ func BucketUpper(i int) time.Duration {
 	return time.Duration(int64(1) << i)
 }
 
-// Record adds one sample.
+// Record adds one sample. Two atomic adds and a max check: there is no
+// separate total-sample counter — Count sums the buckets, which only
+// snapshot-time readers pay for.
 func (h *Histogram) Record(d time.Duration) {
 	ns := int64(d)
 	h.counts[histBucket(ns)].Add(1)
-	h.count.Add(1)
 	h.sum.Add(ns)
 	for {
 		m := h.max.Load()
@@ -64,8 +64,15 @@ func (h *Histogram) Record(d time.Duration) {
 	}
 }
 
-// Count returns the number of recorded samples.
-func (h *Histogram) Count() uint64 { return h.count.Load() }
+// Count returns the number of recorded samples (a 48-bucket sum; cheap
+// relative to snapshotting, deliberately not an extra atomic on Record).
+func (h *Histogram) Count() uint64 {
+	var n uint64
+	for i := range h.counts {
+		n += h.counts[i].Load()
+	}
+	return n
+}
 
 // Sum returns the total recorded duration.
 func (h *Histogram) Sum() time.Duration { return time.Duration(h.sum.Load()) }
@@ -75,7 +82,7 @@ func (h *Histogram) Max() time.Duration { return time.Duration(h.max.Load()) }
 
 // Mean returns the average recorded duration.
 func (h *Histogram) Mean() time.Duration {
-	n := h.count.Load()
+	n := h.Count()
 	if n == 0 {
 		return 0
 	}
@@ -86,7 +93,7 @@ func (h *Histogram) Mean() time.Duration {
 // (0 <= q <= 1): the upper boundary of the bucket holding the ceil(q*n)-th
 // smallest sample. The true sample value v satisfies est/2 <= v <= est.
 func (h *Histogram) Quantile(q float64) time.Duration {
-	n := h.count.Load()
+	n := h.Count()
 	if n == 0 {
 		return 0
 	}
@@ -116,7 +123,6 @@ func (h *Histogram) reset() {
 	for i := range h.counts {
 		h.counts[i].Store(0)
 	}
-	h.count.Store(0)
 	h.sum.Store(0)
 	h.max.Store(0)
 }

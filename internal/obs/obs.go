@@ -115,6 +115,18 @@ type Config struct {
 	// maintained; without TraceIO the ring keeps only structural events,
 	// so splits and merges are not evicted by read traffic.
 	TraceIO bool
+	// Spans turns on stage-level span tracing: every instrumented
+	// operation carries a Span recording its time per Stage, feeding the
+	// per-stage histograms, the per-bucket contention table and the
+	// slow-op flight recorder. Off, operations record only their whole-op
+	// latency; the extra cost of off is a nil check per mark site.
+	Spans bool
+	// SlowOp is the flight-recorder admission threshold: finished spans
+	// with a total at or above it are captured in full. 0 selects the
+	// adaptive threshold — the op's rolling p99, armed after 256 samples.
+	SlowOp time.Duration
+	// SlowOpDepth is the flight-recorder ring capacity (default 64).
+	SlowOpDepth int
 }
 
 // Observer aggregates everything one attached consumer sees: latency
@@ -128,6 +140,18 @@ type Observer struct {
 	events [numEventTypes]atomic.Uint64
 	tracer *Tracer
 
+	// Span state (Config.Spans): per-stage histograms, the per-bucket
+	// contention table (int32 -> *contentionCell), the structural lock's
+	// cell, the slow-op flight recorder, the span pool and the adaptive
+	// threshold state.
+	stages       [numStages]Histogram
+	cont         sync.Map
+	structCell   contentionCell
+	flight       *flightRecorder
+	spanPool     sync.Pool
+	spanFinishes [numOps]atomic.Uint64
+	slowCutoff   [numOps]atomic.Int64
+
 	stateMu sync.Mutex
 	stateFn func() State
 }
@@ -137,7 +161,10 @@ func New(cfg Config) *Observer {
 	if cfg.TraceDepth <= 0 {
 		cfg.TraceDepth = 4096
 	}
-	return &Observer{cfg: cfg, tracer: NewTracer(cfg.TraceDepth)}
+	if cfg.SlowOpDepth <= 0 {
+		cfg.SlowOpDepth = 64
+	}
+	return &Observer{cfg: cfg, tracer: NewTracer(cfg.TraceDepth), flight: newFlightRecorder(cfg.SlowOpDepth)}
 }
 
 // RecordOp adds one latency sample for op.
@@ -218,9 +245,11 @@ func (o *Observer) State() State {
 	return fn()
 }
 
-// ResetCounters zeroes the latency histograms and event totals (the ring
-// and its sequence numbers are preserved, so tailing consumers see no
-// gap). Useful around a measured workload phase.
+// ResetCounters zeroes the latency histograms (whole-op and per-stage),
+// event totals, the contention table and the adaptive slow-op state (the
+// event ring, the flight recorder and their sequence numbers are
+// preserved, so tailing consumers see no gap). Useful around a measured
+// workload phase.
 func (o *Observer) ResetCounters() {
 	if o == nil {
 		return
@@ -230,6 +259,20 @@ func (o *Observer) ResetCounters() {
 	}
 	for i := range o.events {
 		o.events[i].Store(0)
+	}
+	for i := range o.stages {
+		o.stages[i].reset()
+	}
+	o.cont.Range(func(key, _ any) bool {
+		o.cont.Delete(key)
+		return true
+	})
+	o.structCell.wait.Store(0)
+	o.structCell.hold.Store(0)
+	o.structCell.count.Store(0)
+	for i := range o.spanFinishes {
+		o.spanFinishes[i].Store(0)
+		o.slowCutoff[i].Store(0)
 	}
 }
 

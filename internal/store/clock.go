@@ -269,6 +269,23 @@ func (c *ShardedCache) ReadView(addr int32) (*bucket.Bucket, error) {
 	return b, nil
 }
 
+// ReadViewTagged is ReadView plus the hit/miss verdict, so a span-carrying
+// caller can charge the access to the cache-probe stage or the store-read
+// stage. Semantics and cost are otherwise identical to ReadView.
+func (c *ShardedCache) ReadViewTagged(addr int32) (*bucket.Bucket, bool, error) {
+	sh := c.shard(addr)
+	if b, ok := sh.lookup(addr); ok {
+		sh.hits.Add(1)
+		c.hook.Observer().Emit(obs.Event{Type: obs.EvCacheHit, Addr: addr})
+		return b, true, nil
+	}
+	b, err := c.fill(sh, addr)
+	if err != nil {
+		return nil, false, err
+	}
+	return b, false, nil
+}
+
 // Write implements Store write-through: the pool and the backing store
 // both receive the new contents.
 func (c *ShardedCache) Write(addr int32, b *bucket.Bucket) error {

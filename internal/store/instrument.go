@@ -14,14 +14,32 @@ import (
 // nothing else, and no allocation.
 type Instrumented struct {
 	Store
-	viewer Viewer // s's ReadView when it has one, resolved once
+	viewer Viewer       // s's ReadView when it has one, resolved once
+	probe  TaggedViewer // s's ReadViewTagged when it has one, resolved once
 	hook   *obs.Hook
+}
+
+// TaggedViewer is a Viewer that also reports whether the view was served
+// from a resident pool frame (true) or had to reach the store (false).
+// ShardedCache implements it; the Instrumented wrapper uses it to split
+// span time between the cache-probe and store-read stages.
+type TaggedViewer interface {
+	ReadViewTagged(addr int32) (*bucket.Bucket, bool, error)
+}
+
+// SpanViewer is the span-aware read-view capability the engines' span
+// paths use: like Viewer's ReadView, but charging the access to the
+// span's cache-probe or store-read stage. A nil span degrades to a plain
+// ReadView. The Instrumented wrapper implements it.
+type SpanViewer interface {
+	ReadViewSpan(addr int32, sp *obs.Span) (*bucket.Bucket, error)
 }
 
 // NewInstrumented wraps s; hook may be shared with other components.
 func NewInstrumented(s Store, hook *obs.Hook) *Instrumented {
 	i := &Instrumented{Store: s, hook: hook}
 	i.viewer, _ = s.(Viewer)
+	i.probe, _ = s.(TaggedViewer)
 	return i
 }
 
@@ -64,6 +82,36 @@ func (s *Instrumented) ReadView(addr int32) (*bucket.Bucket, error) {
 		b, err = s.Store.Read(addr)
 	}
 	o.RecordOp(obs.OpRead, time.Since(start))
+	return b, err
+}
+
+// ReadViewSpan implements SpanViewer: a span-carrying ReadView that
+// charges the access to the span's cache-probe stage (pool hit) or
+// store-read stage (the access reached the store), and still feeds the
+// whole-access OpRead histogram. With a nil span it is exactly ReadView.
+func (s *Instrumented) ReadViewSpan(addr int32, sp *obs.Span) (*bucket.Bucket, error) {
+	if sp == nil {
+		return s.ReadView(addr)
+	}
+	var (
+		b     *bucket.Bucket
+		hit   bool
+		err   error
+		stage = obs.StageStoreRead
+	)
+	switch {
+	case s.probe != nil:
+		b, hit, err = s.probe.ReadViewTagged(addr)
+		if hit {
+			stage = obs.StageCacheProbe
+		}
+	case s.viewer != nil:
+		b, err = s.viewer.ReadView(addr)
+	default:
+		b, err = s.Store.Read(addr)
+	}
+	d := sp.Mark(stage)
+	s.hook.Observer().RecordOp(obs.OpRead, d)
 	return b, err
 }
 

@@ -57,7 +57,7 @@ func TestObsOverhead(t *testing.T) {
 				}
 			}
 		})
-		for round := 0; round < 2; round++ {
+		for round := 0; round < 4; round++ {
 			r := testing.Benchmark(func(b *testing.B) {
 				for i := 0; i < b.N; i++ {
 					if _, err := f.Get(ks[i%n]); err != nil {
@@ -82,5 +82,65 @@ func TestObsOverhead(t *testing.T) {
 	}
 	if db, di := rb.AllocsPerOp(), ri.AllocsPerOp(); di > db {
 		t.Errorf("disabled instrumentation allocates: %d allocs/op vs baseline %d", di, db)
+	}
+}
+
+// TestObsSpanOverhead is the enabled-path companion gate (PR 6): with span
+// tracing on, warm-path Get — span checkout from the pool, a trie-search
+// mark, a store-read mark, FinishSpan's histogram updates — must cost at
+// most 15% more than the same file serving Get with a histogram-only
+// observer attached. That baseline isolates what *spans* add: the cost of
+// attaching any observer at all is the whole-op timing both configurations
+// share, and the cost of having the machinery compiled in but detached is
+// TestObsOverhead's separate 5% gate. Measured through the public API,
+// since that is where span dispatch lives. Opt-in like TestObsOverhead
+// (OBS_BENCH=1); the measured chain (no observer → histograms → spans) is
+// what E31 reports.
+func TestObsSpanOverhead(t *testing.T) {
+	if os.Getenv("OBS_BENCH") == "" {
+		t.Skip("set OBS_BENCH=1 to run the span overhead gate")
+	}
+	const n = 50000
+	ks := workload.Uniform(7, n, 3, 16)
+	f, err := Create(Options{BucketCapacity: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	for _, k := range ks {
+		if err := f.Put(k, []byte("v")); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	bench := func() testing.BenchmarkResult {
+		run := func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := f.Get(ks[i%n]); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+		best := testing.Benchmark(run)
+		for round := 0; round < 4; round++ {
+			if r := testing.Benchmark(run); r.NsPerOp() < best.NsPerOp() {
+				best = r
+			}
+		}
+		return best
+	}
+
+	f.Observe(nil)
+	rn := bench()
+	f.Observe(NewObserver(ObserverConfig{}))
+	rb := bench()
+	f.Observe(NewObserver(ObserverConfig{Spans: true}))
+	ri := bench()
+	f.Observe(nil)
+	overhead := float64(ri.NsPerOp())/float64(rb.NsPerOp()) - 1
+	fmt.Printf("obs-bench: no-observer %d ns/op, histograms %d ns/op, spans %d ns/op, span overhead %.2f%%\n",
+		rn.NsPerOp(), rb.NsPerOp(), ri.NsPerOp(), overhead*100)
+	if overhead > 0.15 {
+		t.Errorf("enabled span tracing costs %.2f%% on warm Get over a histogram-only observer, budget is 15%%", overhead*100)
 	}
 }

@@ -21,6 +21,17 @@ type (
 	EventType = obs.EventType
 	// Op identifies an instrumented operation for histogram lookups.
 	Op = obs.Op
+	// Stage identifies one timed phase inside an instrumented operation
+	// (span tracing, ObserverConfig.Spans): trie search, latch and
+	// structural-lock wait/hold, cache probe, store I/O, split/merge work.
+	Stage = obs.Stage
+	// SpanRecord is one slow-op flight-recorder entry: the complete
+	// per-stage breakdown of an operation that exceeded the threshold.
+	SpanRecord = obs.SpanRecord
+	// BucketContention is one row of the latch-contention table: a
+	// bucket's accumulated latch wait, wall occupancy and acquire count
+	// (Addr -1 is the structural lock).
+	BucketContention = obs.BucketContention
 )
 
 // The operation and event identifiers, re-exported so callers can query
@@ -51,6 +62,20 @@ const (
 	EvRecovery       = obs.EvRecovery
 	EvCorrupt        = obs.EvCorrupt
 	EvQuarantine     = obs.EvQuarantine
+
+	StageTrieSearch   = obs.StageTrieSearch
+	StageFileLock     = obs.StageFileLock
+	StageLatchWait    = obs.StageLatchWait
+	StageLatchHold    = obs.StageLatchHold
+	StageStructWait   = obs.StageStructWait
+	StageStructHold   = obs.StageStructHold
+	StageCacheProbe   = obs.StageCacheProbe
+	StageStoreRead    = obs.StageStoreRead
+	StageStoreWrite   = obs.StageStoreWrite
+	StageSplit        = obs.StageSplit
+	StageMerge        = obs.StageMerge
+	StageRedistribute = obs.StageRedistribute
+	StageOther        = obs.StageOther
 )
 
 // NewObserver returns an Observer ready to attach with File.Observe.

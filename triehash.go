@@ -213,12 +213,19 @@ func (o Options) mlthConfig() mlth.Config {
 	}
 }
 
-// engine is the operation set both variants implement.
+// engine is the operation set both variants implement. The *Span forms
+// are the same operations carrying a stage-tracing span (obs.Config.Spans)
+// — the public layer dispatches to them when the attached observer has
+// spans on, so the plain forms stay the measured zero-overhead path.
 type engine interface {
 	Put(key string, value []byte) (bool, error)
 	Get(key string) ([]byte, error)
 	Delete(key string) error
 	Range(from, to string, fn func(key string, value []byte) bool) error
+	PutSpan(key string, value []byte, sp *obs.Span) (bool, error)
+	GetSpan(key string, sp *obs.Span) ([]byte, error)
+	DeleteSpan(key string, sp *obs.Span) error
+	RangeSpan(from, to string, fn func(key string, value []byte) bool, sp *obs.Span) error
 	Len() int
 	Store() store.Store
 	SaveMeta() []byte
@@ -608,6 +615,25 @@ var ErrRecordTooLarge = errors.New("triehash: record too large for the configure
 
 // Put inserts or replaces the record for key.
 func (f *File) Put(key string, value []byte) error {
+	// One atomic load decides instrumentation; the disabled path costs a
+	// nil check and allocates nothing. With spans on, the span starts
+	// before the file lock so the lock wait is a measured stage, and
+	// FinishSpan records the whole-op latency.
+	o := f.hook.Observer()
+	if sp := o.StartSpan(obs.OpPut); sp != nil {
+		defer o.FinishSpan(sp)
+		defer f.opLock()()
+		sp.Mark(obs.StageFileLock)
+		if f.closed {
+			return ErrClosed
+		}
+		if f.maxRecord > 0 && len(key)+len(value) > f.maxRecord {
+			return fmt.Errorf("%w: %d bytes, limit %d (raise SlotBytes or lower BucketCapacity)",
+				ErrRecordTooLarge, len(key)+len(value), f.maxRecord)
+		}
+		_, err := f.eng.PutSpan(key, value, sp)
+		return err
+	}
 	defer f.opLock()()
 	if f.closed {
 		return ErrClosed
@@ -616,9 +642,6 @@ func (f *File) Put(key string, value []byte) error {
 		return fmt.Errorf("%w: %d bytes, limit %d (raise SlotBytes or lower BucketCapacity)",
 			ErrRecordTooLarge, len(key)+len(value), f.maxRecord)
 	}
-	// One atomic load decides instrumentation; the disabled path costs a
-	// nil check and allocates nothing.
-	o := f.hook.Observer()
 	if o == nil {
 		_, err := f.eng.Put(key, value)
 		return err
@@ -639,6 +662,11 @@ func (f *File) Get(key string) ([]byte, error) {
 	o := f.hook.Observer()
 	if o == nil {
 		v, err := f.eng.Get(key)
+		return v, mapNotFound(err)
+	}
+	if sp := o.StartSpan(obs.OpGet); sp != nil {
+		defer o.FinishSpan(sp)
+		v, err := f.eng.GetSpan(key, sp)
 		return v, mapNotFound(err)
 	}
 	start := time.Now()
@@ -662,11 +690,20 @@ func (f *File) Has(key string) (bool, error) {
 
 // Delete removes the record for key, or returns ErrNotFound.
 func (f *File) Delete(key string) error {
+	o := f.hook.Observer()
+	if sp := o.StartSpan(obs.OpDelete); sp != nil {
+		defer o.FinishSpan(sp)
+		defer f.opLock()()
+		sp.Mark(obs.StageFileLock)
+		if f.closed {
+			return ErrClosed
+		}
+		return mapNotFound(f.eng.DeleteSpan(key, sp))
+	}
 	defer f.opLock()()
 	if f.closed {
 		return ErrClosed
 	}
-	o := f.hook.Observer()
 	if o == nil {
 		return mapNotFound(f.eng.Delete(key))
 	}
@@ -687,6 +724,10 @@ func (f *File) Range(from, to string, fn func(key string, value []byte) bool) er
 	o := f.hook.Observer()
 	if o == nil {
 		return f.eng.Range(from, to, fn)
+	}
+	if sp := o.StartSpan(obs.OpRange); sp != nil {
+		defer o.FinishSpan(sp)
+		return f.eng.RangeSpan(from, to, fn, sp)
 	}
 	start := time.Now()
 	err := f.eng.Range(from, to, fn)
