@@ -203,6 +203,200 @@ func TestConcurrentParallelStress(t *testing.T) {
 	}
 }
 
+// TestConcurrentBatchSplitDifferential drives prefix-partitioned PutBatch
+// rounds — splits in several disjoint subtrees per round, through the
+// slow wave's prepareSplit-under-latch / finishSplit-under-flip-lock
+// path — interleaved with single puts and deletes, through the
+// concurrent engine and the oracle, single-threaded. The comparison is
+// content-level (records, key count, invariants, bucket and cell
+// counts), not serialized metadata: a batch wave splits its buckets in
+// ascending address order while the oracle's loop splits in key-arrival
+// order, so new-bucket addresses legitimately differ while everything
+// observable agrees.
+func TestConcurrentBatchSplitDifferential(t *testing.T) {
+	opts := Options{BucketCapacity: 8}
+	seq, err := Create(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer seq.Close()
+	opts.Concurrent = true
+	conc, err := Create(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conc.Close()
+
+	rng := rand.New(rand.NewSource(53))
+	universe := workload.Uniform(53, 400, 2, 8)
+	for round := 0; round < 12; round++ {
+		var bk []string
+		var bv [][]byte
+		for _, p := range []string{"qa", "qb", "qc", "qd", "qe", "qf"} {
+			for j := 0; j < 25; j++ {
+				bk = append(bk, fmt.Sprintf("%s.%03d.%02d", p, round, j))
+				bv = append(bv, []byte(fmt.Sprintf("b%d.%d", round, j)))
+			}
+		}
+		// No in-batch duplicates here: the oracle loop inserts a
+		// duplicate's first occurrence early and replaces it later, while
+		// the batch engine skips superseded occurrences up front —
+		// shifting which key is the Capacity+1'th at an overflow and
+		// with it the split string. Content still agrees (TestConcurrentBatch
+		// covers it); the shape comparison below would not.
+		for i, err := range seq.PutBatch(bk, bv) {
+			if err != nil {
+				t.Fatalf("round %d: oracle PutBatch[%q]: %v", round, bk[i], err)
+			}
+		}
+		for i, err := range conc.PutBatch(bk, bv) {
+			if err != nil {
+				t.Fatalf("round %d: concurrent PutBatch[%q]: %v", round, bk[i], err)
+			}
+		}
+		for step := 0; step < 300; step++ {
+			k := universe[rng.Intn(len(universe))]
+			if rng.Intn(10) < 6 {
+				v := []byte(fmt.Sprintf("v%d.%d", round, step))
+				if err := seq.Put(k, v); err != nil {
+					t.Fatal(err)
+				}
+				if err := conc.Put(k, v); err != nil {
+					t.Fatal(err)
+				}
+			} else {
+				e1, e2 := seq.Delete(k), conc.Delete(k)
+				if (e1 == nil) != (e2 == nil) {
+					t.Fatalf("round %d: Delete(%q) diverged: %v vs %v", round, k, e1, e2)
+				}
+			}
+		}
+		s1, s2 := seq.Stats(), conc.Stats()
+		if s1.Keys != s2.Keys || s1.Buckets != s2.Buckets || s1.TrieCells != s2.TrieCells {
+			t.Fatalf("round %d: shape diverged: oracle %+v, concurrent %+v", round, s1, s2)
+		}
+	}
+	if got, want := dumpFile(t, conc), dumpFile(t, seq); len(got) != len(want) {
+		t.Fatalf("record counts diverged: concurrent %d, oracle %d", len(got), len(want))
+	} else {
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("record %d diverged: concurrent %q, oracle %q", i, got[i], want[i])
+			}
+		}
+	}
+	if err := conc.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestConcurrentDisjointSubtreeSplits hammers splits in disjoint trie
+// subtrees from many goroutines at once — the workload the subtree
+// stripes exist for. Each worker owns a distinct three-digit prefix (its
+// own stripe key, up to hash collisions), inserts enough fresh keys to
+// split its subtree over and over — half through Put, half through
+// PutBatch's prepared-split wave — while a scanner goroutine runs Range
+// end to end, racing the flip-lock readers against concurrent
+// publications: a scan must never observe a half-installed split (a
+// missing or duplicated record would surface as a count mismatch or an
+// invariant violation).
+func TestConcurrentDisjointSubtreeSplits(t *testing.T) {
+	f, err := Create(Options{BucketCapacity: 8, Concurrent: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+
+	const (
+		workers = 8
+		perW    = 600
+	)
+	var wg sync.WaitGroup
+	var fail atomic.Value
+	report := func(err error) {
+		if err != nil {
+			fail.CompareAndSwap(nil, err)
+		}
+	}
+	done := make(chan struct{})
+	var scanWg sync.WaitGroup
+	// The scanner: full-range scans while the splits land. Counts are
+	// momentary, but every record visited must be well-formed and no scan
+	// may error or see a key twice.
+	scanWg.Add(1)
+	go func() {
+		defer scanWg.Done()
+		for {
+			select {
+			case <-done:
+				return
+			default:
+			}
+			prev := ""
+			n := 0
+			if err := f.Range("", "", func(k string, _ []byte) bool {
+				if prev != "" && k <= prev {
+					report(fmt.Errorf("scan out of order: %q after %q", k, prev))
+					return false
+				}
+				prev = k
+				n++
+				return true
+			}); err != nil {
+				report(fmt.Errorf("mid-traffic Range: %w", err))
+				return
+			}
+		}
+	}()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			prefix := fmt.Sprintf("%c%c%c", 'a'+w, 'a'+w, 'a'+w)
+			// Half through single Puts (putSlow's stripe+latch split)...
+			for i := 0; i < perW/2; i++ {
+				k := fmt.Sprintf("%s.%06d", prefix, i)
+				if err := f.Put(k, []byte{byte(w)}); err != nil {
+					report(fmt.Errorf("put %q: %w", k, err))
+					return
+				}
+			}
+			// ...and half through PutBatch (the prepared-split wave).
+			bk := make([]string, perW/2)
+			bv := make([][]byte, perW/2)
+			for i := range bk {
+				bk[i] = fmt.Sprintf("%s.%06d", prefix, perW/2+i)
+				bv[i] = []byte{byte(w)}
+			}
+			for i, err := range f.PutBatch(bk, bv) {
+				if err != nil {
+					report(fmt.Errorf("putbatch %q: %w", bk[i], err))
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(done)
+	scanWg.Wait()
+	if err, _ := fail.Load().(error); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := f.Len(), workers*perW; got != want {
+		t.Fatalf("Len = %d, want %d", got, want)
+	}
+	got := 0
+	if err := f.Range("", "", func(k string, _ []byte) bool { got++; return true }); err != nil {
+		t.Fatal(err)
+	}
+	if got != workers*perW {
+		t.Fatalf("final scan saw %d records, want %d", got, workers*perW)
+	}
+}
+
 // TestConcurrentDeleteMergeStress empties a well-split file from many
 // goroutines at once: deletions drive guarded merging (the two-latch
 // path) concurrently until almost nothing is left.

@@ -26,9 +26,24 @@ import (
 //     the shard;
 //  4. a structural (receiver- or package-rooted) lock is never acquired
 //     while a bucket latch is held — the engine's hierarchy is public
-//     file lock > structural lock > bucket latch > shard latch, so an
-//     overflow discovered under a latch must release it and retry under
-//     the structural lock, not lock upward.
+//     file lock > world lock > subtree stripe > bucket latch > trie flip
+//     lock > shard latch, so an overflow discovered under a latch must
+//     release it and retry from the stripe, not lock upward;
+//  5. a subtree stripe (any method named Lock or Acquire on a
+//     Stripes-typed receiver) is never acquired while a bucket latch is
+//     held — stripes order above latches for the same reason rule 4
+//     gives, and the maintenance path derives its whole stripe set
+//     before latching anything;
+//  6. stripes are never acquired inside map iteration — the multi-stripe
+//     cycle-freedom argument is ascending index order, which map order
+//     does not provide (the batch path sorts the round's stripe keys
+//     first);
+//  7. the single-stripe primitive Stripes.Lock is confined to the
+//     sanctioned ascending acquisition sites — Stripes.Acquire and the
+//     engine's lockSubtrees/acquireSubtreesTimed — recognized, like
+//     LockPair, by name: those sites sort and dedup their key set, so a
+//     direct Lock anywhere else is a second-stripe deadlock waiting for a
+//     colliding key.
 //
 // "Latch" here is any sync.Mutex/RWMutex reached through a local variable
 // or parameter: those are the per-bucket and per-shard locks handed out by
@@ -41,6 +56,15 @@ import (
 // locks, which by design are held across latch acquisitions and engine
 // calls; they are exempt from rules 1 and 3 but anchor rule 4.
 //
+// One receiver-rooted lock is special: a field named trieMu is the trie
+// flip lock, which by design sits BELOW the bucket latches (a split
+// publishes its trie flip while still holding the old bucket's latch).
+// It is therefore exempt from rule 4 — and pays for it with the strictest
+// rule of all: nothing, latch or stripe or structural lock, is acquired
+// while the flip lock is held. Its critical sections are the publication
+// flips themselves; anything more would rebuild the global bottleneck the
+// stripes exist to shard.
+//
 // The scan is branch-aware but intentionally conservative: a release
 // inside a non-terminating branch counts as a release on the fallthrough
 // path (avoiding false positives), and each loop body is assumed
@@ -48,7 +72,7 @@ import (
 // bodies, which is what they are in the fan-out worker pool.
 var LockOrder = &Analyzer{
 	Name: "lockorder",
-	Doc:  "latch discipline: one bucket latch at a time (LockPair excepted), none inside map iteration, no store I/O under a shard latch, no structural lock under a latch",
+	Doc:  "latch discipline: one bucket latch at a time (LockPair excepted), none inside map iteration, no store I/O under a shard latch, no structural lock under a latch, stripes above latches and only via the ascending sites, nothing under the trie flip lock",
 	Run:  runLockOrder,
 }
 
@@ -80,6 +104,7 @@ func runLockOrder(pass *Pass) {
 type heldLock struct {
 	key   string // canonical expression, e.g. "lb.mu"
 	local bool   // rooted in a local/param (a latch), not the receiver
+	flip  bool   // the trie flip lock (a field named trieMu): innermost
 }
 
 type heldSet map[string]heldLock
@@ -129,6 +154,17 @@ func (h heldSet) anyBucketLatch() (heldLock, bool) {
 func (h heldSet) anyShardLatch() (heldLock, bool) {
 	for _, l := range h {
 		if l.local && strings.Contains(l.key, ".") {
+			return l, true
+		}
+	}
+	return heldLock{}, false
+}
+
+// anyFlip finds a held trie flip lock — the innermost lock, under which
+// nothing else may be acquired.
+func (h heldSet) anyFlip() (heldLock, bool) {
+	for _, l := range h {
+		if l.flip {
 			return l, true
 		}
 	}
@@ -267,12 +303,45 @@ func (s *lockScan) visitLeaf(n ast.Node, held heldSet) bool {
 	if !ok {
 		return true
 	}
+	if isStripesType(s.pass.TypeOf(recv)) {
+		if name != "Lock" && name != "Acquire" {
+			return true
+		}
+		key := exprString(recv)
+		if prior, ok := held.anyFlip(); ok {
+			s.pass.Reportf(call.Pos(),
+				"subtree stripe %s acquired while flip lock %s is held: the flip lock is the innermost lock; nothing is acquired under it",
+				key, prior.key)
+		}
+		if s.mapDepth > 0 {
+			s.pass.Reportf(call.Pos(),
+				"subtree stripe %s acquired inside iteration over a map: map order is not ascending; collect the stripe keys, sort them, then lock",
+				key)
+		}
+		if prior, ok := held.anyBucketLatch(); ok {
+			s.pass.Reportf(call.Pos(),
+				"subtree stripe %s acquired while bucket latch %s is held: the hierarchy is stripe > latch; derive and lock the stripe set before latching",
+				key, prior.key)
+		}
+		if name == "Lock" && !sanctionedStripeSite(s.fnName) {
+			s.pass.Reportf(call.Pos(),
+				"subtree stripe %s locked directly in %s: single-stripe locking is confined to the ascending acquisition sites (Acquire, lockSubtrees, acquireSubtreesTimed), which sort and dedup their key set",
+				key, s.fnName)
+		}
+		return true
+	}
 	switch name {
 	case "Lock", "RLock":
 		if !isSyncLocker(s.pass.TypeOf(recv)) {
 			return true
 		}
 		l := heldLock{key: exprString(recv), local: s.isLocalRoot(recv)}
+		l.flip = !l.local && strings.HasSuffix(l.key, "trieMu")
+		if prior, ok := held.anyFlip(); ok && prior.key != l.key {
+			s.pass.Reportf(call.Pos(),
+				"lock %s acquired while flip lock %s is held: the flip lock is the innermost lock; nothing is acquired under it",
+				l.key, prior.key)
+		}
 		if s.mapDepth > 0 && l.local {
 			s.pass.Reportf(call.Pos(),
 				"%s acquired inside iteration over a map: map order is not ascending; collect the addresses, sort them, then latch",
@@ -284,10 +353,12 @@ func (s *lockScan) visitLeaf(n ast.Node, held heldSet) bool {
 					"bucket latch %s acquired while %s is held: hold at most one latch at a time and visit buckets in ascending address order (LockPair is the sole two-latch site)",
 					l.key, prior.key)
 			}
-		} else if prior, ok := held.anyBucketLatch(); ok {
-			s.pass.Reportf(call.Pos(),
-				"structural lock %s acquired while bucket latch %s is held: the hierarchy is structural > latch; release the latch and retry under the structural lock",
-				l.key, prior.key)
+		} else if !l.flip {
+			if prior, ok := held.anyBucketLatch(); ok {
+				s.pass.Reportf(call.Pos(),
+					"structural lock %s acquired while bucket latch %s is held: the hierarchy is structural > latch; release the latch and retry under the structural lock",
+					l.key, prior.key)
+			}
 		}
 		held[l.key] = l
 	case "Unlock", "RUnlock":
@@ -305,6 +376,30 @@ func (s *lockScan) visitLeaf(n ast.Node, held heldSet) bool {
 		}
 	}
 	return true
+}
+
+// isStripesType reports whether t is the subtree stripe table (a named
+// type Stripes, possibly behind a pointer) — the receiver the stripe
+// rules key on.
+func isStripesType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, ok := t.(*types.Named)
+	return ok && n.Obj().Name() == "Stripes"
+}
+
+// sanctionedStripeSite reports whether fn is one of the ascending
+// multi-stripe acquisition sites single-stripe Lock calls are confined to.
+func sanctionedStripeSite(fn string) bool {
+	switch fn {
+	case "Acquire", "lockSubtrees", "acquireSubtreesTimed":
+		return true
+	}
+	return false
 }
 
 // isLocalRoot reports whether the mutex expression is rooted in a local

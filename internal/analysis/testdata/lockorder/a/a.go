@@ -19,7 +19,31 @@ type lbucket struct {
 
 type File struct {
 	structural sync.Mutex
+	trieMu     sync.RWMutex
+	stripes    Stripes
 	buckets    []*lbucket
+}
+
+// Stripes is the miniature subtree stripe table: the analyzer recognizes
+// it by type name, like the real concurrent.Stripes.
+type Stripes struct {
+	mus [4]sync.Mutex
+}
+
+func (s *Stripes) Lock(k int)   { s.mus[k].Lock() }
+func (s *Stripes) Unlock(k int) { s.mus[k].Unlock() }
+
+// Acquire is the sanctioned ascending multi-stripe site, recognized by
+// name: single-stripe Lock calls inside it are fine.
+func (s *Stripes) Acquire(ks ...int) func() {
+	for _, k := range ks {
+		s.Lock(k)
+	}
+	return func() {
+		for i := len(ks) - 1; i >= 0; i-- {
+			s.Unlock(ks[i])
+		}
+	}
 }
 
 // twoLatches holds a second bucket latch while the first is still held —
@@ -160,6 +184,77 @@ func (f *File) releaseThenStructural(i int) {
 		f.structural.Lock()
 		f.structural.Unlock()
 	}
+}
+
+// lockSubtrees is the engine's sanctioned single-stripe loop, recognized
+// by name like LockPair: the key set is sorted and deduplicated before
+// the loop.
+func (f *File) lockSubtrees(ks []int) func() {
+	for _, k := range ks {
+		f.stripes.Lock(k)
+	}
+	return func() {
+		for i := len(ks) - 1; i >= 0; i-- {
+			f.stripes.Unlock(ks[i])
+		}
+	}
+}
+
+// stripeDirect locks a single stripe outside the sanctioned sites: a
+// colliding key in a second such site is a deadlock the ascending-set
+// discipline exists to prevent.
+func (f *File) stripeDirect(k int) {
+	f.stripes.Lock(k) // want `subtree stripe f\.stripes locked directly in stripeDirect`
+	f.stripes.Unlock(k)
+}
+
+// stripeUnderLatch inverts the stripe > latch hierarchy: the maintenance
+// path derives its whole stripe set before latching anything.
+func (f *File) stripeUnderLatch(i, k int) {
+	mu := f.latch(i)
+	mu.Lock()
+	unlock := f.stripes.Acquire(k) // want `subtree stripe f\.stripes acquired while bucket latch mu is held`
+	unlock()
+	mu.Unlock()
+}
+
+// stripeInMap acquires stripes while ranging over a map: map order is not
+// ascending, which silently breaks the multi-stripe cycle argument.
+func (f *File) stripeInMap(groups map[int32]int) {
+	for _, k := range groups {
+		unlock := f.stripes.Acquire(k) // want `subtree stripe f\.stripes acquired inside iteration over a map`
+		unlock()
+	}
+}
+
+// flipUnderLatch is the sanctioned publication shape: the trie flip lock
+// sits BELOW the bucket latches (a split publishes while still holding
+// the old bucket's latch), so this is exempt from the structural rule.
+func (f *File) flipUnderLatch(i int) {
+	mu := f.latch(i)
+	mu.Lock()
+	f.trieMu.Lock()
+	f.trieMu.Unlock()
+	mu.Unlock()
+}
+
+// latchUnderFlip locks below the flip lock: nothing is acquired while it
+// is held — its critical sections are the publication flips alone.
+func (f *File) latchUnderFlip(i int) {
+	f.trieMu.Lock()
+	mu := f.latch(i)
+	mu.Lock() // want `lock mu acquired while flip lock f\.trieMu is held`
+	mu.Unlock()
+	f.trieMu.Unlock()
+}
+
+// stripeUnderFlip acquires a stripe under the flip lock — upward through
+// the entire hierarchy.
+func (f *File) stripeUnderFlip(k int) {
+	f.trieMu.RLock()
+	unlock := f.stripes.Acquire(k) // want `subtree stripe f\.stripes acquired while flip lock f\.trieMu is held`
+	unlock()
+	f.trieMu.RUnlock()
 }
 
 // LockPair is rule 1's sole sanctioned two-latch site: the guarded-merge

@@ -2,6 +2,7 @@ package bench
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 	"time"
 
@@ -52,12 +53,14 @@ func putSpanned(o *obs.Observer, e *core.ConcurrentFile, k string, v []byte) err
 //   - overwrite: steady state, no structure changes. Workers walk the
 //     whole key space from different offsets, so their buckets collide.
 //   - growth: every worker inserts fresh keys from its own shard, so the
-//     file splits continuously and the structural lock joins the picture.
+//     file splits continuously and the subtree stripes plus the trie flip
+//     lock join the picture.
 //
 // The table reports the per-stage span breakdown of each phase; the notes
-// name the dominant wait source, the structural-lock share and the most
-// latch-contended buckets. This is the profile that attributes the E30
-// mem-regime scaling wall (EXPERIMENTS.md E31).
+// name the dominant wait source, the flip-lock share, the hottest subtree
+// stripes and the most latch-contended buckets. This is the profile that
+// attributes the E30 mem-regime scaling wall (EXPERIMENTS.md E31) and
+// verifies the subtree-striping rework against it (E32).
 //
 // Unlike the paper-figure experiments this one reports wall-clock times,
 // so the exact numbers vary run to run; the shape — which stage dominates,
@@ -150,7 +153,7 @@ func Contention() *Table {
 				ph.name, float64(stageSum)/float64(put.Sum)*100,
 				stageSum.Round(time.Millisecond), put.Sum.Round(time.Millisecond), put.Count)
 		}
-		waits := []obs.Stage{obs.StageLatchWait, obs.StageStructWait, obs.StageFileLock}
+		waits := []obs.Stage{obs.StageLatchWait, obs.StageStructWait, obs.StageSubtreeWait, obs.StageFileLock}
 		dominant, dominantSum := obs.Stage(0), time.Duration(-1)
 		for _, sg := range waits {
 			if hs, ok := ph.snap.Stages[sg.String()]; ok && hs.Sum > dominantSum {
@@ -162,8 +165,29 @@ func Contention() *Table {
 				ph.name, dominant, float64(dominantSum)/float64(stageSum)*100)
 		}
 		if sc := ph.snap.StructLock; sc != nil {
-			t.Note("%s: structural lock: %d acquisitions, wait %v, hold %v",
+			t.Note("%s: flip lock: %d acquisitions, wait %v, hold %v",
 				ph.name, sc.Count, sc.Wait.Round(time.Microsecond), sc.Hold.Round(time.Microsecond))
+		}
+		if len(ph.snap.Stripes) > 0 {
+			var sw, sh time.Duration
+			var sn int64
+			for _, st := range ph.snap.Stripes {
+				sw += st.Wait
+				sh += st.Hold
+				sn += st.Count
+			}
+			t.Note("%s: subtree stripes: %d active, %d acquisitions, wait %v, hold %v",
+				ph.name, len(ph.snap.Stripes), sn, sw.Round(time.Microsecond), sh.Round(time.Microsecond))
+			hot := make([]obs.BucketContention, len(ph.snap.Stripes))
+			copy(hot, ph.snap.Stripes)
+			sort.Slice(hot, func(i, j int) bool { return hot[i].Wait > hot[j].Wait })
+			for i, st := range hot {
+				if i == 3 {
+					break
+				}
+				t.Note("%s: hot stripe %d: wait %v over %d acquires (held %v)",
+					ph.name, st.Addr, st.Wait.Round(time.Microsecond), st.Count, st.Hold.Round(time.Microsecond))
+			}
 		}
 		for i, bc := range ph.snap.Contention {
 			if i == 3 {

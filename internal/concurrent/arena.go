@@ -144,6 +144,46 @@ func (a *Arena) Search(key string) trie.Ptr {
 	return n
 }
 
+// SearchPath is Search also materializing the logical path of the leaf it
+// reaches — the digits that name the leaf's enclosing subtree, which the
+// structural paths hash into a stripe key. Like Search the result is a
+// hint: the trie may flip mid-walk, so the caller re-verifies the address
+// under the locks it takes. A torn walk can at worst yield the path of a
+// neighbouring subtree (a pessimal stripe choice, never an unsafe one), so
+// unlike the authoritative trie's SearchFrom this walk does not panic on a
+// path shorter than a cell's digit number — it pads and carries on.
+func (a *Arena) SearchPath(key string) (trie.Ptr, []byte) {
+	var path []byte
+	n := trie.Ptr(a.root.Load())
+	j := 0
+	for n.IsEdge() {
+		c := a.cell(n.Cell())
+		i := int(c.dn)
+		goLeft := false
+		if j == i {
+			cj := a.alpha.Digit(key, j)
+			if cj <= c.dv {
+				goLeft = true
+				if cj == c.dv {
+					j++
+				}
+			}
+		} else if j < i {
+			goLeft = true
+		}
+		if goLeft {
+			for len(path) < i {
+				path = append(path, 0)
+			}
+			path = append(path[:i], c.dv)
+			n = trie.Ptr(c.lp.Load())
+		} else {
+			n = trie.Ptr(c.rp.Load())
+		}
+	}
+	return n, path
+}
+
 // Mirror couples an Arena with the engine's latch table as one
 // trie.Tracer: before a leaf address becomes reachable through the arena,
 // the latch table is grown to cover it, so a reader that wins the race to

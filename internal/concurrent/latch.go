@@ -1,6 +1,7 @@
 package concurrent
 
 import (
+	"runtime"
 	"sync"
 	"sync/atomic"
 )
@@ -87,24 +88,50 @@ func (l *Latches) LockPair(a, b int32) func() {
 	}
 }
 
-// FanOut runs fn(i) for every i in [0, n) across at most workers
-// goroutines (inline when workers <= 1 or n <= 1), returning when all
-// calls have finished. It is the bounded work distributor shared by the
-// batch paths and the parallel bulk loader.
+// fanActive counts the extra fan-out goroutines currently running across
+// every FanOut call in the process, so concurrent batch callers share one
+// CPU budget instead of multiplying their worker counts — eight client
+// goroutines each fanning out GOMAXPROCS workers on a small host is pure
+// scheduler churn (the BENCH_write.json putbatch regression).
+var fanActive atomic.Int32
+
+// fanBudget is the number of fan-out goroutines worth having runnable at
+// once: the scheduler can execute at most min(GOMAXPROCS, NumCPU) of them,
+// so spawning more only adds context switches.
+func fanBudget() int {
+	b := runtime.GOMAXPROCS(0)
+	if c := runtime.NumCPU(); c < b {
+		b = c
+	}
+	return b
+}
+
+// FanOut runs fn(i) for every i in [0, n) and returns when all calls have
+// finished. It is the bounded work distributor shared by the batch paths
+// and the parallel bulk loader. The caller's goroutine always works; up to
+// workers-1 extra goroutines join it, further capped by the process-wide
+// budget of min(GOMAXPROCS, NumCPU) runnable fan-out workers — on a
+// single-CPU host every FanOut degenerates to an inline loop, which is
+// exactly as fast as the scheduler could make it anyway.
 func FanOut(n, workers int, fn func(int)) {
 	if workers > n {
 		workers = n
 	}
-	if workers <= 1 || n <= 1 {
+	extra := workers - 1
+	if avail := fanBudget() - 1 - int(fanActive.Load()); extra > avail {
+		extra = avail
+	}
+	if extra <= 0 || n <= 1 {
 		for i := 0; i < n; i++ {
 			fn(i)
 		}
 		return
 	}
+	fanActive.Add(int32(extra))
 	var next atomic.Int32
 	var wg sync.WaitGroup
-	wg.Add(workers)
-	for w := 0; w < workers; w++ {
+	wg.Add(extra)
+	for w := 0; w < extra; w++ {
 		go func() {
 			defer wg.Done()
 			for {
@@ -116,5 +143,13 @@ func FanOut(n, workers int, fn func(int)) {
 			}
 		}()
 	}
+	for {
+		i := int(next.Add(1)) - 1
+		if i >= n {
+			break
+		}
+		fn(i)
+	}
 	wg.Wait()
+	fanActive.Add(int32(-extra))
 }

@@ -33,15 +33,36 @@ import (
 //     merge of that bucket (those hold the write latch); if not, it
 //     retries. Guarded merging is the sole two-latch site and locks in
 //     ascending address order.
-//   - a structural lock serializes every trie mutation: splits, merges,
-//     borrows. Fill-flip-shrink order is preserved — the new bucket is
-//     written to the store, then the trie flips, then (already done
-//     before the flip in the store image) the old bucket's shrink is
-//     visible — and the old bucket's write latch is held across all of
-//     it, so no reader observes the intermediate state.
+//   - a subtree stripe table (concurrent.Stripes) shards the structural
+//     work: a split or merge locks the stripe of the nearest enclosing
+//     trie subtree (hashed from the leaf's logical path; a root fallback
+//     stripe covers leaves without one), so structural operations in
+//     disjoint subtrees run their store phase — the expensive part — in
+//     parallel. Merges spanning the in-order neighbours lock the
+//     deduplicated stripe set in ascending index order.
+//   - the trie flip lock (trieMu) is the one remaining global
+//     serialization point: every access to the authoritative trie — and
+//     the arena replay it drives — runs under it. Writers hold it only
+//     for the publication flip (the old bucket's shrunk write plus the
+//     in-memory trie expansion) or a merge's repoint, never for the
+//     split's allocation and new-bucket write, so its critical sections
+//     are microseconds where the old global structural lock's were the
+//     whole split.
 //
+// Correctness never rests on the stripes: the bucket latch pins the
+// key→bucket mapping (any operation that moves keys off a bucket holds
+// its write latch), a merge's both latches pin the pair's adjacency, and
+// every decision made outside the latches is re-verified under them. The
+// stripes bound how many structural operations contend per subtree and
+// carry the per-stripe observability; a hash collision costs waiting,
+// not correctness.
+//
+// Publication is fill-then-flip all the way down: prepareSplit writes the
+// new bucket while it is unreachable, and the single SetBoundary under
+// trieMu — whose arena replay ends in one atomic pointer store — makes it
+// reachable, so lock-free readers never observe a half-installed split.
 // The store mutation order of every structural operation is exactly the
-// sequential engine's (prepareSplit/commitSplit, mergeInto, borrow are
+// sequential engine's (prepareSplit/finishSplit, mergeInto, borrow are
 // shared code), so the crash-recovery reasoning — and the recovery chain
 // itself — carries over unchanged.
 //
@@ -55,17 +76,31 @@ type ConcurrentFile struct {
 	arena   *concurrent.Arena
 	latches *concurrent.Latches
 	mirror  *concurrent.Mirror
+	stripes *concurrent.Stripes
 
-	// structural serializes trie mutations (write side) against
-	// whole-trie readers (Range, batch partitioning under latches is
-	// lock-free instead). Lock order: public file lock > structural >
-	// bucket latch > store shard latch; the lockorder analyzer enforces
-	// that structural is never taken while a bucket latch is held.
-	structural sync.RWMutex
+	// world gates whole-file operations against structural ones: every
+	// split/merge/borrow path holds it shared, SaveMeta/Stats/Scrub and
+	// friends hold it exclusively. It is uncontended in steady state —
+	// the sharding lives in the stripes below it.
+	world sync.RWMutex
+
+	// trieMu is the trie flip lock, the innermost lock of the hierarchy
+	//
+	//	public file lock > world > subtree stripe > bucket latch > trieMu
+	//
+	// (store shard latches sit below engine code entirely). All
+	// authoritative-trie access runs under it: exclusively for the
+	// publication flips and merge repoints, shared for whole-trie reads
+	// (Range, batch partitioning). Holders do no blocking work beyond
+	// the flip's single old-bucket write, which is what shrank the
+	// structural wait:hold ratio; they acquire no further locks (the
+	// lockorder analyzer enforces it).
+	trieMu sync.RWMutex
 
 	// nkeys is the live record count, maintained atomically by the
 	// latch-only fast paths; inner.nkeys is synced from it (by delta)
-	// whenever inner code that reads or writes it runs under structural.
+	// whenever inner code that reads or writes it runs under trieMu or
+	// the exclusive world lock.
 	nkeys atomic.Int64
 }
 
@@ -96,6 +131,7 @@ func NewConcurrent(f *File) (*ConcurrentFile, error) {
 		inner:   f,
 		arena:   concurrent.NewArena(f.trie),
 		latches: concurrent.NewLatches(n),
+		stripes: concurrent.NewStripes(),
 	}
 	e.mirror = &concurrent.Mirror{Arena: e.arena, Latches: e.latches}
 	f.trie.SetTracer(e.mirror)
@@ -121,9 +157,9 @@ func (e *ConcurrentFile) Len() int { return int(e.nkeys.Load()) }
 func (e *ConcurrentFile) SetObsHook(h *obs.Hook) { e.inner.SetObsHook(h) }
 
 // syncDown pushes the atomic record count into inner.nkeys. Callers hold
-// the structural lock and call syncUp with the returned base after
-// running inner code, so fast-path increments that landed in between are
-// not clobbered.
+// the flip lock (or the exclusive world lock) and call syncUp with the
+// returned base after running inner code, so fast-path increments that
+// landed in between are not clobbered.
 func (e *ConcurrentFile) syncDown() int64 {
 	before := e.nkeys.Load()
 	e.inner.nkeys = int(before)
@@ -134,6 +170,25 @@ func (e *ConcurrentFile) syncDown() int64 {
 // back into the atomic count.
 func (e *ConcurrentFile) syncUp(base int64) {
 	e.nkeys.Add(int64(e.inner.nkeys) - base)
+}
+
+// lockSubtrees acquires the subtree stripes named by ks — deduplicated,
+// ascending index order — charging each acquisition to the span's subtree
+// stages and, via the hold frames, to the per-stripe contention table.
+// The returned unlock releases in reverse, keeping the span's hold frames
+// LIFO.
+func (e *ConcurrentFile) lockSubtrees(sp *obs.Span, ks ...int) func() {
+	ord := concurrent.SortKeys(ks)
+	for _, k := range ord {
+		e.stripes.Lock(k)
+		sp.BeginHold(obs.StripeAddr(k), obs.StageSubtreeWait)
+	}
+	return func() {
+		for i := len(ord) - 1; i >= 0; i-- {
+			e.stripes.Unlock(ord[i])
+			sp.EndHold(obs.StageSubtreeHold)
+		}
+	}
 }
 
 // Get returns the value stored under key. The trie search is lock-free
@@ -173,7 +228,7 @@ func (e *ConcurrentFile) Get(key string) ([]byte, error) {
 // Put inserts or replaces the record for key. Replacements and inserts
 // that fit the bucket touch only that bucket's write latch — the paper's
 // "only the leaf A" writer. An overflow releases the latch and resolves
-// the split under the structural lock.
+// the split on the slow path, under the leaf's subtree stripe.
 func (e *ConcurrentFile) Put(key string, value []byte) (bool, error) {
 	if err := e.inner.cfg.Alphabet.Validate(key); err != nil {
 		return false, err
@@ -181,7 +236,7 @@ func (e *ConcurrentFile) Put(key string, value []byte) (bool, error) {
 	for {
 		leaf := e.arena.Search(key)
 		if leaf.IsNil() {
-			break // no bucket to latch; resolve under structural
+			break // no bucket to latch; resolve on the slow path
 		}
 		addr := leaf.Addr()
 		mu := e.latches.Latch(addr)
@@ -210,44 +265,112 @@ func (e *ConcurrentFile) Put(key string, value []byte) (bool, error) {
 			e.nkeys.Add(1)
 			return false, nil
 		}
-		// Overflow: the split needs the structural lock, which orders
-		// before bucket latches; release and redo under structural.
+		// Overflow: the split needs the subtree stripe, which orders
+		// before bucket latches; release and redo on the slow path.
 		mu.Unlock()
 		break
 	}
 	return e.putSlow(key, value, nil)
 }
 
-// putSlow runs a Put under the structural lock: the sequential engine's
-// Put, with the target bucket's write latch held across the whole
-// fill-flip-shrink sequence so concurrent readers of that bucket wait
-// out the split instead of observing its intermediate state. sp (nil
-// from the plain path) charges the lock waits and holds to the span's
-// structural and latch stages.
+// putSlow runs a Put that may split. It locks the leaf's subtree stripe,
+// then the bucket's write latch, re-verifies the mapping (retrying with
+// fresh locks if a concurrent structural change moved the key), and runs
+// the insert; an overflow prepares the split under those locks — the
+// store-expensive part, parallel across subtrees — and publishes it under
+// the flip lock. sp (nil from the plain path) charges the subtree stripe,
+// latch and flip-lock waits and holds to their span stages.
 func (e *ConcurrentFile) putSlow(key string, value []byte, sp *obs.Span) (bool, error) {
-	e.structural.Lock()
-	sp.BeginHold(obs.StructLockAddr, obs.StageStructWait)
-	defer e.structural.Unlock()
-	defer sp.EndHold(obs.StageStructHold)
-	leaf := e.inner.trie.SearchAddr(key)
-	if leaf.IsNil() {
-		return false, fmt.Errorf("core: concurrent engine: key %q maps to a nil leaf (THCL files have none)", key)
+	e.world.RLock()
+	defer e.world.RUnlock()
+	for {
+		leaf, path := e.arena.SearchPath(key)
+		sp.Mark(obs.StageTrieSearch)
+		if leaf.IsNil() {
+			return false, fmt.Errorf("core: concurrent engine: key %q maps to a nil leaf (THCL files have none)", key)
+		}
+		addr := leaf.Addr()
+		unlock := e.lockSubtrees(sp, e.stripes.KeyOf(path))
+		mu := e.latches.Latch(addr)
+		mu.Lock()
+		sp.BeginHold(addr, obs.StageLatchWait)
+		if cur := e.arena.Search(key); cur.IsNil() || cur.Addr() != addr {
+			mu.Unlock()
+			sp.EndHold(obs.StageLatchHold)
+			unlock()
+			continue
+		}
+		replaced, err := e.putLatched(addr, key, value, sp)
+		mu.Unlock()
+		sp.EndHold(obs.StageLatchHold)
+		unlock()
+		return replaced, err
 	}
-	mu := e.latches.Latch(leaf.Addr())
-	mu.Lock()
-	sp.BeginHold(leaf.Addr(), obs.StageLatchWait)
-	defer mu.Unlock()
-	defer sp.EndHold(obs.StageLatchHold)
+}
+
+// putLatched applies one insert-or-replace to bucket addr under its write
+// latch (and the enclosing subtree stripe, both held by the caller). The
+// store operation sequence — read, put, write, or on overflow read,
+// alloc, write new, write old, flip — is exactly the sequential engine's,
+// which is what keeps the single-threaded differential byte-identical.
+func (e *ConcurrentFile) putLatched(addr int32, key string, value []byte, sp *obs.Span) (bool, error) {
+	b, err := e.inner.st.Read(addr)
+	sp.Mark(obs.StageStoreRead)
+	if err != nil {
+		return false, err
+	}
+	replaced := b.Put(key, value)
+	if replaced {
+		err := e.inner.st.Write(addr, b)
+		sp.Mark(obs.StageStoreWrite)
+		return true, err
+	}
+	if b.Len() <= e.inner.cfg.Capacity {
+		err := e.inner.st.Write(addr, b)
+		sp.Mark(obs.StageStoreWrite)
+		if err != nil {
+			return false, err
+		}
+		e.nkeys.Add(1)
+		return false, nil
+	}
+	// Overflow: prepare the split off to the side — the new bucket is
+	// allocated and written while unreachable, so only this subtree's
+	// stripe and this bucket's latch are held — then publish under the
+	// flip lock.
+	rec, err := e.inner.prepareSplit(addr, b)
+	sp.Mark(obs.StageSplit)
+	if err != nil {
+		return false, err
+	}
+	if err := e.publishSplit(rec, sp); err != nil {
+		return false, err
+	}
+	e.nkeys.Add(1)
+	return false, nil
+}
+
+// publishSplit installs a prepared split under the flip lock: the old
+// bucket's shrunk image is written and the trie expansion (whose arena
+// replay ends in one atomic pointer store) makes the new bucket
+// reachable. The caller holds the old bucket's write latch, so no reader
+// of that bucket can observe the shrunk image before the flip; readers of
+// other buckets are never blocked.
+func (e *ConcurrentFile) publishSplit(rec *preparedSplit, sp *obs.Span) error {
+	e.trieMu.Lock()
+	sp.BeginHold(obs.StructLockAddr, obs.StageStructWait)
 	base := e.syncDown()
-	replaced, err := e.inner.PutSpan(key, value, sp)
+	err := e.inner.finishSplit(rec)
 	e.syncUp(base)
-	return replaced, err
+	e.trieMu.Unlock()
+	sp.EndHold(obs.StageStructHold)
+	return err
 }
 
 // Delete removes the record for key. The removal itself needs only the
 // bucket's write latch; when it leaves the bucket under half full, the
 // guarded maintenance pass (merge or borrow) runs afterwards under the
-// structural lock.
+// affected subtrees' stripes.
 func (e *ConcurrentFile) Delete(key string) error {
 	if err := e.inner.cfg.Alphabet.Validate(key); err != nil {
 		return err
@@ -288,39 +411,81 @@ func (e *ConcurrentFile) Delete(key string) error {
 }
 
 // maintain is the deletion maintenance the paper leaves open for
-// /VID87/: guarded merging. Under the structural lock (so the trie is
-// stable) it re-locates the key's bucket, re-checks the underflow, probes
-// the in-order neighbours, and applies the same decision procedure as the
-// sequential guaranteedPolicy — full merge into whichever neighbour fits
-// (successor preferred), else borrow from the fuller neighbour. The
-// action itself holds both bucket latches, taken in ascending address
-// order, and re-reads both buckets under them; if a concurrent fast-path
-// write invalidated the decision in between, the pass bails out (the next
-// deletion that underflows will try again). sp (nil from the plain path)
-// charges the structural wait and, via the last-registered defer (which
-// runs first), the whole maintenance pass to the merge stage.
+// /VID87/: guarded merging. It locates the key's bucket, probes its
+// in-order neighbours under the flip lock, locks the affected subtrees'
+// stripes (ascending, deduplicated — a merge can span up to three), and
+// re-verifies everything under them; if a concurrent structural change
+// moved the key or the neighbours in between, it retries with fresh
+// stripes a bounded number of times and otherwise bails out (the next
+// deletion that underflows will try again — single-threaded the retries
+// never fire, so the oracle differential is unaffected). sp (nil from the
+// plain path) charges the stripe waits and, via the per-pass mark, the
+// decision work to the merge stage.
 func (e *ConcurrentFile) maintain(key string, sp *obs.Span) error {
-	e.structural.Lock()
-	sp.BeginHold(obs.StructLockAddr, obs.StageStructWait)
-	defer e.structural.Unlock()
-	defer sp.EndHold(obs.StageStructHold)
-	defer sp.Mark(obs.StageMerge)
-	e.inner.nkeys = int(e.nkeys.Load())
-	leaf := e.inner.trie.SearchAddr(key)
+	e.world.RLock()
+	defer e.world.RUnlock()
+	for attempt := 0; attempt < 3; attempt++ {
+		again, err := e.maintainOnce(key, sp)
+		if err != nil || !again {
+			return err
+		}
+	}
+	return nil
+}
+
+// neighborPaths resolves the in-order neighbour buckets of addr and their
+// subtree paths under the flip lock.
+func (e *ConcurrentFile) neighborPaths(addr int32) (pred, succ int32, predPath, succPath []byte) {
+	e.trieMu.RLock()
+	defer e.trieMu.RUnlock()
+	pred, succ = e.inner.trie.NeighborBuckets(addr)
+	if pred >= 0 {
+		predPath, _ = e.inner.trie.LeafPath(pred)
+	}
+	if succ >= 0 {
+		succPath, _ = e.inner.trie.LeafPath(succ)
+	}
+	return pred, succ, predPath, succPath
+}
+
+// maintainOnce is one guarded-maintenance attempt; retry reports that the
+// world changed under it and the caller should re-derive the stripe set.
+func (e *ConcurrentFile) maintainOnce(key string, sp *obs.Span) (retry bool, err error) {
+	leaf, path := e.arena.SearchPath(key)
 	if leaf.IsNil() {
-		return nil
+		return false, nil
 	}
 	addr := leaf.Addr()
+	pred, succ, predPath, succPath := e.neighborPaths(addr)
+	if pred < 0 && succ < 0 {
+		return false, nil // the file's only bucket: no guarantee possible nor needed
+	}
+	ks := make([]int, 0, 3)
+	ks = append(ks, e.stripes.KeyOf(path))
+	if pred >= 0 {
+		ks = append(ks, e.stripes.KeyOf(predPath))
+	}
+	if succ >= 0 {
+		ks = append(ks, e.stripes.KeyOf(succPath))
+	}
+	unlock := e.lockSubtrees(sp, ks...)
+	defer unlock()
+	defer sp.Mark(obs.StageMerge)
+	// Re-verify under the stripes: the mapping or the adjacency may have
+	// moved while unlocked (the stripe set would then be stale, so the
+	// caller retries rather than proceeding with the wrong locks).
+	if cur := e.arena.Search(key); cur.IsNil() || cur.Addr() != addr {
+		return true, nil
+	}
+	if p2, s2, _, _ := e.neighborPaths(addr); p2 != pred || s2 != succ {
+		return true, nil
+	}
 	b, err := e.readLatched(addr)
 	if err != nil {
-		return err
+		return false, err
 	}
 	if 2*b.Len() >= e.inner.cfg.Capacity {
-		return nil // a concurrent insert resolved the underflow
-	}
-	pred, succ := e.inner.trie.NeighborBuckets(addr)
-	if pred < 0 && succ < 0 {
-		return nil // the file's only bucket: no guarantee possible nor needed
+		return false, nil // a concurrent insert resolved the underflow
 	}
 	var (
 		nbAddr  int32 = -1
@@ -330,29 +495,29 @@ func (e *ConcurrentFile) maintain(key string, sp *obs.Span) error {
 	if succ >= 0 {
 		sb, err := e.readLatched(succ)
 		if err != nil {
-			return err
+			return false, err
 		}
 		if b.Len()+sb.Len() <= e.inner.cfg.Capacity {
-			return e.mergeLatched(addr, succ, true)
+			return false, e.mergeLatched(addr, succ, true)
 		}
 		nbAddr, nbLen, nbIsSuc = succ, sb.Len(), true
 	}
 	if pred >= 0 {
 		pb, err := e.readLatched(pred)
 		if err != nil {
-			return err
+			return false, err
 		}
 		if b.Len()+pb.Len() <= e.inner.cfg.Capacity {
-			return e.mergeLatched(addr, pred, false)
+			return false, e.mergeLatched(addr, pred, false)
 		}
 		if nbAddr < 0 || pb.Len() > nbLen {
 			nbAddr, nbLen, nbIsSuc = pred, pb.Len(), false
 		}
 	}
 	if nbAddr < 0 {
-		return nil
+		return false, nil
 	}
-	return e.borrowLatched(addr, nbAddr, nbIsSuc)
+	return false, e.borrowLatched(addr, nbAddr, nbIsSuc)
 }
 
 // readLatched reads bucket addr under its read latch — the probe used by
@@ -365,15 +530,34 @@ func (e *ConcurrentFile) readLatched(addr int32) (*bucket.Bucket, error) {
 	return b, err
 }
 
+// adjacent re-verifies, under the flip lock, that nbAddr is still addr's
+// in-order neighbour on the expected side. Both write latches are held by
+// the caller, which pins the adjacency from here on: any operation that
+// would change it (a split of either bucket, a merge involving either)
+// must hold one of those latches.
+func (e *ConcurrentFile) adjacent(addr, nbAddr int32, nbIsSucc bool) bool {
+	e.trieMu.RLock()
+	defer e.trieMu.RUnlock()
+	pred, succ := e.inner.trie.NeighborBuckets(addr)
+	if nbIsSucc {
+		return succ == nbAddr
+	}
+	return pred == nbAddr
+}
+
 // mergeLatched performs a guaranteed-load merge of bucket addr into its
-// neighbour under both write latches (ascending address order). Both
-// buckets are re-read under the latches and the fit re-verified; the
-// merge publication order is the sequential engine's mergeInto: the
-// grown neighbour is written to the store before the trie repoints
-// addr's leaves, and the freed slot is released last.
+// neighbour under both write latches (ascending address order). The
+// adjacency and the fit are re-verified under the latches; the merge
+// itself — store writes and the trie repoint — runs under the flip lock,
+// with the same publication order as the sequential engine's mergeInto:
+// the grown neighbour is written before the trie repoints addr's leaves,
+// and the freed slot is released last.
 func (e *ConcurrentFile) mergeLatched(addr, nbAddr int32, nbIsSucc bool) error {
 	unlock := e.latches.LockPair(addr, nbAddr)
 	defer unlock()
+	if !e.adjacent(addr, nbAddr, nbIsSucc) {
+		return nil
+	}
 	b, err := e.inner.st.Read(addr)
 	if err != nil {
 		return err
@@ -388,15 +572,24 @@ func (e *ConcurrentFile) mergeLatched(addr, nbAddr int32, nbIsSucc bool) error {
 	if 2*b.Len() >= e.inner.cfg.Capacity || b.Len()+nb.Len() > e.inner.cfg.Capacity {
 		return nil
 	}
-	return e.inner.mergeInto(addr, b, nbAddr, nb, nbIsSucc)
+	e.trieMu.Lock()
+	defer e.trieMu.Unlock()
+	base := e.syncDown()
+	err = e.inner.mergeInto(addr, b, nbAddr, nb, nbIsSucc)
+	e.syncUp(base)
+	return err
 }
 
 // borrowLatched rebalances an underflowing bucket by pulling keys from
 // its neighbour, under both write latches in ascending address order,
-// with the same re-read and re-verify discipline as mergeLatched.
+// with the same re-verify discipline as mergeLatched and the boundary
+// flip under the flip lock.
 func (e *ConcurrentFile) borrowLatched(addr, nbAddr int32, nbIsSucc bool) error {
 	unlock := e.latches.LockPair(addr, nbAddr)
 	defer unlock()
+	if !e.adjacent(addr, nbAddr, nbIsSucc) {
+		return nil
+	}
 	b, err := e.inner.st.Read(addr)
 	if err != nil {
 		return err
@@ -408,16 +601,28 @@ func (e *ConcurrentFile) borrowLatched(addr, nbAddr int32, nbIsSucc bool) error 
 	if 2*b.Len() >= e.inner.cfg.Capacity || b.Len()+nb.Len() <= e.inner.cfg.Capacity {
 		return nil // resolved, or a merge now fits: bail (next underflow retries)
 	}
-	return e.inner.borrow(addr, b, nbAddr, nb, nbIsSucc)
+	e.trieMu.Lock()
+	defer e.trieMu.Unlock()
+	base := e.syncDown()
+	err = e.inner.borrow(addr, b, nbAddr, nb, nbIsSucc)
+	e.syncUp(base)
+	return err
 }
 
-// Range scans [from, to] in key order. It holds the structural read lock
-// (a stable trie) and visits each qualifying bucket once; bucket reads go
-// through the store's view path, whose snapshots are immutable, so
-// concurrent fast-path writes on other buckets proceed unhindered.
+// Range scans [from, to] in key order. It holds the world lock shared
+// (excluding only whole-file operations) and the flip lock shared — so
+// trie flips wait, but the store phase of concurrent splits, and every
+// fast-path read and write, proceed unhindered; bucket reads go through
+// the store's view path, whose snapshots are immutable. Excluding the
+// flips is what makes the scan sound: the shrunk image of a splitting
+// bucket reaches the store only under the exclusive flip lock, together
+// with the expansion that makes the new bucket reachable, so the walk
+// sees every record exactly once.
 func (e *ConcurrentFile) Range(from, to string, fn func(key string, value []byte) bool) error {
-	e.structural.RLock()
-	defer e.structural.RUnlock()
+	e.world.RLock()
+	defer e.world.RUnlock()
+	e.trieMu.RLock()
+	defer e.trieMu.RUnlock()
 	return e.inner.Range(from, to, fn)
 }
 
@@ -530,11 +735,11 @@ func (e *ConcurrentFile) getBatch(keys []string, sp *obs.Span) (vals [][]byte, e
 // names a key several times only the last occurrence is applied, so the
 // final state matches the sequential loop. The fast wave applies every
 // replacement and fitting insert with one latch and one store write per
-// bucket; overflowing inserts collect into a slow wave that, under one
-// acquisition of the structural lock, prepares splits of distinct
-// buckets in parallel (each under its bucket latch, through the shared
-// prepareSplit) and then commits the trie flips sequentially — batch
-// splits scale across buckets instead of serializing as plain Puts.
+// bucket; overflowing inserts collect into a slow wave that locks the
+// round's subtree stripes, prepares splits of distinct buckets in
+// parallel (each under its bucket latch, through the shared prepareSplit)
+// and then publishes the trie flips sequentially under the flip lock —
+// batch splits scale across buckets instead of serializing as plain Puts.
 func (e *ConcurrentFile) PutBatch(keys []string, values [][]byte) (errs []error) {
 	return e.putBatch(keys, values, nil)
 }
@@ -642,54 +847,81 @@ func (e *ConcurrentFile) putBatch(keys []string, values [][]byte, sp *obs.Span) 
 	return errs
 }
 
-// putBatchSlow resolves the batch's overflowing inserts under one
-// structural lock: each round partitions the remaining keys by the
-// authoritative trie, fans the groups out to workers that fill their
-// bucket and prepare at most one split each (store work only, bucket
-// latch held), then — after the barrier — commits the trie flips
-// sequentially and releases the held latches. Keys left over by a split
-// re-partition in the next round. sp (nil from the plain path) charges
-// the structural wait and, via the last-registered defer, the whole
-// split wave to the split stage; workers record their latches through
-// LatchTimers.
+// putBatchSlow resolves the batch's overflowing inserts: each round
+// partitions the remaining keys by the authoritative trie (under the flip
+// lock, collecting each bucket's subtree path), locks the round's stripe
+// set in one ascending acquisition, fans the groups out to workers that
+// fill their bucket and prepare at most one split each (store work only,
+// bucket latch held, mapping re-validated under it), then — after the
+// barrier — publishes the trie flips sequentially under the flip lock and
+// releases the held latches and stripes. Keys left over by a split, or
+// moved by a concurrent structural change, re-partition in the next
+// round. sp (nil from the plain path) charges the whole slow wave to the
+// split stage; workers record their latches, and the round its stripes,
+// through LatchTimers.
 func (e *ConcurrentFile) putBatchSlow(keys []string, values [][]byte, slow []int, errs []error, workers int, sp *obs.Span) {
 	o := sp.Observer()
-	e.structural.Lock()
-	sp.BeginHold(obs.StructLockAddr, obs.StageStructWait)
-	defer e.structural.Unlock()
-	defer sp.EndHold(obs.StageStructHold)
+	e.world.RLock()
+	defer e.world.RUnlock()
 	defer sp.Mark(obs.StageSplit)
-	e.inner.nkeys = int(e.nkeys.Load())
 	pending := slow
 	for len(pending) > 0 {
 		byAddr := make(map[int32][]int, len(pending))
+		stripeOf := make(map[int32]int, len(pending))
 		var addrs []int32
+		e.trieMu.RLock()
 		for _, i := range pending {
-			p := e.inner.trie.SearchAddr(keys[i])
-			if p.IsNil() {
+			res := e.inner.trie.Search(keys[i])
+			if res.Leaf.IsNil() {
 				errs[i] = fmt.Errorf("core: concurrent engine: key %q maps to a nil leaf (THCL files have none)", keys[i])
 				continue
 			}
-			a := p.Addr()
+			a := res.Leaf.Addr()
 			if _, ok := byAddr[a]; !ok {
 				addrs = append(addrs, a)
+				stripeOf[a] = e.stripes.KeyOf(res.Path)
 			}
 			byAddr[a] = append(byAddr[a], i)
 		}
+		e.trieMu.RUnlock()
 		sort.Slice(addrs, func(x, y int) bool { return addrs[x] < addrs[y] })
+		ks := make([]int, 0, len(addrs))
+		for _, a := range addrs {
+			ks = append(ks, stripeOf[a])
+		}
+		unlockStripes := e.acquireSubtreesTimed(o, ks)
 		recs := make([]*preparedSplit, len(addrs))
+		appliedBy := make([][]int, len(addrs))
+		addedBy := make([]int64, len(addrs))
 		unlocks := make([]func(), len(addrs))
 		leftovers := make([][]int, len(addrs))
-		var added atomic.Int64
+		movedBy := make([][]int, len(addrs))
 		concurrent.FanOut(len(addrs), workers, func(gi int) {
 			addr := addrs[gi]
 			lt := o.StartLatch(addr)
 			mu := e.latches.Latch(addr)
 			mu.Lock()
 			lt.Acquired()
-			rec, leftover, n := e.applySlowGroup(addr, keys, values, byAddr[addr], errs)
-			added.Add(n)
-			recs[gi], leftovers[gi] = rec, leftover
+			// Re-validate under the latch: the partition ran before the
+			// stripes were held, so a concurrent split may have moved
+			// keys off this bucket in between; they retry next round.
+			idxs := make([]int, 0, len(byAddr[addr]))
+			var moved []int
+			for _, i := range byAddr[addr] {
+				if p := e.arena.Search(keys[i]); p.IsNil() || p.Addr() != addr {
+					moved = append(moved, i)
+					continue
+				}
+				idxs = append(idxs, i)
+			}
+			movedBy[gi] = moved
+			if len(idxs) == 0 {
+				mu.Unlock()
+				lt.Release()
+				return
+			}
+			rec, applied, leftover, n := e.applySlowGroup(addr, keys, values, idxs, errs)
+			recs[gi], appliedBy[gi], leftovers[gi], addedBy[gi] = rec, applied, leftover, n
 			if rec != nil {
 				// Keep the latch until the trie flip publishes the split:
 				// every key this bucket covers still routes here, and a
@@ -700,18 +932,50 @@ func (e *ConcurrentFile) putBatchSlow(keys []string, values [][]byte, slow []int
 			mu.Unlock()
 			lt.Release()
 		})
-		for gi, rec := range recs {
+		var added int64
+		for gi := range addrs {
+			rec := recs[gi]
 			if rec == nil {
+				added += addedBy[gi]
 				continue
 			}
-			e.inner.commitSplit(rec)
+			if err := e.publishSplit(rec, sp); err != nil {
+				for _, i := range appliedBy[gi] {
+					errs[i] = err
+				}
+			} else {
+				added += addedBy[gi]
+			}
 			unlocks[gi]()
 		}
-		e.nkeys.Add(added.Load())
-		e.inner.nkeys = int(e.nkeys.Load())
+		unlockStripes()
+		e.nkeys.Add(added)
 		pending = pending[:0]
+		for _, mv := range movedBy {
+			pending = append(pending, mv...)
+		}
 		for _, lo := range leftovers {
 			pending = append(pending, lo...)
+		}
+	}
+}
+
+// acquireSubtreesTimed locks the given stripe set (deduplicated,
+// ascending) recording each stripe's wait and hold in the contention
+// table through LatchTimers — the batch paths' parallel-safe counterpart
+// of lockSubtrees.
+func (e *ConcurrentFile) acquireSubtreesTimed(o *obs.Observer, ks []int) func() {
+	ord := concurrent.SortKeys(ks)
+	lts := make([]obs.LatchTimer, len(ord))
+	for i, k := range ord {
+		lts[i] = o.StartLatch(obs.StripeAddr(k))
+		e.stripes.Lock(k)
+		lts[i].Acquired()
+	}
+	return func() {
+		for i := len(ord) - 1; i >= 0; i-- {
+			e.stripes.Unlock(ord[i])
+			lts[i].Release()
 		}
 	}
 }
@@ -721,16 +985,17 @@ func (e *ConcurrentFile) putBatchSlow(keys []string, values [][]byte, slow []int
 // first; the insert that overflows goes in as the Capacity+1'th record
 // and the split's store phase runs immediately. Indices not reached
 // before the split are returned as leftover for the next round. The
-// returned preparedSplit is non-nil when a flip is owed.
-func (e *ConcurrentFile) applySlowGroup(addr int32, keys []string, values [][]byte, idxs []int, errs []error) (rec *preparedSplit, leftover []int, added int64) {
+// returned preparedSplit is non-nil when a flip is owed; applied names
+// the indices whose records ride on it (for error attribution if the
+// publish fails).
+func (e *ConcurrentFile) applySlowGroup(addr int32, keys []string, values [][]byte, idxs []int, errs []error) (rec *preparedSplit, applied []int, leftover []int, added int64) {
 	b, err := e.inner.st.Read(addr)
 	if err != nil {
 		for _, i := range idxs {
 			errs[i] = err
 		}
-		return nil, nil, 0
+		return nil, nil, nil, 0
 	}
-	var applied []int
 	overflowed := false
 	for n, i := range idxs {
 		if _, exists := b.Get(keys[i]); exists {
@@ -757,26 +1022,26 @@ func (e *ConcurrentFile) applySlowGroup(addr int32, keys []string, values [][]by
 			for _, i := range applied {
 				errs[i] = err
 			}
-			return nil, leftover, 0
+			return nil, nil, leftover, 0
 		}
-		return rec, leftover, added
+		return rec, applied, leftover, added
 	}
 	if len(applied) > 0 {
 		if err := e.inner.st.Write(addr, b); err != nil {
 			for _, i := range applied {
 				errs[i] = err
 			}
-			return nil, leftover, 0
+			return nil, nil, leftover, 0
 		}
 	}
-	return nil, leftover, added
+	return nil, applied, leftover, added
 }
 
 // SaveMeta serializes the file's metadata. The caller must quiesce
 // writers (the public layer holds its exclusive lock).
 func (e *ConcurrentFile) SaveMeta() []byte {
-	e.structural.Lock()
-	defer e.structural.Unlock()
+	e.world.Lock()
+	defer e.world.Unlock()
 	e.inner.nkeys = int(e.nkeys.Load())
 	return e.inner.SaveMeta()
 }
@@ -784,26 +1049,26 @@ func (e *ConcurrentFile) SaveMeta() []byte {
 // Stats returns the file's statistics. Counts read mid-traffic are
 // instantaneous, not a consistent snapshot.
 func (e *ConcurrentFile) Stats() Stats {
-	e.structural.Lock()
-	defer e.structural.Unlock()
+	e.world.Lock()
+	defer e.world.Unlock()
 	e.inner.nkeys = int(e.nkeys.Load())
 	return e.inner.Stats()
 }
 
 // ResetCounters zeroes the split/redistribution and store counters.
 func (e *ConcurrentFile) ResetCounters() {
-	e.structural.Lock()
-	defer e.structural.Unlock()
+	e.world.Lock()
+	defer e.world.Unlock()
 	e.inner.ResetCounters()
 }
 
 // CheckInvariants verifies the file's structural invariants. The caller
 // must quiesce concurrent operations (the public layer holds its
-// exclusive lock); the structural lock alone does not stop fast-path
-// bucket writes.
+// exclusive lock); the world lock alone does not stop fast-path bucket
+// writes.
 func (e *ConcurrentFile) CheckInvariants() error {
-	e.structural.Lock()
-	defer e.structural.Unlock()
+	e.world.Lock()
+	defer e.world.Unlock()
 	e.inner.nkeys = int(e.nkeys.Load())
 	return e.inner.CheckInvariants()
 }
@@ -812,8 +1077,8 @@ func (e *ConcurrentFile) CheckInvariants() error {
 // a fresh concurrent engine over the repaired file. The caller must
 // quiesce concurrent operations.
 func (e *ConcurrentFile) Scrub(quarantinePath string) (*ConcurrentFile, *ScrubReport, error) {
-	e.structural.Lock()
-	defer e.structural.Unlock()
+	e.world.Lock()
+	defer e.world.Unlock()
 	e.inner.nkeys = int(e.nkeys.Load())
 	e.inner.trie.SetTracer(nil)
 	nf, rep, err := e.inner.Scrub(quarantinePath)

@@ -67,8 +67,12 @@ type crashDriver interface {
 // buildCrashRun executes the canonical workload: deterministic keys,
 // inserts with periodic overwrites and deletes, a Sync every syncEvery
 // operations. concurrent drives the operations through the concurrent
-// engine instead of the sequential one.
-func buildCrashRun(t *testing.T, cfg Config, seed int64, nops, syncEvery int, concurrent bool) *crashRun {
+// engine instead of the sequential one; batchSize > 0 additionally
+// issues the puts through PutBatch in groups of that size (deletes and
+// syncs flush the group first), so cut positions land inside the batch
+// wave's publish window — several buckets with the new twin written but
+// the shrunk old image and trie flip still pending.
+func buildCrashRun(t *testing.T, cfg Config, seed int64, nops, syncEvery, batchSize int, concurrent bool) *crashRun {
 	t.Helper()
 	cs := store.NewCrash()
 	inner, err := New(cfg, cs)
@@ -82,6 +86,12 @@ func buildCrashRun(t *testing.T, cfg Config, seed int64, nops, syncEvery int, co
 			t.Fatal(err)
 		}
 		f = ce
+	}
+	bp, _ := f.(interface {
+		PutBatch(keys []string, values [][]byte) []error
+	})
+	if batchSize > 0 && bp == nil {
+		t.Fatal("batchSize set but the driver has no PutBatch")
 	}
 	keys := workload.Uniform(seed, nops, 3, 8)
 	r := &crashRun{
@@ -105,6 +115,35 @@ func buildCrashRun(t *testing.T, cfg Config, seed int64, nops, syncEvery int, co
 		}
 		r.snaps = append(r.snaps, snap)
 	}
+	// flush issues the buffered puts as one PutBatch. Every op in the
+	// batch shares the flush-time journal position as its start: any of
+	// them may or may not have applied by a later cut, which is exactly
+	// what the allowed-value check models.
+	var buf []crashOp
+	flush := func() {
+		if len(buf) == 0 {
+			return
+		}
+		start := cs.Journal()
+		bk := make([]string, len(buf))
+		bv := make([][]byte, len(buf))
+		for j, op := range buf {
+			bk[j], bv[j] = op.key, []byte(op.value)
+			r.ops = append(r.ops, op)
+			r.opStart = append(r.opStart, start)
+			model[op.key] = op.value
+			r.values[op.key] = append(r.values[op.key], struct {
+				op    int
+				value string
+			}{len(r.ops) - 1, op.value})
+		}
+		for j, err := range bp.PutBatch(bk, bv) {
+			if err != nil {
+				t.Fatalf("batch put %q: %v", bk[j], err)
+			}
+		}
+		buf = buf[:0]
+	}
 	for i := 0; i < nops; i++ {
 		op := crashOp{key: keys[i], value: fmt.Sprintf("%s#%d", keys[i], i)}
 		switch {
@@ -114,15 +153,24 @@ func buildCrashRun(t *testing.T, cfg Config, seed int64, nops, syncEvery int, co
 			op.key = keys[i-10] // overwrite
 			op.value = fmt.Sprintf("%s#%d", op.key, i)
 		}
-		r.ops = append(r.ops, op)
-		r.opStart = append(r.opStart, cs.Journal())
-		if op.del {
+		switch {
+		case op.del:
+			flush() // a buffered put on this key must land first
+			r.ops = append(r.ops, op)
+			r.opStart = append(r.opStart, cs.Journal())
 			r.deletes[op.key] = append(r.deletes[op.key], cs.Journal())
 			if err := f.Delete(op.key); err != nil && !errors.Is(err, ErrNotFound) {
 				t.Fatalf("op %d: delete %q: %v", i, op.key, err)
 			}
 			delete(model, op.key)
-		} else {
+		case batchSize > 0:
+			buf = append(buf, op)
+			if len(buf) >= batchSize {
+				flush()
+			}
+		default:
+			r.ops = append(r.ops, op)
+			r.opStart = append(r.opStart, cs.Journal())
 			if _, err := f.Put(op.key, []byte(op.value)); err != nil {
 				t.Fatalf("op %d: put %q: %v", i, op.key, err)
 			}
@@ -133,9 +181,11 @@ func buildCrashRun(t *testing.T, cfg Config, seed int64, nops, syncEvery int, co
 			}{i, op.value})
 		}
 		if (i+1)%syncEvery == 0 {
+			flush()
 			sync()
 		}
 	}
+	flush()
 	sync()
 	return r
 }
@@ -305,13 +355,19 @@ func TestCrashPoints(t *testing.T) {
 		name       string
 		cfg        Config
 		concurrent bool
+		batchSize  int
 	}{
-		{"thcl", Config{Capacity: 4, Mode: trie.ModeTHCL}, false},
-		{"thcl-redist", Config{Capacity: 4, Mode: trie.ModeTHCL, Redistribution: RedistBoth, BoundPos: 4}, false},
+		{"thcl", Config{Capacity: 4, Mode: trie.ModeTHCL}, false, 0},
+		{"thcl-redist", Config{Capacity: 4, Mode: trie.ModeTHCL, Redistribution: RedistBoth, BoundPos: 4}, false, 0},
 		// The concurrent engine over the same journaling store: identical
 		// store mutation order means the same cuts, the same damage, the
 		// same recovery chain.
-		{"thcl-concurrent", Config{Capacity: 4, Mode: trie.ModeTHCL}, true},
+		{"thcl-concurrent", Config{Capacity: 4, Mode: trie.ModeTHCL}, true, 0},
+		// The batch wave prepares several splits (new twins written,
+		// unreachable) before the sequential publish loop flips any of
+		// them, so cuts land inside the publish window with multiple
+		// pending twins at once — Recover must quarantine every one.
+		{"thcl-concurrent-batch", Config{Capacity: 4, Mode: trie.ModeTHCL}, true, 8},
 	}
 	kinds := []store.CorruptKind{-1, store.CorruptTear, store.CorruptFlip, store.CorruptZero}
 	for _, tc := range configs {
@@ -320,7 +376,7 @@ func TestCrashPoints(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			r := buildCrashRun(t, cfg, 411, 160, 13, tc.concurrent)
+			r := buildCrashRun(t, cfg, 411, 160, 13, tc.batchSize, tc.concurrent)
 			stride := 1
 			if testing.Short() {
 				stride = 7

@@ -53,7 +53,7 @@ func (e *ConcurrentFile) GetSpan(key string, sp *obs.Span) ([]byte, error) {
 }
 
 // PutSpan is Put with stage attribution; overflows fall through to the
-// shared putSlow, which charges the structural lock stages.
+// shared putSlow, which charges the subtree-stripe and flip-lock stages.
 func (e *ConcurrentFile) PutSpan(key string, value []byte, sp *obs.Span) (bool, error) {
 	if err := e.inner.cfg.Alphabet.Validate(key); err != nil {
 		return false, err
@@ -62,7 +62,7 @@ func (e *ConcurrentFile) PutSpan(key string, value []byte, sp *obs.Span) (bool, 
 		leaf := e.arena.Search(key)
 		sp.Mark(obs.StageTrieSearch)
 		if leaf.IsNil() {
-			break // no bucket to latch; resolve under structural
+			break // no bucket to latch; resolve on the slow path
 		}
 		addr := leaf.Addr()
 		mu := e.latches.Latch(addr)
@@ -99,8 +99,8 @@ func (e *ConcurrentFile) PutSpan(key string, value []byte, sp *obs.Span) (bool, 
 			e.nkeys.Add(1)
 			return false, nil
 		}
-		// Overflow: the split needs the structural lock, which orders
-		// before bucket latches; release and redo under structural.
+		// Overflow: the split needs the subtree stripe, which orders
+		// before bucket latches; release and redo on the slow path.
 		mu.Unlock()
 		sp.EndHold(obs.StageLatchHold)
 		break
@@ -159,13 +159,16 @@ func (e *ConcurrentFile) DeleteSpan(key string, sp *obs.Span) error {
 	}
 }
 
-// RangeSpan is Range with stage attribution: the structural read lock's
+// RangeSpan is Range with stage attribution: the flip lock's (shared)
 // wait and hold are charged to the struct stages (the scan's own store
-// reads to theirs, via the inner RangeSpan).
+// reads to theirs, via the inner RangeSpan). The world lock, uncontended
+// outside whole-file operations, is not attributed separately.
 func (e *ConcurrentFile) RangeSpan(from, to string, fn func(key string, value []byte) bool, sp *obs.Span) error {
-	e.structural.RLock()
+	e.world.RLock()
+	defer e.world.RUnlock()
+	e.trieMu.RLock()
 	sp.BeginHold(obs.StructLockAddr, obs.StageStructWait)
-	defer e.structural.RUnlock()
+	defer e.trieMu.RUnlock()
 	defer sp.EndHold(obs.StageStructHold)
 	return e.inner.RangeSpan(from, to, fn, sp)
 }

@@ -36,25 +36,31 @@ func (f *File) appendSplit(addr int32, b *bucket.Bucket) error {
 	if err != nil {
 		return err
 	}
-	f.commitSplit(p)
-	return nil
+	return f.finishSplit(p)
 }
 
-// preparedSplit is the store half of a split, done and durable, awaiting
-// its trie flip. The concurrent engine's batch path prepares splits of
-// distinct buckets in parallel (each under its bucket latch) and commits
-// the trie flips sequentially afterwards.
+// preparedSplit is the store phase of a split done off to the side — the
+// new bucket allocated, filled and written, the old bucket's shrunk image
+// held in memory but not yet on disk — awaiting finishSplit. The
+// concurrent engine prepares splits under a subtree stripe plus the bucket
+// latch (distinct buckets in parallel on the batch path) and runs
+// finishSplit under the trie flip lock, so whole-trie readers that exclude
+// only the flips can never observe the shrunk old bucket before the new
+// one is reachable.
 type preparedSplit struct {
 	addr     int32
 	newAddr  int32
 	splitKey string
 	s        []byte
+	b        *bucket.Bucket // the old bucket's shrunk image, not yet written
 }
 
-// prepareSplit performs the store phase of splitting bucket addr, whose
-// in-memory image b holds Capacity+1 records: allocate the new bucket,
-// move every key above the split string into it, and write both buckets.
-// The trie is not touched — the caller runs commitSplit to publish.
+// prepareSplit performs the off-to-the-side phase of splitting bucket
+// addr, whose in-memory image b holds Capacity+1 records: allocate the new
+// bucket, move every key above the split string into it, and write the new
+// bucket — unreachable until the flip, so nothing observable changes. The
+// old bucket's store image and the trie are untouched; the caller runs
+// finishSplit to publish.
 func (f *File) prepareSplit(addr int32, b *bucket.Bucket) (*preparedSplit, error) {
 	B := b.Keys() // the b+1 ordered keys to split
 	splitKey := B[f.cfg.SplitPos-1]
@@ -73,25 +79,36 @@ func (f *File) prepareSplit(addr int32, b *bucket.Bucket) (*preparedSplit, error
 	nb.SetBound(newBucketBound(f.cfg.Mode, s, b.Bound()))
 	nb.Absorb(moved)
 	b.SetBound(s) // the old bucket's range now tops out at the split string
-	// Durability and failure ordering: both buckets are written before
-	// the in-memory trie changes, so a failed write aborts the split
-	// with the live file fully consistent (the store still holds the
-	// pre-split old bucket). Within the writes, the new bucket goes
-	// first: a crash between them leaves the moved records present
-	// twice, which Recover detects by the duplicate bound and repairs
-	// by dropping the subset twin; the opposite order could lose them.
+	// Durability and failure ordering: both buckets are written (here and
+	// in finishSplit) before the in-memory trie changes, so a failed
+	// write aborts the split with the live file fully consistent (the
+	// store still holds the pre-split old bucket). Within the writes, the
+	// new bucket goes first: a crash between them leaves the moved
+	// records present twice, which Recover detects by the duplicate bound
+	// and repairs by dropping the subset twin; the opposite order could
+	// lose them.
 	if err := f.st.Write(newAddr, nb); err != nil {
 		f.freeBestEffort(newAddr)
 		return nil, err
 	}
-	if err := f.st.Write(addr, b); err != nil {
-		f.freeBestEffort(newAddr)
-		return nil, err
-	}
-	return &preparedSplit{addr: addr, newAddr: newAddr, splitKey: splitKey, s: s}, nil
+	return &preparedSplit{addr: addr, newAddr: newAddr, splitKey: splitKey, s: s, b: b}, nil
 }
 
-// commitSplit publishes a prepared split: the trie expansion that makes
+// finishSplit publishes a prepared split: the old bucket's shrunk image is
+// written and the trie expansion makes the new bucket reachable. The store
+// mutation order across prepareSplit+finishSplit — alloc, write new, write
+// old, flip — is exactly the pre-sharding sequence, so the crash-recovery
+// reasoning carries over unchanged.
+func (f *File) finishSplit(p *preparedSplit) error {
+	if err := f.st.Write(p.addr, p.b); err != nil {
+		f.freeBestEffort(p.newAddr)
+		return err
+	}
+	f.commitSplit(p)
+	return nil
+}
+
+// commitSplit is the trie half of finishSplit: the expansion that makes
 // the new bucket reachable.
 func (f *File) commitSplit(p *preparedSplit) {
 	f.trie.SetBoundary(p.splitKey, p.s, p.addr, p.addr, p.newAddr, f.cfg.Mode)

@@ -28,8 +28,12 @@ type Snapshot struct {
 	// Contention is the top-K most latch-contended buckets by accumulated
 	// wait, descending.
 	Contention []BucketContention `json:"contention,omitempty"`
-	// StructLock is the structural lock's accumulated wait and occupancy.
+	// StructLock is the structural (flip) lock's accumulated wait and
+	// occupancy.
 	StructLock *BucketContention `json:"struct_lock,omitempty"`
+	// Stripes is the per-stripe wait/hold of the subtree lock table,
+	// ascending by stripe index (Addr carries the index).
+	Stripes []BucketContention `json:"stripes,omitempty"`
 	// SlowOps is the flight recorder's retained span breakdowns (oldest
 	// first); SlowOpsTotal the lifetime count of slow ops captured.
 	SlowOps      []SpanRecord `json:"slow_ops,omitempty"`
@@ -74,6 +78,7 @@ func (o *Observer) SnapshotSince(since uint64) Snapshot {
 		if sc := o.StructuralContention(); sc.Count > 0 {
 			s.StructLock = &sc
 		}
+		s.Stripes = o.StripeContention()
 		s.SlowOps, s.SlowOpsTotal = o.SlowOps()
 	}
 	return s
@@ -138,9 +143,16 @@ func (o *Observer) WritePrometheus(w io.Writer) {
 			fmt.Fprintf(w, "th_span_stage_seconds{stage=%q,quantile=\"0.99\"} %s\n", sg.String(), secs(h.Quantile(0.99)))
 		}
 		sc := o.StructuralContention()
-		fmt.Fprintf(w, "# HELP th_struct_lock_seconds_total Structural lock time by phase.\n# TYPE th_struct_lock_seconds_total counter\n")
+		fmt.Fprintf(w, "# HELP th_struct_lock_seconds_total Structural (flip) lock time by phase.\n# TYPE th_struct_lock_seconds_total counter\n")
 		fmt.Fprintf(w, "th_struct_lock_seconds_total{phase=\"wait\"} %s\nth_struct_lock_seconds_total{phase=\"hold\"} %s\n",
 			secs(sc.Wait), secs(sc.Hold))
+		if stripes := o.StripeContention(); len(stripes) > 0 {
+			fmt.Fprintf(w, "# HELP th_stripe_lock_seconds_total Subtree stripe lock time by stripe and phase.\n# TYPE th_stripe_lock_seconds_total counter\n")
+			for _, st := range stripes {
+				fmt.Fprintf(w, "th_stripe_lock_seconds_total{stripe=\"%d\",phase=\"wait\"} %s\n", st.Addr, secs(st.Wait))
+				fmt.Fprintf(w, "th_stripe_lock_seconds_total{stripe=\"%d\",phase=\"hold\"} %s\n", st.Addr, secs(st.Hold))
+			}
+		}
 		fmt.Fprintf(w, "# HELP th_latch_contention_seconds_total Accumulated latch wait/hold of the most-contended buckets.\n# TYPE th_latch_contention_seconds_total counter\n")
 		for _, bc := range o.TopContended(8) {
 			fmt.Fprintf(w, "th_latch_contention_seconds_total{addr=\"%d\",phase=\"wait\"} %s\n", bc.Addr, secs(bc.Wait))
@@ -239,9 +251,25 @@ func WriteSpanPanel(w io.Writer, s Snapshot) {
 	}
 	if s.StructLock != nil && s.StructLock.Count > 0 {
 		sc := s.StructLock
-		fmt.Fprintf(w, "structural lock: %d acquisitions, wait %v (%.1f%% of span time), hold %v\n",
+		fmt.Fprintf(w, "flip lock: %d acquisitions, wait %v (%.1f%% of span time), hold %v\n",
 			sc.Count, sc.Wait.Round(time.Microsecond),
 			float64(sc.Wait)/float64(totalStage)*100, sc.Hold.Round(time.Microsecond))
+	}
+	if len(s.Stripes) > 0 {
+		var w8, h8 time.Duration
+		var n8 int64
+		for _, st := range s.Stripes {
+			w8 += st.Wait
+			h8 += st.Hold
+			n8 += st.Count
+		}
+		fmt.Fprintf(w, "subtree stripes: %d active, %d acquisitions, wait %v, hold %v\n",
+			len(s.Stripes), n8, w8.Round(time.Microsecond), h8.Round(time.Microsecond))
+		fmt.Fprintf(w, "  %-8s %12s %12s %10s\n", "stripe", "wait", "hold", "acquires")
+		for _, st := range s.Stripes {
+			fmt.Fprintf(w, "  %-8d %12v %12v %10d\n",
+				st.Addr, st.Wait.Round(time.Microsecond), st.Hold.Round(time.Microsecond), st.Count)
+		}
 	}
 	if len(s.Contention) > 0 {
 		fmt.Fprintf(w, "contended buckets (top %d by latch wait):\n", len(s.Contention))

@@ -32,6 +32,11 @@ const (
 	// StageStructHold is time under the structural lock not attributed to
 	// a finer stage.
 	StageStructHold
+	// StageSubtreeWait is the wait to acquire a subtree stripe lock.
+	StageSubtreeWait
+	// StageSubtreeHold is time holding a subtree stripe lock not
+	// attributed to a finer stage.
+	StageSubtreeHold
 	// StageCacheProbe is a bucket view served from a resident pool frame.
 	StageCacheProbe
 	// StageStoreRead is a bucket read that reached the store.
@@ -58,6 +63,8 @@ var stageNames = [numStages]string{
 	StageLatchHold:    "latch_hold",
 	StageStructWait:   "struct_wait",
 	StageStructHold:   "struct_hold",
+	StageSubtreeWait:  "subtree_wait",
+	StageSubtreeHold:  "subtree_hold",
 	StageCacheProbe:   "cache_probe",
 	StageStoreRead:    "store_read",
 	StageStoreWrite:   "store_write",
@@ -86,10 +93,11 @@ func Stages() []Stage {
 	return out
 }
 
-// maxHoldDepth bounds the lock-nesting a span tracks: structural lock plus
-// one bucket latch is the engine's deepest legal nesting (the lockorder
-// analyzer enforces it); one spare guards against future layers.
-const maxHoldDepth = 3
+// maxHoldDepth bounds the lock-nesting a span tracks: the deepest legal
+// nesting the lockorder analyzer admits is subtree stripes (up to three —
+// a merge spans both in-order neighbours) above one bucket latch above the
+// trie flip lock; one spare guards against future layers.
+const maxHoldDepth = 6
 
 // holdFrame is one lock acquisition a span is currently inside. Times are
 // nanoseconds elapsed since the span started (the span reads the wall
@@ -227,17 +235,34 @@ type contentionCell struct {
 	count atomic.Int64
 }
 
-// StructLockAddr is the pseudo-address keying the structural lock in the
-// contention accounting (real bucket addresses are non-negative).
+// StructLockAddr is the pseudo-address keying the engine's global
+// structural serialization point — since the subtree sharding, the trie
+// flip lock — in the contention accounting (real bucket addresses are
+// non-negative).
 const StructLockAddr int32 = -1
 
 // structAddr keys the structural lock in the contention accounting.
 const structAddr = StructLockAddr
 
+// stripeAddrBase is where the subtree stripe pseudo-addresses start:
+// stripe k is recorded under -2-k, below the structural pseudo-address.
+const stripeAddrBase int32 = -2
+
+// StripeAddr returns the contention-table pseudo-address of subtree
+// stripe k.
+func StripeAddr(k int) int32 { return stripeAddrBase - int32(k) }
+
+// IsStripeAddr reports whether addr is a subtree stripe pseudo-address.
+func IsStripeAddr(addr int32) bool { return addr <= stripeAddrBase }
+
+// StripeIndex recovers the stripe index from its pseudo-address.
+func StripeIndex(addr int32) int { return int(stripeAddrBase - addr) }
+
 // RecordContention adds one lock acquisition to the contention table:
 // wait is the acquire latency, hold the wall occupancy. addr -1 is the
-// structural lock. Safe for concurrent use (the batch fan-out workers
-// record directly); a no-op when spans are off.
+// structural (flip) lock; -2-k is subtree stripe k. Safe for concurrent
+// use (the batch fan-out workers record directly); a no-op when spans are
+// off.
 func (o *Observer) RecordContention(addr int32, wait, hold time.Duration) {
 	if o == nil || !o.cfg.Spans {
 		return
@@ -475,15 +500,21 @@ type BucketContention struct {
 
 // TopContended returns the k buckets with the largest accumulated latch
 // wait, descending (ties broken by address for determinism across calls).
+// Subtree stripe pseudo-addresses share the table but are excluded here;
+// StripeContention reports them.
 func (o *Observer) TopContended(k int) []BucketContention {
 	if o == nil || k <= 0 {
 		return nil
 	}
 	var rows []BucketContention
 	o.cont.Range(func(key, value any) bool {
+		addr := key.(int32)
+		if addr < 0 {
+			return true
+		}
 		c := value.(*contentionCell)
 		rows = append(rows, BucketContention{
-			Addr: key.(int32), Wait: time.Duration(c.wait.Load()),
+			Addr: addr, Wait: time.Duration(c.wait.Load()),
 			Hold: time.Duration(c.hold.Load()), Count: c.count.Load(),
 		})
 		return true
@@ -500,8 +531,8 @@ func (o *Observer) TopContended(k int) []BucketContention {
 	return rows
 }
 
-// StructuralContention returns the structural lock's accumulated wait and
-// occupancy.
+// StructuralContention returns the structural (flip) lock's accumulated
+// wait and occupancy.
 func (o *Observer) StructuralContention() BucketContention {
 	if o == nil {
 		return BucketContention{Addr: structAddr}
@@ -510,4 +541,28 @@ func (o *Observer) StructuralContention() BucketContention {
 		Addr: structAddr, Wait: time.Duration(o.structCell.wait.Load()),
 		Hold: time.Duration(o.structCell.hold.Load()), Count: o.structCell.count.Load(),
 	}
+}
+
+// StripeContention returns the per-stripe wait/hold totals of the subtree
+// lock table, ascending by stripe index. Addr carries the stripe index,
+// not the pseudo-address.
+func (o *Observer) StripeContention() []BucketContention {
+	if o == nil {
+		return nil
+	}
+	var rows []BucketContention
+	o.cont.Range(func(key, value any) bool {
+		addr := key.(int32)
+		if !IsStripeAddr(addr) {
+			return true
+		}
+		c := value.(*contentionCell)
+		rows = append(rows, BucketContention{
+			Addr: int32(StripeIndex(addr)), Wait: time.Duration(c.wait.Load()),
+			Hold: time.Duration(c.hold.Load()), Count: c.count.Load(),
+		})
+		return true
+	})
+	sort.Slice(rows, func(i, j int) bool { return rows[i].Addr < rows[j].Addr })
+	return rows
 }

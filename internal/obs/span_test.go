@@ -230,7 +230,7 @@ func TestWriteSpanPanel(t *testing.T) {
 	var b strings.Builder
 	WriteSpanPanel(&b, o.SnapshotSince(0))
 	out := b.String()
-	for _, want := range []string{"span stages", "latch_hold", "structural lock", "contended buckets", "42", "slow ops", "worst_latch=bucket 42"} {
+	for _, want := range []string{"span stages", "latch_hold", "flip lock", "contended buckets", "42", "slow ops", "worst_latch=bucket 42"} {
 		if !strings.Contains(out, want) {
 			t.Fatalf("panel missing %q:\n%s", want, out)
 		}

@@ -89,6 +89,24 @@ func (t *Trie) walkLeaves(n Ptr, pos Pos, path []byte, fn func(LeafPos) bool) bo
 	return t.walkLeaves(cell.RP, Pos{Cell: ci, Side: SideRight}, path, fn)
 }
 
+// LeafPath returns the logical path of the first in-order leaf carrying
+// bucket address addr, and whether one exists. The concurrent engine's
+// maintenance pass uses it to derive the subtree stripe of a merge
+// neighbour; any leaf of the bucket's run serves, since the stripe keys
+// are advisory contention shaping, not correctness.
+func (t *Trie) LeafPath(addr int32) ([]byte, bool) {
+	var path []byte
+	found := false
+	t.WalkLeaves(func(lp LeafPos) bool {
+		if !lp.Leaf.IsNil() && lp.Leaf.Addr() == addr {
+			path, found = lp.Path, true
+			return false
+		}
+		return true
+	})
+	return path, found
+}
+
 // InorderLeafPtrs returns every leaf pointer in in-order without computing
 // logical paths. Unlike InorderLeaves it is usable on page-level subtries
 // (produced by SplitAt for the multilevel scheme), whose local paths are

@@ -32,8 +32,11 @@ import (
 //
 // The mem-regime parallel speedup is also recorded, and gated at ≥2×
 // when the host actually exposes ≥8 CPUs (wall-clock CPU scaling cannot
-// exist on fewer). All numbers land in BENCH_write.json. Benchmarks are
-// noisy, so the test is opt-in: WRITE_BENCH=1.
+// exist on fewer). All numbers land in BENCH_write.json; the previous
+// file, when it came from a comparable (≥8-CPU) host, doubles as the
+// regression baseline — a run may not lose more than 10% of the
+// recorded mem-regime speedup. Benchmarks are noisy, so the test is
+// opt-in: WRITE_BENCH=1 (the `make bench-put-compare` target).
 func TestWriteScaling(t *testing.T) {
 	if os.Getenv("WRITE_BENCH") == "" {
 		t.Skip("set WRITE_BENCH=1 to run the write-path scaling gate")
@@ -181,11 +184,21 @@ func TestWriteScaling(t *testing.T) {
 	t.Logf("serial overhead %.2f%%, parallel Put speedup x8: mem %.2fx, device %.2fx",
 		serialOverhead*100, memSpeedup, devSpeedup)
 
-	out := struct {
+	type results struct {
 		NumCPU int `json:"num_cpu"`
 		Cells  []cell
 		Gates  map[string]float64 `json:"gates"`
-	}{runtime.NumCPU(), cells, map[string]float64{
+	}
+
+	// The previous file is the regression baseline — read it before the
+	// overwrite below destroys it.
+	var baseline results
+	haveBaseline := false
+	if blob, err := os.ReadFile("BENCH_write.json"); err == nil {
+		haveBaseline = json.Unmarshal(blob, &baseline) == nil
+	}
+
+	out := results{runtime.NumCPU(), cells, map[string]float64{
 		"serial_overhead_pct":     serialOverhead * 100,
 		"parallel_speedup_mem":    memSpeedup,
 		"parallel_speedup_device": devSpeedup,
@@ -209,8 +222,26 @@ func TestWriteScaling(t *testing.T) {
 			t.Errorf("mem-regime parallel Put speedup %.2fx at 8 writers on %d CPUs, want >= 2x",
 				memSpeedup, runtime.NumCPU())
 		}
+		// The batch path shares the Put machinery plus one partition pass;
+		// it must not fall meaningfully behind plain Put at full fan-out
+		// (the PR 6 regression was exactly this, from worker
+		// oversubscription).
+		putNs := get("mem", "concurrent", "put", 8)
+		batchNs := get("mem", "concurrent", "putbatch", 8)
+		if float64(batchNs) > float64(putNs)*1.15 {
+			t.Errorf("mem-regime PutBatch x8 %d ns/op vs Put x8 %d ns/op: batch path more than 15%% behind",
+				batchNs, putNs)
+		}
+		// Cross-run regression gate, armed only between comparable hosts:
+		// losing more than 10% of the recorded parallel speedup is a
+		// regression, not noise.
+		if haveBaseline && baseline.NumCPU >= 8 {
+			if prev := baseline.Gates["parallel_speedup_mem"]; prev > 0 && memSpeedup < prev*0.90 {
+				t.Errorf("mem-regime parallel speedup regressed: %.2fx vs recorded %.2fx", memSpeedup, prev)
+			}
+		}
 	} else {
-		t.Logf("host exposes %d CPU(s): mem-regime speedup gate not armed (CPU scaling needs cores)", runtime.NumCPU())
+		t.Logf("host exposes %d CPU(s): mem-regime speedup and regression gates not armed (CPU scaling needs cores)", runtime.NumCPU())
 	}
 }
 
