@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build lint test race short bench bench-baseline bench-compare bench-put-compare repro cover fuzz obs-bench crash clean
+.PHONY: all build lint lint-graph test race short bench bench-baseline bench-compare bench-put-compare repro cover fuzz obs-bench crash clean
 
 all: build lint test race
 
@@ -10,10 +10,18 @@ build:
 	$(GO) build ./...
 
 # Static gates: go vet plus thvet, the repo-specific analyzer suite
-# (lock order, atomics, determinism, error discipline, obs coverage).
+# (lock graph, publication safety, atomics, determinism, error
+# discipline, obs coverage).
 lint:
 	$(GO) vet ./...
 	$(GO) run ./cmd/thvet
+
+# Render the whole-program lock-acquisition graph (markdown to the
+# terminal, DOT to lockgraph.dot for Graphviz/CI) and fail if the
+# inferred tier hierarchy drifts from internal/analysis/lockhierarchy.txt.
+lint-graph:
+	$(GO) run ./cmd/thvet -graph dot > lockgraph.dot
+	$(GO) run ./cmd/thvet -graph md
 
 # The race pass on the concurrency-bearing packages is part of the default
 # test gate: the sharded pool, the batch path, and the concurrent engine's
@@ -89,4 +97,4 @@ fuzz:
 	$(GO) test -fuzz FuzzTrieDecode -fuzztime 15s ./internal/trie/
 
 clean:
-	rm -f thbench_output.txt thbench_output.csv bench_output.txt test_output.txt bench_baseline.txt bench_head.txt
+	rm -f thbench_output.txt thbench_output.csv bench_output.txt test_output.txt bench_baseline.txt bench_head.txt lockgraph.dot

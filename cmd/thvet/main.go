@@ -1,19 +1,25 @@
 // Command thvet runs the repository's own static-analysis suite — the
-// invariants go vet cannot see: latch ordering in the concurrent batch
-// path, atomic-vs-plain field access, determinism of the experiment
-// packages, store error discipline, and the observability routing of the
-// public API. It loads every non-test package of the module with the
-// standard library's go/parser + go/types (no x/tools dependency) and
-// exits non-zero when any analyzer reports a finding.
+// invariants go vet cannot see: the interprocedural lock-acquisition
+// graph of the concurrent engine, the flip-protocol publication safety,
+// atomic-vs-plain field access, determinism of the experiment packages,
+// store error discipline, and the observability routing of the public
+// API. It loads every non-test package of the module with the standard
+// library's go/parser + go/types (no x/tools dependency) and exits
+// non-zero when any analyzer reports a finding.
 //
 // Usage:
 //
-//	thvet [-dir .] [-run name,name] [-list] [-v]
+//	thvet [-dir .] [-run name,name] [-list] [-json] [-graph md|dot|hierarchy] [-v]
 //
-// Diagnostics print as path:line:col: [analyzer] message, one per line.
+// Diagnostics print as path:line:col: [analyzer] message, one per line,
+// or as a JSON array with -json. -graph skips the analyzers and emits the
+// whole-program lock-acquisition graph: markdown, DOT, or the inferred
+// hierarchy table (which must byte-match internal/analysis/lockhierarchy.txt;
+// the exit status says whether it does).
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -27,6 +33,8 @@ func main() {
 	dir := flag.String("dir", ".", "directory inside the module to vet")
 	run := flag.String("run", "", "comma-separated analyzer names to run (default: all)")
 	list := flag.Bool("list", false, "list the available analyzers and exit")
+	jsonOut := flag.Bool("json", false, "emit diagnostics as JSON (file, line, col, analyzer, message)")
+	graph := flag.String("graph", "", "emit the lock-acquisition graph instead of diagnostics: md, dot, or hierarchy")
 	verbose := flag.Bool("v", false, "report the packages loaded and analyzers run")
 	flag.Parse()
 
@@ -68,16 +76,67 @@ func main() {
 		}
 	}
 
+	if *graph != "" {
+		res := analysis.BuildLockGraph(pkgs)
+		switch *graph {
+		case "md":
+			fmt.Print(res.Markdown())
+		case "dot":
+			fmt.Print(res.DOT())
+		case "hierarchy":
+			fmt.Print(res.HierarchyText())
+		default:
+			fmt.Fprintf(os.Stderr, "thvet: unknown -graph format %q (md, dot, hierarchy)\n", *graph)
+			os.Exit(2)
+		}
+		if !res.HierarchyMatches() {
+			fmt.Fprintln(os.Stderr, "thvet: inferred lock hierarchy differs from internal/analysis/lockhierarchy.txt")
+			os.Exit(1)
+		}
+		return
+	}
+
 	diags := analysis.Run(analyzers, pkgs)
 	cwd, _ := os.Getwd()
-	for _, d := range diags {
-		pos := d.Pos
-		if cwd != "" {
-			if rel, err := filepath.Rel(cwd, pos.Filename); err == nil && !strings.HasPrefix(rel, "..") {
-				pos.Filename = rel
-			}
+	rel := func(name string) string {
+		if cwd == "" {
+			return name
 		}
-		fmt.Printf("%s: [%s] %s\n", pos, d.Analyzer, d.Message)
+		if r, err := filepath.Rel(cwd, name); err == nil && !strings.HasPrefix(r, "..") {
+			return r
+		}
+		return name
+	}
+	if *jsonOut {
+		type jsonDiag struct {
+			File     string `json:"file"`
+			Line     int    `json:"line"`
+			Col      int    `json:"col"`
+			Analyzer string `json:"analyzer"`
+			Message  string `json:"message"`
+		}
+		out := make([]jsonDiag, 0, len(diags))
+		for _, d := range diags {
+			out = append(out, jsonDiag{
+				File:     rel(d.Pos.Filename),
+				Line:     d.Pos.Line,
+				Col:      d.Pos.Column,
+				Analyzer: d.Analyzer,
+				Message:  d.Message,
+			})
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fmt.Fprintln(os.Stderr, "thvet:", err)
+			os.Exit(2)
+		}
+	} else {
+		for _, d := range diags {
+			pos := d.Pos
+			pos.Filename = rel(pos.Filename)
+			fmt.Printf("%s: [%s] %s\n", pos, d.Analyzer, d.Message)
+		}
 	}
 	if len(diags) > 0 {
 		fmt.Fprintf(os.Stderr, "thvet: %d finding(s)\n", len(diags))

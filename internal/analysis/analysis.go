@@ -19,18 +19,25 @@ import (
 	"go/ast"
 	"go/token"
 	"go/types"
+	"regexp"
 	"sort"
 )
 
 // Analyzer is one named check. Run inspects the package in pass and
-// reports findings through pass.Reportf.
+// reports findings through pass.Reportf. Analyzers whose invariant spans
+// package boundaries (the interprocedural lock graph, the flip-protocol
+// publication safety) set RunModule instead: it executes once over every
+// package of the load, so call edges between packages are visible.
 type Analyzer struct {
 	// Name identifies the analyzer in diagnostics and -run selections.
 	Name string
 	// Doc is a one-line description of the invariant the analyzer checks.
 	Doc string
-	// Run executes the check over one package.
+	// Run executes the check over one package. Nil for module analyzers.
 	Run func(pass *Pass)
+	// RunModule executes the check once over the whole load. Nil for
+	// per-package analyzers.
+	RunModule func(pass *ModulePass)
 }
 
 // Pass carries one type-checked package through an analyzer.
@@ -42,6 +49,24 @@ type Pass struct {
 	Info     *types.Info
 
 	diags *[]Diagnostic
+}
+
+// ModulePass carries every package of one load through a module analyzer.
+type ModulePass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Pkgs     []*Package
+
+	diags *[]Diagnostic
+}
+
+// Reportf records a finding at pos.
+func (p *ModulePass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:      p.Fset.Position(pos),
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
 }
 
 // Diagnostic is one finding, positioned for file:line:col reporting.
@@ -82,8 +107,9 @@ func All() []*Analyzer {
 		Determinism,
 		Durability,
 		ErrDiscipline,
-		LockOrder,
+		LockGraph,
 		ObsOp,
+		PublishSafety,
 	}
 }
 
@@ -97,12 +123,17 @@ func ByName(name string) *Analyzer {
 	return nil
 }
 
-// Run applies each analyzer to each package and returns every finding
-// sorted by position.
+// Run applies each analyzer to each package (module analyzers once to the
+// whole load) and returns every finding sorted by position. Findings on a
+// line carrying a `//thvet:ok <analyzer> -- <reason>` comment are
+// sanctioned: dropped here, for both the driver and the self-lint test.
 func Run(analyzers []*Analyzer, pkgs []*Package) []Diagnostic {
 	var diags []Diagnostic
 	for _, pkg := range pkgs {
 		for _, a := range analyzers {
+			if a.Run == nil {
+				continue
+			}
 			pass := &Pass{
 				Analyzer: a,
 				Fset:     pkg.Fset,
@@ -114,6 +145,18 @@ func Run(analyzers []*Analyzer, pkgs []*Package) []Diagnostic {
 			a.Run(pass)
 		}
 	}
+	for _, a := range analyzers {
+		if a.RunModule == nil {
+			continue
+		}
+		var fset *token.FileSet
+		if len(pkgs) > 0 {
+			fset = pkgs[0].Fset
+		}
+		mp := &ModulePass{Analyzer: a, Fset: fset, Pkgs: pkgs, diags: &diags}
+		a.RunModule(mp)
+	}
+	diags = dropSanctioned(diags, pkgs)
 	sort.Slice(diags, func(i, j int) bool {
 		a, b := diags[i], diags[j]
 		if a.Pos.Filename != b.Pos.Filename {
@@ -128,4 +171,42 @@ func Run(analyzers []*Analyzer, pkgs []*Package) []Diagnostic {
 		return a.Analyzer < b.Analyzer
 	})
 	return diags
+}
+
+// sanctionRe matches an inline sanction: `//thvet:ok <analyzer>` with an
+// optional ` -- reason` tail. The reason is not optional in spirit — code
+// review expects one — but the matcher does not enforce prose.
+var sanctionRe = regexp.MustCompile(`^//thvet:ok\s+([a-z]+)`)
+
+// dropSanctioned removes findings whose source line sanctions their
+// analyzer by comment.
+func dropSanctioned(diags []Diagnostic, pkgs []*Package) []Diagnostic {
+	if len(diags) == 0 {
+		return diags
+	}
+	ok := make(map[string]bool) // "file:line:analyzer"
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					m := sanctionRe.FindStringSubmatch(c.Text)
+					if m == nil {
+						continue
+					}
+					p := pkg.Fset.Position(c.Pos())
+					ok[fmt.Sprintf("%s:%d:%s", p.Filename, p.Line, m[1])] = true
+				}
+			}
+		}
+	}
+	if len(ok) == 0 {
+		return diags
+	}
+	kept := diags[:0]
+	for _, d := range diags {
+		if !ok[fmt.Sprintf("%s:%d:%s", d.Pos.Filename, d.Pos.Line, d.Analyzer)] {
+			kept = append(kept, d)
+		}
+	}
+	return kept
 }

@@ -1,0 +1,101 @@
+package analysis
+
+import (
+	"go/token"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writeModule lays out a scratch module under a temp dir.
+func writeModule(t *testing.T, files map[string]string) string {
+	t.Helper()
+	root := t.TempDir()
+	for rel, content := range files {
+		path := filepath.Join(root, rel)
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return root
+}
+
+// TestLoadModuleSkipsTestOnlyPackage: a directory holding only _test.go
+// files is not a package of the load — it must be skipped, not break the
+// walk.
+func TestLoadModuleSkipsTestOnlyPackage(t *testing.T) {
+	root := writeModule(t, map[string]string{
+		"go.mod":                "module scratch\n\ngo 1.22\n",
+		"lib/lib.go":            "package lib\n\nfunc Answer() int { return 42 }\n",
+		"testonly/only_test.go": "package testonly\n\nimport \"testing\"\n\nfunc TestNothing(t *testing.T) {}\n",
+	})
+	pkgs, err := LoadModule(root)
+	if err != nil {
+		t.Fatalf("LoadModule: %v", err)
+	}
+	var paths []string
+	for _, p := range pkgs {
+		paths = append(paths, p.Path)
+	}
+	if len(pkgs) != 1 || pkgs[0].Path != "scratch/lib" {
+		t.Fatalf("loaded %v, want exactly [scratch/lib]", paths)
+	}
+}
+
+// TestLoadModuleImportCycle: cyclic module-internal imports must produce
+// a cycle error naming a package on it — not hang or stack-overflow.
+func TestLoadModuleImportCycle(t *testing.T) {
+	root := writeModule(t, map[string]string{
+		"go.mod": "module scratch\n\ngo 1.22\n",
+		"a/a.go": "package a\n\nimport \"scratch/b\"\n\nvar V = b.V\n",
+		"b/b.go": "package b\n\nimport \"scratch/a\"\n\nvar V = a.V\n",
+	})
+	_, err := LoadModule(root)
+	if err == nil {
+		t.Fatal("LoadModule on cyclic imports: want error, got nil")
+	}
+	if !strings.Contains(err.Error(), "import cycle") {
+		t.Fatalf("LoadModule cycle error = %q, want it to name the import cycle", err)
+	}
+}
+
+// TestLoadModuleTypeErrorMidModule: a package failing type-checking must
+// fail the whole load with a positioned error naming the package, and
+// must not report packages after it as loaded.
+func TestLoadModuleTypeErrorMidModule(t *testing.T) {
+	root := writeModule(t, map[string]string{
+		"go.mod":     "module scratch\n\ngo 1.22\n",
+		"bad/bad.go": "package bad\n\nfunc Broken() int { return \"not an int\" }\n",
+		"ok/ok.go":   "package ok\n\nfunc Fine() {}\n",
+	})
+	pkgs, err := LoadModule(root)
+	if err == nil {
+		t.Fatalf("LoadModule with type error: want error, got %d packages", len(pkgs))
+	}
+	if !strings.Contains(err.Error(), "type-checking scratch/bad") {
+		t.Fatalf("LoadModule type error = %q, want it to name scratch/bad", err)
+	}
+}
+
+// TestLoadDirTypeError: the golden-test loader surfaces type errors the
+// same way.
+func TestLoadDirTypeError(t *testing.T) {
+	dir := writeModule(t, map[string]string{
+		"bad.go": "package bad\n\nvar X int = \"nope\"\n",
+	})
+	if _, err := LoadDir(token.NewFileSet(), dir); err == nil {
+		t.Fatal("LoadDir on type-broken package: want error, got nil")
+	}
+}
+
+// TestLoadDirEmpty: a directory with no Go files is a load error, not a
+// nil-pointer surprise downstream.
+func TestLoadDirEmpty(t *testing.T) {
+	if _, err := LoadDir(token.NewFileSet(), t.TempDir()); err == nil {
+		t.Fatal("LoadDir on empty dir: want error, got nil")
+	}
+}

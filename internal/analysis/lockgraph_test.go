@@ -1,0 +1,97 @@
+package analysis
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// loadSelf loads this repository's module once for the graph tests.
+func loadSelf(t *testing.T) []*Package {
+	t.Helper()
+	root, err := FindModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := LoadModule(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pkgs
+}
+
+// TestInferredHierarchyMatchesTable is the acceptance gate for the lock
+// graph: the hierarchy inferred from this repository's whole-program
+// acquisition graph must byte-match the checked-in
+// internal/analysis/lockhierarchy.txt. A refactor that reorders two lock
+// tiers — or a new call site that inverts an edge — fails here before it
+// fails in production.
+func TestInferredHierarchyMatchesTable(t *testing.T) {
+	res := BuildLockGraph(loadSelf(t))
+	got := res.HierarchyText()
+	if got != LockHierarchyTable {
+		t.Errorf("inferred lock hierarchy differs from lockhierarchy.txt:\n--- inferred ---\n%s--- checked in ---\n%s", got, LockHierarchyTable)
+	}
+
+	// The engine tiers must actually be observed against each other: an
+	// inference that only reproduces the canonical tie-break order (no
+	// edges seen at all) would make the byte-match vacuous.
+	edges := make(map[string]bool)
+	for _, e := range res.Edges {
+		edges[e.From+">"+e.To] = true
+	}
+	for _, want := range []string{
+		"file>world", "world>stripe", "stripe>latch", "latch>flip", "flip>shard",
+	} {
+		if !edges[want] {
+			t.Errorf("acquisition graph is missing the %s edge: the engine's hierarchy is no longer observed end to end", want)
+		}
+	}
+}
+
+// TestHierarchyTableMatchesDesignDoc keeps the DESIGN.md mirror honest:
+// the ```lockhierarchy fenced block there must byte-match the
+// machine-readable table (which in turn byte-matches the inferred graph,
+// by the test above).
+func TestHierarchyTableMatchesDesignDoc(t *testing.T) {
+	root, err := FindModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(filepath.Join(root, "DESIGN.md"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := regexp.MustCompile("(?s)```lockhierarchy\n(.*?)```").FindSubmatch(data)
+	if m == nil {
+		t.Fatal("DESIGN.md has no ```lockhierarchy fenced block")
+	}
+	if string(m[1]) != LockHierarchyTable {
+		t.Errorf("DESIGN.md lockhierarchy block differs from internal/analysis/lockhierarchy.txt:\n--- DESIGN.md ---\n%s--- lockhierarchy.txt ---\n%s", m[1], LockHierarchyTable)
+	}
+}
+
+// TestLockGraphRenderings sanity-checks the -graph output formats over
+// the real module: DOT must be a digraph containing every tier node, and
+// the markdown must carry the edge table.
+func TestLockGraphRenderings(t *testing.T) {
+	res := BuildLockGraph(loadSelf(t))
+	dot := res.DOT()
+	if !strings.HasPrefix(dot, "digraph lockgraph {") {
+		t.Errorf("DOT output does not start a digraph:\n%.120s", dot)
+	}
+	for _, c := range hierarchyOrder {
+		if !strings.Contains(dot, "\""+c.String()+"\"") {
+			t.Errorf("DOT output is missing tier node %q", c.String())
+		}
+	}
+	md := res.Markdown()
+	if !strings.Contains(md, "| held (A) | acquired (B) |") {
+		t.Errorf("markdown output is missing the edge table header:\n%.200s", md)
+	}
+	if !res.HierarchyMatches() {
+		t.Error("HierarchyMatches() = false over the real module")
+	}
+}

@@ -1,0 +1,103 @@
+package analysis
+
+import (
+	"go/types"
+)
+
+// PublishSafety machine-checks the PR 7 flip-publication protocol. The
+// concurrent engine mutates its authoritative structures — the trie
+// mirror, the arena cells, the published buckets in the store — only
+// inside a publication window: the trie flip lock (trieMu) held
+// exclusively, or the world lock held exclusively (scrub/recovery, every
+// other goroutine quiesced). The one sanctioned exception is the prepare
+// phase of a split: the twin bucket is Alloc-fresh and unreachable from
+// the published trie, so it may be written under just the stripe+latch.
+//
+// The analyzer scopes itself to engine types (named structs carrying a
+// trieMu field) and their method bodies, closures included, and checks
+// three things interprocedurally, using the lockflow engine's held-set
+// summaries:
+//
+//  1. a call into a trie/arena/mirror mutator (a method of a Trie, Arena
+//     or Mirror type that writes shared state, directly or transitively)
+//     must be covered — flip-exclusive or world-exclusive held at the
+//     call site, or on every path into the calling function (the
+//     must-held entry set, which is how helpers that rely on their
+//     caller's trieMu are proven safe);
+//  2. a store Write/Free of a published bucket needs its bucket latch,
+//     the flip lock, or the world lock — unless the address provably
+//     flows from a st.Alloc() in the same body (the unreachable twin);
+//  3. the same store-write rule applies transitively to callees that
+//     perform unlatched store writes.
+var PublishSafety = &Analyzer{
+	Name:      "publishsafety",
+	Doc:       "flip-protocol publication safety: authoritative-structure writes stay inside the trieMu window",
+	RunModule: runPublishSafety,
+}
+
+// engineScoped reports whether n is a method (or a closure lexically
+// inside a method) of a named struct type carrying a trieMu field — the
+// concurrent engine surface the publication protocol governs.
+func engineScoped(n *funcNode) bool {
+	for p := n; p != nil; p = p.parent {
+		recv := p.receiverNamed()
+		if recv == nil {
+			continue
+		}
+		st, ok := recv.Underlying().(*types.Struct)
+		if !ok {
+			return false
+		}
+		for i := 0; i < st.NumFields(); i++ {
+			if st.Field(i).Name() == "trieMu" {
+				return true
+			}
+		}
+		return false
+	}
+	return false
+}
+
+func runPublishSafety(mp *ModulePass) {
+	if len(mp.Pkgs) == 0 {
+		return
+	}
+	eng := engineFor(mp.Pkgs)
+	for _, n := range eng.graph.nodes {
+		if n.sum == nil || isPrimitiveNode(n) || !engineScoped(n) {
+			continue
+		}
+		mustFlip := n.sum.entryMust&(mFlipExcl|mWorldExcl) != 0
+		mustWrite := n.sum.entryMust&(mLatch|mFlipExcl|mWorldExcl) != 0
+
+		for _, ev := range n.sum.calls {
+			if ev.litDef {
+				continue // the closure's own events are checked on its node
+			}
+			if !coversTrieMut(ev.held) && !mustFlip {
+				for _, t := range ev.targets {
+					if t.sum != nil && t.sum.trieMutExposed {
+						mp.Reportf(ev.pos, "authoritative trie/arena mutation: %s (write in %s) reached without holding the flip lock exclusively: publication writes must run under trieMu (or world-exclusive)", nodeLabel(t), t.sum.mutWitness)
+					}
+				}
+			}
+			if !coversStoreWrite(ev.held) && !mustWrite {
+				for _, t := range ev.targets {
+					if t.sum != nil && t.sum.storeWriteExposed {
+						mp.Reportf(ev.pos, "unlatched store write: %s writes published buckets but is reached without bucket latch or flip lock", nodeLabel(t))
+					}
+				}
+			}
+		}
+
+		for _, io := range n.sum.ios {
+			if io.method != "Write" && io.method != "Free" {
+				continue
+			}
+			if io.fresh || coversStoreWrite(io.held) || mustWrite {
+				continue
+			}
+			mp.Reportf(io.pos, "store write %s.%s to a published bucket without bucket latch or flip lock: only Alloc-fresh twin buckets are written unlatched during split preparation", io.recv, io.method)
+		}
+	}
+}

@@ -18,6 +18,14 @@ func TestThvetClean(t *testing.T) {
 	if len(pkgs) == 0 {
 		t.Fatal("LoadModule returned no packages")
 	}
+	// The interprocedural analyzers must be part of the suite this test
+	// runs: dropping them from All() would silently stop the self-lint
+	// from covering the lock graph and the publication protocol.
+	for _, name := range []string{"lockgraph", "publishsafety"} {
+		if ByName(name) == nil {
+			t.Fatalf("analyzer %q missing from All(): the self-lint no longer covers it", name)
+		}
+	}
 	diags := Run(All(), pkgs)
 	for _, d := range diags {
 		t.Errorf("%s", d)

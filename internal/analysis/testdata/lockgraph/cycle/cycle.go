@@ -1,0 +1,38 @@
+// Package cycle seeds an AB/BA ordering cycle between two aux leaf
+// locks. Aux locks have no rank in the hierarchy, so cycle detection over
+// the acquisition graph is their only ordering check.
+package cycle
+
+import "sync"
+
+var (
+	muA sync.Mutex
+	muB sync.Mutex
+)
+
+func lockAB() {
+	muA.Lock()
+	muB.Lock() // want `potential deadlock: lock-order cycle muA -> muB \(cycle\.go:\d+\), muB -> muA \(cycle\.go:\d+\)`
+	muB.Unlock()
+	muA.Unlock()
+}
+
+func lockBA() {
+	muB.Lock()
+	muA.Lock()
+	muA.Unlock()
+	muB.Unlock()
+}
+
+// single is the negative case: consistent ordering through a helper
+// creates no cycle.
+func single() {
+	muA.Lock()
+	withB()
+	muA.Unlock()
+}
+
+func withB() {
+	muB.Lock()
+	muB.Unlock()
+}

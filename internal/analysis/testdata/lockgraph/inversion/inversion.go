@@ -1,0 +1,46 @@
+// Package inversion seeds an interprocedural latch→stripe inversion: no
+// single function contains both acquisitions, so only the whole-program
+// held-set propagation can see it — and the diagnostic must carry the
+// witness call path, file:line by file:line.
+package inversion
+
+import "sync"
+
+// Stripes mimics the engine's subtree stripe table; its methods are the
+// stripe primitives (bodies modeled at the call level, not scanned).
+type Stripes struct{ mu [4]sync.Mutex }
+
+func (s *Stripes) Lock(k int)   { s.mu[k].Lock() }
+func (s *Stripes) Unlock(k int) { s.mu[k].Unlock() }
+
+type engine struct {
+	stripes Stripes
+	latches map[int]*sync.RWMutex
+}
+
+// putLatched takes the bucket latch, then — two calls deep — a subtree
+// stripe, inverting stripe > latch.
+func (e *engine) putLatched(addr int) {
+	mu := e.latches[addr]
+	mu.Lock()
+	defer mu.Unlock()
+	e.grow(addr)
+}
+
+// grow is the intermediate hop of the witness path.
+func (e *engine) grow(addr int) {
+	e.lockSubtrees(addr)
+}
+
+// lockSubtrees is a sanctioned single-stripe site by name, so the only
+// finding below is the inherited-latch inversion, not direct-lock use.
+func (e *engine) lockSubtrees(addr int) {
+	e.stripes.Lock(addr % 4) // want `subtree stripe e\.stripes acquired while bucket latch mu is held: the hierarchy is stripe > latch.*acquired at inversion\.go:\d+ in inversion\.\(\*engine\)\.putLatched; call path: inversion\.\(\*engine\)\.putLatched at inversion\.go:\d+ -> inversion\.\(\*engine\)\.grow at inversion\.go:\d+ -> inversion\.\(\*engine\)\.lockSubtrees`
+	e.stripes.Unlock(addr % 4)
+}
+
+// disjoint is the negative case: the same stripe site reached with no
+// latch held stays silent.
+func (e *engine) disjoint(addr int) {
+	e.lockSubtrees(addr)
+}

@@ -1,0 +1,142 @@
+// Package engine exercises the flip-publication safety analyzer against
+// a miniature of the concurrent engine: a trie mirror, an arena, a store
+// with Alloc/Write, bucket latches and a trieMu flip lock.
+package engine
+
+import "sync"
+
+// Trie is an authoritative-structure type: methods writing its state are
+// the mutations the publication protocol guards.
+type Trie struct{ root []uint64 }
+
+func (t *Trie) SetBoundary(i int, v uint64) { t.root[i] = v }
+func (t *Trie) Search(i int) uint64         { return t.root[i] }
+
+// Arena is the second authoritative family member.
+type Arena struct{ cells []uint64 }
+
+func (a *Arena) SetCell(i int, v uint64) { a.cells[i] = v }
+
+type Store struct{ cells map[uint64][]byte }
+
+func (s *Store) Alloc() uint64               { return 1 }
+func (s *Store) Write(addr uint64, b []byte) {}
+func (s *Store) Read(addr uint64) []byte     { return nil }
+
+type engineFile struct {
+	trieMu  sync.RWMutex
+	world   sync.RWMutex
+	trie    *Trie
+	arena   *Arena
+	st      *Store
+	latches map[uint64]*sync.RWMutex
+}
+
+// publishOK: the canonical publication — flip lock held exclusively.
+func (e *engineFile) publishOK(i int, v uint64) {
+	e.trieMu.Lock()
+	e.trie.SetBoundary(i, v)
+	e.trieMu.Unlock()
+}
+
+// publishBad mutates the authoritative trie with no flip lock at all.
+func (e *engineFile) publishBad(i int, v uint64) {
+	e.trie.SetBoundary(i, v) // want `authoritative trie/arena mutation: engine\.\(\*Trie\)\.SetBoundary \(write in engine\.\(\*Trie\)\.SetBoundary at engine\.go:\d+\) reached without holding the flip lock exclusively`
+}
+
+// publishShared: a shared flip lock licenses reads, not publication.
+func (e *engineFile) publishShared(i int, v uint64) {
+	e.trieMu.RLock()
+	e.trie.SetBoundary(i, v) // want `authoritative trie/arena mutation: engine\.\(\*Trie\)\.SetBoundary .* without holding the flip lock exclusively`
+	e.trieMu.RUnlock()
+}
+
+// worldOK: world-exclusive sections (scrub, recovery) have quiesced
+// every other goroutine; mutation is safe without the flip lock.
+func (e *engineFile) worldOK(i int, v uint64) {
+	e.world.Lock()
+	e.arena.SetCell(i, v)
+	e.world.Unlock()
+}
+
+// flipHelper relies on its callers' flip lock: every path into it holds
+// trieMu exclusively, which the must-held entry set proves.
+func (e *engineFile) flipHelper(i int, v uint64) {
+	e.trie.SetBoundary(i, v)
+	e.arena.SetCell(i, v)
+}
+
+func (e *engineFile) publishViaHelper(i int, v uint64) {
+	e.trieMu.Lock()
+	e.flipHelper(i, v)
+	e.trieMu.Unlock()
+}
+
+// exposedHelper has a second, uncovered caller, so its callers cannot be
+// proven safe by entry must-analysis; the uncovered call site is the
+// finding.
+func (e *engineFile) exposedHelper(i int, v uint64) {
+	e.trie.SetBoundary(i, v) // want `authoritative trie/arena mutation: engine\.\(\*Trie\)\.SetBoundary .* without holding the flip lock exclusively`
+}
+
+func (e *engineFile) callsExposedCovered(i int, v uint64) {
+	e.trieMu.Lock()
+	e.exposedHelper(i, v)
+	e.trieMu.Unlock()
+}
+
+func (e *engineFile) callsExposedUncovered(i int, v uint64) {
+	e.exposedHelper(i, v) // want `authoritative trie/arena mutation: engine\.\(\*engineFile\)\.exposedHelper \(write in engine\.\(\*Trie\)\.SetBoundary at engine\.go:\d+\) reached without holding the flip lock exclusively`
+}
+
+// readOK: reads of the authoritative trie are not publication.
+func (e *engineFile) readOK(i int) uint64 {
+	e.trieMu.RLock()
+	defer e.trieMu.RUnlock()
+	return e.trie.Search(i)
+}
+
+// prepareOK: the split prepare phase writes the Alloc-fresh twin —
+// unreachable from the published trie — without a latch.
+func (e *engineFile) prepareOK(b []byte) uint64 {
+	twin := e.st.Alloc()
+	e.st.Write(twin, b)
+	return twin
+}
+
+// writeBad writes a published bucket with no latch, flip, or freshness
+// proof.
+func (e *engineFile) writeBad(addr uint64, b []byte) {
+	e.st.Write(addr, b) // want `store write e\.st\.Write to a published bucket without bucket latch or flip lock`
+}
+
+// writeLatched: a published bucket is written under its latch.
+func (e *engineFile) writeLatched(addr uint64, b []byte) {
+	mu := e.latches[addr]
+	mu.Lock()
+	e.st.Write(addr, b)
+	mu.Unlock()
+}
+
+// writeFlip: the publication write of the old bucket under the flip.
+func (e *engineFile) writeFlip(addr uint64, b []byte) {
+	e.trieMu.Lock()
+	e.st.Write(addr, b)
+	e.trieMu.Unlock()
+}
+
+// writeHelper performs an unlatched store write; callers must cover it.
+func (e *engineFile) writeHelper(addr uint64, b []byte) {
+	e.st.Write(addr, b) // want `store write e\.st\.Write to a published bucket without bucket latch or flip lock`
+}
+
+func (e *engineFile) callsWriteHelper(addr uint64, b []byte) {
+	e.writeHelper(addr, b) // want `unlatched store write: engine\.\(\*engineFile\)\.writeHelper writes published buckets but is reached without bucket latch or flip lock`
+}
+
+func (e *engineFile) callsWriteHelperLatched(addr uint64, b []byte) {
+	mu := e.latches[addr]
+	mu.Lock()
+	e.writeHelper(addr, b)
+	mu.Unlock()
+}

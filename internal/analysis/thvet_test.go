@@ -1,6 +1,7 @@
 package analysis
 
 import (
+	"encoding/json"
 	"os"
 	"os/exec"
 	"path/filepath"
@@ -49,9 +50,9 @@ func Stamp() int64 {
 }
 `)
 
-	run := func() (string, int) {
+	run := func(extra ...string) (string, int) {
 		t.Helper()
-		cmd := exec.Command(bin, "-dir", mod)
+		cmd := exec.Command(bin, append([]string{"-dir", mod}, extra...)...)
 		out, err := cmd.CombinedOutput()
 		if err == nil {
 			return string(out), 0
@@ -71,6 +72,30 @@ func Stamp() int64 {
 		t.Fatalf("thvet diagnostic missing file:line or analyzer name:\n%s", out)
 	}
 
+	// -json: the same finding as machine-readable records.
+	jout, jcode := run("-json")
+	if jcode != 1 {
+		t.Fatalf("thvet -json on violating module: exit %d, want 1\n%s", jcode, jout)
+	}
+	// CombinedOutput interleaves the stderr summary line; the JSON array
+	// is the stdout prefix.
+	jsonBody := jout[:strings.LastIndex(jout, "]")+1]
+	var recs []struct {
+		File     string `json:"file"`
+		Line     int    `json:"line"`
+		Col      int    `json:"col"`
+		Analyzer string `json:"analyzer"`
+		Message  string `json:"message"`
+	}
+	if err := json.Unmarshal([]byte(jsonBody), &recs); err != nil {
+		t.Fatalf("thvet -json output is not a JSON array: %v\n%s", err, jout)
+	}
+	if len(recs) != 1 || recs[0].Analyzer != "determinism" || recs[0].Line != 7 ||
+		!strings.HasSuffix(recs[0].File, "core.go") || recs[0].Col == 0 ||
+		!strings.Contains(recs[0].Message, "time.Now") {
+		t.Fatalf("thvet -json records = %+v, want one determinism finding at core.go:7", recs)
+	}
+
 	write("core/core.go", `package core
 
 // Stamp now takes the clock reading from the caller.
@@ -81,5 +106,46 @@ func Stamp(now int64) int64 {
 	out, code = run()
 	if code != 0 {
 		t.Fatalf("thvet on fixed module: exit %d, want 0\n%s", code, out)
+	}
+	out, code = run("-json")
+	if code != 0 || !strings.Contains(out, "[]") {
+		t.Fatalf("thvet -json on fixed module: exit %d, output %q, want 0 with an empty array", code, out)
+	}
+}
+
+// TestThvetGraph drives `thvet -graph` against this repository: the
+// hierarchy format must byte-match the checked-in table (exit 0), and the
+// DOT format must be a digraph.
+func TestThvetGraph(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds a binary")
+	}
+	root, err := FindModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	bin := filepath.Join(t.TempDir(), "thvet")
+	build := exec.Command("go", "build", "-o", bin, "./cmd/thvet")
+	build.Dir = root
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("building thvet: %v\n%s", err, out)
+	}
+
+	cmd := exec.Command(bin, "-dir", root, "-graph", "hierarchy")
+	out, err := cmd.Output()
+	if err != nil {
+		t.Fatalf("thvet -graph hierarchy: %v\n%s", err, out)
+	}
+	if string(out) != LockHierarchyTable {
+		t.Errorf("thvet -graph hierarchy output differs from lockhierarchy.txt:\n%s", out)
+	}
+
+	cmd = exec.Command(bin, "-dir", root, "-graph", "dot")
+	out, err = cmd.Output()
+	if err != nil {
+		t.Fatalf("thvet -graph dot: %v\n%s", err, out)
+	}
+	if !strings.HasPrefix(string(out), "digraph lockgraph {") {
+		t.Errorf("thvet -graph dot output is not a digraph:\n%.120s", out)
 	}
 }
