@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build lint lint-graph test race short bench bench-baseline bench-compare bench-put-compare repro cover fuzz obs-bench crash clean
+.PHONY: all build lint lint-graph test race short bench bench-baseline bench-compare bench-put-compare bench-wal repro cover fuzz obs-bench crash clean
 
 all: build lint test race
 
@@ -79,12 +79,21 @@ obs-bench:
 bench-put-compare:
 	WRITE_BENCH=1 $(GO) test -run TestWriteScaling -v -timeout 600s .
 
+# Durable write-path gate: Put with and without the write-ahead log in
+# the simulated-device regime. Writes BENCH_durable.json and fails when
+# durable Put exceeds 2x non-durable at 8 writers (group commit must
+# amortize the fsync).
+bench-wal:
+	WAL_BENCH=1 $(GO) test -run TestWALDurableBench -v -timeout 900s .
+
 # The exhaustive crash-point harness: power-cut the canonical workload at
 # every journal position (clean, torn, bit-flipped, zeroed) and verify the
-# durability contract after reopening. Deterministic — no clocks, no
-# entropy — so a failure is a bug, not flake.
+# durability contract after reopening — the unlogged workload and the
+# WAL-driven one (log appends, checkpoints, truncations all under the
+# cut generator). Deterministic — no clocks, no entropy — so a failure
+# is a bug, not flake.
 crash:
-	$(GO) test -run 'TestCrashPoints$$' -v ./internal/core/
+	$(GO) test -run 'TestCrashPoints$$|TestWALCrashPoints$$' -v ./internal/core/
 
 cover:
 	$(GO) test -cover ./...

@@ -93,8 +93,16 @@ type batchPutter interface {
 // appears twice the later value is the one stored). errs aligns with keys;
 // the batch is timed as one OpPutBatch sample when an observer is
 // attached. On a concurrent file the batch partitions by bucket and the
-// bucket work — split I/O included — fans out across CPUs.
+// bucket work — split I/O included — fans out across CPUs. With
+// Options.WAL the whole batch rides one group-commit rendezvous: its
+// accepted records are durable in the log when the call returns.
 func (f *File) PutBatch(keys []string, values [][]byte) (errs []error) {
+	errs = f.putBatchOp(keys, values)
+	f.maybeCheckpoint()
+	return errs
+}
+
+func (f *File) putBatchOp(keys []string, values [][]byte) (errs []error) {
 	if len(keys) != len(values) {
 		panic(fmt.Sprintf("triehash: PutBatch with %d keys but %d values", len(keys), len(values)))
 	}
@@ -114,6 +122,7 @@ func (f *File) PutBatch(keys []string, values [][]byte) (errs []error) {
 			f.putBatchEngine(func(ks []string, vs [][]byte) []error {
 				return bp.PutBatchSpan(ks, vs, sp)
 			}, keys, values, errs)
+			f.walAppendBatch(keys, values, errs, sp)
 			return errs
 		}
 		for i, k := range keys {
@@ -124,6 +133,7 @@ func (f *File) PutBatch(keys []string, values [][]byte) (errs []error) {
 			}
 			_, errs[i] = f.eng.PutSpan(k, values[i], sp)
 		}
+		f.walAppendBatch(keys, values, errs, sp)
 		return errs
 	}
 	defer f.opLock()()
@@ -150,6 +160,7 @@ func (f *File) PutBatch(keys []string, values [][]byte) (errs []error) {
 			_, errs[i] = f.eng.Put(k, values[i])
 		}
 	}
+	f.walAppendBatch(keys, values, errs, nil)
 	if o != nil {
 		o.RecordOp(obs.OpPutBatch, time.Since(start))
 	}

@@ -3,6 +3,13 @@
 // placement, ordering, capacity, counters) and prints the statistics.
 // Exit status 0 means the file is sound.
 //
+// When the directory holds a write-ahead log (wal.th), thcheck scans it
+// first and reports its length, record counts, the last checkpoint LSN,
+// and a torn tail if the crash left one. Opening the file then replays
+// the pending records and folds the log — that is the open contract, the
+// same replay every reader gets — so a dirty log is repaired by the
+// check itself; thcheck's job is to say out loud what the replay did.
+//
 // With -recover it first rebuilds lost metadata from the logical-path
 // bounds stored in every bucket's header (the /TOR83/ reconstruction).
 // Opening already falls back to the same reconstruction automatically
@@ -21,12 +28,48 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 
 	"triehash"
+	"triehash/internal/wal"
 )
+
+// reportWAL scans dir's log, if any, and prints its pre-replay state:
+// what open is about to fold. Returns true when a log file exists.
+func reportWAL(dir string) bool {
+	data, err := os.ReadFile(filepath.Join(dir, "wal.th"))
+	if err != nil {
+		if !errors.Is(err, os.ErrNotExist) {
+			fmt.Fprintf(os.Stderr, "thcheck: wal: %v\n", err)
+		}
+		return false
+	}
+	recs, tail := wal.Scan(data)
+	var lastCkpt uint64
+	pending := 0
+	for _, r := range recs {
+		if r.Op == wal.OpCheckpoint {
+			lastCkpt = r.CheckpointLSN
+			pending = 0
+			continue
+		}
+		pending++
+	}
+	fmt.Printf("wal:         %d bytes, %d records (%d pending past checkpoint LSN %d)\n",
+		len(data), len(recs), pending, lastCkpt)
+	if tail.Damaged {
+		fmt.Printf("wal tail:    damaged at byte %d: %s (%d bytes beyond; open truncates them)\n",
+			tail.ValidSize, tail.Reason, tail.Remaining)
+	}
+	if pending > 0 || tail.Damaged {
+		fmt.Printf("wal replay:  open will replay the pending records and fold the log\n")
+	}
+	return true
+}
 
 func main() {
 	rec := flag.Bool("recover", false, "rebuild lost metadata from the bucket headers (TOR83)")
@@ -38,6 +81,7 @@ func main() {
 		os.Exit(2)
 	}
 	dir := flag.Arg(0)
+	hasWAL := reportWAL(dir)
 	var f *triehash.File
 	var err error
 	if *rec {
@@ -82,6 +126,11 @@ func main() {
 		fmt.Printf("nil leaves:  %d\n", st.NilLeaves)
 	}
 	fmt.Printf("splits:      %d (%d by redistribution)\n", st.Splits, st.Redistributions)
+	if hasWAL {
+		if ws, ok := f.WALStats(); ok {
+			fmt.Printf("wal now:     folded to %d bytes, durable LSN %d\n", ws.Size, ws.DurableLSN)
+		}
+	}
 
 	if err := f.CheckInvariants(); err != nil {
 		fmt.Fprintf(os.Stderr, "thcheck: INTEGRITY VIOLATION: %v\n", err)

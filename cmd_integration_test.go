@@ -95,6 +95,36 @@ func TestCommandLineTools(t *testing.T) {
 	// Metadata rebuilt: a plain check works again.
 	run(true, "", "thcheck", db2)
 
+	// A WAL-enabled database crashed mid-flight: thcheck reports the
+	// pending log and the torn tail, and its open replays and folds them.
+	db3 := filepath.Join(t.TempDir(), "db3")
+	wf, err := CreateAt(db3, Options{BucketCapacity: 10, WAL: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	driveWALStream(t, wf, 120)
+	crashed := copyWALDir(t, db3) // power cut: the live handle never closes
+	walFile := filepath.Join(crashed, "wal.th")
+	info, err := os.Stat(walFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(walFile, info.Size()-3); err != nil {
+		t.Fatal(err)
+	}
+	out = run(true, "", "thcheck", crashed)
+	for _, needle := range []string{"pending past checkpoint", "wal tail:    damaged", "wal replay:", "wal now:     folded", "integrity:   ok"} {
+		if !strings.Contains(out, needle) {
+			t.Fatalf("thcheck on a crashed WAL file missing %q:\n%s", needle, out)
+		}
+	}
+	// The replay folded the log: a second check finds nothing pending.
+	out = run(true, "", "thcheck", crashed)
+	if !strings.Contains(out, "(0 pending past checkpoint") || strings.Contains(out, "wal tail:") {
+		t.Fatalf("thcheck after fold still reports pending work:\n%s", out)
+	}
+	wf.Close()
+
 	// thdump reproduces the Fig 1 structure from stdin.
 	words := "the\nof\nand\nto\na\nin\nthat\nis\ni\nit\nfor\nas\nwith\nwas\nhis\nhe\nbe\nnot\nby\nbut\nhave\nyou\nwhich\nare\non\nor\nher\nhad\nat\nfrom\nthis\n"
 	out = run(true, words, "thdump", "-b", "4", "-m", "3")

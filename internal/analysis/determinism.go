@@ -41,6 +41,11 @@ var determinismExempt = map[string]bool{
 	// The store tier's Instrumented wrapper timestamps I/O for the obs
 	// hooks; the storage behavior itself remains input-deterministic.
 	"store": true,
+	// The write-ahead log's group committer timestamps its own fsyncs for
+	// the obs latency stage (the same pattern as store's Instrumented);
+	// the log's contents and replay are pure functions of the operation
+	// stream.
+	"wal": true,
 	// The public API package (root "triehash") stamps span start times at
 	// the RecordOp boundary — timestamps are taken in the caller, which
 	// is exactly where the rule pushes them.

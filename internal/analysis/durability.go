@@ -6,17 +6,21 @@ import (
 )
 
 // Durability flags non-durable writes to the repository's persistent
-// files. The crash-consistency contract rests on two idioms: bytes
+// files. The crash-consistency contract rests on three idioms: bytes
 // destined for a *.th file go through store.WriteFileDurable (os.WriteFile
-// leaves them in the page cache, where a power cut eats them), and a
+// leaves them in the page cache, where a power cut eats them), a
 // rename installing a *.th file is followed by store.SyncDir on the
 // parent directory (the rename itself is metadata the directory must
-// flush). A bare os.WriteFile or an unaccompanied os.Rename on a *.th
-// path is exactly the torn-metadata bug the crash harness exists to
-// catch, so it fails the lint gate instead of waiting for a power cut.
+// flush), and a write-ahead-log truncation (TruncateTo) is followed by a
+// Sync in the same function — an unsynced truncation can resurrect
+// discarded log records after a crash, replaying operations a checkpoint
+// already folded. A bare os.WriteFile, an unaccompanied os.Rename on a
+// *.th path, or an unsynced log truncation is exactly the torn-state bug
+// the crash harness exists to catch, so it fails the lint gate instead of
+// waiting for a power cut.
 var Durability = &Analyzer{
 	Name: "durability",
-	Doc:  "flag os.WriteFile/os.Rename on *.th paths that skip the fsync discipline",
+	Doc:  "flag os.WriteFile/os.Rename on *.th paths and unsynced wal truncations that skip the fsync discipline",
 	Run:  runDurability,
 }
 
@@ -28,7 +32,9 @@ func runDurability(pass *Pass) {
 				continue
 			}
 			syncsDir := false
+			syncs := false
 			var renames []*ast.CallExpr
+			var truncates []*ast.CallExpr
 			ast.Inspect(fn.Body, func(n ast.Node) bool {
 				call, ok := n.(*ast.CallExpr)
 				if !ok {
@@ -47,6 +53,14 @@ func runDurability(pass *Pass) {
 				case "store.SyncDir", "SyncDir", "store.WriteFileDurable", "WriteFileDurable":
 					syncsDir = true
 				}
+				if _, recv, name, ok := methodCall(pass.Info, call); ok && isWALType(pass.Info.TypeOf(recv)) {
+					switch name {
+					case "TruncateTo":
+						truncates = append(truncates, call)
+					case "Sync":
+						syncs = true
+					}
+				}
 				return true
 			})
 			if !syncsDir {
@@ -55,8 +69,31 @@ func runDurability(pass *Pass) {
 						"os.Rename installing a *.th file without store.SyncDir on the parent directory: the rename is not durable until the directory is fsynced")
 				}
 			}
+			// A truncation inside a Device implementation is the primitive
+			// itself, not a use of it; only call sites outside the device
+			// (Log code, recovery paths) owe the pairing.
+			if !syncs && !isDeviceMethod(pass, fn) {
+				for _, call := range truncates {
+					pass.Reportf(call.Pos(),
+						"wal TruncateTo without a Sync in the same function: the truncation is buffered, and a crash can resurrect log records a checkpoint already folded")
+				}
+			}
 		}
 	}
+}
+
+// isDeviceMethod reports whether fn is a method on a wal Device
+// implementation (receiver type in the wal surface but not Log).
+func isDeviceMethod(pass *Pass, fn *ast.FuncDecl) bool {
+	if fn.Recv == nil || len(fn.Recv.List) == 0 {
+		return false
+	}
+	t := pass.Info.TypeOf(fn.Recv.List[0].Type)
+	if t == nil || !isWALType(t) {
+		return false
+	}
+	n := namedOf(t)
+	return n != nil && n.Obj() != nil && n.Obj().Name() != "Log"
 }
 
 // calleeName renders the callee as pkg.Func / recv.Method / Func for the

@@ -5,16 +5,20 @@ import (
 )
 
 // ErrDiscipline flags silently dropped errors from the bucket-store
-// surface and from encoding/binary. A store.Store error is never benign:
-// a failed Read is a missed bucket, a failed Write or Sync is lost
-// durability, a failed Close can hide a failed flush (FileStore syncs on
-// close), and the FaultStore injects exactly these errors to prove the
-// layers above propagate them. Call sites that genuinely cannot act on the
-// error — cleanup on an already-failing path — must say so with an
-// explicit `_ =` discard, which this analyzer (like errcheck) accepts.
+// surface, the write-ahead log surface, and encoding/binary. A
+// store.Store error is never benign: a failed Read is a missed bucket, a
+// failed Write or Sync is lost durability, a failed Close can hide a
+// failed flush (FileStore syncs on close), and the FaultStore injects
+// exactly these errors to prove the layers above propagate them. The WAL
+// surface is held to the same bar — a dropped Append or Commit error is
+// an operation the caller believes durable and the log never promised,
+// and a dropped Checkpoint error can truncate records that were never
+// folded. Call sites that genuinely cannot act on the error — cleanup on
+// an already-failing path — must say so with an explicit `_ =` discard,
+// which this analyzer (like errcheck) accepts.
 var ErrDiscipline = &Analyzer{
 	Name: "errdiscipline",
-	Doc:  "flag silently dropped errors from store.Store I/O and encoding/binary",
+	Doc:  "flag silently dropped errors from store.Store I/O, the wal surface and encoding/binary",
 	Run:  runErrDiscipline,
 }
 
@@ -28,6 +32,18 @@ var storeErrMethods = map[string]bool{
 	"Close":    true,
 	"Alloc":    true,
 	"Free":     true,
+}
+
+// walErrMethods are the write-ahead-log-surface methods (Log and Device)
+// whose errors must not be dropped.
+var walErrMethods = map[string]bool{
+	"Append":     true,
+	"Commit":     true,
+	"Checkpoint": true,
+	"Sync":       true,
+	"TruncateTo": true,
+	"Contents":   true,
+	"Close":      true,
 }
 
 func runErrDiscipline(pass *Pass) {
@@ -50,9 +66,15 @@ func runErrDiscipline(pass *Pass) {
 				return true
 			}
 			if _, recv, name, ok := methodCall(pass.Info, call); ok {
-				if storeErrMethods[name] && isStoreType(pass.Info.TypeOf(recv)) {
+				t := pass.Info.TypeOf(recv)
+				switch {
+				case storeErrMethods[name] && isStoreType(t):
 					pass.Reportf(call.Pos(),
 						"error from %s.%s %s: store I/O errors must be handled or explicitly dropped with `_ =`",
+						exprString(recv), name, how)
+				case walErrMethods[name] && isWALType(t):
+					pass.Reportf(call.Pos(),
+						"error from %s.%s %s: write-ahead log errors must be handled or explicitly dropped with `_ =` — a dropped commit is a silently non-durable operation",
 						exprString(recv), name, how)
 				}
 				return true

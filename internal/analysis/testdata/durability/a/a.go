@@ -41,3 +41,37 @@ func otherFiles(dir string, b []byte) error {
 	}
 	return os.Rename(filepath.Join(dir, "a.txt"), filepath.Join(dir, "b.txt"))
 }
+
+// Device replicates the write-ahead log's device surface (matched by
+// type name, like the store primitives above are matched by function
+// name).
+type Device interface {
+	Append(p []byte) error
+	Sync() error
+	TruncateTo(n int64) error
+}
+
+func unsyncedTruncate(d Device) error {
+	return d.TruncateTo(0) // want `wal TruncateTo without a Sync in the same function`
+}
+
+// checkpointIdiom is the sanctioned pairing: truncate, rewrite the
+// marker, sync — the truncation becomes durable with the sync.
+func checkpointIdiom(d Device, marker []byte) error {
+	if err := d.TruncateTo(0); err != nil {
+		return err
+	}
+	if err := d.Append(marker); err != nil {
+		return err
+	}
+	return d.Sync()
+}
+
+// MemDevice is a device implementation: its own TruncateTo is the
+// primitive being defined, not a use of it; not flagged.
+type MemDevice struct{ buf []byte }
+
+func (d *MemDevice) TruncateTo(n int64) error {
+	d.buf = d.buf[:n]
+	return nil
+}

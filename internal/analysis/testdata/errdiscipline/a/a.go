@@ -57,3 +57,48 @@ func (closer) Close() error { return nil }
 func other(c closer) {
 	c.Close()
 }
+
+// Log and Device replicate the write-ahead log surface: the matcher keys
+// on the type names, as it does for Store.
+type Log struct{}
+
+func (*Log) Append(op byte, key string, value []byte) (uint64, error) { return 0, nil }
+func (*Log) Commit(lsn uint64) error                                  { return nil }
+func (*Log) Checkpoint() error                                        { return nil }
+func (*Log) Close() error                                             { return nil }
+
+type Device interface {
+	Append(p []byte) error
+	Sync() error
+	TruncateTo(n int64) error
+	Close() error
+}
+
+func dropWAL(l *Log, d Device) {
+	l.Append(1, "k", nil) // want `error from l\.Append discarded.*non-durable`
+	l.Commit(7)           // want `error from l\.Commit discarded.*non-durable`
+	l.Checkpoint()        // want `error from l\.Checkpoint discarded.*non-durable`
+	d.Sync()              // want `error from d\.Sync discarded.*non-durable`
+	d.TruncateTo(0)       // want `error from d\.TruncateTo discarded.*non-durable`
+}
+
+func deferredWAL(l *Log) {
+	defer l.Close() // want `error from l\.Close discarded by defer.*non-durable`
+}
+
+// The explicit discard stays the sanctioned escape hatch: attachment
+// failure paths close the log with the original error taking precedence.
+func explicitWAL(l *Log) {
+	_ = l.Close()
+}
+
+func handledWAL(l *Log, d Device) error {
+	lsn, err := l.Append(1, "k", nil)
+	if err != nil {
+		return err
+	}
+	if err := l.Commit(lsn); err != nil {
+		return err
+	}
+	return d.Sync()
+}

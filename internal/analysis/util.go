@@ -40,6 +40,21 @@ func isStoreType(t types.Type) bool {
 	return n.Obj().Pkg() != nil && n.Obj().Pkg().Name() == "store"
 }
 
+// isWALType reports whether t is part of the write-ahead log surface:
+// wal.Log, a wal.Device (or an implementation), matched like isStoreType
+// by type name — Log/Device — or by the defining package's name, which
+// also covers the golden-test replicas.
+func isWALType(t types.Type) bool {
+	n := namedOf(t)
+	if n == nil || n.Obj() == nil {
+		return false
+	}
+	if name := n.Obj().Name(); name == "Log" || name == "Device" {
+		return true
+	}
+	return n.Obj().Pkg() != nil && n.Obj().Pkg().Name() == "wal"
+}
+
 // isSyncLocker reports whether t is sync.Mutex or sync.RWMutex.
 func isSyncLocker(t types.Type) bool {
 	n := namedOf(t)

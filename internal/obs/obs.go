@@ -186,7 +186,7 @@ func (o *Observer) Op(op Op) *Histogram {
 // highFrequency reports whether an event type is per-access traffic
 // rather than a structural transition.
 func highFrequency(t EventType) bool {
-	return t == EvCacheHit || t == EvCacheMiss || t == EvCacheEvict || t == EvPageRead
+	return t == EvCacheHit || t == EvCacheMiss || t == EvCacheEvict || t == EvPageRead || t == EvWALAppend
 }
 
 // Emit counts the event and, unless it is high-frequency traffic with

@@ -50,6 +50,18 @@ const (
 	// StageRedistribute is a split resolved by shifting keys into an
 	// existing neighbour bucket.
 	StageRedistribute
+	// StageWALAppend is framing and appending a record to the write-ahead
+	// log device (buffered; durability comes from the fsync stage).
+	StageWALAppend
+	// StageWALFsync is the committer goroutine's log fsync. It is recorded
+	// from the committer via Stage().Record, not span marks: the fsync is
+	// shared by every operation in the commit group, so charging it to one
+	// op's span would double count.
+	StageWALFsync
+	// StageCommitWait is an operation's wait for the group committer to
+	// report its record durable — the rendezvous where N in-flight writes
+	// share one fsync.
+	StageCommitWait
 	// StageOther is the residual the explicit marks did not claim.
 	StageOther
 
@@ -71,6 +83,9 @@ var stageNames = [numStages]string{
 	StageSplit:        "split",
 	StageMerge:        "merge",
 	StageRedistribute: "redistribute",
+	StageWALAppend:    "wal_append",
+	StageWALFsync:     "wal_fsync",
+	StageCommitWait:   "commit_wait",
 	StageOther:        "other",
 }
 
@@ -128,7 +143,7 @@ type Span struct {
 	o       *Observer
 	start   time.Time
 	last    int64            // ns elapsed since start at the previous mark
-	touched uint16           // bitmask of stages charged (numStages <= 16)
+	touched uint32           // bitmask of stages charged (numStages <= 32)
 	stages  [numStages]int64 // ns charged per stage
 	holds   [maxHoldDepth]holdFrame
 	nholds  int
@@ -358,14 +373,14 @@ func (o *Observer) FinishSpan(sp *Span) {
 	total := time.Duration(el)
 	o.ops[sp.op].Record(total)
 	for m := sp.touched; m != 0; m &= m - 1 {
-		i := bits.TrailingZeros16(m)
+		i := bits.TrailingZeros32(m)
 		o.stages[i].Record(time.Duration(sp.stages[i]))
 	}
 	if total >= o.slowThreshold(sp.op) {
 		o.flight.add(sp, total)
 	}
 	for m := sp.touched; m != 0; m &= m - 1 {
-		sp.stages[bits.TrailingZeros16(m)] = 0
+		sp.stages[bits.TrailingZeros32(m)] = 0
 	}
 	o.spanPool.Put(sp)
 }

@@ -45,6 +45,18 @@ const (
 	// EvQuarantine is an unreadable bucket moved to the quarantine file
 	// and its slot cleared (File.Scrub, thcheck -repair).
 	EvQuarantine
+	// EvWALAppend is a record appended to the write-ahead log
+	// (high-frequency: counted always, ring-recorded only with TraceIO).
+	EvWALAppend
+	// EvWALFsync is a group-commit fsync of the log; Addr carries the
+	// number of records the fsync made durable (the commit group size).
+	EvWALFsync
+	// EvCheckpoint is a checkpoint folding the log into bucket pages and
+	// truncating it; Addr carries the records folded.
+	EvCheckpoint
+	// EvWALReplay is a log replay on open; Addr carries the records
+	// replayed, Detail reports a torn tail when one was truncated.
+	EvWALReplay
 
 	numEventTypes
 )
@@ -64,6 +76,10 @@ var eventNames = [numEventTypes]string{
 	EvRecovery:       "recovery",
 	EvCorrupt:        "corrupt",
 	EvQuarantine:     "quarantine",
+	EvWALAppend:      "wal_append",
+	EvWALFsync:       "wal_fsync",
+	EvCheckpoint:     "checkpoint",
+	EvWALReplay:      "wal_replay",
 }
 
 func (t EventType) String() string {

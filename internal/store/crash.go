@@ -27,20 +27,39 @@ type CrashStore struct {
 	free  []int32
 	live  int
 
-	// journal records every slot post-image in mutation order; syncs are
-	// the journal lengths at each Sync barrier.
+	// journal records every slot post-image and log mutation in order;
+	// syncs are the journal lengths at each Sync barrier.
 	journal []crashMut
 	syncs   []int
+
+	// log is the current WAL image of the LogDevice facet.
+	log []byte
 
 	ctr  counterSet
 	hook *obs.Hook
 }
 
-// crashMut is one journaled mutation: the full frame slot addr held after
-// the write (Free and ClearSlot journal a freed frame).
+// mutKind distinguishes the two media a CrashStore journals: bucket
+// slots and the append-only WAL byte log. One journal orders them both,
+// so every WAL append and truncate is a power-cut position exactly like
+// a slot write.
+type mutKind uint8
+
+const (
+	mutSlot mutKind = iota
+	mutLogAppend
+	mutLogTruncate
+)
+
+// crashMut is one journaled mutation: for mutSlot, the full frame slot
+// addr held after the write (Free and ClearSlot journal a freed frame);
+// for mutLogAppend, the appended chunk in frame; for mutLogTruncate, the
+// post-truncation log length in size.
 type crashMut struct {
+	kind  mutKind
 	addr  int32
 	frame []byte
+	size  int64
 }
 
 // NewCrash returns an empty crash-simulation store.
@@ -240,20 +259,51 @@ func (c *CrashStore) cut(applied int, damage bool, kind CorruptKind, seed int64)
 		}
 		img.slots[addr] = frame
 	}
+	replay := func(m crashMut) {
+		switch m.kind {
+		case mutSlot:
+			install(m.addr, append([]byte(nil), m.frame...))
+		case mutLogAppend:
+			img.log = append(img.log, m.frame...)
+		case mutLogTruncate:
+			if m.size <= int64(len(img.log)) {
+				img.log = img.log[:m.size]
+			}
+		}
+	}
 	for _, m := range c.journal[:applied] {
-		install(m.addr, append([]byte(nil), m.frame...))
+		replay(m)
 	}
 	damagedAddr := int32(-1)
 	if damage && applied < len(c.journal) {
 		m := c.journal[applied]
-		frame := append([]byte(nil), m.frame...)
-		if err := damageFrame(frame, kind, corruptMix(seed, m.addr)); err == nil {
-			install(m.addr, frame)
-			damagedAddr = m.addr
-			c.hook.Observer().Emit(obs.Event{
-				Type: obs.EvCorrupt, Op: obs.OpWrite, Addr: m.addr,
-				Detail: fmt.Sprintf("power cut tore in-flight write (%s)", kind),
-			})
+		switch m.kind {
+		case mutSlot:
+			frame := append([]byte(nil), m.frame...)
+			if err := damageFrame(frame, kind, corruptMix(seed, m.addr)); err == nil {
+				install(m.addr, frame)
+				damagedAddr = m.addr
+				c.hook.Observer().Emit(obs.Event{
+					Type: obs.EvCorrupt, Op: obs.OpWrite, Addr: m.addr,
+					Detail: fmt.Sprintf("power cut tore in-flight write (%s)", kind),
+				})
+			}
+		case mutLogAppend:
+			// The in-flight log append reaches the medium damaged: its torn,
+			// flipped or zeroed bytes land after the intact prefix. The frame
+			// CRC makes every variant a detectable damaged tail — no slot is
+			// hurt, so no damagedAddr is reported.
+			chunk := append([]byte(nil), m.frame...)
+			if keep, err := damageBytes(chunk, kind, corruptMix(seed, int32(len(img.log)))); err == nil {
+				img.log = append(img.log, chunk[:keep]...)
+				c.hook.Observer().Emit(obs.Event{
+					Type: obs.EvCorrupt, Op: obs.OpWrite, Addr: -1,
+					Detail: fmt.Sprintf("power cut tore in-flight log append (%s)", kind),
+				})
+			}
+		case mutLogTruncate:
+			// A truncate either happened or did not; there is no torn state
+			// to inject, so the damaged variant equals the clean cut.
 		}
 	}
 	// Rebuild bookkeeping from the surviving flags, the same

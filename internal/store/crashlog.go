@@ -1,0 +1,96 @@
+package store
+
+import "fmt"
+
+// CrashLogDevice is CrashStore's WAL facet: an append-only byte log
+// journaled in the same mutation timeline as the slot writes, so the
+// power-cut generator enumerates every log append and truncate exactly
+// like every bucket write. It structurally implements wal.Device (the
+// interface lives in the wal package; store does not import it).
+type CrashLogDevice struct {
+	c *CrashStore
+}
+
+// LogDevice returns the store's WAL facet. All facets share one log.
+func (c *CrashStore) LogDevice() *CrashLogDevice { return &CrashLogDevice{c: c} }
+
+// Append journals and applies one log append.
+func (d *CrashLogDevice) Append(p []byte) error {
+	c := d.c
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	chunk := append([]byte(nil), p...)
+	c.log = append(c.log, chunk...)
+	c.journal = append(c.journal, crashMut{kind: mutLogAppend, addr: -1, frame: chunk})
+	return nil
+}
+
+// Sync records a durability barrier. The store has a single journal, so
+// the barrier covers slots and log alike — matching a real device, where
+// fsync orders against every prior write to the file it syncs.
+func (d *CrashLogDevice) Sync() error { return d.c.Sync() }
+
+// Contents returns the current log image.
+func (d *CrashLogDevice) Contents() ([]byte, error) {
+	c := d.c
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]byte(nil), c.log...), nil
+}
+
+// TruncateTo journals and applies a log truncation.
+func (d *CrashLogDevice) TruncateTo(n int64) error {
+	c := d.c
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if n < 0 || n > int64(len(c.log)) {
+		return fmt.Errorf("store: log truncate to %d outside log of %d bytes", n, len(c.log))
+	}
+	c.log = c.log[:n]
+	c.journal = append(c.journal, crashMut{kind: mutLogTruncate, addr: -1, size: n})
+	return nil
+}
+
+// Size returns the current log length.
+func (d *CrashLogDevice) Size() int64 {
+	c := d.c
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return int64(len(c.log))
+}
+
+// Close implements the device surface; the store owns the lifetime.
+func (d *CrashLogDevice) Close() error { return nil }
+
+// LogBytes returns the store's current WAL image — on a power-cut image,
+// the log as the crash left it, for the harness to replay.
+func (c *CrashStore) LogBytes() []byte {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]byte(nil), c.log...)
+}
+
+// damageBytes damages a raw byte chunk in place per kind — the log-append
+// analogue of damageFrame, for bytes with no slot-frame layout. It
+// returns how many leading bytes reached the medium: a tear keeps a
+// strict prefix (the suffix never landed), a flip or zero keeps the whole
+// damaged chunk.
+func damageBytes(buf []byte, kind CorruptKind, mix uint64) (int, error) {
+	if len(buf) == 0 {
+		return 0, fmt.Errorf("store: cannot damage an empty chunk")
+	}
+	switch kind {
+	case CorruptTear:
+		return int(mix % uint64(len(buf))), nil
+	case CorruptFlip:
+		buf[mix%uint64(len(buf))] ^= 1 << ((mix >> 32) % 8)
+		return len(buf), nil
+	case CorruptZero:
+		for i := range buf {
+			buf[i] = 0
+		}
+		return len(buf), nil
+	default:
+		return 0, fmt.Errorf("store: unknown corruption kind %v", kind)
+	}
+}

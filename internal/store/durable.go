@@ -3,6 +3,7 @@ package store
 import (
 	"errors"
 	"os"
+	"sync/atomic"
 	"syscall"
 )
 
@@ -28,10 +29,20 @@ func WriteFileDurable(path string, data []byte) error {
 	return f.Close()
 }
 
+// dirSyncs counts SyncDir calls process-wide. Directory fsyncs are the
+// expensive tail of a metadata install, and the WAL checkpoint exists
+// partly to batch them — the counter lets tests assert the batching
+// actually happened instead of trusting the call graph.
+var dirSyncs atomic.Uint64
+
+// DirSyncCount returns the process-wide number of SyncDir calls.
+func DirSyncCount() uint64 { return dirSyncs.Load() }
+
 // SyncDir fsyncs the directory at dir, making a rename within it durable.
 // Filesystems that cannot sync directories (EINVAL/ENOTSUP) are tolerated:
 // on those media the rename is as durable as it gets.
 func SyncDir(dir string) error {
+	dirSyncs.Add(1)
 	d, err := os.Open(dir)
 	if err != nil {
 		return err

@@ -1,0 +1,178 @@
+// Package wal is the write-ahead log: the hot durability path of a
+// persistent trie-hashed file. Mutations are framed as CRC-checked
+// logical records (put/delete with full key and value) appended to a
+// single log device; a Put is durable once its record is fsynced, which a
+// group committer batches across concurrent writers so N in-flight
+// operations share one fsync. Periodic checkpoints fold the log into the
+// bucket pages (flush + metadata install) and truncate it, so replay on
+// open is bounded by the checkpoint interval. Replay is idempotent by
+// construction — records are logical upserts and deletes — and a torn
+// tail (the crash signature of an in-flight append) is detected by the
+// frame CRC and truncated; only damage *before* the valid tail demotes
+// recovery to the salvage scan.
+package wal
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+)
+
+// Op is the logical operation a record replays.
+type Op byte
+
+const (
+	// OpPut inserts or replaces Key with Value.
+	OpPut Op = 1
+	// OpDelete removes Key.
+	OpDelete Op = 2
+	// OpCheckpoint marks a fold point: the record's CheckpointLSN is the
+	// last LSN whose effects the bucket pages durably contain. A truncated
+	// log starts with exactly one checkpoint record, which carries the LSN
+	// sequence across truncations.
+	OpCheckpoint Op = 3
+)
+
+func (o Op) String() string {
+	switch o {
+	case OpPut:
+		return "put"
+	case OpDelete:
+		return "delete"
+	case OpCheckpoint:
+		return "checkpoint"
+	}
+	return fmt.Sprintf("Op(%d)", byte(o))
+}
+
+// Record is one logical log entry.
+type Record struct {
+	// LSN is the record's log sequence number: strictly increasing,
+	// monotonic across checkpoints and reopens.
+	LSN uint64
+	// Op selects put, delete or checkpoint.
+	Op Op
+	// Key and Value are the record's payload (Value empty for deletes;
+	// both empty for checkpoints).
+	Key   string
+	Value []byte
+	// CheckpointLSN is the fold point an OpCheckpoint record carries.
+	CheckpointLSN uint64
+}
+
+// Frame layout:
+//
+//	u32 payload length | u32 crc32(payload) | payload
+//	payload: u64 lsn | u8 op | u32 keylen | key | value   (put/delete)
+//	         u64 lsn | u8 op | u64 checkpointLSN          (checkpoint)
+//
+// The length/CRC header makes a torn append self-announcing: a partial
+// frame either has too few bytes for its declared length or fails its
+// checksum, and scanning stops there.
+const frameHeader = 8
+
+// appendFrame serializes r onto buf and returns the extended slice.
+func appendFrame(buf []byte, r Record) []byte {
+	var payload []byte
+	if r.Op == OpCheckpoint {
+		payload = make([]byte, 8+1+8)
+		binary.LittleEndian.PutUint64(payload, r.LSN)
+		payload[8] = byte(r.Op)
+		binary.LittleEndian.PutUint64(payload[9:], r.CheckpointLSN)
+	} else {
+		payload = make([]byte, 8+1+4+len(r.Key)+len(r.Value))
+		binary.LittleEndian.PutUint64(payload, r.LSN)
+		payload[8] = byte(r.Op)
+		binary.LittleEndian.PutUint32(payload[9:], uint32(len(r.Key)))
+		copy(payload[13:], r.Key)
+		copy(payload[13+len(r.Key):], r.Value)
+	}
+	var hdr [frameHeader]byte
+	binary.LittleEndian.PutUint32(hdr[0:], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[4:], crc32.ChecksumIEEE(payload))
+	buf = append(buf, hdr[:]...)
+	return append(buf, payload...)
+}
+
+// decodePayload parses a verified frame payload.
+func decodePayload(p []byte) (Record, error) {
+	if len(p) < 9 {
+		return Record{}, fmt.Errorf("wal: payload truncated to %d bytes", len(p))
+	}
+	r := Record{LSN: binary.LittleEndian.Uint64(p), Op: Op(p[8])}
+	switch r.Op {
+	case OpCheckpoint:
+		if len(p) != 17 {
+			return Record{}, fmt.Errorf("wal: checkpoint payload is %d bytes, want 17", len(p))
+		}
+		r.CheckpointLSN = binary.LittleEndian.Uint64(p[9:])
+	case OpPut, OpDelete:
+		if len(p) < 13 {
+			return Record{}, fmt.Errorf("wal: record payload truncated to %d bytes", len(p))
+		}
+		klen := int(binary.LittleEndian.Uint32(p[9:]))
+		if klen < 0 || 13+klen > len(p) {
+			return Record{}, fmt.Errorf("wal: record key length %d exceeds payload", klen)
+		}
+		r.Key = string(p[13 : 13+klen])
+		if v := p[13+klen:]; len(v) > 0 {
+			r.Value = append([]byte(nil), v...)
+		}
+	default:
+		return Record{}, fmt.Errorf("wal: unknown op %d", byte(r.Op))
+	}
+	return r, nil
+}
+
+// Tail describes where a scan stopped and why.
+type Tail struct {
+	// ValidSize is the byte offset of the end of the last whole, verified
+	// frame — the size a tail repair truncates the log to.
+	ValidSize int64
+	// Damaged reports bytes after ValidSize that do not parse: a torn or
+	// damaged in-flight append (the normal crash signature), or — when
+	// records were lost mid-log — media damage.
+	Damaged bool
+	// Remaining counts the unparseable bytes.
+	Remaining int64
+	// Reason describes the first failure ("frame truncated", "checksum
+	// mismatch", a payload decode error).
+	Reason string
+}
+
+// Scan parses the log image in data: every whole frame whose checksum and
+// payload verify, in order, plus the tail state. Scanning stops at the
+// first damaged frame — the bytes beyond it are unrecoverable from the
+// log alone (frame boundaries are lost), which is what demotes recovery
+// to the salvage scan when anything but a clean tail is cut off.
+func Scan(data []byte) ([]Record, Tail) {
+	var recs []Record
+	off := int64(0)
+	fail := func(reason string) ([]Record, Tail) {
+		return recs, Tail{ValidSize: off, Damaged: true, Remaining: int64(len(data)) - off, Reason: reason}
+	}
+	for int(off) < len(data) {
+		rest := data[off:]
+		if len(rest) < frameHeader {
+			return fail(fmt.Sprintf("frame header truncated to %d bytes", len(rest)))
+		}
+		n := int64(binary.LittleEndian.Uint32(rest))
+		if n == 0 {
+			return fail("zero-length frame")
+		}
+		if frameHeader+n > int64(len(rest)) {
+			return fail(fmt.Sprintf("frame truncated: %d payload bytes declared, %d present", n, int64(len(rest))-frameHeader))
+		}
+		payload := rest[frameHeader : frameHeader+n]
+		if crc32.ChecksumIEEE(payload) != binary.LittleEndian.Uint32(rest[4:]) {
+			return fail("checksum mismatch")
+		}
+		rec, err := decodePayload(payload)
+		if err != nil {
+			return fail(err.Error())
+		}
+		recs = append(recs, rec)
+		off += frameHeader + n
+	}
+	return recs, Tail{ValidSize: off}
+}

@@ -1,0 +1,305 @@
+package wal
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestScanRoundTrip frames a mixed record sequence and scans it back.
+func TestScanRoundTrip(t *testing.T) {
+	want := []Record{
+		{LSN: 1, Op: OpPut, Key: "alpha", Value: []byte("v1")},
+		{LSN: 2, Op: OpDelete, Key: "alpha"},
+		{LSN: 3, Op: OpCheckpoint, CheckpointLSN: 2},
+		{LSN: 4, Op: OpPut, Key: "", Value: nil}, // empty key and value are legal
+	}
+	var buf []byte
+	for _, r := range want {
+		buf = appendFrame(buf, r)
+	}
+	got, tail := Scan(buf)
+	if tail.Damaged {
+		t.Fatalf("clean log scanned as damaged: %s", tail.Reason)
+	}
+	if tail.ValidSize != int64(len(buf)) {
+		t.Fatalf("ValidSize %d, want %d", tail.ValidSize, len(buf))
+	}
+	if len(got) != len(want) {
+		t.Fatalf("scanned %d records, want %d", len(got), len(want))
+	}
+	for i, r := range got {
+		w := want[i]
+		if r.LSN != w.LSN || r.Op != w.Op || r.Key != w.Key || !bytes.Equal(r.Value, w.Value) || r.CheckpointLSN != w.CheckpointLSN {
+			t.Errorf("record %d: got %+v, want %+v", i, r, w)
+		}
+	}
+}
+
+// TestScanTornTail verifies that every proper prefix cut of a frame is
+// detected as tail damage with the preceding records intact, and that a
+// flipped byte anywhere in the last frame fails its checksum.
+func TestScanTornTail(t *testing.T) {
+	var buf []byte
+	buf = appendFrame(buf, Record{LSN: 1, Op: OpPut, Key: "k1", Value: []byte("value-1")})
+	whole := int64(len(buf))
+	buf = appendFrame(buf, Record{LSN: 2, Op: OpPut, Key: "k2", Value: []byte("value-2")})
+
+	for cut := whole + 1; cut < int64(len(buf)); cut++ {
+		recs, tail := Scan(buf[:cut])
+		if len(recs) != 1 || recs[0].LSN != 1 {
+			t.Fatalf("cut %d: got %d records, want the 1 whole one", cut, len(recs))
+		}
+		if !tail.Damaged || tail.ValidSize != whole {
+			t.Fatalf("cut %d: tail %+v, want damaged with ValidSize %d", cut, tail, whole)
+		}
+	}
+	for i := whole; i < int64(len(buf)); i++ {
+		flipped := append([]byte(nil), buf...)
+		flipped[i] ^= 0x40
+		recs, tail := Scan(flipped)
+		if len(recs) != 1 || !tail.Damaged || tail.ValidSize != whole {
+			t.Fatalf("flip at %d: %d records, tail %+v", i, len(recs), tail)
+		}
+	}
+	// A zeroed tail chunk reads as a zero-length frame: damaged, not EOF.
+	zeroed := append(append([]byte(nil), buf[:whole]...), make([]byte, 32)...)
+	if recs, tail := Scan(zeroed); len(recs) != 1 || !tail.Damaged {
+		t.Fatalf("zeroed tail: %d records, tail %+v", len(recs), tail)
+	}
+}
+
+// TestOpenRepairsTornTail checks Open truncates a damaged tail and that
+// LSNs continue from the surviving records.
+func TestOpenRepairsTornTail(t *testing.T) {
+	dev := NewMem()
+	var img []byte
+	img = appendFrame(img, Record{LSN: 7, Op: OpPut, Key: "a", Value: []byte("x")})
+	valid := int64(len(img))
+	img = appendFrame(img, Record{LSN: 8, Op: OpPut, Key: "b", Value: []byte("y")})
+	if err := dev.Append(img[:valid+5]); err != nil { // torn mid-frame
+		t.Fatal(err)
+	}
+	l, recs, tail, err := Open(dev, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	if len(recs) != 1 || recs[0].LSN != 7 {
+		t.Fatalf("recovered %d records, want the 1 whole one", len(recs))
+	}
+	if !tail.Damaged {
+		t.Fatal("torn tail not reported")
+	}
+	if dev.Size() != valid {
+		t.Fatalf("device not truncated: %d bytes, want %d", dev.Size(), valid)
+	}
+	lsn, err := l.Append(OpPut, "c", []byte("z"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lsn != 8 {
+		t.Fatalf("next LSN %d, want 8 (continue after survivor)", lsn)
+	}
+}
+
+// slowSyncDev delays Sync so a commit group can accumulate, and counts
+// syncs.
+type slowSyncDev struct {
+	MemDevice
+	syncs   atomic.Int64
+	delay   time.Duration
+	syncErr atomic.Value // error to fail Sync with
+}
+
+func (d *slowSyncDev) Sync() error {
+	d.syncs.Add(1)
+	if v := d.syncErr.Load(); v != nil {
+		return v.(error)
+	}
+	time.Sleep(d.delay)
+	return nil
+}
+
+// TestGroupCommitBatches runs many concurrent Append+Commit against a
+// slow-sync device and verifies they shared fsyncs.
+func TestGroupCommitBatches(t *testing.T) {
+	dev := &slowSyncDev{delay: 2 * time.Millisecond}
+	l, _, _, err := Open(dev, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const writers, per = 8, 25
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				lsn, err := l.Append(OpPut, fmt.Sprintf("w%d-%d", w, i), []byte("v"))
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if err := l.Commit(lsn); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	st := l.Stats()
+	if st.Committed != writers*per {
+		t.Fatalf("committed %d records, want %d", st.Committed, writers*per)
+	}
+	if st.DurableLSN != writers*per {
+		t.Fatalf("durable LSN %d, want %d", st.DurableLSN, writers*per)
+	}
+	// With 8 writers against a 2ms fsync, batching must beat one fsync per
+	// record by a wide margin; 2x is a very conservative floor.
+	if st.Fsyncs*2 > st.Committed {
+		t.Errorf("group commit not batching: %d fsyncs for %d commits", st.Fsyncs, st.Committed)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	recs, tail := Scan(mustContents(t, dev))
+	if tail.Damaged || len(recs) != writers*per {
+		t.Fatalf("log has %d records (tail %+v), want %d clean", len(recs), tail, writers*per)
+	}
+}
+
+// TestCheckpointTruncatesAndChainsLSN folds the log and verifies the
+// restart record carries the sequence across the truncation and a reopen.
+func TestCheckpointTruncatesAndChainsLSN(t *testing.T) {
+	dev := NewMem()
+	l, _, _, err := Open(dev, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		lsn, err := l.Append(OpPut, fmt.Sprintf("k%d", i), []byte("v"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := l.Commit(lsn); err != nil {
+			t.Fatal(err)
+		}
+	}
+	before := dev.Size()
+	if err := l.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if dev.Size() >= before {
+		t.Fatalf("checkpoint did not shrink the log: %d -> %d bytes", before, dev.Size())
+	}
+	recs, tail := Scan(mustContents(t, dev))
+	if tail.Damaged || len(recs) != 1 || recs[0].Op != OpCheckpoint {
+		t.Fatalf("post-checkpoint log: %d records, tail %+v", len(recs), tail)
+	}
+	if recs[0].LSN != 11 || recs[0].CheckpointLSN != 10 {
+		t.Fatalf("checkpoint record LSN %d / fold %d, want 11 / 10", recs[0].LSN, recs[0].CheckpointLSN)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	l2, recs2, _, err := Open(dev, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	if len(recs2) != 1 {
+		t.Fatalf("reopen scanned %d records, want 1", len(recs2))
+	}
+	if lsn, err := l2.Append(OpPut, "next", nil); err != nil || lsn != 12 {
+		t.Fatalf("post-reopen LSN %d (err %v), want 12", lsn, err)
+	}
+}
+
+// TestSyncErrorIsSticky verifies a failed fsync poisons every waiter, and
+// later commits fail fast instead of hanging.
+func TestSyncErrorIsSticky(t *testing.T) {
+	dev := &slowSyncDev{}
+	boom := errors.New("medium gone")
+	l, _, _, err := Open(dev, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev.syncErr.Store(boom)
+	lsn, err := l.Append(OpPut, "k", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Commit(lsn); !errors.Is(err, boom) {
+		t.Fatalf("Commit error %v, want %v", err, boom)
+	}
+	done := make(chan error, 1)
+	go func() { done <- l.Commit(lsn) }()
+	select {
+	case err := <-done:
+		if !errors.Is(err, boom) {
+			t.Fatalf("second Commit error %v, want %v", err, boom)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Commit hung on a dead log")
+	}
+}
+
+// TestFileDevice exercises the production device end to end, including
+// persistence across reopen and truncation.
+func TestFileDevice(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.log")
+	d, err := OpenFileDevice(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Append([]byte("hello ")); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Append([]byte("world")); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if got := mustContents(t, d); string(got) != "hello world" {
+		t.Fatalf("contents %q", got)
+	}
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	d2, err := OpenFileDevice(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d2.Close()
+	if d2.Size() != 11 {
+		t.Fatalf("reopened size %d, want 11", d2.Size())
+	}
+	if err := d2.TruncateTo(5); err != nil {
+		t.Fatal(err)
+	}
+	if err := d2.Append([]byte("!")); err != nil {
+		t.Fatal(err)
+	}
+	if got := mustContents(t, d2); string(got) != "hello!" {
+		t.Fatalf("after truncate+append: %q", got)
+	}
+}
+
+func mustContents(t *testing.T, d Device) []byte {
+	t.Helper()
+	data, err := d.Contents()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}

@@ -62,6 +62,10 @@ const (
 	EvRecovery       = obs.EvRecovery
 	EvCorrupt        = obs.EvCorrupt
 	EvQuarantine     = obs.EvQuarantine
+	EvWALAppend      = obs.EvWALAppend
+	EvWALFsync       = obs.EvWALFsync
+	EvCheckpoint     = obs.EvCheckpoint
+	EvWALReplay      = obs.EvWALReplay
 
 	StageTrieSearch   = obs.StageTrieSearch
 	StageFileLock     = obs.StageFileLock
@@ -75,6 +79,9 @@ const (
 	StageSplit        = obs.StageSplit
 	StageMerge        = obs.StageMerge
 	StageRedistribute = obs.StageRedistribute
+	StageWALAppend    = obs.StageWALAppend
+	StageWALFsync     = obs.StageWALFsync
+	StageCommitWait   = obs.StageCommitWait
 	StageOther        = obs.StageOther
 )
 
@@ -97,6 +104,16 @@ func (f *File) Observe(o *Observer) {
 		o.Emit(obs.Event{
 			Type: obs.EvRecovery, Addr: -1, Addr2: -1,
 			Detail: "trie rebuilt from bucket bounds (RecoverAt)",
+		})
+	}
+	if o != nil && (f.walReplayed > 0 || f.walTornTail != "") {
+		detail := "wal records replayed at open"
+		if f.walTornTail != "" {
+			detail = "wal records replayed at open; torn tail dropped: " + f.walTornTail
+		}
+		o.Emit(obs.Event{
+			Type: obs.EvWALReplay, Addr: int32(f.walReplayed), Addr2: -1,
+			Detail: detail,
 		})
 	}
 }

@@ -36,6 +36,7 @@ import (
 	"os"
 	"path/filepath"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"triehash/internal/core"
@@ -44,6 +45,7 @@ import (
 	"triehash/internal/obs"
 	"triehash/internal/store"
 	"triehash/internal/trie"
+	"triehash/internal/wal"
 )
 
 // ErrNotFound is returned when a key is absent from the file.
@@ -142,6 +144,21 @@ type Options struct {
 	// with (0 or 1 = the sequential loader). The loaded file is identical
 	// either way.
 	BulkWorkers int
+	// WAL turns on the write-ahead log, the hot durability path: every
+	// Put/Delete is framed into dir/wal.th and is durable when the call
+	// returns, with concurrent writers sharing fsyncs through group commit
+	// (under Options.Concurrent the file lock is shared, so commits
+	// batch; the serial engines pay one fsync per op). The log is folded
+	// into the bucket pages and truncated at every checkpoint — Sync,
+	// Close, or CheckpointBytes of log growth — and replayed on open, so
+	// a crash loses nothing that was logged. A file that has a wal.th is
+	// replayed (and stays WAL-enabled) on OpenAt even when this flag is
+	// unset. In-memory files accept WAL too (the log lives in memory):
+	// useful for tests and for bounding differential comparisons.
+	WAL bool
+	// CheckpointBytes is the log size that triggers a background
+	// checkpoint (default 1 MiB; only meaningful with WAL).
+	CheckpointBytes int64
 }
 
 // CachePolicy selects the buffer pool implementation.
@@ -165,6 +182,9 @@ func (o Options) normalize() Options {
 	}
 	if o.SlotBytes == 0 {
 		o.SlotBytes = 4096
+	}
+	if o.CheckpointBytes == 0 {
+		o.CheckpointBytes = 1 << 20
 	}
 	return o
 }
@@ -263,6 +283,19 @@ type File struct {
 	// recovered notes the file was rebuilt by RecoverAt, so Observe can
 	// replay the fact as an event (the observer attaches after recovery).
 	recovered bool
+	// walReplayed / walTornTail record what WAL replay did at open, for
+	// the same Observe-time replay (and for thcheck's report).
+	walReplayed int
+	walTornTail string
+	// log is the write-ahead log (Options.WAL), nil when durability runs
+	// on the fsync-rename-salvage path alone. Written only before the file
+	// is published — never cleared, not even by Close, because operation
+	// tails read it without the lock (maybeCheckpoint); Close closes the
+	// log and the closed flag fences further use.
+	log *wal.Log
+	// ckptBusy serializes the size-triggered background checkpoint so at
+	// most one operation tail promotes itself to the exclusive lock.
+	ckptBusy atomic.Bool
 }
 
 // instrument builds the file's observability hook and threads it through
@@ -287,7 +320,20 @@ func instrument(st store.Store) (store.Store, *obs.Hook) {
 // Create returns an in-memory file (a simulated disk with exact access
 // counting, the configuration the paper's experiments use).
 func Create(opts Options) (*File, error) {
-	return create(opts, "", wrapCache(opts, store.NewMem()))
+	f, err := create(opts, "", wrapCache(opts, store.NewMem()))
+	if err != nil {
+		return nil, err
+	}
+	if f.opts.WAL {
+		// An in-memory WAL buys nothing across a process crash, but it
+		// exercises the exact logging path, so tests and differential
+		// comparisons run it against the real durability code.
+		if err := f.attachWAL(wal.NewMem()); err != nil {
+			_ = f.eng.Store().Close()
+			return nil, err
+		}
+	}
+	return f, nil
 }
 
 // wrapCache applies the optional buffer pool.
@@ -323,6 +369,23 @@ func CreateAt(dir string, opts Options) (*File, error) {
 		return nil, err
 	}
 	f.setRecordLimit()
+	// A fresh file must not inherit a previous tenant's log: a stale
+	// wal.th would otherwise be replayed into it on the next OpenAt.
+	if err := os.Remove(walPath(dir)); err != nil && !errors.Is(err, os.ErrNotExist) {
+		_ = fs.Close()
+		return nil, err
+	}
+	if opts.WAL {
+		dev, err := wal.OpenFileDevice(walPath(dir))
+		if err != nil {
+			_ = fs.Close()
+			return nil, err
+		}
+		if err := f.attachWAL(dev); err != nil {
+			_ = fs.Close()
+			return nil, err
+		}
+	}
 	return f, nil
 }
 
@@ -452,6 +515,26 @@ func BulkLoad(dir string, opts Options, fill float64, next func() (key string, v
 			_ = f.eng.Store().Close() // the sync error takes precedence
 			return nil, err
 		}
+		// Same fresh-file rule as CreateAt: discard any stale log.
+		if err := os.Remove(walPath(dir)); err != nil && !errors.Is(err, os.ErrNotExist) {
+			_ = f.eng.Store().Close()
+			return nil, err
+		}
+	}
+	if opts.WAL {
+		var dev wal.Device = wal.NewMem()
+		if dir != "" {
+			fd, err := wal.OpenFileDevice(walPath(dir))
+			if err != nil {
+				_ = f.eng.Store().Close()
+				return nil, err
+			}
+			dev = fd
+		}
+		if err := f.attachWAL(dev); err != nil {
+			_ = f.eng.Store().Close()
+			return nil, err
+		}
 	}
 	return f, nil
 }
@@ -512,6 +595,13 @@ func RecoverAt(dir string, opts Options) (*File, error) {
 		_ = f.eng.Store().Close() // the sync error takes precedence
 		return nil, err
 	}
+	// The rebuild served tier 3 (bucket bounds); the log, when present,
+	// now restores tier 1 on top of it — the operations committed after
+	// the buckets last hit the medium.
+	if err := f.maybeAttachWALAt(dir, opts); err != nil {
+		_ = f.eng.Store().Close()
+		return nil, err
+	}
 	return f, nil
 }
 
@@ -570,6 +660,7 @@ func OpenAtWith(dir string, opts Options) (*File, error) {
 			BucketCapacity: c.Config().Capacity, SlotBytes: fs.SlotSize(),
 			CacheFrames: opts.CacheFrames, CachePolicy: opts.CachePolicy,
 			Concurrent: opts.Concurrent, BulkWorkers: opts.BulkWorkers,
+			WAL: opts.WAL, CheckpointBytes: opts.CheckpointBytes,
 		}
 		if opts.Concurrent {
 			if _, err := f.adoptConcurrent(c); err != nil {
@@ -580,6 +671,10 @@ func OpenAtWith(dir string, opts Options) (*File, error) {
 			f.single, f.eng = c, c
 		}
 		f.setRecordLimit()
+		if err := f.maybeAttachWALAt(dir, opts); err != nil {
+			_ = fs.Close()
+			return nil, err
+		}
 		return f, nil
 	}
 	m, merr := mlth.Open(meta, st)
@@ -594,15 +689,31 @@ func OpenAtWith(dir string, opts Options) (*File, error) {
 	m.SetObsHook(hook)
 	f.multi, f.eng = m, m
 	f.alpha = m.Alphabet()
-	f.opts = Options{BucketCapacity: m.Capacity(), SlotBytes: fs.SlotSize()}
+	f.opts = Options{
+		BucketCapacity: m.Capacity(), SlotBytes: fs.SlotSize(),
+		WAL: opts.WAL, CheckpointBytes: opts.CheckpointBytes,
+	}
 	f.setRecordLimit()
+	if err := f.maybeAttachWALAt(dir, opts); err != nil {
+		_ = fs.Close()
+		if errors.Is(err, errWALNeedsSalvage) {
+			// The log demands replay over buckets the paged trie no longer
+			// matches; multilevel files cannot Scrub in place, so take the
+			// same path a damaged multilevel metadata file takes.
+			return salvageAt(dir, opts, err)
+		}
+		return nil, err
+	}
 	return f, nil
 }
 
 // salvageAt is OpenAt's fallback when the metadata is lost: reconstruct
 // from the buckets, reporting both failures if even that is impossible.
 func salvageAt(dir string, opts Options, cause error) (*File, error) {
-	f, err := RecoverAt(dir, Options{Concurrent: opts.Concurrent})
+	f, err := RecoverAt(dir, Options{
+		Concurrent: opts.Concurrent,
+		WAL:        opts.WAL, CheckpointBytes: opts.CheckpointBytes,
+	})
 	if err != nil {
 		return nil, fmt.Errorf("triehash: %s: metadata unusable (%v) and salvage failed: %w", dir, cause, err)
 	}
@@ -613,8 +724,16 @@ func salvageAt(dir string, opts Options, cause error) (*File, error) {
 // len(key)+len(value) cannot be guaranteed to fit the bucket slot.
 var ErrRecordTooLarge = errors.New("triehash: record too large for the configured SlotBytes")
 
-// Put inserts or replaces the record for key.
+// Put inserts or replaces the record for key. With Options.WAL the call
+// returns only after the record is durable in the log (group-committed
+// alongside concurrent writers).
 func (f *File) Put(key string, value []byte) error {
+	err := f.putOp(key, value)
+	f.maybeCheckpoint()
+	return err
+}
+
+func (f *File) putOp(key string, value []byte) error {
 	// One atomic load decides instrumentation; the disabled path costs a
 	// nil check and allocates nothing. With spans on, the span starts
 	// before the file lock so the lock wait is a measured stage, and
@@ -632,6 +751,9 @@ func (f *File) Put(key string, value []byte) error {
 				ErrRecordTooLarge, len(key)+len(value), f.maxRecord)
 		}
 		_, err := f.eng.PutSpan(key, value, sp)
+		if err == nil {
+			err = f.walAppend(wal.OpPut, key, value, sp)
+		}
 		return err
 	}
 	defer f.opLock()()
@@ -644,10 +766,16 @@ func (f *File) Put(key string, value []byte) error {
 	}
 	if o == nil {
 		_, err := f.eng.Put(key, value)
+		if err == nil {
+			err = f.walAppend(wal.OpPut, key, value, nil)
+		}
 		return err
 	}
 	start := time.Now()
 	_, err := f.eng.Put(key, value)
+	if err == nil {
+		err = f.walAppend(wal.OpPut, key, value, nil)
+	}
 	o.RecordOp(obs.OpPut, time.Since(start))
 	return err
 }
@@ -688,8 +816,16 @@ func (f *File) Has(key string) (bool, error) {
 	}
 }
 
-// Delete removes the record for key, or returns ErrNotFound.
+// Delete removes the record for key, or returns ErrNotFound. With
+// Options.WAL a successful delete is durable in the log when the call
+// returns.
 func (f *File) Delete(key string) error {
+	err := f.deleteOp(key)
+	f.maybeCheckpoint()
+	return err
+}
+
+func (f *File) deleteOp(key string) error {
 	o := f.hook.Observer()
 	if sp := o.StartSpan(obs.OpDelete); sp != nil {
 		defer o.FinishSpan(sp)
@@ -698,17 +834,28 @@ func (f *File) Delete(key string) error {
 		if f.closed {
 			return ErrClosed
 		}
-		return mapNotFound(f.eng.DeleteSpan(key, sp))
+		err := f.eng.DeleteSpan(key, sp)
+		if err == nil {
+			err = f.walAppend(wal.OpDelete, key, nil, sp)
+		}
+		return mapNotFound(err)
 	}
 	defer f.opLock()()
 	if f.closed {
 		return ErrClosed
 	}
 	if o == nil {
-		return mapNotFound(f.eng.Delete(key))
+		err := f.eng.Delete(key)
+		if err == nil {
+			err = f.walAppend(wal.OpDelete, key, nil, nil)
+		}
+		return mapNotFound(err)
 	}
 	start := time.Now()
 	err := f.eng.Delete(key)
+	if err == nil {
+		err = f.walAppend(wal.OpDelete, key, nil, nil)
+	}
 	o.RecordOp(obs.OpDelete, time.Since(start))
 	return mapNotFound(err)
 }
@@ -754,9 +901,24 @@ func (f *File) syncLocked() error {
 	if f.closed {
 		return ErrClosed
 	}
+	if f.log != nil {
+		// With the WAL attached, Sync is a checkpoint: fold the log into
+		// the bucket pages and truncate it, with one batched directory
+		// sync instead of one per metadata install.
+		return f.checkpointLocked()
+	}
 	if f.dir == "" {
 		return nil
 	}
+	return f.installMeta(true)
+}
+
+// installMeta flushes the bucket slots and durably installs the trie
+// metadata. dirSync selects whether the rename's directory fsync happens
+// here (the standalone path) or is deferred to the caller — the WAL
+// checkpoint batches it with the rest of the fold, fixing the
+// fsync-ordering cliff of a directory sync per install.
+func (f *File) installMeta(dirSync bool) error {
 	if fs := store.AsFileStore(f.eng.Store()); fs != nil {
 		if err := fs.Sync(); err != nil {
 			return err
@@ -774,23 +936,78 @@ func (f *File) syncLocked() error {
 	if err := os.Rename(tmp, filepath.Join(f.dir, "meta.th")); err != nil {
 		return err
 	}
+	if !dirSync {
+		return nil
+	}
 	return store.SyncDir(f.dir)
 }
 
-// Close syncs (for persistent files) and releases the file.
+// checkpointLocked folds the write-ahead log into the bucket pages and
+// truncates it. The order is load-bearing: buckets and metadata must be
+// durable — directory sync included — before the log shrinks, because
+// truncation destroys the only other copy of the logged operations. A
+// crash at any interior point leaves either the old meta + the full log
+// (replay covers everything) or the new meta + a longer-than-needed log
+// (replay is idempotent), both of which converge on open.
+func (f *File) checkpointLocked() error {
+	if f.closed {
+		return ErrClosed
+	}
+	if f.dir != "" {
+		if err := f.installMeta(false); err != nil {
+			return err
+		}
+		if err := store.SyncDir(f.dir); err != nil {
+			return err
+		}
+	}
+	return f.log.Checkpoint()
+}
+
+// maybeCheckpoint runs a checkpoint when the log has outgrown
+// Options.CheckpointBytes. Called on operation tails after the file lock
+// is released; the CAS gate picks one caller, everyone else returns
+// immediately. A checkpoint failure is not the operation's failure — the
+// operation is already durable in the log — so it is not propagated; the
+// log keeps growing and the next trigger (or Sync/Close, whose errors do
+// propagate) retries the fold.
+func (f *File) maybeCheckpoint() {
+	if f.log == nil || f.log.Size() < f.opts.CheckpointBytes {
+		return
+	}
+	if !f.ckptBusy.CompareAndSwap(false, true) {
+		return
+	}
+	defer f.ckptBusy.Store(false)
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.closed || f.log.Size() < f.opts.CheckpointBytes {
+		return
+	}
+	_ = f.checkpointLocked()
+}
+
+// Close syncs (for persistent files) and releases the file. With the WAL
+// attached the final sync is a checkpoint, so the log is empty (one
+// checkpoint marker) after a clean close and replay on the next open has
+// nothing to do.
 func (f *File) Close() error {
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	if f.closed {
 		return nil
 	}
-	if err := f.syncLocked(); err != nil {
-		f.closed = true
-		_ = f.eng.Store().Close() // the sync error takes precedence
-		return err
-	}
+	err := f.syncLocked()
 	f.closed = true
-	return f.eng.Store().Close()
+	if f.log != nil {
+		if cerr := f.log.Close(); err == nil {
+			err = cerr
+		}
+	}
+	if cerr := f.eng.Store().Close(); err == nil {
+		err = cerr
+	}
+	return err
 }
 
 func mapNotFound(err error) error {

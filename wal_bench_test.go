@@ -1,0 +1,193 @@
+package triehash
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"triehash/internal/store"
+	"triehash/internal/wal"
+)
+
+// TestWALDurableBench is the `make bench-wal` gate for the durable write
+// path. It times Put with and without the write-ahead log in the device
+// regime — buckets behind a simulated 200µs access latency, the log
+// behind a simulated 200µs fsync — because that is the regime the
+// durability tax is real in: on a resident store an fsync-per-put would
+// dominate by orders of magnitude and no amount of cleverness changes
+// that; on a device, group commit amortizes one fsync over every writer
+// waiting at the rendezvous, which is the whole design.
+//
+// Gate: at 8 writers on the concurrent engine, durable Put stays within
+// 2x of non-durable Put. The serial engine is measured too (it commits
+// under the exclusive lock, so it pays the full fsync per op — the
+// recorded numbers document why the concurrent engine is the durable
+// deployment choice). Numbers land in BENCH_durable.json. Opt-in:
+// WAL_BENCH=1 (the `make bench-wal` target), benchmarks being noisy.
+func TestWALDurableBench(t *testing.T) {
+	if os.Getenv("WAL_BENCH") == "" {
+		t.Skip("set WAL_BENCH=1 to run the durable write-path gate")
+	}
+	const (
+		nkeys   = 1 << 14
+		rounds  = 3
+		devOps  = 4096
+		devLat  = 200 * time.Microsecond
+		syncLat = 200 * time.Microsecond
+	)
+	keys := make([]string, nkeys)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("%08x", uint32(i)*2654435761)
+	}
+	val := []byte("payload-v2")
+
+	// build preloads a file on a latency-armed store; when durable, the
+	// log rides a device whose syncs pay syncLat. Latency is armed only
+	// after the preload.
+	build := func(concurrent, durable bool) (*File, *slowStore, *slowWALDevice) {
+		ss := &slowStore{Store: store.NewMem()}
+		f, err := create(Options{BucketCapacity: 20, Concurrent: concurrent}, "", ss)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, k := range keys {
+			if err := f.Put(k, []byte("payload-v1")); err != nil {
+				t.Fatal(err)
+			}
+		}
+		var wd *slowWALDevice
+		if durable {
+			wd = &slowWALDevice{Device: wal.NewMem()}
+			if err := f.attachWAL(wd); err != nil {
+				t.Fatal(err)
+			}
+		}
+		ss.delay.Store(int64(devLat))
+		if wd != nil {
+			wd.syncDelay.Store(int64(syncLat))
+		}
+		return f, ss, wd
+	}
+
+	measure := func(f *File, procs, total int) int64 {
+		old := runtime.GOMAXPROCS(procs)
+		defer runtime.GOMAXPROCS(old)
+		best := int64(1 << 62)
+		for r := 0; r < rounds; r++ {
+			var wg sync.WaitGroup
+			var failed atomic.Bool
+			per := total / procs
+			start := time.Now()
+			for w := 0; w < procs; w++ {
+				shard := keys[w*nkeys/procs : (w+1)*nkeys/procs]
+				wg.Add(1)
+				go func(shard []string) {
+					defer wg.Done()
+					for i := 0; i < per; i++ {
+						if err := f.Put(shard[i%len(shard)], val); err != nil {
+							failed.Store(true)
+							return
+						}
+					}
+				}(shard)
+			}
+			wg.Wait()
+			if failed.Load() {
+				t.Fatal("put failed under measurement")
+			}
+			if el := time.Since(start).Nanoseconds() / int64(total); el < best {
+				best = el
+			}
+		}
+		return best
+	}
+
+	type cell struct {
+		Engine  string `json:"engine"`
+		Durable bool   `json:"durable"`
+		Procs   int    `json:"procs"`
+		NsPerOp int64  `json:"ns_per_op"`
+	}
+	var cells []cell
+	get := func(engine string, durable bool, procs int) int64 {
+		for _, c := range cells {
+			if c.Engine == engine && c.Durable == durable && c.Procs == procs {
+				return c.NsPerOp
+			}
+		}
+		t.Fatalf("missing cell %s/durable=%v/%d", engine, durable, procs)
+		return 0
+	}
+
+	var amortized float64
+	for _, engine := range []string{"serial", "concurrent"} {
+		for _, durable := range []bool{false, true} {
+			f, ss, wd := build(engine == "concurrent", durable)
+			for _, p := range []int{1, 4, 8} {
+				ns := measure(f, p, devOps)
+				cells = append(cells, cell{engine, durable, p, ns})
+				t.Logf("device %-10s durable=%-5v x%d: %7d ns/op", engine, durable, p, ns)
+			}
+			if durable && engine == "concurrent" {
+				if st, ok := f.WALStats(); ok && st.Fsyncs > 0 {
+					amortized = float64(st.Committed) / float64(st.Fsyncs)
+					t.Logf("group commit amortization: %.1f commits per fsync (%d/%d)",
+						amortized, st.Committed, st.Fsyncs)
+				}
+			}
+			ss.delay.Store(0)
+			if wd != nil {
+				wd.syncDelay.Store(0)
+			}
+			f.Close()
+		}
+	}
+
+	overhead1 := float64(get("concurrent", true, 1)) / float64(get("concurrent", false, 1))
+	overhead8 := float64(get("concurrent", true, 8)) / float64(get("concurrent", false, 8))
+	serial8 := float64(get("serial", true, 8)) / float64(get("serial", false, 8))
+	t.Logf("durable overhead, concurrent engine: %.2fx at 1 writer, %.2fx at 8; serial engine %.2fx at 8",
+		overhead1, overhead8, serial8)
+
+	out := struct {
+		NumCPU int                `json:"num_cpu"`
+		Cells  []cell             `json:"cells"`
+		Gates  map[string]float64 `json:"gates"`
+	}{runtime.NumCPU(), cells, map[string]float64{
+		"durable_overhead_x1": overhead1,
+		"durable_overhead_x8": overhead8,
+		"serial_overhead_x8":  serial8,
+		"commits_per_fsync":   amortized,
+	}}
+	blob, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile("BENCH_durable.json", append(blob, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	if overhead8 > 2.0 {
+		t.Errorf("durable Put %.2fx non-durable at 8 writers, budget is 2x: group commit is not amortizing", overhead8)
+	}
+}
+
+// slowWALDevice simulates a log on a storage device: appends are
+// sequential and cheap (they land in the device's write cache), syncs pay
+// the full barrier latency. That asymmetry is what group commit exploits.
+type slowWALDevice struct {
+	wal.Device
+	syncDelay atomic.Int64 // ns per Sync; 0 = off
+}
+
+func (d *slowWALDevice) Sync() error {
+	if s := d.syncDelay.Load(); s > 0 {
+		time.Sleep(time.Duration(s))
+	}
+	return d.Device.Sync()
+}
