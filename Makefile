@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build lint lint-graph test race short bench bench-baseline bench-compare bench-put-compare bench-wal repro cover fuzz obs-bench crash clean
+.PHONY: all build lint lint-graph test race short bench bench-baseline bench-compare bench-put-compare bench-wal bench-format repro cover fuzz obs-bench crash clean
 
 all: build lint test race
 
@@ -86,6 +86,14 @@ bench-put-compare:
 bench-wal:
 	WAL_BENCH=1 $(GO) test -run TestWALDurableBench -v -timeout 900s .
 
+# On-disk format gate: the compact v2 encoding against the fixed-width
+# v1 layout over the thload growth workload (small slots, WAL on, byte
+# budgets deciding every split). Writes BENCH_format.json and fails when
+# v2 shrinks the file by less than 30% or regresses Put/Get by more
+# than 5%. FORMAT_BENCH_SIZE_ONLY=1 keeps only the size gate (CI smoke).
+bench-format:
+	FORMAT_BENCH=1 $(GO) test -run TestFormatBench -v -timeout 600s .
+
 # The exhaustive crash-point harness: power-cut the canonical workload at
 # every journal position (clean, torn, bit-flipped, zeroed) and verify the
 # durability contract after reopening — the unlogged workload and the
@@ -104,6 +112,8 @@ fuzz:
 	$(GO) test -fuzz FuzzComparePathBounds -fuzztime 15s ./internal/keys/
 	$(GO) test -fuzz FuzzKeyCompare -fuzztime 15s ./internal/keys/
 	$(GO) test -fuzz FuzzTrieDecode -fuzztime 15s ./internal/trie/
+	$(GO) test -fuzz FuzzBucketDecodeV2 -fuzztime 15s ./internal/bucket/
+	$(GO) test -fuzz FuzzTrieDecodeV2 -fuzztime 15s ./internal/trie/
 
 clean:
 	rm -f thbench_output.txt thbench_output.csv bench_output.txt test_output.txt bench_baseline.txt bench_head.txt lockgraph.dot

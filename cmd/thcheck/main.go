@@ -48,7 +48,11 @@ func reportWAL(dir string) bool {
 		}
 		return false
 	}
-	recs, tail := wal.Scan(data)
+	recs, tail, ver, err := wal.Scan(data)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "thcheck: wal: %v\n", err)
+		return true
+	}
 	var lastCkpt uint64
 	pending := 0
 	for _, r := range recs {
@@ -59,8 +63,8 @@ func reportWAL(dir string) bool {
 		}
 		pending++
 	}
-	fmt.Printf("wal:         %d bytes, %d records (%d pending past checkpoint LSN %d)\n",
-		len(data), len(recs), pending, lastCkpt)
+	fmt.Printf("wal:         %d bytes, v%d framing, %d records (%d pending past checkpoint LSN %d)\n",
+		len(data), ver, len(recs), pending, lastCkpt)
 	if tail.Damaged {
 		fmt.Printf("wal tail:    damaged at byte %d: %s (%d bytes beyond; open truncates them)\n",
 			tail.ValidSize, tail.Reason, tail.Remaining)
@@ -102,6 +106,13 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("scrubbed:    %d slots, %d healthy buckets\n", rep.SlotsScanned, rep.Survivors)
+		if rep.PagesV1 > 0 || rep.PagesV2 > 0 {
+			fmt.Printf("page format: %d v1, %d v2", rep.PagesV1, rep.PagesV2)
+			if rep.PagesV1 > 0 && rep.PagesV2 > 0 {
+				fmt.Printf(" (mixed: file caught mid-upgrade; converges at the next full rewrite)")
+			}
+			fmt.Println()
+		}
 		for _, l := range rep.Quarantined {
 			fmt.Printf("quarantined: %s\n", l)
 		}
@@ -116,6 +127,7 @@ func main() {
 
 	st := f.Stats()
 	fmt.Printf("file:        %s\n", dir)
+	fmt.Printf("format:      v%d (new pages; older pages upgrade as they are rewritten)\n", st.FormatVersion)
 	fmt.Printf("records:     %d\n", st.Keys)
 	fmt.Printf("buckets:     %d (load %.1f%%)\n", st.Buckets, st.Load*100)
 	fmt.Printf("trie:        %d cells, %d bytes, depth %d\n", st.TrieCells, st.TrieBytes, st.Depth)

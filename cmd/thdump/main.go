@@ -16,9 +16,18 @@ import (
 	"os"
 
 	"triehash/internal/core"
+	"triehash/internal/format"
 	"triehash/internal/store"
 	"triehash/internal/trie"
 )
+
+// saved formats the relative size change from v1 to v2.
+func saved(v1, v2 int) string {
+	if v1 == 0 {
+		return "empty"
+	}
+	return fmt.Sprintf("%.1f%% saved", 100*(1-float64(v2)/float64(v1)))
+}
 
 func main() {
 	b := flag.Int("b", 4, "bucket capacity")
@@ -89,6 +98,31 @@ func main() {
 	fmt.Println("  " + tr.String())
 	fmt.Println("\nstandard representation (cell table):")
 	fmt.Print(tr.DumpCells())
+
+	// On-disk encoding summary: what the same content costs under the
+	// fixed-width v1 layout versus the compact varint v2 layout.
+	var bv1, bv2 int
+	seen := map[int32]bool{}
+	for _, lp := range tr.InorderLeaves() {
+		if lp.Leaf.IsNil() || seen[lp.Leaf.Addr()] {
+			continue
+		}
+		seen[lp.Leaf.Addr()] = true
+		bk, err := f.Store().Read(lp.Leaf.Addr())
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "thdump:", err)
+			os.Exit(1)
+		}
+		bv1 += bk.EncodedLen(format.V1)
+		bv2 += bk.EncodedLen(format.V2)
+	}
+	tv1 := len(tr.AppendFormat(nil, format.V1))
+	tv2 := len(tr.AppendFormat(nil, format.V2))
+	fmt.Println("\non-disk encoding (v1 fixed-width vs v2 varint):")
+	fmt.Printf("  buckets: %d B v1, %d B v2 (%s)\n", bv1, bv2, saved(bv1, bv2))
+	fmt.Printf("  trie:    %d B v1, %d B v2 (%s)\n", tv1, tv2, saved(tv1, tv2))
+	fmt.Printf("  total:   %d B v1, %d B v2 (%s)\n", bv1+tv1, bv2+tv2, saved(bv1+tv1, bv2+tv2))
+
 	fmt.Println("\nstats:", f.Stats())
 	if err := f.CheckInvariants(); err != nil {
 		fmt.Fprintln(os.Stderr, "thdump: INVARIANT VIOLATION:", err)

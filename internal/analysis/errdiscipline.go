@@ -34,6 +34,15 @@ var storeErrMethods = map[string]bool{
 	"Free":     true,
 }
 
+// codecDecoders are the on-disk codec entry points (bucket pages, trie
+// pages, bound headers) whose errors must not be dropped: a decode error
+// is detected corruption or a future format version, and discarding it
+// turns either into silently missing data.
+var codecDecoders = map[string]bool{
+	"DecodeBinary": true,
+	"DecodeBound":  true,
+}
+
 // walErrMethods are the write-ahead-log-surface methods (Log and Device)
 // whose errors must not be dropped.
 var walErrMethods = map[string]bool{
@@ -85,6 +94,11 @@ func runErrDiscipline(pass *Pass) {
 						"error from %s.%s %s: serialization errors must be handled or explicitly dropped with `_ =`",
 						path, obj.Name(), how)
 				}
+			}
+			if obj := calleeFunc(pass.Info, call); obj != nil && codecDecoders[obj.Name()] {
+				pass.Reportf(call.Pos(),
+					"error from %s %s: a decode error is detected corruption or a future format version and must be handled or explicitly dropped with `_ =`",
+					obj.Name(), how)
 			}
 			return true
 		})

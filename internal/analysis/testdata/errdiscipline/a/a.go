@@ -102,3 +102,29 @@ func handledWAL(l *Log, d Device) error {
 	}
 	return d.Sync()
 }
+
+// DecodeBinary and DecodeBound replicate the codec surface: the matcher
+// keys on the function names, whatever package they are called from.
+func DecodeBinary(buf []byte) (*Bucket, int, error) { return nil, 0, nil }
+
+func DecodeBound(buf []byte) ([]byte, int, error) { return nil, 0, nil }
+
+func dropDecode(buf []byte) {
+	DecodeBinary(buf) // want `error from DecodeBinary discarded.*detected corruption`
+	DecodeBound(buf)  // want `error from DecodeBound discarded.*detected corruption`
+}
+
+func handledDecode(buf []byte) error {
+	_, _, err := DecodeBinary(buf)
+	return err
+}
+
+// A same-named method belongs to its receiver's policy, not the codec
+// rule; not flagged.
+type frame struct{}
+
+func (frame) DecodeBinary() error { return nil }
+
+func methodDecode(f frame) {
+	_ = f.DecodeBinary()
+}

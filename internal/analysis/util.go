@@ -200,3 +200,19 @@ func isErrorType(t types.Type) bool {
 	n := namedOf(t)
 	return n != nil && n.Obj() != nil && n.Obj().Pkg() == nil && n.Obj().Name() == "error"
 }
+
+// calleeFunc resolves a plain or package-qualified function call to its
+// object. Method calls resolve to nil — those go through methodCall.
+func calleeFunc(info *types.Info, call *ast.CallExpr) types.Object {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		return info.Uses[fun]
+	case *ast.SelectorExpr:
+		if id, ok := fun.X.(*ast.Ident); ok {
+			if _, ok := info.Uses[id].(*types.PkgName); ok {
+				return info.Uses[fun.Sel]
+			}
+		}
+	}
+	return nil
+}

@@ -6,8 +6,11 @@
 package bucket
 
 import (
+	"bytes"
 	"encoding/binary"
 	"fmt"
+
+	"triehash/internal/format"
 )
 
 // Record is one stored record: a primary key and an opaque value. Only the
@@ -28,7 +31,16 @@ type Record struct {
 type Bucket struct {
 	bound []byte // upper bound of the key range; nil = infinite
 	recs  []Record
+
+	// decodedFrom records which on-disk version DecodeBinary read this
+	// bucket from (0 for buckets built in memory) — the per-page figure
+	// Scrub and thcheck report for mixed-version files.
+	decodedFrom format.Version
 }
+
+// DecodedFormat returns the on-disk version this bucket was decoded
+// from, or 0 for a bucket that was never deserialized.
+func (b *Bucket) DecodedFormat() format.Version { return b.decodedFrom }
 
 // Bound returns the bucket's logical-path bound (nil = infinite). The
 // returned slice is read-only; it is never overwritten in place by a
@@ -179,6 +191,11 @@ func (b *Bucket) Clone() *Bucket {
 	return c
 }
 
+// v2Magic opens a version-2 bucket page. The value is provably not a v1
+// prefix: a v1 page starts with its bound length — either ^uint32(0)
+// (the infinite bound) or a real length far below 0xFFFFFFFE.
+const v2Magic = 0xFFFFFFFE
+
 // Bytes returns the serialized size of the bucket under AppendBinary.
 func (b *Bucket) Bytes() int {
 	n := 8 + len(b.bound)
@@ -188,9 +205,82 @@ func (b *Bucket) Bytes() int {
 	return n
 }
 
+// sharedPrefix returns the number of leading bytes key shares with ref.
+func sharedPrefix(key string, ref []byte) int {
+	n := len(key)
+	if len(ref) < n {
+		n = len(ref)
+	}
+	i := 0
+	for i < n && key[i] == ref[i] {
+		i++
+	}
+	return i
+}
+
+// EncodedLen returns the exact serialized size of the bucket under
+// AppendFormat(v) without materializing the bytes — the figure the byte-
+// budget gates compare against the slot payload.
+func (b *Bucket) EncodedLen(v format.Version) int {
+	if v != format.V2 {
+		return b.Bytes()
+	}
+	n := 5 // magic + version byte
+	if b.bound == nil {
+		n += format.UvarintLen(0)
+	} else {
+		n += format.UvarintLen(uint64(len(b.bound)+1)) + len(b.bound)
+	}
+	n += format.UvarintLen(uint64(len(b.recs)))
+	ref := b.bound
+	for _, r := range b.recs {
+		cp := sharedPrefix(r.Key, ref)
+		suffix := len(r.Key) - cp
+		n += format.UvarintLen(uint64(cp)) +
+			format.UvarintLen(uint64(suffix)) + suffix +
+			format.UvarintLen(uint64(len(r.Value))) + len(r.Value)
+		ref = []byte(r.Key)
+	}
+	return n
+}
+
+// AppendFormat serializes the bucket into buf at on-disk version v and
+// returns the extended slice.
+func (b *Bucket) AppendFormat(buf []byte, v format.Version) []byte {
+	if v != format.V2 {
+		return b.AppendBinary(buf)
+	}
+	var n [4]byte
+	binary.LittleEndian.PutUint32(n[:], v2Magic)
+	buf = append(buf, n[:]...)
+	buf = append(buf, byte(format.V2))
+	if b.bound == nil {
+		buf = binary.AppendUvarint(buf, 0)
+	} else {
+		buf = binary.AppendUvarint(buf, uint64(len(b.bound)+1))
+		buf = append(buf, b.bound...)
+	}
+	buf = binary.AppendUvarint(buf, uint64(len(b.recs)))
+	// Keys compress against the previous key (the bucket's bound for the
+	// first record): records in a leaf share the leaf's trie-path prefix
+	// and sorted neighbours share even longer runs.
+	ref := b.bound
+	for _, r := range b.recs {
+		cp := sharedPrefix(r.Key, ref)
+		buf = binary.AppendUvarint(buf, uint64(cp))
+		buf = binary.AppendUvarint(buf, uint64(len(r.Key)-cp))
+		buf = append(buf, r.Key[cp:]...)
+		buf = binary.AppendUvarint(buf, uint64(len(r.Value)))
+		buf = append(buf, r.Value...)
+		ref = []byte(r.Key)
+	}
+	return buf
+}
+
 // AppendBinary serializes the bucket into buf and returns the extended
-// slice: the bound header (length-prefixed; ^0 marks the infinite bound),
-// then a record count and length-prefixed key/value pairs.
+// slice in the version-1 layout: the bound header (length-prefixed; ^0
+// marks the infinite bound), then a record count and length-prefixed
+// key/value pairs.
 func (b *Bucket) AppendBinary(buf []byte) []byte {
 	var n [4]byte
 	if b.bound == nil {
@@ -214,13 +304,18 @@ func (b *Bucket) AppendBinary(buf []byte) []byte {
 	return buf
 }
 
-// DecodeBinary reconstructs a bucket serialized by AppendBinary and
-// returns the number of bytes consumed.
+// DecodeBinary reconstructs a bucket serialized by AppendFormat (either
+// version, dispatched on the leading magic) and returns the number of
+// bytes consumed. A version this build does not know surfaces as
+// *format.UnknownVersionError.
 func DecodeBinary(buf []byte) (*Bucket, int, error) {
+	if len(buf) >= 4 && binary.LittleEndian.Uint32(buf) == v2Magic {
+		return decodeV2(buf)
+	}
 	if len(buf) < 4 {
 		return nil, 0, fmt.Errorf("bucket: decode: truncated bound header")
 	}
-	b := &Bucket{}
+	b := &Bucket{decodedFrom: format.V1}
 	off := 4
 	if bl := binary.LittleEndian.Uint32(buf); bl != ^uint32(0) {
 		if int(bl) > len(buf)-off {
@@ -262,6 +357,120 @@ func DecodeBinary(buf []byte) (*Bucket, int, error) {
 		}
 		prev = key
 		b.recs = append(b.recs, Record{Key: key, Value: val})
+	}
+	return b, off, nil
+}
+
+// decodeV2 reconstructs a version-2 bucket page.
+func decodeV2(buf []byte) (*Bucket, int, error) {
+	if len(buf) < 5 {
+		return nil, 0, fmt.Errorf("bucket: decode: truncated v2 header")
+	}
+	if v := buf[4]; v != byte(format.V2) {
+		return nil, 0, &format.UnknownVersionError{Surface: "bucket page", Version: uint32(v)}
+	}
+	b := &Bucket{decodedFrom: format.V2}
+	off := 5
+	bc, n := format.Uvarint(buf[off:])
+	if n == 0 {
+		return nil, 0, fmt.Errorf("bucket: decode: truncated bound length")
+	}
+	off += n
+	if bc > 0 {
+		bl := int(bc - 1)
+		if bl > len(buf)-off {
+			return nil, 0, fmt.Errorf("bucket: decode: truncated bound of %d bytes", bl)
+		}
+		b.bound = append([]byte(nil), buf[off:off+bl]...)
+		off += bl
+	}
+	cnt, n := format.Uvarint(buf[off:])
+	if n == 0 {
+		return nil, 0, fmt.Errorf("bucket: decode: truncated count")
+	}
+	off += n
+	// Each record costs at least 3 bytes (three uvarints); reject counts
+	// the remaining bytes cannot possibly hold before allocating.
+	if cnt > uint64(len(buf)-off)/3+1 {
+		return nil, 0, fmt.Errorf("bucket: decode: record count %d exceeds page", cnt)
+	}
+	b.recs = make([]Record, 0, cnt)
+	// Arena decoding: every reconstructed key is appended to one byte
+	// buffer (the running tail doubles as the prefix reference) and every
+	// value to another, then the records sub-slice them — two allocations
+	// for the whole page instead of two per record, which is what lets a
+	// v2 page holding more records than its v1 twin still decode in
+	// comparable time. Value sub-slices are capacity-capped so a caller
+	// appending to one cannot clobber its neighbour.
+	// starts is one backing array for both offset tables: keys first,
+	// values second.
+	starts := make([]int, 2*(cnt+1))
+	var (
+		// Suffix and value bytes both come out of the page, so the page
+		// length bounds the value arena; keys re-expand their shared
+		// prefixes, so their arena starts at the page length (typical
+		// expansion is well under the suffix+value bytes it displaces)
+		// and grows only for extreme sharing.
+		keyArena  = make([]byte, 0, len(buf)-off)
+		valArena  = make([]byte, 0, len(buf)-off)
+		keyStarts = starts[0:0:cnt+1]
+		valStarts = starts[cnt+1 : cnt+1 : 2*(cnt+1)]
+		ref       = b.bound
+	)
+	for i := 0; i < int(cnt); i++ {
+		cp64, n := format.Uvarint(buf[off:])
+		if n == 0 {
+			return nil, 0, fmt.Errorf("bucket: decode: truncated prefix length at record %d", i)
+		}
+		off += n
+		if cp64 > uint64(len(ref)) {
+			return nil, 0, fmt.Errorf("bucket: decode: shared prefix %d exceeds reference key of %d bytes at record %d", cp64, len(ref), i)
+		}
+		sl64, n := format.Uvarint(buf[off:])
+		if n == 0 {
+			return nil, 0, fmt.Errorf("bucket: decode: truncated suffix length at record %d", i)
+		}
+		off += n
+		sl := int(sl64)
+		if sl > len(buf)-off {
+			return nil, 0, fmt.Errorf("bucket: decode: truncated key suffix at record %d", i)
+		}
+		keyStarts = append(keyStarts, len(keyArena))
+		keyArena = append(keyArena, ref[:cp64]...)
+		keyArena = append(keyArena, buf[off:off+sl]...)
+		key := keyArena[keyStarts[i]:]
+		off += sl
+		vl64, n := format.Uvarint(buf[off:])
+		if n == 0 {
+			return nil, 0, fmt.Errorf("bucket: decode: truncated value length at record %d", i)
+		}
+		off += n
+		vl := int(vl64)
+		if vl > len(buf)-off {
+			return nil, 0, fmt.Errorf("bucket: decode: truncated value at record %d", i)
+		}
+		valStarts = append(valStarts, len(valArena))
+		valArena = append(valArena, buf[off:off+vl]...)
+		off += vl
+		if i > 0 {
+			// key[:cp64] was copied out of prev, so ordering reduces to
+			// the tails beyond the shared prefix.
+			prev := keyArena[keyStarts[i-1]:keyStarts[i]]
+			if bytes.Compare(key[cp64:], prev[cp64:]) <= 0 {
+				return nil, 0, fmt.Errorf("bucket: decode: keys out of order (%q after %q)", key, prev)
+			}
+		}
+		ref = key
+	}
+	keyStarts = append(keyStarts, len(keyArena))
+	valStarts = append(valStarts, len(valArena))
+	ks := string(keyArena)
+	for i := 0; i < int(cnt); i++ {
+		var val []byte
+		if a, z := valStarts[i], valStarts[i+1]; z > a {
+			val = valArena[a:z:z]
+		}
+		b.recs = append(b.recs, Record{Key: ks[keyStarts[i]:keyStarts[i+1]], Value: val})
 	}
 	return b, off, nil
 }

@@ -1,0 +1,123 @@
+package core
+
+import (
+	"triehash/internal/bucket"
+)
+
+// This file is the byte-budget gate. With Config.PageBudget set (persistent
+// files set it to the store's slot payload), the engines gate every bucket
+// write on its exact encoded size, not just its record count: a bucket
+// whose encoding would overflow its slot splits early, and merges,
+// redistributions and borrows refuse moves that would overflow the
+// receiver. Count-triggered behaviour is untouched when the budget is off
+// (PageBudget == 0, every in-memory file) or roomy enough, so the paper's
+// load-factor results — and the sequential/concurrent byte-identity — are
+// preserved; the gate only matters when record sizes stress the slot,
+// which is exactly when the compact v2 encoding pays off by packing more
+// records per slot.
+
+// pageFits reports whether b's encoding fits the byte budget (always true
+// with the gate off).
+func (f *File) pageFits(b *bucket.Bucket) bool {
+	return f.cfg.PageBudget <= 0 || b.EncodedLen(f.cfg.Format) <= f.cfg.PageBudget
+}
+
+// fitsPage is the write-back test: a bucket goes back to its slot without
+// splitting only within both gates, record count and encoded bytes.
+func (f *File) fitsPage(b *bucket.Bucket) bool {
+	return b.Len() <= f.cfg.Capacity && f.pageFits(b)
+}
+
+// mergeFits reports whether dst can absorb every record of src — count
+// gate and, when armed, byte gate over the would-be merged image. bound,
+// when non-nil, is the bound the survivor takes (a predecessor absorbing
+// its successor extends up to the absorbed bound).
+func (f *File) mergeFits(dst, src *bucket.Bucket, bound []byte) bool {
+	if dst.Len()+src.Len() > f.cfg.Capacity {
+		return false
+	}
+	if f.cfg.PageBudget <= 0 {
+		return true
+	}
+	m := dst.Clone()
+	for i := 0; i < src.Len(); i++ {
+		r := src.At(i)
+		m.Put(r.Key, r.Value)
+	}
+	if bound != nil {
+		m.SetBound(bound)
+	}
+	return f.pageFits(m)
+}
+
+// splitIndices picks the cut for splitting b's ordered keys: the
+// configured (SplitPos, BoundPos) whenever the split is the classic
+// count-triggered one and its halves fit the byte budget, else a
+// byte-balanced cut with the bounding key immediately above it. The
+// deterministic bound matters: a partly-random bound (boundPos = b+1)
+// separates the split key from the LAST key, so the realized partition
+// can land far above the chosen cut and leave one half over the budget.
+// Positions are 1-based within b.Keys().
+func (f *File) splitIndices(b *bucket.Bucket) (splitPos, boundPos int) {
+	if f.cfg.PageBudget <= 0 {
+		return f.cfg.SplitPos, f.cfg.BoundPos
+	}
+	if b.Len() == f.cfg.Capacity+1 && f.cfgCutFits(b) {
+		return f.cfg.SplitPos, f.cfg.BoundPos
+	}
+	splitPos = f.byteBalancedCut(b) + 1
+	return splitPos, splitPos + 1
+}
+
+// cfgCutFits simulates the configured cut on clones and reports whether
+// both halves' encodings fit the byte budget.
+func (f *File) cfgCutFits(b *bucket.Bucket) bool {
+	B := b.Keys()
+	s := f.cfg.Alphabet.SplitString(B[f.cfg.SplitPos-1], B[f.cfg.BoundPos-1])
+	return f.halvesFit(b, s)
+}
+
+// halvesFit simulates splitting b at split string s and reports whether
+// both resulting pages fit the byte budget.
+func (f *File) halvesFit(b *bucket.Bucket, s []byte) bool {
+	old := b.Clone()
+	moved := old.SplitOff(func(k string) bool { return f.cfg.Alphabet.KeyLEBound(k, s) })
+	old.SetBound(s)
+	nb := bucket.New(f.cfg.Capacity)
+	nb.SetBound(newBucketBound(f.cfg.Mode, s, b.Bound()))
+	nb.Absorb(moved)
+	return f.pageFits(old) && f.pageFits(nb)
+}
+
+// byteBalancedCut returns the 0-based index of the last staying key of a
+// byte-triggered split: the earliest cut where the staying records carry
+// at least half the record bytes, clamped so at least one key stays and at
+// least one moves. Weights are the records' standalone sizes — the exact
+// v2 sizes depend on prefix compression against cut-dependent neighbours,
+// and a fixed weight keeps the cut deterministic across formats.
+func (f *File) byteBalancedCut(b *bucket.Bucket) int {
+	L := b.Len()
+	total := 0
+	w := make([]int, L)
+	for i := 0; i < L; i++ {
+		r := b.At(i)
+		w[i] = 8 + len(r.Key) + len(r.Value)
+		total += w[i]
+	}
+	m := L - 2
+	cum := 0
+	for i := 0; i < L; i++ {
+		cum += w[i]
+		if 2*cum >= total {
+			m = i
+			break
+		}
+	}
+	if m > L-2 {
+		m = L - 2
+	}
+	if m < 0 {
+		m = 0
+	}
+	return m
+}

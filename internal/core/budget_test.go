@@ -1,0 +1,142 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"triehash/internal/format"
+	"triehash/internal/store"
+	"triehash/internal/trie"
+)
+
+// budgetLeaves walks the trie and returns each real leaf's decoded bucket.
+func budgetLeaves(t *testing.T, f *File) []struct {
+	addr int32
+	enc  int
+} {
+	t.Helper()
+	var out []struct {
+		addr int32
+		enc  int
+	}
+	for _, lp := range f.trie.InorderLeaves() {
+		if lp.Leaf.IsNil() {
+			continue
+		}
+		b, err := f.st.Read(lp.Leaf.Addr())
+		if err != nil {
+			t.Fatalf("read leaf %d: %v", lp.Leaf.Addr(), err)
+		}
+		out = append(out, struct {
+			addr int32
+			enc  int
+		}{lp.Leaf.Addr(), b.EncodedLen(f.cfg.Format)})
+	}
+	return out
+}
+
+// TestByteBudgetGate grows and shrinks a file with the byte gate armed at
+// both encoding versions and asserts the invariant the gate exists for:
+// no page's exact encoded size ever exceeds the budget, through
+// count-triggered splits, byte-triggered splits (values large enough that
+// fewer than Capacity records fill a page) and the merges on the way back
+// down. The v2 run packs more records per page but must obey the same
+// ceiling.
+func TestByteBudgetGate(t *testing.T) {
+	for _, v := range []format.Version{format.V1, format.V2} {
+		t.Run(v.String(), func(t *testing.T) {
+			const budget = 240
+			f, err := New(Config{
+				Capacity:   8,
+				Mode:       trie.ModeTHCL,
+				Format:     v,
+				PageBudget: budget,
+			}, store.NewMem())
+			if err != nil {
+				t.Fatal(err)
+			}
+			check := func(stage string) {
+				t.Helper()
+				if err := f.CheckInvariants(); err != nil {
+					t.Fatalf("%s: invariants: %v", stage, err)
+				}
+				for _, l := range budgetLeaves(t, f) {
+					if l.enc > budget {
+						t.Fatalf("%s: leaf %d encodes to %d bytes, budget %d",
+							stage, l.addr, l.enc, budget)
+					}
+				}
+			}
+			keys := make([]string, 0, 160)
+			for i := 0; i < 160; i++ {
+				k := fmt.Sprintf("user:%04d", i*7%160)
+				keys = append(keys, k)
+				// Value sizes cycle 0..47 bytes so some pages fill by count
+				// and others by bytes; a few land near the per-record cap.
+				val := make([]byte, i%48)
+				for j := range val {
+					val[j] = byte('a' + i%26)
+				}
+				if _, err := f.Put(k, val); err != nil {
+					t.Fatalf("put %q: %v", k, err)
+				}
+				if i%20 == 19 {
+					check(fmt.Sprintf("after %d puts", i+1))
+				}
+			}
+			check("grown")
+			for i, k := range keys {
+				if err := f.Delete(k); err != nil {
+					t.Fatalf("delete %q: %v", k, err)
+				}
+				if i%25 == 24 {
+					check(fmt.Sprintf("after %d deletes", i+1))
+				}
+			}
+			check("drained")
+			if f.Len() != 0 {
+				t.Fatalf("drained file still holds %d keys", f.Len())
+			}
+		})
+	}
+}
+
+// TestByteBudgetSplitBalance drives the byte-triggered split path with
+// heavily skewed record sizes (one giant record among small ones) and
+// asserts both halves of every split actually fit — the regression shape
+// for the partly-random-bound bug where the realized partition could
+// land far from the chosen cut and leave one half over budget.
+func TestByteBudgetSplitBalance(t *testing.T) {
+	const budget = 240
+	f, err := New(Config{
+		Capacity:   16,
+		Mode:       trie.ModeTHCL,
+		Format:     format.V2,
+		PageBudget: budget,
+	}, store.NewMem())
+	if err != nil {
+		t.Fatal(err)
+	}
+	big := make([]byte, budget/4-12)
+	for i := range big {
+		big[i] = 'x'
+	}
+	for i := 0; i < 120; i++ {
+		k := fmt.Sprintf("%c%c", 'a'+i%26, 'a'+(i*11)%26)
+		val := []byte("v")
+		if i%5 == 0 {
+			val = big
+		}
+		if _, err := f.Put(k, val); err != nil {
+			t.Fatalf("put %q: %v", k, err)
+		}
+	}
+	if err := f.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	for _, l := range budgetLeaves(t, f) {
+		if l.enc > budget {
+			t.Fatalf("leaf %d encodes to %d bytes, budget %d", l.addr, l.enc, budget)
+		}
+	}
+}

@@ -85,11 +85,26 @@ func BulkLoad(cfg Config, st store.Store, fill float64, next func() (key string,
 		if total > 0 && key <= prevKey {
 			return nil, fmt.Errorf("core: bulk load keys not strictly ascending: %q after %q", key, prevKey)
 		}
-		if cur.Len() == perBucket {
+		if cur.Len() > 0 {
 			// The boundary separates the bucket's last key from the
-			// incoming one, exactly as a split would place it.
-			if err := flush(cfg.Alphabet.SplitString(prevKey, key)); err != nil {
-				return nil, err
+			// incoming one, exactly as a split would place it. Cut at the
+			// count target, or earlier when the byte budget is armed and the
+			// grown bucket could no longer encode into its slot.
+			cut := cur.Len() >= perBucket
+			var s []byte
+			if cut || cfg.PageBudget > 0 {
+				s = cfg.Alphabet.SplitString(prevKey, key)
+			}
+			if !cut && cfg.PageBudget > 0 {
+				probe := cur.Clone()
+				probe.Put(key, value)
+				probe.SetBound(s)
+				cut = probe.EncodedLen(cfg.Format) > cfg.PageBudget
+			}
+			if cut {
+				if err := flush(s); err != nil {
+					return nil, err
+				}
 			}
 		}
 		cur.Put(key, value)
@@ -131,13 +146,20 @@ func BulkLoadParallel(cfg Config, st store.Store, fill float64, next func() (key
 	}
 
 	// Serial scan: validate, buffer, and cut the boundary wherever the
-	// streaming loader would have flushed.
+	// streaming loader would have flushed — the same count target and (when
+	// the byte budget is armed) the same encoded-size probe, so the two
+	// loaders build byte-identical files.
 	var (
 		ks      []string
 		vs      [][]byte
 		bounds  [][]byte
+		starts  = []int{0} // ks index of each bucket's first record
 		prevKey string
+		cur     *bucket.Bucket // packing probe, maintained only under a byte budget
 	)
+	if cfg.PageBudget > 0 {
+		cur = bucket.New(cfg.Capacity)
+	}
 	for {
 		key, value, ok := next()
 		if !ok {
@@ -149,14 +171,35 @@ func BulkLoadParallel(cfg Config, st store.Store, fill float64, next func() (key
 		if len(ks) > 0 && key <= prevKey {
 			return nil, fmt.Errorf("core: bulk load keys not strictly ascending: %q after %q", key, prevKey)
 		}
-		if len(ks) > 0 && len(ks)%perBucket == 0 {
-			bounds = append(bounds, cfg.Alphabet.SplitString(prevKey, key))
+		if n := len(ks) - starts[len(starts)-1]; n > 0 {
+			cut := n >= perBucket
+			var s []byte
+			if cut || cur != nil {
+				s = cfg.Alphabet.SplitString(prevKey, key)
+			}
+			if !cut && cur != nil {
+				probe := cur.Clone()
+				probe.Put(key, value)
+				probe.SetBound(s)
+				cut = probe.EncodedLen(cfg.Format) > cfg.PageBudget
+			}
+			if cut {
+				bounds = append(bounds, s)
+				starts = append(starts, len(ks))
+				if cur != nil {
+					cur = bucket.New(cfg.Capacity)
+				}
+			}
+		}
+		if cur != nil {
+			cur.Put(key, value)
 		}
 		ks = append(ks, key)
 		vs = append(vs, value)
 		prevKey = key
 	}
 	bounds = append(bounds, nil) // the final bucket's infinite bound
+	starts = append(starts, len(ks))
 
 	// Serial allocation in bucket order keeps the address sequence (and so
 	// the trie's leaves) identical to the streaming loader's.
@@ -173,11 +216,7 @@ func BulkLoadParallel(cfg Config, st store.Store, fill float64, next func() (key
 	)
 	concurrent.FanOut(len(bounds), workers, func(i int) {
 		b := bucket.New(cfg.Capacity)
-		lo := i * perBucket
-		hi := lo + perBucket
-		if hi > len(ks) {
-			hi = len(ks)
-		}
+		lo, hi := starts[i], starts[i+1]
 		for j := lo; j < hi; j++ {
 			b.Put(ks[j], vs[j])
 		}

@@ -9,6 +9,7 @@ import (
 
 	"triehash/internal/bucket"
 	"triehash/internal/concurrent"
+	"triehash/internal/format"
 	"triehash/internal/obs"
 	"triehash/internal/store"
 	"triehash/internal/trie"
@@ -156,6 +157,14 @@ func (e *ConcurrentFile) Len() int { return int(e.nkeys.Load()) }
 // SetObsHook attaches the observability hook structural events go to.
 func (e *ConcurrentFile) SetObsHook(h *obs.Hook) { e.inner.SetObsHook(h) }
 
+// SetFormat selects the on-disk encoding version (see File.SetFormat).
+// Call before serving operations — the field is not latched.
+func (e *ConcurrentFile) SetFormat(v format.Version) { e.inner.SetFormat(v) }
+
+// SetPageBudget arms the byte-budget gate (see File.SetPageBudget). Call
+// before serving operations — the field is not latched.
+func (e *ConcurrentFile) SetPageBudget(n int) { e.inner.SetPageBudget(n) }
+
 // syncDown pushes the atomic record count into inner.nkeys. Callers hold
 // the flip lock (or the exclusive world lock) and call syncUp with the
 // returned base after running inner code, so fast-path increments that
@@ -251,22 +260,20 @@ func (e *ConcurrentFile) Put(key string, value []byte) (bool, error) {
 			return false, err
 		}
 		replaced := b.Put(key, value)
-		if replaced {
-			err := e.inner.st.Write(addr, b)
-			mu.Unlock()
-			return true, err
-		}
-		if b.Len() <= e.inner.cfg.Capacity {
+		if e.inner.fitsPage(b) {
 			err := e.inner.st.Write(addr, b)
 			mu.Unlock()
 			if err != nil {
-				return false, err
+				return replaced, err
 			}
-			e.nkeys.Add(1)
-			return false, nil
+			if !replaced {
+				e.nkeys.Add(1)
+			}
+			return replaced, nil
 		}
-		// Overflow: the split needs the subtree stripe, which orders
-		// before bucket latches; release and redo on the slow path.
+		// Overflow — over the record count, or an over-budget replacement:
+		// the split needs the subtree stripe, which orders before bucket
+		// latches; release and redo on the slow path.
 		mu.Unlock()
 		break
 	}
@@ -320,34 +327,33 @@ func (e *ConcurrentFile) putLatched(addr int32, key string, value []byte, sp *ob
 		return false, err
 	}
 	replaced := b.Put(key, value)
-	if replaced {
-		err := e.inner.st.Write(addr, b)
-		sp.Mark(obs.StageStoreWrite)
-		return true, err
-	}
-	if b.Len() <= e.inner.cfg.Capacity {
+	if e.inner.fitsPage(b) {
 		err := e.inner.st.Write(addr, b)
 		sp.Mark(obs.StageStoreWrite)
 		if err != nil {
-			return false, err
+			return replaced, err
 		}
-		e.nkeys.Add(1)
-		return false, nil
+		if !replaced {
+			e.nkeys.Add(1)
+		}
+		return replaced, nil
 	}
-	// Overflow: prepare the split off to the side — the new bucket is
-	// allocated and written while unreachable, so only this subtree's
-	// stripe and this bucket's latch are held — then publish under the
-	// flip lock.
+	// Overflow (count or byte gate): prepare the split off to the side —
+	// the new bucket is allocated and written while unreachable, so only
+	// this subtree's stripe and this bucket's latch are held — then publish
+	// under the flip lock.
 	rec, err := e.inner.prepareSplit(addr, b)
 	sp.Mark(obs.StageSplit)
 	if err != nil {
-		return false, err
+		return replaced, err
 	}
 	if err := e.publishSplit(rec, sp); err != nil {
-		return false, err
+		return replaced, err
 	}
-	e.nkeys.Add(1)
-	return false, nil
+	if !replaced {
+		e.nkeys.Add(1)
+	}
+	return replaced, nil
 }
 
 // publishSplit installs a prepared split under the flip lock: the old
@@ -497,7 +503,7 @@ func (e *ConcurrentFile) maintainOnce(key string, sp *obs.Span) (retry bool, err
 		if err != nil {
 			return false, err
 		}
-		if b.Len()+sb.Len() <= e.inner.cfg.Capacity {
+		if e.inner.mergeFits(sb, b, nil) {
 			return false, e.mergeLatched(addr, succ, true)
 		}
 		nbAddr, nbLen, nbIsSuc = succ, sb.Len(), true
@@ -507,7 +513,7 @@ func (e *ConcurrentFile) maintainOnce(key string, sp *obs.Span) (retry bool, err
 		if err != nil {
 			return false, err
 		}
-		if b.Len()+pb.Len() <= e.inner.cfg.Capacity {
+		if e.inner.mergeFits(pb, b, b.Bound()) {
 			return false, e.mergeLatched(addr, pred, false)
 		}
 		if nbAddr < 0 || pb.Len() > nbLen {
@@ -569,7 +575,11 @@ func (e *ConcurrentFile) mergeLatched(addr, nbAddr int32, nbIsSucc bool) error {
 	// Re-verify under the latches: a fast-path insert may have refilled
 	// either bucket since the unlatched probe. Single-threaded these
 	// conditions never fire, so bailing cannot diverge from the oracle.
-	if 2*b.Len() >= e.inner.cfg.Capacity || b.Len()+nb.Len() > e.inner.cfg.Capacity {
+	var bound []byte
+	if !nbIsSucc {
+		bound = b.Bound()
+	}
+	if 2*b.Len() >= e.inner.cfg.Capacity || !e.inner.mergeFits(nb, b, bound) {
 		return nil
 	}
 	e.trieMu.Lock()
@@ -598,7 +608,11 @@ func (e *ConcurrentFile) borrowLatched(addr, nbAddr int32, nbIsSucc bool) error 
 	if err != nil {
 		return err
 	}
-	if 2*b.Len() >= e.inner.cfg.Capacity || b.Len()+nb.Len() <= e.inner.cfg.Capacity {
+	var bound []byte
+	if !nbIsSucc {
+		bound = b.Bound()
+	}
+	if 2*b.Len() >= e.inner.cfg.Capacity || e.inner.mergeFits(nb, b, bound) {
 		return nil // resolved, or a merge now fits: bail (next underflow retries)
 	}
 	e.trieMu.Lock()
@@ -801,16 +815,23 @@ func (e *ConcurrentFile) putBatch(keys []string, values [][]byte, sp *obs.Span) 
 					errs[i] = rerr
 					continue
 				}
-				if _, exists := b.Get(keys[i]); exists {
-					b.Put(keys[i], values[i])
+				old, exists := b.Get(keys[i])
+				b.Put(keys[i], values[i])
+				if e.inner.fitsPage(b) {
+					if !exists {
+						added++
+					}
 					applied = append(applied, i)
 					continue
 				}
-				if b.Len() < e.inner.cfg.Capacity {
-					b.Put(keys[i], values[i])
-					added++
-					applied = append(applied, i)
-					continue
+				// Over the count or byte gate: the fast wave cannot split,
+				// so revert the optimistic put exactly (Put stores value
+				// slices by reference, so the old slice is intact) and send
+				// the record to the slow wave.
+				if exists {
+					b.Put(keys[i], old)
+				} else {
+					b.Delete(keys[i])
 				}
 				over = append(over, i)
 			}
@@ -998,20 +1019,17 @@ func (e *ConcurrentFile) applySlowGroup(addr int32, keys []string, values [][]by
 	}
 	overflowed := false
 	for n, i := range idxs {
-		if _, exists := b.Get(keys[i]); exists {
-			b.Put(keys[i], values[i])
-			applied = append(applied, i)
-			continue
-		}
-		if b.Len() < e.inner.cfg.Capacity {
-			b.Put(keys[i], values[i])
+		_, exists := b.Get(keys[i])
+		b.Put(keys[i], values[i])
+		if !exists {
 			added++
-			applied = append(applied, i)
+		}
+		applied = append(applied, i)
+		if e.inner.fitsPage(b) {
 			continue
 		}
-		b.Put(keys[i], values[i]) // the Capacity+1'th record triggers the split
-		added++
-		applied = append(applied, i)
+		// The overflowing record (over the count or the byte gate) stays in
+		// as the record that triggers the split; the rest retry next round.
 		leftover = append(leftover, idxs[n+1:]...)
 		overflowed = true
 		break

@@ -9,6 +9,7 @@ package core
 import (
 	"fmt"
 
+	"triehash/internal/format"
 	"triehash/internal/keys"
 	"triehash/internal/trie"
 )
@@ -104,6 +105,16 @@ type Config struct {
 	// option ("only mark deleted leaves through a special value").
 	// Vacuum during Save reclaims them.
 	TombstoneMerges bool
+	// Format is the on-disk encoding version this file writes (pages it
+	// reads may be either version). 0 selects format.Default.
+	Format format.Version
+	// PageBudget caps the encoded byte size of a bucket page; a bucket
+	// whose encoding would exceed it splits even below Capacity records,
+	// and merges/redistributions refuse receivers they would overflow.
+	// 0 disables byte gating (pure in-memory stores have no slot limit).
+	// Persistent files set it to the store's slot payload, which is what
+	// lets a compact encoding pack more records per fixed-size slot.
+	PageBudget int
 }
 
 // withDefaults validates cfg and fills the defaulted fields in.
@@ -116,6 +127,15 @@ func (cfg Config) withDefaults() (Config, error) {
 	}
 	if cfg.Capacity < 2 {
 		return cfg, fmt.Errorf("core: bucket capacity %d; need at least 2", cfg.Capacity)
+	}
+	if cfg.Format == 0 {
+		cfg.Format = format.Default
+	}
+	if !cfg.Format.Valid() {
+		return cfg, fmt.Errorf("core: unsupported on-disk format %d", cfg.Format)
+	}
+	if cfg.PageBudget < 0 {
+		return cfg, fmt.Errorf("core: negative page budget %d", cfg.PageBudget)
 	}
 	if cfg.SplitPos == 0 {
 		cfg.SplitPos = cfg.Capacity/2 + 1

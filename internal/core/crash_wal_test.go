@@ -59,7 +59,7 @@ func buildWALCrashRun(t *testing.T, cfg Config, seed int64, nops, ckptEvery int,
 		}
 		f = ce
 	}
-	l, recs, tail, err := wal.Open(cs.LogDevice(), nil)
+	l, recs, tail, err := wal.Open(cs.LogDevice(), inner.Config().Format, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -186,7 +186,10 @@ func (r *walCrashRun) ckptBefore(k int) []byte {
 // matter what the damage did to their bucket.
 func replayImageLog(t *testing.T, f *File, img *store.CrashStore, k int, kind store.CorruptKind) map[string]bool {
 	t.Helper()
-	recs, _ := wal.Scan(img.LogBytes())
+	recs, _, _, err := wal.Scan(img.LogBytes())
+	if err != nil {
+		t.Fatalf("cut %d kind %v: scanning log: %v", k, kind, err)
+	}
 	start := 0
 	for i, rec := range recs {
 		if rec.Op == wal.OpCheckpoint {

@@ -6,6 +6,7 @@ import (
 	"sync"
 
 	"triehash/internal/bucket"
+	"triehash/internal/format"
 	"triehash/internal/obs"
 	"triehash/internal/store"
 	"triehash/internal/trie"
@@ -118,6 +119,24 @@ func New(cfg Config, st store.Store) (*File, error) {
 // Config returns the file's effective configuration (defaults resolved).
 func (f *File) Config() Config { return f.cfg }
 
+// SetFormat selects the on-disk encoding version the file's metadata (and
+// byte-budget arithmetic) uses. The caller keeps it in lockstep with the
+// store's write format. Invalid versions are ignored.
+func (f *File) SetFormat(v format.Version) {
+	if v.Valid() {
+		f.cfg.Format = v
+	}
+}
+
+// SetPageBudget arms (or with 0 disarms) the byte-budget gate: the
+// maximum encoded page size a bucket may reach before it must split.
+// Persistent callers pass the store's slot payload.
+func (f *File) SetPageBudget(n int) {
+	if n >= 0 {
+		f.cfg.PageBudget = n
+	}
+}
+
 // Store exposes the underlying bucket store (for access accounting).
 func (f *File) Store() store.Store { return f.st }
 
@@ -205,21 +224,24 @@ func (f *File) Put(key string, value []byte) (bool, error) {
 		return false, err
 	}
 	replaced := b.Put(key, value)
-	if replaced {
-		return true, f.st.Write(addr, b)
-	}
-	if b.Len() <= f.cfg.Capacity {
+	if f.fitsPage(b) {
 		if err := f.st.Write(addr, b); err != nil {
-			return false, err
+			return replaced, err
 		}
-		f.nkeys++
-		return false, nil
+		if !replaced {
+			f.nkeys++
+		}
+		return replaced, nil
 	}
+	// Overflow: over the record count, or — with the byte budget armed — a
+	// replacement whose grown value no longer encodes into the slot.
 	if err := f.split(addr, b); err != nil {
-		return false, err
+		return replaced, err
 	}
-	f.nkeys++
-	return false, nil
+	if !replaced {
+		f.nkeys++
+	}
+	return replaced, nil
 }
 
 // Delete removes the record for key and runs the configured merge

@@ -67,9 +67,6 @@ func (f *File) mergeSiblingsPolicy(res trie.SearchResult, addr int32, b *bucket.
 	if err != nil {
 		return err
 	}
-	if b.Len()+ob.Len() > f.cfg.Capacity {
-		return nil
-	}
 	// Merge inverse to splitting: the left bucket survives. The merged
 	// bucket is written before the trie shrinks, so a failed write
 	// aborts with the live file untouched.
@@ -78,6 +75,9 @@ func (f *File) mergeSiblingsPolicy(res trie.SearchResult, addr int32, b *bucket.
 	if res.Pos.Side == trie.SideRight {
 		left, right = other, addr
 		lb, rb = ob, b
+	}
+	if !f.mergeFits(lb, rb, rb.Bound()) {
+		return nil
 	}
 	for i := 0; i < rb.Len(); i++ {
 		r := rb.At(i)
@@ -123,7 +123,7 @@ func (f *File) guaranteedPolicy(addr int32, b *bucket.Bucket) error {
 		if err != nil {
 			return err
 		}
-		if b.Len()+sb.Len() <= f.cfg.Capacity {
+		if f.mergeFits(sb, b, nil) {
 			return f.mergeInto(addr, b, succ, sb, true)
 		}
 		nbAddr, nb, nbIsSuc = succ, sb, true
@@ -133,7 +133,7 @@ func (f *File) guaranteedPolicy(addr int32, b *bucket.Bucket) error {
 		if err != nil {
 			return err
 		}
-		if b.Len()+pb.Len() <= f.cfg.Capacity {
+		if f.mergeFits(pb, b, b.Bound()) {
 			return f.mergeInto(addr, b, pred, pb, false)
 		}
 		if nb == nil || pb.Len() > nb.Len() {
@@ -187,7 +187,8 @@ func (f *File) borrow(addr int32, b *bucket.Bucket, nbAddr int32, nb *bucket.Buc
 		q = nb.Len() - 1
 	}
 	K := nb.Keys()
-	undo := b.Clone() // compensation image if the giver's write fails
+	undo := b.Clone()    // compensation image if the giver's write fails
+	nbundo := nb.Clone() // restore image if the byte gate refuses the shift
 	var s []byte
 	var splitKey string
 	var low, high int32
@@ -208,6 +209,15 @@ func (f *File) borrow(addr int32, b *bucket.Bucket, nbAddr int32, nb *bucket.Buc
 		moved := nb.SplitOff(func(k string) bool { return f.cfg.Alphabet.KeyLEBound(k, s) })
 		b.Absorb(moved)
 		nb.SetBound(s)
+	}
+	if !f.pageFits(b) || !f.pageFits(nb) {
+		// Byte gate: the rebalanced images would not encode into their
+		// slots. Restore both in-memory images and leave the underflow for
+		// the next deletion to retry (the load guarantee yields to the slot
+		// size, exactly as an over-budget merge does).
+		*b = *undo
+		*nb = *nbundo
+		return nil
 	}
 	// Receiver first, giver second, trie last (the split ordering); on a
 	// giver failure the receiver is restored best-effort.
@@ -256,9 +266,6 @@ func (f *File) rotationPolicy(addr int32) error {
 		if err != nil {
 			return err
 		}
-		if b.Len()+ob.Len() > f.cfg.Capacity {
-			continue
-		}
 		// Merge into the left bucket, inverse to splitting; write the
 		// survivor before any trie change (rotations are semantically
 		// neutral, so they may follow the write).
@@ -266,6 +273,9 @@ func (f *File) rotationPolicy(addr int32) error {
 		right, rb := c.Right.Addr(), ob
 		if left == other {
 			lb, rb = ob, b
+		}
+		if !f.mergeFits(lb, rb, rb.Bound()) {
+			continue
 		}
 		for i := 0; i < rb.Len(); i++ {
 			r := rb.At(i)

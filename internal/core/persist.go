@@ -5,22 +5,23 @@ import (
 	"fmt"
 	"hash/crc32"
 
+	"triehash/internal/format"
 	"triehash/internal/store"
 	"triehash/internal/trie"
 )
 
-const (
-	metaMagic   = 0x5448434C // "THCL"
-	metaVersion = 1
-)
+const metaMagic = 0x5448434C // "THCL"
 
 // SaveMeta serializes everything the file needs besides its bucket store:
 // the configuration, the record/split counters and the trie. Together with
-// a persistent Store (store.FileStore) this makes the file durable.
+// a persistent Store (store.FileStore) this makes the file durable. The
+// header's version field mirrors cfg.Format — it announces both the
+// header layout (unchanged across v1/v2) and the trie page encoding that
+// follows it, so a v1 file upgrades wholesale at its next SaveMeta.
 func (f *File) SaveMeta() []byte {
 	var hdr [40]byte
 	binary.LittleEndian.PutUint32(hdr[0:], metaMagic)
-	binary.LittleEndian.PutUint32(hdr[4:], metaVersion)
+	binary.LittleEndian.PutUint32(hdr[4:], uint32(f.cfg.Format))
 	binary.LittleEndian.PutUint32(hdr[8:], uint32(f.cfg.Capacity))
 	hdr[12] = byte(f.cfg.Mode)
 	hdr[13] = byte(f.cfg.Redistribution)
@@ -36,7 +37,7 @@ func (f *File) SaveMeta() []byte {
 	binary.LittleEndian.PutUint64(hdr[24:], uint64(f.nkeys))
 	binary.LittleEndian.PutUint32(hdr[32:], uint32(f.splits))
 	binary.LittleEndian.PutUint32(hdr[36:], uint32(f.redistributions))
-	buf := f.trie.AppendBinary(hdr[:])
+	buf := f.trie.AppendFormat(hdr[:], f.cfg.Format)
 	var sum [4]byte
 	binary.LittleEndian.PutUint32(sum[:], crc32.ChecksumIEEE(buf))
 	return append(buf, sum[:]...)
@@ -56,8 +57,8 @@ func Open(meta []byte, st store.Store) (*File, error) {
 	if binary.LittleEndian.Uint32(meta[0:]) != metaMagic {
 		return nil, fmt.Errorf("core: open: bad magic")
 	}
-	if v := binary.LittleEndian.Uint32(meta[4:]); v != metaVersion {
-		return nil, fmt.Errorf("core: open: unsupported version %d", v)
+	if v := binary.LittleEndian.Uint32(meta[4:]); v != uint32(format.V1) && v != uint32(format.V2) {
+		return nil, &format.UnknownVersionError{Surface: "meta", Version: v}
 	}
 	tr, _, err := trie.DecodeBinary(meta[40:])
 	if err != nil {

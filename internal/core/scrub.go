@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 
+	"triehash/internal/format"
 	"triehash/internal/obs"
 	"triehash/internal/store"
 )
@@ -53,6 +54,12 @@ type ScrubReport struct {
 	// KeysBefore and KeysAfter are the file's record counts around the
 	// rebuild; the difference is the (known) record loss.
 	KeysBefore, KeysAfter int
+	// PagesV1 and PagesV2 count the surviving buckets by on-disk encoding
+	// version — a file caught mid-upgrade legitimately holds both, and the
+	// next full rewrite converges it. A page at a version this build does
+	// not know aborts the scrub instead of being counted (or quarantined):
+	// it is a future build's intact data.
+	PagesV1, PagesV2 int
 }
 
 // Lost reports whether the scrub gave any data up.
@@ -121,10 +128,16 @@ func (f *File) Scrub(quarantinePath string) (*File, *ScrubReport, error) {
 	var condemned []LostRange
 	for addr := int32(0); addr < base.MaxAddr(); addr++ {
 		report.SlotsScanned++
-		_, err := base.Read(addr)
+		b, err := base.Read(addr)
 		switch {
 		case err == nil:
 			report.Survivors++
+			switch b.DecodedFormat() {
+			case format.V1:
+				report.PagesV1++
+			case format.V2:
+				report.PagesV2++
+			}
 		case errors.Is(err, store.ErrCorrupt):
 			l := lost(addr, err)
 			e := store.QuarantineEntry{Addr: addr, Reason: l.Reason}

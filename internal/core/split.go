@@ -62,9 +62,10 @@ type preparedSplit struct {
 // old bucket's store image and the trie are untouched; the caller runs
 // finishSplit to publish.
 func (f *File) prepareSplit(addr int32, b *bucket.Bucket) (*preparedSplit, error) {
-	B := b.Keys() // the b+1 ordered keys to split
-	splitKey := B[f.cfg.SplitPos-1]
-	boundKey := B[f.cfg.BoundPos-1]
+	B := b.Keys() // the b+1 ordered keys to split (fewer on a byte-triggered split)
+	splitPos, boundPos := f.splitIndices(b)
+	splitKey := B[splitPos-1]
+	boundKey := B[boundPos-1]
 	s := f.cfg.Alphabet.SplitString(splitKey, boundKey)
 
 	newAddr, err := f.st.Alloc()
@@ -150,6 +151,7 @@ func (f *File) redistributeToSuccessor(addr int32, b *bucket.Bucket) (bool, erro
 	}
 	B := b.Keys()
 	undo := sb.Clone() // compensation image if the giver's write fails
+	bundo := b.Clone() // restore image if the byte gate refuses the shift
 	total := len(B) + sb.Len()
 	targetStay := (total + 1) / 2
 	q := len(B) - targetStay // keys to move
@@ -167,6 +169,13 @@ func (f *File) redistributeToSuccessor(addr int32, b *bucket.Bucket) (bool, erro
 	b.SetBound(s)
 	if sb.Len() > f.cfg.Capacity || b.Len() > f.cfg.Capacity {
 		panic(fmt.Sprintf("core: successor redistribution overflowed: %d/%d keys", b.Len(), sb.Len()))
+	}
+	if !f.pageFits(sb) || !f.pageFits(b) {
+		// Byte gate: the shifted images would not encode into their slots;
+		// restore the giver (the receiver's image is a discarded read copy)
+		// and fall through to the append split.
+		*b = *bundo
+		return false, nil
 	}
 	// Receiver first, giver second, trie last: a failure at any point
 	// leaves the live file consistent (duplicated records in the
@@ -207,6 +216,7 @@ func (f *File) redistributeToPredecessor(addr int32, b *bucket.Bucket) (bool, er
 	}
 	B := b.Keys()
 	undo := pb.Clone() // compensation image if the giver's write fails
+	bundo := b.Clone() // restore image if the byte gate refuses the shift
 	total := len(B) + pb.Len()
 	q := total/2 - pb.Len() // keys to move down for an even load
 	if q < 1 {
@@ -227,6 +237,12 @@ func (f *File) redistributeToPredecessor(addr int32, b *bucket.Bucket) (bool, er
 	pb.SetBound(s) // the predecessor's range now reaches the split string
 	if pb.Len() > f.cfg.Capacity || b.Len() > f.cfg.Capacity {
 		panic(fmt.Sprintf("core: predecessor redistribution overflowed: %d/%d keys", pb.Len(), b.Len()))
+	}
+	if !f.pageFits(pb) || !f.pageFits(b) {
+		// Byte gate: restore the giver and fall through to the append split
+		// (see redistributeToSuccessor).
+		*b = *bundo
+		return false, nil
 	}
 	// Receiver first, giver second, trie last (see redistributeToSuccessor).
 	if err := f.st.Write(pred, pb); err != nil {

@@ -1,0 +1,163 @@
+// Package format defines the on-disk encoding versions shared by the
+// three persistent surfaces (bucket pages, trie pages, WAL frames) and
+// the cross-surface helpers the codecs are built from: uvarint sizing,
+// zigzag mapping for signed deltas, the typed error every surface
+// returns for a version it does not know, and the global page counters
+// that make a mixed-version file observable during rollout.
+//
+// Version 1 is the original fixed-width little-endian layout. Version 2
+// packs lengths as uvarints, compresses bucket keys against their
+// shared prefixes, serializes trie cells as deltas over a pre-order
+// walk, and frames WAL records with uvarint lengths. Every decoder
+// accepts both versions; writers emit the version the file was opened
+// with, so a v1 file upgrades page by page as pages are rewritten.
+package format
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sync/atomic"
+)
+
+// Version identifies an on-disk encoding version.
+type Version uint8
+
+const (
+	// V1 is the original fixed-width encoding.
+	V1 Version = 1
+	// V2 is the compact varint/delta/prefix-compressed encoding.
+	V2 Version = 2
+	// Default is the version new files are written with.
+	Default = V2
+)
+
+// Valid reports whether v is a version this build can write.
+func (v Version) Valid() bool { return v == V1 || v == V2 }
+
+func (v Version) String() string { return fmt.Sprintf("v%d", uint8(v)) }
+
+// UnknownVersionError reports an on-disk version this build does not
+// understand — the signature of a file written by a future build. It is
+// deliberately distinct from corruption: the bytes are intact, the
+// reader is too old, and no repair (truncation, quarantine) must touch
+// them.
+type UnknownVersionError struct {
+	// Surface names what carried the version ("meta", "bucket page",
+	// "trie page", "wal").
+	Surface string
+	// Version is the unknown version found.
+	Version uint32
+}
+
+func (e *UnknownVersionError) Error() string {
+	return fmt.Sprintf("format: %s version %d is newer than this build supports (max %d)",
+		e.Surface, e.Version, uint8(Default))
+}
+
+// UvarintLen returns the encoded size of x as a uvarint, 1..10 bytes.
+func UvarintLen(x uint64) int {
+	n := 1
+	for x >= 0x80 {
+		x >>= 7
+		n++
+	}
+	return n
+}
+
+// Zigzag maps a signed delta onto the uvarint-friendly unsigned line
+// (0, -1, 1, -2, ... -> 0, 1, 2, 3, ...).
+func Zigzag(d int64) uint64 { return uint64(d<<1) ^ uint64(d>>63) }
+
+// Unzigzag inverts Zigzag.
+func Unzigzag(u uint64) int64 { return int64(u>>1) ^ -int64(u&1) }
+
+// Uvarint decodes a uvarint from buf, returning the value and bytes
+// consumed; n == 0 means buf was truncated or the encoding overflowed.
+// It is binary.Uvarint restricted to the success cases the codecs want.
+// The single-byte case is inlined: nearly every length in a page is
+// below 128, and the decoders call this in their per-record hot loop.
+func Uvarint(buf []byte) (uint64, int) {
+	if len(buf) > 0 && buf[0] < 0x80 {
+		return uint64(buf[0]), 1
+	}
+	return uvarintSlow(buf)
+}
+
+func uvarintSlow(buf []byte) (uint64, int) {
+	v, n := binary.Uvarint(buf)
+	if n <= 0 {
+		return 0, 0
+	}
+	return v, n
+}
+
+// pageStats is one surface's rollout counters. All fields are written
+// with atomics: codecs run under every engine's locks and none of them.
+type pageStats struct {
+	readsV1    atomic.Uint64
+	readsV2    atomic.Uint64
+	writesV1   atomic.Uint64
+	writesV2   atomic.Uint64
+	bytesSaved atomic.Uint64 // v1-equivalent minus actual, v2 writes only
+}
+
+var bucketPages pageStats
+
+// RecordPageRead counts a decoded bucket page by the version it was
+// stored in. Unknown versions (decode failed) are not counted.
+func RecordPageRead(v Version) {
+	switch v {
+	case V1:
+		bucketPages.readsV1.Add(1)
+	case V2:
+		bucketPages.readsV2.Add(1)
+	}
+}
+
+// RecordPageWrite counts an encoded bucket page and, for v2, the bytes
+// it saved against the v1 encoding of the same bucket.
+func RecordPageWrite(v Version, actual, v1Equivalent int) {
+	switch v {
+	case V1:
+		bucketPages.writesV1.Add(1)
+	case V2:
+		bucketPages.writesV2.Add(1)
+		if v1Equivalent > actual {
+			bucketPages.bytesSaved.Add(uint64(v1Equivalent - actual))
+		}
+	}
+}
+
+// Stats is a point-in-time snapshot of the format rollout counters.
+type Stats struct {
+	// PagesReadV1 and PagesReadV2 count bucket pages decoded, by the
+	// version they were stored in.
+	PagesReadV1 uint64 `json:"pages_read_v1"`
+	PagesReadV2 uint64 `json:"pages_read_v2"`
+	// PagesWrittenV1 and PagesWrittenV2 count bucket pages encoded.
+	PagesWrittenV1 uint64 `json:"pages_written_v1"`
+	PagesWrittenV2 uint64 `json:"pages_written_v2"`
+	// BytesSaved accumulates, over all v2 page writes, the difference
+	// between the v1 encoding's size and the bytes actually written.
+	BytesSaved uint64 `json:"bytes_saved"`
+}
+
+// StatsSnapshot returns the current counters.
+func StatsSnapshot() Stats {
+	return Stats{
+		PagesReadV1:    bucketPages.readsV1.Load(),
+		PagesReadV2:    bucketPages.readsV2.Load(),
+		PagesWrittenV1: bucketPages.writesV1.Load(),
+		PagesWrittenV2: bucketPages.writesV2.Load(),
+		BytesSaved:     bucketPages.bytesSaved.Load(),
+	}
+}
+
+// ResetStats zeroes the counters (tests and benchmarks).
+func ResetStats() {
+	bucketPages.readsV1.Store(0)
+	bucketPages.readsV2.Store(0)
+	bucketPages.writesV1.Store(0)
+	bucketPages.writesV2.Store(0)
+	bucketPages.bytesSaved.Store(0)
+}

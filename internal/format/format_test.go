@@ -1,0 +1,107 @@
+package format
+
+import (
+	"encoding/binary"
+	"strings"
+	"testing"
+)
+
+func TestVersionValid(t *testing.T) {
+	if !V1.Valid() || !V2.Valid() {
+		t.Fatal("writable versions must be valid")
+	}
+	for _, v := range []Version{0, 3, 9, 255} {
+		if v.Valid() {
+			t.Fatalf("version %d must not be valid", v)
+		}
+	}
+	if Default != V2 {
+		t.Fatalf("default version is %v, the compact encoding is %v", Default, V2)
+	}
+	if V2.String() != "v2" {
+		t.Fatalf("String() = %q", V2.String())
+	}
+}
+
+func TestUnknownVersionErrorMessage(t *testing.T) {
+	e := &UnknownVersionError{Surface: "bucket page", Version: 9}
+	msg := e.Error()
+	for _, needle := range []string{"bucket page", "version 9", "newer"} {
+		if !strings.Contains(msg, needle) {
+			t.Fatalf("error %q lacks %q", msg, needle)
+		}
+	}
+}
+
+// TestUvarintAgainstStdlib pins the fast-path decoder to binary.Uvarint
+// across the encoding's boundaries: single-byte, multi-byte, truncated,
+// and the 10-byte overflow stdlib rejects with n < 0 (which Uvarint
+// folds into its single n == 0 failure case).
+func TestUvarintAgainstStdlib(t *testing.T) {
+	values := []uint64{0, 1, 0x7F, 0x80, 0x3FFF, 0x4000, 1<<32 - 1, 1 << 62, ^uint64(0)}
+	for _, x := range values {
+		buf := binary.AppendUvarint(nil, x)
+		if got := UvarintLen(x); got != len(buf) {
+			t.Fatalf("UvarintLen(%d) = %d, encoding is %d bytes", x, got, len(buf))
+		}
+		v, n := Uvarint(buf)
+		if v != x || n != len(buf) {
+			t.Fatalf("Uvarint(enc(%d)) = %d, %d", x, v, n)
+		}
+		for cut := 0; cut < len(buf); cut++ {
+			if _, n := Uvarint(buf[:cut]); n != 0 {
+				t.Fatalf("Uvarint of %d truncated to %d bytes consumed %d", x, cut, n)
+			}
+		}
+	}
+	// 11 continuation bytes: binary.Uvarint returns n < 0 (overflow);
+	// Uvarint must report failure, not a bogus value.
+	over := []byte{0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x01}
+	if _, n := Uvarint(over); n != 0 {
+		t.Fatalf("overflowing uvarint consumed %d bytes", n)
+	}
+}
+
+func TestZigzagRoundTrip(t *testing.T) {
+	for _, d := range []int64{0, -1, 1, -2, 2, 1 << 31, -(1 << 31), 1<<63 - 1, -1 << 63} {
+		if got := Unzigzag(Zigzag(d)); got != d {
+			t.Fatalf("Unzigzag(Zigzag(%d)) = %d", d, got)
+		}
+	}
+	// The mapping interleaves: small magnitudes stay small, which is what
+	// makes zigzag deltas uvarint-friendly.
+	for i, want := range []uint64{0, 1, 2, 3, 4} {
+		d := int64(i+1) / 2
+		if i%2 == 1 {
+			d = -d
+		}
+		if got := Zigzag(d); got != want {
+			t.Fatalf("Zigzag(%d) = %d, want %d", d, got, want)
+		}
+	}
+}
+
+func TestStatsCounters(t *testing.T) {
+	ResetStats()
+	defer ResetStats()
+	RecordPageRead(V1)
+	RecordPageRead(V2)
+	RecordPageRead(V2)
+	RecordPageRead(Version(9)) // unknown: not counted
+	RecordPageWrite(V1, 100, 100)
+	RecordPageWrite(V2, 70, 100)
+	RecordPageWrite(V2, 120, 100) // v2 larger than v1: no negative saving
+	s := StatsSnapshot()
+	want := Stats{
+		PagesReadV1: 1, PagesReadV2: 2,
+		PagesWrittenV1: 1, PagesWrittenV2: 2,
+		BytesSaved: 30,
+	}
+	if s != want {
+		t.Fatalf("StatsSnapshot() = %+v, want %+v", s, want)
+	}
+	ResetStats()
+	if s := StatsSnapshot(); s != (Stats{}) {
+		t.Fatalf("ResetStats left %+v", s)
+	}
+}

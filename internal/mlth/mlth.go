@@ -19,6 +19,7 @@ import (
 	"sync/atomic"
 
 	"triehash/internal/bucket"
+	"triehash/internal/format"
 	"triehash/internal/keys"
 	"triehash/internal/obs"
 	"triehash/internal/store"
@@ -104,6 +105,9 @@ type File struct {
 	pageReads atomic.Int64
 	// hook carries structural events to an attached observer (nil = off).
 	hook *obs.Hook
+	// fmtv is the on-disk encoding version SaveMeta writes (0 =
+	// format.Default); pages it reads may be either version.
+	fmtv format.Version
 }
 
 // SetObsHook attaches the observability hook structural events go to.

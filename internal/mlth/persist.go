@@ -5,21 +5,37 @@ import (
 	"fmt"
 	"hash/crc32"
 
+	"triehash/internal/format"
 	"triehash/internal/store"
 	"triehash/internal/trie"
 )
 
-const (
-	metaMagic   = 0x4D4C5448 // "MLTH"
-	metaVersion = 1
-)
+const metaMagic = 0x4D4C5448 // "MLTH"
+
+// SetFormat selects the on-disk encoding version future SaveMeta calls
+// (and the store the caller configures separately) write with.
+func (f *File) SetFormat(v format.Version) {
+	if v.Valid() {
+		f.fmtv = v
+	}
+}
+
+// Format returns the on-disk encoding version this file writes.
+func (f *File) Format() format.Version {
+	if f.fmtv == 0 {
+		return format.Default
+	}
+	return f.fmtv
+}
 
 // SaveMeta serializes the page hierarchy and counters; together with a
-// persistent bucket store this makes the multilevel file durable.
+// persistent bucket store this makes the multilevel file durable. The
+// version field mirrors Format(): the header layout is shared, the trie
+// page encoding that follows is what changes between versions.
 func (f *File) SaveMeta() []byte {
 	var hdr [40]byte
 	binary.LittleEndian.PutUint32(hdr[0:], metaMagic)
-	binary.LittleEndian.PutUint32(hdr[4:], metaVersion)
+	binary.LittleEndian.PutUint32(hdr[4:], uint32(f.Format()))
 	binary.LittleEndian.PutUint32(hdr[8:], uint32(f.cfg.Capacity))
 	binary.LittleEndian.PutUint32(hdr[12:], uint32(f.cfg.PageCapacity))
 	binary.LittleEndian.PutUint32(hdr[16:], uint32(f.cfg.SplitPos))
@@ -32,7 +48,7 @@ func (f *File) SaveMeta() []byte {
 		var lv [4]byte
 		binary.LittleEndian.PutUint32(lv[:], uint32(p.level))
 		buf = append(buf, lv[:]...)
-		buf = p.tr.AppendBinary(buf)
+		buf = p.tr.AppendFormat(buf, f.Format())
 	}
 	var sum [4]byte
 	binary.LittleEndian.PutUint32(sum[:], crc32.ChecksumIEEE(buf))
@@ -53,8 +69,8 @@ func Open(meta []byte, st store.Store) (*File, error) {
 	if binary.LittleEndian.Uint32(meta[0:]) != metaMagic {
 		return nil, fmt.Errorf("mlth: open: bad magic")
 	}
-	if v := binary.LittleEndian.Uint32(meta[4:]); v != metaVersion {
-		return nil, fmt.Errorf("mlth: open: unsupported version %d", v)
+	if v := binary.LittleEndian.Uint32(meta[4:]); v != uint32(format.V1) && v != uint32(format.V2) {
+		return nil, &format.UnknownVersionError{Surface: "meta", Version: v}
 	}
 	f := &File{
 		st:     st,

@@ -9,6 +9,8 @@ import (
 	"net/http/pprof"
 	"strconv"
 	"time"
+
+	"triehash/internal/format"
 )
 
 // Snapshot is the JSON form of everything an Observer holds; cmd/thstat
@@ -38,6 +40,9 @@ type Snapshot struct {
 	// first); SlowOpsTotal the lifetime count of slow ops captured.
 	SlowOps      []SpanRecord `json:"slow_ops,omitempty"`
 	SlowOpsTotal uint64       `json:"slow_ops_total,omitempty"`
+	// Format holds the process-wide on-disk encoding rollout counters:
+	// pages read and written per version, and bytes saved by v2 writes.
+	Format format.Stats `json:"format"`
 }
 
 // contentionTopK bounds the contention rows a snapshot carries.
@@ -67,6 +72,7 @@ func (o *Observer) SnapshotSince(since uint64) Snapshot {
 	s.Events = o.tracer.Since(since)
 	s.NextSeq = o.tracer.Total()
 	s.Dropped = o.tracer.Dropped()
+	s.Format = format.StatsSnapshot()
 	if o.cfg.Spans {
 		s.Stages = make(map[string]HistSnapshot, int(numStages))
 		for _, st := range Stages() {
@@ -161,6 +167,15 @@ func (o *Observer) WritePrometheus(w io.Writer) {
 		_, slowTotal := o.SlowOps()
 		fmt.Fprintf(w, "# HELP th_slow_ops_total Operations captured by the slow-op flight recorder.\n# TYPE th_slow_ops_total counter\nth_slow_ops_total %d\n", slowTotal)
 	}
+	fs := format.StatsSnapshot()
+	fmt.Fprintf(w, "# HELP th_format_pages_read_total Bucket pages decoded, by on-disk version.\n# TYPE th_format_pages_read_total counter\n")
+	fmt.Fprintf(w, "th_format_pages_read_total{version=\"1\"} %d\nth_format_pages_read_total{version=\"2\"} %d\n",
+		fs.PagesReadV1, fs.PagesReadV2)
+	fmt.Fprintf(w, "# HELP th_format_pages_written_total Bucket pages encoded, by on-disk version.\n# TYPE th_format_pages_written_total counter\n")
+	fmt.Fprintf(w, "th_format_pages_written_total{version=\"1\"} %d\nth_format_pages_written_total{version=\"2\"} %d\n",
+		fs.PagesWrittenV1, fs.PagesWrittenV2)
+	fmt.Fprintf(w, "# HELP th_format_bytes_saved_total Bytes saved by v2 page writes against their v1 encoding.\n# TYPE th_format_bytes_saved_total counter\nth_format_bytes_saved_total %d\n",
+		fs.BytesSaved)
 	st := o.State()
 	fmt.Fprintf(w, "# HELP th_keys Records in the file.\n# TYPE th_keys gauge\nth_keys %d\n", st.Keys)
 	fmt.Fprintf(w, "# HELP th_buckets Allocated buckets.\n# TYPE th_buckets gauge\nth_buckets %d\n", st.Buckets)

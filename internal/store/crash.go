@@ -2,11 +2,13 @@ package store
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"hash/crc32"
 	"sync"
 
 	"triehash/internal/bucket"
+	"triehash/internal/format"
 	"triehash/internal/obs"
 )
 
@@ -37,6 +39,24 @@ type CrashStore struct {
 
 	ctr  counterSet
 	hook *obs.Hook
+	// fmtv is the page encoding version writes use (0 = format.Default);
+	// mirrors FileStore so crash tests cover both page formats.
+	fmtv format.Version
+}
+
+// SetFormat selects the page encoding version Write and Alloc use.
+func (c *CrashStore) SetFormat(v format.Version) {
+	if v.Valid() {
+		c.fmtv = v
+	}
+}
+
+// Format returns the page encoding version writes use.
+func (c *CrashStore) Format() format.Version {
+	if c.fmtv == 0 {
+		return format.Default
+	}
+	return c.fmtv
 }
 
 // mutKind distinguishes the two media a CrashStore journals: bucket
@@ -136,14 +156,21 @@ func (c *CrashStore) Read(addr int32) (*bucket.Bucket, error) {
 	c.ctr.reads.Add(1)
 	b, _, err := bucket.DecodeBinary(payload)
 	if err != nil {
+		var uve *format.UnknownVersionError
+		if errors.As(err, &uve) {
+			return nil, err
+		}
 		return nil, &CorruptError{Addr: addr, Reason: fmt.Sprintf("payload decode: %v", err)}
 	}
+	format.RecordPageRead(b.DecodedFormat())
 	return b, nil
 }
 
 // Write implements Store, journaling the slot's post-image.
 func (c *CrashStore) Write(addr int32, b *bucket.Bucket) error {
-	payload := b.AppendBinary(nil)
+	v := c.Format()
+	payload := b.AppendFormat(nil, v)
+	format.RecordPageWrite(v, len(payload), b.Bytes())
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	buf, err := c.frame(addr, "write")
@@ -174,7 +201,7 @@ func (c *CrashStore) Alloc() (int32, error) {
 	} else {
 		addr = int32(len(c.slots))
 	}
-	c.apply(addr, encodeFrame(slotLive, bucket.New(0).AppendBinary(nil)))
+	c.apply(addr, encodeFrame(slotLive, bucket.New(0).AppendFormat(nil, c.Format())))
 	c.live++
 	return addr, nil
 }

@@ -2,6 +2,7 @@ package store
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"hash/crc32"
 	"os"
@@ -9,6 +10,7 @@ import (
 	"sync/atomic"
 
 	"triehash/internal/bucket"
+	"triehash/internal/format"
 )
 
 // FileStore persists buckets in a single file of fixed-size slots, one per
@@ -42,6 +44,9 @@ type FileStore struct {
 	free     []int32
 	live     int
 	ctr      counterSet
+	// fmtv is the page encoding version writes use (reads accept either);
+	// 0 means format.Default. Set before the store is shared.
+	fmtv format.Version
 }
 
 const (
@@ -127,6 +132,26 @@ func (s *FileStore) offset(addr int32) int64 {
 // SlotSize returns the configured slot size.
 func (s *FileStore) SlotSize() int { return s.slotSize }
 
+// PayloadSize returns the bytes of each slot available to a bucket's
+// encoding — the byte budget persistent engines gate writes on.
+func (s *FileStore) PayloadSize() int { return s.slotSize - slotHeaderSize }
+
+// SetFormat selects the page encoding version Write and Alloc use; reads
+// accept either version regardless. Call before the store is shared.
+func (s *FileStore) SetFormat(v format.Version) {
+	if v.Valid() {
+		s.fmtv = v
+	}
+}
+
+// Format returns the page encoding version writes use.
+func (s *FileStore) Format() format.Version {
+	if s.fmtv == 0 {
+		return format.Default
+	}
+	return s.fmtv
+}
+
 // CapacityHint returns the bucket capacity recorded in the file header, or
 // 0 when the file predates the hint.
 func (s *FileStore) CapacityHint() int { return s.hint }
@@ -195,8 +220,15 @@ func (s *FileStore) Read(addr int32) (*bucket.Bucket, error) {
 	s.ctr.reads.Add(1)
 	b, _, err := bucket.DecodeBinary(payload)
 	if err != nil {
+		// A future build's page is intact, not corrupt: surface the version
+		// refusal as-is so callers never try to repair it.
+		var uve *format.UnknownVersionError
+		if errors.As(err, &uve) {
+			return nil, err
+		}
 		return nil, &CorruptError{Addr: addr, Reason: fmt.Sprintf("payload decode: %v", err)}
 	}
+	format.RecordPageRead(b.DecodedFormat())
 	return b, nil
 }
 
@@ -210,7 +242,10 @@ func (s *FileStore) Write(addr int32, b *bucket.Bucket) error {
 		return fmt.Errorf("%w: write of freed slot %d", ErrNotAllocated, addr)
 	}
 	s.ctr.writes.Add(1)
-	return s.writeSlot(addr, slotLive, b.AppendBinary(nil))
+	v := s.Format()
+	payload := b.AppendFormat(nil, v)
+	format.RecordPageWrite(v, len(payload), b.Bytes())
+	return s.writeSlot(addr, slotLive, payload)
 }
 
 // Alloc implements Store.
@@ -226,7 +261,7 @@ func (s *FileStore) Alloc() (int32, error) {
 		addr = s.slots.Load()
 		s.slots.Store(addr + 1)
 	}
-	if err := s.writeSlot(addr, slotLive, bucket.New(0).AppendBinary(nil)); err != nil {
+	if err := s.writeSlot(addr, slotLive, bucket.New(0).AppendFormat(nil, s.Format())); err != nil {
 		return 0, err
 	}
 	s.live++

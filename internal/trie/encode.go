@@ -3,7 +3,9 @@ package trie
 import (
 	"encoding/binary"
 	"fmt"
+	"math"
 
+	"triehash/internal/format"
 	"triehash/internal/keys"
 )
 
@@ -18,6 +20,10 @@ func (t *Trie) PaperBytes() int { return len(t.cells) * PaperCellBytes }
 
 // encodeMagic guards serialized tries.
 const encodeMagic = 0x54485452 // "THTR"
+
+// encodeMagicV2 opens a version-2 trie page; the byte after it carries
+// the version so later formats can share the magic.
+const encodeMagicV2 = 0x32564854 // "THV2" on disk (little-endian)
 
 // AppendBinary serializes the trie (alphabet, root pointer, cell table)
 // into buf and returns the extended slice. The format is fixed-width
@@ -48,9 +54,77 @@ func (t *Trie) AppendBinary(buf []byte) []byte {
 	return buf
 }
 
-// DecodeBinary reconstructs a trie serialized by AppendBinary, returning
-// the trie and the number of bytes consumed.
+// AppendFormat serializes the trie at on-disk version v: the fixed-width
+// v1 layout, or the v2 pre-order delta stream.
+func (t *Trie) AppendFormat(buf []byte, v format.Version) []byte {
+	if v != format.V2 {
+		return t.AppendBinary(buf)
+	}
+	return t.appendV2(buf)
+}
+
+// ptrCode maps a pointer onto the v2 leaf/edge coding: 0 is the nil
+// leaf, 1 is an edge (the child cell follows in the pre-order stream, so
+// no index is stored), and n >= 2 is the leaf for bucket address n-2.
+func ptrCode(p Ptr) uint64 {
+	switch {
+	case p.IsNil():
+		return 0
+	case p.IsEdge():
+		return 1
+	default:
+		return uint64(p.Addr()) + 2
+	}
+}
+
+// appendV2 writes the version-2 layout:
+//
+//	u32 magic | u8 version | alpha.Min | alpha.Max | uvarint rootCode |
+//	[rootCode == 1: uvarint ncells | pre-order cell stream]
+//	cell: u8 DV | uvarint zigzag(DN - parentDN) | uvarint LP | uvarint RP
+//
+// The walk follows edges only, so tombstoned (unreachable) cells vanish
+// without the Vacuum clone v1 needs, and decoding re-numbers cells in
+// pre-order — a canonical form the encoder also produces, making the
+// round-trip byte-stable.
+func (t *Trie) appendV2(buf []byte) []byte {
+	var hdr [7]byte
+	binary.LittleEndian.PutUint32(hdr[0:], encodeMagicV2)
+	hdr[4] = byte(format.V2)
+	hdr[5] = t.alpha.Min
+	hdr[6] = t.alpha.Max
+	buf = append(buf, hdr[:]...)
+	buf = binary.AppendUvarint(buf, ptrCode(t.root))
+	if !t.root.IsEdge() {
+		return buf
+	}
+	buf = binary.AppendUvarint(buf, uint64(t.Cells()))
+	var walk func(ci int32, parentDN int32, buf []byte) []byte
+	walk = func(ci int32, parentDN int32, buf []byte) []byte {
+		c := t.cells[ci]
+		buf = append(buf, c.DV)
+		buf = binary.AppendUvarint(buf, format.Zigzag(int64(c.DN)-int64(parentDN)))
+		buf = binary.AppendUvarint(buf, ptrCode(c.LP))
+		buf = binary.AppendUvarint(buf, ptrCode(c.RP))
+		if c.LP.IsEdge() {
+			buf = walk(c.LP.Cell(), c.DN, buf)
+		}
+		if c.RP.IsEdge() {
+			buf = walk(c.RP.Cell(), c.DN, buf)
+		}
+		return buf
+	}
+	return walk(t.root.Cell(), 0, buf)
+}
+
+// DecodeBinary reconstructs a trie serialized by AppendFormat (either
+// version, dispatched on the magic), returning the trie and the number
+// of bytes consumed. A version this build does not know surfaces as
+// *format.UnknownVersionError.
 func DecodeBinary(buf []byte) (*Trie, int, error) {
+	if len(buf) >= 4 && binary.LittleEndian.Uint32(buf[0:]) == encodeMagicV2 {
+		return decodeV2(buf)
+	}
 	if len(buf) < 16 {
 		return nil, 0, fmt.Errorf("trie: decode: truncated header (%d bytes)", len(buf))
 	}
@@ -102,4 +176,116 @@ func DecodeBinary(buf []byte) (*Trie, int, error) {
 		}
 	}
 	return t, need, nil
+}
+
+// decodeV2 reconstructs a version-2 trie page. Cells are rebuilt in
+// pre-order, which re-numbers them canonically; orphans and repeated
+// edges are impossible by construction (the stream has no indices).
+func decodeV2(buf []byte) (*Trie, int, error) {
+	if len(buf) < 8 {
+		return nil, 0, fmt.Errorf("trie: decode: truncated v2 header (%d bytes)", len(buf))
+	}
+	if v := buf[4]; v != byte(format.V2) {
+		return nil, 0, &format.UnknownVersionError{Surface: "trie page", Version: uint32(v)}
+	}
+	t := &Trie{alpha: keys.Alphabet{Min: buf[5], Max: buf[6]}}
+	off := 7
+	decodePtr := func(what string) (Ptr, error) {
+		c, n := format.Uvarint(buf[off:])
+		if n == 0 {
+			return Nil, fmt.Errorf("trie: decode: truncated %s pointer", what)
+		}
+		off += n
+		switch {
+		case c == 0:
+			return Nil, nil
+		case c == 1:
+			return Edge(0), nil // placeholder: the child follows in the stream
+		case c-2 > math.MaxInt32:
+			return Nil, fmt.Errorf("trie: decode: %s leaf address %d out of range", what, c-2)
+		default:
+			return Leaf(int32(c - 2)), nil
+		}
+	}
+	root, err := decodePtr("root")
+	if err != nil {
+		return nil, 0, err
+	}
+	if !root.IsEdge() {
+		t.root = root
+		t.bumpLeaf(root, +1)
+		return t, off, nil
+	}
+	nc64, n := format.Uvarint(buf[off:])
+	if n == 0 {
+		return nil, 0, fmt.Errorf("trie: decode: truncated cell count")
+	}
+	off += n
+	// Each cell costs at least 4 stream bytes; reject counts the buffer
+	// cannot hold before allocating.
+	if nc64 > uint64(len(buf)-off)/4+1 {
+		return nil, 0, fmt.Errorf("trie: decode: cell count %d exceeds page", nc64)
+	}
+	ncells := int(nc64)
+	t.cells = make([]Cell, 0, ncells)
+	var readCell func(parentDN int32) (int32, error)
+	readCell = func(parentDN int32) (int32, error) {
+		if len(t.cells) >= ncells {
+			return 0, fmt.Errorf("trie: decode: more cells than the declared %d", ncells)
+		}
+		if off >= len(buf) {
+			return 0, fmt.Errorf("trie: decode: truncated cell %d", len(t.cells))
+		}
+		ci := int32(len(t.cells))
+		dv := buf[off]
+		off++
+		d64, n := format.Uvarint(buf[off:])
+		if n == 0 {
+			return 0, fmt.Errorf("trie: decode: truncated digit number of cell %d", ci)
+		}
+		off += n
+		dn := int64(parentDN) + format.Unzigzag(d64)
+		if dn < 0 || dn > math.MaxInt32 {
+			return 0, fmt.Errorf("trie: decode: digit number %d of cell %d out of range", dn, ci)
+		}
+		t.cells = append(t.cells, Cell{DV: dv, DN: int32(dn)})
+		lp, err := decodePtr("left")
+		if err != nil {
+			return 0, err
+		}
+		rp, err := decodePtr("right")
+		if err != nil {
+			return 0, err
+		}
+		if lp.IsEdge() {
+			child, err := readCell(int32(dn))
+			if err != nil {
+				return 0, err
+			}
+			lp = Edge(child)
+		} else {
+			t.bumpLeaf(lp, +1)
+		}
+		if rp.IsEdge() {
+			child, err := readCell(int32(dn))
+			if err != nil {
+				return 0, err
+			}
+			rp = Edge(child)
+		} else {
+			t.bumpLeaf(rp, +1)
+		}
+		t.cells[ci].LP = lp
+		t.cells[ci].RP = rp
+		return ci, nil
+	}
+	rc, err := readCell(0)
+	if err != nil {
+		return nil, 0, err
+	}
+	if len(t.cells) != ncells {
+		return nil, 0, fmt.Errorf("trie: decode: %d cells declared, %d present", ncells, len(t.cells))
+	}
+	t.root = Edge(rc)
+	return t, off, nil
 }

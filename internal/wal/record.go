@@ -16,6 +16,8 @@ import (
 	"encoding/binary"
 	"fmt"
 	"hash/crc32"
+
+	"triehash/internal/format"
 )
 
 // Op is the logical operation a record replays.
@@ -60,32 +62,74 @@ type Record struct {
 	CheckpointLSN uint64
 }
 
-// Frame layout:
+// Version-1 frame layout (a v1 log is headerless — frames start at
+// byte 0):
 //
 //	u32 payload length | u32 crc32(payload) | payload
 //	payload: u64 lsn | u8 op | u32 keylen | key | value   (put/delete)
 //	         u64 lsn | u8 op | u64 checkpointLSN          (checkpoint)
 //
-// The length/CRC header makes a torn append self-announcing: a partial
-// frame either has too few bytes for its declared length or fails its
+// A version-2 log opens with an 8-byte header (u32 magic "TWAL" | u8
+// version | 3 zero bytes) followed by uvarint frames:
+//
+//	uvarint payload length | u32 crc32(payload) | payload
+//	payload: uvarint lsn | u8 op | uvarint keylen | key | value
+//	         uvarint lsn | u8 op | uvarint checkpointLSN
+//
+// The magic cannot open a v1 log: a v1 log starts with a frame's payload
+// length, and no real payload is 1.2 GB. In either version the
+// length/CRC header makes a torn append self-announcing: a partial frame
+// either has too few bytes for its declared length or fails its
 // checksum, and scanning stops there.
-const frameHeader = 8
+const (
+	frameHeader = 8
+	logMagic    = 0x4C415754 // "TWAL" on disk (little-endian)
+	// logHeaderSize is the version-2 log header length.
+	logHeaderSize = 8
+)
 
-// appendFrame serializes r onto buf and returns the extended slice.
-func appendFrame(buf []byte, r Record) []byte {
+// appendLogHeader writes the v2 log header onto buf.
+func appendLogHeader(buf []byte, v format.Version) []byte {
+	var hdr [logHeaderSize]byte
+	binary.LittleEndian.PutUint32(hdr[0:], logMagic)
+	hdr[4] = byte(v)
+	return append(buf, hdr[:]...)
+}
+
+// appendFrame serializes r onto buf in the given log version and returns
+// the extended slice.
+func appendFrame(buf []byte, r Record, v format.Version) []byte {
 	var payload []byte
-	if r.Op == OpCheckpoint {
+	switch {
+	case v == format.V2 && r.Op == OpCheckpoint:
+		payload = binary.AppendUvarint(nil, r.LSN)
+		payload = append(payload, byte(r.Op))
+		payload = binary.AppendUvarint(payload, r.CheckpointLSN)
+	case v == format.V2:
+		payload = binary.AppendUvarint(nil, r.LSN)
+		payload = append(payload, byte(r.Op))
+		payload = binary.AppendUvarint(payload, uint64(len(r.Key)))
+		payload = append(payload, r.Key...)
+		payload = append(payload, r.Value...)
+	case r.Op == OpCheckpoint:
 		payload = make([]byte, 8+1+8)
 		binary.LittleEndian.PutUint64(payload, r.LSN)
 		payload[8] = byte(r.Op)
 		binary.LittleEndian.PutUint64(payload[9:], r.CheckpointLSN)
-	} else {
+	default:
 		payload = make([]byte, 8+1+4+len(r.Key)+len(r.Value))
 		binary.LittleEndian.PutUint64(payload, r.LSN)
 		payload[8] = byte(r.Op)
 		binary.LittleEndian.PutUint32(payload[9:], uint32(len(r.Key)))
 		copy(payload[13:], r.Key)
 		copy(payload[13+len(r.Key):], r.Value)
+	}
+	if v == format.V2 {
+		buf = binary.AppendUvarint(buf, uint64(len(payload)))
+		var crc [4]byte
+		binary.LittleEndian.PutUint32(crc[:], crc32.ChecksumIEEE(payload))
+		buf = append(buf, crc[:]...)
+		return append(buf, payload...)
 	}
 	var hdr [frameHeader]byte
 	binary.LittleEndian.PutUint32(hdr[0:], uint32(len(payload)))
@@ -94,8 +138,11 @@ func appendFrame(buf []byte, r Record) []byte {
 	return append(buf, payload...)
 }
 
-// decodePayload parses a verified frame payload.
-func decodePayload(p []byte) (Record, error) {
+// decodePayload parses a verified frame payload in the given log version.
+func decodePayload(p []byte, v format.Version) (Record, error) {
+	if v == format.V2 {
+		return decodePayloadV2(p)
+	}
 	if len(p) < 9 {
 		return Record{}, fmt.Errorf("wal: payload truncated to %d bytes", len(p))
 	}
@@ -124,6 +171,36 @@ func decodePayload(p []byte) (Record, error) {
 	return r, nil
 }
 
+// decodePayloadV2 parses a version-2 frame payload.
+func decodePayloadV2(p []byte) (Record, error) {
+	lsn, n := format.Uvarint(p)
+	if n == 0 || len(p) < n+1 {
+		return Record{}, fmt.Errorf("wal: payload truncated to %d bytes", len(p))
+	}
+	r := Record{LSN: lsn, Op: Op(p[n])}
+	p = p[n+1:]
+	switch r.Op {
+	case OpCheckpoint:
+		ck, n := format.Uvarint(p)
+		if n == 0 || n != len(p) {
+			return Record{}, fmt.Errorf("wal: malformed checkpoint payload")
+		}
+		r.CheckpointLSN = ck
+	case OpPut, OpDelete:
+		kl, n := format.Uvarint(p)
+		if n == 0 || uint64(len(p)-n) < kl {
+			return Record{}, fmt.Errorf("wal: record key length %d exceeds payload", kl)
+		}
+		r.Key = string(p[n : n+int(kl)])
+		if v := p[n+int(kl):]; len(v) > 0 {
+			r.Value = append([]byte(nil), v...)
+		}
+	default:
+		return Record{}, fmt.Errorf("wal: unknown op %d", byte(r.Op))
+	}
+	return r, nil
+}
+
 // Tail describes where a scan stopped and why.
 type Tail struct {
 	// ValidSize is the byte offset of the end of the last whole, verified
@@ -140,39 +217,71 @@ type Tail struct {
 	Reason string
 }
 
-// Scan parses the log image in data: every whole frame whose checksum and
-// payload verify, in order, plus the tail state. Scanning stops at the
-// first damaged frame — the bytes beyond it are unrecoverable from the
-// log alone (frame boundaries are lost), which is what demotes recovery
-// to the salvage scan when anything but a clean tail is cut off.
-func Scan(data []byte) ([]Record, Tail) {
+// Scan parses the log image in data: every whole frame whose checksum
+// and payload verify, in order, plus the tail state and the log's
+// on-disk version (0 for an empty or headerless-and-frameless image).
+// Scanning stops at the first damaged frame — the bytes beyond it are
+// unrecoverable from the log alone (frame boundaries are lost), which is
+// what demotes recovery to the salvage scan when anything but a clean
+// tail is cut off.
+//
+// A log whose header carries a version this build does not know returns
+// *format.UnknownVersionError. That is NOT tail damage: the bytes are a
+// future build's intact log, and truncating them would destroy committed
+// records — the caller must refuse to open, never repair.
+func Scan(data []byte) ([]Record, Tail, format.Version, error) {
 	var recs []Record
 	off := int64(0)
-	fail := func(reason string) ([]Record, Tail) {
-		return recs, Tail{ValidSize: off, Damaged: true, Remaining: int64(len(data)) - off, Reason: reason}
+	ver := format.Version(0)
+	fail := func(reason string) ([]Record, Tail, format.Version, error) {
+		return recs, Tail{ValidSize: off, Damaged: true, Remaining: int64(len(data)) - off, Reason: reason}, ver, nil
+	}
+	if len(data) >= 4 && binary.LittleEndian.Uint32(data) == logMagic {
+		if len(data) < logHeaderSize {
+			return fail(fmt.Sprintf("log header truncated to %d bytes", len(data)))
+		}
+		if v := data[4]; v != byte(format.V2) {
+			return nil, Tail{}, 0, &format.UnknownVersionError{Surface: "wal", Version: uint32(v)}
+		}
+		ver = format.V2
+		off = logHeaderSize
+	} else if len(data) > 0 {
+		ver = format.V1
 	}
 	for int(off) < len(data) {
 		rest := data[off:]
-		if len(rest) < frameHeader {
-			return fail(fmt.Sprintf("frame header truncated to %d bytes", len(rest)))
+		var n, hdr int64
+		if ver == format.V2 {
+			pl, un := format.Uvarint(rest)
+			if un == 0 {
+				return fail(fmt.Sprintf("frame header truncated to %d bytes", len(rest)))
+			}
+			n, hdr = int64(pl), int64(un)+4
+			if len(rest) < int(hdr) {
+				return fail(fmt.Sprintf("frame header truncated to %d bytes", len(rest)))
+			}
+		} else {
+			if len(rest) < frameHeader {
+				return fail(fmt.Sprintf("frame header truncated to %d bytes", len(rest)))
+			}
+			n, hdr = int64(binary.LittleEndian.Uint32(rest)), frameHeader
 		}
-		n := int64(binary.LittleEndian.Uint32(rest))
 		if n == 0 {
 			return fail("zero-length frame")
 		}
-		if frameHeader+n > int64(len(rest)) {
-			return fail(fmt.Sprintf("frame truncated: %d payload bytes declared, %d present", n, int64(len(rest))-frameHeader))
+		if hdr+n > int64(len(rest)) {
+			return fail(fmt.Sprintf("frame truncated: %d payload bytes declared, %d present", n, int64(len(rest))-hdr))
 		}
-		payload := rest[frameHeader : frameHeader+n]
-		if crc32.ChecksumIEEE(payload) != binary.LittleEndian.Uint32(rest[4:]) {
+		payload := rest[hdr : hdr+n]
+		if crc32.ChecksumIEEE(payload) != binary.LittleEndian.Uint32(rest[hdr-4:]) {
 			return fail("checksum mismatch")
 		}
-		rec, err := decodePayload(payload)
+		rec, err := decodePayload(payload, ver)
 		if err != nil {
 			return fail(err.Error())
 		}
 		recs = append(recs, rec)
-		off += frameHeader + n
+		off += hdr + n
 	}
-	return recs, Tail{ValidSize: off}
+	return recs, Tail{ValidSize: off}, ver, nil
 }

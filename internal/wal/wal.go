@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"triehash/internal/format"
 	"triehash/internal/obs"
 )
 
@@ -32,6 +33,12 @@ type Log struct {
 	nextLSN uint64
 	scratch []byte
 	failed  error // sticky append failure: the tail may be torn
+	// cur is the frame format of the log's current on-disk image:
+	// appends MUST match it (mixed-version frames would misparse on
+	// rescan). want is the format the owner asked for; Checkpoint — which
+	// rewrites the log from byte zero — upgrades cur to want.
+	cur  format.Version
+	want format.Version
 
 	cmu      sync.Mutex
 	newWork  *sync.Cond // signaled when pending advances past durable
@@ -70,13 +77,23 @@ type Stats struct {
 // Open scans the device's existing image, truncates a damaged tail back
 // to the last whole frame (the signature of a crash mid-append), and
 // returns the running log plus the scanned records for the caller to
-// replay. The returned Tail reports whether a repair happened.
-func Open(dev Device, hook *obs.Hook) (*Log, []Record, Tail, error) {
+// replay. The returned Tail reports whether a repair happened. want is
+// the frame format new log generations are written with; an existing
+// image keeps its own format until the next Checkpoint rewrites it. A
+// log written by a future build (*format.UnknownVersionError) refuses to
+// open — its intact records must not be "repaired" away.
+func Open(dev Device, want format.Version, hook *obs.Hook) (*Log, []Record, Tail, error) {
+	if !want.Valid() {
+		want = format.Default
+	}
 	data, err := dev.Contents()
 	if err != nil {
 		return nil, nil, Tail{}, err
 	}
-	recs, tail := Scan(data)
+	recs, tail, cur, err := Scan(data)
+	if err != nil {
+		return nil, nil, tail, err
+	}
 	if tail.Damaged {
 		if err := dev.TruncateTo(tail.ValidSize); err != nil {
 			return nil, nil, tail, err
@@ -87,8 +104,21 @@ func Open(dev Device, hook *obs.Hook) (*Log, []Record, Tail, error) {
 		if err := dev.Sync(); err != nil {
 			return nil, nil, tail, err
 		}
+		if tail.ValidSize == 0 {
+			cur = 0 // the image is empty now; the next write picks the format
+		}
 	}
-	l := &Log{dev: dev, hook: hook, nextLSN: 1}
+	l := &Log{dev: dev, hook: hook, nextLSN: 1, cur: cur, want: want}
+	if l.cur == 0 {
+		// Empty image: start the log in the wanted format, header first
+		// for v2 so a rescan parses the frames correctly.
+		l.cur = want
+		if want >= format.V2 {
+			if err := dev.Append(appendLogHeader(nil, want)); err != nil {
+				return nil, nil, tail, err
+			}
+		}
+	}
 	if n := len(recs); n > 0 {
 		l.nextLSN = recs[n-1].LSN + 1
 		l.appended = recs[n-1].LSN
@@ -115,7 +145,7 @@ func (l *Log) Append(op Op, key string, value []byte) (uint64, error) {
 		return 0, err
 	}
 	lsn := l.nextLSN
-	l.scratch = appendFrame(l.scratch[:0], Record{LSN: lsn, Op: op, Key: key, Value: value})
+	l.scratch = appendFrame(l.scratch[:0], Record{LSN: lsn, Op: op, Key: key, Value: value}, l.cur)
 	err := l.dev.Append(l.scratch)
 	if err != nil {
 		l.failed = err
@@ -213,8 +243,16 @@ func (l *Log) Checkpoint() error {
 	if err := l.dev.TruncateTo(0); err != nil {
 		return err
 	}
+	// The log restarts from byte zero, so this is the moment the format
+	// upgrades: header (v2+) and checkpoint marker go down in ONE append,
+	// tearing together under a power cut like any single frame.
+	l.cur = l.want
 	lsn := l.nextLSN
-	l.scratch = appendFrame(l.scratch[:0], Record{LSN: lsn, Op: OpCheckpoint, CheckpointLSN: folded})
+	l.scratch = l.scratch[:0]
+	if l.cur >= format.V2 {
+		l.scratch = appendLogHeader(l.scratch, l.cur)
+	}
+	l.scratch = appendFrame(l.scratch, Record{LSN: lsn, Op: OpCheckpoint, CheckpointLSN: folded}, l.cur)
 	if err := l.dev.Append(l.scratch); err != nil {
 		l.failed = err
 		return err
@@ -242,6 +280,13 @@ func (l *Log) Checkpoint() error {
 
 // Size returns the current log length in bytes.
 func (l *Log) Size() int64 { return l.dev.Size() }
+
+// Format returns the frame format of the log's current on-disk image.
+func (l *Log) Format() format.Version {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.cur
+}
 
 // Stats returns the activity counters.
 func (l *Log) Stats() Stats {

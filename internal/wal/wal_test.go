@@ -9,68 +9,169 @@ import (
 	"sync/atomic"
 	"testing"
 	"time"
+
+	"triehash/internal/format"
 )
 
-// TestScanRoundTrip frames a mixed record sequence and scans it back.
+// bothVersions runs f once per log framing version.
+func bothVersions(t *testing.T, f func(t *testing.T, v format.Version)) {
+	for _, v := range []format.Version{format.V1, format.V2} {
+		t.Run(fmt.Sprintf("v%d", v), func(t *testing.T) { f(t, v) })
+	}
+}
+
+// logPrefix returns the bytes a version's log image starts with (v1 logs
+// are headerless).
+func logPrefix(v format.Version) []byte {
+	if v >= format.V2 {
+		return appendLogHeader(nil, v)
+	}
+	return nil
+}
+
+// TestScanRoundTrip frames a mixed record sequence and scans it back, in
+// both framing versions.
 func TestScanRoundTrip(t *testing.T) {
-	want := []Record{
-		{LSN: 1, Op: OpPut, Key: "alpha", Value: []byte("v1")},
-		{LSN: 2, Op: OpDelete, Key: "alpha"},
-		{LSN: 3, Op: OpCheckpoint, CheckpointLSN: 2},
-		{LSN: 4, Op: OpPut, Key: "", Value: nil}, // empty key and value are legal
-	}
-	var buf []byte
-	for _, r := range want {
-		buf = appendFrame(buf, r)
-	}
-	got, tail := Scan(buf)
-	if tail.Damaged {
-		t.Fatalf("clean log scanned as damaged: %s", tail.Reason)
-	}
-	if tail.ValidSize != int64(len(buf)) {
-		t.Fatalf("ValidSize %d, want %d", tail.ValidSize, len(buf))
-	}
-	if len(got) != len(want) {
-		t.Fatalf("scanned %d records, want %d", len(got), len(want))
-	}
-	for i, r := range got {
-		w := want[i]
-		if r.LSN != w.LSN || r.Op != w.Op || r.Key != w.Key || !bytes.Equal(r.Value, w.Value) || r.CheckpointLSN != w.CheckpointLSN {
-			t.Errorf("record %d: got %+v, want %+v", i, r, w)
+	bothVersions(t, func(t *testing.T, v format.Version) {
+		want := []Record{
+			{LSN: 1, Op: OpPut, Key: "alpha", Value: []byte("v1")},
+			{LSN: 2, Op: OpDelete, Key: "alpha"},
+			{LSN: 3, Op: OpCheckpoint, CheckpointLSN: 2},
+			{LSN: 4, Op: OpPut, Key: "", Value: nil}, // empty key and value are legal
 		}
-	}
+		buf := logPrefix(v)
+		for _, r := range want {
+			buf = appendFrame(buf, r, v)
+		}
+		got, tail, ver, err := Scan(buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ver != v {
+			t.Fatalf("scanned version %d, want %d", ver, v)
+		}
+		if tail.Damaged {
+			t.Fatalf("clean log scanned as damaged: %s", tail.Reason)
+		}
+		if tail.ValidSize != int64(len(buf)) {
+			t.Fatalf("ValidSize %d, want %d", tail.ValidSize, len(buf))
+		}
+		if len(got) != len(want) {
+			t.Fatalf("scanned %d records, want %d", len(got), len(want))
+		}
+		for i, r := range got {
+			w := want[i]
+			if r.LSN != w.LSN || r.Op != w.Op || r.Key != w.Key || !bytes.Equal(r.Value, w.Value) || r.CheckpointLSN != w.CheckpointLSN {
+				t.Errorf("record %d: got %+v, want %+v", i, r, w)
+			}
+		}
+	})
 }
 
 // TestScanTornTail verifies that every proper prefix cut of a frame is
 // detected as tail damage with the preceding records intact, and that a
-// flipped byte anywhere in the last frame fails its checksum.
+// flipped byte anywhere in the last frame fails its checksum — in both
+// framing versions.
 func TestScanTornTail(t *testing.T) {
-	var buf []byte
-	buf = appendFrame(buf, Record{LSN: 1, Op: OpPut, Key: "k1", Value: []byte("value-1")})
-	whole := int64(len(buf))
-	buf = appendFrame(buf, Record{LSN: 2, Op: OpPut, Key: "k2", Value: []byte("value-2")})
+	bothVersions(t, func(t *testing.T, v format.Version) {
+		buf := logPrefix(v)
+		buf = appendFrame(buf, Record{LSN: 1, Op: OpPut, Key: "k1", Value: []byte("value-1")}, v)
+		whole := int64(len(buf))
+		buf = appendFrame(buf, Record{LSN: 2, Op: OpPut, Key: "k2", Value: []byte("value-2")}, v)
 
-	for cut := whole + 1; cut < int64(len(buf)); cut++ {
-		recs, tail := Scan(buf[:cut])
-		if len(recs) != 1 || recs[0].LSN != 1 {
-			t.Fatalf("cut %d: got %d records, want the 1 whole one", cut, len(recs))
+		for cut := whole + 1; cut < int64(len(buf)); cut++ {
+			recs, tail, _, err := Scan(buf[:cut])
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(recs) != 1 || recs[0].LSN != 1 {
+				t.Fatalf("cut %d: got %d records, want the 1 whole one", cut, len(recs))
+			}
+			if !tail.Damaged || tail.ValidSize != whole {
+				t.Fatalf("cut %d: tail %+v, want damaged with ValidSize %d", cut, tail, whole)
+			}
 		}
-		if !tail.Damaged || tail.ValidSize != whole {
-			t.Fatalf("cut %d: tail %+v, want damaged with ValidSize %d", cut, tail, whole)
+		for i := whole; i < int64(len(buf)); i++ {
+			flipped := append([]byte(nil), buf...)
+			flipped[i] ^= 0x40
+			recs, tail, _, err := Scan(flipped)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(recs) != 1 || !tail.Damaged || tail.ValidSize != whole {
+				t.Fatalf("flip at %d: %d records, tail %+v", i, len(recs), tail)
+			}
 		}
+		// A zeroed tail chunk reads as a zero-length frame: damaged, not EOF.
+		zeroed := append(append([]byte(nil), buf[:whole]...), make([]byte, 32)...)
+		if recs, tail, _, err := Scan(zeroed); err != nil || len(recs) != 1 || !tail.Damaged {
+			t.Fatalf("zeroed tail: %d records, tail %+v, err %v", len(recs), tail, err)
+		}
+	})
+}
+
+// TestScanUnknownVersion verifies a future header version refuses to scan
+// with a typed error instead of reading as repairable damage.
+func TestScanUnknownVersion(t *testing.T) {
+	img := appendLogHeader(nil, format.V2)
+	img[4] = 9 // a version this build does not know
+	img = append(img, appendFrame(nil, Record{LSN: 1, Op: OpPut, Key: "k"}, format.V2)...)
+	_, _, _, err := Scan(img)
+	var uve *format.UnknownVersionError
+	if !errors.As(err, &uve) {
+		t.Fatalf("Scan error %v, want *format.UnknownVersionError", err)
 	}
-	for i := whole; i < int64(len(buf)); i++ {
-		flipped := append([]byte(nil), buf...)
-		flipped[i] ^= 0x40
-		recs, tail := Scan(flipped)
-		if len(recs) != 1 || !tail.Damaged || tail.ValidSize != whole {
-			t.Fatalf("flip at %d: %d records, tail %+v", i, len(recs), tail)
-		}
+	if uve.Surface != "wal" || uve.Version != 9 {
+		t.Fatalf("error detail %+v", uve)
 	}
-	// A zeroed tail chunk reads as a zero-length frame: damaged, not EOF.
-	zeroed := append(append([]byte(nil), buf[:whole]...), make([]byte, 32)...)
-	if recs, tail := Scan(zeroed); len(recs) != 1 || !tail.Damaged {
-		t.Fatalf("zeroed tail: %d records, tail %+v", len(recs), tail)
+	// A truncated header (crash while writing the very first bytes of a v2
+	// log) is ordinary tail damage: nothing durable is lost.
+	short := appendLogHeader(nil, format.V2)[:5]
+	if _, tail, _, err := Scan(short); err != nil || !tail.Damaged {
+		t.Fatalf("truncated header: tail %+v, err %v", tail, err)
+	}
+}
+
+// TestCheckpointUpgradesFormat opens a v1 image with a v2 want and checks
+// the log keeps v1 framing until the checkpoint rewrites it from byte
+// zero in v2.
+func TestCheckpointUpgradesFormat(t *testing.T) {
+	dev := NewMem()
+	img := appendFrame(nil, Record{LSN: 1, Op: OpPut, Key: "a", Value: []byte("x")}, format.V1)
+	if err := dev.Append(img); err != nil {
+		t.Fatal(err)
+	}
+	l, recs, _, err := Open(dev, format.V2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	if len(recs) != 1 || l.Format() != format.V1 {
+		t.Fatalf("opened %d records at v%d, want 1 at v1", len(recs), l.Format())
+	}
+	// Appends before the upgrade must stay v1: mixed frames would misparse.
+	lsn, err := l.Append(OpPut, "b", []byte("y"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Commit(lsn); err != nil {
+		t.Fatal(err)
+	}
+	if recs, _, ver, err := Scan(mustContents(t, dev)); err != nil || ver != format.V1 || len(recs) != 2 {
+		t.Fatalf("pre-upgrade image: %d records v%d (err %v), want 2 at v1", len(recs), ver, err)
+	}
+	if err := l.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if l.Format() != format.V2 {
+		t.Fatalf("post-checkpoint format v%d, want v2", l.Format())
+	}
+	recs2, tail, ver, err := Scan(mustContents(t, dev))
+	if err != nil || tail.Damaged {
+		t.Fatalf("post-upgrade scan: tail %+v, err %v", tail, err)
+	}
+	if ver != format.V2 || len(recs2) != 1 || recs2[0].Op != OpCheckpoint || recs2[0].LSN != 3 {
+		t.Fatalf("post-upgrade image: %d records v%d, first %+v", len(recs2), ver, recs2[0])
 	}
 }
 
@@ -79,13 +180,13 @@ func TestScanTornTail(t *testing.T) {
 func TestOpenRepairsTornTail(t *testing.T) {
 	dev := NewMem()
 	var img []byte
-	img = appendFrame(img, Record{LSN: 7, Op: OpPut, Key: "a", Value: []byte("x")})
+	img = appendFrame(img, Record{LSN: 7, Op: OpPut, Key: "a", Value: []byte("x")}, format.V1)
 	valid := int64(len(img))
-	img = appendFrame(img, Record{LSN: 8, Op: OpPut, Key: "b", Value: []byte("y")})
+	img = appendFrame(img, Record{LSN: 8, Op: OpPut, Key: "b", Value: []byte("y")}, format.V1)
 	if err := dev.Append(img[:valid+5]); err != nil { // torn mid-frame
 		t.Fatal(err)
 	}
-	l, recs, tail, err := Open(dev, nil)
+	l, recs, tail, err := Open(dev, format.V2, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -130,7 +231,7 @@ func (d *slowSyncDev) Sync() error {
 // slow-sync device and verifies they shared fsyncs.
 func TestGroupCommitBatches(t *testing.T) {
 	dev := &slowSyncDev{delay: 2 * time.Millisecond}
-	l, _, _, err := Open(dev, nil)
+	l, _, _, err := Open(dev, format.V2, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -169,7 +270,10 @@ func TestGroupCommitBatches(t *testing.T) {
 	if err := l.Close(); err != nil {
 		t.Fatal(err)
 	}
-	recs, tail := Scan(mustContents(t, dev))
+	recs, tail, _, err := Scan(mustContents(t, dev))
+	if err != nil {
+		t.Fatal(err)
+	}
 	if tail.Damaged || len(recs) != writers*per {
 		t.Fatalf("log has %d records (tail %+v), want %d clean", len(recs), tail, writers*per)
 	}
@@ -179,7 +283,7 @@ func TestGroupCommitBatches(t *testing.T) {
 // restart record carries the sequence across the truncation and a reopen.
 func TestCheckpointTruncatesAndChainsLSN(t *testing.T) {
 	dev := NewMem()
-	l, _, _, err := Open(dev, nil)
+	l, _, _, err := Open(dev, format.V2, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -199,7 +303,10 @@ func TestCheckpointTruncatesAndChainsLSN(t *testing.T) {
 	if dev.Size() >= before {
 		t.Fatalf("checkpoint did not shrink the log: %d -> %d bytes", before, dev.Size())
 	}
-	recs, tail := Scan(mustContents(t, dev))
+	recs, tail, _, err := Scan(mustContents(t, dev))
+	if err != nil {
+		t.Fatal(err)
+	}
 	if tail.Damaged || len(recs) != 1 || recs[0].Op != OpCheckpoint {
 		t.Fatalf("post-checkpoint log: %d records, tail %+v", len(recs), tail)
 	}
@@ -210,7 +317,7 @@ func TestCheckpointTruncatesAndChainsLSN(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	l2, recs2, _, err := Open(dev, nil)
+	l2, recs2, _, err := Open(dev, format.V2, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -228,7 +335,7 @@ func TestCheckpointTruncatesAndChainsLSN(t *testing.T) {
 func TestSyncErrorIsSticky(t *testing.T) {
 	dev := &slowSyncDev{}
 	boom := errors.New("medium gone")
-	l, _, _, err := Open(dev, nil)
+	l, _, _, err := Open(dev, format.V2, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

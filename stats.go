@@ -1,6 +1,9 @@
 package triehash
 
-import "triehash/internal/store"
+import (
+	"triehash/internal/format"
+	"triehash/internal/store"
+)
 
 // Stats is a snapshot of the file's structure and the disk traffic it has
 // generated — the figures the paper's evaluation is stated in.
@@ -34,6 +37,11 @@ type Stats struct {
 	// the read in IO.Reads was served from memory, not the disk.
 	CacheHits   int64
 	CacheMisses int64
+	// FormatVersion is the on-disk encoding new pages are written at
+	// (Options.FormatVersion after defaulting). Individual pages of a file
+	// caught mid-upgrade may still be at an older version until their next
+	// rewrite.
+	FormatVersion int
 }
 
 // IOCounters mirrors the store's access counters.
@@ -91,6 +99,13 @@ func (f *File) Stats() Stats {
 	}
 	if c := store.AsCachePool(f.eng.Store()); c != nil {
 		out.CacheHits, out.CacheMisses = c.Hits(), c.Misses()
+	}
+	// Reopened files may carry an unset pin; every layer then writes at
+	// the default, so report that rather than the raw zero.
+	if v := f.opts.formatVersion(); v.Valid() {
+		out.FormatVersion = int(v)
+	} else {
+		out.FormatVersion = int(format.Default)
 	}
 	return out
 }

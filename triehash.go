@@ -40,6 +40,7 @@ import (
 	"time"
 
 	"triehash/internal/core"
+	"triehash/internal/format"
 	"triehash/internal/keys"
 	"triehash/internal/mlth"
 	"triehash/internal/obs"
@@ -159,6 +160,12 @@ type Options struct {
 	// CheckpointBytes is the log size that triggers a background
 	// checkpoint (default 1 MiB; only meaningful with WAL).
 	CheckpointBytes int64
+	// FormatVersion pins the on-disk encoding: 1 is the fixed-width v1
+	// layout, 2 the compact varint v2 layout (the default). It covers all
+	// three persistent surfaces — bucket pages, trie metadata and the WAL.
+	// Files of either version always open; a v1 file reopened without a
+	// pin upgrades to the default at its next checkpoint.
+	FormatVersion int
 }
 
 // CachePolicy selects the buffer pool implementation.
@@ -186,8 +193,14 @@ func (o Options) normalize() Options {
 	if o.CheckpointBytes == 0 {
 		o.CheckpointBytes = 1 << 20
 	}
+	if o.FormatVersion == 0 {
+		o.FormatVersion = int(format.Default)
+	}
 	return o
 }
+
+// formatVersion is the typed form of the (normalized) FormatVersion pin.
+func (o Options) formatVersion() format.Version { return format.Version(o.FormatVersion) }
 
 func (o Options) alphabet() keys.Alphabet {
 	if o.Binary {
@@ -215,6 +228,7 @@ func (o Options) coreConfig() core.Config {
 		Merge:           merge,
 		CollapseOnMerge: o.CollapseOnMerge,
 		TombstoneMerges: o.TombstoneMerges,
+		Format:          o.formatVersion(),
 	}
 }
 
@@ -368,6 +382,7 @@ func CreateAt(dir string, opts Options) (*File, error) {
 		_ = fs.Close() // the create error takes precedence
 		return nil, err
 	}
+	f.armPersistent(fs)
 	f.setRecordLimit()
 	// A fresh file must not inherit a previous tenant's log: a stale
 	// wal.th would otherwise be replayed into it on the next OpenAt.
@@ -389,22 +404,54 @@ func CreateAt(dir string, opts Options) (*File, error) {
 	return f, nil
 }
 
-// setRecordLimit derives the per-record byte budget from the slot size:
-// a full bucket of BucketCapacity+1 records (the transient overflow state
-// is never written, but splits write full buckets) must serialize within
-// the slot payload.
+// setRecordLimit derives the per-record byte budget from the slot size.
+// Multilevel files keep the conservative rule: a full bucket of
+// BucketCapacity+1 records (the transient overflow state is never
+// written, but splits write full buckets) must serialize within the slot
+// payload. The single-level engines gate every write on the exact encoded
+// page size and split early when a slot would overflow, so their static
+// limit only has to keep any one record from dominating a slot — a page
+// must always be able to hold at least two records plus its bound.
 func (f *File) setRecordLimit() {
 	const slotOverhead = 9 + 8 // slot header + bucket bound header
 	payload := f.opts.SlotBytes - slotOverhead
 	per := payload/f.opts.BucketCapacity - 8 // per-record length prefixes
+	if f.multi == nil {
+		if q := payload/4 - 8; q > per {
+			per = q
+		}
+	}
 	if per < 1 {
 		per = 1
 	}
 	f.maxRecord = per
 }
 
+// armPersistent points the persistent store at the file's write format
+// and, for the single-level engines (whose writes are byte-gated), arms
+// the page budget with the store's slot payload. An unset or invalid pin
+// leaves every layer at its default (the compact v2 format).
+func (f *File) armPersistent(fs *store.FileStore) {
+	v := f.opts.formatVersion()
+	fs.SetFormat(v)
+	budget := fs.PayloadSize()
+	switch {
+	case f.single != nil:
+		f.single.SetFormat(v)
+		f.single.SetPageBudget(budget)
+	case f.conc != nil:
+		f.conc.SetFormat(v)
+		f.conc.SetPageBudget(budget)
+	case f.multi != nil:
+		f.multi.SetFormat(v)
+	}
+}
+
 func create(opts Options, dir string, st store.Store) (*File, error) {
 	opts = opts.normalize()
+	if !opts.formatVersion().Valid() {
+		return nil, fmt.Errorf("triehash: unknown FormatVersion %d", opts.FormatVersion)
+	}
 	f := &File{opts: opts, alpha: opts.alphabet(), dir: dir}
 	st, f.hook = instrument(st)
 	if opts.PageCapacity > 0 {
@@ -419,6 +466,7 @@ func create(opts Options, dir string, st store.Store) (*File, error) {
 			return nil, err
 		}
 		m.SetObsHook(f.hook)
+		m.SetFormat(opts.formatVersion())
 		f.multi, f.eng = m, m
 		return f, nil
 	}
@@ -471,12 +519,14 @@ func BulkLoad(dir string, opts Options, fill float64, next func() (key string, v
 	if opts.PageCapacity > 0 {
 		return nil, fmt.Errorf("triehash: bulk loading builds a single-level trie; omit PageCapacity")
 	}
+	var fs *store.FileStore
 	var st store.Store = store.NewMem()
 	if dir != "" {
 		if err := os.MkdirAll(dir, 0o755); err != nil {
 			return nil, err
 		}
-		fs, err := store.CreateFile(filepath.Join(dir, "buckets.th"), opts.SlotBytes)
+		var err error
+		fs, err = store.CreateFile(filepath.Join(dir, "buckets.th"), opts.SlotBytes)
 		if err != nil {
 			return nil, err
 		}
@@ -484,6 +534,7 @@ func BulkLoad(dir string, opts Options, fill float64, next func() (key string, v
 			_ = fs.Close()
 			return nil, err
 		}
+		fs.SetFormat(opts.formatVersion())
 		st = fs
 	}
 	st = wrapCache(opts, st)
@@ -494,7 +545,13 @@ func BulkLoad(dir string, opts Options, fill float64, next func() (key string, v
 			return core.BulkLoadParallel(cfg, st, fill, next, opts.BulkWorkers)
 		}
 	}
-	c, err := load(opts.coreConfig(), st, fill, next)
+	cfg := opts.coreConfig()
+	if fs != nil {
+		// Persistent loads pack against the slot payload as well as the
+		// record count, so a run of large records cannot overflow a slot.
+		cfg.PageBudget = fs.PayloadSize()
+	}
+	c, err := load(cfg, st, fill, next)
 	if err != nil {
 		_ = st.Close() // the load error takes precedence
 		return nil, err
@@ -510,6 +567,7 @@ func BulkLoad(dir string, opts Options, fill float64, next func() (key string, v
 		f.single, f.eng = c, c
 	}
 	if dir != "" {
+		f.armPersistent(fs)
 		f.setRecordLimit()
 		if err := f.syncLocked(); err != nil {
 			_ = f.eng.Store().Close() // the sync error takes precedence
@@ -590,6 +648,7 @@ func RecoverAt(dir string, opts Options) (*File, error) {
 	} else {
 		f.single, f.eng = c, c
 	}
+	f.armPersistent(fs)
 	f.setRecordLimit()
 	if err := f.syncLocked(); err != nil {
 		_ = f.eng.Store().Close() // the sync error takes precedence
@@ -653,7 +712,8 @@ func OpenAtWith(dir string, opts Options) (*File, error) {
 	}
 	st, hook := instrument(wrapCache(opts, fs))
 	f := &File{dir: dir, hook: hook}
-	if c, cerr := core.Open(meta, st); cerr == nil {
+	c, cerr := core.Open(meta, st)
+	if cerr == nil {
 		c.SetObsHook(hook)
 		f.alpha = c.Config().Alphabet
 		f.opts = Options{
@@ -661,6 +721,7 @@ func OpenAtWith(dir string, opts Options) (*File, error) {
 			CacheFrames: opts.CacheFrames, CachePolicy: opts.CachePolicy,
 			Concurrent: opts.Concurrent, BulkWorkers: opts.BulkWorkers,
 			WAL: opts.WAL, CheckpointBytes: opts.CheckpointBytes,
+			FormatVersion: opts.FormatVersion,
 		}
 		if opts.Concurrent {
 			if _, err := f.adoptConcurrent(c); err != nil {
@@ -670,6 +731,7 @@ func OpenAtWith(dir string, opts Options) (*File, error) {
 		} else {
 			f.single, f.eng = c, c
 		}
+		f.armPersistent(fs)
 		f.setRecordLimit()
 		if err := f.maybeAttachWALAt(dir, opts); err != nil {
 			_ = fs.Close()
@@ -677,9 +739,21 @@ func OpenAtWith(dir string, opts Options) (*File, error) {
 		}
 		return f, nil
 	}
+	// A metadata version newer than this build is NOT damage: the bytes
+	// are intact and a future build owns them. Refuse to open rather than
+	// fall through to salvage, which would rebuild (and overwrite) a file
+	// this build cannot faithfully read.
+	var unknown *format.UnknownVersionError
+	if errors.As(cerr, &unknown) {
+		_ = fs.Close()
+		return nil, fmt.Errorf("triehash: open %s: %w", dir, cerr)
+	}
 	m, merr := mlth.Open(meta, st)
 	if merr != nil {
 		_ = fs.Close() // salvage reopens the bucket file itself
+		if errors.As(merr, &unknown) {
+			return nil, fmt.Errorf("triehash: open %s: %w", dir, merr)
+		}
 		return salvageAt(dir, opts, fmt.Errorf("%s holds neither a single-level nor a multilevel file: %w", dir, merr))
 	}
 	if opts.Concurrent {
@@ -692,7 +766,9 @@ func OpenAtWith(dir string, opts Options) (*File, error) {
 	f.opts = Options{
 		BucketCapacity: m.Capacity(), SlotBytes: fs.SlotSize(),
 		WAL: opts.WAL, CheckpointBytes: opts.CheckpointBytes,
+		FormatVersion: opts.FormatVersion,
 	}
+	f.armPersistent(fs)
 	f.setRecordLimit()
 	if err := f.maybeAttachWALAt(dir, opts); err != nil {
 		_ = fs.Close()
@@ -713,6 +789,7 @@ func salvageAt(dir string, opts Options, cause error) (*File, error) {
 	f, err := RecoverAt(dir, Options{
 		Concurrent: opts.Concurrent,
 		WAL:        opts.WAL, CheckpointBytes: opts.CheckpointBytes,
+		FormatVersion: opts.FormatVersion,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("triehash: %s: metadata unusable (%v) and salvage failed: %w", dir, cause, err)

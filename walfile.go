@@ -6,6 +6,7 @@ import (
 	"os"
 	"path/filepath"
 
+	"triehash/internal/format"
 	"triehash/internal/obs"
 	"triehash/internal/wal"
 )
@@ -60,6 +61,17 @@ func (f *File) WALStats() (s WALStats, ok bool) {
 // directory.
 func walPath(dir string) string { return filepath.Join(dir, "wal.th") }
 
+// walFormat is the framing version the file's write-ahead log should run
+// at: the Options pin when one was given, else the default. A log found
+// at the other version keeps its on-disk framing until the upgrade
+// checkpoint rewrites it.
+func (f *File) walFormat() format.Version {
+	if v := f.opts.formatVersion(); v.Valid() {
+		return v
+	}
+	return format.Default
+}
+
 // errWALNeedsSalvage reports a multilevel file whose log demands replay
 // over an inconsistent bucket state — canonicalization needs Scrub, which
 // multilevel files do not support, so OpenAt falls back to salvage (the
@@ -71,7 +83,7 @@ var errWALNeedsSalvage = errors.New("triehash: wal replay needs salvage")
 // leaves the log attached as the file's hot durability path. Call before
 // the file is published (no locking).
 func (f *File) attachWAL(dev wal.Device) error {
-	l, recs, tail, err := wal.Open(dev, f.hook)
+	l, recs, tail, err := wal.Open(dev, f.walFormat(), f.hook)
 	if err != nil {
 		return err
 	}
